@@ -1,0 +1,108 @@
+// Command saebench regenerates the paper's evaluation figures (5-8). It
+// sweeps dataset cardinalities and distributions, outsources each dataset
+// under both SAE and TOM, runs the paper's query workload and prints one
+// table per figure.
+//
+// Usage:
+//
+//	saebench                     # quick scale, all figures
+//	saebench -scale paper        # the paper's full 100K..1M grid (~GBs of RAM)
+//	saebench -figure 6           # a single figure
+//	saebench -n 50000,200000     # custom cardinalities
+//	saebench -csv                # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sae/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates or all")
+		scale   = flag.String("scale", "quick", "sweep scale: quick or paper")
+		ns      = flag.String("n", "", "comma-separated cardinalities overriding the scale")
+		queries = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickScale()
+	case "paper":
+		cfg = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "saebench: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *ns != "" {
+		cfg.Cardinalities = nil
+		for _, part := range strings.Split(*ns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "saebench: bad cardinality %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Cardinalities = append(cfg.Cardinalities, n)
+		}
+	}
+	if *queries > 0 {
+		cfg.NumQueries = *queries
+	}
+	cfg.Seed = *seed
+	if !*quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	cells, err := experiments.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var tables []*experiments.Table
+	switch *figure {
+	case "5":
+		tables = append(tables, experiments.BuildFig5(cells))
+	case "6":
+		tables = append(tables, experiments.BuildFig6(cells))
+	case "7":
+		tables = append(tables, experiments.BuildFig7(cells))
+	case "8":
+		tables = append(tables, experiments.BuildFig8(cells))
+	case "rt":
+		tables = append(tables, experiments.BuildResponseTime(cells, experiments.DefaultNetwork))
+	case "updates":
+		ucells, err := experiments.RunUpdates(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, experiments.BuildUpdates(ucells))
+	case "all":
+		tables = experiments.BuildAll(cells)
+		tables = append(tables, experiments.BuildResponseTime(cells, experiments.DefaultNetwork))
+	default:
+		fmt.Fprintf(os.Stderr, "saebench: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s", t.Title, t.CSV())
+		} else {
+			fmt.Print(t.Format())
+		}
+	}
+}

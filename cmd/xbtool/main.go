@@ -1,0 +1,79 @@
+// Command xbtool builds an XB-Tree from a synthetic dataset and inspects
+// it: structural statistics, invariant validation, and token generation
+// cost probes. It is a debugging and teaching aid for the paper's core
+// data structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/workload"
+	"sae/internal/xbtree"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100_000, "number of tuples to index")
+		dist     = flag.String("dist", "UNF", "key distribution: UNF or SKW")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		validate = flag.Bool("validate", true, "run the full invariant validator")
+		probes   = flag.Int("probes", 5, "number of token-generation probes")
+	)
+	flag.Parse()
+
+	ds, err := workload.Generate(workload.Distribution(*dist), *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	counting := pagestore.NewCounting(pagestore.NewMem())
+	var items []xbtree.KeyTuples
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		tup := xbtree.Tuple{ID: r.ID, Digest: digest.OfRecord(r)}
+		if len(items) > 0 && items[len(items)-1].Key == r.Key {
+			items[len(items)-1].Tuples = append(items[len(items)-1].Tuples, tup)
+		} else {
+			items = append(items, xbtree.KeyTuples{Key: r.Key, Tuples: []xbtree.Tuple{tup}})
+		}
+	}
+	tree, err := xbtree.Bulkload(counting, items)
+	if err != nil {
+		fail(err)
+	}
+	buildAccesses := counting.Stats().Accesses()
+
+	fmt.Printf("XB-Tree over %d tuples (%d distinct keys, %s)\n", tree.Tuples(), tree.Keys(), ds.Dist)
+	fmt.Printf("  height:      %d\n", tree.Height())
+	fmt.Printf("  tree nodes:  %d pages\n", tree.NodeCount())
+	fmt.Printf("  list pages:  %d pages\n", tree.ListPages())
+	fmt.Printf("  total bytes: %.1f MB\n", float64(tree.Bytes())/(1<<20))
+	fmt.Printf("  build I/O:   %d page accesses\n", buildAccesses)
+
+	if *validate {
+		if err := tree.Validate(); err != nil {
+			fail(fmt.Errorf("INVARIANT VIOLATION: %w", err))
+		}
+		fmt.Println("  invariants:  OK (every X equals L-xor combined with child aggregate)")
+	}
+
+	queries := workload.Queries(*probes, workload.DefaultExtent, *seed+99)
+	fmt.Printf("\nToken-generation probes (extent %.2f%% of domain):\n", 100*workload.DefaultExtent)
+	for _, q := range queries {
+		before := counting.Stats()
+		vt, err := tree.GenerateVT(q.Lo, q.Hi)
+		if err != nil {
+			fail(err)
+		}
+		accesses := counting.Stats().Sub(before).Accesses()
+		fmt.Printf("  %-24v accesses=%-3d vt=%s...\n", q, accesses, vt.String()[:16])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xbtool: %v\n", err)
+	os.Exit(1)
+}

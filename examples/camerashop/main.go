@@ -1,0 +1,115 @@
+// Camerashop reproduces the paper's running example (§II): a consumer
+// electronics shop outsources its digital-camera catalog. The SP stores
+// full records; the TE keeps only (id, price, digest) per camera; a client
+// asks "all cameras priced between 200 and 300 euros" and verifies the
+// answer.
+//
+// Prices play the role of the search key. Camera attributes (manufacturer,
+// model) live in the record payload.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+
+	"sae/internal/core"
+	"sae/internal/record"
+)
+
+// camera is the shop's application-level row.
+type camera struct {
+	id           record.ID
+	manufacturer string
+	model        string
+	price        record.Key // euros
+}
+
+// toRecord encodes a camera as a fixed-size record: the price is the search
+// key; manufacturer and model are packed into the payload.
+func (c camera) toRecord() record.Record {
+	r := record.Record{ID: c.id, Key: c.price}
+	packString(r.Payload[0:64], c.manufacturer)
+	packString(r.Payload[64:192], c.model)
+	return r
+}
+
+func packString(dst []byte, s string) {
+	binary.BigEndian.PutUint16(dst[0:2], uint16(len(s)))
+	copy(dst[2:], s)
+}
+
+func unpackString(src []byte) string {
+	n := int(binary.BigEndian.Uint16(src[0:2]))
+	if n > len(src)-2 {
+		n = len(src) - 2
+	}
+	return string(src[2 : 2+n])
+}
+
+func fromRecord(r *record.Record) camera {
+	return camera{
+		id:           r.ID,
+		manufacturer: unpackString(r.Payload[0:64]),
+		model:        unpackString(r.Payload[64:192]),
+		price:        r.Key,
+	}
+}
+
+func main() {
+	catalog := []camera{
+		{15, "Canon", "SD850 IS", 250},
+		{16, "Canon", "EOS 400D", 699},
+		{17, "Nikon", "D40", 449},
+		{18, "Nikon", "Coolpix L11", 119},
+		{19, "Sony", "DSC-W80", 229},
+		{20, "Sony", "Alpha A100", 599},
+		{21, "Olympus", "FE-210", 139},
+		{22, "Panasonic", "DMC-TZ3", 329},
+		{23, "Casio", "EX-Z75", 189},
+		{24, "Fujifilm", "FinePix F40fd", 279},
+	}
+
+	records := make([]record.Record, len(catalog))
+	for i, c := range catalog {
+		records[i] = c.toRecord()
+	}
+	sort.Slice(records, func(i, j int) bool { return record.SortByKey(records[i], records[j]) < 0 })
+
+	sys, err := core.NewSystem(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Select all cameras from R whose price is between 200 and 300 euros."
+	q := record.Range{Lo: 200, Hi: 300}
+	out, err := sys.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.VerifyErr != nil {
+		log.Fatalf("the shop's SP cheated: %v", out.VerifyErr)
+	}
+	fmt.Printf("cameras priced %d-%d euros (result verified against the TE):\n", q.Lo, q.Hi)
+	for i := range out.Result {
+		c := fromRecord(&out.Result[i])
+		fmt.Printf("  #%d %-10s %-15s %4d EUR\n", c.id, c.manufacturer, c.model, c.price)
+	}
+
+	// The shop adds a new model and retires one; queries stay verifiable.
+	if _, err := sys.Insert(265); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Delete(19); err != nil { // the Sony DSC-W80 is discontinued
+		log.Fatal(err)
+	}
+	out, err = sys.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.VerifyErr != nil {
+		log.Fatalf("verification failed after catalog update: %v", out.VerifyErr)
+	}
+	fmt.Printf("\nafter catalog updates, %d cameras in range — still verified\n", len(out.Result))
+}

@@ -1,0 +1,532 @@
+// Package bptree implements the conventional disk-based B+-tree the service
+// provider uses in SAE to execute range queries. It maps search keys to
+// record identifiers (RIDs) in the heap file.
+//
+// Entries are composite (key, RID) pairs and internal separators store the
+// full composite, so duplicate search keys are handled exactly (the same
+// heap-pointer tiebreak production systems use). Node layouts are
+// byte-accurate over 4096-byte pages, which is what gives the B+-tree its
+// fanout advantage over the MB-Tree in the paper's Figure 6.
+package bptree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sae/internal/heapfile"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// Entry is one indexed item: a search key plus the RID of its record.
+type Entry struct {
+	Key record.Key
+	RID heapfile.RID
+}
+
+// Compare orders entries by key, then by RID (page, slot). The RID tiebreak
+// makes every entry unique, so splits and range boundaries are exact even
+// with duplicate keys.
+func Compare(a, b Entry) int {
+	switch {
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	case a.RID.Page < b.RID.Page:
+		return -1
+	case a.RID.Page > b.RID.Page:
+		return 1
+	case a.RID.Slot < b.RID.Slot:
+		return -1
+	case a.RID.Slot > b.RID.Slot:
+		return 1
+	}
+	return 0
+}
+
+// Page layout constants. A leaf page is
+//
+//	[0] flags (1 = leaf) | [1:3] count | [3:7] next-leaf id | entries...
+//
+// with 10-byte entries (key 4, rid page 4, rid slot 2). An internal page is
+//
+//	[0] flags (0) | [1:3] count | [3:7] child0 | {separator 10, child 4}...
+const (
+	headerSize = 7
+	leafEntry  = 10
+	innerEntry = 14
+	// LeafCapacity is the maximum number of entries per leaf page.
+	LeafCapacity = (pagestore.PageSize - headerSize) / leafEntry // 408
+	// InnerCapacity is the maximum number of separators per internal page
+	// (children = separators + 1).
+	InnerCapacity = (pagestore.PageSize - headerSize) / innerEntry // 292
+)
+
+// ErrNotFound is returned by Delete when the exact (key, rid) entry is not
+// in the tree.
+var ErrNotFound = errors.New("bptree: entry not found")
+
+// Tree is a disk-based B+-tree.
+type Tree struct {
+	store  pagestore.Store
+	root   pagestore.PageID
+	height int // 1 = root is a leaf
+	count  int // live entries
+	nodes  int // allocated nodes
+}
+
+// node is the decoded in-memory form of one page.
+type node struct {
+	leaf     bool
+	next     pagestore.PageID // leaf-level sibling chain
+	entries  []Entry          // leaf: data entries; internal: separators
+	children []pagestore.PageID
+}
+
+// New creates an empty tree whose root is an empty leaf.
+func New(store pagestore.Store) (*Tree, error) {
+	t := &Tree{store: store, height: 1}
+	root, err := t.allocNode(&node{leaf: true, next: pagestore.InvalidPage})
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Bulkload builds a tree from entries, which must be sorted by Compare. All
+// leaves except possibly the last are packed full, mirroring how the data
+// owner's initial transfer is indexed.
+func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
+	for i := 1; i < len(entries); i++ {
+		if Compare(entries[i-1], entries[i]) > 0 {
+			return nil, fmt.Errorf("bptree: bulkload input not sorted at %d", i)
+		}
+	}
+	t := &Tree{store: store}
+	if len(entries) == 0 {
+		return New(store)
+	}
+
+	// Build the leaf level.
+	type built struct {
+		id  pagestore.PageID
+		min Entry
+	}
+	var level []built
+	var prevID pagestore.PageID = pagestore.InvalidPage
+	var prev *node
+	for start := 0; start < len(entries); start += LeafCapacity {
+		end := start + LeafCapacity
+		if end > len(entries) {
+			end = len(entries)
+		}
+		n := &node{leaf: true, next: pagestore.InvalidPage}
+		n.entries = append(n.entries, entries[start:end]...)
+		id, err := t.allocNode(n)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			prev.next = id
+			if err := t.writeNode(prevID, prev); err != nil {
+				return nil, err
+			}
+		}
+		prevID, prev = id, n
+		level = append(level, built{id: id, min: entries[start]})
+	}
+
+	// Build internal levels until a single root remains.
+	t.height = 1
+	for len(level) > 1 {
+		var next []built
+		for start := 0; start < len(level); start += InnerCapacity + 1 {
+			end := start + InnerCapacity + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[start:end]
+			n := &node{leaf: false}
+			n.children = append(n.children, group[0].id)
+			for _, b := range group[1:] {
+				n.entries = append(n.entries, b.min)
+				n.children = append(n.children, b.id)
+			}
+			id, err := t.allocNode(n)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, built{id: id, min: group[0].min})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	t.count = len(entries)
+	return t, nil
+}
+
+// allocNode allocates a page for n and writes it.
+func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
+	id, err := t.store.Allocate()
+	if err != nil {
+		return 0, fmt.Errorf("bptree: allocating node: %w", err)
+	}
+	t.nodes++
+	if err := t.writeNode(id, n); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
+	var buf [pagestore.PageSize]byte
+	encodeNode(buf[:], n)
+	if err := t.store.Write(id, buf[:]); err != nil {
+		return fmt.Errorf("bptree: writing node %d: %w", id, err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
+	var buf [pagestore.PageSize]byte
+	if err := t.store.Read(id, buf[:]); err != nil {
+		return nil, fmt.Errorf("bptree: reading node %d: %w", id, err)
+	}
+	return decodeNode(buf[:]), nil
+}
+
+func encodeNode(buf []byte, n *node) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = 1
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+		binary.BigEndian.PutUint32(buf[3:7], uint32(n.next))
+		off := headerSize
+		for _, e := range n.entries {
+			putEntry(buf[off:off+leafEntry], e)
+			off += leafEntry
+		}
+		return
+	}
+	buf[0] = 0
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	binary.BigEndian.PutUint32(buf[3:7], uint32(n.children[0]))
+	off := headerSize
+	for i, e := range n.entries {
+		putEntry(buf[off:off+leafEntry], e)
+		binary.BigEndian.PutUint32(buf[off+leafEntry:off+innerEntry], uint32(n.children[i+1]))
+		off += innerEntry
+	}
+}
+
+func decodeNode(buf []byte) *node {
+	n := &node{leaf: buf[0] == 1}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	if n.leaf {
+		n.next = pagestore.PageID(binary.BigEndian.Uint32(buf[3:7]))
+		n.entries = make([]Entry, count)
+		off := headerSize
+		for i := 0; i < count; i++ {
+			n.entries[i] = getEntry(buf[off : off+leafEntry])
+			off += leafEntry
+		}
+		return n
+	}
+	n.entries = make([]Entry, count)
+	n.children = make([]pagestore.PageID, 0, count+1)
+	n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[3:7])))
+	off := headerSize
+	for i := 0; i < count; i++ {
+		n.entries[i] = getEntry(buf[off : off+leafEntry])
+		n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[off+leafEntry:off+innerEntry])))
+		off += innerEntry
+	}
+	return n
+}
+
+func putEntry(buf []byte, e Entry) {
+	binary.BigEndian.PutUint32(buf[0:4], uint32(e.Key))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(e.RID.Page))
+	binary.BigEndian.PutUint16(buf[8:10], e.RID.Slot)
+}
+
+func getEntry(buf []byte) Entry {
+	return Entry{
+		Key: record.Key(binary.BigEndian.Uint32(buf[0:4])),
+		RID: heapfile.RID{
+			Page: pagestore.PageID(binary.BigEndian.Uint32(buf[4:8])),
+			Slot: binary.BigEndian.Uint16(buf[8:10]),
+		},
+	}
+}
+
+// upperBound returns the number of entries in s that are <= e.
+func upperBound(s []Entry, e Entry) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(s[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBoundKey returns the index of the first entry whose key is >= k.
+func lowerBoundKey(s []Entry, k record.Key) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Range returns the RIDs of all entries with lo <= key <= hi, in key order.
+func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
+	if lo > hi {
+		return nil, nil
+	}
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		id = n.children[lowerBoundKey(n.entries, lo)]
+	}
+	var out []heapfile.RID
+	for id != pagestore.InvalidPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		i := lowerBoundKey(n.entries, lo)
+		for ; i < len(n.entries); i++ {
+			if n.entries[i].Key > hi {
+				return out, nil
+			}
+			out = append(out, n.entries[i].RID)
+		}
+		id = n.next
+	}
+	return out, nil
+}
+
+// Insert adds an entry in O(height) node accesses, splitting on overflow.
+func (t *Tree) Insert(e Entry) error {
+	sep, right, err := t.insertAt(t.root, t.height, e)
+	if err != nil {
+		return err
+	}
+	if right != pagestore.InvalidPage {
+		// Root split: grow the tree by one level.
+		n := &node{
+			leaf:     false,
+			entries:  []Entry{sep},
+			children: []pagestore.PageID{t.root, right},
+		}
+		id, err := t.allocNode(n)
+		if err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+// insertAt inserts e into the subtree rooted at id (at the given level,
+// 1 = leaf). If the node split, it returns the separator to push up and the
+// new right sibling's id; otherwise right is InvalidPage.
+func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	if level == 1 {
+		pos := upperBound(n.entries, e)
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = e
+		if len(n.entries) <= LeafCapacity {
+			return Entry{}, pagestore.InvalidPage, t.writeNode(id, n)
+		}
+		return t.splitLeaf(id, n)
+	}
+	ci := upperBound(n.entries, e)
+	childSep, childRight, err := t.insertAt(n.children[ci], level-1, e)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	if childRight == pagestore.InvalidPage {
+		return Entry{}, pagestore.InvalidPage, nil
+	}
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[ci+1:], n.entries[ci:])
+	n.entries[ci] = childSep
+	n.children = append(n.children, pagestore.InvalidPage)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = childRight
+	if len(n.entries) <= InnerCapacity {
+		return Entry{}, pagestore.InvalidPage, t.writeNode(id, n)
+	}
+	return t.splitInner(id, n)
+}
+
+func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
+	mid := len(n.entries) / 2
+	rightNode := &node{leaf: true, next: n.next}
+	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
+	rightID, err := t.allocNode(rightNode)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	n.entries = n.entries[:mid]
+	n.next = rightID
+	if err := t.writeNode(id, n); err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	return rightNode.entries[0], rightID, nil
+}
+
+func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
+	mid := len(n.entries) / 2
+	sep := n.entries[mid]
+	rightNode := &node{leaf: false}
+	rightNode.entries = append(rightNode.entries, n.entries[mid+1:]...)
+	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
+	rightID, err := t.allocNode(rightNode)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	n.entries = n.entries[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(id, n); err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	return sep, rightID, nil
+}
+
+// Delete removes the exact (key, rid) entry. Underfull nodes are left in
+// place (the lazy-deletion policy common in production B+-trees); an empty
+// leaf stays in the sibling chain and is skipped by scans.
+func (t *Tree) Delete(e Entry) error {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		id = n.children[upperBound(n.entries, e)]
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	for i, cur := range n.entries {
+		if Compare(cur, e) == 0 {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			if err := t.writeNode(id, n); err != nil {
+				return err
+			}
+			t.count--
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: key=%d rid=%v", ErrNotFound, e.Key, e.RID)
+}
+
+// Count returns the number of live entries.
+func (t *Tree) Count() int { return t.count }
+
+// Height returns the number of levels (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of allocated tree nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Bytes returns the tree's storage footprint.
+func (t *Tree) Bytes() int64 { return int64(t.nodes) * pagestore.PageSize }
+
+// Validate walks the whole tree checking structural invariants: entry
+// ordering, separator bounds, leaf chain order and entry count. Tests call
+// it after randomized workloads.
+func (t *Tree) Validate() error {
+	seen := 0
+	var last *Entry
+	var walk func(id pagestore.PageID, level int, lo, hi *Entry) error
+	walk = func(id pagestore.PageID, level int, lo, hi *Entry) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if (level == 1) != n.leaf {
+			return fmt.Errorf("bptree: node %d leaf flag inconsistent with level %d", id, level)
+		}
+		for i := 1; i < len(n.entries); i++ {
+			if Compare(n.entries[i-1], n.entries[i]) >= 0 {
+				return fmt.Errorf("bptree: node %d entries out of order at %d", id, i)
+			}
+		}
+		for _, e := range n.entries {
+			if lo != nil && Compare(e, *lo) < 0 {
+				return fmt.Errorf("bptree: node %d entry below lower bound", id)
+			}
+			if hi != nil && Compare(e, *hi) >= 0 {
+				return fmt.Errorf("bptree: node %d entry above upper bound", id)
+			}
+		}
+		if n.leaf {
+			for i := range n.entries {
+				if last != nil && Compare(*last, n.entries[i]) >= 0 {
+					return fmt.Errorf("bptree: leaf chain out of order at node %d", id)
+				}
+				e := n.entries[i]
+				last = &e
+				seen++
+			}
+			return nil
+		}
+		if len(n.children) != len(n.entries)+1 {
+			return fmt.Errorf("bptree: node %d has %d children for %d separators", id, len(n.children), len(n.entries))
+		}
+		for i, c := range n.children {
+			var clo, chi *Entry
+			if i == 0 {
+				clo = lo
+			} else {
+				clo = &n.entries[i-1]
+			}
+			if i == len(n.entries) {
+				chi = hi
+			} else {
+				chi = &n.entries[i]
+			}
+			if err := walk(c, level-1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height, nil, nil); err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("bptree: walked %d entries, tree says %d", seen, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package bptree
+
+import (
+	"fmt"
+
+	"sae/internal/pagestore"
+)
+
+// Meta is the tree's out-of-page state: everything needed to reattach to a
+// reopened page store. Persist it alongside the page file (package
+// internal/snapshot does).
+type Meta struct {
+	Root   pagestore.PageID
+	Height int
+	Count  int
+	Nodes  int
+}
+
+// Meta captures the tree's current metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, Count: t.count, Nodes: t.nodes}
+}
+
+// Open reattaches a tree to a store that already contains its pages.
+func Open(store pagestore.Store, m Meta) (*Tree, error) {
+	if m.Height < 1 {
+		return nil, fmt.Errorf("bptree: invalid meta height %d", m.Height)
+	}
+	t := &Tree{store: store, root: m.Root, height: m.Height, count: m.Count, nodes: m.Nodes}
+	// Sanity probe: walking the leftmost path must reach a leaf exactly at
+	// level 1, so a stale or corrupt height is caught before first use.
+	id := t.root
+	for level := m.Height; ; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, fmt.Errorf("bptree: opening level %d: %w", level, err)
+		}
+		if n.leaf != (level == 1) {
+			return nil, fmt.Errorf("bptree: meta height %d inconsistent with node depth", m.Height)
+		}
+		if n.leaf {
+			break
+		}
+		id = n.children[0]
+	}
+	return t, nil
+}

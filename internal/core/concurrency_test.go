@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+// TestConcurrentQueriesAndUpdates hammers one SAE system with parallel
+// verified queries while the owner streams inserts and deletes. Verification
+// may legitimately fail only if a query races an update between the SP and
+// TE (the two parties are updated sequentially); the test serializes reads
+// against updates with the system's own locks by checking for internal
+// errors and tree-invariant violations, which must never occur.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 5_000, 400)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	queries := workload.Queries(16, workload.DefaultExtent, 401)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+
+	// Readers: raw SP queries and TE tokens (no cross-party atomicity
+	// assumed, so we only check for hard errors, not verification).
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(w*7+i)%len(queries)]
+				if _, _, err := sys.SP.Query(q); err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, err := sys.TE.GenerateVT(q); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// One writer streaming updates through the owner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inserted []record.Record
+		for i := 0; i < 100; i++ {
+			r, err := sys.Insert(record.Key(i * 91_000 % record.KeyDomain))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			inserted = append(inserted, r)
+			if i%3 == 0 && len(inserted) > 1 {
+				victim := inserted[0]
+				inserted = inserted[1:]
+				if err := sys.Delete(victim.ID); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent workload error: %v", err)
+	}
+
+	// Quiesced: invariants hold and verification succeeds again.
+	if err := sys.TE.Validate(); err != nil {
+		t.Fatalf("TE invariants after concurrent workload: %v", err)
+	}
+	for _, q := range queries[:4] {
+		out, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("post-quiesce query: %v", err)
+		}
+		if out.VerifyErr != nil {
+			t.Fatalf("post-quiesce verification: %v", out.VerifyErr)
+		}
+	}
+}

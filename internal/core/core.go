@@ -1,0 +1,406 @@
+// Package core implements SAE — Separating Authentication from query
+// Execution — the paper's outsourcing model. Four parties cooperate:
+//
+//   - DataOwner (DO): owns relation R; ships it (and updates) to the SP and
+//     the TE, and otherwise does nothing.
+//   - ServiceProvider (SP): stores R in a conventional DBMS (clustered heap
+//     file + plain B+-tree) and answers range queries with just the result —
+//     no authentication structures, no VO.
+//   - TrustedEntity (TE): keeps one (id, key, digest) tuple per record in an
+//     XB-Tree and answers a verification request with a 20-byte token (VT):
+//     the XOR of the digests of the true result.
+//   - Client: queries the SP and the TE in parallel, hashes the records it
+//     received, XORs the digests and compares with the VT. A match proves
+//     the result sound and complete (finding sets DS, IS with DS⊕ == IS⊕ is
+//     computationally infeasible).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sae/internal/bptree"
+	"sae/internal/costmodel"
+	"sae/internal/digest"
+	"sae/internal/heapfile"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/xbtree"
+)
+
+// VTSize is the verification token's size in bytes: one digest, regardless
+// of the result cardinality. (Compare with TOM's VOs in package mbtree.)
+const VTSize = digest.Size
+
+// ErrVerificationFailed is returned by the client when the SP's result does
+// not match the TE's token.
+var ErrVerificationFailed = errors.New("core: result failed verification against the TE token")
+
+// Tamper mutates a result set before it leaves a malicious SP. The identity
+// (nil) tamper models an honest SP.
+type Tamper func([]record.Record) []record.Record
+
+// DropTamper omits the i-th result record (completeness attack: DS ≠ ∅).
+func DropTamper(i int) Tamper {
+	return func(rs []record.Record) []record.Record {
+		if i < 0 || i >= len(rs) {
+			return rs
+		}
+		out := make([]record.Record, 0, len(rs)-1)
+		out = append(out, rs[:i]...)
+		return append(out, rs[i+1:]...)
+	}
+}
+
+// InjectTamper appends a bogus record (soundness attack: IS ≠ ∅).
+func InjectTamper(fake record.Record) Tamper {
+	return func(rs []record.Record) []record.Record {
+		out := make([]record.Record, 0, len(rs)+1)
+		out = append(out, rs...)
+		return append(out, fake)
+	}
+}
+
+// ModifyTamper flips payload bytes of the i-th record (equivalent to one
+// drop plus one inject).
+func ModifyTamper(i int) Tamper {
+	return func(rs []record.Record) []record.Record {
+		if i < 0 || i >= len(rs) {
+			return rs
+		}
+		out := append([]record.Record(nil), rs...)
+		out[i].Payload[0] ^= 0xFF
+		return out
+	}
+}
+
+// ServiceProvider executes queries on a conventional DBMS substrate. It is
+// safe for concurrent queries interleaved with updates.
+type ServiceProvider struct {
+	mu     sync.RWMutex
+	store  *pagestore.Counting
+	heap   *heapfile.File
+	index  *bptree.Tree
+	byID   map[record.ID]heapfile.RID // catalog for update routing
+	tamper Tamper
+}
+
+// NewServiceProvider returns an SP backed by the given page store (pass a
+// file-backed store for on-disk experiments).
+func NewServiceProvider(store pagestore.Store) *ServiceProvider {
+	return &ServiceProvider{
+		store: pagestore.NewCounting(store),
+		byID:  make(map[record.ID]heapfile.RID),
+	}
+}
+
+// Load receives the owner's initial dataset (sorted by key) and builds the
+// clustered heap file plus the B+-tree.
+func (sp *ServiceProvider) Load(records []record.Record) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	heap, rids, err := heapfile.Build(sp.store, records)
+	if err != nil {
+		return fmt.Errorf("core: SP loading heap: %w", err)
+	}
+	entries := make([]bptree.Entry, len(records))
+	for i := range records {
+		entries[i] = bptree.Entry{Key: records[i].Key, RID: rids[i]}
+		sp.byID[records[i].ID] = rids[i]
+	}
+	index, err := bptree.Bulkload(sp.store, entries)
+	if err != nil {
+		return fmt.Errorf("core: SP loading index: %w", err)
+	}
+	sp.heap = heap
+	sp.index = index
+	return nil
+}
+
+// QueryCost splits a provider's query execution cost into its two phases:
+// the index work (traversal plus leaf-level scan; for TOM this includes VO
+// assembly) and the dataset-file fetch. The paper's Figure 6 contrast —
+// SAE's B+-tree beating TOM's MB-Tree by 24-39% — lives in the Index
+// component; the Fetch component is identical in both models because both
+// return the same records.
+type QueryCost struct {
+	Index costmodel.Breakdown
+	Fetch costmodel.Breakdown
+}
+
+// Total combines both phases.
+func (qc QueryCost) Total() costmodel.Breakdown { return qc.Index.Add(qc.Fetch) }
+
+// Query answers a range query: B+-tree range scan, then a clustered fetch
+// from the dataset file — exactly what a conventional DBMS does, with zero
+// authentication overhead. The returned cost prices the node accesses of
+// each phase.
+func (sp *ServiceProvider) Query(q record.Range) ([]record.Record, QueryCost, error) {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	var qc QueryCost
+	before := sp.store.Stats()
+	start := time.Now()
+	rids, err := sp.index.Range(q.Lo, q.Hi)
+	if err != nil {
+		return nil, qc, fmt.Errorf("core: SP range scan: %w", err)
+	}
+	mid := sp.store.Stats()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), time.Since(start))
+	start = time.Now()
+	recs, err := sp.heap.GetMany(rids)
+	if err != nil {
+		return nil, qc, fmt.Errorf("core: SP record fetch: %w", err)
+	}
+	qc.Fetch = costmodel.Default.Measure(sp.store.Stats().Sub(mid), time.Since(start))
+	if sp.tamper != nil {
+		recs = sp.tamper(recs)
+	}
+	return recs, qc, nil
+}
+
+// ApplyInsert stores a new record from the owner.
+func (sp *ServiceProvider) ApplyInsert(r record.Record) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	rid, err := sp.heap.Append(r)
+	if err != nil {
+		return fmt.Errorf("core: SP inserting record: %w", err)
+	}
+	if err := sp.index.Insert(bptree.Entry{Key: r.Key, RID: rid}); err != nil {
+		return fmt.Errorf("core: SP indexing record: %w", err)
+	}
+	sp.byID[r.ID] = rid
+	return nil
+}
+
+// ApplyDelete removes a record by id and key.
+func (sp *ServiceProvider) ApplyDelete(id record.ID, key record.Key) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	rid, ok := sp.byID[id]
+	if !ok {
+		return fmt.Errorf("core: SP has no record with id %d", id)
+	}
+	if err := sp.index.Delete(bptree.Entry{Key: key, RID: rid}); err != nil {
+		return fmt.Errorf("core: SP unindexing record: %w", err)
+	}
+	if err := sp.heap.Delete(rid); err != nil {
+		return fmt.Errorf("core: SP deleting record: %w", err)
+	}
+	delete(sp.byID, id)
+	return nil
+}
+
+// SetTamper installs (or clears, with nil) result tampering, turning the SP
+// malicious for attack experiments.
+func (sp *ServiceProvider) SetTamper(t Tamper) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.tamper = t
+}
+
+// Stats exposes the SP's page-access counters.
+func (sp *ServiceProvider) Stats() pagestore.Stats { return sp.store.Stats() }
+
+// StorageBytes returns the SP's total footprint (dataset + index), the
+// quantity of Figure 8.
+func (sp *ServiceProvider) StorageBytes() int64 {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.heap.Bytes() + sp.index.Bytes()
+}
+
+// HeapBytes returns only the dataset file's footprint.
+func (sp *ServiceProvider) HeapBytes() int64 {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.heap.Bytes()
+}
+
+// IndexHeight returns the B+-tree height (accessible for experiments).
+func (sp *ServiceProvider) IndexHeight() int {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.index.Height()
+}
+
+// TrustedEntity maintains the XB-Tree and issues verification tokens.
+type TrustedEntity struct {
+	mu    sync.RWMutex
+	store *pagestore.Counting
+	tree  *xbtree.Tree
+}
+
+// NewTrustedEntity returns a TE backed by the given page store.
+func NewTrustedEntity(store pagestore.Store) *TrustedEntity {
+	return &TrustedEntity{store: pagestore.NewCounting(store)}
+}
+
+// Load receives the owner's initial dataset (sorted by key), projects each
+// record to its (id, digest) tuple, and bulk-loads the XB-Tree. The TE
+// discards everything else about the records.
+func (te *TrustedEntity) Load(records []record.Record) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	var items []xbtree.KeyTuples
+	for i := range records {
+		tup := xbtree.Tuple{ID: records[i].ID, Digest: digest.OfRecord(&records[i])}
+		if n := len(items); n > 0 && items[n-1].Key == records[i].Key {
+			items[n-1].Tuples = append(items[n-1].Tuples, tup)
+		} else {
+			items = append(items, xbtree.KeyTuples{Key: records[i].Key, Tuples: []xbtree.Tuple{tup}})
+		}
+	}
+	tree, err := xbtree.Bulkload(te.store, items)
+	if err != nil {
+		return fmt.Errorf("core: TE loading XB-Tree: %w", err)
+	}
+	te.tree = tree
+	return nil
+}
+
+// GenerateVT computes the verification token for q — the XOR of the digests
+// of all records whose key falls in q — in O(log n) node accesses.
+func (te *TrustedEntity) GenerateVT(q record.Range) (digest.Digest, costmodel.Breakdown, error) {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	before := te.store.Stats()
+	start := time.Now()
+	vt, err := te.tree.GenerateVT(q.Lo, q.Hi)
+	if err != nil {
+		return digest.Zero, costmodel.Breakdown{}, fmt.Errorf("core: TE token generation: %w", err)
+	}
+	cost := costmodel.Default.Measure(te.store.Stats().Sub(before), time.Since(start))
+	return vt, cost, nil
+}
+
+// ApplyInsert registers a new record from the owner.
+func (te *TrustedEntity) ApplyInsert(r record.Record) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	tup := xbtree.Tuple{ID: r.ID, Digest: digest.OfRecord(&r)}
+	if err := te.tree.Insert(r.Key, tup); err != nil {
+		return fmt.Errorf("core: TE inserting tuple: %w", err)
+	}
+	return nil
+}
+
+// ApplyDelete removes a record's tuple by id and key.
+func (te *TrustedEntity) ApplyDelete(id record.ID, key record.Key) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	if err := te.tree.Delete(key, id); err != nil {
+		return fmt.Errorf("core: TE deleting tuple: %w", err)
+	}
+	return nil
+}
+
+// Stats exposes the TE's page-access counters.
+func (te *TrustedEntity) Stats() pagestore.Stats { return te.store.Stats() }
+
+// StorageBytes returns the TE's footprint: XB-Tree nodes plus tuple lists.
+func (te *TrustedEntity) StorageBytes() int64 {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	return te.tree.Bytes()
+}
+
+// Validate re-checks the XB-Tree's invariants (tests and tooling).
+func (te *TrustedEntity) Validate() error {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	return te.tree.Validate()
+}
+
+// Client verifies SP results against TE tokens.
+type Client struct{}
+
+// Verify hashes every received record, XORs the digests and compares with
+// the token; it also rejects records outside the queried range outright.
+// The measured breakdown is pure CPU (the client touches no pages) — this
+// is the quantity of Figure 7.
+func (Client) Verify(q record.Range, result []record.Record, vt digest.Digest) (costmodel.Breakdown, error) {
+	start := time.Now()
+	var acc digest.Accumulator
+	for i := range result {
+		if !q.Contains(result[i].Key) {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, result[i].ID, result[i].Key, q)
+		}
+		acc.Add(digest.OfRecord(&result[i]))
+	}
+	cost := costmodel.Breakdown{CPU: time.Since(start)}
+	if acc.Sum() != vt {
+		return cost, fmt.Errorf("%w: digest XOR mismatch for %v", ErrVerificationFailed, q)
+	}
+	return cost, nil
+}
+
+// DataOwner holds the authoritative relation and pushes it (and updates) to
+// the SP and TE. It maintains no authentication structures — the point of
+// SAE.
+type DataOwner struct {
+	mu     sync.Mutex
+	byID   map[record.ID]record.Record
+	nextID record.ID
+}
+
+// NewDataOwner wraps an initial dataset.
+func NewDataOwner(records []record.Record) *DataOwner {
+	do := &DataOwner{byID: make(map[record.ID]record.Record, len(records)), nextID: 1}
+	for i := range records {
+		do.byID[records[i].ID] = records[i]
+		if records[i].ID >= do.nextID {
+			do.nextID = records[i].ID + 1
+		}
+	}
+	return do
+}
+
+// Outsource transmits the full dataset to both parties.
+func (do *DataOwner) Outsource(sp *ServiceProvider, te *TrustedEntity, sorted []record.Record) error {
+	if err := sp.Load(sorted); err != nil {
+		return err
+	}
+	return te.Load(sorted)
+}
+
+// Insert creates a record with a fresh id and propagates it.
+func (do *DataOwner) Insert(key record.Key, sp *ServiceProvider, te *TrustedEntity) (record.Record, error) {
+	do.mu.Lock()
+	r := record.Synthesize(do.nextID, key)
+	do.nextID++
+	do.byID[r.ID] = r
+	do.mu.Unlock()
+	if err := sp.ApplyInsert(r); err != nil {
+		return r, err
+	}
+	return r, te.ApplyInsert(r)
+}
+
+// Delete removes a record by id and propagates the deletion.
+func (do *DataOwner) Delete(id record.ID, sp *ServiceProvider, te *TrustedEntity) error {
+	do.mu.Lock()
+	r, ok := do.byID[id]
+	if ok {
+		delete(do.byID, id)
+	}
+	do.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: owner has no record with id %d", id)
+	}
+	if err := sp.ApplyDelete(id, r.Key); err != nil {
+		return err
+	}
+	return te.ApplyDelete(id, r.Key)
+}
+
+// Count returns the owner's live record count.
+func (do *DataOwner) Count() int {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	return len(do.byID)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sae/internal/costmodel"
+	"sae/internal/digest"
+	"sae/internal/memxb"
+	"sae/internal/record"
+)
+
+// MemTrustedEntity is the main-memory TE variant the paper's §IV suggests:
+// since the TE's footprint is a small fraction of the dataset, it can drop
+// the disk-based XB-Tree for a RAM-resident index (here an XOR Fenwick
+// tree). Token generation then costs zero node accesses — only CPU.
+//
+// It offers the same operations as TrustedEntity and can replace it behind
+// the protocol: clients cannot tell the difference.
+type MemTrustedEntity struct {
+	mu  sync.RWMutex
+	idx *memxb.Index
+}
+
+// NewMemTrustedEntity returns an empty in-memory TE.
+func NewMemTrustedEntity() *MemTrustedEntity {
+	return &MemTrustedEntity{idx: memxb.New(nil)}
+}
+
+// Load ingests the owner's initial dataset (sorted by key).
+func (te *MemTrustedEntity) Load(records []record.Record) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	items := make(map[record.Key][]memxb.Tuple, len(records))
+	for i := range records {
+		r := &records[i]
+		items[r.Key] = append(items[r.Key], memxb.Tuple{ID: r.ID, Digest: digest.OfRecord(r)})
+	}
+	te.idx = memxb.New(items)
+	return nil
+}
+
+// GenerateVT computes the verification token; the breakdown is pure CPU.
+func (te *MemTrustedEntity) GenerateVT(q record.Range) (digest.Digest, costmodel.Breakdown, error) {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	start := time.Now()
+	vt := te.idx.GenerateVT(q.Lo, q.Hi)
+	return vt, costmodel.Breakdown{CPU: time.Since(start)}, nil
+}
+
+// ApplyInsert registers a new record from the owner.
+func (te *MemTrustedEntity) ApplyInsert(r record.Record) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	te.idx.Insert(r.Key, memxb.Tuple{ID: r.ID, Digest: digest.OfRecord(&r)})
+	return nil
+}
+
+// ApplyDelete removes a record's tuple.
+func (te *MemTrustedEntity) ApplyDelete(id record.ID, key record.Key) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	if err := te.idx.Delete(key, id); err != nil {
+		return fmt.Errorf("core: in-memory TE delete: %w", err)
+	}
+	return nil
+}
+
+// StorageBytes estimates the index's RAM footprint.
+func (te *MemTrustedEntity) StorageBytes() int64 {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	return te.idx.Bytes()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sae/internal/workload"
+)
+
+// TestMemTEAgreesWithDiskTE: both TE variants must produce identical tokens
+// for every query — clients cannot tell them apart.
+func TestMemTEAgreesWithDiskTE(t *testing.T) {
+	sys, ds := newTestSystem(t, 4000, workload.SKW)
+	mem := NewMemTrustedEntity()
+	if err := mem.Load(ds.Records); err != nil {
+		t.Fatalf("mem Load: %v", err)
+	}
+	for _, q := range workload.Queries(40, workload.DefaultExtent, 600) {
+		disk, _, err := sys.TE.GenerateVT(q)
+		if err != nil {
+			t.Fatalf("disk TE: %v", err)
+		}
+		ram, cost, err := mem.GenerateVT(q)
+		if err != nil {
+			t.Fatalf("mem TE: %v", err)
+		}
+		if disk != ram {
+			t.Fatalf("TE variants disagree on %v", q)
+		}
+		if cost.Accesses != 0 {
+			t.Fatalf("in-memory TE charged %d node accesses", cost.Accesses)
+		}
+	}
+}
+
+// TestMemTEVerifiesClientResults runs the full protocol with the in-memory
+// TE substituted, including updates and an attack.
+func TestMemTEVerifiesClientResults(t *testing.T) {
+	sys, ds := newTestSystem(t, 3000, workload.UNF)
+	mem := NewMemTrustedEntity()
+	if err := mem.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	var client Client
+	q, want := busyQuery(t, sys, ds)
+
+	recs, _, err := sys.SP.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("result size %d, want %d", len(recs), len(want))
+	}
+	vt, _, err := mem.GenerateVT(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, recs, vt); err != nil {
+		t.Fatalf("honest result rejected under in-memory TE: %v", err)
+	}
+
+	// Updates flow to both SP and the in-memory TE.
+	fresh, err := sys.Insert(q.Lo + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ApplyInsert(fresh); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = sys.SP.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, _, err = mem.GenerateVT(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, recs, vt); err != nil {
+		t.Fatalf("verification failed after update: %v", err)
+	}
+
+	// A tampering SP is still caught.
+	sys.SP.SetTamper(DropTamper(0))
+	recs, _, err = sys.SP.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, recs, vt); !errors.Is(err, ErrVerificationFailed) {
+		t.Fatal("drop attack not detected under in-memory TE")
+	}
+	sys.SP.SetTamper(nil)
+
+	if err := mem.ApplyDelete(fresh.ID, fresh.Key); err != nil {
+		t.Fatalf("ApplyDelete: %v", err)
+	}
+	if err := mem.ApplyDelete(fresh.ID, fresh.Key); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if mem.StorageBytes() <= 0 {
+		t.Fatal("StorageBytes must be positive")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sae/internal/bptree"
+	"sae/internal/heapfile"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/xbtree"
+)
+
+// Snapshots let the SAE parties restart without re-receiving the dataset
+// from the owner: pages live in a persistent page store
+// (pagestore.CreateFile / ReopenFile), and the out-of-page metadata —
+// tree anchors, the heap's page list — is written here as a small binary
+// blob. The SP's id→RID catalog is rebuilt from a heap walk on restore.
+
+const (
+	spSnapshotMagic = "SAESP001"
+	teSnapshotMagic = "SAETE001"
+)
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// SaveSnapshot writes the SP's metadata. The page store itself must be
+// persisted by the caller (it already is when backed by a file store).
+func (sp *ServiceProvider) SaveSnapshot(w io.Writer) error {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(spSnapshotMagic); err != nil {
+		return fmt.Errorf("core: writing SP snapshot: %w", err)
+	}
+	hm := sp.heap.Meta()
+	if err := writeU32(bw, uint32(len(hm.Pages))); err != nil {
+		return err
+	}
+	for _, p := range hm.Pages {
+		if err := writeU32(bw, uint32(p)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(hm.Live)); err != nil {
+		return err
+	}
+	im := sp.index.Meta()
+	for _, v := range []uint32{uint32(im.Root), uint32(im.Height), uint32(im.Count), uint32(im.Nodes)} {
+		if err := writeU32(bw, v); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flushing SP snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreServiceProvider rebuilds an SP from a reopened page store and a
+// snapshot written by SaveSnapshot. The id→RID catalog is reconstructed by
+// walking the heap.
+func RestoreServiceProvider(store pagestore.Store, r io.Reader) (*ServiceProvider, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(spSnapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading SP snapshot header: %w", err)
+	}
+	if string(magic) != spSnapshotMagic {
+		return nil, fmt.Errorf("core: bad SP snapshot magic %q", magic)
+	}
+	nPages, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading SP snapshot: %w", err)
+	}
+	hm := heapfile.Meta{Pages: make([]pagestore.PageID, nPages)}
+	for i := range hm.Pages {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading SP snapshot: %w", err)
+		}
+		hm.Pages[i] = pagestore.PageID(v)
+	}
+	live, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading SP snapshot: %w", err)
+	}
+	hm.Live = int(live)
+	var vals [4]uint32
+	for i := range vals {
+		if vals[i], err = readU32(br); err != nil {
+			return nil, fmt.Errorf("core: reading SP snapshot: %w", err)
+		}
+	}
+	sp := &ServiceProvider{
+		store: pagestore.NewCounting(store),
+		byID:  make(map[record.ID]heapfile.RID, hm.Live),
+	}
+	sp.heap = heapfile.Open(sp.store, hm)
+	index, err := bptree.Open(sp.store, bptree.Meta{
+		Root:   pagestore.PageID(vals[0]),
+		Height: int(vals[1]),
+		Count:  int(vals[2]),
+		Nodes:  int(vals[3]),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring SP index: %w", err)
+	}
+	sp.index = index
+	if err := sp.heap.Walk(func(rid heapfile.RID, r record.Record) error {
+		sp.byID[r.ID] = rid
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("core: rebuilding SP catalog: %w", err)
+	}
+	return sp, nil
+}
+
+// SaveSnapshot writes the TE's metadata.
+func (te *TrustedEntity) SaveSnapshot(w io.Writer) error {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(teSnapshotMagic); err != nil {
+		return fmt.Errorf("core: writing TE snapshot: %w", err)
+	}
+	m := te.tree.Meta()
+	for _, v := range []uint32{
+		uint32(m.Root), uint32(m.Height), uint32(m.Nodes),
+		uint32(m.Tuples), uint32(m.Keys), uint32(m.ListPages), uint32(m.FillPage),
+	} {
+		if err := writeU32(bw, v); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flushing TE snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreTrustedEntity rebuilds a TE from a reopened page store and a
+// snapshot written by SaveSnapshot.
+func RestoreTrustedEntity(store pagestore.Store, r io.Reader) (*TrustedEntity, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(teSnapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading TE snapshot header: %w", err)
+	}
+	if string(magic) != teSnapshotMagic {
+		return nil, fmt.Errorf("core: bad TE snapshot magic %q", magic)
+	}
+	var vals [7]uint32
+	for i := range vals {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading TE snapshot: %w", err)
+		}
+		vals[i] = v
+	}
+	te := &TrustedEntity{store: pagestore.NewCounting(store)}
+	tree, err := xbtree.Open(te.store, xbtree.Meta{
+		Root:      pagestore.PageID(vals[0]),
+		Height:    int(vals[1]),
+		Nodes:     int(vals[2]),
+		Tuples:    int(vals[3]),
+		Keys:      int(vals[4]),
+		ListPages: int(vals[5]),
+		FillPage:  pagestore.PageID(vals[6]),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring TE tree: %w", err)
+	}
+	te.tree = tree
+	return te, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+// TestSnapshotRoundTripMem snapshots and restores over the same in-memory
+// store (pure metadata round trip).
+func TestSnapshotRoundTripMem(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 300)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	spStore := pagestore.NewMem()
+	teStore := pagestore.NewMem()
+	sp := NewServiceProvider(spStore)
+	te := NewTrustedEntity(teStore)
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+
+	var spBuf, teBuf bytes.Buffer
+	if err := sp.SaveSnapshot(&spBuf); err != nil {
+		t.Fatalf("SP SaveSnapshot: %v", err)
+	}
+	if err := te.SaveSnapshot(&teBuf); err != nil {
+		t.Fatalf("TE SaveSnapshot: %v", err)
+	}
+
+	sp2, err := RestoreServiceProvider(spStore, &spBuf)
+	if err != nil {
+		t.Fatalf("RestoreServiceProvider: %v", err)
+	}
+	te2, err := RestoreTrustedEntity(teStore, &teBuf)
+	if err != nil {
+		t.Fatalf("RestoreTrustedEntity: %v", err)
+	}
+
+	// The restored pair must answer verified queries identically.
+	var client Client
+	for _, q := range workload.Queries(10, workload.DefaultExtent, 301) {
+		recs, _, err := sp2.Query(q)
+		if err != nil {
+			t.Fatalf("restored SP query: %v", err)
+		}
+		vt, _, err := te2.GenerateVT(q)
+		if err != nil {
+			t.Fatalf("restored TE token: %v", err)
+		}
+		if _, err := client.Verify(q, recs, vt); err != nil {
+			t.Fatalf("restored system failed verification: %v", err)
+		}
+	}
+	if err := te2.Validate(); err != nil {
+		t.Fatalf("restored TE invariants: %v", err)
+	}
+}
+
+// TestSnapshotSurvivesProcessRestart uses persistent file stores: build,
+// snapshot, close everything, reopen from disk, keep serving — including
+// updates after the restore.
+func TestSnapshotSurvivesProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	spPages := filepath.Join(dir, "sp.pages")
+	tePages := filepath.Join(dir, "te.pages")
+	spMeta := filepath.Join(dir, "sp.meta")
+	teMeta := filepath.Join(dir, "te.meta")
+
+	ds, err := workload.Generate(workload.SKW, 2000, 302)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	// --- Session 1: build and snapshot.
+	{
+		spStore, err := pagestore.CreateFile(spPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teStore, err := pagestore.CreateFile(tePages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := NewServiceProvider(spStore)
+		te := NewTrustedEntity(teStore)
+		if err := sp.Load(ds.Records); err != nil {
+			t.Fatal(err)
+		}
+		if err := te.Load(ds.Records); err != nil {
+			t.Fatal(err)
+		}
+		for path, save := range map[string]func(w io.Writer) error{
+			spMeta: sp.SaveSnapshot,
+			teMeta: te.SaveSnapshot,
+		} {
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := save(f); err != nil {
+				t.Fatalf("snapshot %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := spStore.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := teStore.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Session 2: reopen from disk.
+	spStore, err := pagestore.ReopenFile(spPages)
+	if err != nil {
+		t.Fatalf("ReopenFile(sp): %v", err)
+	}
+	defer spStore.Close()
+	teStore, err := pagestore.ReopenFile(tePages)
+	if err != nil {
+		t.Fatalf("ReopenFile(te): %v", err)
+	}
+	defer teStore.Close()
+
+	spMetaF, err := os.Open(spMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spMetaF.Close()
+	sp, err := RestoreServiceProvider(spStore, spMetaF)
+	if err != nil {
+		t.Fatalf("RestoreServiceProvider: %v", err)
+	}
+	teMetaF, err := os.Open(teMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teMetaF.Close()
+	te, err := RestoreTrustedEntity(teStore, teMetaF)
+	if err != nil {
+		t.Fatalf("RestoreTrustedEntity: %v", err)
+	}
+
+	var client Client
+	q := workload.Queries(1, workload.DefaultExtent, 303)[0]
+	recs, _, err := sp.Query(q)
+	if err != nil {
+		t.Fatalf("post-restart query: %v", err)
+	}
+	vt, _, err := te.GenerateVT(q)
+	if err != nil {
+		t.Fatalf("post-restart token: %v", err)
+	}
+	if _, err := client.Verify(q, recs, vt); err != nil {
+		t.Fatalf("post-restart verification: %v", err)
+	}
+
+	// Updates must still flow after the restore.
+	fresh := record.Synthesize(500_001, q.Lo+1)
+	if err := sp.ApplyInsert(fresh); err != nil {
+		t.Fatalf("post-restart insert at SP: %v", err)
+	}
+	if err := te.ApplyInsert(fresh); err != nil {
+		t.Fatalf("post-restart insert at TE: %v", err)
+	}
+	recs, _, err = sp.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, _, err = te.GenerateVT(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, recs, vt); err != nil {
+		t.Fatalf("verification after post-restart update: %v", err)
+	}
+	if err := sp.ApplyDelete(fresh.ID, fresh.Key); err != nil {
+		t.Fatalf("post-restart delete at SP: %v", err)
+	}
+	if err := te.ApplyDelete(fresh.ID, fresh.Key); err != nil {
+		t.Fatalf("post-restart delete at TE: %v", err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreServiceProvider(pagestore.NewMem(), bytes.NewReader([]byte("junkjunk"))); err == nil {
+		t.Fatal("RestoreServiceProvider accepted garbage")
+	}
+	if _, err := RestoreTrustedEntity(pagestore.NewMem(), bytes.NewReader([]byte("ALSOBAD!"))); err == nil {
+		t.Fatal("RestoreTrustedEntity accepted garbage")
+	}
+	if _, err := RestoreTrustedEntity(pagestore.NewMem(), bytes.NewReader([]byte("SAETE001"))); err == nil {
+		t.Fatal("RestoreTrustedEntity accepted a truncated snapshot")
+	}
+}

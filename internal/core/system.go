@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sae/internal/costmodel"
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// System wires the four SAE parties together over in-memory page stores —
+// the one-call entry point examples and experiments use.
+type System struct {
+	Owner  *DataOwner
+	SP     *ServiceProvider
+	TE     *TrustedEntity
+	Client Client
+}
+
+// NewSystem outsources a dataset (must be sorted by key, as produced by
+// workload.Generate) and returns the assembled system.
+func NewSystem(sorted []record.Record) (*System, error) {
+	s := &System{
+		Owner: NewDataOwner(sorted),
+		SP:    NewServiceProvider(pagestore.NewMem()),
+		TE:    NewTrustedEntity(pagestore.NewMem()),
+	}
+	if err := s.Owner.Outsource(s.SP, s.TE, sorted); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// QueryOutcome captures one verified query round-trip and its per-party
+// costs.
+type QueryOutcome struct {
+	Result []record.Record
+	VT     digest.Digest
+	// SPCost is the provider's query execution cost (index + fetch);
+	// TECost the trusted entity's token generation; ClientCost the
+	// client-side verification.
+	SPCost     QueryCost
+	TECost     costmodel.Breakdown
+	ClientCost costmodel.Breakdown
+	// VerifyErr is nil iff the result verified as sound and complete.
+	VerifyErr error
+}
+
+// ResponseTime models the client-perceived latency: the SP and TE work in
+// parallel (the client sends the query to both simultaneously, per the
+// paper), then the client verifies.
+func (o *QueryOutcome) ResponseTime() costmodel.Breakdown {
+	slower := o.SPCost.Total()
+	if o.TECost.Total() > slower.Total() {
+		slower = o.TECost
+	}
+	return slower.Add(o.ClientCost)
+}
+
+// Query runs the full SAE protocol for one range query: the SP computes the
+// result, the TE generates the token, and the client verifies.
+func (s *System) Query(q record.Range) (*QueryOutcome, error) {
+	result, spCost, err := s.SP.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	vt, teCost, err := s.TE.GenerateVT(q)
+	if err != nil {
+		return nil, err
+	}
+	clientCost, verifyErr := s.Client.Verify(q, result, vt)
+	return &QueryOutcome{
+		Result:     result,
+		VT:         vt,
+		SPCost:     spCost,
+		TECost:     teCost,
+		ClientCost: clientCost,
+		VerifyErr:  verifyErr,
+	}, nil
+}
+
+// Insert routes an owner-side insertion of a fresh record with the given
+// key through to both the SP and the TE.
+func (s *System) Insert(key record.Key) (record.Record, error) {
+	return s.Owner.Insert(key, s.SP, s.TE)
+}
+
+// Delete routes an owner-side deletion through to both parties.
+func (s *System) Delete(id record.ID) error {
+	return s.Owner.Delete(id, s.SP, s.TE)
+}

@@ -1,0 +1,151 @@
+// Package digest implements the 20-byte record digests and the XOR
+// aggregation that underpin both outsourcing models.
+//
+// In SAE the trusted entity stores one digest per record and answers a range
+// query with the XOR of the digests of the qualifying records (the
+// verification token, S⊕ in the paper). In TOM the same digests seed the
+// MB-Tree's Merkle hierarchy, where an intermediate digest is the hash of
+// the concatenation of the digests in the page it points to.
+//
+// Digests are SHA-1 (20 bytes), matching the paper's experimental setup.
+package digest
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+
+	"sae/internal/record"
+)
+
+// Size is the digest length in bytes (SHA-1).
+const Size = sha1.Size // 20
+
+// Digest is a 20-byte one-way, collision-resistant hash value.
+type Digest [Size]byte
+
+// Zero is the XOR identity: x.XOR(Zero) == x.
+var Zero Digest
+
+// OfBytes hashes an arbitrary byte string.
+func OfBytes(b []byte) Digest {
+	return sha1.Sum(b)
+}
+
+// OfRecord hashes the canonical binary representation of a record. This is
+// the digest the TE stores, the MB-Tree's leaf digest, and what the client
+// recomputes for every record it receives from the SP.
+func OfRecord(r *record.Record) Digest {
+	var buf [record.Size]byte
+	h := r.AppendBinary(buf[:0])
+	return sha1.Sum(h)
+}
+
+// XOR returns d ⊕ o.
+func (d Digest) XOR(o Digest) Digest {
+	var out Digest
+	for i := range d {
+		out[i] = d[i] ^ o[i]
+	}
+	return out
+}
+
+// IsZero reports whether d is the all-zero digest (the XOR identity).
+func (d Digest) IsZero() bool {
+	return d == Zero
+}
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string {
+	return hex.EncodeToString(d[:])
+}
+
+// XORAll folds a list of digests with XOR. An empty list yields Zero,
+// mirroring the paper's convention that the XOR over an empty set is 0.
+func XORAll(ds ...Digest) Digest {
+	var acc Digest
+	for _, d := range ds {
+		acc = acc.XOR(d)
+	}
+	return acc
+}
+
+// Accumulator incrementally XOR-folds digests. Because XOR is its own
+// inverse, Add doubles as Remove: adding a digest twice cancels it, which is
+// exactly how the XB-Tree maintains its X values under insertions and
+// deletions.
+type Accumulator struct {
+	acc Digest
+}
+
+// Add folds d into the accumulator.
+func (a *Accumulator) Add(d Digest) {
+	for i := range a.acc {
+		a.acc[i] ^= d[i]
+	}
+}
+
+// AddBytes folds a raw 20-byte slice into the accumulator. It panics if b is
+// not exactly Size bytes; callers hand it slices of on-page digest storage.
+func (a *Accumulator) AddBytes(b []byte) {
+	if len(b) != Size {
+		panic("digest: AddBytes requires exactly 20 bytes")
+	}
+	for i := range a.acc {
+		a.acc[i] ^= b[i]
+	}
+}
+
+// Sum returns the current XOR fold.
+func (a *Accumulator) Sum() Digest { return a.acc }
+
+// Reset clears the accumulator to Zero.
+func (a *Accumulator) Reset() { a.acc = Zero }
+
+// Concat returns H(d1 || d2 || ... || dk), the Merkle combination used for
+// MB-Tree intermediate entries.
+func Concat(ds ...Digest) Digest {
+	h := sha1.New()
+	for _, d := range ds {
+		h.Write(d[:])
+	}
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ConcatWriter incrementally computes a Merkle node digest without
+// materializing the child digest list.
+type ConcatWriter struct {
+	h interface {
+		Write(p []byte) (int, error)
+		Sum(b []byte) []byte
+	}
+}
+
+// NewConcatWriter returns a streaming Merkle-node hasher.
+func NewConcatWriter() *ConcatWriter {
+	return &ConcatWriter{h: sha1.New()}
+}
+
+// Add appends one child digest to the stream.
+func (w *ConcatWriter) Add(d Digest) {
+	w.h.Write(d[:])
+}
+
+// Sum finalizes the node digest.
+func (w *ConcatWriter) Sum() Digest {
+	var out Digest
+	copy(out[:], w.h.Sum(nil))
+	return out
+}
+
+// FromBytes copies a 20-byte slice into a Digest. It panics on length
+// mismatch; it is used when decoding digests out of fixed page layouts.
+func FromBytes(b []byte) Digest {
+	if len(b) != Size {
+		panic("digest: FromBytes requires exactly 20 bytes")
+	}
+	var d Digest
+	copy(d[:], b)
+	return d
+}

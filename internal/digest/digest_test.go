@@ -1,0 +1,129 @@
+package digest
+
+import (
+	"crypto/sha1"
+	"testing"
+	"testing/quick"
+
+	"sae/internal/record"
+)
+
+func TestOfRecordMatchesManualHash(t *testing.T) {
+	r := record.Synthesize(5, 77)
+	want := Digest(sha1.Sum(r.Marshal()))
+	if got := OfRecord(&r); got != want {
+		t.Fatalf("OfRecord = %s, want %s", got, want)
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	a := OfBytes([]byte("a"))
+	b := OfBytes([]byte("b"))
+	c := OfBytes([]byte("c"))
+
+	if got := a.XOR(Zero); got != a {
+		t.Fatal("XOR with Zero must be identity")
+	}
+	if got := a.XOR(a); !got.IsZero() {
+		t.Fatal("XOR with self must cancel")
+	}
+	if a.XOR(b) != b.XOR(a) {
+		t.Fatal("XOR must commute")
+	}
+	if a.XOR(b).XOR(c) != a.XOR(b.XOR(c)) {
+		t.Fatal("XOR must associate")
+	}
+}
+
+func TestXORAllEmptyIsZero(t *testing.T) {
+	if got := XORAll(); !got.IsZero() {
+		t.Fatalf("XORAll() = %s, want zero", got)
+	}
+}
+
+func TestAccumulatorMatchesXORAll(t *testing.T) {
+	ds := []Digest{
+		OfBytes([]byte("x")),
+		OfBytes([]byte("y")),
+		OfBytes([]byte("z")),
+	}
+	var acc Accumulator
+	for _, d := range ds {
+		acc.Add(d)
+	}
+	if acc.Sum() != XORAll(ds...) {
+		t.Fatal("Accumulator disagrees with XORAll")
+	}
+	acc.Reset()
+	if !acc.Sum().IsZero() {
+		t.Fatal("Reset must zero the accumulator")
+	}
+}
+
+func TestAccumulatorAddRemoves(t *testing.T) {
+	d := OfBytes([]byte("twice"))
+	var acc Accumulator
+	acc.Add(d)
+	acc.Add(d)
+	if !acc.Sum().IsZero() {
+		t.Fatal("adding the same digest twice must cancel")
+	}
+}
+
+func TestAddBytesPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBytes with wrong length did not panic")
+		}
+	}()
+	var acc Accumulator
+	acc.AddBytes(make([]byte, 19))
+}
+
+func TestConcatOrderSensitive(t *testing.T) {
+	a := OfBytes([]byte("a"))
+	b := OfBytes([]byte("b"))
+	if Concat(a, b) == Concat(b, a) {
+		t.Fatal("Concat must be order sensitive (Merkle combination)")
+	}
+}
+
+func TestConcatWriterMatchesConcat(t *testing.T) {
+	ds := []Digest{OfBytes([]byte("1")), OfBytes([]byte("2")), OfBytes([]byte("3"))}
+	w := NewConcatWriter()
+	for _, d := range ds {
+		w.Add(d)
+	}
+	if w.Sum() != Concat(ds...) {
+		t.Fatal("ConcatWriter disagrees with Concat")
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	d := OfBytes([]byte("payload"))
+	if FromBytes(d[:]) != d {
+		t.Fatal("FromBytes(d[:]) != d")
+	}
+}
+
+func TestXORSelfInverseProperty(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		da, db := Digest(a), Digest(b)
+		return da.XOR(db).XOR(db) == da
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctRecordsDistinctDigests(t *testing.T) {
+	seen := make(map[Digest]record.ID)
+	for id := record.ID(0); id < 200; id++ {
+		r := record.Synthesize(id, record.Key(id%7))
+		d := OfRecord(&r)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("digest collision between record ids %d and %d", prev, id)
+		}
+		seen[d] = id
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sae/internal/costmodel"
+	"sae/internal/record"
+)
+
+// The paper's closing claim is that SAE gives the client a lower response
+// time — the interval between sending the query and finishing verification.
+// This extension table models it with an explicit network: the client talks
+// to the SP and TE in parallel under SAE, and to the SP alone under TOM.
+//
+//	SAE: max(SP processing + result transfer, TE processing + VT transfer) + verify
+//	TOM: SP processing + (result + VO) transfer + verify
+//
+// Transfer time = RTT + bytes / bandwidth.
+
+// NetworkModel prices a transfer.
+type NetworkModel struct {
+	RTT       time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// DefaultNetwork approximates the paper era's broadband WAN: 20 ms RTT,
+// 10 Mbit/s downstream.
+var DefaultNetwork = NetworkModel{RTT: 20 * time.Millisecond, Bandwidth: 10e6 / 8}
+
+// Transfer returns the time to move n bytes.
+func (nm NetworkModel) Transfer(n int64) time.Duration {
+	return nm.RTT + time.Duration(float64(n)/nm.Bandwidth*float64(time.Second))
+}
+
+// ResponseTimes computes both models' client-perceived latency for a cell.
+func ResponseTimes(c *Cell, nm NetworkModel) (sae, tom time.Duration) {
+	resultBytes := int64(c.AvgResultSize * record.Size)
+	spLeg := c.SAESPTotal().Total() + nm.Transfer(resultBytes)
+	teLeg := c.SAETE.Total() + nm.Transfer(int64(c.VTBytes))
+	sae = spLeg
+	if teLeg > sae {
+		sae = teLeg
+	}
+	sae += c.SAEClient.Total()
+
+	tom = c.TOMSPTotal().Total() + nm.Transfer(resultBytes+int64(c.AvgVOBytes)) + c.TOMClient.Total()
+	return sae, tom
+}
+
+// BuildResponseTime renders the response-time extension table.
+func BuildResponseTime(cells []*Cell, nm NetworkModel) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension — client response time (ms; network RTT %v, %.0f Mbit/s)",
+			nm.RTT, nm.Bandwidth*8/1e6),
+		Columns: []string{"dist", "n", "SAE", "TOM", "saving"},
+	}
+	for _, c := range cells {
+		sae, tom := ResponseTimes(c, nm)
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			fmt.Sprintf("%.0f", costmodel.Millis(sae)),
+			fmt.Sprintf("%.0f", costmodel.Millis(tom)),
+			fmt.Sprintf("%.0f%%", 100*(1-costmodel.Millis(sae)/costmodel.Millis(tom))),
+		})
+	}
+	return t
+}

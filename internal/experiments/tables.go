@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sae/internal/costmodel"
+)
+
+// Table is a formatted experiment result, one row per (distribution, n).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Format renders the table with aligned columns for terminal output.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ms(b costmodel.Breakdown) string {
+	return fmt.Sprintf("%.1f", costmodel.Millis(b.Total()))
+}
+
+func mb(bytes int64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/(1<<20))
+}
+
+// BuildFig5 is the communication-overhead table: authentication bytes per
+// query between the (TE, client) pair in SAE versus the (SP, client) pair in
+// TOM. The paper's Figure 5 shows the VO 2-3 orders of magnitude above the
+// constant 20-byte VT.
+func BuildFig5(cells []*Cell) *Table {
+	t := &Table{
+		Title:   "Figure 5 — Communication overhead vs n (bytes of authentication data per query)",
+		Columns: []string{"dist", "n", "|RS| avg", "SAE VT (B)", "TOM VO (B)", "VO/VT"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			fmt.Sprintf("%.0f", c.AvgResultSize),
+			fmt.Sprintf("%d", c.VTBytes),
+			fmt.Sprintf("%.0f", c.AvgVOBytes),
+			fmt.Sprintf("%.0fx", c.AvgVOBytes/float64(c.VTBytes)),
+		})
+	}
+	return t
+}
+
+// BuildFig6 is the query-processing table: simulated milliseconds (10 ms per
+// node access) at the SP under both models plus the TE's token generation.
+// Index columns isolate the tree work — where the paper's 24-39% SAE
+// reduction comes from; total columns add the (identical) dataset-file scan.
+func BuildFig6(cells []*Cell) *Table {
+	t := &Table{
+		Title:   "Figure 6 — Query processing time vs n (ms; 10 ms per node access)",
+		Columns: []string{"dist", "n", "SAE SP idx", "TOM SP idx", "idx saving", "SAE SP total", "TOM SP total", "SAE TE"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			ms(c.SAESPIndex),
+			ms(c.TOMSPIndex),
+			fmt.Sprintf("%.0f%%", 100*c.IndexReduction()),
+			ms(c.SAESPTotal()),
+			ms(c.TOMSPTotal()),
+			ms(c.SAETE),
+		})
+	}
+	return t
+}
+
+// BuildFig7 is the verification-time table: client CPU per query. Both
+// series grow linearly with the result size; SAE stays below TOM because
+// the client only XORs record digests instead of rebuilding a Merkle path
+// and checking an RSA signature.
+func BuildFig7(cells []*Cell) *Table {
+	t := &Table{
+		Title:   "Figure 7 — Verification time vs n (client CPU, ms)",
+		Columns: []string{"dist", "n", "|RS| avg", "SAE client", "TOM client"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			fmt.Sprintf("%.0f", c.AvgResultSize),
+			fmt.Sprintf("%.3f", costmodel.Millis(c.SAEClient.Total())),
+			fmt.Sprintf("%.3f", costmodel.Millis(c.TOMClient.Total())),
+		})
+	}
+	return t
+}
+
+// BuildFig8 is the storage table: megabytes at the SP under both models
+// (dominated by the 500-byte records either way) and at the TE (a small
+// fraction — one 28-byte tuple per record).
+func BuildFig8(cells []*Cell) *Table {
+	t := &Table{
+		Title:   "Figure 8 — Storage cost vs n (MB)",
+		Columns: []string{"dist", "n", "SAE SP", "TOM SP", "SAE TE", "TE/SP"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			mb(c.SAESPBytes),
+			mb(c.TOMSPBytes),
+			mb(c.TEBytes),
+			fmt.Sprintf("%.1f%%", 100*float64(c.TEBytes)/float64(c.SAESPBytes)),
+		})
+	}
+	return t
+}
+
+// BuildAll renders every figure from one sweep.
+func BuildAll(cells []*Cell) []*Table {
+	return []*Table{BuildFig5(cells), BuildFig6(cells), BuildFig7(cells), BuildFig8(cells)}
+}

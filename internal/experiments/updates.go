@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sae/internal/core"
+	"sae/internal/costmodel"
+	"sae/internal/record"
+	"sae/internal/tom"
+	"sae/internal/workload"
+)
+
+// The paper argues updates are where TOM hurts most: the DO must rebuild
+// authentication information and re-sign on every change, while SAE's
+// parties each do one O(log n) index update. This extension experiment
+// measures both models applying the same update stream.
+
+// UpdateCell is one grid point of the update experiment.
+type UpdateCell struct {
+	Dist workload.Distribution
+	N    int
+	// Per-update averages over the stream (inserts + deletes).
+	SAESPAccesses float64 // B+-tree + heap
+	SAETEAccesses float64 // XB-Tree + list pages
+	TOMSPAccesses float64 // MB-Tree + heap
+	SAEWall       time.Duration
+	TOMWall       time.Duration // includes one RSA signature per update
+}
+
+// RunUpdates applies cfg.NumQueries×4 updates (3:1 insert:delete) per grid
+// point under both models and reports the averages.
+func RunUpdates(cfg Config) ([]*UpdateCell, error) {
+	var cells []*UpdateCell
+	for _, dist := range cfg.Dists {
+		for _, n := range cfg.Cardinalities {
+			cell, err := runUpdateCell(cfg, dist, n)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: updates %s n=%d: %w", dist, n, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func runUpdateCell(cfg Config, dist workload.Distribution, n int) (*UpdateCell, error) {
+	cfg.progress("[updates %s n=%d] building systems", dist, n)
+	ds, err := workload.Generate(dist, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	updates := cfg.NumQueries * 4
+	cell := &UpdateCell{Dist: dist, N: n}
+
+	// --- SAE ---
+	saeSys, err := core.NewSystem(ds.Records)
+	if err != nil {
+		return nil, err
+	}
+	spBefore := saeSys.SP.Stats()
+	teBefore := saeSys.TE.Stats()
+	start := time.Now()
+	var fresh []record.Record
+	for i := 0; i < updates; i++ {
+		if i%4 == 3 && len(fresh) > 0 {
+			victim := fresh[len(fresh)-1]
+			fresh = fresh[:len(fresh)-1]
+			if err := saeSys.Delete(victim.ID); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := saeSys.Insert(record.Key((i * 997) % record.KeyDomain))
+		if err != nil {
+			return nil, err
+		}
+		fresh = append(fresh, r)
+	}
+	cell.SAEWall = time.Since(start) / time.Duration(updates)
+	cell.SAESPAccesses = float64(saeSys.SP.Stats().Sub(spBefore).Accesses()) / float64(updates)
+	cell.SAETEAccesses = float64(saeSys.TE.Stats().Sub(teBefore).Accesses()) / float64(updates)
+	saeSys = nil
+
+	// --- TOM ---
+	tomSys, err := tom.NewSystem(ds.Records)
+	if err != nil {
+		return nil, err
+	}
+	pBefore := tomSys.Provider.Stats()
+	start = time.Now()
+	fresh = fresh[:0]
+	for i := 0; i < updates; i++ {
+		if i%4 == 3 && len(fresh) > 0 {
+			victim := fresh[len(fresh)-1]
+			fresh = fresh[:len(fresh)-1]
+			if err := tomSys.Delete(victim.ID, victim.Key); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := tomSys.Insert(record.Key((i*997)%record.KeyDomain), record.ID(10_000_000+i))
+		if err != nil {
+			return nil, err
+		}
+		fresh = append(fresh, r)
+	}
+	cell.TOMWall = time.Since(start) / time.Duration(updates)
+	cell.TOMSPAccesses = float64(tomSys.Provider.Stats().Sub(pBefore).Accesses()) / float64(updates)
+	return cell, nil
+}
+
+// BuildUpdates renders the update-cost extension table.
+func BuildUpdates(cells []*UpdateCell) *Table {
+	t := &Table{
+		Title:   "Extension — owner update cost (per update; accesses charged 10 ms)",
+		Columns: []string{"dist", "n", "SAE SP acc", "SAE TE acc", "TOM SP acc", "SAE CPU ms", "TOM CPU ms (RSA)"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			string(c.Dist),
+			fmt.Sprintf("%d", c.N),
+			fmt.Sprintf("%.1f", c.SAESPAccesses),
+			fmt.Sprintf("%.1f", c.SAETEAccesses),
+			fmt.Sprintf("%.1f", c.TOMSPAccesses),
+			fmt.Sprintf("%.3f", costmodel.Millis(c.SAEWall)),
+			fmt.Sprintf("%.3f", costmodel.Millis(c.TOMWall)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,216 @@
+// Package heapfile stores the outsourced relation R as 500-byte records in
+// 4096-byte pages — the "dataset file" both outsourcing models scan when
+// retrieving query results.
+//
+// Build lays records out in key order (a clustered file), so a range query's
+// result occupies a contiguous run of pages; later insertions append at the
+// tail, as in a conventional heap. Deletions tombstone their slot.
+package heapfile
+
+import (
+	"errors"
+	"fmt"
+
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// RecordsPerPage is how many 500-byte records fit in a 4096-byte page after
+// the 3-byte page header (2-byte slot count + 1-byte occupancy bitmap).
+const RecordsPerPage = 8
+
+const headerSize = 3
+
+// RID locates a record: page id plus slot index within the page.
+type RID struct {
+	Page pagestore.PageID
+	Slot uint16
+}
+
+// InvalidRID is the zero-ish sentinel for "no record".
+var InvalidRID = RID{Page: pagestore.InvalidPage}
+
+// Errors returned by File operations.
+var (
+	ErrBadRID     = errors.New("heapfile: rid out of range")
+	ErrDeleted    = errors.New("heapfile: record was deleted")
+	ErrEmptySlot  = errors.New("heapfile: slot is empty")
+	ErrPageFormat = errors.New("heapfile: malformed page")
+)
+
+// File is a record file over a page store.
+type File struct {
+	store pagestore.Store
+	pages []pagestore.PageID // in allocation (and key, after Build) order
+	live  int                // live (non-deleted) record count
+}
+
+// New returns an empty heap file on store.
+func New(store pagestore.Store) *File {
+	return &File{store: store}
+}
+
+// Build creates a clustered file holding records in the given order (callers
+// sort by key first) and returns the RID of each record, aligned with the
+// input slice. It is the data owner's initial bulk transfer to the SP.
+func Build(store pagestore.Store, records []record.Record) (*File, []RID, error) {
+	f := New(store)
+	rids := make([]RID, 0, len(records))
+	buf := make([]byte, pagestore.PageSize)
+	for start := 0; start < len(records); start += RecordsPerPage {
+		end := start + RecordsPerPage
+		if end > len(records) {
+			end = len(records)
+		}
+		id, err := store.Allocate()
+		if err != nil {
+			return nil, nil, fmt.Errorf("heapfile: allocating page: %w", err)
+		}
+		n := end - start
+		encodePage(buf, records[start:end])
+		if err := store.Write(id, buf); err != nil {
+			return nil, nil, fmt.Errorf("heapfile: writing page %d: %w", id, err)
+		}
+		f.pages = append(f.pages, id)
+		for s := 0; s < n; s++ {
+			rids = append(rids, RID{Page: id, Slot: uint16(s)})
+		}
+	}
+	f.live = len(records)
+	return f, rids, nil
+}
+
+// encodePage serializes up to RecordsPerPage records into buf with all slots
+// occupied.
+func encodePage(buf []byte, recs []record.Record) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = byte(len(recs))
+	buf[1] = 0
+	var occ byte
+	for s := range recs {
+		occ |= 1 << uint(s)
+		off := headerSize + s*record.Size
+		recs[s].AppendBinary(buf[off : off : off+record.Size])
+	}
+	buf[2] = occ
+}
+
+func pageCount(buf []byte) int { return int(buf[0]) }
+func pageOcc(buf []byte) byte  { return buf[2] }
+func slotLive(buf []byte, s uint16) bool {
+	return s < RecordsPerPage && pageOcc(buf)&(1<<uint(s)) != 0
+}
+
+// Get fetches a single record, costing one page access.
+func (f *File) Get(rid RID) (record.Record, error) {
+	buf := make([]byte, pagestore.PageSize)
+	return f.getInto(rid, buf)
+}
+
+func (f *File) getInto(rid RID, buf []byte) (record.Record, error) {
+	if err := f.store.Read(rid.Page, buf); err != nil {
+		return record.Record{}, fmt.Errorf("heapfile: %w", err)
+	}
+	return decodeSlot(buf, rid)
+}
+
+func decodeSlot(buf []byte, rid RID) (record.Record, error) {
+	if int(rid.Slot) >= pageCount(buf) {
+		return record.Record{}, fmt.Errorf("%w: %v", ErrBadRID, rid)
+	}
+	if !slotLive(buf, rid.Slot) {
+		return record.Record{}, fmt.Errorf("%w: %v", ErrDeleted, rid)
+	}
+	off := headerSize + int(rid.Slot)*record.Size
+	return record.Unmarshal(buf[off : off+record.Size])
+}
+
+// GetMany fetches records for a list of RIDs, reading each distinct page at
+// most once per contiguous run. For a clustered file and key-ordered RIDs
+// (the range-query case) this touches ceil(|RS| / RecordsPerPage) pages,
+// which is exactly the paper's "scan the dataset file" cost.
+func (f *File) GetMany(rids []RID) ([]record.Record, error) {
+	out := make([]record.Record, 0, len(rids))
+	buf := make([]byte, pagestore.PageSize)
+	curPage := pagestore.InvalidPage
+	for _, rid := range rids {
+		if rid.Page != curPage {
+			if err := f.store.Read(rid.Page, buf); err != nil {
+				return nil, fmt.Errorf("heapfile: %w", err)
+			}
+			curPage = rid.Page
+		}
+		r, err := decodeSlot(buf, rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Append adds a record at the file's tail, extending the last page or
+// allocating a new one, and returns its RID. Used for post-build updates.
+func (f *File) Append(r record.Record) (RID, error) {
+	buf := make([]byte, pagestore.PageSize)
+	if n := len(f.pages); n > 0 {
+		last := f.pages[n-1]
+		if err := f.store.Read(last, buf); err != nil {
+			return InvalidRID, fmt.Errorf("heapfile: %w", err)
+		}
+		if cnt := pageCount(buf); cnt < RecordsPerPage {
+			slot := uint16(cnt)
+			off := headerSize + cnt*record.Size
+			r.AppendBinary(buf[off : off : off+record.Size])
+			buf[0] = byte(cnt + 1)
+			buf[2] = pageOcc(buf) | 1<<uint(slot)
+			if err := f.store.Write(last, buf); err != nil {
+				return InvalidRID, fmt.Errorf("heapfile: %w", err)
+			}
+			f.live++
+			return RID{Page: last, Slot: slot}, nil
+		}
+	}
+	id, err := f.store.Allocate()
+	if err != nil {
+		return InvalidRID, fmt.Errorf("heapfile: allocating page: %w", err)
+	}
+	encodePage(buf, []record.Record{r})
+	if err := f.store.Write(id, buf); err != nil {
+		return InvalidRID, fmt.Errorf("heapfile: %w", err)
+	}
+	f.pages = append(f.pages, id)
+	f.live++
+	return RID{Page: id, Slot: 0}, nil
+}
+
+// Delete tombstones a record. The slot is not reused; range scans skip it.
+func (f *File) Delete(rid RID) error {
+	buf := make([]byte, pagestore.PageSize)
+	if err := f.store.Read(rid.Page, buf); err != nil {
+		return fmt.Errorf("heapfile: %w", err)
+	}
+	if int(rid.Slot) >= pageCount(buf) {
+		return fmt.Errorf("%w: %v", ErrBadRID, rid)
+	}
+	if !slotLive(buf, rid.Slot) {
+		return fmt.Errorf("%w: %v", ErrDeleted, rid)
+	}
+	buf[2] = pageOcc(buf) &^ (1 << uint(rid.Slot))
+	if err := f.store.Write(rid.Page, buf); err != nil {
+		return fmt.Errorf("heapfile: %w", err)
+	}
+	f.live--
+	return nil
+}
+
+// NumRecords returns the number of live records.
+func (f *File) NumRecords() int { return f.live }
+
+// NumPages returns the number of data pages in the file.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// Bytes returns the storage footprint of the file in bytes.
+func (f *File) Bytes() int64 { return int64(len(f.pages)) * pagestore.PageSize }

@@ -1,0 +1,56 @@
+package heapfile
+
+import (
+	"fmt"
+
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// Meta is the heap file's out-of-page state: its page list (in file order)
+// and live-record count.
+type Meta struct {
+	Pages []pagestore.PageID
+	Live  int
+}
+
+// Meta captures the file's current metadata. The returned page slice is a
+// copy.
+func (f *File) Meta() Meta {
+	return Meta{Pages: append([]pagestore.PageID(nil), f.pages...), Live: f.live}
+}
+
+// Open reattaches a heap file to a store that already contains its pages.
+func Open(store pagestore.Store, m Meta) *File {
+	return &File{
+		store: store,
+		pages: append([]pagestore.PageID(nil), m.Pages...),
+		live:  m.Live,
+	}
+}
+
+// Walk visits every live record in file order. Restores use it to rebuild
+// in-memory catalogs (e.g. the SP's id → RID map).
+func (f *File) Walk(fn func(RID, record.Record) error) error {
+	buf := make([]byte, pagestore.PageSize)
+	for _, page := range f.pages {
+		if err := f.store.Read(page, buf); err != nil {
+			return fmt.Errorf("heapfile: %w", err)
+		}
+		count := pageCount(buf)
+		for s := uint16(0); int(s) < count; s++ {
+			if !slotLive(buf, s) {
+				continue
+			}
+			rid := RID{Page: page, Slot: s}
+			r, err := decodeSlot(buf, rid)
+			if err != nil {
+				return err
+			}
+			if err := fn(rid, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

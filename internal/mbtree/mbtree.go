@@ -1,0 +1,585 @@
+// Package mbtree implements the MB-Tree (Merkle B+-tree, Li et al.
+// SIGMOD'06), the state-of-the-art authenticated data structure the paper
+// uses as the TOM baseline.
+//
+// The tree is a B+-tree whose every entry carries a digest: a leaf entry's
+// digest is the hash of its record's binary representation, and an internal
+// entry's digest is the hash of the concatenation of the digests in the
+// child page it points to. The data owner signs the digest of the root
+// page; the service provider answers a range query with a verification
+// object (VO) from which the client re-derives the root digest and matches
+// it against the signature.
+//
+// Entry digests inflate every node by 20 bytes per entry, which is exactly
+// why the MB-Tree's fanout — and therefore the SP's query performance in
+// TOM — trails the plain B+-tree used by SAE.
+package mbtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sae/internal/digest"
+	"sae/internal/heapfile"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// Entry is one indexed, authenticated item.
+type Entry struct {
+	Key    record.Key
+	RID    heapfile.RID
+	Digest digest.Digest // hash of the record's binary representation
+}
+
+// Compare orders entries by key then RID, as in package bptree: the RID
+// tiebreak keeps duplicate keys exact.
+func Compare(a, b Entry) int {
+	switch {
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	case a.RID.Page < b.RID.Page:
+		return -1
+	case a.RID.Page > b.RID.Page:
+		return 1
+	case a.RID.Slot < b.RID.Slot:
+		return -1
+	case a.RID.Slot > b.RID.Slot:
+		return 1
+	}
+	return 0
+}
+
+// Page layouts over 4096-byte pages.
+//
+// Leaf: [0]=1 | [1:3] count | [3:7] next | entries { key 4, rid 6, digest 20 }
+// Internal: [0]=0 | [1:3] count | [3:7] child0 | [7:27] digest0 |
+//
+//	entries { sep(key 4, rid 6), child 4, digest 20 }
+const (
+	leafHeader  = 7
+	innerHeader = 27
+	leafEntry   = 30
+	innerEntry  = 34
+	// LeafCapacity is the maximum number of entries per leaf page.
+	LeafCapacity = (pagestore.PageSize - leafHeader) / leafEntry // 136
+	// InnerCapacity is the maximum number of separators per internal page.
+	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 119
+)
+
+// ErrNotFound is returned by Delete for an absent entry.
+var ErrNotFound = errors.New("mbtree: entry not found")
+
+// Tree is a disk-based MB-Tree.
+type Tree struct {
+	store      pagestore.Store
+	root       pagestore.PageID
+	rootDigest digest.Digest
+	height     int
+	count      int
+	nodes      int
+}
+
+type node struct {
+	leaf     bool
+	next     pagestore.PageID
+	entries  []Entry
+	children []pagestore.PageID
+	// digests aligned with children (internal nodes only): digests[i] is
+	// the hash of the concatenation of the digests in children[i]'s page.
+	digests []digest.Digest
+}
+
+// digest computes the node's Merkle digest: the hash of the concatenation
+// of the digests stored in the page.
+func (n *node) digest() digest.Digest {
+	w := digest.NewConcatWriter()
+	if n.leaf {
+		for i := range n.entries {
+			w.Add(n.entries[i].Digest)
+		}
+		return w.Sum()
+	}
+	for i := range n.digests {
+		w.Add(n.digests[i])
+	}
+	return w.Sum()
+}
+
+// New creates an empty tree.
+func New(store pagestore.Store) (*Tree, error) {
+	t := &Tree{store: store, height: 1}
+	n := &node{leaf: true, next: pagestore.InvalidPage}
+	id, err := t.allocNode(n)
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+	t.rootDigest = n.digest()
+	return t, nil
+}
+
+// Bulkload builds a tree from entries sorted by Compare, computing all
+// Merkle digests bottom-up. This is the ADS the data owner constructs and
+// ships to the SP under TOM.
+func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
+	for i := 1; i < len(entries); i++ {
+		if Compare(entries[i-1], entries[i]) > 0 {
+			return nil, fmt.Errorf("mbtree: bulkload input not sorted at %d", i)
+		}
+	}
+	if len(entries) == 0 {
+		return New(store)
+	}
+	t := &Tree{store: store}
+
+	type built struct {
+		id  pagestore.PageID
+		min Entry
+		dig digest.Digest
+	}
+	var level []built
+	var prevID pagestore.PageID = pagestore.InvalidPage
+	var prev *node
+	for start := 0; start < len(entries); start += LeafCapacity {
+		end := start + LeafCapacity
+		if end > len(entries) {
+			end = len(entries)
+		}
+		n := &node{leaf: true, next: pagestore.InvalidPage}
+		n.entries = append(n.entries, entries[start:end]...)
+		id, err := t.allocNode(n)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			prev.next = id
+			if err := t.writeNode(prevID, prev); err != nil {
+				return nil, err
+			}
+		}
+		prevID, prev = id, n
+		level = append(level, built{id: id, min: entries[start], dig: n.digest()})
+	}
+
+	t.height = 1
+	for len(level) > 1 {
+		var next []built
+		for start := 0; start < len(level); start += InnerCapacity + 1 {
+			end := start + InnerCapacity + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[start:end]
+			n := &node{leaf: false}
+			n.children = append(n.children, group[0].id)
+			n.digests = append(n.digests, group[0].dig)
+			for _, b := range group[1:] {
+				n.entries = append(n.entries, Entry{Key: b.min.Key, RID: b.min.RID})
+				n.children = append(n.children, b.id)
+				n.digests = append(n.digests, b.dig)
+			}
+			id, err := t.allocNode(n)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, built{id: id, min: group[0].min, dig: n.digest()})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	t.rootDigest = level[0].dig
+	t.count = len(entries)
+	return t, nil
+}
+
+// RootDigest returns the Merkle digest of the root page — the value the
+// data owner signs.
+func (t *Tree) RootDigest() digest.Digest { return t.rootDigest }
+
+// Count returns the number of live entries.
+func (t *Tree) Count() int { return t.count }
+
+// Height returns the number of levels (1 = leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of allocated nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Bytes returns the tree's storage footprint.
+func (t *Tree) Bytes() int64 { return int64(t.nodes) * pagestore.PageSize }
+
+func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
+	id, err := t.store.Allocate()
+	if err != nil {
+		return 0, fmt.Errorf("mbtree: allocating node: %w", err)
+	}
+	t.nodes++
+	if err := t.writeNode(id, n); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
+	var buf [pagestore.PageSize]byte
+	encodeNode(buf[:], n)
+	if err := t.store.Write(id, buf[:]); err != nil {
+		return fmt.Errorf("mbtree: writing node %d: %w", id, err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
+	var buf [pagestore.PageSize]byte
+	if err := t.store.Read(id, buf[:]); err != nil {
+		return nil, fmt.Errorf("mbtree: reading node %d: %w", id, err)
+	}
+	return decodeNode(buf[:]), nil
+}
+
+func putEntryKeyRID(buf []byte, e Entry) {
+	binary.BigEndian.PutUint32(buf[0:4], uint32(e.Key))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(e.RID.Page))
+	binary.BigEndian.PutUint16(buf[8:10], e.RID.Slot)
+}
+
+func getEntryKeyRID(buf []byte) Entry {
+	return Entry{
+		Key: record.Key(binary.BigEndian.Uint32(buf[0:4])),
+		RID: heapfile.RID{
+			Page: pagestore.PageID(binary.BigEndian.Uint32(buf[4:8])),
+			Slot: binary.BigEndian.Uint16(buf[8:10]),
+		},
+	}
+}
+
+func encodeNode(buf []byte, n *node) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = 1
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+		binary.BigEndian.PutUint32(buf[3:7], uint32(n.next))
+		off := leafHeader
+		for i := range n.entries {
+			putEntryKeyRID(buf[off:off+10], n.entries[i])
+			copy(buf[off+10:off+30], n.entries[i].Digest[:])
+			off += leafEntry
+		}
+		return
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	binary.BigEndian.PutUint32(buf[3:7], uint32(n.children[0]))
+	copy(buf[7:27], n.digests[0][:])
+	off := innerHeader
+	for i := range n.entries {
+		putEntryKeyRID(buf[off:off+10], n.entries[i])
+		binary.BigEndian.PutUint32(buf[off+10:off+14], uint32(n.children[i+1]))
+		copy(buf[off+14:off+34], n.digests[i+1][:])
+		off += innerEntry
+	}
+}
+
+func decodeNode(buf []byte) *node {
+	n := &node{leaf: buf[0] == 1}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	if n.leaf {
+		n.next = pagestore.PageID(binary.BigEndian.Uint32(buf[3:7]))
+		n.entries = make([]Entry, count)
+		off := leafHeader
+		for i := 0; i < count; i++ {
+			n.entries[i] = getEntryKeyRID(buf[off : off+10])
+			n.entries[i].Digest = digest.FromBytes(buf[off+10 : off+30])
+			off += leafEntry
+		}
+		return n
+	}
+	n.entries = make([]Entry, count)
+	n.children = make([]pagestore.PageID, 0, count+1)
+	n.digests = make([]digest.Digest, 0, count+1)
+	n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[3:7])))
+	n.digests = append(n.digests, digest.FromBytes(buf[7:27]))
+	off := innerHeader
+	for i := 0; i < count; i++ {
+		n.entries[i] = getEntryKeyRID(buf[off : off+10])
+		n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[off+10:off+14])))
+		n.digests = append(n.digests, digest.FromBytes(buf[off+14:off+34]))
+		off += innerEntry
+	}
+	return n
+}
+
+func upperBound(s []Entry, e Entry) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(s[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func lowerBoundKey(s []Entry, k record.Key) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Range returns the RIDs of entries with lo <= key <= hi, without building a
+// VO (used by tests and by clients that skip verification).
+func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
+	if lo > hi {
+		return nil, nil
+	}
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		id = n.children[lowerBoundKey(n.entries, lo)]
+	}
+	var out []heapfile.RID
+	for id != pagestore.InvalidPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		i := lowerBoundKey(n.entries, lo)
+		for ; i < len(n.entries); i++ {
+			if n.entries[i].Key > hi {
+				return out, nil
+			}
+			out = append(out, n.entries[i].RID)
+		}
+		id = n.next
+	}
+	return out, nil
+}
+
+// Insert adds an entry, maintaining Merkle digests along the path. The new
+// root digest (which the owner must re-sign) is available via RootDigest.
+func (t *Tree) Insert(e Entry) error {
+	sep, right, rightDig, selfDig, err := t.insertAt(t.root, t.height, e)
+	if err != nil {
+		return err
+	}
+	if right != pagestore.InvalidPage {
+		n := &node{
+			leaf:     false,
+			entries:  []Entry{sep},
+			children: []pagestore.PageID{t.root, right},
+			digests:  []digest.Digest{selfDig, rightDig},
+		}
+		id, err := t.allocNode(n)
+		if err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+		selfDig = n.digest()
+	}
+	t.rootDigest = selfDig
+	t.count++
+	return nil
+}
+
+func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, rightDig, selfDig digest.Digest, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	if level == 1 {
+		pos := upperBound(n.entries, e)
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = e
+		if len(n.entries) <= LeafCapacity {
+			return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(id, n)
+		}
+		return t.splitLeaf(id, n)
+	}
+	ci := upperBound(n.entries, e)
+	childSep, childRight, childRightDig, childDig, err := t.insertAt(n.children[ci], level-1, e)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	n.digests[ci] = childDig
+	if childRight != pagestore.InvalidPage {
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[ci+1:], n.entries[ci:])
+		n.entries[ci] = childSep
+		n.children = append(n.children, pagestore.InvalidPage)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = childRight
+		n.digests = append(n.digests, digest.Zero)
+		copy(n.digests[ci+2:], n.digests[ci+1:])
+		n.digests[ci+1] = childRightDig
+		if len(n.entries) > InnerCapacity {
+			return t.splitInner(id, n)
+		}
+	}
+	return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(id, n)
+}
+
+func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+	mid := len(n.entries) / 2
+	rightNode := &node{leaf: true, next: n.next}
+	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
+	rightID, err := t.allocNode(rightNode)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	n.entries = n.entries[:mid]
+	n.next = rightID
+	if err := t.writeNode(id, n); err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	sep := Entry{Key: rightNode.entries[0].Key, RID: rightNode.entries[0].RID}
+	return sep, rightID, rightNode.digest(), n.digest(), nil
+}
+
+func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+	mid := len(n.entries) / 2
+	sep := n.entries[mid]
+	rightNode := &node{leaf: false}
+	rightNode.entries = append(rightNode.entries, n.entries[mid+1:]...)
+	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
+	rightNode.digests = append(rightNode.digests, n.digests[mid+1:]...)
+	rightID, err := t.allocNode(rightNode)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	n.entries = n.entries[:mid]
+	n.children = n.children[:mid+1]
+	n.digests = n.digests[:mid+1]
+	if err := t.writeNode(id, n); err != nil {
+		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+	}
+	return sep, rightID, rightNode.digest(), n.digest(), nil
+}
+
+// Delete removes the exact entry (matched by key and RID), maintaining
+// digests on the path. Underfull nodes are left in place, as in bptree.
+func (t *Tree) Delete(e Entry) error {
+	dig, found, err := t.deleteAt(t.root, t.height, e)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: key=%d rid=%v", ErrNotFound, e.Key, e.RID)
+	}
+	t.rootDigest = dig
+	t.count--
+	return nil
+}
+
+func (t *Tree) deleteAt(id pagestore.PageID, level int, e Entry) (digest.Digest, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return digest.Zero, false, err
+	}
+	if level == 1 {
+		for i := range n.entries {
+			if Compare(n.entries[i], e) == 0 {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				if err := t.writeNode(id, n); err != nil {
+					return digest.Zero, false, err
+				}
+				return n.digest(), true, nil
+			}
+		}
+		return digest.Zero, false, nil
+	}
+	ci := upperBound(n.entries, e)
+	childDig, found, err := t.deleteAt(n.children[ci], level-1, e)
+	if err != nil || !found {
+		return digest.Zero, found, err
+	}
+	n.digests[ci] = childDig
+	if err := t.writeNode(id, n); err != nil {
+		return digest.Zero, false, err
+	}
+	return n.digest(), true, nil
+}
+
+// Validate recomputes every Merkle digest and checks ordering and bounds,
+// returning an error on the first inconsistency.
+func (t *Tree) Validate() error {
+	seen := 0
+	var walk func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error)
+	walk = func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error) {
+		n, err := t.readNode(id)
+		if err != nil {
+			return digest.Zero, err
+		}
+		if (level == 1) != n.leaf {
+			return digest.Zero, fmt.Errorf("mbtree: node %d leaf flag inconsistent with level %d", id, level)
+		}
+		for i := 1; i < len(n.entries); i++ {
+			if Compare(n.entries[i-1], n.entries[i]) >= 0 {
+				return digest.Zero, fmt.Errorf("mbtree: node %d entries out of order at %d", id, i)
+			}
+		}
+		for i := range n.entries {
+			if lo != nil && Compare(n.entries[i], *lo) < 0 {
+				return digest.Zero, fmt.Errorf("mbtree: node %d entry below lower bound", id)
+			}
+			if hi != nil && Compare(n.entries[i], *hi) >= 0 {
+				return digest.Zero, fmt.Errorf("mbtree: node %d entry above upper bound", id)
+			}
+		}
+		if n.leaf {
+			seen += len(n.entries)
+			return n.digest(), nil
+		}
+		for i, c := range n.children {
+			var clo, chi *Entry
+			if i == 0 {
+				clo = lo
+			} else {
+				clo = &n.entries[i-1]
+			}
+			if i == len(n.entries) {
+				chi = hi
+			} else {
+				chi = &n.entries[i]
+			}
+			dig, err := walk(c, level-1, clo, chi)
+			if err != nil {
+				return digest.Zero, err
+			}
+			if dig != n.digests[i] {
+				return digest.Zero, fmt.Errorf("mbtree: node %d child %d digest mismatch", id, i)
+			}
+		}
+		return n.digest(), nil
+	}
+	dig, err := walk(t.root, t.height, nil, nil)
+	if err != nil {
+		return err
+	}
+	if dig != t.rootDigest {
+		return fmt.Errorf("mbtree: cached root digest stale")
+	}
+	if seen != t.count {
+		return fmt.Errorf("mbtree: walked %d entries, tree says %d", seen, t.count)
+	}
+	return nil
+}

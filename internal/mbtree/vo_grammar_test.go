@@ -1,0 +1,211 @@
+package mbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sae/internal/digest"
+	"sae/internal/record"
+	"sae/internal/sigs"
+)
+
+// grammarFixture hand-builds a one-leaf Merkle "tree" so each completeness
+// rule can be exercised on a precisely controlled token stream: records
+// r(10), r(20), r(30), r(40), r(50) keyed by their value.
+type grammarFixture struct {
+	recs   map[record.Key]record.Record
+	signer *sigs.Signer
+}
+
+func newGrammarFixture(t *testing.T) *grammarFixture {
+	t.Helper()
+	signer, err := sigs.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &grammarFixture{recs: map[record.Key]record.Record{}, signer: signer}
+	for _, k := range []record.Key{10, 20, 30, 40, 50} {
+		f.recs[k] = record.Synthesize(record.ID(k), k)
+	}
+	return f
+}
+
+// sign produces a VO over the given tokens, with the root digest computed
+// honestly over the stream so that only the *grammar* checks distinguish
+// acceptance from rejection.
+func (f *grammarFixture) sign(t *testing.T, tokens []Token, result []record.Record) *VO {
+	t.Helper()
+	w := digest.NewConcatWriter()
+	resIdx := 0
+	for i := range tokens {
+		switch tokens[i].Kind {
+		case TokDigest:
+			w.Add(tokens[i].Digest)
+		case TokRecord:
+			w.Add(digest.OfRecord(&tokens[i].Record))
+		case TokResult:
+			for k := 0; k < tokens[i].Count; k++ {
+				w.Add(digest.OfRecord(&result[resIdx]))
+				resIdx++
+			}
+		}
+	}
+	root := w.Sum()
+	sig, err := f.signer.Sign(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := append([]Token{{Kind: TokNodeBegin}}, tokens...)
+	inner = append(inner, Token{Kind: TokNodeEnd})
+	return &VO{Tokens: inner, Sig: sig}
+}
+
+func (f *grammarFixture) digestOf(k record.Key) digest.Digest {
+	r := f.recs[k]
+	return digest.OfRecord(&r)
+}
+
+func TestGrammarAcceptsProperBracketing(t *testing.T) {
+	f := newGrammarFixture(t)
+	// Query [25, 45]: result = {30, 40}; boundaries 20 and 50; 10 pruned.
+	result := []record.Record{f.recs[30], f.recs[40]}
+	vo := f.sign(t, []Token{
+		{Kind: TokDigest, Digest: f.digestOf(10)},
+		{Kind: TokRecord, Record: f.recs[20]},
+		{Kind: TokResult, Count: 2},
+		{Kind: TokRecord, Record: f.recs[50]},
+	}, result)
+	if err := VerifyVO(vo, result, 25, 45, f.signer.Verifier()); err != nil {
+		t.Fatalf("proper bracketing rejected: %v", err)
+	}
+}
+
+func TestGrammarRejectsDigestInsideSpan(t *testing.T) {
+	f := newGrammarFixture(t)
+	// The SP hides record 30 behind its digest, between boundary and run.
+	result := []record.Record{f.recs[40]}
+	vo := f.sign(t, []Token{
+		{Kind: TokRecord, Record: f.recs[20]},
+		{Kind: TokDigest, Digest: f.digestOf(30)}, // hidden qualifying record
+		{Kind: TokResult, Count: 1},
+		{Kind: TokRecord, Record: f.recs[50]},
+	}, result)
+	if err := VerifyVO(vo, result, 25, 45, f.signer.Verifier()); err == nil {
+		t.Fatal("digest inside the result span accepted")
+	}
+}
+
+func TestGrammarRejectsMissingLeftBoundaryWithPrunedLeft(t *testing.T) {
+	f := newGrammarFixture(t)
+	// Left boundary omitted while digests exist to the left: the client
+	// cannot confirm nothing qualifying was pruned.
+	result := []record.Record{f.recs[30]}
+	vo := f.sign(t, []Token{
+		{Kind: TokDigest, Digest: f.digestOf(20)}, // could be a qualifying record!
+		{Kind: TokResult, Count: 1},
+		{Kind: TokRecord, Record: f.recs[50]},
+	}, result)
+	if err := VerifyVO(vo, result, 15, 45, f.signer.Verifier()); err == nil {
+		t.Fatal("missing left boundary with pruned entries accepted")
+	}
+}
+
+func TestGrammarAcceptsMissingLeftBoundaryAtTableStart(t *testing.T) {
+	f := newGrammarFixture(t)
+	// Query [5, 25] starting before the first record: no left boundary is
+	// legitimate because nothing precedes the first result.
+	result := []record.Record{f.recs[10], f.recs[20]}
+	vo := f.sign(t, []Token{
+		{Kind: TokResult, Count: 2},
+		{Kind: TokRecord, Record: f.recs[30]},
+		{Kind: TokDigest, Digest: f.digestOf(40)},
+		{Kind: TokDigest, Digest: f.digestOf(50)},
+	}, result)
+	if err := VerifyVO(vo, result, 5, 25, f.signer.Verifier()); err != nil {
+		t.Fatalf("legitimate table-start query rejected: %v", err)
+	}
+}
+
+func TestGrammarRejectsBoundaryInsideRange(t *testing.T) {
+	f := newGrammarFixture(t)
+	// The "boundary" record actually qualifies (key inside the range):
+	// presenting it as a boundary omits it from the result.
+	result := []record.Record{f.recs[40]}
+	vo := f.sign(t, []Token{
+		{Kind: TokRecord, Record: f.recs[30]}, // qualifies for [25,45]!
+		{Kind: TokResult, Count: 1},
+		{Kind: TokRecord, Record: f.recs[50]},
+	}, result)
+	if err := VerifyVO(vo, result, 25, 45, f.signer.Verifier()); err == nil {
+		t.Fatal("qualifying record disguised as boundary accepted")
+	}
+}
+
+func TestGrammarEmptyResultBracketed(t *testing.T) {
+	f := newGrammarFixture(t)
+	// Query [32, 38] between records 30 and 40: adjacency of the two
+	// boundary records proves emptiness.
+	vo := f.sign(t, []Token{
+		{Kind: TokDigest, Digest: f.digestOf(10)},
+		{Kind: TokDigest, Digest: f.digestOf(20)},
+		{Kind: TokRecord, Record: f.recs[30]},
+		{Kind: TokRecord, Record: f.recs[40]},
+		{Kind: TokDigest, Digest: f.digestOf(50)},
+	}, nil)
+	if err := VerifyVO(vo, nil, 32, 38, f.signer.Verifier()); err != nil {
+		t.Fatalf("bracketed empty result rejected: %v", err)
+	}
+}
+
+func TestGrammarEmptyResultWithHiddenMiddle(t *testing.T) {
+	f := newGrammarFixture(t)
+	// Claiming [25, 45] is empty while hiding 30 and 40 behind digests.
+	vo := f.sign(t, []Token{
+		{Kind: TokRecord, Record: f.recs[20]},
+		{Kind: TokDigest, Digest: f.digestOf(30)},
+		{Kind: TokDigest, Digest: f.digestOf(40)},
+		{Kind: TokRecord, Record: f.recs[50]},
+	}, nil)
+	if err := VerifyVO(vo, nil, 25, 45, f.signer.Verifier()); err == nil {
+		t.Fatal("empty-result claim with hidden qualifying records accepted")
+	}
+}
+
+func TestGrammarRejectsAllDigests(t *testing.T) {
+	f := newGrammarFixture(t)
+	vo := f.sign(t, []Token{
+		{Kind: TokDigest, Digest: f.digestOf(10)},
+		{Kind: TokDigest, Digest: f.digestOf(20)},
+	}, nil)
+	if err := VerifyVO(vo, nil, 12, 18, f.signer.Verifier()); err == nil {
+		t.Fatal("all-digest VO accepted for a range inside the data")
+	}
+}
+
+// TestVOCorruptionAlwaysRejected is the robustness property: any
+// single-byte corruption of a serialized VO must make the pipeline either
+// fail to parse or fail to verify — never panic, never accept.
+func TestVOCorruptionAlwaysRejected(t *testing.T) {
+	f := buildFixture(t, 800, 10_000, 99)
+	ver := f.signer.Verifier()
+	lo, hi := record.Key(2000), record.Key(6000)
+	recs, vo := f.runQuery(t, lo, hi)
+	if err := VerifyVO(vo, recs, lo, hi, ver); err != nil {
+		t.Fatalf("honest baseline rejected: %v", err)
+	}
+	raw := vo.Marshal()
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), raw...)
+		pos := rng.Intn(len(corrupt))
+		bit := byte(1 << rng.Intn(8))
+		corrupt[pos] ^= bit
+		parsed, err := UnmarshalVO(corrupt)
+		if err != nil {
+			continue // parse-level rejection is fine
+		}
+		if err := VerifyVO(parsed, recs, lo, hi, ver); err == nil {
+			t.Fatalf("corruption at byte %d bit %02x accepted", pos, bit)
+		}
+	}
+}

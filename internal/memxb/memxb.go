@@ -1,0 +1,194 @@
+// Package memxb is the main-memory alternative to the disk-based XB-Tree
+// that the paper's §IV suggests for the trusted entity: "its storage
+// requirements are minor compared to that of the SP, implying that the TE
+// can maintain a main memory index".
+//
+// Instead of a pointer-based B-tree, the index is a Fenwick (binary
+// indexed) tree over XOR — XOR is an abelian group operation, so prefix
+// aggregates compose exactly like sums. Token generation is two prefix
+// lookups: VT[lo, hi] = prefix(hi) ⊕ prefix(lo-1), O(log n) word operations
+// with no page I/O at all. Keys inserted after the bulk load live in a
+// sorted delta buffer that is merged into the Fenwick core when it grows
+// past a threshold (the classic static-core-plus-delta design).
+package memxb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sae/internal/digest"
+	"sae/internal/record"
+)
+
+// ErrNotFound is returned by Delete for an absent (key, id) pair.
+var ErrNotFound = errors.New("memxb: tuple not found")
+
+// Tuple mirrors xbtree.Tuple: a record's id and digest.
+type Tuple struct {
+	ID     record.ID
+	Digest digest.Digest
+}
+
+// rebuildThreshold is the delta-buffer size that triggers a merge into the
+// Fenwick core.
+const rebuildThreshold = 4096
+
+// Index is a main-memory XOR index over (key, id, digest) tuples.
+type Index struct {
+	// Static core: distinct keys sorted ascending, parallel Fenwick array
+	// of XOR aggregates, and per-key tuple lists for deletions.
+	keys    []record.Key
+	fenwick []digest.Digest
+	lists   map[record.Key][]Tuple
+	// Delta: tuples inserted since the last rebuild, sorted by key.
+	delta []deltaEntry
+	count int
+}
+
+type deltaEntry struct {
+	key record.Key
+	tup Tuple
+}
+
+// New builds an index from key/tuple pairs (any order).
+func New(items map[record.Key][]Tuple) *Index {
+	idx := &Index{lists: make(map[record.Key][]Tuple, len(items))}
+	for k, ts := range items {
+		if len(ts) == 0 {
+			continue
+		}
+		idx.keys = append(idx.keys, k)
+		idx.lists[k] = append([]Tuple(nil), ts...)
+		idx.count += len(ts)
+	}
+	sort.Slice(idx.keys, func(i, j int) bool { return idx.keys[i] < idx.keys[j] })
+	idx.rebuildFenwick()
+	return idx
+}
+
+// rebuildFenwick recomputes the Fenwick array from the per-key lists.
+func (x *Index) rebuildFenwick() {
+	x.fenwick = make([]digest.Digest, len(x.keys)+1)
+	for pos, k := range x.keys {
+		var acc digest.Accumulator
+		for _, t := range x.lists[k] {
+			acc.Add(t.Digest)
+		}
+		x.fenwickAdd(pos+1, acc.Sum())
+	}
+}
+
+// fenwickAdd folds d into position i (1-based) of the Fenwick array.
+func (x *Index) fenwickAdd(i int, d digest.Digest) {
+	for ; i < len(x.fenwick); i += i & (-i) {
+		x.fenwick[i] = x.fenwick[i].XOR(d)
+	}
+}
+
+// fenwickPrefix returns the XOR over positions 1..i.
+func (x *Index) fenwickPrefix(i int) digest.Digest {
+	var acc digest.Accumulator
+	for ; i > 0; i -= i & (-i) {
+		acc.Add(x.fenwick[i])
+	}
+	return acc.Sum()
+}
+
+// keyPos returns the number of core keys strictly below k.
+func (x *Index) keyPos(k record.Key) int {
+	return sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= k })
+}
+
+// GenerateVT returns the XOR of the digests of every tuple with key in
+// [lo, hi].
+func (x *Index) GenerateVT(lo, hi record.Key) digest.Digest {
+	if lo > hi {
+		return digest.Zero
+	}
+	// Core: prefix(<=hi) ⊕ prefix(<lo).
+	upTo := x.keyPos(hi + 1) // number of keys <= hi; hi+1 may wrap only past the domain
+	if hi == ^record.Key(0) {
+		upTo = len(x.keys)
+	}
+	below := x.keyPos(lo)
+	vt := x.fenwickPrefix(upTo).XOR(x.fenwickPrefix(below))
+	// Delta: binary search the sorted buffer, fold matches.
+	from := sort.Search(len(x.delta), func(i int) bool { return x.delta[i].key >= lo })
+	for i := from; i < len(x.delta) && x.delta[i].key <= hi; i++ {
+		vt = vt.XOR(x.delta[i].tup.Digest)
+	}
+	return vt
+}
+
+// Insert adds a tuple. Existing core keys update the Fenwick array in
+// O(log n); new keys go to the delta buffer, which is merged when full.
+func (x *Index) Insert(key record.Key, tup Tuple) {
+	if pos := x.keyPos(key); pos < len(x.keys) && x.keys[pos] == key {
+		x.lists[key] = append(x.lists[key], tup)
+		x.fenwickAdd(pos+1, tup.Digest)
+		x.count++
+		return
+	}
+	at := sort.Search(len(x.delta), func(i int) bool { return x.delta[i].key >= key })
+	x.delta = append(x.delta, deltaEntry{})
+	copy(x.delta[at+1:], x.delta[at:])
+	x.delta[at] = deltaEntry{key: key, tup: tup}
+	x.count++
+	if len(x.delta) >= rebuildThreshold {
+		x.mergeDelta()
+	}
+}
+
+// mergeDelta folds the delta buffer into the core and rebuilds the Fenwick
+// array (O(n log n), amortized across rebuildThreshold inserts).
+func (x *Index) mergeDelta() {
+	for _, de := range x.delta {
+		if _, ok := x.lists[de.key]; !ok {
+			x.keys = append(x.keys, de.key)
+		}
+		x.lists[de.key] = append(x.lists[de.key], de.tup)
+	}
+	x.delta = nil
+	sort.Slice(x.keys, func(i, j int) bool { return x.keys[i] < x.keys[j] })
+	x.rebuildFenwick()
+}
+
+// Delete removes the tuple with the given key and id.
+func (x *Index) Delete(key record.Key, id record.ID) error {
+	// Core list first.
+	if pos := x.keyPos(key); pos < len(x.keys) && x.keys[pos] == key {
+		ts := x.lists[key]
+		for i := range ts {
+			if ts[i].ID == id {
+				d := ts[i].Digest
+				x.lists[key] = append(ts[:i], ts[i+1:]...)
+				x.fenwickAdd(pos+1, d) // XOR removes
+				x.count--
+				return nil
+			}
+		}
+	}
+	// Then the delta buffer.
+	for i := range x.delta {
+		if x.delta[i].key == key && x.delta[i].tup.ID == id {
+			x.delta = append(x.delta[:i], x.delta[i+1:]...)
+			x.count--
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: key=%d id=%d", ErrNotFound, key, id)
+}
+
+// Count returns the number of live tuples.
+func (x *Index) Count() int { return x.count }
+
+// Bytes estimates the index's memory footprint: keys, Fenwick digests and
+// tuple storage. The paper's point is that this fits comfortably in RAM.
+func (x *Index) Bytes() int64 {
+	perTuple := int64(8 + digest.Size)
+	return int64(len(x.keys))*4 +
+		int64(len(x.fenwick))*digest.Size +
+		int64(x.count)*perTuple +
+		int64(len(x.delta))*(4+8+digest.Size)
+}

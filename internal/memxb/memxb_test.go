@@ -1,0 +1,200 @@
+package memxb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sae/internal/digest"
+	"sae/internal/record"
+)
+
+func tupleFor(id record.ID) Tuple {
+	return Tuple{ID: id, Digest: digest.OfBytes([]byte(fmt.Sprintf("m-%d", id)))}
+}
+
+// mirror tracks expected content for brute-force checks.
+type mirror map[record.Key][]Tuple
+
+func (m mirror) vt(lo, hi record.Key) digest.Digest {
+	var acc digest.Accumulator
+	for k, ts := range m {
+		if k >= lo && k <= hi {
+			for _, t := range ts {
+				acc.Add(t.Digest)
+			}
+		}
+	}
+	return acc.Sum()
+}
+
+func (m mirror) insert(k record.Key, t Tuple) { m[k] = append(m[k], t) }
+
+func (m mirror) remove(k record.Key, id record.ID) {
+	ts := m[k]
+	for i := range ts {
+		if ts[i].ID == id {
+			m[k] = append(ts[:i], ts[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m mirror) count() int {
+	n := 0
+	for _, ts := range m {
+		n += len(ts)
+	}
+	return n
+}
+
+func buildRandom(n, domain int, seed int64) (mirror, *Index) {
+	rng := rand.New(rand.NewSource(seed))
+	m := mirror{}
+	for i := 0; i < n; i++ {
+		m.insert(record.Key(rng.Intn(domain)), tupleFor(record.ID(i+1)))
+	}
+	items := map[record.Key][]Tuple{}
+	for k, ts := range m {
+		items[k] = ts
+	}
+	return m, New(items)
+}
+
+func checkVTs(t *testing.T, idx *Index, m mirror, domain, trials int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		lo := record.Key(rng.Intn(domain))
+		hi := lo + record.Key(rng.Intn(domain/3+1))
+		if got, want := idx.GenerateVT(lo, hi), m.vt(lo, hi); got != want {
+			t.Fatalf("VT(%d,%d) = %s, want %s", lo, hi, got, want)
+		}
+	}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	m, idx := buildRandom(5000, 10_000, 1)
+	if idx.Count() != m.count() {
+		t.Fatalf("Count = %d, want %d", idx.Count(), m.count())
+	}
+	checkVTs(t, idx, m, 10_000, 100, 2)
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := New(nil)
+	if !idx.GenerateVT(0, record.KeyDomain).IsZero() {
+		t.Fatal("empty index must return the zero token")
+	}
+	if idx.Count() != 0 {
+		t.Fatal("empty index has nonzero count")
+	}
+}
+
+func TestInsertExistingAndNewKeys(t *testing.T) {
+	m, idx := buildRandom(2000, 5000, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		k := record.Key(rng.Intn(5000))
+		tup := tupleFor(record.ID(100_000 + i))
+		idx.Insert(k, tup)
+		m.insert(k, tup)
+	}
+	if idx.Count() != m.count() {
+		t.Fatalf("Count = %d, want %d", idx.Count(), m.count())
+	}
+	checkVTs(t, idx, m, 5000, 100, 5)
+}
+
+func TestDeltaMerge(t *testing.T) {
+	m, idx := buildRandom(100, 1_000_000, 6)
+	// Insert enough brand-new keys to force at least one merge.
+	for i := 0; i < rebuildThreshold+100; i++ {
+		k := record.Key(2_000_000 + i) // outside the original key range
+		tup := tupleFor(record.ID(500_000 + i))
+		idx.Insert(k, tup)
+		m.insert(k, tup)
+	}
+	if len(idx.delta) >= rebuildThreshold {
+		t.Fatalf("delta buffer not merged: %d entries", len(idx.delta))
+	}
+	checkVTs(t, idx, m, 3_000_000, 100, 7)
+}
+
+func TestDelete(t *testing.T) {
+	m, idx := buildRandom(3000, 8000, 8)
+	rng := rand.New(rand.NewSource(9))
+	// Collect every (key, id) pair; delete half.
+	type pair struct {
+		k  record.Key
+		id record.ID
+	}
+	var pairs []pair
+	for k, ts := range m {
+		for _, tup := range ts {
+			pairs = append(pairs, pair{k, tup.ID})
+		}
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for _, p := range pairs[:len(pairs)/2] {
+		if err := idx.Delete(p.k, p.id); err != nil {
+			t.Fatalf("Delete(%d,%d): %v", p.k, p.id, err)
+		}
+		m.remove(p.k, p.id)
+	}
+	if idx.Count() != m.count() {
+		t.Fatalf("Count = %d, want %d", idx.Count(), m.count())
+	}
+	checkVTs(t, idx, m, 8000, 100, 10)
+}
+
+func TestDeleteFromDelta(t *testing.T) {
+	m, idx := buildRandom(50, 1000, 11)
+	tup := tupleFor(777)
+	idx.Insert(5000, tup) // new key -> delta buffer
+	m.insert(5000, tup)
+	if err := idx.Delete(5000, 777); err != nil {
+		t.Fatalf("Delete from delta: %v", err)
+	}
+	m.remove(5000, 777)
+	checkVTs(t, idx, m, 10_000, 50, 12)
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	_, idx := buildRandom(100, 1000, 13)
+	if err := idx.Delete(99_999, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	_, idx := buildRandom(100, 1000, 14)
+	if !idx.GenerateVT(500, 100).IsZero() {
+		t.Fatal("inverted range must return zero")
+	}
+}
+
+func TestMatchesDiskXBTreeSemantics(t *testing.T) {
+	// memxb and xbtree must agree: both compute the XOR of digests over
+	// the range. This pins the two implementations to one another.
+	m, idx := buildRandom(1000, 2000, 15)
+	for lo := record.Key(0); lo < 2000; lo += 97 {
+		hi := lo + 333
+		if got, want := idx.GenerateVT(lo, hi), m.vt(lo, hi); got != want {
+			t.Fatalf("VT(%d,%d) mismatch", lo, hi)
+		}
+	}
+}
+
+func TestBytesEstimate(t *testing.T) {
+	_, idx := buildRandom(1000, 5000, 16)
+	if idx.Bytes() <= 0 {
+		t.Fatal("Bytes must be positive")
+	}
+	// A 1000-tuple index should sit in the tens of KB, far below the
+	// disk-based layout's page granularity.
+	if idx.Bytes() > 1<<20 {
+		t.Fatalf("Bytes = %d, implausibly large", idx.Bytes())
+	}
+}

@@ -1,0 +1,177 @@
+package pagestore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is a file-backed page store. Page id i lives at byte offset
+// i*PageSize. It is safe for concurrent use.
+//
+// The free list is kept in memory only: this store backs freshly built
+// experiment state, not a crash-safe database, so no free-list persistence
+// or write-ahead logging is needed.
+type File struct {
+	mu            sync.Mutex
+	f             *os.File
+	nPages        int
+	free          []PageID
+	closed        bool
+	removeOnClose bool
+}
+
+// OpenFile creates (truncating) a file-backed store at path. The file is
+// removed on Close; use ReopenFile for a store that persists.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: opening %s: %w", path, err)
+	}
+	return &File{f: f, removeOnClose: true}, nil
+}
+
+// CreateFile creates (truncating) a persistent file-backed store at path:
+// unlike OpenFile, Close leaves the file on disk so a later ReopenFile can
+// resume from it.
+func CreateFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: creating %s: %w", path, err)
+	}
+	return &File{f: f}, nil
+}
+
+// ReopenFile opens an existing page file, recovering the page count from
+// its size. The in-memory free list is not persisted: pages freed in a
+// previous session are treated as live (space is leaked, never corrupted),
+// the standard trade for a store without a free-space map.
+func ReopenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: reopening %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: stat %s: %w", path, err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: %s size %d is not page-aligned", path, info.Size())
+	}
+	return &File{f: f, nPages: int(info.Size() / PageSize)}, nil
+}
+
+// Allocate implements Store.
+func (s *File) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStoreClosed
+	}
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		var zero [PageSize]byte
+		if _, err := s.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+			return 0, fmt.Errorf("pagestore: zeroing recycled page %d: %w", id, err)
+		}
+		return id, nil
+	}
+	id := PageID(s.nPages)
+	s.nPages++
+	var zero [PageSize]byte
+	if _, err := s.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return 0, fmt.Errorf("pagestore: extending file for page %d: %w", id, err)
+	}
+	return id, nil
+}
+
+// Read implements Store.
+func (s *File) Read(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadBufSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if int(id) >= s.nPages {
+		return fmt.Errorf("%w: read %d", ErrBadPageID, id)
+	}
+	if _, err := s.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: reading page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Write implements Store.
+func (s *File) Write(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadBufSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if int(id) >= s.nPages {
+		return fmt.Errorf("%w: write %d", ErrBadPageID, id)
+	}
+	if _, err := s.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Free implements Store.
+func (s *File) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if int(id) >= s.nPages {
+		return fmt.Errorf("%w: free %d", ErrBadPageID, id)
+	}
+	s.free = append(s.free, id)
+	return nil
+}
+
+// NumPages implements Store.
+func (s *File) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nPages - len(s.free)
+}
+
+// Close implements Store. Stores created with OpenFile remove their file;
+// CreateFile/ReopenFile stores persist.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	name := s.f.Name()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if s.removeOnClose {
+		return os.Remove(name)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	return s.f.Sync()
+}

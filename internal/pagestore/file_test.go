@@ -1,0 +1,105 @@
+package pagestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCreateFilePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	want := make([]byte, PageSize)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("CreateFile store removed its file on Close: %v", err)
+	}
+
+	r, err := ReopenFile(path)
+	if err != nil {
+		t.Fatalf("ReopenFile: %v", err)
+	}
+	defer r.Close()
+	if n := r.NumPages(); n != 1 {
+		t.Fatalf("NumPages after reopen = %d, want 1", n)
+	}
+	got := make([]byte, PageSize)
+	if err := r.Read(id, got); err != nil {
+		t.Fatalf("Read after reopen: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page content lost across reopen")
+	}
+	// New allocations extend past the recovered pages.
+	id2, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != 1 {
+		t.Fatalf("post-reopen allocation id = %d, want 1", id2)
+	}
+}
+
+func TestOpenFileRemovesOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ephemeral.pages")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := s.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("OpenFile store left its file behind: %v", err)
+	}
+}
+
+func TestReopenFileRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pages")
+	if err := os.WriteFile(path, make([]byte, PageSize+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReopenFile(path); err == nil {
+		t.Fatal("ReopenFile accepted a misaligned file")
+	}
+}
+
+func TestReopenFileMissing(t *testing.T) {
+	if _, err := ReopenFile(filepath.Join(t.TempDir(), "nope.pages")); err == nil {
+		t.Fatal("ReopenFile accepted a missing file")
+	}
+}
+
+func TestSyncOnClosedStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Sync(); err != ErrStoreClosed {
+		t.Fatalf("Sync after close = %v, want ErrStoreClosed", err)
+	}
+}

@@ -1,0 +1,29 @@
+package record
+
+import "testing"
+
+// FuzzUnmarshal checks that the record decoder never panics and that any
+// successfully decoded record re-encodes to its own input prefix.
+func FuzzUnmarshal(f *testing.F) {
+	r := Synthesize(7, 1234)
+	f.Add(r.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, Size-1))
+	f.Add(make([]byte, Size+3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Unmarshal(data)
+		if err != nil {
+			if len(data) >= Size {
+				t.Fatalf("Unmarshal rejected a full-size buffer: %v", err)
+			}
+			return
+		}
+		out := rec.Marshal()
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("re-encode differs from input at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,26 @@
+package record
+
+import "fmt"
+
+// Range is a closed interval [Lo, Hi] on the search-key attribute — the 1D
+// range queries both outsourcing models answer and authenticate.
+type Range struct {
+	Lo, Hi Key
+}
+
+// Contains reports whether k falls inside the range.
+func (q Range) Contains(k Key) bool { return k >= q.Lo && k <= q.Hi }
+
+// Empty reports whether the range covers no keys.
+func (q Range) Empty() bool { return q.Lo > q.Hi }
+
+// Width returns the number of key values covered (0 for empty ranges).
+func (q Range) Width() int {
+	if q.Empty() {
+		return 0
+	}
+	return int(q.Hi-q.Lo) + 1
+}
+
+// String renders the range for logs.
+func (q Range) String() string { return fmt.Sprintf("[%d, %d]", q.Lo, q.Hi) }

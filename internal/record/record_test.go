@@ -1,0 +1,97 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalSize(t *testing.T) {
+	r := Synthesize(42, 1234)
+	b := r.Marshal()
+	if len(b) != Size {
+		t.Fatalf("Marshal length = %d, want %d", len(b), Size)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := Synthesize(7, 9999999)
+	got, err := Unmarshal(r.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(&r) {
+		t.Fatalf("round trip mismatch: got %v want %v", got, r)
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, Size-1)); err != ErrShortBuffer {
+		t.Fatalf("Unmarshal(short) error = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestUnmarshalIgnoresTrailingBytes(t *testing.T) {
+	r := Synthesize(1, 2)
+	buf := append(r.Marshal(), 0xAB, 0xCD)
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(&r) {
+		t.Fatal("trailing bytes changed decoded record")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, key uint32, seed int64) bool {
+		r := Synthesize(ID(id), Key(key%KeyDomain))
+		got, err := Unmarshal(r.Marshal())
+		return err == nil && got.Equal(&r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(99, 5)
+	b := Synthesize(99, 5)
+	if !a.Equal(&b) {
+		t.Fatal("Synthesize is not deterministic for identical inputs")
+	}
+	c := Synthesize(100, 5)
+	if a.Payload == c.Payload {
+		t.Fatal("Synthesize produced identical payloads for distinct ids")
+	}
+}
+
+func TestAppendBinaryAppends(t *testing.T) {
+	r := Synthesize(3, 4)
+	prefix := []byte{1, 2, 3}
+	out := r.AppendBinary(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatal("AppendBinary clobbered existing prefix")
+	}
+	if len(out) != 3+Size {
+		t.Fatalf("AppendBinary length = %d, want %d", len(out), 3+Size)
+	}
+}
+
+func TestSortByKeyOrdering(t *testing.T) {
+	a := Record{ID: 1, Key: 10}
+	b := Record{ID: 2, Key: 10}
+	c := Record{ID: 1, Key: 20}
+	if SortByKey(a, b) >= 0 {
+		t.Fatal("tie on key must be broken by id ascending")
+	}
+	if SortByKey(b, a) <= 0 {
+		t.Fatal("tie-break ordering must be antisymmetric")
+	}
+	if SortByKey(a, c) >= 0 || SortByKey(c, a) <= 0 {
+		t.Fatal("key ordering must dominate id ordering")
+	}
+	if SortByKey(a, a) != 0 {
+		t.Fatal("identical records must compare equal")
+	}
+}

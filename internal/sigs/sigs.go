@@ -1,0 +1,65 @@
+// Package sigs provides the public-key signature scheme used by the
+// traditional outsourcing model (TOM): the data owner signs the MB-Tree's
+// root digest, the service provider stores the signature alongside the tree,
+// and clients verify the reconstructed root against it.
+//
+// The paper uses an RSA cryptosystem via Crypto++; we use the standard
+// library's crypto/rsa with PKCS #1 v1.5 over the SHA-1 root digest.
+package sigs
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+
+	"sae/internal/digest"
+)
+
+// KeyBits is the RSA modulus size. 1024 bits matches the era of the paper's
+// experiments; Signature sizes (128 bytes) feed the VO-size accounting.
+const KeyBits = 1024
+
+// SignatureSize is the byte length of a signature under KeyBits.
+const SignatureSize = KeyBits / 8
+
+// Signer holds the data owner's private key.
+type Signer struct {
+	priv *rsa.PrivateKey
+}
+
+// Verifier holds the public half, distributed to clients out of band.
+type Verifier struct {
+	pub *rsa.PublicKey
+}
+
+// NewSigner generates a fresh owner key pair.
+func NewSigner() (*Signer, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("sigs: generating owner key: %w", err)
+	}
+	return &Signer{priv: priv}, nil
+}
+
+// Verifier returns the verifier for this signer's public key.
+func (s *Signer) Verifier() *Verifier {
+	return &Verifier{pub: &s.priv.PublicKey}
+}
+
+// Sign signs a root digest.
+func (s *Signer) Sign(d digest.Digest) ([]byte, error) {
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.priv, crypto.SHA1, d[:])
+	if err != nil {
+		return nil, fmt.Errorf("sigs: signing root digest: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks that sig is a valid signature over d.
+func (v *Verifier) Verify(d digest.Digest, sig []byte) error {
+	if err := rsa.VerifyPKCS1v15(v.pub, crypto.SHA1, d[:], sig); err != nil {
+		return fmt.Errorf("sigs: root signature rejected: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package sigs
+
+import (
+	"testing"
+
+	"sae/internal/digest"
+)
+
+func newSigner(t *testing.T) *Signer {
+	t.Helper()
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	return s
+}
+
+func TestSignVerify(t *testing.T) {
+	s := newSigner(t)
+	d := digest.OfBytes([]byte("root"))
+	sig, err := s.Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if len(sig) != SignatureSize {
+		t.Fatalf("signature size = %d, want %d", len(sig), SignatureSize)
+	}
+	if err := s.Verifier().Verify(d, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongDigest(t *testing.T) {
+	s := newSigner(t)
+	sig, err := s.Sign(digest.OfBytes([]byte("root")))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.Verifier().Verify(digest.OfBytes([]byte("other")), sig); err == nil {
+		t.Fatal("Verify accepted a signature over a different digest")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	s := newSigner(t)
+	d := digest.OfBytes([]byte("root"))
+	sig, err := s.Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	sig[0] ^= 0xFF
+	if err := s.Verifier().Verify(d, sig); err == nil {
+		t.Fatal("Verify accepted a corrupted signature")
+	}
+}
+
+func TestVerifyRejectsForeignKey(t *testing.T) {
+	a, b := newSigner(t), newSigner(t)
+	d := digest.OfBytes([]byte("root"))
+	sig, err := a.Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := b.Verifier().Verify(d, sig); err == nil {
+		t.Fatal("Verify accepted a signature from a different owner key")
+	}
+}

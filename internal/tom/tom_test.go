@@ -1,0 +1,170 @@
+package tom
+
+import (
+	"testing"
+
+	"sae/internal/record"
+	"sae/internal/sigs"
+	"sae/internal/workload"
+)
+
+func newTestSystem(t *testing.T, n int, dist workload.Distribution) (*System, *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Generate(dist, n, 200)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys, ds
+}
+
+func refResult(ds *workload.Dataset, q record.Range) []record.Record {
+	var out []record.Record
+	for i := range ds.Records {
+		if q.Contains(ds.Records[i].Key) {
+			out = append(out, ds.Records[i])
+		}
+	}
+	return out
+}
+
+func TestHonestQueryVerifies(t *testing.T) {
+	sys, ds := newTestSystem(t, 3000, workload.UNF)
+	for _, q := range workload.Queries(15, workload.DefaultExtent, 201) {
+		out, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", q, err)
+		}
+		if out.VerifyErr != nil {
+			t.Fatalf("honest result rejected for %v: %v", q, out.VerifyErr)
+		}
+		if want := refResult(ds, q); len(out.Result) != len(want) {
+			t.Fatalf("result size %d, want %d", len(out.Result), len(want))
+		}
+	}
+}
+
+func busyQuery(t *testing.T, ds *workload.Dataset) record.Range {
+	t.Helper()
+	for _, q := range workload.Queries(50, workload.DefaultExtent, 202) {
+		if len(refResult(ds, q)) >= 3 {
+			return q
+		}
+	}
+	t.Fatal("no query with enough results")
+	return record.Range{}
+}
+
+func TestTamperedResultsDetected(t *testing.T) {
+	sys, ds := newTestSystem(t, 3000, workload.UNF)
+	q := busyQuery(t, ds)
+	attacks := map[string]Tamper{
+		"drop": func(rs []record.Record) []record.Record { return rs[1:] },
+		"modify": func(rs []record.Record) []record.Record {
+			out := append([]record.Record(nil), rs...)
+			out[0].Payload[3] ^= 0x55
+			return out
+		},
+		"inject": func(rs []record.Record) []record.Record {
+			fake := record.Synthesize(10_000_000, (q.Lo+q.Hi)/2)
+			return append(append([]record.Record(nil), rs...), fake)
+		},
+	}
+	for name, tamper := range attacks {
+		t.Run(name, func(t *testing.T) {
+			sys.Provider.SetTamper(tamper)
+			defer sys.Provider.SetTamper(nil)
+			out, err := sys.Query(q)
+			if err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+			if out.VerifyErr == nil {
+				t.Fatalf("%s attack not detected", name)
+			}
+		})
+	}
+}
+
+func TestUpdatesResignRoot(t *testing.T) {
+	sys, _ := newTestSystem(t, 1000, workload.UNF)
+	var recs []record.Record
+	for i := 0; i < 10; i++ {
+		r, err := sys.Insert(record.Key(4000+i*10), record.ID(50_000+i))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	q := record.Range{Lo: 4000, Hi: 4100}
+	out, err := sys.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.VerifyErr != nil {
+		t.Fatalf("verification failed after inserts: %v", out.VerifyErr)
+	}
+	for _, r := range recs[:5] {
+		if err := sys.Delete(r.ID, r.Key); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	out, err = sys.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.VerifyErr != nil {
+		t.Fatalf("verification failed after deletes: %v", out.VerifyErr)
+	}
+}
+
+func TestVOSizeVersusVT(t *testing.T) {
+	// The headline Figure 5 contrast: TOM's per-query authentication data
+	// is orders of magnitude larger than SAE's 20-byte token.
+	sys, ds := newTestSystem(t, 3000, workload.UNF)
+	q := busyQuery(t, ds)
+	out, err := sys.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.VO.Size() < 50*20 {
+		t.Fatalf("VO size %d suspiciously small", out.VO.Size())
+	}
+}
+
+func TestWrongVerifierRejects(t *testing.T) {
+	sys, ds := newTestSystem(t, 1000, workload.UNF)
+	q := busyQuery(t, ds)
+	out, err := sys.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	stranger, err := sigs.NewSigner()
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	c := Client{Verifier: stranger.Verifier()}
+	if _, err := c.Verify(q, out.Result, out.VO); err == nil {
+		t.Fatal("client accepted a VO under a stranger's key")
+	}
+}
+
+func TestDeleteUnknownID(t *testing.T) {
+	sys, _ := newTestSystem(t, 100, workload.UNF)
+	if err := sys.Delete(record.ID(777_777), 5); err == nil {
+		t.Fatal("Delete of unknown id succeeded")
+	}
+}
+
+func TestStorageIncludesTree(t *testing.T) {
+	sys, _ := newTestSystem(t, 2000, workload.UNF)
+	total := sys.Provider.StorageBytes()
+	if total <= 0 {
+		t.Fatal("no storage accounted")
+	}
+	if sys.Provider.IndexHeight() < 2 {
+		t.Fatalf("MB-Tree height = %d, want >= 2 at n=2000", sys.Provider.IndexHeight())
+	}
+}

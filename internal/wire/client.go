@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/mbtree"
+	"sae/internal/record"
+	"sae/internal/sigs"
+)
+
+// conn is a persistent request/response connection with byte accounting.
+// All client stubs embed it; it is safe for concurrent use (requests are
+// serialized).
+type conn struct {
+	mu      sync.Mutex
+	c       net.Conn
+	sent    int64
+	receivd int64
+}
+
+func dial(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return &conn{c: c}, nil
+}
+
+// roundTrip sends one frame and reads the response, translating MsgErr.
+func (c *conn) roundTrip(req Frame) (Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.c, req); err != nil {
+		return Frame{}, err
+	}
+	c.sent += int64(5 + len(req.Payload))
+	resp, err := ReadFrame(c.c)
+	if err != nil {
+		return Frame{}, err
+	}
+	c.receivd += int64(5 + len(resp.Payload))
+	if resp.Type == MsgErr {
+		return Frame{}, fmt.Errorf("wire: server error: %s", resp.Payload)
+	}
+	return resp, nil
+}
+
+// BytesSent returns the bytes written to this connection so far.
+func (c *conn) BytesSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// BytesReceived returns the bytes read from this connection so far.
+func (c *conn) BytesReceived() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.receivd
+}
+
+// Close closes the connection.
+func (c *conn) Close() error { return c.c.Close() }
+
+// SPClient talks to an SAE service provider.
+type SPClient struct{ *conn }
+
+// DialSP connects to an SP server.
+func DialSP(addr string) (*SPClient, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &SPClient{conn: c}, nil
+}
+
+// Query fetches the result records for a range.
+func (c *SPClient) Query(q record.Range) ([]record.Record, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	recs, rest, err := DecodeRecords(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(rest))
+	}
+	return recs, nil
+}
+
+// Insert pushes an owner insertion.
+func (c *SPClient) Insert(r record.Record) error {
+	return c.expectAck(Frame{Type: MsgInsert, Payload: r.Marshal()})
+}
+
+// Delete pushes an owner deletion.
+func (c *SPClient) Delete(id record.ID, key record.Key) error {
+	return c.expectAck(Frame{Type: MsgDelete, Payload: EncodeDelete(id, key)})
+}
+
+func (c *conn) expectAck(req Frame) error {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgAck {
+		return fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return nil
+}
+
+// TEClient talks to a trusted entity.
+type TEClient struct{ *conn }
+
+// DialTE connects to a TE server.
+func DialTE(addr string) (*TEClient, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TEClient{conn: c}, nil
+}
+
+// GenerateVT fetches the verification token for a range.
+func (c *TEClient) GenerateVT(q record.Range) (digest.Digest, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgVTRequest, Payload: EncodeRange(q)})
+	if err != nil {
+		return digest.Zero, err
+	}
+	if resp.Type != MsgVT || len(resp.Payload) != digest.Size {
+		return digest.Zero, fmt.Errorf("%w: malformed token response", ErrProtocol)
+	}
+	return digest.FromBytes(resp.Payload), nil
+}
+
+// Insert pushes an owner insertion.
+func (c *TEClient) Insert(r record.Record) error {
+	return c.expectAck(Frame{Type: MsgInsert, Payload: r.Marshal()})
+}
+
+// Delete pushes an owner deletion.
+func (c *TEClient) Delete(id record.ID, key record.Key) error {
+	return c.expectAck(Frame{Type: MsgDelete, Payload: EncodeDelete(id, key)})
+}
+
+// TOMClient talks to a TOM provider.
+type TOMClient struct{ *conn }
+
+// DialTOM connects to a TOM provider server.
+func DialTOM(addr string) (*TOMClient, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TOMClient{conn: c}, nil
+}
+
+// Query fetches result records plus their verification object.
+func (c *TOMClient) Query(q record.Range) ([]record.Record, *mbtree.VO, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgTOMQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Type != MsgTOMResult {
+		return nil, nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	recs, rest, err := DecodeRecords(resp.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	vo, err := mbtree.UnmarshalVO(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return recs, vo, nil
+}
+
+// VerifyingClient performs the full SAE protocol over the network: it
+// queries the SP and the TE concurrently (the paper's latency optimization)
+// and verifies the result before returning it.
+type VerifyingClient struct {
+	SP *SPClient
+	TE *TEClient
+}
+
+// DialVerifying connects to both SAE parties.
+func DialVerifying(spAddr, teAddr string) (*VerifyingClient, error) {
+	sp, err := DialSP(spAddr)
+	if err != nil {
+		return nil, err
+	}
+	te, err := DialTE(teAddr)
+	if err != nil {
+		sp.Close()
+		return nil, err
+	}
+	return &VerifyingClient{SP: sp, TE: te}, nil
+}
+
+// Close closes both connections.
+func (v *VerifyingClient) Close() error {
+	err1 := v.SP.Close()
+	err2 := v.TE.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Query runs the verified range query. It returns the records only if they
+// passed verification against the TE's token.
+func (v *VerifyingClient) Query(q record.Range) ([]record.Record, error) {
+	type spOut struct {
+		recs []record.Record
+		err  error
+	}
+	type teOut struct {
+		vt  digest.Digest
+		err error
+	}
+	spCh := make(chan spOut, 1)
+	teCh := make(chan teOut, 1)
+	go func() {
+		recs, err := v.SP.Query(q)
+		spCh <- spOut{recs, err}
+	}()
+	go func() {
+		vt, err := v.TE.GenerateVT(q)
+		teCh <- teOut{vt, err}
+	}()
+	sp := <-spCh
+	te := <-teCh
+	if sp.err != nil {
+		return nil, fmt.Errorf("wire: SP query failed: %w", sp.err)
+	}
+	if te.err != nil {
+		return nil, fmt.Errorf("wire: TE token failed: %w", te.err)
+	}
+	var client core.Client
+	if _, err := client.Verify(q, sp.recs, te.vt); err != nil {
+		return nil, err
+	}
+	return sp.recs, nil
+}
+
+// VerifyingTOMClient performs the full TOM protocol over the network.
+type VerifyingTOMClient struct {
+	Provider *TOMClient
+	Verifier *sigs.Verifier
+}
+
+// Query runs the verified TOM range query.
+func (v *VerifyingTOMClient) Query(q record.Range) ([]record.Record, error) {
+	recs, vo, err := v.Provider.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := mbtree.VerifyVO(vo, recs, q.Lo, q.Hi, v.Verifier); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,161 @@
+// Package wire puts the outsourcing protocols on the network: framing and
+// codecs for every message the parties exchange, TCP servers wrapping the
+// SAE service provider, trusted entity and TOM provider, and client stubs
+// that measure real bytes on the wire — the deployment the paper describes,
+// where "the client sends the query to both the TE and the SP
+// simultaneously".
+//
+// The protocol is deliberately simple: a 1-byte message type, a 4-byte
+// big-endian payload length, then the payload. Connections are persistent
+// and carry sequential request/response pairs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sae/internal/record"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType byte
+
+// Protocol message types.
+const (
+	// Client -> SP.
+	MsgQuery MsgType = 1
+	// SP -> client: record count + records.
+	MsgResult MsgType = 2
+	// Client -> TE.
+	MsgVTRequest MsgType = 3
+	// TE -> client: a 20-byte token.
+	MsgVT MsgType = 4
+	// Owner -> SP/TE: one record.
+	MsgInsert MsgType = 5
+	// Owner -> SP/TE: id + key.
+	MsgDelete MsgType = 6
+	// Generic success.
+	MsgAck MsgType = 7
+	// Error with a message string.
+	MsgErr MsgType = 8
+	// Client -> TOM provider.
+	MsgTOMQuery MsgType = 9
+	// TOM provider -> client: records + serialized VO.
+	MsgTOMResult MsgType = 10
+)
+
+// MaxPayload bounds a frame payload (64 MiB — far above any legal
+// response) to stop a corrupt or malicious length prefix from driving an
+// allocation.
+const MaxPayload = 64 << 20
+
+// ErrProtocol is wrapped by all framing and decoding failures.
+var ErrProtocol = errors.New("wire: protocol error")
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteFrame writes a frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [5]byte
+	hdr[0] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	f := Frame{Type: MsgType(hdr[0]), Payload: make([]byte, n)}
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	}
+	return f, nil
+}
+
+// EncodeRange serializes a query range.
+func EncodeRange(q record.Range) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(q.Lo))
+	binary.BigEndian.PutUint32(b[4:8], uint32(q.Hi))
+	return b[:]
+}
+
+// DecodeRange parses a query range.
+func DecodeRange(b []byte) (record.Range, error) {
+	if len(b) != 8 {
+		return record.Range{}, fmt.Errorf("%w: range payload of %d bytes", ErrProtocol, len(b))
+	}
+	return record.Range{
+		Lo: record.Key(binary.BigEndian.Uint32(b[0:4])),
+		Hi: record.Key(binary.BigEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// EncodeRecords serializes a record list: count then fixed-size records.
+func EncodeRecords(recs []record.Record) []byte {
+	out := make([]byte, 4, 4+len(recs)*record.Size)
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(recs)))
+	for i := range recs {
+		out = recs[i].AppendBinary(out)
+	}
+	return out
+}
+
+// DecodeRecords parses a record list, returning any trailing bytes (used
+// by the TOM result codec, which appends the VO).
+func DecodeRecords(b []byte) ([]record.Record, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated record count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n > MaxPayload/record.Size {
+		return nil, nil, fmt.Errorf("%w: implausible record count %d", ErrProtocol, n)
+	}
+	recs := make([]record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := record.Unmarshal(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated record %d", ErrProtocol, i)
+		}
+		recs = append(recs, r)
+		b = b[record.Size:]
+	}
+	return recs, b, nil
+}
+
+// EncodeDelete serializes an owner deletion.
+func EncodeDelete(id record.ID, key record.Key) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(id))
+	binary.BigEndian.PutUint32(b[8:12], uint32(key))
+	return b[:]
+}
+
+// DecodeDelete parses an owner deletion.
+func DecodeDelete(b []byte) (record.ID, record.Key, error) {
+	if len(b) != 12 {
+		return 0, 0, fmt.Errorf("%w: delete payload of %d bytes", ErrProtocol, len(b))
+	}
+	return record.ID(binary.BigEndian.Uint64(b[0:8])),
+		record.Key(binary.BigEndian.Uint32(b[8:12])), nil
+}

@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"sae/internal/core"
+	"sae/internal/record"
+	"sae/internal/tom"
+)
+
+// handler maps one request frame to one response frame.
+type handler func(Frame) Frame
+
+// server is the shared TCP accept/serve loop.
+type server struct {
+	ln     net.Listener
+	handle handler
+	logf   func(string, ...any)
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newServer(addr string, handle handler, logf func(string, ...any)) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &server{
+		ln:     ln,
+		handle: handle,
+		logf:   logf,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with ":0" listeners).
+func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections and waits for the serving
+// goroutines to drain.
+func (s *server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				s.logf("wire: accept: %v", err)
+				return
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: reading request: %v", err)
+			}
+			return
+		}
+		if err := WriteFrame(conn, s.handle(req)); err != nil {
+			s.logf("wire: writing response: %v", err)
+			return
+		}
+	}
+}
+
+func errFrame(err error) Frame {
+	return Frame{Type: MsgErr, Payload: []byte(err.Error())}
+}
+
+// SPServer exposes an SAE service provider over TCP: queries, inserts and
+// deletes.
+type SPServer struct {
+	*server
+	sp *core.ServiceProvider
+}
+
+// ServeSP starts an SP server on addr (use "127.0.0.1:0" for tests).
+func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any)) (*SPServer, error) {
+	srv := &SPServer{sp: sp}
+	s, err := newServer(addr, srv.handle, logf)
+	if err != nil {
+		return nil, err
+	}
+	srv.server = s
+	return srv, nil
+}
+
+func (s *SPServer) handle(req Frame) Frame {
+	switch req.Type {
+	case MsgQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		recs, _, err := s.sp.Query(q)
+		if err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgResult, Payload: EncodeRecords(recs)}
+	case MsgInsert:
+		r, err := record.Unmarshal(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.sp.ApplyInsert(r); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgDelete:
+		id, key, err := DecodeDelete(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.sp.ApplyDelete(id, key); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	default:
+		return errFrame(fmt.Errorf("%w: SP cannot handle message type %d", ErrProtocol, req.Type))
+	}
+}
+
+// TEServer exposes a trusted entity over TCP: token requests and owner
+// updates.
+type TEServer struct {
+	*server
+	te *core.TrustedEntity
+}
+
+// ServeTE starts a TE server on addr.
+func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any)) (*TEServer, error) {
+	srv := &TEServer{te: te}
+	s, err := newServer(addr, srv.handle, logf)
+	if err != nil {
+		return nil, err
+	}
+	srv.server = s
+	return srv, nil
+}
+
+func (s *TEServer) handle(req Frame) Frame {
+	switch req.Type {
+	case MsgVTRequest:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		vt, _, err := s.te.GenerateVT(q)
+		if err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgVT, Payload: vt[:]}
+	case MsgInsert:
+		r, err := record.Unmarshal(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.te.ApplyInsert(r); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgDelete:
+		id, key, err := DecodeDelete(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.te.ApplyDelete(id, key); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	default:
+		return errFrame(fmt.Errorf("%w: TE cannot handle message type %d", ErrProtocol, req.Type))
+	}
+}
+
+// TOMServer exposes a TOM provider over TCP: queries answered with records
+// plus a serialized VO.
+type TOMServer struct {
+	*server
+	provider *tom.Provider
+	owner    *tom.Owner
+}
+
+// ServeTOM starts a TOM provider server on addr.
+func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(string, ...any)) (*TOMServer, error) {
+	srv := &TOMServer{provider: provider, owner: owner}
+	s, err := newServer(addr, srv.handle, logf)
+	if err != nil {
+		return nil, err
+	}
+	srv.server = s
+	return srv, nil
+}
+
+func (s *TOMServer) handle(req Frame) Frame {
+	switch req.Type {
+	case MsgTOMQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		recs, vo, _, err := s.provider.Query(q)
+		if err != nil {
+			return errFrame(err)
+		}
+		payload := EncodeRecords(recs)
+		payload = append(payload, vo.Marshal()...)
+		return Frame{Type: MsgTOMResult, Payload: payload}
+	case MsgInsert:
+		r, err := record.Unmarshal(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.provider.ApplyInsert(r, s.owner); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgDelete:
+		id, key, err := DecodeDelete(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.provider.ApplyDelete(id, key, s.owner); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	default:
+		return errFrame(fmt.Errorf("%w: TOM provider cannot handle message type %d", ErrProtocol, req.Type))
+	}
+}
+
+// Logf is a convenience logger adapter for the servers.
+func Logf(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf(prefix+": "+format, args...)
+	}
+}

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/tom"
+	"sae/internal/workload"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: MsgQuery, Payload: []byte{1, 2, 3}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if out.Type != in.Type || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameRejectsHugePayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{byte(MsgQuery), 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("ReadFrame(huge) error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestRangeCodec(t *testing.T) {
+	q := record.Range{Lo: 123, Hi: 456789}
+	got, err := DecodeRange(EncodeRange(q))
+	if err != nil || got != q {
+		t.Fatalf("range codec: got %v err %v", got, err)
+	}
+	if _, err := DecodeRange([]byte{1, 2}); !errors.Is(err, ErrProtocol) {
+		t.Fatal("DecodeRange accepted a short payload")
+	}
+}
+
+func TestRecordsCodec(t *testing.T) {
+	recs := []record.Record{record.Synthesize(1, 10), record.Synthesize(2, 20)}
+	buf := append(EncodeRecords(recs), 0xAA, 0xBB)
+	got, rest, err := DecodeRecords(buf)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if len(got) != 2 || !got[0].Equal(&recs[0]) || !got[1].Equal(&recs[1]) {
+		t.Fatal("records round trip mismatch")
+	}
+	if !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+		t.Fatal("trailing bytes not preserved")
+	}
+	if _, _, err := DecodeRecords([]byte{0, 0, 0, 5, 1}); !errors.Is(err, ErrProtocol) {
+		t.Fatal("DecodeRecords accepted a truncated record list")
+	}
+}
+
+func TestDeleteCodec(t *testing.T) {
+	id, key, err := DecodeDelete(EncodeDelete(42, 99))
+	if err != nil || id != 42 || key != 99 {
+		t.Fatalf("delete codec: id=%d key=%d err=%v", id, key, err)
+	}
+}
+
+// launchSAE boots an SP and a TE over loopback with a shared dataset.
+func launchSAE(t *testing.T, n int) (*SPServer, *TEServer, *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Generate(workload.UNF, n, 55)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sp := core.NewServiceProvider(pagestore.NewMem())
+	te := core.NewTrustedEntity(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatalf("sp.Load: %v", err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatalf("te.Load: %v", err)
+	}
+	spSrv, err := ServeSP("127.0.0.1:0", sp, nil)
+	if err != nil {
+		t.Fatalf("ServeSP: %v", err)
+	}
+	t.Cleanup(func() { spSrv.Close() })
+	teSrv, err := ServeTE("127.0.0.1:0", te, nil)
+	if err != nil {
+		t.Fatalf("ServeTE: %v", err)
+	}
+	t.Cleanup(func() { teSrv.Close() })
+	return spSrv, teSrv, ds
+}
+
+func TestNetworkedVerifiedQuery(t *testing.T) {
+	spSrv, teSrv, ds := launchSAE(t, 5000)
+	client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialVerifying: %v", err)
+	}
+	defer client.Close()
+
+	for _, q := range workload.Queries(10, workload.DefaultExtent, 56) {
+		recs, err := client.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", q, err)
+		}
+		want := 0
+		for i := range ds.Records {
+			if q.Contains(ds.Records[i].Key) {
+				want++
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("Query(%v) = %d records, want %d", q, len(recs), want)
+		}
+	}
+}
+
+func TestNetworkedTokenBytes(t *testing.T) {
+	// The Figure 5 claim measured on a real socket: the TE→client exchange
+	// per query is a handful of bytes (frame overhead + 20-byte token).
+	spSrv, teSrv, _ := launchSAE(t, 3000)
+	_ = spSrv
+	te, err := DialTE(teSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialTE: %v", err)
+	}
+	defer te.Close()
+	const queries = 10
+	for _, q := range workload.Queries(queries, workload.DefaultExtent, 57) {
+		if _, err := te.GenerateVT(q); err != nil {
+			t.Fatalf("GenerateVT: %v", err)
+		}
+	}
+	perQuery := te.BytesReceived() / queries
+	if perQuery != 5+digest.Size {
+		t.Fatalf("TE->client bytes per query = %d, want %d", perQuery, 5+digest.Size)
+	}
+}
+
+func TestNetworkedUpdateFlow(t *testing.T) {
+	spSrv, teSrv, _ := launchSAE(t, 2000)
+	client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialVerifying: %v", err)
+	}
+	defer client.Close()
+
+	// The owner pushes an insert to both parties over the wire.
+	fresh := record.Synthesize(900_001, 4_242_424)
+	if err := client.SP.Insert(fresh); err != nil {
+		t.Fatalf("SP.Insert: %v", err)
+	}
+	if err := client.TE.Insert(fresh); err != nil {
+		t.Fatalf("TE.Insert: %v", err)
+	}
+	recs, err := client.Query(record.Range{Lo: 4_242_000, Hi: 4_243_000})
+	if err != nil {
+		t.Fatalf("Query after insert: %v", err)
+	}
+	found := false
+	for i := range recs {
+		if recs[i].ID == fresh.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted record not returned after networked update")
+	}
+	// And a delete.
+	if err := client.SP.Delete(fresh.ID, fresh.Key); err != nil {
+		t.Fatalf("SP.Delete: %v", err)
+	}
+	if err := client.TE.Delete(fresh.ID, fresh.Key); err != nil {
+		t.Fatalf("TE.Delete: %v", err)
+	}
+	recs, err = client.Query(record.Range{Lo: 4_242_000, Hi: 4_243_000})
+	if err != nil {
+		t.Fatalf("Query after delete: %v", err)
+	}
+	for i := range recs {
+		if recs[i].ID == fresh.ID {
+			t.Fatal("deleted record still returned")
+		}
+	}
+}
+
+func TestNetworkedTamperDetection(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 58)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sp := core.NewServiceProvider(pagestore.NewMem())
+	te := core.NewTrustedEntity(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	// Find a query with results, then make the networked SP malicious.
+	var q record.Range
+	for _, cand := range workload.Queries(50, workload.DefaultExtent, 59) {
+		cnt := 0
+		for i := range ds.Records {
+			if cand.Contains(ds.Records[i].Key) {
+				cnt++
+			}
+		}
+		if cnt >= 2 {
+			q = cand
+			break
+		}
+	}
+	sp.SetTamper(core.DropTamper(0))
+
+	spSrv, err := ServeSP("127.0.0.1:0", sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spSrv.Close()
+	teSrv, err := ServeTE("127.0.0.1:0", te, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teSrv.Close()
+
+	client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Query(q); !errors.Is(err, core.ErrVerificationFailed) {
+		t.Fatalf("networked drop attack not detected: %v", err)
+	}
+}
+
+func TestNetworkedTOM(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 60)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	owner, err := tom.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := tom.NewProvider(pagestore.NewMem())
+	if err := provider.Load(ds.Records, owner); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeTOM("127.0.0.1:0", provider, owner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc, err := DialTOM(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	client := &VerifyingTOMClient{Provider: tc, Verifier: owner.Verifier()}
+	q := workload.Queries(1, workload.DefaultExtent, 61)[0]
+	recs, err := client.Query(q)
+	if err != nil {
+		t.Fatalf("TOM networked query: %v", err)
+	}
+	want := 0
+	for i := range ds.Records {
+		if q.Contains(ds.Records[i].Key) {
+			want++
+		}
+	}
+	if len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	// VO bytes on the wire dwarf the SAE token.
+	if tc.BytesReceived() < 1000 {
+		t.Fatalf("TOM response suspiciously small: %d bytes", tc.BytesReceived())
+	}
+}
+
+func TestServerRejectsUnknownMessage(t *testing.T) {
+	spSrv, _, _ := launchSAE(t, 100)
+	c, err := dial(spSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.roundTrip(Frame{Type: MsgVT})
+	if err == nil || !strings.Contains(err.Error(), "cannot handle") {
+		t.Fatalf("unknown message error = %v", err)
+	}
+}
+
+func TestConcurrentNetworkedClients(t *testing.T) {
+	spSrv, teSrv, _ := launchSAE(t, 5000)
+	queries := workload.Queries(8, workload.DefaultExtent, 62)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer client.Close()
+			for rep := 0; rep < 5; rep++ {
+				if _, err := client.Query(queries[(w+rep)%len(queries)]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent client: %v", err)
+	}
+}

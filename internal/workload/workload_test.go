@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"sae/internal/record"
+)
+
+func TestGenerateUniform(t *testing.T) {
+	ds, err := Generate(UNF, 10_000, 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ds.Records) != 10_000 {
+		t.Fatalf("got %d records", len(ds.Records))
+	}
+	if !sort.SliceIsSorted(ds.Records, func(i, j int) bool {
+		return record.SortByKey(ds.Records[i], ds.Records[j]) < 0
+	}) {
+		t.Fatal("records not sorted by key")
+	}
+	// A uniform dataset should show ~20% of keys in 20% of the domain.
+	c := Concentration(ds.Records, 0.2)
+	if c < 0.17 || c > 0.23 {
+		t.Fatalf("UNF concentration at 20%% = %.3f, want ~0.20", c)
+	}
+}
+
+func TestGenerateSkewed(t *testing.T) {
+	ds, err := Generate(SKW, 50_000, 2)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// The paper: ~77% of the keys in 20% of the domain for θ=0.8. The
+	// bucketed sampler lands within a few points of that.
+	c := Concentration(ds.Records, 0.2)
+	if c < 0.74 || c > 0.80 {
+		t.Fatalf("SKW concentration at 20%% = %.3f, want ~0.77", c)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(SKW, 1000, 42)
+	b, _ := Generate(SKW, 1000, 42)
+	for i := range a.Records {
+		if !a.Records[i].Equal(&b.Records[i]) {
+			t.Fatalf("records diverge at %d for identical seeds", i)
+		}
+	}
+	c, _ := Generate(SKW, 1000, 43)
+	same := true
+	for i := range a.Records {
+		if !a.Records[i].Equal(&c.Records[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateUnknownDistribution(t *testing.T) {
+	if _, err := Generate("GAUSS", 10, 1); err == nil {
+		t.Fatal("Generate accepted an unknown distribution")
+	}
+}
+
+func TestGenerateIDsUnique(t *testing.T) {
+	ds, _ := Generate(UNF, 5000, 3)
+	seen := make(map[record.ID]bool, len(ds.Records))
+	for i := range ds.Records {
+		id := ds.Records[i].ID
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestQueries(t *testing.T) {
+	qs := Queries(100, DefaultExtent, 4)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	wantWidth := record.Key(DefaultExtent * float64(record.KeyDomain))
+	for i, q := range qs {
+		if q.Empty() {
+			t.Fatalf("query %d is empty", i)
+		}
+		if q.Hi-q.Lo != wantWidth {
+			t.Fatalf("query %d extent = %d, want %d", i, q.Hi-q.Lo, wantWidth)
+		}
+		if int(q.Hi) >= record.KeyDomain+int(wantWidth) {
+			t.Fatalf("query %d exceeds domain", i)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a := Queries(50, DefaultExtent, 7)
+	b := Queries(50, DefaultExtent, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("queries diverge for identical seeds")
+		}
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	q := record.Range{Lo: 10, Hi: 20}
+	if !q.Contains(10) || !q.Contains(20) || q.Contains(9) || q.Contains(21) {
+		t.Fatal("Contains misbehaves at boundaries")
+	}
+	if q.Width() != 11 {
+		t.Fatalf("Width = %d, want 11", q.Width())
+	}
+	empty := record.Range{Lo: 5, Hi: 4}
+	if !empty.Empty() || empty.Width() != 0 {
+		t.Fatal("empty range misdetected")
+	}
+}

@@ -1,0 +1,260 @@
+package xbtree
+
+import (
+	"fmt"
+
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// KeyTuples is a bulk-load item: one distinct search key and the tuples of
+// all records carrying it.
+type KeyTuples struct {
+	Key    record.Key
+	Tuples []Tuple
+}
+
+// Bulkload builds an XB-Tree from items sorted by strictly ascending key.
+// Leaves are packed to capacity with single separator entries pulled up
+// between them (the classic bottom-up B-tree build), and all X values are
+// computed during construction. This is how the TE indexes the data owner's
+// initial transfer.
+func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
+	for i := range items {
+		if i > 0 && items[i-1].Key >= items[i].Key {
+			return nil, fmt.Errorf("xbtree: bulkload keys not strictly ascending at %d", i)
+		}
+		if len(items[i].Tuples) == 0 {
+			return nil, fmt.Errorf("xbtree: bulkload item %d has no tuples", i)
+		}
+	}
+	if len(items) == 0 {
+		return New(store)
+	}
+	t := &Tree{store: store, lists: newLStore(store)}
+
+	// Materialize every tuple list up front.
+	type loaded struct {
+		sk   record.Key
+		lref listRef
+		lxor digest.Digest
+	}
+	flat := make([]loaded, len(items))
+	for i, it := range items {
+		lref, err := t.lists.alloc(it.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		var acc digest.Accumulator
+		for _, tup := range it.Tuples {
+			acc.Add(tup.Digest)
+		}
+		flat[i] = loaded{sk: it.Key, lref: lref, lxor: acc.Sum()}
+		t.tuples += len(it.Tuples)
+	}
+	t.keys = len(items)
+
+	// Build the leaf level: runs of LeafCapacity entries separated by one
+	// pulled-up item each.
+	type builtNode struct {
+		id  pagestore.PageID
+		agg digest.Digest
+	}
+	var nodes []builtNode
+	var seps []loaded
+	for i := 0; i < len(flat); {
+		chunk := LeafCapacity
+		if rem := len(flat) - i; chunk > rem {
+			chunk = rem
+		}
+		if len(flat)-i-chunk == 1 {
+			chunk-- // never strand a separator without a right sibling
+		}
+		n := &xnode{leaf: true}
+		for _, it := range flat[i : i+chunk] {
+			n.entries = append(n.entries, entry{sk: it.sk, lref: it.lref, x: it.lxor, child: pagestore.InvalidPage})
+		}
+		id, err := t.allocNode(n)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, builtNode{id: id, agg: n.agg()})
+		i += chunk
+		if i < len(flat) {
+			seps = append(seps, flat[i])
+			i++
+		}
+	}
+
+	// Build internal levels until one node remains. seps[k] sits between
+	// nodes[k] and nodes[k+1].
+	t.height = 1
+	for len(nodes) > 1 {
+		var upNodes []builtNode
+		var upSeps []loaded
+		for j := 0; j < len(nodes); {
+			rem := len(nodes) - j
+			g := InnerCapacity
+			if g > rem-1 {
+				g = rem - 1
+			}
+			if rem-(g+1) == 1 {
+				g-- // leave the trailing node a sibling and separator
+			}
+			n := &xnode{leaf: false, e0C: nodes[j].id, e0X: nodes[j].agg}
+			for k := 0; k < g; k++ {
+				s := seps[j+k]
+				child := nodes[j+k+1]
+				n.entries = append(n.entries, entry{
+					sk:    s.sk,
+					lref:  s.lref,
+					x:     s.lxor.XOR(child.agg),
+					child: child.id,
+				})
+			}
+			id, err := t.allocNode(n)
+			if err != nil {
+				return nil, err
+			}
+			upNodes = append(upNodes, builtNode{id: id, agg: n.agg()})
+			j += g + 1
+			if j < len(nodes) {
+				upSeps = append(upSeps, seps[j-1])
+			}
+		}
+		nodes, seps = upNodes, upSeps
+		t.height++
+	}
+	t.root = nodes[0].id
+	return t, nil
+}
+
+// Lookup returns the tuples stored under key, or ok == false if the key has
+// never been inserted. Tombstoned keys return an empty slice and ok == true.
+func (t *Tree) Lookup(key record.Key) ([]Tuple, bool, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, false, err
+		}
+		pos, ok := searchEntries(n.entries, key)
+		if ok {
+			ts, err := t.lists.read(n.entries[pos].lref)
+			return ts, true, err
+		}
+		if n.leaf {
+			return nil, false, nil
+		}
+		if pos == 0 {
+			id = n.e0C
+		} else {
+			id = n.entries[pos-1].child
+		}
+	}
+}
+
+// Validate checks every structural and cryptographic invariant of the tree:
+// strict key ordering within and across nodes, child pointers consistent
+// with leaf level, and — the XB-Tree's defining property — that every
+// entry's X equals its list's XOR combined with its child subtree's
+// aggregate. It recomputes everything from the page images, so tests can
+// run it after arbitrary operation interleavings.
+func (t *Tree) Validate() error {
+	tuples := 0
+	var walk func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error)
+	walk = func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error) {
+		n, err := t.readNode(id)
+		if err != nil {
+			return digest.Zero, err
+		}
+		if (level == 1) != n.leaf {
+			return digest.Zero, fmt.Errorf("xbtree: node %d leaf flag inconsistent with level %d", id, level)
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if i > 0 && n.entries[i-1].sk >= e.sk {
+				return digest.Zero, fmt.Errorf("xbtree: node %d keys not strictly ascending at %d", id, i)
+			}
+			if lo != nil && e.sk <= *lo {
+				return digest.Zero, fmt.Errorf("xbtree: node %d key %d violates lower bound %d", id, e.sk, *lo)
+			}
+			if hi != nil && e.sk >= *hi {
+				return digest.Zero, fmt.Errorf("xbtree: node %d key %d violates upper bound %d", id, e.sk, *hi)
+			}
+		}
+		var acc digest.Accumulator
+		if n.leaf {
+			for i := range n.entries {
+				e := &n.entries[i]
+				if e.child != pagestore.InvalidPage {
+					return digest.Zero, fmt.Errorf("xbtree: leaf %d entry %d has a child", id, i)
+				}
+				ts, err := t.lists.read(e.lref)
+				if err != nil {
+					return digest.Zero, err
+				}
+				tuples += len(ts)
+				var lx digest.Accumulator
+				for _, tup := range ts {
+					lx.Add(tup.Digest)
+				}
+				if e.x != lx.Sum() {
+					return digest.Zero, fmt.Errorf("xbtree: leaf %d entry sk=%d X != L⊕", id, e.sk)
+				}
+				acc.Add(e.x)
+			}
+			return acc.Sum(), nil
+		}
+		// e0 covers keys below the first entry.
+		var e0Hi *record.Key
+		if len(n.entries) > 0 {
+			e0Hi = &n.entries[0].sk
+		} else {
+			e0Hi = hi
+		}
+		childAgg, err := walk(n.e0C, level-1, lo, e0Hi)
+		if err != nil {
+			return digest.Zero, err
+		}
+		if n.e0X != childAgg {
+			return digest.Zero, fmt.Errorf("xbtree: node %d e0.X mismatch", id)
+		}
+		acc.Add(n.e0X)
+		for i := range n.entries {
+			e := &n.entries[i]
+			ts, err := t.lists.read(e.lref)
+			if err != nil {
+				return digest.Zero, err
+			}
+			tuples += len(ts)
+			var lx digest.Accumulator
+			for _, tup := range ts {
+				lx.Add(tup.Digest)
+			}
+			var nextHi *record.Key
+			if i+1 < len(n.entries) {
+				nextHi = &n.entries[i+1].sk
+			} else {
+				nextHi = hi
+			}
+			childAgg, err := walk(e.child, level-1, &e.sk, nextHi)
+			if err != nil {
+				return digest.Zero, err
+			}
+			if want := lx.Sum().XOR(childAgg); e.x != want {
+				return digest.Zero, fmt.Errorf("xbtree: node %d entry sk=%d X invariant violated", id, e.sk)
+			}
+			acc.Add(e.x)
+		}
+		return acc.Sum(), nil
+	}
+	if _, err := walk(t.root, t.height, nil, nil); err != nil {
+		return err
+	}
+	if tuples != t.tuples {
+		return fmt.Errorf("xbtree: walked %d tuples, tree says %d", tuples, t.tuples)
+	}
+	return nil
+}

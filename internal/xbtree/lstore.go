@@ -1,0 +1,436 @@
+package xbtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// The paper's XB-Tree entry field e.L points to "a disk page containing the
+// ids and digests of the tuples in T with a values equal to e.sk". With
+// mostly-unique keys a literal page per key would waste almost 4 KB per
+// record, so lists share slotted pages; a list that outgrows a slot moves to
+// a dedicated chain of pages. Either way, reading a short list costs one
+// page access, matching the paper's cost model.
+
+// Tuple is the TE-side projection of a record: its id and digest (the search
+// key lives in the tree entry the list hangs off).
+type Tuple struct {
+	ID     record.ID
+	Digest digest.Digest
+}
+
+// TupleSize is the on-page footprint of one tuple.
+const TupleSize = 8 + digest.Size // 28
+
+// listRef locates a tuple list: a slot in a shared page, or — when slot is
+// chainSlot — the head of a dedicated chain.
+type listRef struct {
+	page pagestore.PageID
+	slot uint16
+}
+
+const chainSlot = 0xFFFF
+
+var invalidRef = listRef{page: pagestore.InvalidPage}
+
+// Shared slotted page layout:
+//
+//	[0:2] nslots | [2:4] dataStart | slot dir {off uint16, len uint16}... | free | data
+//
+// Data grows down from the page end; the directory grows up. A slot with
+// off == 0 is dead. Chain page layout:
+//
+//	[0:4] next page id | [4:6] tuple count | tuples...
+const (
+	slotHeader = 4
+	slotDirEnt = 4
+	// maxInlineTuples is the largest list kept in a shared slot. One more
+	// tuple converts the list to a chain.
+	maxInlineTuples = (pagestore.PageSize - slotHeader - slotDirEnt) / TupleSize // 146
+	chainHeader     = 6
+	// chainCapacity is the number of tuples per chain page.
+	chainCapacity = (pagestore.PageSize - chainHeader) / TupleSize // 146
+)
+
+// errTupleNotFound is returned when removing an id that is not in the list.
+var errTupleNotFound = errors.New("xbtree: tuple id not in list")
+
+// lstore manages tuple lists on a page store.
+type lstore struct {
+	store pagestore.Store
+	// fillPage is the shared page new allocations try first; InvalidPage
+	// when none is open. A simple bump allocator: when the current page
+	// cannot fit a list, a fresh one is opened. Dead space from moved
+	// lists is reclaimed by in-page compaction on demand.
+	fillPage pagestore.PageID
+	pages    int
+}
+
+func newLStore(store pagestore.Store) *lstore {
+	return &lstore{store: store, fillPage: pagestore.InvalidPage}
+}
+
+func encodeTuples(buf []byte, ts []Tuple) {
+	off := 0
+	for _, t := range ts {
+		binary.BigEndian.PutUint64(buf[off:off+8], uint64(t.ID))
+		copy(buf[off+8:off+TupleSize], t.Digest[:])
+		off += TupleSize
+	}
+}
+
+func decodeTuples(buf []byte, n int) []Tuple {
+	ts := make([]Tuple, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		ts[i].ID = record.ID(binary.BigEndian.Uint64(buf[off : off+8]))
+		ts[i].Digest = digest.FromBytes(buf[off+8 : off+TupleSize])
+		off += TupleSize
+	}
+	return ts
+}
+
+// alloc stores a fresh list and returns its reference.
+func (s *lstore) alloc(ts []Tuple) (listRef, error) {
+	if len(ts) > maxInlineTuples {
+		return s.allocChain(ts)
+	}
+	need := len(ts) * TupleSize
+	if s.fillPage != pagestore.InvalidPage {
+		if ref, ok, err := s.tryPlace(s.fillPage, ts, need); err != nil || ok {
+			return ref, err
+		}
+	}
+	id, err := s.store.Allocate()
+	if err != nil {
+		return invalidRef, fmt.Errorf("xbtree: allocating list page: %w", err)
+	}
+	s.pages++
+	var buf [pagestore.PageSize]byte
+	binary.BigEndian.PutUint16(buf[0:2], 0)
+	binary.BigEndian.PutUint16(buf[2:4], pagestore.PageSize)
+	if err := s.store.Write(id, buf[:]); err != nil {
+		return invalidRef, fmt.Errorf("xbtree: initializing list page: %w", err)
+	}
+	s.fillPage = id
+	ref, ok, err := s.tryPlace(id, ts, need)
+	if err != nil {
+		return invalidRef, err
+	}
+	if !ok {
+		return invalidRef, fmt.Errorf("xbtree: list of %d tuples does not fit a fresh page", len(ts))
+	}
+	return ref, nil
+}
+
+// tryPlace attempts to add a list to a specific shared page, compacting it
+// first if dead space would make it fit.
+func (s *lstore) tryPlace(page pagestore.PageID, ts []Tuple, need int) (listRef, bool, error) {
+	var buf [pagestore.PageSize]byte
+	if err := s.store.Read(page, buf[:]); err != nil {
+		return invalidRef, false, fmt.Errorf("xbtree: reading list page %d: %w", page, err)
+	}
+	nslots := int(binary.BigEndian.Uint16(buf[0:2]))
+	dataStart := int(binary.BigEndian.Uint16(buf[2:4]))
+	if dataStart == 0 {
+		dataStart = pagestore.PageSize // uint16 wraps at exactly 4096
+	}
+
+	// Reuse a dead slot if one exists, otherwise the directory grows.
+	slot := -1
+	for i := 0; i < nslots; i++ {
+		if binary.BigEndian.Uint16(buf[slotHeader+i*slotDirEnt:]) == 0 {
+			slot = i
+			break
+		}
+	}
+	dirEnd := slotHeader + nslots*slotDirEnt
+	growDir := 0
+	if slot == -1 {
+		growDir = slotDirEnt
+	}
+	free := dataStart - dirEnd
+	if free < need+growDir {
+		if !compactPage(buf[:]) {
+			return invalidRef, false, nil
+		}
+		dataStart = int(binary.BigEndian.Uint16(buf[2:4]))
+		if dataStart == 0 {
+			dataStart = pagestore.PageSize
+		}
+		free = dataStart - dirEnd
+		if free < need+growDir {
+			return invalidRef, false, nil
+		}
+	}
+	if slot == -1 {
+		slot = nslots
+		nslots++
+		binary.BigEndian.PutUint16(buf[0:2], uint16(nslots))
+	}
+	dataStart -= need
+	encodeTuples(buf[dataStart:dataStart+need], ts)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(dataStart%pagestore.PageSize))
+	binary.BigEndian.PutUint16(buf[slotHeader+slot*slotDirEnt:], uint16(dataStart))
+	binary.BigEndian.PutUint16(buf[slotHeader+slot*slotDirEnt+2:], uint16(need))
+	if err := s.store.Write(page, buf[:]); err != nil {
+		return invalidRef, false, fmt.Errorf("xbtree: writing list page %d: %w", page, err)
+	}
+	return listRef{page: page, slot: uint16(slot)}, true, nil
+}
+
+// compactPage rewrites live list data flush against the page end, reclaiming
+// dead space left by moved or shrunk lists. Returns false if nothing was
+// reclaimed.
+func compactPage(buf []byte) bool {
+	nslots := int(binary.BigEndian.Uint16(buf[0:2]))
+	type liveSlot struct {
+		idx, off, ln int
+	}
+	var live []liveSlot
+	used := 0
+	for i := 0; i < nslots; i++ {
+		off := int(binary.BigEndian.Uint16(buf[slotHeader+i*slotDirEnt:]))
+		ln := int(binary.BigEndian.Uint16(buf[slotHeader+i*slotDirEnt+2:]))
+		if off != 0 {
+			live = append(live, liveSlot{idx: i, off: off, ln: ln})
+			used += ln
+		}
+	}
+	dataStart := int(binary.BigEndian.Uint16(buf[2:4]))
+	if dataStart == 0 {
+		dataStart = pagestore.PageSize
+	}
+	if pagestore.PageSize-dataStart == used {
+		return false // already compact
+	}
+	var scratch [pagestore.PageSize]byte
+	writeAt := pagestore.PageSize
+	for _, ls := range live {
+		writeAt -= ls.ln
+		copy(scratch[writeAt:], buf[ls.off:ls.off+ls.ln])
+		binary.BigEndian.PutUint16(buf[slotHeader+ls.idx*slotDirEnt:], uint16(writeAt))
+	}
+	copy(buf[writeAt:], scratch[writeAt:])
+	binary.BigEndian.PutUint16(buf[2:4], uint16(writeAt%pagestore.PageSize))
+	return true
+}
+
+// read returns the tuples of a list.
+func (s *lstore) read(ref listRef) ([]Tuple, error) {
+	if ref.slot == chainSlot {
+		return s.readChain(ref.page)
+	}
+	var buf [pagestore.PageSize]byte
+	if err := s.store.Read(ref.page, buf[:]); err != nil {
+		return nil, fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
+	}
+	off := int(binary.BigEndian.Uint16(buf[slotHeader+int(ref.slot)*slotDirEnt:]))
+	ln := int(binary.BigEndian.Uint16(buf[slotHeader+int(ref.slot)*slotDirEnt+2:]))
+	if off == 0 {
+		return nil, fmt.Errorf("xbtree: dead list slot %d on page %d", ref.slot, ref.page)
+	}
+	return decodeTuples(buf[off:off+ln], ln/TupleSize), nil
+}
+
+// xorOf returns the XOR of the digests in a list (e.L⊕ in the paper).
+func (s *lstore) xorOf(ref listRef) (digest.Digest, error) {
+	ts, err := s.read(ref)
+	if err != nil {
+		return digest.Zero, err
+	}
+	var acc digest.Accumulator
+	for _, t := range ts {
+		acc.Add(t.Digest)
+	}
+	return acc.Sum(), nil
+}
+
+// appendTuple adds a tuple to a list, returning the (possibly relocated)
+// reference.
+func (s *lstore) appendTuple(ref listRef, t Tuple) (listRef, error) {
+	if ref.slot == chainSlot {
+		return s.appendChain(ref, t)
+	}
+	ts, err := s.read(ref)
+	if err != nil {
+		return invalidRef, err
+	}
+	ts = append(ts, t)
+	if len(ts) > maxInlineTuples {
+		if err := s.freeSlot(ref); err != nil {
+			return invalidRef, err
+		}
+		return s.allocChain(ts)
+	}
+	// Try to grow in place: free the old slot, then place on the same page
+	// (compaction makes the freed bytes reusable immediately).
+	if err := s.freeSlot(ref); err != nil {
+		return invalidRef, err
+	}
+	need := len(ts) * TupleSize
+	if newRef, ok, err := s.tryPlace(ref.page, ts, need); err != nil || ok {
+		return newRef, err
+	}
+	return s.alloc(ts)
+}
+
+// removeTuple deletes the tuple with the given id, returning its digest and
+// the (possibly relocated) reference. Lists may become empty; an empty list
+// remains allocated so its tree entry stays valid (tombstone semantics).
+func (s *lstore) removeTuple(ref listRef, id record.ID) (digest.Digest, listRef, error) {
+	ts, err := s.read(ref)
+	if err != nil {
+		return digest.Zero, invalidRef, err
+	}
+	at := -1
+	for i, t := range ts {
+		if t.ID == id {
+			at = i
+			break
+		}
+	}
+	if at == -1 {
+		return digest.Zero, invalidRef, fmt.Errorf("%w: id=%d", errTupleNotFound, id)
+	}
+	d := ts[at].Digest
+	ts = append(ts[:at], ts[at+1:]...)
+	if ref.slot == chainSlot && len(ts) <= maxInlineTuples {
+		// Chain shrank enough to move back inline.
+		if err := s.freeChain(ref.page); err != nil {
+			return digest.Zero, invalidRef, err
+		}
+		newRef, err := s.alloc(ts)
+		return d, newRef, err
+	}
+	if ref.slot == chainSlot {
+		if err := s.freeChain(ref.page); err != nil {
+			return digest.Zero, invalidRef, err
+		}
+		newRef, err := s.allocChain(ts)
+		return d, newRef, err
+	}
+	// Shrink in place: shorten the slot, leaving dead bytes for compaction.
+	var buf [pagestore.PageSize]byte
+	if err := s.store.Read(ref.page, buf[:]); err != nil {
+		return digest.Zero, invalidRef, fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
+	}
+	off := int(binary.BigEndian.Uint16(buf[slotHeader+int(ref.slot)*slotDirEnt:]))
+	encodeTuples(buf[off:off+len(ts)*TupleSize], ts)
+	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt+2:], uint16(len(ts)*TupleSize))
+	if err := s.store.Write(ref.page, buf[:]); err != nil {
+		return digest.Zero, invalidRef, fmt.Errorf("xbtree: writing list page %d: %w", ref.page, err)
+	}
+	return d, ref, nil
+}
+
+// freeSlot marks a shared slot dead. The bytes are reclaimed by compaction.
+func (s *lstore) freeSlot(ref listRef) error {
+	var buf [pagestore.PageSize]byte
+	if err := s.store.Read(ref.page, buf[:]); err != nil {
+		return fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
+	}
+	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt:], 0)
+	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt+2:], 0)
+	if err := s.store.Write(ref.page, buf[:]); err != nil {
+		return fmt.Errorf("xbtree: writing list page %d: %w", ref.page, err)
+	}
+	return nil
+}
+
+// allocChain stores a large list across dedicated chain pages.
+func (s *lstore) allocChain(ts []Tuple) (listRef, error) {
+	next := pagestore.InvalidPage
+	// Build back to front so each page links to the next.
+	for end := len(ts); end > 0 || next == pagestore.InvalidPage; {
+		start := end - chainCapacity
+		if start < 0 {
+			start = 0
+		}
+		id, err := s.store.Allocate()
+		if err != nil {
+			return invalidRef, fmt.Errorf("xbtree: allocating chain page: %w", err)
+		}
+		s.pages++
+		var buf [pagestore.PageSize]byte
+		binary.BigEndian.PutUint32(buf[0:4], uint32(next))
+		binary.BigEndian.PutUint16(buf[4:6], uint16(end-start))
+		encodeTuples(buf[chainHeader:], ts[start:end])
+		if err := s.store.Write(id, buf[:]); err != nil {
+			return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", id, err)
+		}
+		next = id
+		end = start
+		if end == 0 {
+			break
+		}
+	}
+	return listRef{page: next, slot: chainSlot}, nil
+}
+
+func (s *lstore) readChain(head pagestore.PageID) ([]Tuple, error) {
+	var out []Tuple
+	var buf [pagestore.PageSize]byte
+	for id := head; id != pagestore.InvalidPage; {
+		if err := s.store.Read(id, buf[:]); err != nil {
+			return nil, fmt.Errorf("xbtree: reading chain page %d: %w", id, err)
+		}
+		n := int(binary.BigEndian.Uint16(buf[4:6]))
+		out = append(out, decodeTuples(buf[chainHeader:], n)...)
+		id = pagestore.PageID(binary.BigEndian.Uint32(buf[0:4]))
+	}
+	return out, nil
+}
+
+// appendChain adds a tuple to a chained list, to the head page if it has
+// room, otherwise via a new head.
+func (s *lstore) appendChain(ref listRef, t Tuple) (listRef, error) {
+	var buf [pagestore.PageSize]byte
+	if err := s.store.Read(ref.page, buf[:]); err != nil {
+		return invalidRef, fmt.Errorf("xbtree: reading chain page %d: %w", ref.page, err)
+	}
+	n := int(binary.BigEndian.Uint16(buf[4:6]))
+	if n < chainCapacity {
+		off := chainHeader + n*TupleSize
+		encodeTuples(buf[off:off+TupleSize], []Tuple{t})
+		binary.BigEndian.PutUint16(buf[4:6], uint16(n+1))
+		if err := s.store.Write(ref.page, buf[:]); err != nil {
+			return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", ref.page, err)
+		}
+		return ref, nil
+	}
+	id, err := s.store.Allocate()
+	if err != nil {
+		return invalidRef, fmt.Errorf("xbtree: allocating chain page: %w", err)
+	}
+	s.pages++
+	var head [pagestore.PageSize]byte
+	binary.BigEndian.PutUint32(head[0:4], uint32(ref.page))
+	binary.BigEndian.PutUint16(head[4:6], 1)
+	encodeTuples(head[chainHeader:chainHeader+TupleSize], []Tuple{t})
+	if err := s.store.Write(id, head[:]); err != nil {
+		return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", id, err)
+	}
+	return listRef{page: id, slot: chainSlot}, nil
+}
+
+func (s *lstore) freeChain(head pagestore.PageID) error {
+	var buf [pagestore.PageSize]byte
+	for id := head; id != pagestore.InvalidPage; {
+		if err := s.store.Read(id, buf[:]); err != nil {
+			return fmt.Errorf("xbtree: reading chain page %d: %w", id, err)
+		}
+		next := pagestore.PageID(binary.BigEndian.Uint32(buf[0:4]))
+		if err := s.store.Free(id); err != nil {
+			return fmt.Errorf("xbtree: freeing chain page %d: %w", id, err)
+		}
+		s.pages--
+		id = next
+	}
+	return nil
+}

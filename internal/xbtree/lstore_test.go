@@ -1,0 +1,281 @@
+package xbtree
+
+import (
+	"testing"
+
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+func newTestLStore() (*lstore, *pagestore.Counting) {
+	counting := pagestore.NewCounting(pagestore.NewMem())
+	return newLStore(counting), counting
+}
+
+func tuplesOf(ids ...record.ID) []Tuple {
+	out := make([]Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = tupleFor(id)
+	}
+	return out
+}
+
+func sameTuples(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLStoreAllocRead(t *testing.T) {
+	s, _ := newTestLStore()
+	ts := tuplesOf(1, 2, 3)
+	ref, err := s.alloc(ts)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	got, err := s.read(ref)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !sameTuples(got, ts) {
+		t.Fatal("read returned different tuples")
+	}
+}
+
+func TestLStoreSharesPages(t *testing.T) {
+	s, _ := newTestLStore()
+	refs := make([]listRef, 20)
+	for i := range refs {
+		ref, err := s.alloc(tuplesOf(record.ID(i)))
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		refs[i] = ref
+	}
+	// Twenty singleton lists easily fit one shared page.
+	if s.pages != 1 {
+		t.Fatalf("20 singleton lists used %d pages, want 1", s.pages)
+	}
+	for i, ref := range refs {
+		got, err := s.read(ref)
+		if err != nil || len(got) != 1 || got[0].ID != record.ID(i) {
+			t.Fatalf("list %d corrupted: %v err=%v", i, got, err)
+		}
+	}
+}
+
+func TestLStoreAppendGrowsInPlaceViaCompaction(t *testing.T) {
+	s, _ := newTestLStore()
+	ref, err := s.alloc(tuplesOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated appends leave dead space that compaction must reclaim; all
+	// growth fits a single page until near the inline limit.
+	want := tuplesOf(1)
+	for i := record.ID(2); i <= 60; i++ {
+		tup := tupleFor(i)
+		want = append(want, tup)
+		ref, err = s.appendTuple(ref, tup)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got, err := s.read(ref)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !sameTuples(got, want) {
+		t.Fatal("list content diverged under append churn")
+	}
+	if s.pages > 2 {
+		t.Fatalf("append churn leaked pages: %d", s.pages)
+	}
+}
+
+func TestLStoreInlineToChainTransition(t *testing.T) {
+	s, _ := newTestLStore()
+	ts := make([]Tuple, maxInlineTuples)
+	for i := range ts {
+		ts[i] = tupleFor(record.ID(i + 1))
+	}
+	ref, err := s.alloc(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.slot == chainSlot {
+		t.Fatal("list at the inline limit should not be a chain")
+	}
+	// One more tuple crosses into a chain.
+	ref, err = s.appendTuple(ref, tupleFor(record.ID(maxInlineTuples+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.slot != chainSlot {
+		t.Fatal("list past the inline limit should be a chain")
+	}
+	got, err := s.read(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != maxInlineTuples+1 {
+		t.Fatalf("chain holds %d tuples, want %d", len(got), maxInlineTuples+1)
+	}
+	// Removing brings it back inline.
+	for i := 0; i < 2; i++ {
+		var d = got[len(got)-1-i].ID
+		_, ref, err = s.removeTuple(ref, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ref.slot == chainSlot {
+		t.Fatal("shrunken list should have moved back inline")
+	}
+}
+
+func TestLStoreChainMultiplePages(t *testing.T) {
+	s, _ := newTestLStore()
+	n := 2*chainCapacity + 3
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = tupleFor(record.ID(i + 1))
+	}
+	ref, err := s.allocChain(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.read(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("chain read %d tuples, want %d", len(got), n)
+	}
+	// All tuples present (order may differ across chain operations).
+	seen := map[record.ID]bool{}
+	for _, tup := range got {
+		seen[tup.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatal("chain lost or duplicated tuples")
+	}
+}
+
+func TestLStoreRemoveMissing(t *testing.T) {
+	s, _ := newTestLStore()
+	ref, err := s.alloc(tuplesOf(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.removeTuple(ref, 99); err == nil {
+		t.Fatal("removeTuple of absent id succeeded")
+	}
+}
+
+func TestLStoreEmptyListTombstone(t *testing.T) {
+	s, _ := newTestLStore()
+	ref, err := s.alloc(tuplesOf(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref, err = s.removeTuple(ref, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.read(ref)
+	if err != nil {
+		t.Fatalf("read of empty list: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty list read %d tuples", len(got))
+	}
+	// And it can grow again.
+	ref, err = s.appendTuple(ref, tupleFor(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.read(ref)
+	if err != nil || len(got) != 1 || got[0].ID != 8 {
+		t.Fatalf("regrown list wrong: %v err=%v", got, err)
+	}
+}
+
+func TestLStoreXorOf(t *testing.T) {
+	s, _ := newTestLStore()
+	ts := tuplesOf(1, 2, 3, 4)
+	ref, err := s.alloc(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.xorOf(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ts[0].Digest.XOR(ts[1].Digest).XOR(ts[2].Digest).XOR(ts[3].Digest)
+	if got != want {
+		t.Fatal("xorOf mismatch")
+	}
+}
+
+func TestLStoreManyListsStress(t *testing.T) {
+	s, _ := newTestLStore()
+	const lists = 2000
+	refs := make([]listRef, lists)
+	for i := range refs {
+		size := 1 + i%5
+		ts := make([]Tuple, size)
+		for j := range ts {
+			ts[j] = tupleFor(record.ID(i*10 + j))
+		}
+		ref, err := s.alloc(ts)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		refs[i] = ref
+	}
+	for i, ref := range refs {
+		got, err := s.read(ref)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if len(got) != 1+i%5 {
+			t.Fatalf("list %d has %d tuples, want %d", i, len(got), 1+i%5)
+		}
+		for j, tup := range got {
+			if tup.ID != record.ID(i*10+j) {
+				t.Fatalf("list %d tuple %d corrupted", i, j)
+			}
+		}
+	}
+	// Sanity on space usage: ~2000 lists averaging 3 tuples = ~168 KB of
+	// payload; the store should not need more than ~60 pages (245 KB).
+	if s.pages > 60 {
+		t.Fatalf("stress used %d pages, expected tight packing", s.pages)
+	}
+}
+
+func TestTupleEncodingRoundTrip(t *testing.T) {
+	ts := tuplesOf(1, 1<<40, 3)
+	buf := make([]byte, len(ts)*TupleSize)
+	encodeTuples(buf, ts)
+	got := decodeTuples(buf, len(ts))
+	if !sameTuples(got, ts) {
+		t.Fatal("tuple codec round trip failed")
+	}
+}
+
+func TestLStoreCapacityConstants(t *testing.T) {
+	if maxInlineTuples != 146 {
+		t.Fatalf("maxInlineTuples = %d, want 146", maxInlineTuples)
+	}
+	if chainCapacity != 146 {
+		t.Fatalf("chainCapacity = %d, want 146", chainCapacity)
+	}
+}

@@ -1,0 +1,64 @@
+package xbtree
+
+import (
+	"fmt"
+
+	"sae/internal/pagestore"
+)
+
+// Meta is the XB-Tree's out-of-page state for persistence: tree anchors,
+// counters and the tuple-list allocator's fill page.
+type Meta struct {
+	Root      pagestore.PageID
+	Height    int
+	Nodes     int
+	Tuples    int
+	Keys      int
+	ListPages int
+	FillPage  pagestore.PageID
+}
+
+// Meta captures the tree's current metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		Root:      t.root,
+		Height:    t.height,
+		Nodes:     t.nodes,
+		Tuples:    t.tuples,
+		Keys:      t.keys,
+		ListPages: t.lists.pages,
+		FillPage:  t.lists.fillPage,
+	}
+}
+
+// Open reattaches an XB-Tree to a store that already contains its pages.
+func Open(store pagestore.Store, m Meta) (*Tree, error) {
+	if m.Height < 1 {
+		return nil, fmt.Errorf("xbtree: invalid meta height %d", m.Height)
+	}
+	t := &Tree{
+		store:  store,
+		lists:  &lstore{store: store, fillPage: m.FillPage, pages: m.ListPages},
+		root:   m.Root,
+		height: m.Height,
+		nodes:  m.Nodes,
+		tuples: m.Tuples,
+		keys:   m.Keys,
+	}
+	// Sanity probe: the leftmost path must reach a leaf exactly at level 1.
+	id := t.root
+	for level := m.Height; ; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, fmt.Errorf("xbtree: opening level %d: %w", level, err)
+		}
+		if n.leaf != (level == 1) {
+			return nil, fmt.Errorf("xbtree: meta height %d inconsistent with node depth", m.Height)
+		}
+		if n.leaf {
+			break
+		}
+		id = n.e0C
+	}
+	return t, nil
+}

@@ -1,0 +1,563 @@
+// Package xbtree implements the XOR B-Tree (XB-Tree), the paper's core
+// contribution: the disk-based index the trusted entity (TE) uses to compute
+// a verification token (VT) for any range query in O(log n) node accesses,
+// independently of the result size.
+//
+// Each distinct search key appears exactly once in the whole tree (it is a
+// B-tree, not a B+-tree). An entry e = <e.sk, e.L, e.X, e.c> carries the
+// search key, a reference to the list of (id, digest) tuples whose records
+// have that key, the XOR aggregate X, and a child pointer. The invariant is
+//
+//	e.X = e.L⊕ XOR (XOR over the entries of the node e.c points to of their X)
+//
+// so e.X equals the XOR of the digests of every tuple with search key in
+// [e.sk, nextSk), where nextSk is the following entry's key. The first entry
+// e0 of an internal node has only X and c; for leaves, e0 is implicit
+// (X = 0, c = nil).
+//
+// Deletions are logical: a tuple is removed from its list and XORed out of
+// the X values on its path, but an entry whose list becomes empty stays in
+// the tree as a tombstone (its X contribution is zero). This keeps deletion
+// O(log n) with no rebalancing, at the cost of space reclaimed only on
+// rebuild — the trade production LSM/B-tree systems routinely make.
+package xbtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sae/internal/digest"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// Node layouts over 4096-byte pages.
+//
+// Internal: [0] flags=0 | [1:3] count | [3:7] e0.c | [7:27] e0.X |
+//
+//	entries { sk 4 | lref 6 | X 20 | c 4 } ...
+//
+// Leaf: [0] flags=1 | [1:3] count | entries { sk 4 | lref 6 | X 20 } ...
+const (
+	innerHeader = 27
+	leafHeader  = 3
+	innerEntry  = 4 + 6 + digest.Size + 4 // 34
+	leafEntry   = 4 + 6 + digest.Size     // 30
+	// InnerCapacity is the maximum number of keyed entries per internal
+	// node (e0 not counted).
+	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 119
+	// LeafCapacity is the maximum number of entries per leaf node.
+	LeafCapacity = (pagestore.PageSize - leafHeader) / leafEntry // 136
+)
+
+// ErrNotFound is returned by Delete when no tuple with the given key and id
+// exists.
+var ErrNotFound = errors.New("xbtree: tuple not found")
+
+// Tree is a disk-based XB-Tree.
+type Tree struct {
+	store  pagestore.Store
+	lists  *lstore
+	root   pagestore.PageID
+	height int // 1 = root is a leaf
+	nodes  int
+	tuples int
+	keys   int // distinct (possibly tombstoned) keys
+}
+
+// entry is the in-memory form of a keyed entry.
+type entry struct {
+	sk    record.Key
+	lref  listRef
+	x     digest.Digest
+	child pagestore.PageID // InvalidPage in leaves
+}
+
+// xnode is the decoded form of one tree page.
+type xnode struct {
+	leaf    bool
+	e0X     digest.Digest    // internal only
+	e0C     pagestore.PageID // internal only
+	entries []entry
+}
+
+// agg returns the node's XOR aggregate: e0.X ⊕ XOR of all entries' X. For a
+// node N this equals the XOR of the digests of every tuple in N's subtree,
+// which is what the parent entry's X must incorporate.
+func (n *xnode) agg() digest.Digest {
+	var acc digest.Accumulator
+	if !n.leaf {
+		acc.Add(n.e0X)
+	}
+	for i := range n.entries {
+		acc.Add(n.entries[i].x)
+	}
+	return acc.Sum()
+}
+
+// New creates an empty XB-Tree. Tree nodes and tuple-list pages are both
+// allocated from store.
+func New(store pagestore.Store) (*Tree, error) {
+	t := &Tree{store: store, lists: newLStore(store), height: 1}
+	id, err := t.allocNode(&xnode{leaf: true})
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+	return t, nil
+}
+
+func (t *Tree) allocNode(n *xnode) (pagestore.PageID, error) {
+	id, err := t.store.Allocate()
+	if err != nil {
+		return 0, fmt.Errorf("xbtree: allocating node: %w", err)
+	}
+	t.nodes++
+	if err := t.writeNode(id, n); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (t *Tree) writeNode(id pagestore.PageID, n *xnode) error {
+	var buf [pagestore.PageSize]byte
+	encodeXNode(buf[:], n)
+	if err := t.store.Write(id, buf[:]); err != nil {
+		return fmt.Errorf("xbtree: writing node %d: %w", id, err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(id pagestore.PageID) (*xnode, error) {
+	var buf [pagestore.PageSize]byte
+	if err := t.store.Read(id, buf[:]); err != nil {
+		return nil, fmt.Errorf("xbtree: reading node %d: %w", id, err)
+	}
+	return decodeXNode(buf[:]), nil
+}
+
+func putRef(buf []byte, r listRef) {
+	binary.BigEndian.PutUint32(buf[0:4], uint32(r.page))
+	binary.BigEndian.PutUint16(buf[4:6], r.slot)
+}
+
+func getRef(buf []byte) listRef {
+	return listRef{
+		page: pagestore.PageID(binary.BigEndian.Uint32(buf[0:4])),
+		slot: binary.BigEndian.Uint16(buf[4:6]),
+	}
+}
+
+func encodeXNode(buf []byte, n *xnode) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = 1
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+		off := leafHeader
+		for i := range n.entries {
+			e := &n.entries[i]
+			binary.BigEndian.PutUint32(buf[off:off+4], uint32(e.sk))
+			putRef(buf[off+4:off+10], e.lref)
+			copy(buf[off+10:off+30], e.x[:])
+			off += leafEntry
+		}
+		return
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	binary.BigEndian.PutUint32(buf[3:7], uint32(n.e0C))
+	copy(buf[7:27], n.e0X[:])
+	off := innerHeader
+	for i := range n.entries {
+		e := &n.entries[i]
+		binary.BigEndian.PutUint32(buf[off:off+4], uint32(e.sk))
+		putRef(buf[off+4:off+10], e.lref)
+		copy(buf[off+10:off+30], e.x[:])
+		binary.BigEndian.PutUint32(buf[off+30:off+34], uint32(e.child))
+		off += innerEntry
+	}
+}
+
+func decodeXNode(buf []byte) *xnode {
+	n := &xnode{leaf: buf[0] == 1}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	n.entries = make([]entry, count)
+	if n.leaf {
+		off := leafHeader
+		for i := 0; i < count; i++ {
+			e := &n.entries[i]
+			e.sk = record.Key(binary.BigEndian.Uint32(buf[off : off+4]))
+			e.lref = getRef(buf[off+4 : off+10])
+			e.x = digest.FromBytes(buf[off+10 : off+30])
+			e.child = pagestore.InvalidPage
+			off += leafEntry
+		}
+		return n
+	}
+	n.e0C = pagestore.PageID(binary.BigEndian.Uint32(buf[3:7]))
+	n.e0X = digest.FromBytes(buf[7:27])
+	off := innerHeader
+	for i := 0; i < count; i++ {
+		e := &n.entries[i]
+		e.sk = record.Key(binary.BigEndian.Uint32(buf[off : off+4]))
+		e.lref = getRef(buf[off+4 : off+10])
+		e.x = digest.FromBytes(buf[off+10 : off+30])
+		e.child = pagestore.PageID(binary.BigEndian.Uint32(buf[off+30 : off+34]))
+		off += innerEntry
+	}
+	return n
+}
+
+// searchEntries returns (index of entry with sk == k, true) or (index of the
+// first entry with sk > k, false).
+func searchEntries(entries []entry, k record.Key) (int, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].sk < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(entries) && entries[lo].sk == k {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Insert adds a tuple with the given search key. If the key already exists
+// anywhere in the tree, the tuple joins its list; otherwise a new entry is
+// created at the leaf level, splitting nodes B-tree-style on overflow.
+// Either way every X value on the tuple's root-to-entry path absorbs the
+// tuple's digest, which costs O(height) node accesses.
+func (t *Tree) Insert(key record.Key, tup Tuple) error {
+	promoted, rightID, _, err := t.insertRec(t.root, key, tup)
+	if err != nil {
+		return err
+	}
+	if promoted != nil {
+		oldRoot, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		newRoot := &xnode{
+			leaf:    false,
+			e0C:     t.root,
+			e0X:     oldRoot.agg(),
+			entries: []entry{*promoted},
+		}
+		id, err := t.allocNode(newRoot)
+		if err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+		_ = rightID
+	}
+	t.tuples++
+	return nil
+}
+
+// insertRec inserts into the subtree rooted at id. It returns a promoted
+// entry and its right-sibling node id when the node split, plus the change
+// (delta) in this node's aggregate as observed by the parent after the
+// promoted entry has been removed from it.
+func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry, pagestore.PageID, digest.Digest, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	aggBefore := n.agg()
+
+	if pos, ok := searchEntries(n.entries, key); ok {
+		// Key exists here: extend its list and absorb the digest.
+		newRef, err := t.lists.appendTuple(n.entries[pos].lref, tup)
+		if err != nil {
+			return nil, pagestore.InvalidPage, digest.Zero, err
+		}
+		n.entries[pos].lref = newRef
+		n.entries[pos].x = n.entries[pos].x.XOR(tup.Digest)
+		if err := t.writeNode(id, n); err != nil {
+			return nil, pagestore.InvalidPage, digest.Zero, err
+		}
+		return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+	} else if !n.leaf {
+		// Descend: child pos-1 (or e0) covers keys below entries[pos].sk.
+		childID := n.e0C
+		applyTo := -1 // -1 means e0
+		if pos > 0 {
+			childID = n.entries[pos-1].child
+			applyTo = pos - 1
+		}
+		promoted, rightID, childDelta, err := t.insertRec(childID, key, tup)
+		if err != nil {
+			return nil, pagestore.InvalidPage, digest.Zero, err
+		}
+		if applyTo == -1 {
+			n.e0X = n.e0X.XOR(childDelta)
+		} else {
+			n.entries[applyTo].x = n.entries[applyTo].x.XOR(childDelta)
+		}
+		if promoted == nil {
+			if err := t.writeNode(id, n); err != nil {
+				return nil, pagestore.InvalidPage, digest.Zero, err
+			}
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+		}
+		promoted.child = rightID
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = *promoted
+		if len(n.entries) <= InnerCapacity {
+			if err := t.writeNode(id, n); err != nil {
+				return nil, pagestore.InvalidPage, digest.Zero, err
+			}
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+		}
+		return t.splitInner(id, n, aggBefore)
+	} else {
+		// New key at the leaf level.
+		lref, err := t.lists.alloc([]Tuple{tup})
+		if err != nil {
+			return nil, pagestore.InvalidPage, digest.Zero, err
+		}
+		t.keys++
+		e := entry{sk: key, lref: lref, x: tup.Digest, child: pagestore.InvalidPage}
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = e
+		if len(n.entries) <= LeafCapacity {
+			if err := t.writeNode(id, n); err != nil {
+				return nil, pagestore.InvalidPage, digest.Zero, err
+			}
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+		}
+		return t.splitLeaf(id, n, aggBefore)
+	}
+}
+
+// splitLeaf splits an overflowing leaf, promoting the median entry. A leaf
+// entry's X equals its L⊕, so the promoted entry's new X (which must also
+// cover the right sibling it will point to) is its old X XOR the right
+// entries' X values.
+func (t *Tree) splitLeaf(id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+	mid := len(n.entries) / 2
+	promoted := n.entries[mid]
+
+	right := &xnode{leaf: true}
+	right.entries = append(right.entries, n.entries[mid+1:]...)
+	rightID, err := t.allocNode(right)
+	if err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	promoted.x = promoted.x.XOR(right.agg())
+	promoted.child = rightID
+
+	n.entries = n.entries[:mid]
+	if err := t.writeNode(id, n); err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	return &promoted, rightID, n.agg().XOR(aggBefore), nil
+}
+
+// splitInner splits an overflowing internal node. The promoted entry keeps
+// its list but its subtree becomes the new right node, whose e0 must cover
+// the promoted entry's former child; computing that e0.X requires the
+// promoted entry's L⊕, read from its list page (one extra access per split).
+func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+	mid := len(n.entries) / 2
+	promoted := n.entries[mid]
+
+	lxor, err := t.lists.xorOf(promoted.lref)
+	if err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	right := &xnode{
+		leaf: false,
+		e0C:  promoted.child,
+		e0X:  promoted.x.XOR(lxor), // agg of the subtree under the promoted entry
+	}
+	right.entries = append(right.entries, n.entries[mid+1:]...)
+	rightID, err := t.allocNode(right)
+	if err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	promoted.x = lxor.XOR(right.agg())
+	promoted.child = rightID
+
+	n.entries = n.entries[:mid]
+	if err := t.writeNode(id, n); err != nil {
+		return nil, pagestore.InvalidPage, digest.Zero, err
+	}
+	return &promoted, rightID, n.agg().XOR(aggBefore), nil
+}
+
+// Delete removes the tuple with the given key and id. The entry's list
+// shrinks and the digest is XORed out of the path; entries with empty lists
+// remain as tombstones (their X contribution is zero), so the tree never
+// restructures on delete.
+func (t *Tree) Delete(key record.Key, id record.ID) error {
+	_, found, err := t.deleteRec(t.root, key, id)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: key=%d id=%d", ErrNotFound, key, id)
+	}
+	t.tuples--
+	return nil
+}
+
+// deleteRec returns the removed tuple's digest (so ancestors can XOR it out
+// of their X values) and whether the tuple was found.
+func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) (digest.Digest, bool, error) {
+	n, err := t.readNode(nodeID)
+	if err != nil {
+		return digest.Zero, false, err
+	}
+	pos, ok := searchEntries(n.entries, key)
+	if ok {
+		d, newRef, err := t.lists.removeTuple(n.entries[pos].lref, id)
+		if err != nil {
+			if errors.Is(err, errTupleNotFound) {
+				return digest.Zero, false, nil
+			}
+			return digest.Zero, false, err
+		}
+		n.entries[pos].lref = newRef
+		n.entries[pos].x = n.entries[pos].x.XOR(d)
+		if err := t.writeNode(nodeID, n); err != nil {
+			return digest.Zero, false, err
+		}
+		return d, true, nil
+	}
+	if n.leaf {
+		return digest.Zero, false, nil
+	}
+	childID := n.e0C
+	if pos > 0 {
+		childID = n.entries[pos-1].child
+	}
+	d, found, err := t.deleteRec(childID, key, id)
+	if err != nil || !found {
+		return digest.Zero, found, err
+	}
+	if pos > 0 {
+		n.entries[pos-1].x = n.entries[pos-1].x.XOR(d)
+	} else {
+		n.e0X = n.e0X.XOR(d)
+	}
+	if err := t.writeNode(nodeID, n); err != nil {
+		return digest.Zero, false, err
+	}
+	return d, true, nil
+}
+
+// GenerateVT computes the verification token for the range [lo, hi]: the
+// XOR of the digests of every tuple whose search key falls in the range.
+// This is the algorithm of the paper's Figure 4, with the fictitious
+// boundary keys e0.sk = -∞ and ef.sk = +∞. Leaf entries use their stored X
+// instead of re-reading their list (a leaf entry's X equals its L⊕); only
+// partially covered internal entries read a list page, which happens at
+// most once per boundary.
+func (t *Tree) GenerateVT(lo, hi record.Key) (digest.Digest, error) {
+	if lo > hi {
+		return digest.Zero, nil
+	}
+	var acc digest.Accumulator
+	if err := t.generateVT(t.root, lo, hi, &acc); err != nil {
+		return digest.Zero, err
+	}
+	return acc.Sum(), nil
+}
+
+func (t *Tree) generateVT(id pagestore.PageID, lo, hi record.Key, acc *digest.Accumulator) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	// Walk the virtual entry sequence e0, e1, ..., e_{f-1} with sk bounds
+	// (-∞ for e0, +∞ past the end). For leaves e0 is a no-op (X = 0,
+	// c = nil) and is skipped.
+	f := len(n.entries)
+	for i := -1; i < f; i++ {
+		var (
+			sk      record.Key
+			skValid bool // false ⇒ sk is -∞
+			x       digest.Digest
+			child   pagestore.PageID
+			lref    listRef
+		)
+		if i == -1 {
+			if n.leaf {
+				continue
+			}
+			skValid = false
+			x = n.e0X
+			child = n.e0C
+		} else {
+			e := &n.entries[i]
+			sk, skValid = e.sk, true
+			x = e.x
+			child = e.child
+			lref = e.lref
+		}
+		nextSk, nextValid := record.Key(0), false // false ⇒ +∞
+		if i+1 < f {
+			nextSk, nextValid = n.entries[i+1].sk, true
+		}
+
+		loLEsk := skValid && lo <= sk // q.ql ≤ ei.sk (always false for -∞... except lo can't be -∞)
+		hiGEnext := nextValid && hi >= nextSk
+		switch {
+		case loLEsk && hiGEnext:
+			// The entry's list and its whole subtree are inside q.
+			acc.Add(x)
+		case loLEsk && hi >= sk:
+			// Only the entry's own tuples qualify.
+			if n.leaf {
+				acc.Add(x) // leaf X == L⊕
+			} else {
+				lx, err := t.lists.xorOf(lref)
+				if err != nil {
+					return err
+				}
+				acc.Add(lx)
+			}
+		}
+		// Recurse where a query boundary falls strictly inside
+		// (ei.sk, ei+1.sk).
+		loInGap := (!skValid || lo > sk) && (!nextValid || lo < nextSk)
+		hiInGap := (!skValid || hi > sk) && (!nextValid || hi < nextSk)
+		if (loInGap || hiInGap) && child != pagestore.InvalidPage {
+			if err := t.generateVT(child, lo, hi, acc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Height returns the number of levels (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of tree nodes (excluding list pages).
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// ListPages returns the number of tuple-list pages.
+func (t *Tree) ListPages() int { return t.lists.pages }
+
+// Tuples returns the number of live tuples.
+func (t *Tree) Tuples() int { return t.tuples }
+
+// Keys returns the number of distinct keys ever inserted (tombstones
+// included).
+func (t *Tree) Keys() int { return t.keys }
+
+// Bytes returns the TE's total storage: tree nodes plus list pages.
+func (t *Tree) Bytes() int64 {
+	return int64(t.nodes+t.lists.pages) * pagestore.PageSize
+}
