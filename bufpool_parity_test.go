@@ -1,0 +1,138 @@
+// Parity tests for the decoded-node cache's accounting contract: with
+// the cache in charge-every-access mode, every node-access counter must
+// be bit-identical to an uncached run — queries, token generation and
+// updates alike — and all results must verify. This is what keeps the
+// paper's Figures 5-8 shapes intact while the cache removes the CPU cost.
+package sae
+
+import (
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/core"
+	"sae/internal/record"
+	"sae/internal/tom"
+	"sae/internal/workload"
+)
+
+func TestCacheAccessParitySAE(t *testing.T) {
+	const n = 20_000
+	ds, err := workload.Generate(workload.UNF, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Queries(64, workload.DefaultExtent, 3)
+
+	cached, err := core.NewSystemCache(ds.Records, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := core.NewSystemCache(ds.Records, 0, bufpool.ChargeAllAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave queries with updates so splits, appends and deletes are
+	// exercised on both systems identically.
+	for i, q := range queries {
+		rc, err := cached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := uncached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.VerifyErr != nil || ru.VerifyErr != nil {
+			t.Fatalf("query %d failed verification: cached=%v uncached=%v", i, rc.VerifyErr, ru.VerifyErr)
+		}
+		if len(rc.Result) != len(ru.Result) {
+			t.Fatalf("query %d: cached %d records, uncached %d", i, len(rc.Result), len(ru.Result))
+		}
+		if rc.VT != ru.VT {
+			t.Fatalf("query %d: verification tokens diverged", i)
+		}
+		key := record.Key((i * 104729) % record.KeyDomain)
+		rec1, err := cached.Insert(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := uncached.Insert(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			if err := cached.Delete(rec1.ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := uncached.Delete(rec2.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if got, want := cached.SP.Stats(), uncached.SP.Stats(); got != want {
+		t.Errorf("SP access counters diverged: cached %+v, uncached %+v", got, want)
+	}
+	if got, want := cached.TE.Stats(), uncached.TE.Stats(); got != want {
+		t.Errorf("TE access counters diverged: cached %+v, uncached %+v", got, want)
+	}
+	cs := cached.SP.CacheStats()
+	if cs.Hits == 0 {
+		t.Error("cached SP reported zero hits — cache not engaged, parity is vacuous")
+	}
+	if err := cached.TE.Validate(); err != nil {
+		t.Errorf("cached TE invalid after workload: %v", err)
+	}
+}
+
+func TestCacheAccessParityTOM(t *testing.T) {
+	const n = 10_000
+	ds, err := workload.Generate(workload.UNF, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Queries(32, workload.DefaultExtent, 4)
+
+	cached, err := tom.NewSystemCache(ds.Records, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := tom.NewSystemCache(ds.Records, 0, bufpool.ChargeAllAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nextID := record.ID(5_000_000)
+	for i, q := range queries {
+		rc, err := cached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := uncached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.VerifyErr != nil || ru.VerifyErr != nil {
+			t.Fatalf("query %d failed verification: cached=%v uncached=%v", i, rc.VerifyErr, ru.VerifyErr)
+		}
+		if rc.VO.Size() != ru.VO.Size() {
+			t.Fatalf("query %d: VO sizes diverged (%d vs %d)", i, rc.VO.Size(), ru.VO.Size())
+		}
+		key := record.Key((i * 7919) % record.KeyDomain)
+		if _, err := cached.Insert(key, nextID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := uncached.Insert(key, nextID); err != nil {
+			t.Fatal(err)
+		}
+		nextID++
+	}
+
+	if got, want := cached.Provider.Stats(), uncached.Provider.Stats(); got != want {
+		t.Errorf("provider access counters diverged: cached %+v, uncached %+v", got, want)
+	}
+	if cached.Provider.CacheStats().Hits == 0 {
+		t.Error("cached provider reported zero hits — parity is vacuous")
+	}
+}

@@ -1,0 +1,3 @@
+module sae
+
+go 1.22

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -70,7 +71,7 @@ var ErrNotFound = errors.New("bptree: entry not found")
 
 // Tree is a disk-based B+-tree.
 type Tree struct {
-	store  pagestore.Store
+	io     *bufpool.IO
 	root   pagestore.PageID
 	height int // 1 = root is a leaf
 	count  int // live entries
@@ -85,9 +86,14 @@ type node struct {
 	children []pagestore.PageID
 }
 
+// UseCache attaches a decoded-node cache to the tree's read/write path
+// (nil detaches). Typically called right after New/Bulkload/Open so the
+// build itself runs uncached.
+func (t *Tree) UseCache(c *bufpool.Cache) { t.io.SetCache(c) }
+
 // New creates an empty tree whose root is an empty leaf.
 func New(store pagestore.Store) (*Tree, error) {
-	t := &Tree{store: store, height: 1}
+	t := &Tree{io: bufpool.NewIO(store, nil), height: 1}
 	root, err := t.allocNode(&node{leaf: true, next: pagestore.InvalidPage})
 	if err != nil {
 		return nil, err
@@ -105,7 +111,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 			return nil, fmt.Errorf("bptree: bulkload input not sorted at %d", i)
 		}
 	}
-	t := &Tree{store: store}
+	t := &Tree{io: bufpool.NewIO(store, nil)}
 	if len(entries) == 0 {
 		return New(store)
 	}
@@ -171,7 +177,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 
 // allocNode allocates a page for n and writes it.
 func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
-	id, err := t.store.Allocate()
+	id, err := t.io.Allocate()
 	if err != nil {
 		return 0, fmt.Errorf("bptree: allocating node: %w", err)
 	}
@@ -183,20 +189,18 @@ func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
 }
 
 func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
-	var buf [pagestore.PageSize]byte
-	encodeNode(buf[:], n)
-	if err := t.store.Write(id, buf[:]); err != nil {
+	if err := bufpool.WriteNode(t.io, id, n, encodeNode); err != nil {
 		return fmt.Errorf("bptree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
 func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	var buf [pagestore.PageSize]byte
-	if err := t.store.Read(id, buf[:]); err != nil {
+	n, err := bufpool.ReadNode(t.io, id, decodeNode)
+	if err != nil {
 		return nil, fmt.Errorf("bptree: reading node %d: %w", id, err)
 	}
-	return decodeNode(buf[:]), nil
+	return n, nil
 }
 
 func encodeNode(buf []byte, n *node) {
@@ -393,6 +397,8 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID,
 	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
 	rightID, err := t.allocNode(rightNode)
 	if err != nil {
+		// n was mutated in memory but never persisted; drop the cached copy.
+		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, err
 	}
 	n.entries = n.entries[:mid]
@@ -411,6 +417,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID
 	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
 	rightID, err := t.allocNode(rightNode)
 	if err != nil {
+		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, err
 	}
 	n.entries = n.entries[:mid]

@@ -3,6 +3,7 @@ package bptree
 import (
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/pagestore"
 )
 
@@ -26,7 +27,7 @@ func Open(store pagestore.Store, m Meta) (*Tree, error) {
 	if m.Height < 1 {
 		return nil, fmt.Errorf("bptree: invalid meta height %d", m.Height)
 	}
-	t := &Tree{store: store, root: m.Root, height: m.Height, count: m.Count, nodes: m.Nodes}
+	t := &Tree{io: bufpool.NewIO(store, nil), root: m.Root, height: m.Height, count: m.Count, nodes: m.Nodes}
 	// Sanity probe: walking the leftmost path must reach a leaf exactly at
 	// level 1, so a stale or corrupt height is caught before first use.
 	id := t.root

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sae/internal/bptree"
+	"sae/internal/bufpool"
 	"sae/internal/costmodel"
 	"sae/internal/digest"
 	"sae/internal/heapfile"
@@ -81,6 +82,7 @@ func ModifyTamper(i int) Tamper {
 type ServiceProvider struct {
 	mu     sync.RWMutex
 	store  *pagestore.Counting
+	cache  *bufpool.Cache // decoded-node cache shared by heap + index; may be nil
 	heap   *heapfile.File
 	index  *bptree.Tree
 	byID   map[record.ID]heapfile.RID // catalog for update routing
@@ -88,12 +90,45 @@ type ServiceProvider struct {
 }
 
 // NewServiceProvider returns an SP backed by the given page store (pass a
-// file-backed store for on-disk experiments).
+// file-backed store for on-disk experiments). A decoded-node cache in
+// charge-every-access mode is attached by default, so wall-clock time
+// drops while the paper's node-access accounting stays exact; use
+// ConfigureCache to resize, change policy, or disable it.
 func NewServiceProvider(store pagestore.Store) *ServiceProvider {
 	return &ServiceProvider{
 		store: pagestore.NewCounting(store),
+		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 		byID:  make(map[record.ID]heapfile.RID),
 	}
+}
+
+// ConfigureCache replaces the SP's decoded-node cache; pages <= 0 disables
+// caching entirely. Existing structures are re-attached, so it may be
+// called before or after Load.
+func (sp *ServiceProvider) ConfigureCache(pages int, policy bufpool.ChargePolicy) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if pages <= 0 {
+		sp.cache = nil
+	} else {
+		sp.cache = bufpool.New(pages, policy)
+	}
+	if sp.heap != nil {
+		sp.heap.UseCache(sp.cache)
+	}
+	if sp.index != nil {
+		sp.index.UseCache(sp.cache)
+	}
+}
+
+// CacheStats returns the decoded-node cache counters (zero when disabled).
+func (sp *ServiceProvider) CacheStats() bufpool.Stats {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	if sp.cache == nil {
+		return bufpool.Stats{}
+	}
+	return sp.cache.Stats()
 }
 
 // Load receives the owner's initial dataset (sorted by key) and builds the
@@ -114,6 +149,8 @@ func (sp *ServiceProvider) Load(records []record.Record) error {
 	if err != nil {
 		return fmt.Errorf("core: SP loading index: %w", err)
 	}
+	heap.UseCache(sp.cache)
+	index.UseCache(sp.cache)
 	sp.heap = heap
 	sp.index = index
 	return nil
@@ -231,12 +268,43 @@ func (sp *ServiceProvider) IndexHeight() int {
 type TrustedEntity struct {
 	mu    sync.RWMutex
 	store *pagestore.Counting
+	cache *bufpool.Cache // decoded XB-Tree node cache; may be nil
 	tree  *xbtree.Tree
 }
 
-// NewTrustedEntity returns a TE backed by the given page store.
+// NewTrustedEntity returns a TE backed by the given page store. Like the
+// SP, it starts with a charge-every-access decoded-node cache; see
+// ConfigureCache.
 func NewTrustedEntity(store pagestore.Store) *TrustedEntity {
-	return &TrustedEntity{store: pagestore.NewCounting(store)}
+	return &TrustedEntity{
+		store: pagestore.NewCounting(store),
+		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
+	}
+}
+
+// ConfigureCache replaces the TE's decoded-node cache; pages <= 0 disables
+// caching.
+func (te *TrustedEntity) ConfigureCache(pages int, policy bufpool.ChargePolicy) {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	if pages <= 0 {
+		te.cache = nil
+	} else {
+		te.cache = bufpool.New(pages, policy)
+	}
+	if te.tree != nil {
+		te.tree.UseCache(te.cache)
+	}
+}
+
+// CacheStats returns the decoded-node cache counters (zero when disabled).
+func (te *TrustedEntity) CacheStats() bufpool.Stats {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	if te.cache == nil {
+		return bufpool.Stats{}
+	}
+	return te.cache.Stats()
 }
 
 // Load receives the owner's initial dataset (sorted by key), projects each
@@ -258,6 +326,7 @@ func (te *TrustedEntity) Load(records []record.Record) error {
 	if err != nil {
 		return fmt.Errorf("core: TE loading XB-Tree: %w", err)
 	}
+	tree.UseCache(te.cache)
 	te.tree = tree
 	return nil
 }

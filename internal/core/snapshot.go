@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"sae/internal/bptree"
+	"sae/internal/bufpool"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -109,9 +110,11 @@ func RestoreServiceProvider(store pagestore.Store, r io.Reader) (*ServiceProvide
 	}
 	sp := &ServiceProvider{
 		store: pagestore.NewCounting(store),
+		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 		byID:  make(map[record.ID]heapfile.RID, hm.Live),
 	}
 	sp.heap = heapfile.Open(sp.store, hm)
+	sp.heap.UseCache(sp.cache)
 	index, err := bptree.Open(sp.store, bptree.Meta{
 		Root:   pagestore.PageID(vals[0]),
 		Height: int(vals[1]),
@@ -121,6 +124,7 @@ func RestoreServiceProvider(store pagestore.Store, r io.Reader) (*ServiceProvide
 	if err != nil {
 		return nil, fmt.Errorf("core: restoring SP index: %w", err)
 	}
+	index.UseCache(sp.cache)
 	sp.index = index
 	if err := sp.heap.Walk(func(rid heapfile.RID, r record.Record) error {
 		sp.byID[r.ID] = rid
@@ -173,7 +177,10 @@ func RestoreTrustedEntity(store pagestore.Store, r io.Reader) (*TrustedEntity, e
 		}
 		vals[i] = v
 	}
-	te := &TrustedEntity{store: pagestore.NewCounting(store)}
+	te := &TrustedEntity{
+		store: pagestore.NewCounting(store),
+		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
+	}
 	tree, err := xbtree.Open(te.store, xbtree.Meta{
 		Root:      pagestore.PageID(vals[0]),
 		Height:    int(vals[1]),
@@ -186,6 +193,7 @@ func RestoreTrustedEntity(store pagestore.Store, r io.Reader) (*TrustedEntity, e
 	if err != nil {
 		return nil, fmt.Errorf("core: restoring TE tree: %w", err)
 	}
+	tree.UseCache(te.cache)
 	te.tree = tree
 	return te, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sae/internal/bufpool"
 	"sae/internal/costmodel"
 	"sae/internal/digest"
 	"sae/internal/pagestore"
@@ -17,13 +18,24 @@ type System struct {
 }
 
 // NewSystem outsources a dataset (must be sorted by key, as produced by
-// workload.Generate) and returns the assembled system.
+// workload.Generate) and returns the assembled system. Both parties run
+// with the default decoded-node cache in charge-every-access mode, so
+// node-access counts match an uncached run exactly.
 func NewSystem(sorted []record.Record) (*System, error) {
+	return NewSystemCache(sorted, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+}
+
+// NewSystemCache is NewSystem with an explicit decoded-node cache
+// configuration for both parties; pages <= 0 disables caching (the seed's
+// original uncached behavior, used by before/after benchmarks).
+func NewSystemCache(sorted []record.Record, pages int, policy bufpool.ChargePolicy) (*System, error) {
 	s := &System{
 		Owner: NewDataOwner(sorted),
 		SP:    NewServiceProvider(pagestore.NewMem()),
 		TE:    NewTrustedEntity(pagestore.NewMem()),
 	}
+	s.SP.ConfigureCache(pages, policy)
+	s.TE.ConfigureCache(pages, policy)
 	if err := s.Owner.Outsource(s.SP, s.TE, sorted); err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ package digest
 
 import (
 	"crypto/sha1"
+	"encoding/binary"
 	"encoding/hex"
 
 	"sae/internal/record"
@@ -40,12 +41,15 @@ func OfRecord(r *record.Record) Digest {
 	return sha1.Sum(h)
 }
 
-// XOR returns d ⊕ o.
+// XOR returns d ⊕ o. The 20 bytes are folded as two uint64 words plus one
+// uint32 — XOR is endian-agnostic, and the fixed-width loads compile to
+// plain word ops. This path is hot in both VT generation (XB-Tree X
+// maintenance) and client-side verification.
 func (d Digest) XOR(o Digest) Digest {
 	var out Digest
-	for i := range d {
-		out[i] = d[i] ^ o[i]
-	}
+	binary.LittleEndian.PutUint64(out[0:8], binary.LittleEndian.Uint64(d[0:8])^binary.LittleEndian.Uint64(o[0:8]))
+	binary.LittleEndian.PutUint64(out[8:16], binary.LittleEndian.Uint64(d[8:16])^binary.LittleEndian.Uint64(o[8:16]))
+	binary.LittleEndian.PutUint32(out[16:20], binary.LittleEndian.Uint32(d[16:20])^binary.LittleEndian.Uint32(o[16:20]))
 	return out
 }
 
@@ -61,12 +65,21 @@ func (d Digest) String() string {
 
 // XORAll folds a list of digests with XOR. An empty list yields Zero,
 // mirroring the paper's convention that the XOR over an empty set is 0.
+// The fold runs in three word-sized accumulators so the output digest is
+// materialized once, not per element.
 func XORAll(ds ...Digest) Digest {
-	var acc Digest
-	for _, d := range ds {
-		acc = acc.XOR(d)
+	var x0, x1 uint64
+	var x2 uint32
+	for i := range ds {
+		x0 ^= binary.LittleEndian.Uint64(ds[i][0:8])
+		x1 ^= binary.LittleEndian.Uint64(ds[i][8:16])
+		x2 ^= binary.LittleEndian.Uint32(ds[i][16:20])
 	}
-	return acc
+	var out Digest
+	binary.LittleEndian.PutUint64(out[0:8], x0)
+	binary.LittleEndian.PutUint64(out[8:16], x1)
+	binary.LittleEndian.PutUint32(out[16:20], x2)
+	return out
 }
 
 // Accumulator incrementally XOR-folds digests. Because XOR is its own
@@ -77,11 +90,9 @@ type Accumulator struct {
 	acc Digest
 }
 
-// Add folds d into the accumulator.
+// Add folds d into the accumulator, word-wise.
 func (a *Accumulator) Add(d Digest) {
-	for i := range a.acc {
-		a.acc[i] ^= d[i]
-	}
+	xorInto(&a.acc, d[:])
 }
 
 // AddBytes folds a raw 20-byte slice into the accumulator. It panics if b is
@@ -90,9 +101,14 @@ func (a *Accumulator) AddBytes(b []byte) {
 	if len(b) != Size {
 		panic("digest: AddBytes requires exactly 20 bytes")
 	}
-	for i := range a.acc {
-		a.acc[i] ^= b[i]
-	}
+	xorInto(&a.acc, b)
+}
+
+// xorInto folds exactly Size bytes of src into dst as machine words.
+func xorInto(dst *Digest, src []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], binary.LittleEndian.Uint64(dst[0:8])^binary.LittleEndian.Uint64(src[0:8]))
+	binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(dst[8:16])^binary.LittleEndian.Uint64(src[8:16]))
+	binary.LittleEndian.PutUint32(dst[16:20], binary.LittleEndian.Uint32(dst[16:20])^binary.LittleEndian.Uint32(src[16:20]))
 }
 
 // Sum returns the current XOR fold.

@@ -1,0 +1,104 @@
+package digest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// xorRef is the byte-at-a-time reference the word-wise implementations
+// must match.
+func xorRef(a, b Digest) Digest {
+	var out Digest
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+func randDigest(rng *rand.Rand) Digest {
+	var d Digest
+	rng.Read(d[:])
+	return d
+}
+
+func TestXORMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := randDigest(rng), randDigest(rng)
+		if got, want := a.XOR(b), xorRef(a, b); got != want {
+			t.Fatalf("XOR mismatch: %v ^ %v = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestXORAllMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 33; n++ {
+		ds := make([]Digest, n)
+		var want Digest
+		for i := range ds {
+			ds[i] = randDigest(rng)
+			want = xorRef(want, ds[i])
+		}
+		if got := XORAll(ds...); got != want {
+			t.Fatalf("XORAll over %d digests = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAccumulatorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var acc Accumulator
+	var want Digest
+	for i := 0; i < 100; i++ {
+		d := randDigest(rng)
+		if i%2 == 0 {
+			acc.Add(d)
+		} else {
+			acc.AddBytes(d[:])
+		}
+		want = xorRef(want, d)
+		if acc.Sum() != want {
+			t.Fatalf("accumulator diverged at step %d: %v, want %v", i, acc.Sum(), want)
+		}
+	}
+}
+
+func BenchmarkXOR(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d1, d2 := randDigest(rng), randDigest(rng)
+	b.SetBytes(Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d1 = d1.XOR(d2)
+	}
+	sink = d1
+}
+
+func BenchmarkXORAll128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ds := make([]Digest, 128)
+	for i := range ds {
+		ds[i] = randDigest(rng)
+	}
+	b.SetBytes(int64(len(ds)) * Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = XORAll(ds...)
+	}
+}
+
+func BenchmarkAccumulatorAddBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	d := randDigest(rng)
+	var acc Accumulator
+	b.SetBytes(Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AddBytes(d[:])
+	}
+	sink = acc.Sum()
+}
+
+// sink defeats dead-code elimination in the benchmarks.
+var sink Digest

@@ -5,12 +5,17 @@
 // Build lays records out in key order (a clustered file), so a range query's
 // result occupies a contiguous run of pages; later insertions append at the
 // tail, as in a conventional heap. Deletions tombstone their slot.
+//
+// All page access goes through internal/bufpool: pages are decoded once
+// into a slice of records and, when a cache is attached with UseCache,
+// served from the decoded form on repeated reads.
 package heapfile
 
 import (
 	"errors"
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/pagestore"
 	"sae/internal/record"
 )
@@ -40,36 +45,74 @@ var (
 
 // File is a record file over a page store.
 type File struct {
-	store pagestore.Store
+	io    *bufpool.IO
 	pages []pagestore.PageID // in allocation (and key, after Build) order
 	live  int                // live (non-deleted) record count
 }
 
+// page is the decoded in-memory form of one heap page: the occupancy
+// bitmap plus every written slot's record.
+type page struct {
+	occ  byte
+	recs []record.Record
+}
+
+// live reports whether slot s holds a non-tombstoned record.
+func (p *page) live(s uint16) bool {
+	return s < RecordsPerPage && p.occ&(1<<uint(s)) != 0
+}
+
+// slotRef returns a pointer to the record at rid, enforcing bounds and
+// tombstones. The pointer aliases the (possibly cached) decoded page —
+// callers copy, never mutate.
+func (p *page) slotRef(rid RID) (*record.Record, error) {
+	if int(rid.Slot) >= len(p.recs) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRID, rid)
+	}
+	if !p.live(rid.Slot) {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, rid)
+	}
+	return &p.recs[rid.Slot], nil
+}
+
+// slot fetches the record at rid by value.
+func (p *page) slot(rid RID) (record.Record, error) {
+	r, err := p.slotRef(rid)
+	if err != nil {
+		return record.Record{}, err
+	}
+	return *r, nil
+}
+
 // New returns an empty heap file on store.
 func New(store pagestore.Store) *File {
-	return &File{store: store}
+	return &File{io: bufpool.NewIO(store, nil)}
 }
+
+// UseCache attaches a decoded-page cache to the file's read/write path
+// (nil detaches).
+func (f *File) UseCache(c *bufpool.Cache) { f.io.SetCache(c) }
 
 // Build creates a clustered file holding records in the given order (callers
 // sort by key first) and returns the RID of each record, aligned with the
 // input slice. It is the data owner's initial bulk transfer to the SP.
+// The build itself runs uncached; attach a cache afterwards with UseCache.
 func Build(store pagestore.Store, records []record.Record) (*File, []RID, error) {
 	f := New(store)
 	rids := make([]RID, 0, len(records))
-	buf := make([]byte, pagestore.PageSize)
 	for start := 0; start < len(records); start += RecordsPerPage {
 		end := start + RecordsPerPage
 		if end > len(records) {
 			end = len(records)
 		}
-		id, err := store.Allocate()
+		id, err := f.io.Allocate()
 		if err != nil {
 			return nil, nil, fmt.Errorf("heapfile: allocating page: %w", err)
 		}
 		n := end - start
-		encodePage(buf, records[start:end])
-		if err := store.Write(id, buf); err != nil {
-			return nil, nil, fmt.Errorf("heapfile: writing page %d: %w", id, err)
+		p := &page{occ: byte(1<<uint(n)) - 1, recs: records[start:end]}
+		if err := f.writePage(id, p); err != nil {
+			return nil, nil, err
 		}
 		f.pages = append(f.pages, id)
 		for s := 0; s < n; s++ {
@@ -80,51 +123,81 @@ func Build(store pagestore.Store, records []record.Record) (*File, []RID, error)
 	return f, rids, nil
 }
 
-// encodePage serializes up to RecordsPerPage records into buf with all slots
-// occupied.
-func encodePage(buf []byte, recs []record.Record) {
+// encodePage serializes a decoded page: count, occupancy bitmap, records.
+func encodePage(buf []byte, p *page) {
 	for i := range buf {
 		buf[i] = 0
 	}
-	buf[0] = byte(len(recs))
+	buf[0] = byte(len(p.recs))
 	buf[1] = 0
-	var occ byte
-	for s := range recs {
-		occ |= 1 << uint(s)
+	buf[2] = p.occ
+	for s := range p.recs {
 		off := headerSize + s*record.Size
-		recs[s].AppendBinary(buf[off : off : off+record.Size])
+		p.recs[s].AppendBinary(buf[off : off : off+record.Size])
 	}
-	buf[2] = occ
 }
 
-func pageCount(buf []byte) int { return int(buf[0]) }
-func pageOcc(buf []byte) byte  { return buf[2] }
-func slotLive(buf []byte, s uint16) bool {
-	return s < RecordsPerPage && pageOcc(buf)&(1<<uint(s)) != 0
-}
-
-// Get fetches a single record, costing one page access.
-func (f *File) Get(rid RID) (record.Record, error) {
-	buf := make([]byte, pagestore.PageSize)
-	return f.getInto(rid, buf)
-}
-
-func (f *File) getInto(rid RID, buf []byte) (record.Record, error) {
-	if err := f.store.Read(rid.Page, buf); err != nil {
-		return record.Record{}, fmt.Errorf("heapfile: %w", err)
-	}
-	return decodeSlot(buf, rid)
-}
-
+// decodeSlot unmarshals a single slot from a raw page — the fast path for
+// uncached reads, which have no reason to materialize all eight records.
 func decodeSlot(buf []byte, rid RID) (record.Record, error) {
-	if int(rid.Slot) >= pageCount(buf) {
+	if int(rid.Slot) >= int(buf[0]) {
 		return record.Record{}, fmt.Errorf("%w: %v", ErrBadRID, rid)
 	}
-	if !slotLive(buf, rid.Slot) {
+	if rid.Slot >= RecordsPerPage || buf[2]&(1<<uint(rid.Slot)) == 0 {
 		return record.Record{}, fmt.Errorf("%w: %v", ErrDeleted, rid)
 	}
 	off := headerSize + int(rid.Slot)*record.Size
 	return record.Unmarshal(buf[off : off+record.Size])
+}
+
+// decodePage parses a raw page into its record slice. Tombstoned slots are
+// decoded too (their bytes remain valid); liveness is the occ bitmap's job.
+func decodePage(buf []byte) *page {
+	count := int(buf[0])
+	if count > RecordsPerPage {
+		count = RecordsPerPage
+	}
+	p := &page{occ: buf[2], recs: make([]record.Record, count)}
+	off := headerSize
+	for i := 0; i < count; i++ {
+		p.recs[i], _ = record.Unmarshal(buf[off : off+record.Size])
+		off += record.Size
+	}
+	return p
+}
+
+func (f *File) readPage(id pagestore.PageID) (*page, error) {
+	p, err := bufpool.ReadNode(f.io, id, decodePage)
+	if err != nil {
+		return nil, fmt.Errorf("heapfile: %w", err)
+	}
+	return p, nil
+}
+
+func (f *File) writePage(id pagestore.PageID, p *page) error {
+	if err := bufpool.WriteNode(f.io, id, p, encodePage); err != nil {
+		return fmt.Errorf("heapfile: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Get fetches a single record, costing one page access. Without a cache
+// only the requested slot is unmarshalled, matching the pre-bufpool cost
+// exactly (the uncached mode is the before/after benchmarks' baseline).
+func (f *File) Get(rid RID) (record.Record, error) {
+	if f.io.Cache() == nil {
+		buf := bufpool.GetPage()
+		defer bufpool.PutPage(buf)
+		if err := f.io.Store().Read(rid.Page, buf[:]); err != nil {
+			return record.Record{}, fmt.Errorf("heapfile: %w", err)
+		}
+		return decodeSlot(buf[:], rid)
+	}
+	p, err := f.readPage(rid.Page)
+	if err != nil {
+		return record.Record{}, err
+	}
+	return p.slot(rid)
 }
 
 // GetMany fetches records for a list of RIDs, reading each distinct page at
@@ -132,17 +205,44 @@ func decodeSlot(buf []byte, rid RID) (record.Record, error) {
 // (the range-query case) this touches ceil(|RS| / RecordsPerPage) pages,
 // which is exactly the paper's "scan the dataset file" cost.
 func (f *File) GetMany(rids []RID) ([]record.Record, error) {
+	if f.io.Cache() == nil {
+		return f.getManyUncached(rids)
+	}
 	out := make([]record.Record, 0, len(rids))
-	buf := make([]byte, pagestore.PageSize)
+	var cur *page
 	curPage := pagestore.InvalidPage
 	for _, rid := range rids {
 		if rid.Page != curPage {
-			if err := f.store.Read(rid.Page, buf); err != nil {
+			p, err := f.readPage(rid.Page)
+			if err != nil {
+				return nil, err
+			}
+			cur, curPage = p, rid.Page
+		}
+		r, err := cur.slotRef(rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// getManyUncached reads into one pooled buffer per page run and decodes
+// only the requested slots, like the pre-bufpool implementation.
+func (f *File) getManyUncached(rids []RID) ([]record.Record, error) {
+	out := make([]record.Record, 0, len(rids))
+	buf := bufpool.GetPage()
+	defer bufpool.PutPage(buf)
+	curPage := pagestore.InvalidPage
+	for _, rid := range rids {
+		if rid.Page != curPage {
+			if err := f.io.Store().Read(rid.Page, buf[:]); err != nil {
 				return nil, fmt.Errorf("heapfile: %w", err)
 			}
 			curPage = rid.Page
 		}
-		r, err := decodeSlot(buf, rid)
+		r, err := decodeSlot(buf[:], rid)
 		if err != nil {
 			return nil, err
 		}
@@ -154,32 +254,29 @@ func (f *File) GetMany(rids []RID) ([]record.Record, error) {
 // Append adds a record at the file's tail, extending the last page or
 // allocating a new one, and returns its RID. Used for post-build updates.
 func (f *File) Append(r record.Record) (RID, error) {
-	buf := make([]byte, pagestore.PageSize)
 	if n := len(f.pages); n > 0 {
 		last := f.pages[n-1]
-		if err := f.store.Read(last, buf); err != nil {
-			return InvalidRID, fmt.Errorf("heapfile: %w", err)
+		p, err := f.readPage(last)
+		if err != nil {
+			return InvalidRID, err
 		}
-		if cnt := pageCount(buf); cnt < RecordsPerPage {
+		if cnt := len(p.recs); cnt < RecordsPerPage {
 			slot := uint16(cnt)
-			off := headerSize + cnt*record.Size
-			r.AppendBinary(buf[off : off : off+record.Size])
-			buf[0] = byte(cnt + 1)
-			buf[2] = pageOcc(buf) | 1<<uint(slot)
-			if err := f.store.Write(last, buf); err != nil {
-				return InvalidRID, fmt.Errorf("heapfile: %w", err)
+			p.recs = append(p.recs, r)
+			p.occ |= 1 << uint(slot)
+			if err := f.writePage(last, p); err != nil {
+				return InvalidRID, err
 			}
 			f.live++
 			return RID{Page: last, Slot: slot}, nil
 		}
 	}
-	id, err := f.store.Allocate()
+	id, err := f.io.Allocate()
 	if err != nil {
 		return InvalidRID, fmt.Errorf("heapfile: allocating page: %w", err)
 	}
-	encodePage(buf, []record.Record{r})
-	if err := f.store.Write(id, buf); err != nil {
-		return InvalidRID, fmt.Errorf("heapfile: %w", err)
+	if err := f.writePage(id, &page{occ: 1, recs: []record.Record{r}}); err != nil {
+		return InvalidRID, err
 	}
 	f.pages = append(f.pages, id)
 	f.live++
@@ -188,19 +285,19 @@ func (f *File) Append(r record.Record) (RID, error) {
 
 // Delete tombstones a record. The slot is not reused; range scans skip it.
 func (f *File) Delete(rid RID) error {
-	buf := make([]byte, pagestore.PageSize)
-	if err := f.store.Read(rid.Page, buf); err != nil {
-		return fmt.Errorf("heapfile: %w", err)
+	p, err := f.readPage(rid.Page)
+	if err != nil {
+		return err
 	}
-	if int(rid.Slot) >= pageCount(buf) {
+	if int(rid.Slot) >= len(p.recs) {
 		return fmt.Errorf("%w: %v", ErrBadRID, rid)
 	}
-	if !slotLive(buf, rid.Slot) {
+	if !p.live(rid.Slot) {
 		return fmt.Errorf("%w: %v", ErrDeleted, rid)
 	}
-	buf[2] = pageOcc(buf) &^ (1 << uint(rid.Slot))
-	if err := f.store.Write(rid.Page, buf); err != nil {
-		return fmt.Errorf("heapfile: %w", err)
+	p.occ &^= 1 << uint(rid.Slot)
+	if err := f.writePage(rid.Page, p); err != nil {
+		return err
 	}
 	f.live--
 	return nil

@@ -1,8 +1,7 @@
 package heapfile
 
 import (
-	"fmt"
-
+	"sae/internal/bufpool"
 	"sae/internal/pagestore"
 	"sae/internal/record"
 )
@@ -23,7 +22,7 @@ func (f *File) Meta() Meta {
 // Open reattaches a heap file to a store that already contains its pages.
 func Open(store pagestore.Store, m Meta) *File {
 	return &File{
-		store: store,
+		io:    bufpool.NewIO(store, nil),
 		pages: append([]pagestore.PageID(nil), m.Pages...),
 		live:  m.Live,
 	}
@@ -32,22 +31,16 @@ func Open(store pagestore.Store, m Meta) *File {
 // Walk visits every live record in file order. Restores use it to rebuild
 // in-memory catalogs (e.g. the SP's id → RID map).
 func (f *File) Walk(fn func(RID, record.Record) error) error {
-	buf := make([]byte, pagestore.PageSize)
-	for _, page := range f.pages {
-		if err := f.store.Read(page, buf); err != nil {
-			return fmt.Errorf("heapfile: %w", err)
+	for _, id := range f.pages {
+		p, err := f.readPage(id)
+		if err != nil {
+			return err
 		}
-		count := pageCount(buf)
-		for s := uint16(0); int(s) < count; s++ {
-			if !slotLive(buf, s) {
+		for s := uint16(0); int(s) < len(p.recs); s++ {
+			if !p.live(s) {
 				continue
 			}
-			rid := RID{Page: page, Slot: s}
-			r, err := decodeSlot(buf, rid)
-			if err != nil {
-				return err
-			}
-			if err := fn(rid, r); err != nil {
+			if err := fn(RID{Page: id, Slot: s}, p.recs[s]); err != nil {
 				return err
 			}
 		}

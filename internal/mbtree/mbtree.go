@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
@@ -75,13 +76,17 @@ var ErrNotFound = errors.New("mbtree: entry not found")
 
 // Tree is a disk-based MB-Tree.
 type Tree struct {
-	store      pagestore.Store
+	io         *bufpool.IO
 	root       pagestore.PageID
 	rootDigest digest.Digest
 	height     int
 	count      int
 	nodes      int
 }
+
+// UseCache attaches a decoded-node cache to the tree's read/write path
+// (nil detaches).
+func (t *Tree) UseCache(c *bufpool.Cache) { t.io.SetCache(c) }
 
 type node struct {
 	leaf     bool
@@ -111,7 +116,7 @@ func (n *node) digest() digest.Digest {
 
 // New creates an empty tree.
 func New(store pagestore.Store) (*Tree, error) {
-	t := &Tree{store: store, height: 1}
+	t := &Tree{io: bufpool.NewIO(store, nil), height: 1}
 	n := &node{leaf: true, next: pagestore.InvalidPage}
 	id, err := t.allocNode(n)
 	if err != nil {
@@ -134,7 +139,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 	if len(entries) == 0 {
 		return New(store)
 	}
-	t := &Tree{store: store}
+	t := &Tree{io: bufpool.NewIO(store, nil)}
 
 	type built struct {
 		id  pagestore.PageID
@@ -214,7 +219,7 @@ func (t *Tree) NodeCount() int { return t.nodes }
 func (t *Tree) Bytes() int64 { return int64(t.nodes) * pagestore.PageSize }
 
 func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
-	id, err := t.store.Allocate()
+	id, err := t.io.Allocate()
 	if err != nil {
 		return 0, fmt.Errorf("mbtree: allocating node: %w", err)
 	}
@@ -226,20 +231,18 @@ func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
 }
 
 func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
-	var buf [pagestore.PageSize]byte
-	encodeNode(buf[:], n)
-	if err := t.store.Write(id, buf[:]); err != nil {
+	if err := bufpool.WriteNode(t.io, id, n, encodeNode); err != nil {
 		return fmt.Errorf("mbtree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
 func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	var buf [pagestore.PageSize]byte
-	if err := t.store.Read(id, buf[:]); err != nil {
+	n, err := bufpool.ReadNode(t.io, id, decodeNode)
+	if err != nil {
 		return nil, fmt.Errorf("mbtree: reading node %d: %w", id, err)
 	}
-	return decodeNode(buf[:]), nil
+	return n, nil
 }
 
 func putEntryKeyRID(buf []byte, e Entry) {
@@ -444,6 +447,8 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID,
 	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
 	rightID, err := t.allocNode(rightNode)
 	if err != nil {
+		// n was mutated in memory but never persisted; drop the cached copy.
+		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
 	n.entries = n.entries[:mid]
@@ -464,6 +469,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID
 	rightNode.digests = append(rightNode.digests, n.digests[mid+1:]...)
 	rightID, err := t.allocNode(rightNode)
 	if err != nil {
+		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
 	n.entries = n.entries[:mid]

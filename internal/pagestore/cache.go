@@ -11,14 +11,24 @@ import (
 //
 // The headline experiments run without a pool (the paper charges every node
 // access); Cache exists for the buffer-pool ablation bench.
+//
+// The mutex is released while a miss reads the inner store, so concurrent
+// misses proceed in parallel instead of serializing on one lock. A
+// per-page generation stamp (bumped by every Write and Free) keeps the
+// race safe: a miss-fill whose read was overtaken by a write or free is
+// simply dropped.
 type Cache struct {
 	mu       sync.Mutex
 	inner    Store
 	capacity int
 	lru      *list.List // front = most recent; values are *cacheEntry
 	byID     map[PageID]*list.Element
-	hits     int64
-	misses   int64
+	// gen entries are never deleted (a deletion would let a stale
+	// in-flight miss-fill through); the map grows ~8 bytes per page
+	// ever written or freed, far below one page of data.
+	gen    map[PageID]uint64
+	hits   int64
+	misses int64
 }
 
 type cacheEntry struct {
@@ -37,30 +47,59 @@ func NewCache(inner Store, capacity int) *Cache {
 		capacity: capacity,
 		lru:      list.New(),
 		byID:     make(map[PageID]*list.Element, capacity),
+		gen:      make(map[PageID]uint64),
 	}
 }
 
 // Allocate implements Store.
 func (c *Cache) Allocate() (PageID, error) {
-	return c.inner.Allocate()
+	id, err := c.inner.Allocate()
+	if err == nil {
+		// The id may be a recycled freed page; make sure no stale copy
+		// (or in-flight miss-fill) can resurface under it.
+		c.mu.Lock()
+		c.gen[id]++
+		if el, ok := c.byID[id]; ok {
+			c.lru.Remove(el)
+			delete(c.byID, id)
+		}
+		c.mu.Unlock()
+	}
+	return id, err
 }
 
-// Read implements Store.
+// Read implements Store. Hits are served under the lock; misses release
+// it for the duration of the inner read.
 func (c *Cache) Read(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return ErrBadBufSize
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
 		copy(buf, el.Value.(*cacheEntry).data)
+		c.mu.Unlock()
 		return nil
 	}
 	c.misses++
+	gen := c.gen[id]
+	c.mu.Unlock()
+
 	if err := c.inner.Read(id, buf); err != nil {
 		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen[id] != gen {
+		// A write or free overtook this read; its data is stale.
+		return nil
+	}
+	if el, ok := c.byID[id]; ok {
+		// Another miss filled the entry first.
+		c.lru.MoveToFront(el)
+		return nil
 	}
 	c.insertLocked(id, buf)
 	return nil
@@ -74,6 +113,7 @@ func (c *Cache) Write(id PageID, buf []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen[id]++
 	if err := c.inner.Write(id, buf); err != nil {
 		return err
 	}
@@ -102,6 +142,7 @@ func (c *Cache) insertLocked(id PageID, buf []byte) {
 func (c *Cache) Free(id PageID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen[id]++
 	if el, ok := c.byID[id]; ok {
 		c.lru.Remove(el)
 		delete(c.byID, id)

@@ -34,6 +34,14 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// ReadAccountant is implemented by stores that can charge a read without
+// performing it. The decoded-node cache (internal/bufpool) uses it under
+// its charge-every-access policy to keep the paper's node-access
+// accounting exact on cache hits while skipping the page copy.
+type ReadAccountant interface {
+	AccountRead(id PageID)
+}
+
 // Counting wraps a Store and counts every operation. All experiments wrap
 // their stores in Counting so the cost model can translate page accesses
 // into simulated milliseconds.
@@ -60,6 +68,12 @@ func (c *Counting) Allocate() (PageID, error) {
 func (c *Counting) Read(id PageID, buf []byte) error {
 	c.reads.Add(1)
 	return c.inner.Read(id, buf)
+}
+
+// AccountRead implements ReadAccountant: it charges a read that was
+// served from a decoded-node cache without touching the inner store.
+func (c *Counting) AccountRead(PageID) {
+	c.reads.Add(1)
 }
 
 // Write implements Store.

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"sae/internal/bufpool"
 	"sae/internal/core"
 	"sae/internal/costmodel"
 	"sae/internal/digest"
@@ -57,6 +58,7 @@ type Tamper func([]record.Record) []record.Record
 type Provider struct {
 	mu     sync.RWMutex
 	store  *pagestore.Counting
+	cache  *bufpool.Cache // decoded-node cache shared by heap + MB-Tree
 	heap   *heapfile.File
 	tree   *mbtree.Tree
 	sig    []byte
@@ -64,12 +66,42 @@ type Provider struct {
 	tamper Tamper
 }
 
-// NewProvider returns a provider backed by the given page store.
+// NewProvider returns a provider backed by the given page store, with the
+// default charge-every-access decoded-node cache (see ConfigureCache).
 func NewProvider(store pagestore.Store) *Provider {
 	return &Provider{
 		store: pagestore.NewCounting(store),
+		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 		byID:  make(map[record.ID]heapfile.RID),
 	}
+}
+
+// ConfigureCache replaces the provider's decoded-node cache; pages <= 0
+// disables caching.
+func (p *Provider) ConfigureCache(pages int, policy bufpool.ChargePolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pages <= 0 {
+		p.cache = nil
+	} else {
+		p.cache = bufpool.New(pages, policy)
+	}
+	if p.heap != nil {
+		p.heap.UseCache(p.cache)
+	}
+	if p.tree != nil {
+		p.tree.UseCache(p.cache)
+	}
+}
+
+// CacheStats returns the decoded-node cache counters (zero when disabled).
+func (p *Provider) CacheStats() bufpool.Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.cache == nil {
+		return bufpool.Stats{}
+	}
+	return p.cache.Stats()
 }
 
 // Load builds the heap file and the MB-Tree from the owner's dataset
@@ -98,6 +130,8 @@ func (p *Provider) Load(records []record.Record, owner *Owner) error {
 	if err != nil {
 		return fmt.Errorf("tom: owner signing root: %w", err)
 	}
+	heap.UseCache(p.cache)
+	tree.UseCache(p.cache)
 	p.heap = heap
 	p.tree = tree
 	p.sig = sig
@@ -224,13 +258,21 @@ type System struct {
 	Client   Client
 }
 
-// NewSystem outsources a dataset (sorted by key) under TOM.
+// NewSystem outsources a dataset (sorted by key) under TOM, with the
+// default charge-every-access decoded-node cache at the provider.
 func NewSystem(sorted []record.Record) (*System, error) {
+	return NewSystemCache(sorted, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+}
+
+// NewSystemCache is NewSystem with an explicit provider cache
+// configuration; pages <= 0 disables caching.
+func NewSystemCache(sorted []record.Record, pages int, policy bufpool.ChargePolicy) (*System, error) {
 	owner, err := NewOwner()
 	if err != nil {
 		return nil, err
 	}
 	p := NewProvider(pagestore.NewMem())
+	p.ConfigureCache(pages, policy)
 	if err := p.Load(sorted, owner); err != nil {
 		return nil, err
 	}

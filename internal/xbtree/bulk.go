@@ -3,6 +3,7 @@ package xbtree
 import (
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -32,7 +33,7 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 	if len(items) == 0 {
 		return New(store)
 	}
-	t := &Tree{store: store, lists: newLStore(store)}
+	t := &Tree{io: bufpool.NewIO(store, nil), lists: newLStore(store)}
 
 	// Materialize every tuple list up front.
 	type loaded struct {

@@ -3,6 +3,7 @@ package xbtree
 import (
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/pagestore"
 )
 
@@ -37,7 +38,7 @@ func Open(store pagestore.Store, m Meta) (*Tree, error) {
 		return nil, fmt.Errorf("xbtree: invalid meta height %d", m.Height)
 	}
 	t := &Tree{
-		store:  store,
+		io:     bufpool.NewIO(store, nil),
 		lists:  &lstore{store: store, fillPage: m.FillPage, pages: m.ListPages},
 		root:   m.Root,
 		height: m.Height,

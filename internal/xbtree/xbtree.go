@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -57,7 +58,7 @@ var ErrNotFound = errors.New("xbtree: tuple not found")
 
 // Tree is a disk-based XB-Tree.
 type Tree struct {
-	store  pagestore.Store
+	io     *bufpool.IO
 	lists  *lstore
 	root   pagestore.PageID
 	height int // 1 = root is a leaf
@@ -65,6 +66,10 @@ type Tree struct {
 	tuples int
 	keys   int // distinct (possibly tombstoned) keys
 }
+
+// UseCache attaches a decoded-node cache to the tree's read/write path
+// (nil detaches). Tuple-list pages are not cached — only tree nodes.
+func (t *Tree) UseCache(c *bufpool.Cache) { t.io.SetCache(c) }
 
 // entry is the in-memory form of a keyed entry.
 type entry struct {
@@ -99,7 +104,7 @@ func (n *xnode) agg() digest.Digest {
 // New creates an empty XB-Tree. Tree nodes and tuple-list pages are both
 // allocated from store.
 func New(store pagestore.Store) (*Tree, error) {
-	t := &Tree{store: store, lists: newLStore(store), height: 1}
+	t := &Tree{io: bufpool.NewIO(store, nil), lists: newLStore(store), height: 1}
 	id, err := t.allocNode(&xnode{leaf: true})
 	if err != nil {
 		return nil, err
@@ -109,7 +114,7 @@ func New(store pagestore.Store) (*Tree, error) {
 }
 
 func (t *Tree) allocNode(n *xnode) (pagestore.PageID, error) {
-	id, err := t.store.Allocate()
+	id, err := t.io.Allocate()
 	if err != nil {
 		return 0, fmt.Errorf("xbtree: allocating node: %w", err)
 	}
@@ -121,20 +126,18 @@ func (t *Tree) allocNode(n *xnode) (pagestore.PageID, error) {
 }
 
 func (t *Tree) writeNode(id pagestore.PageID, n *xnode) error {
-	var buf [pagestore.PageSize]byte
-	encodeXNode(buf[:], n)
-	if err := t.store.Write(id, buf[:]); err != nil {
+	if err := bufpool.WriteNode(t.io, id, n, encodeXNode); err != nil {
 		return fmt.Errorf("xbtree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
 func (t *Tree) readNode(id pagestore.PageID) (*xnode, error) {
-	var buf [pagestore.PageSize]byte
-	if err := t.store.Read(id, buf[:]); err != nil {
+	n, err := bufpool.ReadNode(t.io, id, decodeXNode)
+	if err != nil {
 		return nil, fmt.Errorf("xbtree: reading node %d: %w", id, err)
 	}
-	return decodeXNode(buf[:]), nil
+	return n, nil
 }
 
 func putRef(buf []byte, r listRef) {
@@ -351,6 +354,8 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *xnode, aggBefore digest.Digest)
 	right.entries = append(right.entries, n.entries[mid+1:]...)
 	rightID, err := t.allocNode(right)
 	if err != nil {
+		// n was mutated in memory but never persisted; drop the cached copy.
+		t.io.Discard(id)
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
 	promoted.x = promoted.x.XOR(right.agg())
@@ -373,6 +378,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest
 
 	lxor, err := t.lists.xorOf(promoted.lref)
 	if err != nil {
+		t.io.Discard(id)
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
 	right := &xnode{
@@ -383,6 +389,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest
 	right.entries = append(right.entries, n.entries[mid+1:]...)
 	rightID, err := t.allocNode(right)
 	if err != nil {
+		t.io.Discard(id)
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
 	promoted.x = lxor.XOR(right.agg())
