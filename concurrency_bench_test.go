@@ -1,0 +1,151 @@
+// Concurrent-clients benchmarks: the payoff of request-scoped execution
+// contexts. Before them, per-query cost accounting read global counters, so
+// correct numbers required dispatching queries one at a time; now any
+// number of clients query in parallel and each still measures exactly its
+// own accesses (see core.TestConcurrentCostParity).
+//
+//	go test -bench=ConcurrentClients -benchtime=1x .
+//
+// Two effects are measured separately:
+//
+//   - BenchmarkConcurrentClientsCPU: raw CPU-bound throughput, serialized
+//     dispatch vs 8 goroutines. Gains here track physical core count.
+//   - BenchmarkConcurrentClientsSimIO: throughput when each query also
+//     pays its own simulated I/O stall (the paper charges 10 ms per node
+//     access; scaled down 100x here to keep the benchmark fast). Overlap
+//     of I/O waits is what concurrency buys a disk-bound server, so the
+//     8-goroutine aggregate exceeds serialized dispatch ~8x even on one
+//     core — the deployment the ROADMAP's "millions of users" north star
+//     cares about.
+package sae
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+const benchWorkers = 8
+
+// simPerAccess is the simulated per-node-access stall for the SimIO
+// variant: the paper's 10 ms charge scaled by 100 to keep -benchtime
+// reasonable while preserving the I/O-bound regime.
+const simPerAccess = 100 * time.Microsecond
+
+// spQuery runs one SP query, optionally sleeping the scaled simulated I/O
+// its own measured cost prices — the request-scoped accounting is what
+// makes this cost trustworthy under concurrency. (Errorf, not Fatalf:
+// this runs on worker goroutines.)
+func spQuery(b *testing.B, f *fixture, q record.Range, simIO bool) {
+	_, qc, err := f.sae.SP.Query(q)
+	if err != nil {
+		b.Errorf("SP query: %v", err)
+		return
+	}
+	if simIO {
+		time.Sleep(time.Duration(qc.Total().Accesses) * simPerAccess)
+	}
+}
+
+func runConcurrentClients(b *testing.B, simIO bool) {
+	f := getFixture(b, workload.UNF)
+	for _, workers := range []int{1, benchWorkers} {
+		name := "serialized"
+		if workers > 1 {
+			name = fmt.Sprintf("goroutines-%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						spQuery(b, f, f.queries[i%len(f.queries)], simIO)
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentClientsCPU measures aggregate SP query throughput
+// with no simulated I/O: pure CPU work under the SP's read lock.
+func BenchmarkConcurrentClientsCPU(b *testing.B) {
+	runConcurrentClients(b, false)
+}
+
+// BenchmarkConcurrentClientsSimIO measures aggregate throughput when each
+// query pays its simulated I/O stall. Serialized dispatch pays every stall
+// end to end; 8 goroutines overlap them, so the aggregate approaches 8x.
+func BenchmarkConcurrentClientsSimIO(b *testing.B) {
+	runConcurrentClients(b, true)
+}
+
+// BenchmarkConcurrentClientsMixed drives all three parties (SAE SP, TE,
+// TOM provider) from 8 goroutines at once under the simulated stall —
+// the full mixed read workload of the acceptance criterion.
+func BenchmarkConcurrentClientsMixed(b *testing.B) {
+	f := getFixture(b, workload.UNF)
+	b.ReportAllocs()
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < benchWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := f.queries[i%len(f.queries)]
+				switch i % 3 {
+				case 0:
+					_, qc, err := f.sae.SP.Query(q)
+					if err != nil {
+						b.Errorf("SP query: %v", err)
+						return
+					}
+					time.Sleep(time.Duration(qc.Total().Accesses) * simPerAccess)
+				case 1:
+					_, tc, err := f.sae.TE.GenerateVT(q)
+					if err != nil {
+						b.Errorf("TE token: %v", err)
+						return
+					}
+					time.Sleep(time.Duration(tc.Accesses) * simPerAccess)
+				case 2:
+					_, _, qc, err := f.tom.Provider.Query(q)
+					if err != nil {
+						b.Errorf("TOM query: %v", err)
+						return
+					}
+					time.Sleep(time.Duration(qc.Total().Accesses) * simPerAccess)
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+	}
+}

@@ -92,7 +92,7 @@ func main() {
 
 	nq := int64(len(queries))
 	fmt.Printf("%d verified queries, %d records total\n\n", nq, totalRecords)
-	fmt.Println("measured wire traffic per query (5-byte frame headers included):")
+	fmt.Println("measured wire traffic per query (9-byte frame headers included):")
 	fmt.Printf("  SAE  SP->client: %6d B  (the records themselves)\n", client.SP.BytesReceived()/nq)
 	fmt.Printf("  SAE  TE->client: %6d B  (constant: one 20-byte token)\n", client.TE.BytesReceived()/nq)
 	fmt.Printf("  TOM  SP->client: %6d B  (records + VO)\n", tomConn.BytesReceived()/nq)

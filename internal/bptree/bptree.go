@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"sae/internal/bufpool"
+	"sae/internal/exec"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -94,7 +95,7 @@ func (t *Tree) UseCache(c *bufpool.Cache) { t.io.SetCache(c) }
 // New creates an empty tree whose root is an empty leaf.
 func New(store pagestore.Store) (*Tree, error) {
 	t := &Tree{io: bufpool.NewIO(store, nil), height: 1}
-	root, err := t.allocNode(&node{leaf: true, next: pagestore.InvalidPage})
+	root, err := t.allocNode(nil, &node{leaf: true, next: pagestore.InvalidPage})
 	if err != nil {
 		return nil, err
 	}
@@ -131,13 +132,13 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 		}
 		n := &node{leaf: true, next: pagestore.InvalidPage}
 		n.entries = append(n.entries, entries[start:end]...)
-		id, err := t.allocNode(n)
+		id, err := t.allocNode(nil, n)
 		if err != nil {
 			return nil, err
 		}
 		if prev != nil {
 			prev.next = id
-			if err := t.writeNode(prevID, prev); err != nil {
+			if err := t.writeNode(nil, prevID, prev); err != nil {
 				return nil, err
 			}
 		}
@@ -161,7 +162,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 				n.entries = append(n.entries, b.min)
 				n.children = append(n.children, b.id)
 			}
-			id, err := t.allocNode(n)
+			id, err := t.allocNode(nil, n)
 			if err != nil {
 				return nil, err
 			}
@@ -176,27 +177,27 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 }
 
 // allocNode allocates a page for n and writes it.
-func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
-	id, err := t.io.Allocate()
+func (t *Tree) allocNode(ctx *exec.Context, n *node) (pagestore.PageID, error) {
+	id, err := t.io.Allocate(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("bptree: allocating node: %w", err)
 	}
 	t.nodes++
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
-	if err := bufpool.WriteNode(t.io, id, n, encodeNode); err != nil {
+func (t *Tree) writeNode(ctx *exec.Context, id pagestore.PageID, n *node) error {
+	if err := bufpool.WriteNode(t.io, ctx, id, n, encodeNode); err != nil {
 		return fmt.Errorf("bptree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
-func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	n, err := bufpool.ReadNode(t.io, id, decodeNode)
+func (t *Tree) readNode(ctx *exec.Context, id pagestore.PageID) (*node, error) {
+	n, err := bufpool.ReadNode(t.io, ctx, id, decodeNode)
 	if err != nil {
 		return nil, fmt.Errorf("bptree: reading node %d: %w", id, err)
 	}
@@ -298,22 +299,34 @@ func lowerBoundKey(s []Entry, k record.Key) int {
 	return lo
 }
 
-// Range returns the RIDs of all entries with lo <= key <= hi, in key order.
+// Range returns the RIDs of all entries with lo <= key <= hi with no
+// request context; see RangeCtx.
 func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
+	return t.RangeCtx(nil, lo, hi)
+}
+
+// RangeCtx returns the RIDs of all entries with lo <= key <= hi, in key
+// order, charging every node access to ctx. A leaf-chain walk that crosses
+// more than exec.ScanThreshold leaves declares itself a scan so its fills
+// bypass LRU admission.
+func (t *Tree) RangeCtx(ctx *exec.Context, lo, hi record.Key) ([]heapfile.RID, error) {
 	if lo > hi {
 		return nil, nil
 	}
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(ctx, id)
 		if err != nil {
 			return nil, err
 		}
 		id = n.children[lowerBoundKey(n.entries, lo)]
 	}
 	var out []heapfile.RID
+	scan := exec.TrackScan(ctx)
+	defer scan.End()
 	for id != pagestore.InvalidPage {
-		n, err := t.readNode(id)
+		scan.NotePage()
+		n, err := t.readNode(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -329,9 +342,13 @@ func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
 	return out, nil
 }
 
-// Insert adds an entry in O(height) node accesses, splitting on overflow.
-func (t *Tree) Insert(e Entry) error {
-	sep, right, err := t.insertAt(t.root, t.height, e)
+// Insert adds an entry with no request context; see InsertCtx.
+func (t *Tree) Insert(e Entry) error { return t.InsertCtx(nil, e) }
+
+// InsertCtx adds an entry in O(height) node accesses, splitting on
+// overflow.
+func (t *Tree) InsertCtx(ctx *exec.Context, e Entry) error {
+	sep, right, err := t.insertAt(ctx, t.root, t.height, e)
 	if err != nil {
 		return err
 	}
@@ -342,7 +359,7 @@ func (t *Tree) Insert(e Entry) error {
 			entries:  []Entry{sep},
 			children: []pagestore.PageID{t.root, right},
 		}
-		id, err := t.allocNode(n)
+		id, err := t.allocNode(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -356,8 +373,8 @@ func (t *Tree) Insert(e Entry) error {
 // insertAt inserts e into the subtree rooted at id (at the given level,
 // 1 = leaf). If the node split, it returns the separator to push up and the
 // new right sibling's id; otherwise right is InvalidPage.
-func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, err error) {
-	n, err := t.readNode(id)
+func (t *Tree) insertAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, err error) {
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return Entry{}, pagestore.InvalidPage, err
 	}
@@ -367,12 +384,12 @@ func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, rig
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = e
 		if len(n.entries) <= LeafCapacity {
-			return Entry{}, pagestore.InvalidPage, t.writeNode(id, n)
+			return Entry{}, pagestore.InvalidPage, t.writeNode(ctx, id, n)
 		}
-		return t.splitLeaf(id, n)
+		return t.splitLeaf(ctx, id, n)
 	}
 	ci := upperBound(n.entries, e)
-	childSep, childRight, err := t.insertAt(n.children[ci], level-1, e)
+	childSep, childRight, err := t.insertAt(ctx, n.children[ci], level-1, e)
 	if err != nil {
 		return Entry{}, pagestore.InvalidPage, err
 	}
@@ -386,16 +403,16 @@ func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, rig
 	copy(n.children[ci+2:], n.children[ci+1:])
 	n.children[ci+1] = childRight
 	if len(n.entries) <= InnerCapacity {
-		return Entry{}, pagestore.InvalidPage, t.writeNode(id, n)
+		return Entry{}, pagestore.InvalidPage, t.writeNode(ctx, id, n)
 	}
-	return t.splitInner(id, n)
+	return t.splitInner(ctx, id, n)
 }
 
-func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
+func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
 	mid := len(n.entries) / 2
 	rightNode := &node{leaf: true, next: n.next}
 	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
-	rightID, err := t.allocNode(rightNode)
+	rightID, err := t.allocNode(ctx, rightNode)
 	if err != nil {
 		// n was mutated in memory but never persisted; drop the cached copy.
 		t.io.Discard(id)
@@ -403,51 +420,55 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID,
 	}
 	n.entries = n.entries[:mid]
 	n.next = rightID
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return Entry{}, pagestore.InvalidPage, err
 	}
 	return rightNode.entries[0], rightID, nil
 }
 
-func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
+func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, error) {
 	mid := len(n.entries) / 2
 	sep := n.entries[mid]
 	rightNode := &node{leaf: false}
 	rightNode.entries = append(rightNode.entries, n.entries[mid+1:]...)
 	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
-	rightID, err := t.allocNode(rightNode)
+	rightID, err := t.allocNode(ctx, rightNode)
 	if err != nil {
 		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, err
 	}
 	n.entries = n.entries[:mid]
 	n.children = n.children[:mid+1]
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return Entry{}, pagestore.InvalidPage, err
 	}
 	return sep, rightID, nil
 }
 
-// Delete removes the exact (key, rid) entry. Underfull nodes are left in
+// Delete removes the exact (key, rid) entry with no request context; see
+// DeleteCtx.
+func (t *Tree) Delete(e Entry) error { return t.DeleteCtx(nil, e) }
+
+// DeleteCtx removes the exact (key, rid) entry. Underfull nodes are left in
 // place (the lazy-deletion policy common in production B+-trees); an empty
 // leaf stays in the sibling chain and is skipped by scans.
-func (t *Tree) Delete(e Entry) error {
+func (t *Tree) DeleteCtx(ctx *exec.Context, e Entry) error {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(ctx, id)
 		if err != nil {
 			return err
 		}
 		id = n.children[upperBound(n.entries, e)]
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return err
 	}
 	for i, cur := range n.entries {
 		if Compare(cur, e) == 0 {
 			n.entries = append(n.entries[:i], n.entries[i+1:]...)
-			if err := t.writeNode(id, n); err != nil {
+			if err := t.writeNode(ctx, id, n); err != nil {
 				return err
 			}
 			t.count--
@@ -477,7 +498,7 @@ func (t *Tree) Validate() error {
 	var last *Entry
 	var walk func(id pagestore.PageID, level int, lo, hi *Entry) error
 	walk = func(id pagestore.PageID, level int, lo, hi *Entry) error {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return err
 		}

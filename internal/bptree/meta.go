@@ -32,7 +32,7 @@ func Open(store pagestore.Store, m Meta) (*Tree, error) {
 	// level 1, so a stale or corrupt height is caught before first use.
 	id := t.root
 	for level := m.Height; ; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return nil, fmt.Errorf("bptree: opening level %d: %w", level, err)
 		}

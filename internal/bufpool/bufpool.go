@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sae/internal/genstamp"
 	"sae/internal/pagestore"
 )
 
@@ -91,11 +92,9 @@ type shard struct {
 	byID     map[pagestore.PageID]*list.Element
 	// gen stamps each page id with a counter bumped by every write and
 	// invalidation; a miss-fill racing a writer is dropped when its
-	// recorded generation is stale. Entries are never deleted — dropping
-	// one while a miss is in flight would let a stale fill through — so
-	// the map grows 8-ish bytes per page ever written, a footprint
-	// strictly smaller than the page data itself.
-	gen map[pagestore.PageID]uint64
+	// recorded generation is stale (see package genstamp for the protocol
+	// and why stamps are never deleted).
+	gen genstamp.Table[pagestore.PageID]
 }
 
 type cnode struct {
@@ -117,7 +116,7 @@ func New(capacity int, policy ChargePolicy) *Cache {
 			capacity: perShard,
 			lru:      list.New(),
 			byID:     make(map[pagestore.PageID]*list.Element, perShard),
-			gen:      make(map[pagestore.PageID]uint64),
+			gen:      genstamp.New[pagestore.PageID](),
 		}
 	}
 	return c
@@ -143,7 +142,7 @@ func (c *Cache) get(id pagestore.PageID) (v any, gen uint64, ok bool) {
 		c.hits.Add(1)
 		return v, 0, true
 	}
-	gen = s.gen[id]
+	gen = s.gen.Current(id)
 	s.mu.Unlock()
 	c.misses.Add(1)
 	return nil, gen, false
@@ -155,7 +154,7 @@ func (c *Cache) genOf(id pagestore.PageID) uint64 {
 	s := c.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.gen[id]
+	return s.gen.Current(id)
 }
 
 // fill installs a node decoded outside the lock, unless a write or
@@ -164,7 +163,7 @@ func (c *Cache) fill(id pagestore.PageID, gen uint64, v any) {
 	s := c.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.gen[id] != gen {
+	if s.gen.Stale(id, gen) {
 		return
 	}
 	if el, ok := s.byID[id]; ok {
@@ -182,7 +181,7 @@ func (c *Cache) Update(id pagestore.PageID, v any) {
 	s := c.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.gen[id]++
+	s.gen.Bump(id)
 	if el, ok := s.byID[id]; ok {
 		el.Value.(*cnode).v = v
 		s.lru.MoveToFront(el)
@@ -197,7 +196,7 @@ func (c *Cache) Invalidate(id pagestore.PageID) {
 	s := c.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.gen[id]++
+	s.gen.Bump(id)
 	if el, ok := s.byID[id]; ok {
 		s.lru.Remove(el)
 		delete(s.byID, id)

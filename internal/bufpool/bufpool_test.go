@@ -31,12 +31,12 @@ func newTestIO(t *testing.T, capacity int, policy ChargePolicy, pages int) (*IO,
 	io := NewIO(counting, New(capacity, policy))
 	ids := make([]pagestore.PageID, pages)
 	for i := range ids {
-		id, err := io.Allocate()
+		id, err := io.Allocate(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = id
-		if err := WriteNode(io, id, &val{n: uint64(i)}, encodeVal); err != nil {
+		if err := WriteNode(io, nil, id, &val{n: uint64(i)}, encodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -46,7 +46,7 @@ func newTestIO(t *testing.T, capacity int, policy ChargePolicy, pages int) (*IO,
 func TestReadWriteThroughCache(t *testing.T) {
 	io, counting, ids := newTestIO(t, 64, ChargeAllAccesses, 8)
 	for i, id := range ids {
-		v, err := ReadNode(io, id, decodeVal)
+		v, err := ReadNode(io, nil, id, decodeVal)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +58,7 @@ func TestReadWriteThroughCache(t *testing.T) {
 	readsBefore := counting.Stats().Reads
 	hitsBefore := io.Cache().Stats().Hits
 	for range ids {
-		if _, err := ReadNode(io, ids[0], decodeVal); err != nil {
+		if _, err := ReadNode(io, nil, ids[0], decodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,13 +73,13 @@ func TestReadWriteThroughCache(t *testing.T) {
 func TestChargeMissesOnlyLeavesHitsFree(t *testing.T) {
 	io, counting, ids := newTestIO(t, 64, ChargeMissesOnly, 4)
 	for _, id := range ids {
-		if _, err := ReadNode(io, id, decodeVal); err != nil {
+		if _, err := ReadNode(io, nil, id, decodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
 	readsBefore := counting.Stats().Reads
 	for i := 0; i < 100; i++ {
-		if _, err := ReadNode(io, ids[i%len(ids)], decodeVal); err != nil {
+		if _, err := ReadNode(io, nil, ids[i%len(ids)], decodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,13 +91,13 @@ func TestChargeMissesOnlyLeavesHitsFree(t *testing.T) {
 func TestInvalidationAfterWrite(t *testing.T) {
 	io, _, ids := newTestIO(t, 64, ChargeAllAccesses, 1)
 	id := ids[0]
-	if _, err := ReadNode(io, id, decodeVal); err != nil {
+	if _, err := ReadNode(io, nil, id, decodeVal); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteNode(io, id, &val{n: 42}, encodeVal); err != nil {
+	if err := WriteNode(io, nil, id, &val{n: 42}, encodeVal); err != nil {
 		t.Fatal(err)
 	}
-	v, err := ReadNode(io, id, decodeVal)
+	v, err := ReadNode(io, nil, id, decodeVal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestInvalidationAfterWrite(t *testing.T) {
 	// Invalidate drops the node: the next read must decode from disk.
 	missesBefore := io.Cache().Stats().Misses
 	io.Cache().Invalidate(id)
-	if _, err := ReadNode(io, id, decodeVal); err != nil {
+	if _, err := ReadNode(io, nil, id, decodeVal); err != nil {
 		t.Fatal(err)
 	}
 	if io.Cache().Stats().Misses != missesBefore+1 {
@@ -125,13 +125,13 @@ func TestInvalidationAfterWrite(t *testing.T) {
 
 func TestFreeInvalidates(t *testing.T) {
 	io, _, ids := newTestIO(t, 64, ChargeAllAccesses, 2)
-	if _, err := ReadNode(io, ids[0], decodeVal); err != nil {
+	if _, err := ReadNode(io, nil, ids[0], decodeVal); err != nil {
 		t.Fatal(err)
 	}
-	if err := io.Free(ids[0]); err != nil {
+	if err := io.Free(nil, ids[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadNode(io, ids[0], decodeVal); err == nil {
+	if _, err := ReadNode(io, nil, ids[0], decodeVal); err == nil {
 		t.Fatal("reading a freed page should fail, not hit the cache")
 	}
 }
@@ -141,7 +141,7 @@ func TestEviction(t *testing.T) {
 	// shard must evict.
 	io, _, ids := newTestIO(t, numShards, ChargeAllAccesses, 4*numShards)
 	for _, id := range ids {
-		if _, err := ReadNode(io, id, decodeVal); err != nil {
+		if _, err := ReadNode(io, nil, id, decodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,7 +157,7 @@ func TestStatsInvariantHitsPlusMissesEqualsReads(t *testing.T) {
 	io, _, ids := newTestIO(t, 8, ChargeAllAccesses, 32)
 	const reads = 1000
 	for i := 0; i < reads; i++ {
-		if _, err := ReadNode(io, ids[(i*7)%len(ids)], decodeVal); err != nil {
+		if _, err := ReadNode(io, nil, ids[(i*7)%len(ids)], decodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -184,12 +184,12 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	ids := make([]pagestore.PageID, pages)
 	final := make([]atomic.Uint64, pages)
 	for i := range ids {
-		id, err := io.Allocate()
+		id, err := io.Allocate(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = id
-		if err := WriteNode(io, id, &val{n: 0}, encodeVal); err != nil {
+		if err := WriteNode(io, nil, id, &val{n: 0}, encodeVal); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,7 +206,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			for r := 1; r <= rounds; r++ {
 				p := w*perWriter + r%perWriter
 				v := uint64(w)<<32 | uint64(r)
-				if err := WriteNode(io, ids[p], &val{n: v}, encodeVal); err != nil {
+				if err := WriteNode(io, nil, ids[p], &val{n: v}, encodeVal); err != nil {
 					t.Error(err)
 					return
 				}
@@ -223,7 +223,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds*4; r++ {
 				p := (rd*31 + r*7) % pages
-				if _, err := ReadNode(io, ids[p], decodeVal); err != nil {
+				if _, err := ReadNode(io, nil, ids[p], decodeVal); err != nil {
 					t.Error(err)
 					return
 				}
@@ -239,7 +239,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	}
 	// Convergence: cached nodes must match the store's final content.
 	for p, id := range ids {
-		v, err := ReadNode(io, id, decodeVal)
+		v, err := ReadNode(io, nil, id, decodeVal)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,12 +1,21 @@
 package bufpool
 
-import "sae/internal/pagestore"
+import (
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+)
 
 // IO couples a page store with an optional decoded-node cache. It is the
 // common read/write path shared by the B+-tree, MB-Tree, XB-Tree and heap
 // file: each structure supplies its own decode/encode functions and gets
 // pooled page buffers, write-through caching and charge-policy accounting
 // for free.
+//
+// Every access method takes the request's *exec.Context (nil for load-time
+// work) and charges it in lockstep with the global accounting: whenever the
+// store stack underneath observes an access, the context observes the same
+// access. Per-request counters therefore match what a serial store.Stats()
+// delta would have measured, but stay exact when many requests run at once.
 type IO struct {
 	store pagestore.Store
 	cache *Cache
@@ -41,10 +50,13 @@ func (io *IO) SetCache(c *Cache) {
 
 // Allocate reserves a fresh page. The id is dropped from the cache in
 // case the store recycled a previously freed (and cached) page.
-func (io *IO) Allocate() (pagestore.PageID, error) {
+func (io *IO) Allocate(ctx *exec.Context) (pagestore.PageID, error) {
 	id, err := io.store.Allocate()
-	if err == nil && io.cache != nil {
-		io.cache.Invalidate(id)
+	if err == nil {
+		ctx.AccountAlloc()
+		if io.cache != nil {
+			io.cache.Invalidate(id)
+		}
 	}
 	return id, err
 }
@@ -61,30 +73,47 @@ func (io *IO) Discard(id pagestore.PageID) {
 }
 
 // Free releases a page and invalidates its cached node.
-func (io *IO) Free(id pagestore.PageID) error {
+func (io *IO) Free(ctx *exec.Context, id pagestore.PageID) error {
 	if io.cache != nil {
 		io.cache.Invalidate(id)
 	}
-	return io.store.Free(id)
+	err := io.store.Free(id)
+	if err == nil {
+		ctx.AccountFree()
+	}
+	return err
+}
+
+// ReadRaw reads a page directly from the store, bypassing the decoded
+// cache, and charges the request. Structures whose uncached fast path
+// decodes only part of a page (the heap file's single-slot reads) use it.
+func (io *IO) ReadRaw(ctx *exec.Context, id pagestore.PageID, buf []byte) error {
+	if err := io.store.Read(id, buf); err != nil {
+		return err
+	}
+	ctx.AccountRead()
+	return nil
 }
 
 // ReadNode returns the decoded node for page id, consulting the cache
 // first. On a miss the page is read into a pooled buffer, decoded, and
 // the decoded node installed (generation-checked, so a concurrent write
-// cannot leave a stale node behind).
+// cannot leave a stale node behind) — unless the request is inside a
+// declared scan section, in which case the fill is skipped so a long
+// scan cannot evict the cache's hot set (scan-resistant admission).
 //
 // Callers that mutate the returned node must hold their structure's
 // write lock and follow up with WriteNode, which refreshes the cache;
 // read-only callers may share the node freely.
-func ReadNode[N any](io *IO, id pagestore.PageID, decode func([]byte) N) (N, error) {
+func ReadNode[N any](io *IO, ctx *exec.Context, id pagestore.PageID, decode func([]byte) N) (N, error) {
 	c := io.cache
 	if c == nil {
-		return readNodeDirect(io, id, decode)
+		return readNodeDirect(io, ctx, id, decode)
 	}
 	v, gen, ok := c.get(id)
 	if ok {
 		if n, typed := v.(N); typed {
-			if err := io.chargeHit(id); err != nil {
+			if err := io.chargeHit(ctx, id); err != nil {
 				var zero N
 				return zero, err
 			}
@@ -101,18 +130,22 @@ func ReadNode[N any](io *IO, id pagestore.PageID, decode func([]byte) N) (N, err
 		var zero N
 		return zero, err
 	}
+	ctx.AccountRead()
 	n := decode(buf[:])
-	c.fill(id, gen, n)
+	if !ctx.Scanning() {
+		c.fill(id, gen, n)
+	}
 	return n, nil
 }
 
-func readNodeDirect[N any](io *IO, id pagestore.PageID, decode func([]byte) N) (N, error) {
+func readNodeDirect[N any](io *IO, ctx *exec.Context, id pagestore.PageID, decode func([]byte) N) (N, error) {
 	buf := GetPage()
 	defer PutPage(buf)
 	if err := io.store.Read(id, buf[:]); err != nil {
 		var zero N
 		return zero, err
 	}
+	ctx.AccountRead()
 	return decode(buf[:]), nil
 }
 
@@ -120,10 +153,12 @@ func readNodeDirect[N any](io *IO, id pagestore.PageID, decode func([]byte) N) (
 // directly when the store supports it, otherwise — under
 // ChargeAllAccesses — perform the raw page read so every wrapper in the
 // store stack (Counting, Cache) observes exactly the accesses an
-// uncached run would issue.
-func (io *IO) chargeHit(id pagestore.PageID) error {
+// uncached run would issue. The request context is charged whenever the
+// store stack is.
+func (io *IO) chargeHit(ctx *exec.Context, id pagestore.PageID) error {
 	if io.acct != nil {
 		io.acct.AccountRead(id)
+		ctx.AccountRead()
 		return nil
 	}
 	if io.cache.policy != ChargeAllAccesses {
@@ -131,13 +166,17 @@ func (io *IO) chargeHit(id pagestore.PageID) error {
 	}
 	buf := GetPage()
 	defer PutPage(buf)
-	return io.store.Read(id, buf[:])
+	if err := io.store.Read(id, buf[:]); err != nil {
+		return err
+	}
+	ctx.AccountRead()
+	return nil
 }
 
 // WriteNode encodes the node into a pooled buffer, writes the page, and
 // refreshes the cache write-through. A failed write invalidates instead,
 // so the cache never serves a node the store rejected.
-func WriteNode[N any](io *IO, id pagestore.PageID, n N, encode func([]byte, N)) error {
+func WriteNode[N any](io *IO, ctx *exec.Context, id pagestore.PageID, n N, encode func([]byte, N)) error {
 	buf := GetPage()
 	defer PutPage(buf)
 	encode(buf[:], n)
@@ -147,6 +186,7 @@ func WriteNode[N any](io *IO, id pagestore.PageID, n N, encode func([]byte, N)) 
 		}
 		return err
 	}
+	ctx.AccountWrite()
 	if io.cache != nil {
 		io.cache.Update(id, n)
 	}

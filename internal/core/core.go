@@ -25,6 +25,7 @@ import (
 	"sae/internal/bufpool"
 	"sae/internal/costmodel"
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -170,61 +171,86 @@ type QueryCost struct {
 // Total combines both phases.
 func (qc QueryCost) Total() costmodel.Breakdown { return qc.Index.Add(qc.Fetch) }
 
-// Query answers a range query: B+-tree range scan, then a clustered fetch
-// from the dataset file — exactly what a conventional DBMS does, with zero
-// authentication overhead. The returned cost prices the node accesses of
-// each phase.
+// Query answers a range query with a fresh request context; see QueryCtx.
 func (sp *ServiceProvider) Query(q record.Range) ([]record.Record, QueryCost, error) {
+	return sp.QueryCtx(exec.NewContext(), q)
+}
+
+// QueryCtx answers a range query: B+-tree range scan, then a clustered
+// fetch from the dataset file — exactly what a conventional DBMS does, with
+// zero authentication overhead. The returned cost prices the node accesses
+// of each phase.
+//
+// Costs are measured on the request context's own counters, never on the
+// global store totals, so any number of queries may run concurrently under
+// the read lock and each still gets exactly its own accesses. Phase CPU
+// times are anchored per phase (fetchStart, not the query start), so the
+// Fetch breakdown cannot double-count the index phase's wall clock.
+func (sp *ServiceProvider) QueryCtx(ctx *exec.Context, q record.Range) ([]record.Record, QueryCost, error) {
 	sp.mu.RLock()
 	defer sp.mu.RUnlock()
 	var qc QueryCost
-	before := sp.store.Stats()
+	before := ctx.Stats()
 	start := time.Now()
-	rids, err := sp.index.Range(q.Lo, q.Hi)
+	rids, err := sp.index.RangeCtx(ctx, q.Lo, q.Hi)
 	if err != nil {
 		return nil, qc, fmt.Errorf("core: SP range scan: %w", err)
 	}
-	mid := sp.store.Stats()
-	qc.Index = costmodel.Default.Measure(mid.Sub(before), time.Since(start))
-	start = time.Now()
-	recs, err := sp.heap.GetMany(rids)
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	recs, err := sp.heap.GetManyCtx(ctx, rids)
 	if err != nil {
 		return nil, qc, fmt.Errorf("core: SP record fetch: %w", err)
 	}
-	qc.Fetch = costmodel.Default.Measure(sp.store.Stats().Sub(mid), time.Since(start))
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
 	if sp.tamper != nil {
 		recs = sp.tamper(recs)
 	}
 	return recs, qc, nil
 }
 
-// ApplyInsert stores a new record from the owner.
+// ApplyInsert stores a new record from the owner with a fresh request
+// context; see ApplyInsertCtx.
 func (sp *ServiceProvider) ApplyInsert(r record.Record) error {
+	return sp.ApplyInsertCtx(exec.NewContext(), r)
+}
+
+// ApplyInsertCtx stores a new record from the owner, charging its page
+// accesses to ctx.
+func (sp *ServiceProvider) ApplyInsertCtx(ctx *exec.Context, r record.Record) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	rid, err := sp.heap.Append(r)
+	rid, err := sp.heap.AppendCtx(ctx, r)
 	if err != nil {
 		return fmt.Errorf("core: SP inserting record: %w", err)
 	}
-	if err := sp.index.Insert(bptree.Entry{Key: r.Key, RID: rid}); err != nil {
+	if err := sp.index.InsertCtx(ctx, bptree.Entry{Key: r.Key, RID: rid}); err != nil {
 		return fmt.Errorf("core: SP indexing record: %w", err)
 	}
 	sp.byID[r.ID] = rid
 	return nil
 }
 
-// ApplyDelete removes a record by id and key.
+// ApplyDelete removes a record by id and key with a fresh request context;
+// see ApplyDeleteCtx.
 func (sp *ServiceProvider) ApplyDelete(id record.ID, key record.Key) error {
+	return sp.ApplyDeleteCtx(exec.NewContext(), id, key)
+}
+
+// ApplyDeleteCtx removes a record by id and key, charging its page
+// accesses to ctx.
+func (sp *ServiceProvider) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key record.Key) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	rid, ok := sp.byID[id]
 	if !ok {
 		return fmt.Errorf("core: SP has no record with id %d", id)
 	}
-	if err := sp.index.Delete(bptree.Entry{Key: key, RID: rid}); err != nil {
+	if err := sp.index.DeleteCtx(ctx, bptree.Entry{Key: key, RID: rid}); err != nil {
 		return fmt.Errorf("core: SP unindexing record: %w", err)
 	}
-	if err := sp.heap.Delete(rid); err != nil {
+	if err := sp.heap.DeleteCtx(ctx, rid); err != nil {
 		return fmt.Errorf("core: SP deleting record: %w", err)
 	}
 	delete(sp.byID, id)
@@ -331,37 +357,59 @@ func (te *TrustedEntity) Load(records []record.Record) error {
 	return nil
 }
 
-// GenerateVT computes the verification token for q — the XOR of the digests
-// of all records whose key falls in q — in O(log n) node accesses.
+// GenerateVT computes the verification token for q with a fresh request
+// context; see GenerateVTCtx.
 func (te *TrustedEntity) GenerateVT(q record.Range) (digest.Digest, costmodel.Breakdown, error) {
+	return te.GenerateVTCtx(exec.NewContext(), q)
+}
+
+// GenerateVTCtx computes the verification token for q — the XOR of the
+// digests of all records whose key falls in q — in O(log n) node accesses,
+// measured on the request's own counters so concurrent token generations
+// do not corrupt each other's costs.
+func (te *TrustedEntity) GenerateVTCtx(ctx *exec.Context, q record.Range) (digest.Digest, costmodel.Breakdown, error) {
 	te.mu.RLock()
 	defer te.mu.RUnlock()
-	before := te.store.Stats()
+	before := ctx.Stats()
 	start := time.Now()
-	vt, err := te.tree.GenerateVT(q.Lo, q.Hi)
+	vt, err := te.tree.GenerateVTCtx(ctx, q.Lo, q.Hi)
 	if err != nil {
 		return digest.Zero, costmodel.Breakdown{}, fmt.Errorf("core: TE token generation: %w", err)
 	}
-	cost := costmodel.Default.Measure(te.store.Stats().Sub(before), time.Since(start))
+	cost := costmodel.Default.Measure(ctx.Stats().Sub(before), time.Since(start))
 	return vt, cost, nil
 }
 
-// ApplyInsert registers a new record from the owner.
+// ApplyInsert registers a new record from the owner with a fresh request
+// context; see ApplyInsertCtx.
 func (te *TrustedEntity) ApplyInsert(r record.Record) error {
+	return te.ApplyInsertCtx(exec.NewContext(), r)
+}
+
+// ApplyInsertCtx registers a new record from the owner, charging its page
+// accesses to ctx.
+func (te *TrustedEntity) ApplyInsertCtx(ctx *exec.Context, r record.Record) error {
 	te.mu.Lock()
 	defer te.mu.Unlock()
 	tup := xbtree.Tuple{ID: r.ID, Digest: digest.OfRecord(&r)}
-	if err := te.tree.Insert(r.Key, tup); err != nil {
+	if err := te.tree.InsertCtx(ctx, r.Key, tup); err != nil {
 		return fmt.Errorf("core: TE inserting tuple: %w", err)
 	}
 	return nil
 }
 
-// ApplyDelete removes a record's tuple by id and key.
+// ApplyDelete removes a record's tuple by id and key with a fresh request
+// context; see ApplyDeleteCtx.
 func (te *TrustedEntity) ApplyDelete(id record.ID, key record.Key) error {
+	return te.ApplyDeleteCtx(exec.NewContext(), id, key)
+}
+
+// ApplyDeleteCtx removes a record's tuple by id and key, charging its page
+// accesses to ctx.
+func (te *TrustedEntity) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key record.Key) error {
 	te.mu.Lock()
 	defer te.mu.Unlock()
-	if err := te.tree.Delete(key, id); err != nil {
+	if err := te.tree.DeleteCtx(ctx, key, id); err != nil {
 		return fmt.Errorf("core: TE deleting tuple: %w", err)
 	}
 	return nil

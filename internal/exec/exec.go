@@ -1,0 +1,143 @@
+// Package exec defines the request-scoped execution context threaded through
+// the storage stack: pagestore → bufpool → bptree/mbtree/xbtree/heapfile →
+// core/tom → wire.
+//
+// The seed measured per-query costs as store.Stats() deltas around the call,
+// which corrupts under concurrency: two queries in flight each observe the
+// other's page accesses, so the whole system was effectively one query at a
+// time. A Context instead carries its own access counters; every layer
+// charges the context for the node accesses it performs on behalf of the
+// request, and the global pagestore.Counting totals keep accumulating
+// underneath exactly as before (its counters are atomics, so the merge of
+// concurrent requests into the global totals is race-free). Per-query
+// numbers come from the context and are exact no matter how many requests
+// run in parallel.
+//
+// A Context belongs to one request on one goroutine: its counters are plain
+// ints with no locking. All methods are nil-safe — a nil *Context is "no
+// request-scoped accounting" and costs one predicted branch — so load-time
+// paths (bulkloads, restores) simply pass nil.
+//
+// Besides accounting, the context carries a scan hint: a long range scan
+// marks itself (BeginScan/EndScan) and the decoded-node cache skips LRU
+// admission for the pages the scan faults in, so one big scan cannot evict
+// the hot set (scan-resistant admission, as in production buffer pools).
+package exec
+
+import (
+	"sae/internal/pagestore"
+)
+
+// ScanThreshold is the number of distinct pages a single traversal (a heap
+// GetMany run, a B+-tree leaf-chain walk) may touch before it declares
+// itself a scan via BeginScan: from then on the pages it faults in bypass
+// LRU admission in the decoded-node cache. The first ScanThreshold pages
+// are still admitted — short queries ARE the hot set — so only the long
+// tail of a big scan is kept out.
+const ScanThreshold = 64
+
+// Context is the per-request execution state. Create one per query or
+// update with NewContext; zero value is also ready.
+type Context struct {
+	stats pagestore.Stats
+	// scan is a nesting depth: >0 while inside a declared scan section.
+	scan int
+}
+
+// NewContext returns a fresh request context.
+func NewContext() *Context { return &Context{} }
+
+// AccountRead charges one page read to the request.
+func (c *Context) AccountRead() {
+	if c != nil {
+		c.stats.Reads++
+	}
+}
+
+// AccountWrite charges one page write to the request.
+func (c *Context) AccountWrite() {
+	if c != nil {
+		c.stats.Writes++
+	}
+}
+
+// AccountAlloc charges one page allocation to the request.
+func (c *Context) AccountAlloc() {
+	if c != nil {
+		c.stats.Allocs++
+	}
+}
+
+// AccountFree charges one page free to the request.
+func (c *Context) AccountFree() {
+	if c != nil {
+		c.stats.Frees++
+	}
+}
+
+// Stats returns a snapshot of the request's counters (zero for nil).
+// Phase costs are measured as deltas between snapshots, mirroring how the
+// global counters were used before — but on state no other request touches.
+func (c *Context) Stats() pagestore.Stats {
+	if c == nil {
+		return pagestore.Stats{}
+	}
+	return c.stats
+}
+
+// BeginScan marks the start of a long sequential scan. Sections nest; the
+// hint stays up until every section has ended.
+func (c *Context) BeginScan() {
+	if c != nil {
+		c.scan++
+	}
+}
+
+// EndScan closes the innermost scan section.
+func (c *Context) EndScan() {
+	if c != nil && c.scan > 0 {
+		c.scan--
+	}
+}
+
+// Scanning reports whether the request is inside a scan section; the
+// decoded-node cache bypasses LRU admission while it is.
+func (c *Context) Scanning() bool {
+	return c != nil && c.scan > 0
+}
+
+// ScanTracker applies the admission-cutoff policy for one traversal: the
+// caller notes each distinct page as it advances, and once the traversal
+// has crossed ScanThreshold pages the tracker opens a scan section on the
+// context — exactly once. End (usually deferred) closes it. Keeping the
+// trigger here means every traversal (heap GetMany runs, B+-tree and
+// MB-Tree leaf chains) shares one cutoff policy.
+type ScanTracker struct {
+	ctx   *Context
+	seen  int
+	began bool
+}
+
+// TrackScan returns a tracker for one traversal under ctx. Always pair
+// with a deferred End.
+func TrackScan(ctx *Context) ScanTracker {
+	return ScanTracker{ctx: ctx}
+}
+
+// NotePage records that the traversal advanced to another distinct page,
+// opening the scan section when the threshold is crossed.
+func (s *ScanTracker) NotePage() {
+	s.seen++
+	if s.seen == ScanThreshold+1 {
+		s.began = true
+		s.ctx.BeginScan()
+	}
+}
+
+// End closes the scan section if this tracker opened one.
+func (s *ScanTracker) End() {
+	if s.began {
+		s.began = false
+		s.ctx.EndScan()
+	}
+}

@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"testing"
+
+	"sae/internal/pagestore"
+)
+
+func TestNilContextIsSafe(t *testing.T) {
+	var c *Context
+	c.AccountRead()
+	c.AccountWrite()
+	c.AccountAlloc()
+	c.AccountFree()
+	c.BeginScan()
+	c.EndScan()
+	if c.Scanning() {
+		t.Fatal("nil context reports scanning")
+	}
+	if c.Stats() != (pagestore.Stats{}) {
+		t.Fatal("nil context reports non-zero stats")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	c := NewContext()
+	for i := 0; i < 3; i++ {
+		c.AccountRead()
+	}
+	c.AccountWrite()
+	c.AccountWrite()
+	c.AccountAlloc()
+	c.AccountFree()
+	got := c.Stats()
+	want := pagestore.Stats{Reads: 3, Writes: 2, Allocs: 1, Frees: 1}
+	if got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+	if got.Accesses() != 5 {
+		t.Fatalf("Accesses = %d, want 5", got.Accesses())
+	}
+
+	// Phase deltas work like the global counters did.
+	mid := c.Stats()
+	c.AccountRead()
+	if d := c.Stats().Sub(mid); d.Reads != 1 || d.Writes != 0 {
+		t.Fatalf("phase delta = %+v, want one read", d)
+	}
+}
+
+func TestScanNesting(t *testing.T) {
+	c := NewContext()
+	if c.Scanning() {
+		t.Fatal("fresh context scanning")
+	}
+	c.BeginScan()
+	c.BeginScan()
+	c.EndScan()
+	if !c.Scanning() {
+		t.Fatal("nested scan ended early")
+	}
+	c.EndScan()
+	if c.Scanning() {
+		t.Fatal("scan did not end")
+	}
+	c.EndScan() // underflow is a no-op
+	if c.Scanning() {
+		t.Fatal("underflowed EndScan re-opened the scan")
+	}
+}

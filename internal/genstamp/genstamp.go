@@ -1,0 +1,51 @@
+// Package genstamp implements the generation-stamp protocol that keeps a
+// cache safe for fills performed outside the cache's lock.
+//
+// The protocol: a reader that misses records the key's current generation,
+// performs the slow read (and decode) without holding any lock, and installs
+// the result only if the generation has not moved in the meantime. Every
+// write, free, or allocation of the key bumps its generation, so a stale
+// in-flight fill is dropped instead of resurrecting overwritten data.
+//
+// The invariant that makes this correct is that stamps are NEVER deleted:
+// dropping a key's stamp while a miss is in flight would reset it to zero
+// and let the stale fill through. A Table therefore grows by one small map
+// entry per key ever stamped — for page caches this is ~8 bytes per page
+// ever written, strictly below the page data itself.
+//
+// Table performs no locking; the owner calls it under whatever mutex guards
+// the cache structure it protects. Both pagestore.Cache and the bufpool
+// shards share this one implementation.
+package genstamp
+
+// Table tracks a generation counter per key. The zero value is not ready;
+// use New.
+type Table[K comparable] struct {
+	gen map[K]uint64
+}
+
+// New returns an empty stamp table.
+func New[K comparable]() Table[K] {
+	return Table[K]{gen: make(map[K]uint64)}
+}
+
+// Current returns the key's generation. Keys never stamped are at
+// generation zero.
+func (t Table[K]) Current(k K) uint64 {
+	return t.gen[k]
+}
+
+// Bump advances the key's generation, invalidating every fill in flight
+// for it. Call on write, free, and (re)allocation.
+func (t Table[K]) Bump(k K) {
+	t.gen[k]++
+}
+
+// Stale reports whether a fill recorded at generation g must be dropped
+// because the key moved on since.
+func (t Table[K]) Stale(k K, g uint64) bool {
+	return t.gen[k] != g
+}
+
+// Len returns the number of keys ever stamped (stamps are never deleted).
+func (t Table[K]) Len() int { return len(t.gen) }

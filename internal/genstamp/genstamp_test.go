@@ -1,0 +1,40 @@
+package genstamp
+
+import "testing"
+
+func TestTableProtocol(t *testing.T) {
+	tb := New[uint32]()
+	if g := tb.Current(7); g != 0 {
+		t.Fatalf("fresh key at generation %d, want 0", g)
+	}
+	// A fill recorded before any bump is installable.
+	g := tb.Current(7)
+	if tb.Stale(7, g) {
+		t.Fatal("un-bumped key reported stale")
+	}
+	// A write overtaking the fill makes it stale.
+	tb.Bump(7)
+	if !tb.Stale(7, g) {
+		t.Fatal("bumped key not reported stale")
+	}
+	// A fill recorded after the bump is fine again.
+	g = tb.Current(7)
+	if tb.Stale(7, g) {
+		t.Fatal("refreshed generation reported stale")
+	}
+	// Stamps are never deleted: distinct keys accumulate.
+	tb.Bump(1)
+	tb.Bump(2)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+}
+
+func TestTableKeysIndependent(t *testing.T) {
+	tb := New[int]()
+	gA := tb.Current(1)
+	tb.Bump(2)
+	if tb.Stale(1, gA) {
+		t.Fatal("bumping one key invalidated another")
+	}
+}

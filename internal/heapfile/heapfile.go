@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"sae/internal/bufpool"
+	"sae/internal/exec"
 	"sae/internal/pagestore"
 	"sae/internal/record"
 )
@@ -105,13 +106,13 @@ func Build(store pagestore.Store, records []record.Record) (*File, []RID, error)
 		if end > len(records) {
 			end = len(records)
 		}
-		id, err := f.io.Allocate()
+		id, err := f.io.Allocate(nil)
 		if err != nil {
 			return nil, nil, fmt.Errorf("heapfile: allocating page: %w", err)
 		}
 		n := end - start
 		p := &page{occ: byte(1<<uint(n)) - 1, recs: records[start:end]}
-		if err := f.writePage(id, p); err != nil {
+		if err := f.writePage(nil, id, p); err != nil {
 			return nil, nil, err
 		}
 		f.pages = append(f.pages, id)
@@ -166,54 +167,79 @@ func decodePage(buf []byte) *page {
 	return p
 }
 
-func (f *File) readPage(id pagestore.PageID) (*page, error) {
-	p, err := bufpool.ReadNode(f.io, id, decodePage)
+func (f *File) readPage(ctx *exec.Context, id pagestore.PageID) (*page, error) {
+	p, err := bufpool.ReadNode(f.io, ctx, id, decodePage)
 	if err != nil {
 		return nil, fmt.Errorf("heapfile: %w", err)
 	}
 	return p, nil
 }
 
-func (f *File) writePage(id pagestore.PageID, p *page) error {
-	if err := bufpool.WriteNode(f.io, id, p, encodePage); err != nil {
+func (f *File) writePage(ctx *exec.Context, id pagestore.PageID, p *page) error {
+	if err := bufpool.WriteNode(f.io, ctx, id, p, encodePage); err != nil {
 		return fmt.Errorf("heapfile: writing page %d: %w", id, err)
 	}
 	return nil
 }
 
-// Get fetches a single record, costing one page access. Without a cache
-// only the requested slot is unmarshalled, matching the pre-bufpool cost
-// exactly (the uncached mode is the before/after benchmarks' baseline).
-func (f *File) Get(rid RID) (record.Record, error) {
+// Get fetches a single record with no request context; see GetCtx.
+func (f *File) Get(rid RID) (record.Record, error) { return f.GetCtx(nil, rid) }
+
+// GetCtx fetches a single record, costing one page access charged to ctx.
+// Without a cache only the requested slot is unmarshalled, matching the
+// pre-bufpool cost exactly (the uncached mode is the before/after
+// benchmarks' baseline).
+func (f *File) GetCtx(ctx *exec.Context, rid RID) (record.Record, error) {
 	if f.io.Cache() == nil {
 		buf := bufpool.GetPage()
 		defer bufpool.PutPage(buf)
-		if err := f.io.Store().Read(rid.Page, buf[:]); err != nil {
+		if err := f.io.ReadRaw(ctx, rid.Page, buf[:]); err != nil {
 			return record.Record{}, fmt.Errorf("heapfile: %w", err)
 		}
 		return decodeSlot(buf[:], rid)
 	}
-	p, err := f.readPage(rid.Page)
+	p, err := f.readPage(ctx, rid.Page)
 	if err != nil {
 		return record.Record{}, err
 	}
 	return p.slot(rid)
 }
 
-// GetMany fetches records for a list of RIDs, reading each distinct page at
-// most once per contiguous run. For a clustered file and key-ordered RIDs
-// (the range-query case) this touches ceil(|RS| / RecordsPerPage) pages,
-// which is exactly the paper's "scan the dataset file" cost.
+// GetMany fetches records for a list of RIDs with no request context; see
+// GetManyCtx.
 func (f *File) GetMany(rids []RID) ([]record.Record, error) {
+	return f.GetManyCtx(nil, rids)
+}
+
+// GetManyCtx fetches records for a list of RIDs, reading each distinct page
+// at most once per contiguous run. For a clustered file and key-ordered
+// RIDs (the range-query case) this touches ceil(|RS| / RecordsPerPage)
+// pages, which is exactly the paper's "scan the dataset file" cost.
+//
+// A run that advances past more than exec.ScanThreshold distinct pages
+// turns on the context's scan hint for the remainder, so a long scan's
+// fills bypass LRU admission in the decoded-node cache. Distinct pages are
+// counted as strictly increasing page ids — exact for the clustered,
+// key-ordered access pattern range queries produce; revisits and
+// back-and-forth patterns never count, so they cannot falsely trip the
+// hint.
+func (f *File) GetManyCtx(ctx *exec.Context, rids []RID) ([]record.Record, error) {
 	if f.io.Cache() == nil {
-		return f.getManyUncached(rids)
+		return f.getManyUncached(ctx, rids)
 	}
 	out := make([]record.Record, 0, len(rids))
 	var cur *page
 	curPage := pagestore.InvalidPage
+	scan := exec.TrackScan(ctx)
+	defer scan.End()
+	maxPage := pagestore.PageID(0)
 	for _, rid := range rids {
 		if rid.Page != curPage {
-			p, err := f.readPage(rid.Page)
+			if rid.Page >= maxPage {
+				maxPage = rid.Page + 1
+				scan.NotePage()
+			}
+			p, err := f.readPage(ctx, rid.Page)
 			if err != nil {
 				return nil, err
 			}
@@ -230,14 +256,14 @@ func (f *File) GetMany(rids []RID) ([]record.Record, error) {
 
 // getManyUncached reads into one pooled buffer per page run and decodes
 // only the requested slots, like the pre-bufpool implementation.
-func (f *File) getManyUncached(rids []RID) ([]record.Record, error) {
+func (f *File) getManyUncached(ctx *exec.Context, rids []RID) ([]record.Record, error) {
 	out := make([]record.Record, 0, len(rids))
 	buf := bufpool.GetPage()
 	defer bufpool.PutPage(buf)
 	curPage := pagestore.InvalidPage
 	for _, rid := range rids {
 		if rid.Page != curPage {
-			if err := f.io.Store().Read(rid.Page, buf[:]); err != nil {
+			if err := f.io.ReadRaw(ctx, rid.Page, buf[:]); err != nil {
 				return nil, fmt.Errorf("heapfile: %w", err)
 			}
 			curPage = rid.Page
@@ -251,12 +277,15 @@ func (f *File) getManyUncached(rids []RID) ([]record.Record, error) {
 	return out, nil
 }
 
-// Append adds a record at the file's tail, extending the last page or
+// Append adds a record with no request context; see AppendCtx.
+func (f *File) Append(r record.Record) (RID, error) { return f.AppendCtx(nil, r) }
+
+// AppendCtx adds a record at the file's tail, extending the last page or
 // allocating a new one, and returns its RID. Used for post-build updates.
-func (f *File) Append(r record.Record) (RID, error) {
+func (f *File) AppendCtx(ctx *exec.Context, r record.Record) (RID, error) {
 	if n := len(f.pages); n > 0 {
 		last := f.pages[n-1]
-		p, err := f.readPage(last)
+		p, err := f.readPage(ctx, last)
 		if err != nil {
 			return InvalidRID, err
 		}
@@ -264,18 +293,18 @@ func (f *File) Append(r record.Record) (RID, error) {
 			slot := uint16(cnt)
 			p.recs = append(p.recs, r)
 			p.occ |= 1 << uint(slot)
-			if err := f.writePage(last, p); err != nil {
+			if err := f.writePage(ctx, last, p); err != nil {
 				return InvalidRID, err
 			}
 			f.live++
 			return RID{Page: last, Slot: slot}, nil
 		}
 	}
-	id, err := f.io.Allocate()
+	id, err := f.io.Allocate(ctx)
 	if err != nil {
 		return InvalidRID, fmt.Errorf("heapfile: allocating page: %w", err)
 	}
-	if err := f.writePage(id, &page{occ: 1, recs: []record.Record{r}}); err != nil {
+	if err := f.writePage(ctx, id, &page{occ: 1, recs: []record.Record{r}}); err != nil {
 		return InvalidRID, err
 	}
 	f.pages = append(f.pages, id)
@@ -283,9 +312,13 @@ func (f *File) Append(r record.Record) (RID, error) {
 	return RID{Page: id, Slot: 0}, nil
 }
 
-// Delete tombstones a record. The slot is not reused; range scans skip it.
-func (f *File) Delete(rid RID) error {
-	p, err := f.readPage(rid.Page)
+// Delete tombstones a record with no request context; see DeleteCtx.
+func (f *File) Delete(rid RID) error { return f.DeleteCtx(nil, rid) }
+
+// DeleteCtx tombstones a record. The slot is not reused; range scans skip
+// it.
+func (f *File) DeleteCtx(ctx *exec.Context, rid RID) error {
+	p, err := f.readPage(ctx, rid.Page)
 	if err != nil {
 		return err
 	}
@@ -296,7 +329,7 @@ func (f *File) Delete(rid RID) error {
 		return fmt.Errorf("%w: %v", ErrDeleted, rid)
 	}
 	p.occ &^= 1 << uint(rid.Slot)
-	if err := f.writePage(rid.Page, p); err != nil {
+	if err := f.writePage(ctx, rid.Page, p); err != nil {
 		return err
 	}
 	f.live--

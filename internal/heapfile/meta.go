@@ -32,7 +32,7 @@ func Open(store pagestore.Store, m Meta) *File {
 // in-memory catalogs (e.g. the SP's id → RID map).
 func (f *File) Walk(fn func(RID, record.Record) error) error {
 	for _, id := range f.pages {
-		p, err := f.readPage(id)
+		p, err := f.readPage(nil, id)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,118 @@
+package heapfile
+
+import (
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+func buildScanFile(t *testing.T, n, cachePages int) (*File, []RID, *bufpool.Cache) {
+	t.Helper()
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Synthesize(record.ID(i+1), record.Key(i*10))
+	}
+	f, rids, err := Build(pagestore.NewCounting(pagestore.NewMem()), recs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cache := bufpool.New(cachePages, bufpool.ChargeAllAccesses)
+	f.UseCache(cache)
+	return f, rids, cache
+}
+
+// TestScanResistantAdmission: a GetMany run longer than exec.ScanThreshold
+// pages must stop admitting pages into the decoded-node cache, so a big
+// range scan cannot flush the hot set — while the node-access accounting
+// stays exactly what an uncached run would charge.
+func TestScanResistantAdmission(t *testing.T) {
+	const records = 2000 // 250 pages, ~4x the threshold
+	f, rids, cache := buildScanFile(t, records, bufpool.DefaultCapacity)
+	pages := (records + RecordsPerPage - 1) / RecordsPerPage
+
+	ctx := exec.NewContext()
+	recs, err := f.GetManyCtx(ctx, rids)
+	if err != nil {
+		t.Fatalf("GetManyCtx: %v", err)
+	}
+	if len(recs) != records {
+		t.Fatalf("got %d records, want %d", len(recs), records)
+	}
+	// Exactly one read per distinct page, scan hint or not.
+	if got := ctx.Stats().Reads; got != int64(pages) {
+		t.Fatalf("ctx charged %d reads, want %d", got, pages)
+	}
+	// Only the pre-threshold prefix was admitted.
+	if got := cache.Len(); got != exec.ScanThreshold {
+		t.Fatalf("cache holds %d nodes after scan, want %d (admission not bypassed)", got, exec.ScanThreshold)
+	}
+	if ctx.Scanning() {
+		t.Fatal("scan hint leaked past GetManyCtx")
+	}
+
+	// The same scan again: the admitted prefix hits, the tail misses
+	// again, and the charged accesses are unchanged (ChargeAllAccesses).
+	before := cache.Stats()
+	ctx2 := exec.NewContext()
+	if _, err := f.GetManyCtx(ctx2, rids); err != nil {
+		t.Fatalf("second GetManyCtx: %v", err)
+	}
+	if got := ctx2.Stats().Reads; got != int64(pages) {
+		t.Fatalf("second scan charged %d reads, want %d", got, pages)
+	}
+	delta := cache.Stats()
+	if hits := delta.Hits - before.Hits; hits != exec.ScanThreshold {
+		t.Fatalf("second scan hit %d cached pages, want %d", hits, exec.ScanThreshold)
+	}
+}
+
+// TestScanAdmissionKeepsHotSet: entries cached by short (non-scan) reads
+// survive a long scan because the scan's tail is never admitted.
+func TestScanAdmissionKeepsHotSet(t *testing.T) {
+	const records = 2000
+	// A cache big enough for the hot set plus the scan's admitted prefix,
+	// but far smaller than the 250-page scan: unrestricted admission would
+	// cycle the whole file through it.
+	f, rids, cache := buildScanFile(t, records, 80)
+
+	// Warm a "hot" record past the scan threshold, the way point queries
+	// would. (A hot page inside the first exec.ScanThreshold scan pages
+	// would be re-admitted by the scan itself; one beyond it survives only
+	// because the scan's tail is never admitted.)
+	hot := rids[len(rids)/2]
+	if _, err := f.GetCtx(exec.NewContext(), hot); err != nil {
+		t.Fatalf("warm Get: %v", err)
+	}
+
+	// Scan everything. Past the threshold the scan stops filling, so the
+	// hot page is hit (and refreshed) but the ~185 tail pages behind it
+	// never enter the cache to push it out.
+	if _, err := f.GetManyCtx(exec.NewContext(), rids); err != nil {
+		t.Fatalf("GetManyCtx: %v", err)
+	}
+
+	before := cache.Stats()
+	if _, err := f.GetCtx(exec.NewContext(), hot); err != nil {
+		t.Fatalf("hot Get after scan: %v", err)
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hot page was evicted by the scan (hits %d -> %d)", before.Hits, after.Hits)
+	}
+}
+
+// TestShortGetManyStillAdmits: runs at or below the threshold keep the old
+// behavior — every page is admitted.
+func TestShortGetManyStillAdmits(t *testing.T) {
+	const records = 24 * RecordsPerPage // 24 pages, under the threshold
+	f, rids, cache := buildScanFile(t, records, bufpool.DefaultCapacity)
+	if _, err := f.GetManyCtx(exec.NewContext(), rids); err != nil {
+		t.Fatalf("GetManyCtx: %v", err)
+	}
+	if got := cache.Len(); got != 24 {
+		t.Fatalf("cache holds %d nodes, want 24 (short runs must admit)", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"sae/internal/bufpool"
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -118,7 +119,7 @@ func (n *node) digest() digest.Digest {
 func New(store pagestore.Store) (*Tree, error) {
 	t := &Tree{io: bufpool.NewIO(store, nil), height: 1}
 	n := &node{leaf: true, next: pagestore.InvalidPage}
-	id, err := t.allocNode(n)
+	id, err := t.allocNode(nil, n)
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +157,13 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 		}
 		n := &node{leaf: true, next: pagestore.InvalidPage}
 		n.entries = append(n.entries, entries[start:end]...)
-		id, err := t.allocNode(n)
+		id, err := t.allocNode(nil, n)
 		if err != nil {
 			return nil, err
 		}
 		if prev != nil {
 			prev.next = id
-			if err := t.writeNode(prevID, prev); err != nil {
+			if err := t.writeNode(nil, prevID, prev); err != nil {
 				return nil, err
 			}
 		}
@@ -187,7 +188,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 				n.children = append(n.children, b.id)
 				n.digests = append(n.digests, b.dig)
 			}
-			id, err := t.allocNode(n)
+			id, err := t.allocNode(nil, n)
 			if err != nil {
 				return nil, err
 			}
@@ -218,27 +219,27 @@ func (t *Tree) NodeCount() int { return t.nodes }
 // Bytes returns the tree's storage footprint.
 func (t *Tree) Bytes() int64 { return int64(t.nodes) * pagestore.PageSize }
 
-func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
-	id, err := t.io.Allocate()
+func (t *Tree) allocNode(ctx *exec.Context, n *node) (pagestore.PageID, error) {
+	id, err := t.io.Allocate(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("mbtree: allocating node: %w", err)
 	}
 	t.nodes++
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
-	if err := bufpool.WriteNode(t.io, id, n, encodeNode); err != nil {
+func (t *Tree) writeNode(ctx *exec.Context, id pagestore.PageID, n *node) error {
+	if err := bufpool.WriteNode(t.io, ctx, id, n, encodeNode); err != nil {
 		return fmt.Errorf("mbtree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
-func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	n, err := bufpool.ReadNode(t.io, id, decodeNode)
+func (t *Tree) readNode(ctx *exec.Context, id pagestore.PageID) (*node, error) {
+	n, err := bufpool.ReadNode(t.io, ctx, id, decodeNode)
 	if err != nil {
 		return nil, fmt.Errorf("mbtree: reading node %d: %w", id, err)
 	}
@@ -345,22 +346,31 @@ func lowerBoundKey(s []Entry, k record.Key) int {
 }
 
 // Range returns the RIDs of entries with lo <= key <= hi, without building a
-// VO (used by tests and by clients that skip verification).
+// VO and with no request context; see RangeCtx.
 func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
+	return t.RangeCtx(nil, lo, hi)
+}
+
+// RangeCtx returns the RIDs of entries with lo <= key <= hi, charging node
+// accesses to ctx (used by tests and by clients that skip verification).
+func (t *Tree) RangeCtx(ctx *exec.Context, lo, hi record.Key) ([]heapfile.RID, error) {
 	if lo > hi {
 		return nil, nil
 	}
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(ctx, id)
 		if err != nil {
 			return nil, err
 		}
 		id = n.children[lowerBoundKey(n.entries, lo)]
 	}
 	var out []heapfile.RID
+	scan := exec.TrackScan(ctx)
+	defer scan.End()
 	for id != pagestore.InvalidPage {
-		n, err := t.readNode(id)
+		scan.NotePage()
+		n, err := t.readNode(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -376,10 +386,14 @@ func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
 	return out, nil
 }
 
-// Insert adds an entry, maintaining Merkle digests along the path. The new
-// root digest (which the owner must re-sign) is available via RootDigest.
-func (t *Tree) Insert(e Entry) error {
-	sep, right, rightDig, selfDig, err := t.insertAt(t.root, t.height, e)
+// Insert adds an entry with no request context; see InsertCtx.
+func (t *Tree) Insert(e Entry) error { return t.InsertCtx(nil, e) }
+
+// InsertCtx adds an entry, maintaining Merkle digests along the path. The
+// new root digest (which the owner must re-sign) is available via
+// RootDigest.
+func (t *Tree) InsertCtx(ctx *exec.Context, e Entry) error {
+	sep, right, rightDig, selfDig, err := t.insertAt(ctx, t.root, t.height, e)
 	if err != nil {
 		return err
 	}
@@ -390,7 +404,7 @@ func (t *Tree) Insert(e Entry) error {
 			children: []pagestore.PageID{t.root, right},
 			digests:  []digest.Digest{selfDig, rightDig},
 		}
-		id, err := t.allocNode(n)
+		id, err := t.allocNode(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -403,8 +417,8 @@ func (t *Tree) Insert(e Entry) error {
 	return nil
 }
 
-func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, rightDig, selfDig digest.Digest, err error) {
-	n, err := t.readNode(id)
+func (t *Tree) insertAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, rightDig, selfDig digest.Digest, err error) {
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
@@ -414,12 +428,12 @@ func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, rig
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = e
 		if len(n.entries) <= LeafCapacity {
-			return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(id, n)
+			return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(ctx, id, n)
 		}
-		return t.splitLeaf(id, n)
+		return t.splitLeaf(ctx, id, n)
 	}
 	ci := upperBound(n.entries, e)
-	childSep, childRight, childRightDig, childDig, err := t.insertAt(n.children[ci], level-1, e)
+	childSep, childRight, childRightDig, childDig, err := t.insertAt(ctx, n.children[ci], level-1, e)
 	if err != nil {
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
@@ -435,17 +449,17 @@ func (t *Tree) insertAt(id pagestore.PageID, level int, e Entry) (sep Entry, rig
 		copy(n.digests[ci+2:], n.digests[ci+1:])
 		n.digests[ci+1] = childRightDig
 		if len(n.entries) > InnerCapacity {
-			return t.splitInner(id, n)
+			return t.splitInner(ctx, id, n)
 		}
 	}
-	return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(id, n)
+	return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(ctx, id, n)
 }
 
-func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
 	mid := len(n.entries) / 2
 	rightNode := &node{leaf: true, next: n.next}
 	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
-	rightID, err := t.allocNode(rightNode)
+	rightID, err := t.allocNode(ctx, rightNode)
 	if err != nil {
 		// n was mutated in memory but never persisted; drop the cached copy.
 		t.io.Discard(id)
@@ -453,21 +467,21 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *node) (Entry, pagestore.PageID,
 	}
 	n.entries = n.entries[:mid]
 	n.next = rightID
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
 	sep := Entry{Key: rightNode.entries[0].Key, RID: rightNode.entries[0].RID}
 	return sep, rightID, rightNode.digest(), n.digest(), nil
 }
 
-func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
 	mid := len(n.entries) / 2
 	sep := n.entries[mid]
 	rightNode := &node{leaf: false}
 	rightNode.entries = append(rightNode.entries, n.entries[mid+1:]...)
 	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
 	rightNode.digests = append(rightNode.digests, n.digests[mid+1:]...)
-	rightID, err := t.allocNode(rightNode)
+	rightID, err := t.allocNode(ctx, rightNode)
 	if err != nil {
 		t.io.Discard(id)
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
@@ -475,16 +489,19 @@ func (t *Tree) splitInner(id pagestore.PageID, n *node) (Entry, pagestore.PageID
 	n.entries = n.entries[:mid]
 	n.children = n.children[:mid+1]
 	n.digests = n.digests[:mid+1]
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
 	}
 	return sep, rightID, rightNode.digest(), n.digest(), nil
 }
 
-// Delete removes the exact entry (matched by key and RID), maintaining
+// Delete removes the exact entry with no request context; see DeleteCtx.
+func (t *Tree) Delete(e Entry) error { return t.DeleteCtx(nil, e) }
+
+// DeleteCtx removes the exact entry (matched by key and RID), maintaining
 // digests on the path. Underfull nodes are left in place, as in bptree.
-func (t *Tree) Delete(e Entry) error {
-	dig, found, err := t.deleteAt(t.root, t.height, e)
+func (t *Tree) DeleteCtx(ctx *exec.Context, e Entry) error {
+	dig, found, err := t.deleteAt(ctx, t.root, t.height, e)
 	if err != nil {
 		return err
 	}
@@ -496,8 +513,8 @@ func (t *Tree) Delete(e Entry) error {
 	return nil
 }
 
-func (t *Tree) deleteAt(id pagestore.PageID, level int, e Entry) (digest.Digest, bool, error) {
-	n, err := t.readNode(id)
+func (t *Tree) deleteAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (digest.Digest, bool, error) {
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return digest.Zero, false, err
 	}
@@ -505,7 +522,7 @@ func (t *Tree) deleteAt(id pagestore.PageID, level int, e Entry) (digest.Digest,
 		for i := range n.entries {
 			if Compare(n.entries[i], e) == 0 {
 				n.entries = append(n.entries[:i], n.entries[i+1:]...)
-				if err := t.writeNode(id, n); err != nil {
+				if err := t.writeNode(ctx, id, n); err != nil {
 					return digest.Zero, false, err
 				}
 				return n.digest(), true, nil
@@ -514,12 +531,12 @@ func (t *Tree) deleteAt(id pagestore.PageID, level int, e Entry) (digest.Digest,
 		return digest.Zero, false, nil
 	}
 	ci := upperBound(n.entries, e)
-	childDig, found, err := t.deleteAt(n.children[ci], level-1, e)
+	childDig, found, err := t.deleteAt(ctx, n.children[ci], level-1, e)
 	if err != nil || !found {
 		return digest.Zero, found, err
 	}
 	n.digests[ci] = childDig
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return digest.Zero, false, err
 	}
 	return n.digest(), true, nil
@@ -531,7 +548,7 @@ func (t *Tree) Validate() error {
 	seen := 0
 	var walk func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error)
 	walk = func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error) {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return digest.Zero, err
 		}

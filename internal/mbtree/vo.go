@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -151,13 +152,13 @@ func UnmarshalVO(b []byte) (*VO, error) {
 // cache.
 type nodeCache map[pagestore.PageID]*node
 
-func (t *Tree) readNodeVia(c nodeCache, id pagestore.PageID) (*node, error) {
+func (t *Tree) readNodeVia(ctx *exec.Context, c nodeCache, id pagestore.PageID) (*node, error) {
 	if c != nil {
 		if n, ok := c[id]; ok {
 			return n, nil
 		}
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +170,8 @@ func (t *Tree) readNodeVia(c nodeCache, id pagestore.PageID) (*node, error) {
 
 // maxEntry returns the largest entry in the subtree rooted at id, scanning
 // children right to left so that leaves emptied by lazy deletion are skipped.
-func (t *Tree) maxEntry(c nodeCache, id pagestore.PageID, level int) (Entry, bool, error) {
-	n, err := t.readNodeVia(c, id)
+func (t *Tree) maxEntry(ctx *exec.Context, c nodeCache, id pagestore.PageID, level int) (Entry, bool, error) {
+	n, err := t.readNodeVia(ctx, c, id)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -181,7 +182,7 @@ func (t *Tree) maxEntry(c nodeCache, id pagestore.PageID, level int) (Entry, boo
 		return n.entries[len(n.entries)-1], true, nil
 	}
 	for i := len(n.children) - 1; i >= 0; i-- {
-		e, ok, err := t.maxEntry(c, n.children[i], level-1)
+		e, ok, err := t.maxEntry(ctx, c, n.children[i], level-1)
 		if err != nil || ok {
 			return e, ok, err
 		}
@@ -190,8 +191,8 @@ func (t *Tree) maxEntry(c nodeCache, id pagestore.PageID, level int) (Entry, boo
 }
 
 // minEntry mirrors maxEntry for the smallest entry.
-func (t *Tree) minEntry(c nodeCache, id pagestore.PageID, level int) (Entry, bool, error) {
-	n, err := t.readNodeVia(c, id)
+func (t *Tree) minEntry(ctx *exec.Context, c nodeCache, id pagestore.PageID, level int) (Entry, bool, error) {
+	n, err := t.readNodeVia(ctx, c, id)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -202,7 +203,7 @@ func (t *Tree) minEntry(c nodeCache, id pagestore.PageID, level int) (Entry, boo
 		return n.entries[0], true, nil
 	}
 	for i := 0; i < len(n.children); i++ {
-		e, ok, err := t.minEntry(c, n.children[i], level-1)
+		e, ok, err := t.minEntry(ctx, c, n.children[i], level-1)
 		if err != nil || ok {
 			return e, ok, err
 		}
@@ -211,7 +212,7 @@ func (t *Tree) minEntry(c nodeCache, id pagestore.PageID, level int) (Entry, boo
 }
 
 // findPred locates the rightmost entry with key < lo, if any.
-func (t *Tree) findPred(c nodeCache, lo record.Key) (Entry, bool, error) {
+func (t *Tree) findPred(ctx *exec.Context, c nodeCache, lo record.Key) (Entry, bool, error) {
 	target := Entry{Key: lo} // RID zero: any entry with key < lo is < target
 	id := t.root
 	// Subtrees guaranteed to hold entries below the target, nearest last.
@@ -220,7 +221,7 @@ func (t *Tree) findPred(c nodeCache, lo record.Key) (Entry, bool, error) {
 		level int
 	}
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNodeVia(c, id)
+		n, err := t.readNodeVia(ctx, c, id)
 		if err != nil {
 			return Entry{}, false, err
 		}
@@ -237,7 +238,7 @@ func (t *Tree) findPred(c nodeCache, lo record.Key) (Entry, bool, error) {
 		}
 		id = n.children[idx]
 	}
-	n, err := t.readNodeVia(c, id)
+	n, err := t.readNodeVia(ctx, c, id)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -250,7 +251,7 @@ func (t *Tree) findPred(c nodeCache, lo record.Key) (Entry, bool, error) {
 	}
 	// Fall back to the nearest left subtree with any live entry.
 	for i := len(leftSubtrees) - 1; i >= 0; i-- {
-		e, ok, err := t.maxEntry(c, leftSubtrees[i].id, leftSubtrees[i].level)
+		e, ok, err := t.maxEntry(ctx, c, leftSubtrees[i].id, leftSubtrees[i].level)
 		if err != nil || ok {
 			return e, ok, err
 		}
@@ -259,7 +260,7 @@ func (t *Tree) findPred(c nodeCache, lo record.Key) (Entry, bool, error) {
 }
 
 // findSucc locates the leftmost entry with key > hi, if any.
-func (t *Tree) findSucc(c nodeCache, hi record.Key) (Entry, bool, error) {
+func (t *Tree) findSucc(ctx *exec.Context, c nodeCache, hi record.Key) (Entry, bool, error) {
 	// Entries with key == hi compare <= this target; key > hi compares >.
 	target := Entry{Key: hi, RID: heapfile.RID{Page: pagestore.InvalidPage, Slot: 0xFFFF}}
 	id := t.root
@@ -268,7 +269,7 @@ func (t *Tree) findSucc(c nodeCache, hi record.Key) (Entry, bool, error) {
 		level int
 	}
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNodeVia(c, id)
+		n, err := t.readNodeVia(ctx, c, id)
 		if err != nil {
 			return Entry{}, false, err
 		}
@@ -284,7 +285,7 @@ func (t *Tree) findSucc(c nodeCache, hi record.Key) (Entry, bool, error) {
 		}
 		id = n.children[idx]
 	}
-	n, err := t.readNodeVia(c, id)
+	n, err := t.readNodeVia(ctx, c, id)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -294,7 +295,7 @@ func (t *Tree) findSucc(c nodeCache, hi record.Key) (Entry, bool, error) {
 		}
 	}
 	for i := len(rightSubtrees) - 1; i >= 0; i-- {
-		e, ok, err := t.minEntry(c, rightSubtrees[i].id, rightSubtrees[i].level)
+		e, ok, err := t.minEntry(ctx, c, rightSubtrees[i].id, rightSubtrees[i].level)
 		if err != nil || ok {
 			return e, ok, err
 		}
@@ -302,26 +303,32 @@ func (t *Tree) findSucc(c nodeCache, hi record.Key) (Entry, bool, error) {
 	return Entry{}, false, nil
 }
 
-// RangeVO executes a range query and builds its verification object. It
-// returns the result RIDs (for the SP to fetch from the heap file), the VO
-// with the two boundary records fetched from heap, and the given owner
-// signature embedded.
+// RangeVO executes a range query and builds its verification object with
+// no request context; see RangeVOCtx.
 func (t *Tree) RangeVO(lo, hi record.Key, heap *heapfile.File, sig []byte) ([]heapfile.RID, *VO, error) {
+	return t.RangeVOCtx(nil, lo, hi, heap, sig)
+}
+
+// RangeVOCtx executes a range query and builds its verification object,
+// charging node accesses to ctx. It returns the result RIDs (for the SP to
+// fetch from the heap file), the VO with the two boundary records fetched
+// from heap, and the given owner signature embedded.
+func (t *Tree) RangeVOCtx(ctx *exec.Context, lo, hi record.Key, heap *heapfile.File, sig []byte) ([]heapfile.RID, *VO, error) {
 	vo := &VO{Sig: append([]byte(nil), sig...)}
 	if lo > hi {
 		return nil, nil, fmt.Errorf("mbtree: inverted range [%d, %d]", lo, hi)
 	}
 	cache := make(nodeCache)
-	pred, hasPred, err := t.findPred(cache, lo)
+	pred, hasPred, err := t.findPred(ctx, cache, lo)
 	if err != nil {
 		return nil, nil, err
 	}
-	succ, hasSucc, err := t.findSucc(cache, hi)
+	succ, hasSucc, err := t.findSucc(ctx, cache, hi)
 	if err != nil {
 		return nil, nil, err
 	}
 	b := &voBuilder{
-		tree: t, heap: heap, cache: cache,
+		tree: t, heap: heap, cache: cache, ctx: ctx,
 		lo: lo, hi: hi,
 		pred: pred, hasPred: hasPred,
 		succ: succ, hasSucc: hasSucc,
@@ -336,6 +343,7 @@ type voBuilder struct {
 	tree    *Tree
 	heap    *heapfile.File
 	cache   nodeCache
+	ctx     *exec.Context
 	lo, hi  record.Key
 	pred    Entry
 	hasPred bool
@@ -378,7 +386,7 @@ func (b *voBuilder) overlaps(childLo, childHi *Entry) bool {
 }
 
 func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
-	n, err := b.tree.readNodeVia(b.cache, id)
+	n, err := b.tree.readNodeVia(b.ctx, b.cache, id)
 	if err != nil {
 		return err
 	}
@@ -391,7 +399,7 @@ func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
 			switch {
 			case isBoundary:
 				b.flushRun(vo)
-				rec, err := b.heap.Get(e.RID)
+				rec, err := b.heap.GetCtx(b.ctx, e.RID)
 				if err != nil {
 					return fmt.Errorf("mbtree: fetching boundary record: %w", err)
 				}

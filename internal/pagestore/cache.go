@@ -3,6 +3,8 @@ package pagestore
 import (
 	"container/list"
 	"sync"
+
+	"sae/internal/genstamp"
 )
 
 // Cache is a write-through LRU buffer pool over a Store. Reads served from
@@ -23,10 +25,9 @@ type Cache struct {
 	capacity int
 	lru      *list.List // front = most recent; values are *cacheEntry
 	byID     map[PageID]*list.Element
-	// gen entries are never deleted (a deletion would let a stale
-	// in-flight miss-fill through); the map grows ~8 bytes per page
-	// ever written or freed, far below one page of data.
-	gen    map[PageID]uint64
+	// gen stamps follow the drop-stale-fill protocol shared with the
+	// bufpool shards; see package genstamp.
+	gen    genstamp.Table[PageID]
 	hits   int64
 	misses int64
 }
@@ -47,7 +48,7 @@ func NewCache(inner Store, capacity int) *Cache {
 		capacity: capacity,
 		lru:      list.New(),
 		byID:     make(map[PageID]*list.Element, capacity),
-		gen:      make(map[PageID]uint64),
+		gen:      genstamp.New[PageID](),
 	}
 }
 
@@ -58,7 +59,7 @@ func (c *Cache) Allocate() (PageID, error) {
 		// The id may be a recycled freed page; make sure no stale copy
 		// (or in-flight miss-fill) can resurface under it.
 		c.mu.Lock()
-		c.gen[id]++
+		c.gen.Bump(id)
 		if el, ok := c.byID[id]; ok {
 			c.lru.Remove(el)
 			delete(c.byID, id)
@@ -83,7 +84,7 @@ func (c *Cache) Read(id PageID, buf []byte) error {
 		return nil
 	}
 	c.misses++
-	gen := c.gen[id]
+	gen := c.gen.Current(id)
 	c.mu.Unlock()
 
 	if err := c.inner.Read(id, buf); err != nil {
@@ -92,7 +93,7 @@ func (c *Cache) Read(id PageID, buf []byte) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen[id] != gen {
+	if c.gen.Stale(id, gen) {
 		// A write or free overtook this read; its data is stale.
 		return nil
 	}
@@ -113,7 +114,7 @@ func (c *Cache) Write(id PageID, buf []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen[id]++
+	c.gen.Bump(id)
 	if err := c.inner.Write(id, buf); err != nil {
 		return err
 	}
@@ -142,7 +143,7 @@ func (c *Cache) insertLocked(id PageID, buf []byte) {
 func (c *Cache) Free(id PageID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen[id]++
+	c.gen.Bump(id)
 	if el, ok := c.byID[id]; ok {
 		c.lru.Remove(el)
 		delete(c.byID, id)

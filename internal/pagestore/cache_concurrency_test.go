@@ -107,7 +107,7 @@ func TestCacheStaleMissFillDropped(t *testing.T) {
 	// Simulate the interleaving by hand: record the generation as
 	// Read's miss path would, then let a write overtake it.
 	cache.mu.Lock()
-	gen := cache.gen[id]
+	gen := cache.gen.Current(id)
 	cache.mu.Unlock()
 
 	newer := make([]byte, PageSize)
@@ -118,7 +118,7 @@ func TestCacheStaleMissFillDropped(t *testing.T) {
 
 	// The stale fill must be dropped because the generation moved on.
 	cache.mu.Lock()
-	if cache.gen[id] == gen {
+	if !cache.gen.Stale(id, gen) {
 		cache.mu.Unlock()
 		t.Fatal("write did not bump the page generation")
 	}

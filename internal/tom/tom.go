@@ -18,6 +18,7 @@ import (
 	"sae/internal/core"
 	"sae/internal/costmodel"
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/heapfile"
 	"sae/internal/mbtree"
 	"sae/internal/pagestore"
@@ -138,46 +139,59 @@ func (p *Provider) Load(records []record.Record, owner *Owner) error {
 	return nil
 }
 
-// Query answers a range query with the result and its VO. The VO embeds the
-// boundary records and the owner's signature; its serialized size is the
-// communication overhead of Figure 5. The cost's Index component covers the
-// MB-Tree traversal plus VO assembly (including the boundary-record reads);
-// Fetch covers the dataset-file scan for the result.
+// Query answers a range query with a fresh request context; see QueryCtx.
 func (p *Provider) Query(q record.Range) ([]record.Record, *mbtree.VO, core.QueryCost, error) {
+	return p.QueryCtx(exec.NewContext(), q)
+}
+
+// QueryCtx answers a range query with the result and its VO. The VO embeds
+// the boundary records and the owner's signature; its serialized size is
+// the communication overhead of Figure 5. The cost's Index component covers
+// the MB-Tree traversal plus VO assembly (including the boundary-record
+// reads); Fetch covers the dataset-file scan for the result. Costs come
+// from the request context's counters, so concurrent queries measure
+// exactly their own accesses; phase CPU is anchored per phase.
+func (p *Provider) QueryCtx(ctx *exec.Context, q record.Range) ([]record.Record, *mbtree.VO, core.QueryCost, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	var qc core.QueryCost
-	before := p.store.Stats()
+	before := ctx.Stats()
 	start := time.Now()
-	rids, vo, err := p.tree.RangeVO(q.Lo, q.Hi, p.heap, p.sig)
+	rids, vo, err := p.tree.RangeVOCtx(ctx, q.Lo, q.Hi, p.heap, p.sig)
 	if err != nil {
 		return nil, nil, qc, fmt.Errorf("tom: provider VO build: %w", err)
 	}
-	mid := p.store.Stats()
-	qc.Index = costmodel.Default.Measure(mid.Sub(before), time.Since(start))
-	start = time.Now()
-	recs, err := p.heap.GetMany(rids)
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	recs, err := p.heap.GetManyCtx(ctx, rids)
 	if err != nil {
 		return nil, nil, qc, fmt.Errorf("tom: provider record fetch: %w", err)
 	}
-	qc.Fetch = costmodel.Default.Measure(p.store.Stats().Sub(mid), time.Since(start))
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
 	if p.tamper != nil {
 		recs = p.tamper(recs)
 	}
 	return recs, vo, qc, nil
 }
 
-// ApplyInsert stores a new record, updates the MB-Tree and gets the root
-// re-signed by the owner.
+// ApplyInsert stores a new record with a fresh request context; see
+// ApplyInsertCtx.
 func (p *Provider) ApplyInsert(r record.Record, owner *Owner) error {
+	return p.ApplyInsertCtx(exec.NewContext(), r, owner)
+}
+
+// ApplyInsertCtx stores a new record, updates the MB-Tree and gets the
+// root re-signed by the owner, charging page accesses to ctx.
+func (p *Provider) ApplyInsertCtx(ctx *exec.Context, r record.Record, owner *Owner) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	rid, err := p.heap.Append(r)
+	rid, err := p.heap.AppendCtx(ctx, r)
 	if err != nil {
 		return fmt.Errorf("tom: provider inserting record: %w", err)
 	}
 	e := mbtree.Entry{Key: r.Key, RID: rid, Digest: digest.OfRecord(&r)}
-	if err := p.tree.Insert(e); err != nil {
+	if err := p.tree.InsertCtx(ctx, e); err != nil {
 		return fmt.Errorf("tom: provider indexing record: %w", err)
 	}
 	p.byID[r.ID] = rid
@@ -189,18 +203,25 @@ func (p *Provider) ApplyInsert(r record.Record, owner *Owner) error {
 	return nil
 }
 
-// ApplyDelete removes a record and gets the root re-signed.
+// ApplyDelete removes a record with a fresh request context; see
+// ApplyDeleteCtx.
 func (p *Provider) ApplyDelete(id record.ID, key record.Key, owner *Owner) error {
+	return p.ApplyDeleteCtx(exec.NewContext(), id, key, owner)
+}
+
+// ApplyDeleteCtx removes a record and gets the root re-signed, charging
+// page accesses to ctx.
+func (p *Provider) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key record.Key, owner *Owner) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rid, ok := p.byID[id]
 	if !ok {
 		return fmt.Errorf("tom: provider has no record with id %d", id)
 	}
-	if err := p.tree.Delete(mbtree.Entry{Key: key, RID: rid}); err != nil {
+	if err := p.tree.DeleteCtx(ctx, mbtree.Entry{Key: key, RID: rid}); err != nil {
 		return fmt.Errorf("tom: provider unindexing record: %w", err)
 	}
-	if err := p.heap.Delete(rid); err != nil {
+	if err := p.heap.DeleteCtx(ctx, rid); err != nil {
 		return fmt.Errorf("tom: provider deleting record: %w", err)
 	}
 	delete(p.byID, id)

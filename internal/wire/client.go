@@ -12,37 +12,111 @@ import (
 	"sae/internal/sigs"
 )
 
-// conn is a persistent request/response connection with byte accounting.
-// All client stubs embed it; it is safe for concurrent use (requests are
-// serialized).
+// conn is a persistent pipelined connection with byte accounting. All
+// client stubs embed it; it is safe for concurrent use, and concurrent
+// calls PIPELINE instead of serializing: each request gets a fresh id, a
+// background loop demultiplexes responses by id, so N goroutines sharing
+// one connection keep N requests in flight at the server.
 type conn struct {
-	mu      sync.Mutex
-	c       net.Conn
+	c net.Conn
+
+	// wmu serializes frame writes so concurrent requests do not
+	// interleave bytes on the socket.
+	wmu sync.Mutex
+
+	mu      sync.Mutex // guards everything below
+	pending map[uint32]chan Frame
+	nextID  uint32
 	sent    int64
 	receivd int64
+	err     error // terminal receive-loop error; set once
 }
 
 func dial(addr string) (*conn, error) {
-	c, err := net.Dial("tcp", addr)
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
-	return &conn{c: c}, nil
+	c := &conn{c: nc, pending: make(map[uint32]chan Frame)}
+	go c.readLoop()
+	return c, nil
 }
 
-// roundTrip sends one frame and reads the response, translating MsgErr.
-func (c *conn) roundTrip(req Frame) (Frame, error) {
+// readLoop receives response frames and hands each to the waiter
+// registered under its request id. On a receive error every waiter is
+// failed and the connection becomes unusable.
+func (c *conn) readLoop() {
+	for {
+		resp, err := ReadFrame(c.c)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		c.receivd += int64(HeaderSize + len(resp.Payload))
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the connection broken and wakes every in-flight request.
+func (c *conn) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.c, req); err != nil {
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends one frame and waits for its tagged response,
+// translating MsgErr. Concurrent calls pipeline on the connection.
+func (c *conn) roundTrip(req Frame) (Frame, error) {
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
 		return Frame{}, err
 	}
-	c.sent += int64(5 + len(req.Payload))
-	resp, err := ReadFrame(c.c)
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.c, req)
+	c.wmu.Unlock()
 	if err != nil {
+		// A failed write may have left a partial frame on the shared
+		// stream; nothing sent after it can be framed correctly, so the
+		// whole connection is broken, not just this request.
+		c.fail(err)
 		return Frame{}, err
 	}
-	c.receivd += int64(5 + len(resp.Payload))
+	c.mu.Lock()
+	c.sent += int64(HeaderSize + len(req.Payload))
+	c.mu.Unlock()
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("wire: connection closed")
+		}
+		return Frame{}, err
+	}
 	if resp.Type == MsgErr {
 		return Frame{}, fmt.Errorf("wire: server error: %s", resp.Payload)
 	}
@@ -63,7 +137,7 @@ func (c *conn) BytesReceived() int64 {
 	return c.receivd
 }
 
-// Close closes the connection.
+// Close closes the connection; in-flight requests fail.
 func (c *conn) Close() error { return c.c.Close() }
 
 // SPClient talks to an SAE service provider.
@@ -95,6 +169,26 @@ func (c *SPClient) Query(q record.Range) ([]record.Record, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(rest))
 	}
 	return recs, nil
+}
+
+// QueryBatch fetches the results of many ranges in one frame, amortizing
+// framing and round-trip latency. Results align with qs.
+func (c *SPClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgBatchQuery, Payload: EncodeRanges(qs)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgBatchResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	batches, err := DecodeRecordBatches(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(batches) != len(qs) {
+		return nil, fmt.Errorf("%w: %d batch results for %d queries", ErrProtocol, len(batches), len(qs))
+	}
+	return batches, nil
 }
 
 // Insert pushes an owner insertion.
@@ -140,6 +234,26 @@ func (c *TEClient) GenerateVT(q record.Range) (digest.Digest, error) {
 		return digest.Zero, fmt.Errorf("%w: malformed token response", ErrProtocol)
 	}
 	return digest.FromBytes(resp.Payload), nil
+}
+
+// GenerateVTBatch fetches the tokens for many ranges in one frame.
+// Tokens align with qs.
+func (c *TEClient) GenerateVTBatch(qs []record.Range) ([]digest.Digest, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgBatchVT, Payload: EncodeRanges(qs)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgBatchVTResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	vts, err := DecodeDigests(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(vts) != len(qs) {
+		return nil, fmt.Errorf("%w: %d tokens for %d queries", ErrProtocol, len(vts), len(qs))
+	}
+	return vts, nil
 }
 
 // Insert pushes an owner insertion.
@@ -250,6 +364,45 @@ func (v *VerifyingClient) Query(q record.Range) ([]record.Record, error) {
 		return nil, err
 	}
 	return sp.recs, nil
+}
+
+// QueryBatch runs many verified range queries with one frame to each
+// party: the SP executes the batch while the TE generates all tokens, and
+// every result is verified against its token before returning.
+func (v *VerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
+	type spOut struct {
+		batches [][]record.Record
+		err     error
+	}
+	type teOut struct {
+		vts []digest.Digest
+		err error
+	}
+	spCh := make(chan spOut, 1)
+	teCh := make(chan teOut, 1)
+	go func() {
+		batches, err := v.SP.QueryBatch(qs)
+		spCh <- spOut{batches, err}
+	}()
+	go func() {
+		vts, err := v.TE.GenerateVTBatch(qs)
+		teCh <- teOut{vts, err}
+	}()
+	sp := <-spCh
+	te := <-teCh
+	if sp.err != nil {
+		return nil, fmt.Errorf("wire: SP batch query failed: %w", sp.err)
+	}
+	if te.err != nil {
+		return nil, fmt.Errorf("wire: TE batch token failed: %w", te.err)
+	}
+	var client core.Client
+	for i, q := range qs {
+		if _, err := client.Verify(q, sp.batches[i], te.vts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return sp.batches, nil
 }
 
 // VerifyingTOMClient performs the full TOM protocol over the network.

@@ -6,8 +6,13 @@
 // simultaneously".
 //
 // The protocol is deliberately simple: a 1-byte message type, a 4-byte
-// big-endian payload length, then the payload. Connections are persistent
-// and carry sequential request/response pairs.
+// big-endian request id, a 4-byte big-endian payload length, then the
+// payload. Connections are persistent and may carry many requests in
+// flight at once: the server handles each request concurrently and tags
+// its response with the request's id, so responses may arrive out of
+// order and the client demultiplexes by id (see client.go). Batch frames
+// (MsgBatchQuery, MsgBatchVT) amortize even the per-request framing over
+// many queries.
 package wire
 
 import (
@@ -16,8 +21,13 @@ import (
 	"fmt"
 	"io"
 
+	"sae/internal/digest"
 	"sae/internal/record"
 )
+
+// HeaderSize is the fixed frame header: type (1) + request id (4) +
+// payload length (4).
+const HeaderSize = 9
 
 // MsgType discriminates protocol messages.
 type MsgType byte
@@ -44,6 +54,14 @@ const (
 	MsgTOMQuery MsgType = 9
 	// TOM provider -> client: records + serialized VO.
 	MsgTOMResult MsgType = 10
+	// Client -> SP: many ranges in one frame.
+	MsgBatchQuery MsgType = 11
+	// SP -> client: one record list per queried range.
+	MsgBatchResult MsgType = 12
+	// Client -> TE: many ranges in one frame.
+	MsgBatchVT MsgType = 13
+	// TE -> client: one 20-byte token per queried range.
+	MsgBatchVTResult MsgType = 14
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal
@@ -54,17 +72,21 @@ const MaxPayload = 64 << 20
 // ErrProtocol is wrapped by all framing and decoding failures.
 var ErrProtocol = errors.New("wire: protocol error")
 
-// Frame is one protocol message.
+// Frame is one protocol message. ID correlates a response with its
+// request: servers echo the request's id, clients pick any id unique
+// among their in-flight requests (0 is fine for strictly sequential use).
 type Frame struct {
 	Type    MsgType
+	ID      uint32
 	Payload []byte
 }
 
 // WriteFrame writes a frame to w.
 func WriteFrame(w io.Writer, f Frame) error {
-	var hdr [5]byte
+	var hdr [HeaderSize]byte
 	hdr[0] = byte(f.Type)
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(hdr[1:5], f.ID)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(f.Payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: writing frame header: %w", err)
 	}
@@ -76,15 +98,19 @@ func WriteFrame(w io.Writer, f Frame) error {
 
 // ReadFrame reads one frame from r.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [5]byte
+	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[1:5])
+	n := binary.BigEndian.Uint32(hdr[5:9])
 	if n > MaxPayload {
 		return Frame{}, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
 	}
-	f := Frame{Type: MsgType(hdr[0]), Payload: make([]byte, n)}
+	f := Frame{
+		Type:    MsgType(hdr[0]),
+		ID:      binary.BigEndian.Uint32(hdr[1:5]),
+		Payload: make([]byte, n),
+	}
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		return Frame{}, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
 	}
@@ -128,8 +154,10 @@ func DecodeRecords(b []byte) ([]record.Record, []byte, error) {
 	}
 	n := int(binary.BigEndian.Uint32(b[0:4]))
 	b = b[4:]
-	if n > MaxPayload/record.Size {
-		return nil, nil, fmt.Errorf("%w: implausible record count %d", ErrProtocol, n)
+	// Every record occupies record.Size bytes, so a count the remaining
+	// payload cannot hold is rejected before the count-sized allocation.
+	if n > len(b)/record.Size {
+		return nil, nil, fmt.Errorf("%w: implausible record count %d for %d payload bytes", ErrProtocol, n, len(b))
 	}
 	recs := make([]record.Record, 0, n)
 	for i := 0; i < n; i++ {
@@ -141,6 +169,105 @@ func DecodeRecords(b []byte) ([]record.Record, []byte, error) {
 		b = b[record.Size:]
 	}
 	return recs, b, nil
+}
+
+// EncodeRanges serializes a batch of query ranges: count, then 8 bytes
+// per range.
+func EncodeRanges(qs []record.Range) []byte {
+	out := make([]byte, 4, 4+8*len(qs))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(qs)))
+	for _, q := range qs {
+		out = append(out, EncodeRange(q)...)
+	}
+	return out
+}
+
+// DecodeRanges parses a batch of query ranges.
+func DecodeRanges(b []byte) ([]record.Range, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated range count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if len(b) != 8*n {
+		return nil, fmt.Errorf("%w: %d ranges in %d payload bytes", ErrProtocol, n, len(b))
+	}
+	qs := make([]record.Range, n)
+	for i := 0; i < n; i++ {
+		q, err := DecodeRange(b[8*i : 8*i+8])
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+// EncodeRecordBatches serializes one record list per queried range: the
+// batch count, then each list in EncodeRecords form (self-delimiting).
+func EncodeRecordBatches(batches [][]record.Record) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(batches)))
+	for _, recs := range batches {
+		out = append(out, EncodeRecords(recs)...)
+	}
+	return out
+}
+
+// DecodeRecordBatches parses a batched query result.
+func DecodeRecordBatches(b []byte) ([][]record.Record, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated batch count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	// Each batch entry carries at least its own 4-byte record count, so a
+	// count the remaining payload cannot hold is rejected before the
+	// count-sized allocation.
+	if n > len(b)/4 {
+		return nil, fmt.Errorf("%w: implausible batch count %d for %d payload bytes", ErrProtocol, n, len(b))
+	}
+	out := make([][]record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs, rest, err := DecodeRecords(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch entry %d: %v", ErrProtocol, i, err)
+		}
+		out = append(out, recs)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrProtocol, len(b))
+	}
+	return out, nil
+}
+
+// EncodeDigests serializes a batch of verification tokens: count, then 20
+// bytes per token.
+func EncodeDigests(ds []digest.Digest) []byte {
+	out := make([]byte, 4, 4+digest.Size*len(ds))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(ds)))
+	for i := range ds {
+		out = append(out, ds[i][:]...)
+	}
+	return out
+}
+
+// DecodeDigests parses a batch of verification tokens.
+func DecodeDigests(b []byte) ([]digest.Digest, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated token count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if len(b) != digest.Size*n {
+		return nil, fmt.Errorf("%w: %d tokens in %d payload bytes", ErrProtocol, n, len(b))
+	}
+	out := make([]digest.Digest, n)
+	for i := 0; i < n; i++ {
+		out[i] = digest.FromBytes(b[digest.Size*i : digest.Size*(i+1)])
+	}
+	return out, nil
 }
 
 // EncodeDelete serializes an owner deletion.

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+// expectCount tallies how many dataset records a range should return.
+func expectCount(ds *workload.Dataset, q record.Range) int {
+	want := 0
+	for i := range ds.Records {
+		if q.Contains(ds.Records[i].Key) {
+			want++
+		}
+	}
+	return want
+}
+
+// TestPipelinedSharedConnection drives one SP connection from many
+// goroutines at once. Each request is tagged with its own id and the
+// responses — possibly out of order — must land at the right caller, so
+// every result's cardinality must match its own query.
+func TestPipelinedSharedConnection(t *testing.T) {
+	spSrv, _, ds := launchSAE(t, 5000)
+	client, err := DialSP(spSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialSP: %v", err)
+	}
+	defer client.Close()
+
+	queries := workload.Queries(16, workload.DefaultExtent, 70)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				q := queries[(w*3+rep)%len(queries)]
+				recs, err := client.Query(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(recs) != expectCount(ds, q) {
+					errCh <- &mismatchErr{q: q, got: len(recs), want: expectCount(ds, q)}
+					return
+				}
+				for i := range recs {
+					if !q.Contains(recs[i].Key) {
+						errCh <- &mismatchErr{q: q, got: -1, want: -1}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("pipelined query: %v", err)
+	}
+}
+
+type mismatchErr struct {
+	q         record.Range
+	got, want int
+}
+
+func (e *mismatchErr) Error() string {
+	return "result does not match its own query (response routed to wrong request?)"
+}
+
+// TestBatchQuery exercises the batched-query frames end to end, verified
+// against the TE's batched tokens.
+func TestBatchQuery(t *testing.T) {
+	spSrv, teSrv, ds := launchSAE(t, 5000)
+	client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialVerifying: %v", err)
+	}
+	defer client.Close()
+
+	qs := workload.Queries(12, workload.DefaultExtent, 71)
+	batches, err := client.QueryBatch(qs)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(batches) != len(qs) {
+		t.Fatalf("got %d batches for %d queries", len(batches), len(qs))
+	}
+	for i, q := range qs {
+		if len(batches[i]) != expectCount(ds, q) {
+			t.Fatalf("batch %d: %d records, want %d", i, len(batches[i]), expectCount(ds, q))
+		}
+	}
+
+	// A batch rides in exactly one frame each way on the SP connection.
+	sent := client.SP.BytesSent()
+	wantSent := int64(HeaderSize + 4 + 8*len(qs))
+	if sent != wantSent {
+		t.Fatalf("SP bytes sent = %d, want %d (one batch frame)", sent, wantSent)
+	}
+}
+
+// TestBatchEmptyAndCodecErrors covers the batch codecs' edges.
+func TestBatchEmptyAndCodecErrors(t *testing.T) {
+	qs, err := DecodeRanges(EncodeRanges(nil))
+	if err != nil || len(qs) != 0 {
+		t.Fatalf("empty ranges round trip: %v, %d", err, len(qs))
+	}
+	if _, err := DecodeRanges([]byte{0, 0, 0, 2, 1}); err == nil {
+		t.Fatal("DecodeRanges accepted truncated payload")
+	}
+	if _, err := DecodeRecordBatches([]byte{0, 0, 0, 1}); err == nil {
+		t.Fatal("DecodeRecordBatches accepted truncated payload")
+	}
+	if _, err := DecodeDigests([]byte{0, 0, 0, 1, 9}); err == nil {
+		t.Fatal("DecodeDigests accepted truncated payload")
+	}
+	recs := [][]record.Record{nil, {record.Synthesize(1, 10)}}
+	got, err := DecodeRecordBatches(EncodeRecordBatches(recs))
+	if err != nil {
+		t.Fatalf("DecodeRecordBatches: %v", err)
+	}
+	if len(got) != 2 || len(got[0]) != 0 || len(got[1]) != 1 {
+		t.Fatalf("batch codec round trip mismatch: %v", got)
+	}
+}

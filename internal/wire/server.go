@@ -9,12 +9,20 @@ import (
 	"sync"
 
 	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/record"
 	"sae/internal/tom"
 )
 
 // handler maps one request frame to one response frame.
 type handler func(Frame) Frame
+
+// maxInFlight bounds the requests one connection may have executing at
+// once; further frames queue in the kernel's socket buffer. The providers
+// serve reads under RWMutexes, so the bound only caps goroutines, not
+// correctness.
+const maxInFlight = 32
 
 // server is the shared TCP accept/serve loop.
 type server struct {
@@ -86,9 +94,19 @@ func (s *server) acceptLoop() {
 	}
 }
 
+// serveConn reads frames and dispatches each to its own goroutine, so one
+// connection can have up to maxInFlight requests executing concurrently
+// (the request-id tagging lets responses return out of order). A write
+// mutex keeps response frames from interleaving.
 func (s *server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var (
+		writeMu  sync.Mutex
+		handlers sync.WaitGroup
+	)
+	sem := make(chan struct{}, maxInFlight)
 	defer func() {
+		handlers.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -102,10 +120,29 @@ func (s *server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		if err := WriteFrame(conn, s.handle(req)); err != nil {
-			s.logf("wire: writing response: %v", err)
-			return
-		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req Frame) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp := s.handle(req)
+			if len(resp.Payload) > MaxPayload {
+				// The peer's ReadFrame would reject the oversize frame and
+				// tear down the whole pipelined connection; degrade to a
+				// per-request error instead.
+				resp = errFrame(fmt.Errorf("%w: response of %d bytes exceeds frame limit; narrow the query or split the batch",
+					ErrProtocol, len(resp.Payload)))
+			}
+			resp.ID = req.ID
+			writeMu.Lock()
+			err := WriteFrame(conn, resp)
+			writeMu.Unlock()
+			if err != nil {
+				s.logf("wire: writing response: %v", err)
+				// Unblock the read loop so the connection tears down.
+				conn.Close()
+			}
+		}(req)
 	}
 }
 
@@ -138,11 +175,28 @@ func (s *SPServer) handle(req Frame) Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		recs, _, err := s.sp.Query(q)
+		// One execution context per network request: concurrent requests
+		// on this (or any other) connection account their accesses
+		// independently.
+		recs, _, err := s.sp.QueryCtx(exec.NewContext(), q)
 		if err != nil {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgResult, Payload: EncodeRecords(recs)}
+	case MsgBatchQuery:
+		qs, err := DecodeRanges(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		batches := make([][]record.Record, len(qs))
+		for i, q := range qs {
+			recs, _, err := s.sp.QueryCtx(exec.NewContext(), q)
+			if err != nil {
+				return errFrame(err)
+			}
+			batches[i] = recs
+		}
+		return Frame{Type: MsgBatchResult, Payload: EncodeRecordBatches(batches)}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -191,11 +245,25 @@ func (s *TEServer) handle(req Frame) Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		vt, _, err := s.te.GenerateVT(q)
+		vt, _, err := s.te.GenerateVTCtx(exec.NewContext(), q)
 		if err != nil {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgVT, Payload: vt[:]}
+	case MsgBatchVT:
+		qs, err := DecodeRanges(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		vts := make([]digest.Digest, len(qs))
+		for i, q := range qs {
+			vt, _, err := s.te.GenerateVTCtx(exec.NewContext(), q)
+			if err != nil {
+				return errFrame(err)
+			}
+			vts[i] = vt
+		}
+		return Frame{Type: MsgBatchVTResult, Payload: EncodeDigests(vts)}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -245,7 +313,7 @@ func (s *TOMServer) handle(req Frame) Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		recs, vo, _, err := s.provider.Query(q)
+		recs, vo, _, err := s.provider.QueryCtx(exec.NewContext(), q)
 		if err != nil {
 			return errFrame(err)
 		}

@@ -17,7 +17,7 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := Frame{Type: MsgQuery, Payload: []byte{1, 2, 3}}
+	in := Frame{Type: MsgQuery, ID: 0xDEADBEEF, Payload: []byte{1, 2, 3}}
 	if err := WriteFrame(&buf, in); err != nil {
 		t.Fatalf("WriteFrame: %v", err)
 	}
@@ -25,14 +25,15 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadFrame: %v", err)
 	}
-	if out.Type != in.Type || !bytes.Equal(out.Payload, in.Payload) {
+	if out.Type != in.Type || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
 	}
 }
 
 func TestFrameRejectsHugePayload(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write([]byte{byte(MsgQuery), 0xFF, 0xFF, 0xFF, 0xFF})
+	// type + id + a length far beyond MaxPayload.
+	buf.Write([]byte{byte(MsgQuery), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
 	if _, err := ReadFrame(&buf); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("ReadFrame(huge) error = %v, want ErrProtocol", err)
 	}
@@ -144,8 +145,8 @@ func TestNetworkedTokenBytes(t *testing.T) {
 		}
 	}
 	perQuery := te.BytesReceived() / queries
-	if perQuery != 5+digest.Size {
-		t.Fatalf("TE->client bytes per query = %d, want %d", perQuery, 5+digest.Size)
+	if perQuery != HeaderSize+digest.Size {
+		t.Fatalf("TE->client bytes per query = %d, want %d", perQuery, HeaderSize+digest.Size)
 	}
 }
 

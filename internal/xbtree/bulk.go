@@ -43,7 +43,7 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 	}
 	flat := make([]loaded, len(items))
 	for i, it := range items {
-		lref, err := t.lists.alloc(it.Tuples)
+		lref, err := t.lists.alloc(nil, it.Tuples)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +76,7 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 		for _, it := range flat[i : i+chunk] {
 			n.entries = append(n.entries, entry{sk: it.sk, lref: it.lref, x: it.lxor, child: pagestore.InvalidPage})
 		}
-		id, err := t.allocNode(n)
+		id, err := t.allocNode(nil, n)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +114,7 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 					child: child.id,
 				})
 			}
-			id, err := t.allocNode(n)
+			id, err := t.allocNode(nil, n)
 			if err != nil {
 				return nil, err
 			}
@@ -136,13 +136,13 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 func (t *Tree) Lookup(key record.Key) ([]Tuple, bool, error) {
 	id := t.root
 	for {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return nil, false, err
 		}
 		pos, ok := searchEntries(n.entries, key)
 		if ok {
-			ts, err := t.lists.read(n.entries[pos].lref)
+			ts, err := t.lists.read(nil, n.entries[pos].lref)
 			return ts, true, err
 		}
 		if n.leaf {
@@ -166,7 +166,7 @@ func (t *Tree) Validate() error {
 	tuples := 0
 	var walk func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error)
 	walk = func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error) {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return digest.Zero, err
 		}
@@ -192,7 +192,7 @@ func (t *Tree) Validate() error {
 				if e.child != pagestore.InvalidPage {
 					return digest.Zero, fmt.Errorf("xbtree: leaf %d entry %d has a child", id, i)
 				}
-				ts, err := t.lists.read(e.lref)
+				ts, err := t.lists.read(nil, e.lref)
 				if err != nil {
 					return digest.Zero, err
 				}
@@ -225,7 +225,7 @@ func (t *Tree) Validate() error {
 		acc.Add(n.e0X)
 		for i := range n.entries {
 			e := &n.entries[i]
-			ts, err := t.lists.read(e.lref)
+			ts, err := t.lists.read(nil, e.lref)
 			if err != nil {
 				return digest.Zero, err
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/pagestore"
 	"sae/internal/record"
 )
@@ -75,6 +76,27 @@ func newLStore(store pagestore.Store) *lstore {
 	return &lstore{store: store, fillPage: pagestore.InvalidPage}
 }
 
+// List pages are not served by the decoded-node cache (lists are read at
+// most once per query boundary), so the lstore talks to the raw store and
+// charges the request context at exactly the store-access points, keeping
+// the per-request counters in lockstep with the global ones.
+
+func (s *lstore) readPage(ctx *exec.Context, id pagestore.PageID, buf []byte) error {
+	if err := s.store.Read(id, buf); err != nil {
+		return err
+	}
+	ctx.AccountRead()
+	return nil
+}
+
+func (s *lstore) writePage(ctx *exec.Context, id pagestore.PageID, buf []byte) error {
+	if err := s.store.Write(id, buf); err != nil {
+		return err
+	}
+	ctx.AccountWrite()
+	return nil
+}
+
 func encodeTuples(buf []byte, ts []Tuple) {
 	off := 0
 	for _, t := range ts {
@@ -96,13 +118,13 @@ func decodeTuples(buf []byte, n int) []Tuple {
 }
 
 // alloc stores a fresh list and returns its reference.
-func (s *lstore) alloc(ts []Tuple) (listRef, error) {
+func (s *lstore) alloc(ctx *exec.Context, ts []Tuple) (listRef, error) {
 	if len(ts) > maxInlineTuples {
-		return s.allocChain(ts)
+		return s.allocChain(ctx, ts)
 	}
 	need := len(ts) * TupleSize
 	if s.fillPage != pagestore.InvalidPage {
-		if ref, ok, err := s.tryPlace(s.fillPage, ts, need); err != nil || ok {
+		if ref, ok, err := s.tryPlace(ctx, s.fillPage, ts, need); err != nil || ok {
 			return ref, err
 		}
 	}
@@ -110,15 +132,16 @@ func (s *lstore) alloc(ts []Tuple) (listRef, error) {
 	if err != nil {
 		return invalidRef, fmt.Errorf("xbtree: allocating list page: %w", err)
 	}
+	ctx.AccountAlloc()
 	s.pages++
 	var buf [pagestore.PageSize]byte
 	binary.BigEndian.PutUint16(buf[0:2], 0)
 	binary.BigEndian.PutUint16(buf[2:4], pagestore.PageSize)
-	if err := s.store.Write(id, buf[:]); err != nil {
+	if err := s.writePage(ctx, id, buf[:]); err != nil {
 		return invalidRef, fmt.Errorf("xbtree: initializing list page: %w", err)
 	}
 	s.fillPage = id
-	ref, ok, err := s.tryPlace(id, ts, need)
+	ref, ok, err := s.tryPlace(ctx, id, ts, need)
 	if err != nil {
 		return invalidRef, err
 	}
@@ -130,9 +153,9 @@ func (s *lstore) alloc(ts []Tuple) (listRef, error) {
 
 // tryPlace attempts to add a list to a specific shared page, compacting it
 // first if dead space would make it fit.
-func (s *lstore) tryPlace(page pagestore.PageID, ts []Tuple, need int) (listRef, bool, error) {
+func (s *lstore) tryPlace(ctx *exec.Context, page pagestore.PageID, ts []Tuple, need int) (listRef, bool, error) {
 	var buf [pagestore.PageSize]byte
-	if err := s.store.Read(page, buf[:]); err != nil {
+	if err := s.readPage(ctx, page, buf[:]); err != nil {
 		return invalidRef, false, fmt.Errorf("xbtree: reading list page %d: %w", page, err)
 	}
 	nslots := int(binary.BigEndian.Uint16(buf[0:2]))
@@ -178,7 +201,7 @@ func (s *lstore) tryPlace(page pagestore.PageID, ts []Tuple, need int) (listRef,
 	binary.BigEndian.PutUint16(buf[2:4], uint16(dataStart%pagestore.PageSize))
 	binary.BigEndian.PutUint16(buf[slotHeader+slot*slotDirEnt:], uint16(dataStart))
 	binary.BigEndian.PutUint16(buf[slotHeader+slot*slotDirEnt+2:], uint16(need))
-	if err := s.store.Write(page, buf[:]); err != nil {
+	if err := s.writePage(ctx, page, buf[:]); err != nil {
 		return invalidRef, false, fmt.Errorf("xbtree: writing list page %d: %w", page, err)
 	}
 	return listRef{page: page, slot: uint16(slot)}, true, nil
@@ -222,12 +245,12 @@ func compactPage(buf []byte) bool {
 }
 
 // read returns the tuples of a list.
-func (s *lstore) read(ref listRef) ([]Tuple, error) {
+func (s *lstore) read(ctx *exec.Context, ref listRef) ([]Tuple, error) {
 	if ref.slot == chainSlot {
-		return s.readChain(ref.page)
+		return s.readChain(ctx, ref.page)
 	}
 	var buf [pagestore.PageSize]byte
-	if err := s.store.Read(ref.page, buf[:]); err != nil {
+	if err := s.readPage(ctx, ref.page, buf[:]); err != nil {
 		return nil, fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
 	}
 	off := int(binary.BigEndian.Uint16(buf[slotHeader+int(ref.slot)*slotDirEnt:]))
@@ -239,8 +262,8 @@ func (s *lstore) read(ref listRef) ([]Tuple, error) {
 }
 
 // xorOf returns the XOR of the digests in a list (e.L⊕ in the paper).
-func (s *lstore) xorOf(ref listRef) (digest.Digest, error) {
-	ts, err := s.read(ref)
+func (s *lstore) xorOf(ctx *exec.Context, ref listRef) (digest.Digest, error) {
+	ts, err := s.read(ctx, ref)
 	if err != nil {
 		return digest.Zero, err
 	}
@@ -253,38 +276,38 @@ func (s *lstore) xorOf(ref listRef) (digest.Digest, error) {
 
 // appendTuple adds a tuple to a list, returning the (possibly relocated)
 // reference.
-func (s *lstore) appendTuple(ref listRef, t Tuple) (listRef, error) {
+func (s *lstore) appendTuple(ctx *exec.Context, ref listRef, t Tuple) (listRef, error) {
 	if ref.slot == chainSlot {
-		return s.appendChain(ref, t)
+		return s.appendChain(ctx, ref, t)
 	}
-	ts, err := s.read(ref)
+	ts, err := s.read(ctx, ref)
 	if err != nil {
 		return invalidRef, err
 	}
 	ts = append(ts, t)
 	if len(ts) > maxInlineTuples {
-		if err := s.freeSlot(ref); err != nil {
+		if err := s.freeSlot(ctx, ref); err != nil {
 			return invalidRef, err
 		}
-		return s.allocChain(ts)
+		return s.allocChain(ctx, ts)
 	}
 	// Try to grow in place: free the old slot, then place on the same page
 	// (compaction makes the freed bytes reusable immediately).
-	if err := s.freeSlot(ref); err != nil {
+	if err := s.freeSlot(ctx, ref); err != nil {
 		return invalidRef, err
 	}
 	need := len(ts) * TupleSize
-	if newRef, ok, err := s.tryPlace(ref.page, ts, need); err != nil || ok {
+	if newRef, ok, err := s.tryPlace(ctx, ref.page, ts, need); err != nil || ok {
 		return newRef, err
 	}
-	return s.alloc(ts)
+	return s.alloc(ctx, ts)
 }
 
 // removeTuple deletes the tuple with the given id, returning its digest and
 // the (possibly relocated) reference. Lists may become empty; an empty list
 // remains allocated so its tree entry stays valid (tombstone semantics).
-func (s *lstore) removeTuple(ref listRef, id record.ID) (digest.Digest, listRef, error) {
-	ts, err := s.read(ref)
+func (s *lstore) removeTuple(ctx *exec.Context, ref listRef, id record.ID) (digest.Digest, listRef, error) {
+	ts, err := s.read(ctx, ref)
 	if err != nil {
 		return digest.Zero, invalidRef, err
 	}
@@ -302,49 +325,49 @@ func (s *lstore) removeTuple(ref listRef, id record.ID) (digest.Digest, listRef,
 	ts = append(ts[:at], ts[at+1:]...)
 	if ref.slot == chainSlot && len(ts) <= maxInlineTuples {
 		// Chain shrank enough to move back inline.
-		if err := s.freeChain(ref.page); err != nil {
+		if err := s.freeChain(ctx, ref.page); err != nil {
 			return digest.Zero, invalidRef, err
 		}
-		newRef, err := s.alloc(ts)
+		newRef, err := s.alloc(ctx, ts)
 		return d, newRef, err
 	}
 	if ref.slot == chainSlot {
-		if err := s.freeChain(ref.page); err != nil {
+		if err := s.freeChain(ctx, ref.page); err != nil {
 			return digest.Zero, invalidRef, err
 		}
-		newRef, err := s.allocChain(ts)
+		newRef, err := s.allocChain(ctx, ts)
 		return d, newRef, err
 	}
 	// Shrink in place: shorten the slot, leaving dead bytes for compaction.
 	var buf [pagestore.PageSize]byte
-	if err := s.store.Read(ref.page, buf[:]); err != nil {
+	if err := s.readPage(ctx, ref.page, buf[:]); err != nil {
 		return digest.Zero, invalidRef, fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
 	}
 	off := int(binary.BigEndian.Uint16(buf[slotHeader+int(ref.slot)*slotDirEnt:]))
 	encodeTuples(buf[off:off+len(ts)*TupleSize], ts)
 	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt+2:], uint16(len(ts)*TupleSize))
-	if err := s.store.Write(ref.page, buf[:]); err != nil {
+	if err := s.writePage(ctx, ref.page, buf[:]); err != nil {
 		return digest.Zero, invalidRef, fmt.Errorf("xbtree: writing list page %d: %w", ref.page, err)
 	}
 	return d, ref, nil
 }
 
 // freeSlot marks a shared slot dead. The bytes are reclaimed by compaction.
-func (s *lstore) freeSlot(ref listRef) error {
+func (s *lstore) freeSlot(ctx *exec.Context, ref listRef) error {
 	var buf [pagestore.PageSize]byte
-	if err := s.store.Read(ref.page, buf[:]); err != nil {
+	if err := s.readPage(ctx, ref.page, buf[:]); err != nil {
 		return fmt.Errorf("xbtree: reading list page %d: %w", ref.page, err)
 	}
 	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt:], 0)
 	binary.BigEndian.PutUint16(buf[slotHeader+int(ref.slot)*slotDirEnt+2:], 0)
-	if err := s.store.Write(ref.page, buf[:]); err != nil {
+	if err := s.writePage(ctx, ref.page, buf[:]); err != nil {
 		return fmt.Errorf("xbtree: writing list page %d: %w", ref.page, err)
 	}
 	return nil
 }
 
 // allocChain stores a large list across dedicated chain pages.
-func (s *lstore) allocChain(ts []Tuple) (listRef, error) {
+func (s *lstore) allocChain(ctx *exec.Context, ts []Tuple) (listRef, error) {
 	next := pagestore.InvalidPage
 	// Build back to front so each page links to the next.
 	for end := len(ts); end > 0 || next == pagestore.InvalidPage; {
@@ -356,12 +379,13 @@ func (s *lstore) allocChain(ts []Tuple) (listRef, error) {
 		if err != nil {
 			return invalidRef, fmt.Errorf("xbtree: allocating chain page: %w", err)
 		}
+		ctx.AccountAlloc()
 		s.pages++
 		var buf [pagestore.PageSize]byte
 		binary.BigEndian.PutUint32(buf[0:4], uint32(next))
 		binary.BigEndian.PutUint16(buf[4:6], uint16(end-start))
 		encodeTuples(buf[chainHeader:], ts[start:end])
-		if err := s.store.Write(id, buf[:]); err != nil {
+		if err := s.writePage(ctx, id, buf[:]); err != nil {
 			return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", id, err)
 		}
 		next = id
@@ -373,11 +397,11 @@ func (s *lstore) allocChain(ts []Tuple) (listRef, error) {
 	return listRef{page: next, slot: chainSlot}, nil
 }
 
-func (s *lstore) readChain(head pagestore.PageID) ([]Tuple, error) {
+func (s *lstore) readChain(ctx *exec.Context, head pagestore.PageID) ([]Tuple, error) {
 	var out []Tuple
 	var buf [pagestore.PageSize]byte
 	for id := head; id != pagestore.InvalidPage; {
-		if err := s.store.Read(id, buf[:]); err != nil {
+		if err := s.readPage(ctx, id, buf[:]); err != nil {
 			return nil, fmt.Errorf("xbtree: reading chain page %d: %w", id, err)
 		}
 		n := int(binary.BigEndian.Uint16(buf[4:6]))
@@ -389,9 +413,9 @@ func (s *lstore) readChain(head pagestore.PageID) ([]Tuple, error) {
 
 // appendChain adds a tuple to a chained list, to the head page if it has
 // room, otherwise via a new head.
-func (s *lstore) appendChain(ref listRef, t Tuple) (listRef, error) {
+func (s *lstore) appendChain(ctx *exec.Context, ref listRef, t Tuple) (listRef, error) {
 	var buf [pagestore.PageSize]byte
-	if err := s.store.Read(ref.page, buf[:]); err != nil {
+	if err := s.readPage(ctx, ref.page, buf[:]); err != nil {
 		return invalidRef, fmt.Errorf("xbtree: reading chain page %d: %w", ref.page, err)
 	}
 	n := int(binary.BigEndian.Uint16(buf[4:6]))
@@ -399,7 +423,7 @@ func (s *lstore) appendChain(ref listRef, t Tuple) (listRef, error) {
 		off := chainHeader + n*TupleSize
 		encodeTuples(buf[off:off+TupleSize], []Tuple{t})
 		binary.BigEndian.PutUint16(buf[4:6], uint16(n+1))
-		if err := s.store.Write(ref.page, buf[:]); err != nil {
+		if err := s.writePage(ctx, ref.page, buf[:]); err != nil {
 			return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", ref.page, err)
 		}
 		return ref, nil
@@ -408,27 +432,29 @@ func (s *lstore) appendChain(ref listRef, t Tuple) (listRef, error) {
 	if err != nil {
 		return invalidRef, fmt.Errorf("xbtree: allocating chain page: %w", err)
 	}
+	ctx.AccountAlloc()
 	s.pages++
 	var head [pagestore.PageSize]byte
 	binary.BigEndian.PutUint32(head[0:4], uint32(ref.page))
 	binary.BigEndian.PutUint16(head[4:6], 1)
 	encodeTuples(head[chainHeader:chainHeader+TupleSize], []Tuple{t})
-	if err := s.store.Write(id, head[:]); err != nil {
+	if err := s.writePage(ctx, id, head[:]); err != nil {
 		return invalidRef, fmt.Errorf("xbtree: writing chain page %d: %w", id, err)
 	}
 	return listRef{page: id, slot: chainSlot}, nil
 }
 
-func (s *lstore) freeChain(head pagestore.PageID) error {
+func (s *lstore) freeChain(ctx *exec.Context, head pagestore.PageID) error {
 	var buf [pagestore.PageSize]byte
 	for id := head; id != pagestore.InvalidPage; {
-		if err := s.store.Read(id, buf[:]); err != nil {
+		if err := s.readPage(ctx, id, buf[:]); err != nil {
 			return fmt.Errorf("xbtree: reading chain page %d: %w", id, err)
 		}
 		next := pagestore.PageID(binary.BigEndian.Uint32(buf[0:4]))
 		if err := s.store.Free(id); err != nil {
 			return fmt.Errorf("xbtree: freeing chain page %d: %w", id, err)
 		}
+		ctx.AccountFree()
 		s.pages--
 		id = next
 	}

@@ -35,11 +35,11 @@ func sameTuples(a, b []Tuple) bool {
 func TestLStoreAllocRead(t *testing.T) {
 	s, _ := newTestLStore()
 	ts := tuplesOf(1, 2, 3)
-	ref, err := s.alloc(ts)
+	ref, err := s.alloc(nil, ts)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	got, err := s.read(ref)
+	got, err := s.read(nil, ref)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -52,7 +52,7 @@ func TestLStoreSharesPages(t *testing.T) {
 	s, _ := newTestLStore()
 	refs := make([]listRef, 20)
 	for i := range refs {
-		ref, err := s.alloc(tuplesOf(record.ID(i)))
+		ref, err := s.alloc(nil, tuplesOf(record.ID(i)))
 		if err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
@@ -63,7 +63,7 @@ func TestLStoreSharesPages(t *testing.T) {
 		t.Fatalf("20 singleton lists used %d pages, want 1", s.pages)
 	}
 	for i, ref := range refs {
-		got, err := s.read(ref)
+		got, err := s.read(nil, ref)
 		if err != nil || len(got) != 1 || got[0].ID != record.ID(i) {
 			t.Fatalf("list %d corrupted: %v err=%v", i, got, err)
 		}
@@ -72,7 +72,7 @@ func TestLStoreSharesPages(t *testing.T) {
 
 func TestLStoreAppendGrowsInPlaceViaCompaction(t *testing.T) {
 	s, _ := newTestLStore()
-	ref, err := s.alloc(tuplesOf(1))
+	ref, err := s.alloc(nil, tuplesOf(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +82,12 @@ func TestLStoreAppendGrowsInPlaceViaCompaction(t *testing.T) {
 	for i := record.ID(2); i <= 60; i++ {
 		tup := tupleFor(i)
 		want = append(want, tup)
-		ref, err = s.appendTuple(ref, tup)
+		ref, err = s.appendTuple(nil, ref, tup)
 		if err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
-	got, err := s.read(ref)
+	got, err := s.read(nil, ref)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -105,7 +105,7 @@ func TestLStoreInlineToChainTransition(t *testing.T) {
 	for i := range ts {
 		ts[i] = tupleFor(record.ID(i + 1))
 	}
-	ref, err := s.alloc(ts)
+	ref, err := s.alloc(nil, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +113,14 @@ func TestLStoreInlineToChainTransition(t *testing.T) {
 		t.Fatal("list at the inline limit should not be a chain")
 	}
 	// One more tuple crosses into a chain.
-	ref, err = s.appendTuple(ref, tupleFor(record.ID(maxInlineTuples+1)))
+	ref, err = s.appendTuple(nil, ref, tupleFor(record.ID(maxInlineTuples+1)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ref.slot != chainSlot {
 		t.Fatal("list past the inline limit should be a chain")
 	}
-	got, err := s.read(ref)
+	got, err := s.read(nil, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestLStoreInlineToChainTransition(t *testing.T) {
 	// Removing brings it back inline.
 	for i := 0; i < 2; i++ {
 		var d = got[len(got)-1-i].ID
-		_, ref, err = s.removeTuple(ref, d)
+		_, ref, err = s.removeTuple(nil, ref, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,11 +147,11 @@ func TestLStoreChainMultiplePages(t *testing.T) {
 	for i := range ts {
 		ts[i] = tupleFor(record.ID(i + 1))
 	}
-	ref, err := s.allocChain(ts)
+	ref, err := s.allocChain(nil, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.read(ref)
+	got, err := s.read(nil, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,26 +170,26 @@ func TestLStoreChainMultiplePages(t *testing.T) {
 
 func TestLStoreRemoveMissing(t *testing.T) {
 	s, _ := newTestLStore()
-	ref, err := s.alloc(tuplesOf(1, 2))
+	ref, err := s.alloc(nil, tuplesOf(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.removeTuple(ref, 99); err == nil {
+	if _, _, err := s.removeTuple(nil, ref, 99); err == nil {
 		t.Fatal("removeTuple of absent id succeeded")
 	}
 }
 
 func TestLStoreEmptyListTombstone(t *testing.T) {
 	s, _ := newTestLStore()
-	ref, err := s.alloc(tuplesOf(7))
+	ref, err := s.alloc(nil, tuplesOf(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ref, err = s.removeTuple(ref, 7)
+	_, ref, err = s.removeTuple(nil, ref, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.read(ref)
+	got, err := s.read(nil, ref)
 	if err != nil {
 		t.Fatalf("read of empty list: %v", err)
 	}
@@ -197,11 +197,11 @@ func TestLStoreEmptyListTombstone(t *testing.T) {
 		t.Fatalf("empty list read %d tuples", len(got))
 	}
 	// And it can grow again.
-	ref, err = s.appendTuple(ref, tupleFor(8))
+	ref, err = s.appendTuple(nil, ref, tupleFor(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err = s.read(ref)
+	got, err = s.read(nil, ref)
 	if err != nil || len(got) != 1 || got[0].ID != 8 {
 		t.Fatalf("regrown list wrong: %v err=%v", got, err)
 	}
@@ -210,11 +210,11 @@ func TestLStoreEmptyListTombstone(t *testing.T) {
 func TestLStoreXorOf(t *testing.T) {
 	s, _ := newTestLStore()
 	ts := tuplesOf(1, 2, 3, 4)
-	ref, err := s.alloc(ts)
+	ref, err := s.alloc(nil, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.xorOf(ref)
+	got, err := s.xorOf(nil, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,14 +234,14 @@ func TestLStoreManyListsStress(t *testing.T) {
 		for j := range ts {
 			ts[j] = tupleFor(record.ID(i*10 + j))
 		}
-		ref, err := s.alloc(ts)
+		ref, err := s.alloc(nil, ts)
 		if err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
 		refs[i] = ref
 	}
 	for i, ref := range refs {
-		got, err := s.read(ref)
+		got, err := s.read(nil, ref)
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}

@@ -49,7 +49,7 @@ func Open(store pagestore.Store, m Meta) (*Tree, error) {
 	// Sanity probe: the leftmost path must reach a leaf exactly at level 1.
 	id := t.root
 	for level := m.Height; ; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(nil, id)
 		if err != nil {
 			return nil, fmt.Errorf("xbtree: opening level %d: %w", level, err)
 		}

@@ -29,6 +29,7 @@ import (
 
 	"sae/internal/bufpool"
 	"sae/internal/digest"
+	"sae/internal/exec"
 	"sae/internal/pagestore"
 	"sae/internal/record"
 )
@@ -105,7 +106,7 @@ func (n *xnode) agg() digest.Digest {
 // allocated from store.
 func New(store pagestore.Store) (*Tree, error) {
 	t := &Tree{io: bufpool.NewIO(store, nil), lists: newLStore(store), height: 1}
-	id, err := t.allocNode(&xnode{leaf: true})
+	id, err := t.allocNode(nil, &xnode{leaf: true})
 	if err != nil {
 		return nil, err
 	}
@@ -113,27 +114,27 @@ func New(store pagestore.Store) (*Tree, error) {
 	return t, nil
 }
 
-func (t *Tree) allocNode(n *xnode) (pagestore.PageID, error) {
-	id, err := t.io.Allocate()
+func (t *Tree) allocNode(ctx *exec.Context, n *xnode) (pagestore.PageID, error) {
+	id, err := t.io.Allocate(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("xbtree: allocating node: %w", err)
 	}
 	t.nodes++
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-func (t *Tree) writeNode(id pagestore.PageID, n *xnode) error {
-	if err := bufpool.WriteNode(t.io, id, n, encodeXNode); err != nil {
+func (t *Tree) writeNode(ctx *exec.Context, id pagestore.PageID, n *xnode) error {
+	if err := bufpool.WriteNode(t.io, ctx, id, n, encodeXNode); err != nil {
 		return fmt.Errorf("xbtree: writing node %d: %w", id, err)
 	}
 	return nil
 }
 
-func (t *Tree) readNode(id pagestore.PageID) (*xnode, error) {
-	n, err := bufpool.ReadNode(t.io, id, decodeXNode)
+func (t *Tree) readNode(ctx *exec.Context, id pagestore.PageID) (*xnode, error) {
+	n, err := bufpool.ReadNode(t.io, ctx, id, decodeXNode)
 	if err != nil {
 		return nil, fmt.Errorf("xbtree: reading node %d: %w", id, err)
 	}
@@ -237,12 +238,17 @@ func searchEntries(entries []entry, k record.Key) (int, bool) {
 // Either way every X value on the tuple's root-to-entry path absorbs the
 // tuple's digest, which costs O(height) node accesses.
 func (t *Tree) Insert(key record.Key, tup Tuple) error {
-	promoted, rightID, _, err := t.insertRec(t.root, key, tup)
+	return t.InsertCtx(nil, key, tup)
+}
+
+// InsertCtx is Insert charging node accesses to the request context.
+func (t *Tree) InsertCtx(ctx *exec.Context, key record.Key, tup Tuple) error {
+	promoted, rightID, _, err := t.insertRec(ctx, t.root, key, tup)
 	if err != nil {
 		return err
 	}
 	if promoted != nil {
-		oldRoot, err := t.readNode(t.root)
+		oldRoot, err := t.readNode(ctx, t.root)
 		if err != nil {
 			return err
 		}
@@ -252,7 +258,7 @@ func (t *Tree) Insert(key record.Key, tup Tuple) error {
 			e0X:     oldRoot.agg(),
 			entries: []entry{*promoted},
 		}
-		id, err := t.allocNode(newRoot)
+		id, err := t.allocNode(ctx, newRoot)
 		if err != nil {
 			return err
 		}
@@ -268,8 +274,8 @@ func (t *Tree) Insert(key record.Key, tup Tuple) error {
 // entry and its right-sibling node id when the node split, plus the change
 // (delta) in this node's aggregate as observed by the parent after the
 // promoted entry has been removed from it.
-func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry, pagestore.PageID, digest.Digest, error) {
-	n, err := t.readNode(id)
+func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key, tup Tuple) (*entry, pagestore.PageID, digest.Digest, error) {
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
@@ -277,13 +283,13 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 
 	if pos, ok := searchEntries(n.entries, key); ok {
 		// Key exists here: extend its list and absorb the digest.
-		newRef, err := t.lists.appendTuple(n.entries[pos].lref, tup)
+		newRef, err := t.lists.appendTuple(ctx, n.entries[pos].lref, tup)
 		if err != nil {
 			return nil, pagestore.InvalidPage, digest.Zero, err
 		}
 		n.entries[pos].lref = newRef
 		n.entries[pos].x = n.entries[pos].x.XOR(tup.Digest)
-		if err := t.writeNode(id, n); err != nil {
+		if err := t.writeNode(ctx, id, n); err != nil {
 			return nil, pagestore.InvalidPage, digest.Zero, err
 		}
 		return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
@@ -295,7 +301,7 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 			childID = n.entries[pos-1].child
 			applyTo = pos - 1
 		}
-		promoted, rightID, childDelta, err := t.insertRec(childID, key, tup)
+		promoted, rightID, childDelta, err := t.insertRec(ctx, childID, key, tup)
 		if err != nil {
 			return nil, pagestore.InvalidPage, digest.Zero, err
 		}
@@ -305,7 +311,7 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 			n.entries[applyTo].x = n.entries[applyTo].x.XOR(childDelta)
 		}
 		if promoted == nil {
-			if err := t.writeNode(id, n); err != nil {
+			if err := t.writeNode(ctx, id, n); err != nil {
 				return nil, pagestore.InvalidPage, digest.Zero, err
 			}
 			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
@@ -315,15 +321,15 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = *promoted
 		if len(n.entries) <= InnerCapacity {
-			if err := t.writeNode(id, n); err != nil {
+			if err := t.writeNode(ctx, id, n); err != nil {
 				return nil, pagestore.InvalidPage, digest.Zero, err
 			}
 			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
 		}
-		return t.splitInner(id, n, aggBefore)
+		return t.splitInner(ctx, id, n, aggBefore)
 	} else {
 		// New key at the leaf level.
-		lref, err := t.lists.alloc([]Tuple{tup})
+		lref, err := t.lists.alloc(ctx, []Tuple{tup})
 		if err != nil {
 			return nil, pagestore.InvalidPage, digest.Zero, err
 		}
@@ -333,12 +339,12 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = e
 		if len(n.entries) <= LeafCapacity {
-			if err := t.writeNode(id, n); err != nil {
+			if err := t.writeNode(ctx, id, n); err != nil {
 				return nil, pagestore.InvalidPage, digest.Zero, err
 			}
 			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
 		}
-		return t.splitLeaf(id, n, aggBefore)
+		return t.splitLeaf(ctx, id, n, aggBefore)
 	}
 }
 
@@ -346,13 +352,13 @@ func (t *Tree) insertRec(id pagestore.PageID, key record.Key, tup Tuple) (*entry
 // entry's X equals its L⊕, so the promoted entry's new X (which must also
 // cover the right sibling it will point to) is its old X XOR the right
 // entries' X values.
-func (t *Tree) splitLeaf(id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
 	mid := len(n.entries) / 2
 	promoted := n.entries[mid]
 
 	right := &xnode{leaf: true}
 	right.entries = append(right.entries, n.entries[mid+1:]...)
-	rightID, err := t.allocNode(right)
+	rightID, err := t.allocNode(ctx, right)
 	if err != nil {
 		// n was mutated in memory but never persisted; drop the cached copy.
 		t.io.Discard(id)
@@ -362,7 +368,7 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *xnode, aggBefore digest.Digest)
 	promoted.child = rightID
 
 	n.entries = n.entries[:mid]
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
 	return &promoted, rightID, n.agg().XOR(aggBefore), nil
@@ -372,11 +378,11 @@ func (t *Tree) splitLeaf(id pagestore.PageID, n *xnode, aggBefore digest.Digest)
 // its list but its subtree becomes the new right node, whose e0 must cover
 // the promoted entry's former child; computing that e0.X requires the
 // promoted entry's L⊕, read from its list page (one extra access per split).
-func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
 	mid := len(n.entries) / 2
 	promoted := n.entries[mid]
 
-	lxor, err := t.lists.xorOf(promoted.lref)
+	lxor, err := t.lists.xorOf(ctx, promoted.lref)
 	if err != nil {
 		t.io.Discard(id)
 		return nil, pagestore.InvalidPage, digest.Zero, err
@@ -387,7 +393,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest
 		e0X:  promoted.x.XOR(lxor), // agg of the subtree under the promoted entry
 	}
 	right.entries = append(right.entries, n.entries[mid+1:]...)
-	rightID, err := t.allocNode(right)
+	rightID, err := t.allocNode(ctx, right)
 	if err != nil {
 		t.io.Discard(id)
 		return nil, pagestore.InvalidPage, digest.Zero, err
@@ -396,7 +402,7 @@ func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest
 	promoted.child = rightID
 
 	n.entries = n.entries[:mid]
-	if err := t.writeNode(id, n); err != nil {
+	if err := t.writeNode(ctx, id, n); err != nil {
 		return nil, pagestore.InvalidPage, digest.Zero, err
 	}
 	return &promoted, rightID, n.agg().XOR(aggBefore), nil
@@ -407,7 +413,12 @@ func (t *Tree) splitInner(id pagestore.PageID, n *xnode, aggBefore digest.Digest
 // remain as tombstones (their X contribution is zero), so the tree never
 // restructures on delete.
 func (t *Tree) Delete(key record.Key, id record.ID) error {
-	_, found, err := t.deleteRec(t.root, key, id)
+	return t.DeleteCtx(nil, key, id)
+}
+
+// DeleteCtx is Delete charging node accesses to the request context.
+func (t *Tree) DeleteCtx(ctx *exec.Context, key record.Key, id record.ID) error {
+	_, found, err := t.deleteRec(ctx, t.root, key, id)
 	if err != nil {
 		return err
 	}
@@ -420,14 +431,14 @@ func (t *Tree) Delete(key record.Key, id record.ID) error {
 
 // deleteRec returns the removed tuple's digest (so ancestors can XOR it out
 // of their X values) and whether the tuple was found.
-func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) (digest.Digest, bool, error) {
-	n, err := t.readNode(nodeID)
+func (t *Tree) deleteRec(ctx *exec.Context, nodeID pagestore.PageID, key record.Key, id record.ID) (digest.Digest, bool, error) {
+	n, err := t.readNode(ctx, nodeID)
 	if err != nil {
 		return digest.Zero, false, err
 	}
 	pos, ok := searchEntries(n.entries, key)
 	if ok {
-		d, newRef, err := t.lists.removeTuple(n.entries[pos].lref, id)
+		d, newRef, err := t.lists.removeTuple(ctx, n.entries[pos].lref, id)
 		if err != nil {
 			if errors.Is(err, errTupleNotFound) {
 				return digest.Zero, false, nil
@@ -436,7 +447,7 @@ func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) 
 		}
 		n.entries[pos].lref = newRef
 		n.entries[pos].x = n.entries[pos].x.XOR(d)
-		if err := t.writeNode(nodeID, n); err != nil {
+		if err := t.writeNode(ctx, nodeID, n); err != nil {
 			return digest.Zero, false, err
 		}
 		return d, true, nil
@@ -448,7 +459,7 @@ func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) 
 	if pos > 0 {
 		childID = n.entries[pos-1].child
 	}
-	d, found, err := t.deleteRec(childID, key, id)
+	d, found, err := t.deleteRec(ctx, childID, key, id)
 	if err != nil || !found {
 		return digest.Zero, found, err
 	}
@@ -457,7 +468,7 @@ func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) 
 	} else {
 		n.e0X = n.e0X.XOR(d)
 	}
-	if err := t.writeNode(nodeID, n); err != nil {
+	if err := t.writeNode(ctx, nodeID, n); err != nil {
 		return digest.Zero, false, err
 	}
 	return d, true, nil
@@ -471,18 +482,24 @@ func (t *Tree) deleteRec(nodeID pagestore.PageID, key record.Key, id record.ID) 
 // partially covered internal entries read a list page, which happens at
 // most once per boundary.
 func (t *Tree) GenerateVT(lo, hi record.Key) (digest.Digest, error) {
+	return t.GenerateVTCtx(nil, lo, hi)
+}
+
+// GenerateVTCtx is GenerateVT charging node accesses to the request
+// context.
+func (t *Tree) GenerateVTCtx(ctx *exec.Context, lo, hi record.Key) (digest.Digest, error) {
 	if lo > hi {
 		return digest.Zero, nil
 	}
 	var acc digest.Accumulator
-	if err := t.generateVT(t.root, lo, hi, &acc); err != nil {
+	if err := t.generateVT(ctx, t.root, lo, hi, &acc); err != nil {
 		return digest.Zero, err
 	}
 	return acc.Sum(), nil
 }
 
-func (t *Tree) generateVT(id pagestore.PageID, lo, hi record.Key, acc *digest.Accumulator) error {
-	n, err := t.readNode(id)
+func (t *Tree) generateVT(ctx *exec.Context, id pagestore.PageID, lo, hi record.Key, acc *digest.Accumulator) error {
+	n, err := t.readNode(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -528,7 +545,7 @@ func (t *Tree) generateVT(id pagestore.PageID, lo, hi record.Key, acc *digest.Ac
 			if n.leaf {
 				acc.Add(x) // leaf X == L⊕
 			} else {
-				lx, err := t.lists.xorOf(lref)
+				lx, err := t.lists.xorOf(ctx, lref)
 				if err != nil {
 					return err
 				}
@@ -540,7 +557,7 @@ func (t *Tree) generateVT(id pagestore.PageID, lo, hi record.Key, acc *digest.Ac
 		loInGap := (!skValid || lo > sk) && (!nextValid || lo < nextSk)
 		hiInGap := (!skValid || hi > sk) && (!nextValid || hi < nextSk)
 		if (loInGap || hiInGap) && child != pagestore.InvalidPage {
-			if err := t.generateVT(child, lo, hi, acc); err != nil {
+			if err := t.generateVT(ctx, child, lo, hi, acc); err != nil {
 				return err
 			}
 		}
