@@ -1,0 +1,84 @@
+// Sized-cache behavioral test: the ROADMAP's remaining bufpool item was
+// that the flat DefaultCapacity trails the working set of paper-scale
+// datasets, so large grids thrash the LRU. bufpool.CapacityFor sizes the
+// cache from the dataset (or, sharded, from each partition) at load time;
+// this test builds a dataset whose working set exceeds DefaultCapacity and
+// proves the sized cache serves a warmed sweep without a single miss or
+// eviction where the flat default keeps faulting.
+package sae
+
+import (
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/core"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+// thrashN's ~22.5K heap pages (plus index) exceed DefaultCapacity (16384),
+// the smallest scale where the old flat default demonstrably thrashes.
+const thrashN = 180_000
+
+// sweep runs one full pass of narrow range queries covering the whole key
+// domain; each query touches well under exec.ScanThreshold pages, so the
+// scan-resistant admission path stays out of the way and every page goes
+// through normal LRU admission.
+func sweep(t *testing.T, sp *core.ServiceProvider) {
+	t.Helper()
+	const width = 11_000 // ~200 records, ~25 heap pages per query
+	for lo := 0; lo < record.KeyDomain; lo += width {
+		hi := lo + width - 1
+		if hi >= record.KeyDomain {
+			hi = record.KeyDomain - 1
+		}
+		if _, _, err := sp.Query(record.Range{Lo: record.Key(lo), Hi: record.Key(hi)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSizedCacheStopsThrashing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 180K-record provider")
+	}
+	ds, err := workload.Generate(workload.UNF, thrashN, 314)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(pages int) *core.ServiceProvider {
+		sp := core.NewServiceProvider(pagestore.NewMem())
+		sp.ConfigureCache(pages, bufpool.ChargeAllAccesses)
+		if err := sp.Load(ds.Records); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+
+	// Flat default: working set > capacity, so a warmed sequential sweep
+	// still faults (the classic LRU sweep pathology).
+	flat := build(bufpool.DefaultCapacity)
+	sweep(t, flat) // warm
+	warm := flat.CacheStats()
+	sweep(t, flat)
+	after := flat.CacheStats()
+	flatMisses := after.Misses - warm.Misses
+	if flatMisses == 0 {
+		t.Fatalf("flat default did not thrash at n=%d; raise thrashN so the regression stays observable", thrashN)
+	}
+
+	// Sized from the dataset: the whole working set fits, so the second
+	// sweep is all hits — no misses, no evictions.
+	sized := build(bufpool.CapacityFor(thrashN))
+	sweep(t, sized) // warm
+	warm = sized.CacheStats()
+	sweep(t, sized)
+	after = sized.CacheStats()
+	if d := after.Misses - warm.Misses; d != 0 {
+		t.Fatalf("sized cache missed %d times on a warmed sweep (flat default: %d)", d, flatMisses)
+	}
+	if d := after.Evictions - warm.Evictions; d != 0 {
+		t.Fatalf("sized cache evicted %d nodes on a warmed sweep", d)
+	}
+}

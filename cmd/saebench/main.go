@@ -10,6 +10,14 @@
 //	saebench -figure 6           # a single figure
 //	saebench -n 50000,200000     # custom cardinalities
 //	saebench -csv                # machine-readable output
+//
+// Beyond the paper's figures, -figure shard measures aggregate verified
+// throughput of the sharded deployment as the shard count grows (one
+// simulated disk per shard) and writes the machine-readable result to
+// -shardjson (BENCH_shard.json by default):
+//
+//	saebench -figure shard                   # 1,2,4,8 shards
+//	saebench -figure shard -shards 1,4,16    # custom deployment sizes
 package main
 
 import (
@@ -24,15 +32,22 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates or all")
-		scale   = flag.String("scale", "quick", "sweep scale: quick or paper")
-		ns      = flag.String("n", "", "comma-separated cardinalities overriding the scale")
-		queries = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		figure    = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard or all")
+		scale     = flag.String("scale", "quick", "sweep scale: quick or paper")
+		ns        = flag.String("n", "", "comma-separated cardinalities overriding the scale")
+		queries   = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts (-figure shard)")
+		shardJSON = flag.String("shardjson", "BENCH_shard.json", "output path for the shard-scaling JSON (-figure shard)")
 	)
 	flag.Parse()
+
+	if *figure == "shard" {
+		runShardFigure(*shards, *shardJSON, *queries, *seed, *quiet)
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -104,5 +119,51 @@ func main() {
 		} else {
 			fmt.Print(t.Format())
 		}
+	}
+}
+
+// runShardFigure measures sharded throughput scaling and writes the
+// machine-readable BENCH_shard.json alongside a human-readable table.
+func runShardFigure(shardsCSV, jsonPath string, queries int, seed int64, quiet bool) {
+	cfg := experiments.DefaultShardConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	cfg.ShardCounts = nil
+	for _, part := range strings.Split(shardsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "saebench: bad shard count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.ShardCounts = append(cfg.ShardCounts, n)
+	}
+	cells, err := experiments.RunShardScaling(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Sharded verified-query throughput (n=%d, %d workers, %v/access simulated disks)\n",
+		cfg.N, cfg.Workers, cfg.PerAccess)
+	fmt.Printf("%8s %12s %10s %16s\n", "shards", "queries/s", "speedup", "shards/query")
+	for _, c := range cells {
+		fmt.Printf("%8d %12.0f %9.2fx %16.2f\n", c.Shards, c.QueriesPerSec, c.Speedup, c.AvgShardsTouched)
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteShardJSON(f, cells); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
 	}
 }

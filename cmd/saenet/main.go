@@ -1,15 +1,29 @@
 // Command saenet runs one party of the outsourcing deployment as a TCP
 // server (sp, te or tom), or a verifying client session against running
 // servers. It turns the library into the distributed system the paper
-// actually describes.
+// actually describes — including horizontally sharded deployments, one
+// process per shard.
 //
 //	saenet -role sp  -addr :7001 -n 100000         # SAE service provider
 //	saenet -role te  -addr :7002 -n 100000         # trusted entity
 //	saenet -role tom -addr :7003 -n 100000         # TOM provider (VO-based)
 //	saenet -role client -sp localhost:7001 -te localhost:7002 -queries 20
 //
+// A sharded deployment adds -shards/-shard-index to every server (each
+// process generates the same deterministic dataset, partitions it under
+// the same plan, and loads only its own partition) and gives the client
+// one comma-separated address list per party, in shard order:
+//
+//	saenet -role sp -shards 2 -shard-index 0 -addr :7101 -n 100000
+//	saenet -role sp -shards 2 -shard-index 1 -addr :7102 -n 100000
+//	saenet -role te -shards 2 -shard-index 0 -addr :7201 -n 100000
+//	saenet -role te -shards 2 -shard-index 1 -addr :7202 -n 100000
+//	saenet -role client -sp localhost:7101,localhost:7102 \
+//	       -te localhost:7201,localhost:7202 -queries 20
+//
 // Servers generate the same deterministic dataset from -n/-dist/-seed, so
-// any sp/te pair started with identical parameters is consistent.
+// any sp/te group started with identical parameters is consistent; the
+// client cross-checks every shard's attested plan before querying.
 package main
 
 import (
@@ -17,10 +31,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"sae/internal/bufpool"
 	"sae/internal/core"
 	"sae/internal/pagestore"
+	"sae/internal/shard"
 	"sae/internal/tom"
 	"sae/internal/wire"
 	"sae/internal/workload"
@@ -28,20 +45,22 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "", "sp | te | tom | client")
-		addr    = flag.String("addr", "127.0.0.1:0", "listen address (server roles)")
-		n       = flag.Int("n", 100_000, "dataset cardinality (server roles)")
-		dist    = flag.String("dist", "UNF", "key distribution: UNF or SKW")
-		seed    = flag.Int64("seed", 1, "dataset seed (must match across sp/te)")
-		spAddr  = flag.String("sp", "", "SP address (client role)")
-		teAddr  = flag.String("te", "", "TE address (client role)")
-		queries = flag.Int("queries", 10, "queries to run (client role)")
+		role     = flag.String("role", "", "sp | te | tom | client")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (server roles)")
+		n        = flag.Int("n", 100_000, "dataset cardinality (server roles)")
+		dist     = flag.String("dist", "UNF", "key distribution: UNF or SKW")
+		seed     = flag.Int64("seed", 1, "dataset seed (must match across all servers)")
+		shards   = flag.Int("shards", 1, "total shards in the deployment (server roles)")
+		shardIdx = flag.Int("shard-index", 0, "this server's shard index (server roles)")
+		spAddr   = flag.String("sp", "", "SP address(es), comma-separated in shard order (client role)")
+		teAddr   = flag.String("te", "", "TE address(es), comma-separated in shard order (client role)")
+		queries  = flag.Int("queries", 10, "queries to run (client role)")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "sp", "te", "tom":
-		runServer(*role, *addr, *n, workload.Distribution(*dist), *seed)
+		runServer(*role, *addr, *n, workload.Distribution(*dist), *seed, *shards, *shardIdx)
 	case "client":
 		runClient(*spAddr, *teAddr, *queries, *seed)
 	default:
@@ -50,12 +69,29 @@ func main() {
 	}
 }
 
-func runServer(role, addr string, n int, dist workload.Distribution, seed int64) {
+func runServer(role, addr string, n int, dist workload.Distribution, seed int64, shards, shardIdx int) {
+	if shards < 1 || shardIdx < 0 || shardIdx >= shards {
+		fail(fmt.Errorf("shard index %d outside 0..%d", shardIdx, shards-1))
+	}
+	if role == "tom" && shards > 1 {
+		fail(fmt.Errorf("the tom role serves a single process; sharded TOM is in-process only (see internal/tom.ShardedSystem)"))
+	}
 	fmt.Fprintf(os.Stderr, "saenet %s: generating %d %s records (seed %d)...\n", role, n, dist, seed)
 	ds, err := workload.Generate(dist, n, seed)
 	if err != nil {
 		fail(err)
 	}
+	// Every server derives the same plan from the same deterministic
+	// dataset and loads only its own partition; per-shard caches are sized
+	// from the partition, not the full relation.
+	plan := shard.PlanFor(ds.Records, shards)
+	part := plan.Partition(ds.Records)[shardIdx]
+	info := wire.ShardInfo{Index: shardIdx, Plan: plan}
+	if shards > 1 {
+		fmt.Fprintf(os.Stderr, "saenet %s: shard %d/%d owns span %v (%d records)\n",
+			role, shardIdx, shards, plan.Span(shardIdx), len(part))
+	}
+	cachePages := bufpool.CapacityFor(len(part))
 	var (
 		srvAddr string
 		closer  interface{ Close() error }
@@ -63,20 +99,22 @@ func runServer(role, addr string, n int, dist workload.Distribution, seed int64)
 	switch role {
 	case "sp":
 		sp := core.NewServiceProvider(pagestore.NewMem())
-		if err := sp.Load(ds.Records); err != nil {
+		sp.ConfigureCache(cachePages, bufpool.ChargeAllAccesses)
+		if err := sp.Load(part); err != nil {
 			fail(err)
 		}
-		srv, err := wire.ServeSP(addr, sp, wire.Logf("sp"))
+		srv, err := wire.ServeSP(addr, sp, wire.Logf("sp"), wire.WithShardInfo(info))
 		if err != nil {
 			fail(err)
 		}
 		srvAddr, closer = srv.Addr(), srv
 	case "te":
 		te := core.NewTrustedEntity(pagestore.NewMem())
-		if err := te.Load(ds.Records); err != nil {
+		te.ConfigureCache(cachePages, bufpool.ChargeAllAccesses)
+		if err := te.Load(part); err != nil {
 			fail(err)
 		}
-		srv, err := wire.ServeTE(addr, te, wire.Logf("te"))
+		srv, err := wire.ServeTE(addr, te, wire.Logf("te"), wire.WithShardInfo(info))
 		if err != nil {
 			fail(err)
 		}
@@ -87,7 +125,8 @@ func runServer(role, addr string, n int, dist workload.Distribution, seed int64)
 			fail(err)
 		}
 		provider := tom.NewProvider(pagestore.NewMem())
-		if err := provider.Load(ds.Records, owner); err != nil {
+		provider.ConfigureCache(cachePages, bufpool.ChargeAllAccesses)
+		if err := provider.Load(part, owner); err != nil {
 			fail(err)
 		}
 		srv, err := wire.ServeTOM(addr, provider, owner, wire.Logf("tom"))
@@ -103,16 +142,36 @@ func runServer(role, addr string, n int, dist workload.Distribution, seed int64)
 	closer.Close()
 }
 
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func runClient(spAddr, teAddr string, queries int, seed int64) {
-	if spAddr == "" || teAddr == "" {
+	spAddrs, teAddrs := splitAddrs(spAddr), splitAddrs(teAddr)
+	if len(spAddrs) == 0 || len(teAddrs) == 0 {
 		fmt.Fprintln(os.Stderr, "saenet client: -sp and -te are required")
 		os.Exit(2)
 	}
-	client, err := wire.DialVerifying(spAddr, teAddr)
+	if len(spAddrs) != len(teAddrs) {
+		fmt.Fprintln(os.Stderr, "saenet client: -sp and -te must list one address per shard")
+		os.Exit(2)
+	}
+	// The sharded client handles the single-shard case too (stand-alone
+	// servers attest "shard 0 of 1"), so one code path serves both.
+	client, err := wire.DialShardedVerifying(spAddrs, teAddrs)
 	if err != nil {
 		fail(err)
 	}
 	defer client.Close()
+	if client.Plan.Shards() > 1 {
+		fmt.Fprintf(os.Stderr, "saenet client: verified %s attested by all TEs\n", client.Plan)
+	}
 	qs := workload.Queries(queries, workload.DefaultExtent, seed+1000)
 	start := time.Now()
 	total := 0
@@ -125,8 +184,8 @@ func runClient(spAddr, teAddr string, queries int, seed int64) {
 		fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
 	}
 	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("wire bytes: SP->client %d, TE->client %d (authentication only)\n",
-		client.SP.BytesReceived(), client.TE.BytesReceived())
+	spBytes, teBytes := client.BytesReceived()
+	fmt.Printf("wire bytes: SP->client %d, TE->client %d (authentication only)\n", spBytes, teBytes)
 }
 
 func fail(err error) {

@@ -49,6 +49,36 @@ const numShards = 16
 // larger datasets should size the cache to their hot set explicitly.
 const DefaultCapacity = 16384
 
+// CapacityFor returns a decoded-node cache capacity sized to the page
+// working set of a deployment holding `records` records, so callers can
+// size a party's cache from its dataset (or, under sharding, from its
+// partition's cardinality) instead of the flat DefaultCapacity.
+//
+// The working set is dominated by the clustered heap file (500-byte
+// records, 8 per 4096-byte page) plus the leaf level of the densest index
+// built here (the XB-/MB-Tree at ~136 entries per leaf; the B+-tree packs
+// ~3x more). Inner nodes are a rounding error at those fanouts. A 25%
+// headroom absorbs post-load insertions and the tuple-list pages the
+// XB-Tree keeps beside its nodes. The floor keeps tiny partitions from
+// degenerating to per-shard caches that cannot hold even one query's
+// working set.
+func CapacityFor(records int) int {
+	const (
+		recordsPerHeapPage = 8   // 500-byte records in 4096-byte pages (heapfile.RecordsPerPage)
+		minLeafFanout      = 136 // densest leaf layout (xbtree/mbtree LeafCapacity)
+		floor              = 1024
+	)
+	heap := (records + recordsPerHeapPage - 1) / recordsPerHeapPage
+	leaves := records/minLeafFanout + 1
+	inner := leaves/minLeafFanout + 1
+	c := heap + leaves + inner
+	c += c / 4
+	if c < floor {
+		c = floor
+	}
+	return c
+}
+
 // ChargePolicy controls how decoded-cache hits interact with the paper's
 // node-access accounting.
 type ChargePolicy uint8

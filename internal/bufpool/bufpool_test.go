@@ -300,3 +300,31 @@ func TestStatsString(t *testing.T) {
 		t.Fatal("unprintable stats")
 	}
 }
+
+// TestCapacityForCoversPaperGrid: the derived capacity covers the page
+// working set at every cardinality of the paper's experiment grid — in
+// particular the 1M-record point, whose ~125K heap pages dwarf
+// DefaultCapacity (the thrash the ROADMAP flagged).
+func TestCapacityForCoversPaperGrid(t *testing.T) {
+	for _, n := range []int{100_000, 250_000, 500_000, 1_000_000} {
+		// Working set mirrors of the storage constants: 8 records per heap
+		// page, >=136 entries per index leaf.
+		heapPages := (n + 7) / 8
+		leafPages := n/136 + 1
+		got := CapacityFor(n)
+		if got < heapPages+leafPages {
+			t.Fatalf("CapacityFor(%d) = %d, below the %d-page working set", n, got, heapPages+leafPages)
+		}
+		// Sanity: sized, not unbounded (within 2x of the working set).
+		if got > 2*(heapPages+leafPages)+DefaultCapacity {
+			t.Fatalf("CapacityFor(%d) = %d, absurdly above the working set", n, got)
+		}
+	}
+	if CapacityFor(1_000_000) <= DefaultCapacity {
+		t.Fatal("CapacityFor(1M) does not exceed DefaultCapacity: the 1M grid would still thrash")
+	}
+	// Tiny partitions keep a usable floor.
+	if got := CapacityFor(10); got < 1024 {
+		t.Fatalf("CapacityFor(10) = %d, below the floor", got)
+	}
+}

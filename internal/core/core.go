@@ -515,6 +515,15 @@ func (do *DataOwner) Delete(id record.ID, sp *ServiceProvider, te *TrustedEntity
 	return te.ApplyDelete(id, r.Key)
 }
 
+// KeyOf returns the key of the owner's record with the given id (used by
+// the sharded system to route a deletion to the owning shard).
+func (do *DataOwner) KeyOf(id record.ID) (record.Key, bool) {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	r, ok := do.byID[id]
+	return r.Key, ok
+}
+
 // Count returns the owner's live record count.
 func (do *DataOwner) Count() int {
 	do.mu.Lock()

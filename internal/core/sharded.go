@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sae/internal/bufpool"
+	"sae/internal/costmodel"
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/shard"
+)
+
+// ShardedSystem runs the SAE protocol over a horizontally partitioned
+// dataset: one SP/TE pair per contiguous key partition. A range query
+// scatters to the shards whose spans it overlaps (each with its own
+// request context), the results gather back in key order, and the
+// per-shard verification tokens XOR-combine into one token the client
+// checks exactly as in the single-system protocol — the VT of a range is
+// the XOR fold of its records' digests, every record lives in exactly one
+// partition, and XOR is associative, so splitting the fold across shards
+// changes nothing.
+type ShardedSystem struct {
+	Owner  *DataOwner
+	Plan   shard.Plan
+	SPs    []*ServiceProvider
+	TEs    []*TrustedEntity
+	Client Client
+}
+
+// ShardStores names the page stores backing one shard's two parties.
+type ShardStores struct {
+	SP, TE pagestore.Store
+}
+
+// NewShardedSystem outsources a dataset (sorted by key) across `shards`
+// key-range partitions over in-memory stores. Each shard's decoded-node
+// caches are sized from its partition's cardinality (bufpool.CapacityFor),
+// not the flat default.
+func NewShardedSystem(sorted []record.Record, shards int) (*ShardedSystem, error) {
+	plan := shard.PlanFor(sorted, shards)
+	stores := make([]ShardStores, plan.Shards())
+	for i := range stores {
+		stores[i] = ShardStores{SP: pagestore.NewMem(), TE: pagestore.NewMem()}
+	}
+	return NewShardedSystemStores(sorted, plan, stores)
+}
+
+// NewShardedSystemStores outsources a dataset across the given plan with
+// explicit per-shard page stores (pass file-backed stores for a
+// restartable deployment; see the snapshot round-trip tests).
+func NewShardedSystemStores(sorted []record.Record, plan shard.Plan, stores []ShardStores) (*ShardedSystem, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stores) != plan.Shards() {
+		return nil, fmt.Errorf("core: %d stores for %d shards", len(stores), plan.Shards())
+	}
+	s := &ShardedSystem{
+		Owner: NewDataOwner(sorted),
+		Plan:  plan,
+		SPs:   make([]*ServiceProvider, plan.Shards()),
+		TEs:   make([]*TrustedEntity, plan.Shards()),
+	}
+	parts := plan.Partition(sorted)
+	// Shards load concurrently: partitions are disjoint and each pair
+	// touches only its own stores.
+	errs := make([]error, plan.Shards())
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := NewServiceProvider(stores[i].SP)
+			te := NewTrustedEntity(stores[i].TE)
+			pages := bufpool.CapacityFor(len(parts[i]))
+			sp.ConfigureCache(pages, bufpool.ChargeAllAccesses)
+			te.ConfigureCache(pages, bufpool.ChargeAllAccesses)
+			if err := sp.Load(parts[i]); err != nil {
+				errs[i] = fmt.Errorf("core: shard %d SP: %w", i, err)
+				return
+			}
+			if err := te.Load(parts[i]); err != nil {
+				errs[i] = fmt.Errorf("core: shard %d TE: %w", i, err)
+				return
+			}
+			s.SPs[i], s.TEs[i] = sp, te
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AssembleShardedSystem wires already-loaded (e.g. snapshot-restored)
+// per-shard parties into a sharded system. The owner's relation is not
+// part of any snapshot; pass the records to rebuild it, or nil for a
+// query-only assembly.
+func AssembleShardedSystem(plan shard.Plan, sps []*ServiceProvider, tes []*TrustedEntity, records []record.Record) (*ShardedSystem, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sps) != plan.Shards() || len(tes) != plan.Shards() {
+		return nil, fmt.Errorf("core: %d SPs / %d TEs for %d shards", len(sps), len(tes), plan.Shards())
+	}
+	return &ShardedSystem{
+		Owner: NewDataOwner(records),
+		Plan:  plan,
+		SPs:   sps,
+		TEs:   tes,
+	}, nil
+}
+
+// ShardCost is one shard's contribution to a scattered query.
+type ShardCost struct {
+	Shard  int
+	Sub    record.Range // the query clamped to this shard's span
+	SPCost QueryCost
+	TECost costmodel.Breakdown
+}
+
+// ShardedQueryOutcome captures one scattered, verified query round-trip.
+type ShardedQueryOutcome struct {
+	Result []record.Record
+	// VT is the XOR combination of the per-shard verification tokens.
+	VT digest.Digest
+	// PerShard holds each overlapping shard's clamped sub-query and costs,
+	// in shard order; non-overlapping shards do no work and do not appear.
+	PerShard   []ShardCost
+	ClientCost costmodel.Breakdown
+	// VerifyErr is nil iff the merged result verified against the
+	// combined token.
+	VerifyErr error
+}
+
+// QueryCost returns the total work across all shards (sum-of-shards): the
+// aggregate resources the deployment spent on this query.
+func (o *ShardedQueryOutcome) QueryCost() QueryCost {
+	var qc QueryCost
+	for i := range o.PerShard {
+		qc.Index = qc.Index.Add(o.PerShard[i].SPCost.Index)
+		qc.Fetch = qc.Fetch.Add(o.PerShard[i].SPCost.Fetch)
+	}
+	return qc
+}
+
+// TECost returns the total token-generation work across all shards.
+func (o *ShardedQueryOutcome) TECost() costmodel.Breakdown {
+	var b costmodel.Breakdown
+	for i := range o.PerShard {
+		b = b.Add(o.PerShard[i].TECost)
+	}
+	return b
+}
+
+// ResponseTime models the client-perceived latency: all shards (and within
+// a shard, the SP and TE) work in parallel, so the critical path is the
+// slowest shard's slower party (max-over-shards), plus the client's
+// verification of the merged result.
+func (o *ShardedQueryOutcome) ResponseTime() costmodel.Breakdown {
+	var slowest costmodel.Breakdown
+	for i := range o.PerShard {
+		c := o.PerShard[i].SPCost.Total()
+		if t := o.PerShard[i].TECost; t.Total() > c.Total() {
+			c = t
+		}
+		if c.Total() > slowest.Total() {
+			slowest = c
+		}
+	}
+	return slowest.Add(o.ClientCost)
+}
+
+// Query scatters a range query to the overlapping shards, gathers the
+// results in key order, XOR-combines the per-shard tokens and verifies the
+// merged result against the combined token.
+func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
+	first, last, ok := s.Plan.Overlapping(q)
+	if !ok {
+		// An empty range touches no shard: zero records against the XOR
+		// identity verifies trivially, matching the single-system outcome.
+		out := &ShardedQueryOutcome{}
+		out.ClientCost, out.VerifyErr = s.Client.Verify(q, nil, digest.Zero)
+		return out, nil
+	}
+	n := last - first + 1
+	type shardReply struct {
+		recs  []record.Record
+		vt    digest.Digest
+		cost  ShardCost
+		spErr error
+		vtErr error
+	}
+	replies := make([]shardReply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := first + i
+			sub := s.Plan.Clamp(idx, q)
+			r := &replies[i]
+			r.cost.Shard = idx
+			r.cost.Sub = sub
+			// Each shard request gets its own execution context per party,
+			// so the roll-up prices exactly this query's accesses no matter
+			// how many queries are in flight.
+			var inner sync.WaitGroup
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				r.vt, r.cost.TECost, r.vtErr = s.TEs[idx].GenerateVTCtx(exec.NewContext(), sub)
+			}()
+			r.recs, r.cost.SPCost, r.spErr = s.SPs[idx].QueryCtx(exec.NewContext(), sub)
+			inner.Wait()
+		}(i)
+	}
+	wg.Wait()
+
+	out := &ShardedQueryOutcome{PerShard: make([]ShardCost, 0, n)}
+	var acc digest.Accumulator
+	for i := range replies {
+		r := &replies[i]
+		if r.spErr != nil {
+			return nil, r.spErr
+		}
+		if r.vtErr != nil {
+			return nil, r.vtErr
+		}
+		// Partitions are contiguous and each shard returns its sub-result
+		// in key order, so gathering in shard order IS the key-order merge.
+		out.Result = append(out.Result, r.recs...)
+		acc.Add(r.vt)
+		out.PerShard = append(out.PerShard, r.cost)
+	}
+	out.VT = acc.Sum()
+	out.ClientCost, out.VerifyErr = s.Client.Verify(q, out.Result, out.VT)
+	return out, nil
+}
+
+// Insert routes an owner-side insertion to the shard owning the key.
+func (s *ShardedSystem) Insert(key record.Key) (record.Record, error) {
+	i := s.Plan.ShardFor(key)
+	return s.Owner.Insert(key, s.SPs[i], s.TEs[i])
+}
+
+// Delete routes an owner-side deletion to the shard owning the record's
+// key.
+func (s *ShardedSystem) Delete(id record.ID) error {
+	key, ok := s.Owner.KeyOf(id)
+	if !ok {
+		return fmt.Errorf("core: owner has no record with id %d", id)
+	}
+	i := s.Plan.ShardFor(key)
+	return s.Owner.Delete(id, s.SPs[i], s.TEs[i])
+}
+
+// StorageBytes returns the deployment's total footprint across shards.
+func (s *ShardedSystem) StorageBytes() int64 {
+	var n int64
+	for i := range s.SPs {
+		n += s.SPs[i].StorageBytes() + s.TEs[i].StorageBytes()
+	}
+	return n
+}

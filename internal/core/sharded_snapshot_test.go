@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/shard"
+	"sae/internal/workload"
+)
+
+// TestShardedSnapshotRoundTrip saves and restores every shard's SP/TE over
+// persistent file-backed stores and proves the restored sharded system
+// answers and verifies identically to the original — the sharded analogue
+// of TestSnapshotSurvivesProcessRestart, plus the plan itself persisting
+// through its Marshal round trip.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	ds, err := workload.Generate(workload.SKW, 9_000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var planBytes []byte
+	queries := append(workload.Queries(8, workload.DefaultExtent, 78),
+		workload.Queries(4, 0.2, 79)...) // wide: always cross-shard
+
+	type want struct {
+		ids []uint64
+		vt  [20]byte
+	}
+	wants := make([]want, 0, len(queries))
+
+	// --- Session 1: build over CreateFile stores, record expected
+	// outcomes, snapshot every party, close everything.
+	{
+		stores := make([]ShardStores, shards)
+		plan := shard.PlanFor(ds.Records, shards)
+		for i := range stores {
+			sp, err := pagestore.CreateFile(filepath.Join(dir, fmt.Sprintf("sp%d.pages", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			te, err := pagestore.CreateFile(filepath.Join(dir, fmt.Sprintf("te%d.pages", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = ShardStores{SP: sp, TE: te}
+		}
+		sys, err := NewShardedSystemStores(ds.Records, plan, stores)
+		if err != nil {
+			t.Fatalf("NewShardedSystemStores: %v", err)
+		}
+		planBytes = sys.Plan.Marshal()
+		for _, q := range queries {
+			out, err := sys.Query(q)
+			if err != nil || out.VerifyErr != nil {
+				t.Fatalf("pre-snapshot query %v: %v / %v", q, err, out.VerifyErr)
+			}
+			w := want{vt: out.VT}
+			for i := range out.Result {
+				w.ids = append(w.ids, uint64(out.Result[i].ID))
+			}
+			wants = append(wants, w)
+		}
+		for i := 0; i < shards; i++ {
+			for suffix, save := range map[string]func(w *os.File) error{
+				"sp": func(w *os.File) error { return sys.SPs[i].SaveSnapshot(w) },
+				"te": func(w *os.File) error { return sys.TEs[i].SaveSnapshot(w) },
+			} {
+				f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s%d.meta", suffix, i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := save(f); err != nil {
+					t.Fatalf("snapshot shard %d %s: %v", i, suffix, err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := stores[i].SP.(*pagestore.File).Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := stores[i].TE.(*pagestore.File).Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// --- Session 2: reopen every store from disk, restore each party,
+	// reassemble under the unmarshaled plan.
+	plan, rest, err := shard.UnmarshalPlan(planBytes)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("plan round trip: %v (%d trailing)", err, len(rest))
+	}
+	sps := make([]*ServiceProvider, shards)
+	tes := make([]*TrustedEntity, shards)
+	for i := 0; i < shards; i++ {
+		spStore, err := pagestore.ReopenFile(filepath.Join(dir, fmt.Sprintf("sp%d.pages", i)))
+		if err != nil {
+			t.Fatalf("reopen shard %d SP store: %v", i, err)
+		}
+		defer spStore.Close()
+		teStore, err := pagestore.ReopenFile(filepath.Join(dir, fmt.Sprintf("te%d.pages", i)))
+		if err != nil {
+			t.Fatalf("reopen shard %d TE store: %v", i, err)
+		}
+		defer teStore.Close()
+		spMeta, err := os.Open(filepath.Join(dir, fmt.Sprintf("sp%d.meta", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sps[i], err = RestoreServiceProvider(spStore, spMeta)
+		spMeta.Close()
+		if err != nil {
+			t.Fatalf("restore shard %d SP: %v", i, err)
+		}
+		teMeta, err := os.Open(filepath.Join(dir, fmt.Sprintf("te%d.meta", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tes[i], err = RestoreTrustedEntity(teStore, teMeta)
+		teMeta.Close()
+		if err != nil {
+			t.Fatalf("restore shard %d TE: %v", i, err)
+		}
+	}
+	restored, err := AssembleShardedSystem(plan, sps, tes, ds.Records)
+	if err != nil {
+		t.Fatalf("AssembleShardedSystem: %v", err)
+	}
+
+	for qi, q := range queries {
+		out, err := restored.Query(q)
+		if err != nil {
+			t.Fatalf("restored query %v: %v", q, err)
+		}
+		if out.VerifyErr != nil {
+			t.Fatalf("restored system failed verification for %v: %v", q, out.VerifyErr)
+		}
+		if out.VT != wants[qi].vt {
+			t.Fatalf("restored VT for %v differs from original", q)
+		}
+		if len(out.Result) != len(wants[qi].ids) {
+			t.Fatalf("restored result for %v has %d records, want %d", q, len(out.Result), len(wants[qi].ids))
+		}
+		for i := range out.Result {
+			if uint64(out.Result[i].ID) != wants[qi].ids[i] {
+				t.Fatalf("restored result for %v diverges at %d", q, i)
+			}
+		}
+	}
+
+	// Updates still flow through the restored assembly, per shard.
+	r, err := restored.Insert(plan.Span(1).Lo + 3)
+	if err != nil {
+		t.Fatalf("post-restore insert: %v", err)
+	}
+	out, err := restored.Query(record.Range{Lo: r.Key, Hi: r.Key})
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("post-restore-insert query: %v / %v", err, out.VerifyErr)
+	}
+	if err := restored.Delete(r.ID); err != nil {
+		t.Fatalf("post-restore delete: %v", err)
+	}
+}

@@ -18,11 +18,13 @@ type System struct {
 }
 
 // NewSystem outsources a dataset (must be sorted by key, as produced by
-// workload.Generate) and returns the assembled system. Both parties run
-// with the default decoded-node cache in charge-every-access mode, so
-// node-access counts match an uncached run exactly.
+// workload.Generate) and returns the assembled system. Both parties run a
+// decoded-node cache sized to the dataset's page working set
+// (bufpool.CapacityFor) in charge-every-access mode, so node-access counts
+// match an uncached run exactly while the cache never trails the working
+// set.
 func NewSystem(sorted []record.Record) (*System, error) {
-	return NewSystemCache(sorted, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+	return NewSystemCache(sorted, bufpool.CapacityFor(len(sorted)), bufpool.ChargeAllAccesses)
 }
 
 // NewSystemCache is NewSystem with an explicit decoded-node cache

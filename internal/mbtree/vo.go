@@ -444,6 +444,16 @@ func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
 // the result with nothing pruned in between). A nil return means the result
 // is provably sound and complete.
 func VerifyVO(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verifier) error {
+	return VerifyVOBound(vo, result, lo, hi, ver, nil)
+}
+
+// VerifyVOBound is VerifyVO with a root binding: before the signature
+// check, the reconstructed root digest is passed through bind, which must
+// match the binding the owner signed under (see tom.Tree root re-signing
+// and the sharded TOM deployment, where the binding folds the shard's
+// identity and key span into the signed digest so one shard's signature
+// cannot vouch for another shard's tree). A nil bind is the identity.
+func VerifyVOBound(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verifier, bind func(digest.Digest) digest.Digest) error {
 	// Result sanity: within range and sorted by key.
 	for i := range result {
 		if result[i].Key < lo || result[i].Key > hi {
@@ -513,7 +523,11 @@ func VerifyVO(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verif
 	if resIdx != len(result) {
 		return fmt.Errorf("%w: VO consumed %d result records, received %d", ErrBadVO, resIdx, len(result))
 	}
-	if err := ver.Verify(rootDig, vo.Sig); err != nil {
+	signedDig := rootDig
+	if bind != nil {
+		signedDig = bind(rootDig)
+	}
+	if err := ver.Verify(signedDig, vo.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadVO, err)
 	}
 

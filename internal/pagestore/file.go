@@ -1,6 +1,7 @@
 package pagestore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"sync"
@@ -9,9 +10,12 @@ import (
 // File is a file-backed page store. Page id i lives at byte offset
 // i*PageSize. It is safe for concurrent use.
 //
-// The free list is kept in memory only: this store backs freshly built
-// experiment state, not a crash-safe database, so no free-list persistence
-// or write-ahead logging is needed.
+// The free list is held in memory while the store is open; persistent
+// stores (CreateFile/ReopenFile) additionally write it into a trailer of
+// whole pages appended at Close, which ReopenFile recovers and strips — so
+// pages freed before a restart are reusable after it. A crash before
+// Close loses only the free list (space is leaked until the next clean
+// close, never corrupted); there is still no write-ahead logging.
 type File struct {
 	mu            sync.Mutex
 	f             *os.File
@@ -20,6 +24,18 @@ type File struct {
 	closed        bool
 	removeOnClose bool
 }
+
+// Free-list trailer layout: the trailer occupies whole pages appended
+// after the last data page. Freed page ids (4 bytes each) pack from the
+// trailer's start; the final trailerFooterSize bytes of the file hold
+// [magic 8 | count 4 | trailerPages 4]. An 8-byte magic makes accidental
+// collision with data-page bytes vanishingly unlikely, and a file whose
+// tail does not match is simply treated as trailer-less (legacy files keep
+// opening, with the old leak-on-restart behavior).
+const (
+	trailerMagic      = "SAEFREE1"
+	trailerFooterSize = 16
+)
 
 // OpenFile creates (truncating) a file-backed store at path. The file is
 // removed on Close; use ReopenFile for a store that persists.
@@ -43,9 +59,11 @@ func CreateFile(path string) (*File, error) {
 }
 
 // ReopenFile opens an existing page file, recovering the page count from
-// its size. The in-memory free list is not persisted: pages freed in a
-// previous session are treated as live (space is leaked, never corrupted),
-// the standard trade for a store without a free-space map.
+// its size and the free list from the trailer a previous clean Close
+// wrote (see the trailer layout above). Files without a trailer — legacy
+// stores, or stores that crashed before Close — open with an empty free
+// list: their freed pages are treated as live (space leaked, never
+// corrupted).
 func ReopenFile(path string) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -60,7 +78,85 @@ func ReopenFile(path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagestore: %s size %d is not page-aligned", path, info.Size())
 	}
-	return &File{f: f, nPages: int(info.Size() / PageSize)}, nil
+	s := &File{f: f, nPages: int(info.Size() / PageSize)}
+	if err := s.recoverFreeList(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverFreeList detects, parses and strips a free-list trailer. Called
+// with the store not yet shared; no lock held.
+func (s *File) recoverFreeList() error {
+	filePages := s.nPages
+	if filePages == 0 {
+		return nil
+	}
+	var footer [trailerFooterSize]byte
+	if _, err := s.f.ReadAt(footer[:], int64(filePages)*PageSize-trailerFooterSize); err != nil {
+		return fmt.Errorf("pagestore: reading free-list footer: %w", err)
+	}
+	if string(footer[:8]) != trailerMagic {
+		return nil // no trailer: legacy or crashed file
+	}
+	count := int(binary.BigEndian.Uint32(footer[8:12]))
+	trailerPages := int(binary.BigEndian.Uint32(footer[12:16]))
+	need := (4*count + trailerFooterSize + PageSize - 1) / PageSize
+	if trailerPages < need || trailerPages > filePages {
+		return fmt.Errorf("pagestore: free-list trailer claims %d pages for %d entries in a %d-page file",
+			trailerPages, count, filePages)
+	}
+	dataPages := filePages - trailerPages
+	ids := make([]byte, 4*count)
+	if _, err := s.f.ReadAt(ids, int64(dataPages)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: reading free list: %w", err)
+	}
+	free := make([]PageID, count)
+	seen := make(map[PageID]struct{}, count)
+	for i := range free {
+		id := PageID(binary.BigEndian.Uint32(ids[4*i : 4*i+4]))
+		if int(id) >= dataPages {
+			return fmt.Errorf("pagestore: freed page %d outside %d data pages", id, dataPages)
+		}
+		// A duplicated id (a corrupt trailer the footer checks cannot see)
+		// would make Allocate hand the same page out twice — reject.
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("pagestore: free-list trailer lists page %d twice", id)
+		}
+		seen[id] = struct{}{}
+		free[i] = id
+	}
+	// Strip the trailer so data pages append cleanly after it.
+	if err := s.f.Truncate(int64(dataPages) * PageSize); err != nil {
+		return fmt.Errorf("pagestore: stripping free-list trailer: %w", err)
+	}
+	s.nPages = dataPages
+	s.free = free
+	return nil
+}
+
+// writeFreeList appends the trailer for the current free list. Caller
+// holds s.mu. An empty free list writes nothing, keeping the file
+// byte-identical to the legacy format.
+func (s *File) writeFreeList() error {
+	count := len(s.free)
+	if count == 0 {
+		return nil
+	}
+	trailerPages := (4*count + trailerFooterSize + PageSize - 1) / PageSize
+	buf := make([]byte, trailerPages*PageSize)
+	for i, id := range s.free {
+		binary.BigEndian.PutUint32(buf[4*i:4*i+4], uint32(id))
+	}
+	footer := buf[len(buf)-trailerFooterSize:]
+	copy(footer[:8], trailerMagic)
+	binary.BigEndian.PutUint32(footer[8:12], uint32(count))
+	binary.BigEndian.PutUint32(footer[12:16], uint32(trailerPages))
+	if _, err := s.f.WriteAt(buf, int64(s.nPages)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: writing free-list trailer: %w", err)
+	}
+	return s.f.Sync()
 }
 
 // Allocate implements Store.
@@ -148,7 +244,8 @@ func (s *File) NumPages() int {
 }
 
 // Close implements Store. Stores created with OpenFile remove their file;
-// CreateFile/ReopenFile stores persist.
+// CreateFile/ReopenFile stores persist, writing their free list into a
+// trailer so a later ReopenFile recycles freed pages.
 func (s *File) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -157,6 +254,12 @@ func (s *File) Close() error {
 	}
 	s.closed = true
 	name := s.f.Name()
+	if !s.removeOnClose {
+		if err := s.writeFreeList(); err != nil {
+			s.f.Close()
+			return err
+		}
+	}
 	if err := s.f.Close(); err != nil {
 		return err
 	}

@@ -103,3 +103,215 @@ func TestSyncOnClosedStore(t *testing.T) {
 		t.Fatalf("Sync after close = %v, want ErrStoreClosed", err)
 	}
 }
+
+// TestReopenRecyclesFreedPages: pages freed before a clean Close come back
+// from the free list after ReopenFile, instead of leaking forever.
+func TestReopenRecyclesFreedPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 10; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []PageID{2, 5, 7} {
+		if err := s.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.NumPages(); got != 7 {
+		t.Fatalf("NumPages before close: %d, want 7", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := ReopenFile(path)
+	if err != nil {
+		t.Fatalf("ReopenFile: %v", err)
+	}
+	defer r.Close()
+	if got := r.NumPages(); got != 7 {
+		t.Fatalf("NumPages after reopen: %d, want 7 (free list lost?)", got)
+	}
+	// Surviving data pages are intact (the trailer was stripped cleanly).
+	if err := r.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 {
+		t.Fatalf("page 3 content corrupted: %d", buf[0])
+	}
+	// The three freed pages come back (LIFO) before the file extends.
+	got := map[PageID]bool{}
+	for i := 0; i < 3; i++ {
+		id, err := r.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[id] = true
+	}
+	for _, id := range []PageID{2, 5, 7} {
+		if !got[id] {
+			t.Fatalf("freed page %d not recycled after reopen (got %v)", id, got)
+		}
+	}
+	id, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 10 {
+		t.Fatalf("post-recycle allocation extended to %d, want 10", id)
+	}
+}
+
+// TestReopenFreeListRoundTripsTwice: a second close/reopen cycle preserves
+// a still-unconsumed free list.
+func TestReopenFreeListRoundTripsTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free2.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 2; cycle++ {
+		r, err := ReopenFile(path)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if got := r.NumPages(); got != 3 {
+			t.Fatalf("cycle %d: NumPages %d, want 3", cycle, got)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := ReopenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if id, err := r.Allocate(); err != nil || id != 1 {
+		t.Fatalf("Allocate after two cycles: id %d err %v, want 1", id, err)
+	}
+}
+
+// TestReopenLegacyFileWithoutTrailer: a raw page file written without a
+// trailer (pre-trailer format, or a crash before Close) still opens, with
+// every page treated as live.
+func TestReopenLegacyFileWithoutTrailer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.pages")
+	raw := make([]byte, 3*PageSize)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReopenFile(path)
+	if err != nil {
+		t.Fatalf("ReopenFile(legacy): %v", err)
+	}
+	defer s.Close()
+	if got := s.NumPages(); got != 3 {
+		t.Fatalf("legacy NumPages: %d, want 3", got)
+	}
+	if id, err := s.Allocate(); err != nil || id != 3 {
+		t.Fatalf("legacy Allocate: id %d err %v, want 3", id, err)
+	}
+}
+
+// TestReopenRejectsCorruptTrailer: a trailer whose footer lies about its
+// geometry is rejected rather than silently mis-parsed.
+func TestReopenRejectsCorruptTrailer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Free(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the claimed entry count beyond what the trailer can hold.
+	binarySetU32(raw[len(raw)-8:len(raw)-4], 1<<20)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReopenFile(path); err == nil {
+		t.Fatal("corrupt trailer accepted")
+	}
+}
+
+func binarySetU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// TestReopenRejectsDuplicateFreeListEntry: a trailer listing the same page
+// twice would double-allocate it; recovery must reject it.
+func TestReopenRejectsDuplicateFreeListEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []PageID{1, 2} {
+		if err := s.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trailer's two ids sit at the start of the last page; duplicate
+	// the first over the second.
+	trailer := raw[len(raw)-PageSize:]
+	copy(trailer[4:8], trailer[0:4])
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReopenFile(path); err == nil {
+		t.Fatal("duplicate free-list entry accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package tom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"sae/internal/bufpool"
+	"sae/internal/core"
+	"sae/internal/costmodel"
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/mbtree"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/shard"
+	"sae/internal/sigs"
+)
+
+// Sharded TOM: one MB-Tree provider per key partition, VOs stitched at
+// partition boundaries. Completeness across a seam holds because (a) each
+// per-shard VO proves completeness for the query clamped to that shard's
+// span, (b) the clamped sub-ranges of adjacent shards tile the query with
+// no gap (spans are contiguous by the Plan invariant), and (c) the owner's
+// signature over each shard's root folds the shard index, shard count and
+// span in — so a provider cannot answer sub-range i with another shard's
+// (legitimately empty there) tree and silently suppress shard i's records.
+
+// ShardBinding returns the root-digest binding for one shard of a plan:
+// sha1 over (index, shards, span, root). Owners sign bound digests,
+// clients verify each shard's VO under the same binding.
+func ShardBinding(plan shard.Plan, index int) func(digest.Digest) digest.Digest {
+	span := plan.Span(index)
+	shards := plan.Shards()
+	return func(root digest.Digest) digest.Digest {
+		var b [16 + digest.Size]byte
+		binary.BigEndian.PutUint32(b[0:4], uint32(index))
+		binary.BigEndian.PutUint32(b[4:8], uint32(shards))
+		binary.BigEndian.PutUint32(b[8:12], uint32(span.Lo))
+		binary.BigEndian.PutUint32(b[12:16], uint32(span.Hi))
+		copy(b[16:], root[:])
+		return digest.OfBytes(b[:])
+	}
+}
+
+// ShardedSystem runs the TOM protocol over a horizontally partitioned
+// dataset: one provider per contiguous key partition, a single owner
+// signing every shard's (bound) root.
+type ShardedSystem struct {
+	Owner     *Owner
+	Plan      shard.Plan
+	Providers []*Provider
+	Client    ShardedClient
+}
+
+// NewShardedSystem outsources a dataset (sorted by key) under TOM across
+// `shards` key-range partitions over in-memory stores, sizing each
+// provider's cache from its partition's cardinality.
+func NewShardedSystem(sorted []record.Record, shards int) (*ShardedSystem, error) {
+	owner, err := NewOwner()
+	if err != nil {
+		return nil, err
+	}
+	plan := shard.PlanFor(sorted, shards)
+	parts := plan.Partition(sorted)
+	s := &ShardedSystem{
+		Owner:     owner,
+		Plan:      plan,
+		Providers: make([]*Provider, plan.Shards()),
+		Client:    ShardedClient{Verifier: owner.Verifier(), Plan: plan},
+	}
+	errs := make([]error, plan.Shards())
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := NewProvider(pagestore.NewMem())
+			p.ConfigureCache(bufpool.CapacityFor(len(parts[i])), bufpool.ChargeAllAccesses)
+			p.SetRootBinding(ShardBinding(plan, i))
+			if err := p.Load(parts[i], owner); err != nil {
+				errs[i] = fmt.Errorf("tom: shard %d: %w", i, err)
+				return
+			}
+			s.Providers[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ShardVO is one shard's contribution to a scattered TOM query: the
+// sub-result, its VO, and the shard's costs.
+type ShardVO struct {
+	Shard  int
+	Sub    record.Range
+	Result []record.Record
+	VO     *mbtree.VO
+	SPCost core.QueryCost
+}
+
+// ShardedQueryOutcome captures one scattered, verified TOM round-trip.
+type ShardedQueryOutcome struct {
+	// Result is the key-order merge of the per-shard sub-results.
+	Result []record.Record
+	// PerShard holds the stitched evidence: one entry per overlapping
+	// shard, in shard order.
+	PerShard   []ShardVO
+	ClientCost costmodel.Breakdown
+	VerifyErr  error
+}
+
+// QueryCost returns the total provider work across shards.
+func (o *ShardedQueryOutcome) QueryCost() core.QueryCost {
+	var qc core.QueryCost
+	for i := range o.PerShard {
+		qc.Index = qc.Index.Add(o.PerShard[i].SPCost.Index)
+		qc.Fetch = qc.Fetch.Add(o.PerShard[i].SPCost.Fetch)
+	}
+	return qc
+}
+
+// ResponseTime models client-perceived latency: shards answer in parallel
+// (max-over-shards), then the client verifies every VO.
+func (o *ShardedQueryOutcome) ResponseTime() costmodel.Breakdown {
+	var slowest costmodel.Breakdown
+	for i := range o.PerShard {
+		if c := o.PerShard[i].SPCost.Total(); c.Total() > slowest.Total() {
+			slowest = c
+		}
+	}
+	return slowest.Add(o.ClientCost)
+}
+
+// VOBytes returns the total serialized size of the stitched VOs — the
+// communication overhead a sharded TOM deployment pays where SAE still
+// ships a single 20-byte token.
+func (o *ShardedQueryOutcome) VOBytes() int {
+	n := 0
+	for i := range o.PerShard {
+		n += o.PerShard[i].VO.Size()
+	}
+	return n
+}
+
+// Query scatters a range query to the overlapping shards, gathers the
+// sub-results and VOs, and verifies the stitched evidence.
+func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
+	first, last, ok := s.Plan.Overlapping(q)
+	if !ok {
+		out := &ShardedQueryOutcome{}
+		out.ClientCost, out.VerifyErr = s.Client.Verify(q, nil)
+		return out, nil
+	}
+	n := last - first + 1
+	replies := make([]ShardVO, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := first + i
+			sub := s.Plan.Clamp(idx, q)
+			recs, vo, qc, err := s.Providers[idx].QueryCtx(exec.NewContext(), sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("tom: shard %d: %w", idx, err)
+				return
+			}
+			replies[i] = ShardVO{Shard: idx, Sub: sub, Result: recs, VO: vo, SPCost: qc}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &ShardedQueryOutcome{PerShard: replies}
+	for i := range replies {
+		out.Result = append(out.Result, replies[i].Result...)
+	}
+	out.ClientCost, out.VerifyErr = s.Client.Verify(q, replies)
+	return out, nil
+}
+
+// Insert routes an owner-side insertion to the shard owning the key.
+func (s *ShardedSystem) Insert(key record.Key, id record.ID) (record.Record, error) {
+	r := record.Synthesize(id, key)
+	return r, s.Providers[s.Plan.ShardFor(key)].ApplyInsert(r, s.Owner)
+}
+
+// Delete routes an owner-side deletion to the shard owning the key.
+func (s *ShardedSystem) Delete(id record.ID, key record.Key) error {
+	return s.Providers[s.Plan.ShardFor(key)].ApplyDelete(id, key, s.Owner)
+}
+
+// ShardedClient verifies stitched TOM evidence. The plan must come from
+// the owner (it is bound into every shard signature, so a forged plan
+// makes every signature check fail — the client cannot be routed around).
+type ShardedClient struct {
+	Verifier *sigs.Verifier
+	Plan     shard.Plan
+}
+
+// Verify checks the stitched evidence for q: the sub-ranges must be
+// exactly the plan's clamps of q over the overlapping shards, in order
+// with no seam gaps (boundary continuity), and every shard's VO must
+// verify — under that shard's bound signature — as sound and complete for
+// its sub-range. A nil return proves the concatenated result sound and
+// complete for all of q.
+func (c ShardedClient) Verify(q record.Range, perShard []ShardVO) (costmodel.Breakdown, error) {
+	start := time.Now()
+	fail := func(err error) (costmodel.Breakdown, error) {
+		return costmodel.Breakdown{CPU: time.Since(start)}, err
+	}
+	first, last, ok := c.Plan.Overlapping(q)
+	if !ok {
+		if len(perShard) != 0 {
+			return fail(fmt.Errorf("%w: evidence for an empty range", mbtree.ErrBadVO))
+		}
+		return costmodel.Breakdown{CPU: time.Since(start)}, nil
+	}
+	if len(perShard) != last-first+1 {
+		return fail(fmt.Errorf("%w: %d shard answers for %d overlapping shards",
+			mbtree.ErrBadVO, len(perShard), last-first+1))
+	}
+	for i := range perShard {
+		sv := &perShard[i]
+		idx := first + i
+		if sv.Shard != idx {
+			return fail(fmt.Errorf("%w: answer %d is from shard %d, want %d", mbtree.ErrBadVO, i, sv.Shard, idx))
+		}
+		// Boundary continuity: the sub-range must be exactly the plan's
+		// clamp, so adjacent sub-ranges meet with no gap a record could
+		// vanish into.
+		if want := c.Plan.Clamp(idx, q); sv.Sub != want {
+			return fail(fmt.Errorf("%w: shard %d answered sub-range %v, want %v", mbtree.ErrBadVO, idx, sv.Sub, want))
+		}
+		if err := mbtree.VerifyVOBound(sv.VO, sv.Result, sv.Sub.Lo, sv.Sub.Hi, c.Verifier,
+			ShardBinding(c.Plan, idx)); err != nil {
+			return fail(fmt.Errorf("shard %d: %w", idx, err))
+		}
+	}
+	return costmodel.Breakdown{CPU: time.Since(start)}, nil
+}

@@ -1,0 +1,217 @@
+package tom
+
+import (
+	"testing"
+
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+func buildShardedTOM(t *testing.T, n, shards int) (*System, *ShardedSystem) {
+	t.Helper()
+	ds, err := workload.Generate(workload.UNF, n, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedSystem(ds.Records, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// TestShardedTOMParity: the merged scatter-gather result equals a
+// single-provider run and the stitched VOs verify, including ranges
+// spanning >= 3 shard boundaries and boundary-exact endpoints.
+func TestShardedTOMParity(t *testing.T) {
+	single, sharded := buildShardedTOM(t, 12_000, 5)
+	spans := make([]record.Range, sharded.Plan.Shards())
+	for i := range spans {
+		spans[i] = sharded.Plan.Span(i)
+	}
+	qs := append(workload.Queries(6, workload.DefaultExtent, 56),
+		record.Range{Lo: spans[0].Hi - 100, Hi: spans[4].Lo + 100}, // 4 boundaries
+		spans[2], // boundary-exact endpoints
+		record.Range{Lo: spans[1].Lo, Hi: spans[3].Lo},
+		record.Range{Lo: 0, Hi: record.KeyDomain},
+	)
+	// An empty range (the single provider rejects it outright) scatters to
+	// no shard and verifies as an empty, gapless answer.
+	empty, err := sharded.Query(record.Range{Lo: 9, Hi: 2})
+	if err != nil || empty.VerifyErr != nil || len(empty.Result) != 0 || len(empty.PerShard) != 0 {
+		t.Fatalf("empty-range outcome: %+v (err %v)", empty, err)
+	}
+	for _, q := range qs {
+		want, err := single.Query(q)
+		if err != nil {
+			t.Fatalf("single TOM %v: %v", q, err)
+		}
+		if want.VerifyErr != nil {
+			t.Fatalf("single TOM %v failed verification: %v", q, want.VerifyErr)
+		}
+		got, err := sharded.Query(q)
+		if err != nil {
+			t.Fatalf("sharded TOM %v: %v", q, err)
+		}
+		if got.VerifyErr != nil {
+			t.Fatalf("sharded TOM %v failed stitched verification: %v", q, got.VerifyErr)
+		}
+		if len(got.Result) != len(want.Result) {
+			t.Fatalf("%v: %d records sharded, %d single", q, len(got.Result), len(want.Result))
+		}
+		for i := range got.Result {
+			if got.Result[i].ID != want.Result[i].ID {
+				t.Fatalf("%v: result diverges at %d", q, i)
+			}
+		}
+	}
+}
+
+// TestShardedTOMSeamSuppression: a record suppressed exactly at a
+// partition seam (the last record of one shard's sub-result) is caught by
+// the stitched verification — the per-shard VO's completeness grammar
+// covers the clamped sub-range up to the seam.
+func TestShardedTOMSeamSuppression(t *testing.T) {
+	_, sharded := buildShardedTOM(t, 12_000, 4)
+	seam := sharded.Plan.Span(1).Hi
+	q := record.Range{Lo: seam - 3000, Hi: seam + 3000} // straddles the shard 1/2 seam
+	honest, err := sharded.Query(q)
+	if err != nil || honest.VerifyErr != nil {
+		t.Fatalf("honest run: %v / %v", err, honest.VerifyErr)
+	}
+	if len(honest.PerShard) != 2 {
+		t.Fatalf("query %v touched %d shards, want 2", q, len(honest.PerShard))
+	}
+	if len(honest.PerShard[0].Result) == 0 || len(honest.PerShard[1].Result) == 0 {
+		t.Fatal("seam query returned an empty side; pick a denser range")
+	}
+
+	// Drop shard 1's LAST result record — the record adjacent to the seam.
+	sharded.Providers[1].SetTamper(func(rs []record.Record) []record.Record {
+		if len(rs) == 0 {
+			return rs
+		}
+		return rs[:len(rs)-1]
+	})
+	out, err := sharded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.VerifyErr == nil {
+		t.Fatal("seam-suppressed record passed stitched verification")
+	}
+	sharded.Providers[1].SetTamper(nil)
+
+	// Drop shard 2's FIRST record — the other side of the seam.
+	sharded.Providers[2].SetTamper(func(rs []record.Record) []record.Record {
+		if len(rs) == 0 {
+			return rs
+		}
+		return rs[1:]
+	})
+	out, err = sharded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.VerifyErr == nil {
+		t.Fatal("seam-suppressed record (right side) passed stitched verification")
+	}
+	sharded.Providers[2].SetTamper(nil)
+}
+
+// TestShardedTOMShardSwapRejected: a provider cannot answer one shard's
+// sub-range with another shard's (legitimately empty there) tree — the
+// shard identity is bound into the owner's signature.
+func TestShardedTOMShardSwapRejected(t *testing.T) {
+	_, sharded := buildShardedTOM(t, 8_000, 4)
+	seam := sharded.Plan.Span(1).Hi
+	q := record.Range{Lo: seam - 2000, Hi: seam + 2000}
+	out, err := sharded.Query(q)
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("honest run: %v / %v", err, out.VerifyErr)
+	}
+	// Simulate the router substituting shard 2's answer for shard 1's
+	// sub-range: ask shard 2 directly for shard 1's clamp. Shard 2's tree
+	// holds no keys there, so it produces a VO proving emptiness — valid
+	// under shard 2's signature, but it must NOT verify as shard 1.
+	sub1 := sharded.Plan.Clamp(1, q)
+	recs, vo, _, err := sharded.Providers[2].Query(sub1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("shard 2 unexpectedly holds %d records in shard 1's span", len(recs))
+	}
+	forged := []ShardVO{
+		{Shard: 1, Sub: sub1, Result: recs, VO: vo, SPCost: out.PerShard[0].SPCost},
+		out.PerShard[1],
+	}
+	if _, err := sharded.Client.Verify(q, forged); err == nil {
+		t.Fatal("swapped-shard VO passed verification: shard identity not bound")
+	}
+}
+
+// TestShardedTOMGapRejected: evidence whose sub-ranges leave a seam gap
+// (or answer the wrong clamp) is rejected before any VO math.
+func TestShardedTOMGapRejected(t *testing.T) {
+	_, sharded := buildShardedTOM(t, 8_000, 4)
+	seam := sharded.Plan.Span(1).Hi
+	q := record.Range{Lo: seam - 2000, Hi: seam + 2000}
+	out, err := sharded.Query(q)
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("honest run: %v / %v", err, out.VerifyErr)
+	}
+	// Shrink shard 1's claimed sub-range by one key at the seam: even with
+	// a consistent VO for the shrunken range, the tiling check fails.
+	shrunk := out.PerShard[0].Sub
+	shrunk.Hi--
+	recs, vo, _, err := sharded.Providers[1].Query(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]ShardVO(nil), out.PerShard...)
+	forged[0] = ShardVO{Shard: 1, Sub: shrunk, Result: recs, VO: vo}
+	if _, err := sharded.Client.Verify(q, forged); err == nil {
+		t.Fatal("gapped sub-ranges passed verification")
+	}
+	// Dropping a whole shard's answer must fail too.
+	if _, err := sharded.Client.Verify(q, out.PerShard[:1]); err == nil {
+		t.Fatal("missing shard answer passed verification")
+	}
+}
+
+// TestShardedTOMUpdates: updates re-sign the owning shard's bound root and
+// queries keep verifying.
+func TestShardedTOMUpdates(t *testing.T) {
+	_, sharded := buildShardedTOM(t, 6_000, 3)
+	key := sharded.Plan.Span(1).Lo + 11
+	r, err := sharded.Insert(key, 900_001)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	q := record.Range{Lo: key - 50, Hi: key + 50}
+	out, err := sharded.Query(q)
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("post-insert query: %v / %v", err, out.VerifyErr)
+	}
+	found := false
+	for i := range out.Result {
+		if out.Result[i].ID == r.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted record missing from sharded TOM result")
+	}
+	if err := sharded.Delete(r.ID, r.Key); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	out, err = sharded.Query(q)
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("post-delete query: %v / %v", err, out.VerifyErr)
+	}
+}

@@ -65,6 +65,30 @@ type Provider struct {
 	sig    []byte
 	byID   map[record.ID]heapfile.RID
 	tamper Tamper
+	// binding transforms the root digest before the owner signs it; a
+	// sharded deployment folds the shard's identity and span in (see
+	// ShardBinding), so one shard's signature cannot vouch for another
+	// shard's tree. Nil is the identity (the single-provider protocol).
+	binding func(digest.Digest) digest.Digest
+}
+
+// SetRootBinding installs the root binding applied before every owner
+// signature; call it before Load. Clients must verify with the same
+// binding (mbtree.VerifyVOBound).
+func (p *Provider) SetRootBinding(bind func(digest.Digest) digest.Digest) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.binding = bind
+}
+
+// boundRoot returns the digest the owner signs for the current tree root.
+// Caller holds p.mu.
+func (p *Provider) boundRoot() digest.Digest {
+	root := p.tree.RootDigest()
+	if p.binding != nil {
+		return p.binding(root)
+	}
+	return root
 }
 
 // NewProvider returns a provider backed by the given page store, with the
@@ -127,14 +151,14 @@ func (p *Provider) Load(records []record.Record, owner *Owner) error {
 	if err != nil {
 		return fmt.Errorf("tom: provider loading MB-Tree: %w", err)
 	}
-	sig, err := owner.Sign(tree.RootDigest())
-	if err != nil {
-		return fmt.Errorf("tom: owner signing root: %w", err)
-	}
 	heap.UseCache(p.cache)
 	tree.UseCache(p.cache)
 	p.heap = heap
 	p.tree = tree
+	sig, err := owner.Sign(p.boundRoot())
+	if err != nil {
+		return fmt.Errorf("tom: owner signing root: %w", err)
+	}
 	p.sig = sig
 	return nil
 }
@@ -195,7 +219,7 @@ func (p *Provider) ApplyInsertCtx(ctx *exec.Context, r record.Record, owner *Own
 		return fmt.Errorf("tom: provider indexing record: %w", err)
 	}
 	p.byID[r.ID] = rid
-	sig, err := owner.Sign(p.tree.RootDigest())
+	sig, err := owner.Sign(p.boundRoot())
 	if err != nil {
 		return fmt.Errorf("tom: owner re-signing root: %w", err)
 	}
@@ -225,7 +249,7 @@ func (p *Provider) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key record.Ke
 		return fmt.Errorf("tom: provider deleting record: %w", err)
 	}
 	delete(p.byID, id)
-	sig, err := owner.Sign(p.tree.RootDigest())
+	sig, err := owner.Sign(p.boundRoot())
 	if err != nil {
 		return fmt.Errorf("tom: owner re-signing root: %w", err)
 	}
@@ -279,10 +303,11 @@ type System struct {
 	Client   Client
 }
 
-// NewSystem outsources a dataset (sorted by key) under TOM, with the
-// default charge-every-access decoded-node cache at the provider.
+// NewSystem outsources a dataset (sorted by key) under TOM, with a
+// charge-every-access decoded-node cache sized to the dataset's working
+// set (bufpool.CapacityFor) at the provider.
 func NewSystem(sorted []record.Record) (*System, error) {
-	return NewSystemCache(sorted, bufpool.DefaultCapacity, bufpool.ChargeAllAccesses)
+	return NewSystemCache(sorted, bufpool.CapacityFor(len(sorted)), bufpool.ChargeAllAccesses)
 }
 
 // NewSystemCache is NewSystem with an explicit provider cache

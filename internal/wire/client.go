@@ -201,6 +201,19 @@ func (c *SPClient) Delete(id record.ID, key record.Key) error {
 	return c.expectAck(Frame{Type: MsgDelete, Payload: EncodeDelete(id, key)})
 }
 
+// ShardMap asks the server which shard it is and under which partition
+// plan it was loaded. Stand-alone servers answer "shard 0 of 1".
+func (c *conn) ShardMap() (ShardInfo, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgShardMapReq})
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	if resp.Type != MsgShardMap {
+		return ShardInfo{}, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return DecodeShardInfo(resp.Payload)
+}
+
 func (c *conn) expectAck(req Frame) error {
 	resp, err := c.roundTrip(req)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"sae/internal/digest"
 	"sae/internal/record"
+	"sae/internal/shard"
 )
 
 // HeaderSize is the fixed frame header: type (1) + request id (4) +
@@ -62,6 +63,10 @@ const (
 	MsgBatchVT MsgType = 13
 	// TE -> client: one 20-byte token per queried range.
 	MsgBatchVTResult MsgType = 14
+	// Client -> any server: which shard are you, under which plan?
+	MsgShardMapReq MsgType = 15
+	// Server -> client: shard index + partition plan.
+	MsgShardMap MsgType = 16
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal
@@ -268,6 +273,41 @@ func DecodeDigests(b []byte) ([]digest.Digest, error) {
 		out[i] = digest.FromBytes(b[digest.Size*i : digest.Size*(i+1)])
 	}
 	return out, nil
+}
+
+// ShardInfo identifies one server's place in a sharded deployment: its
+// shard index and the key-range partition plan every shard was loaded
+// under. A stand-alone server is shard 0 of the single-shard plan.
+type ShardInfo struct {
+	Index int
+	Plan  shard.Plan
+}
+
+// EncodeShardInfo serializes a shard map response: index, then the plan.
+func EncodeShardInfo(si ShardInfo) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out[0:4], uint32(si.Index))
+	return append(out, si.Plan.Marshal()...)
+}
+
+// DecodeShardInfo parses a shard map response, validating the plan and
+// that the index falls inside it.
+func DecodeShardInfo(b []byte) (ShardInfo, error) {
+	if len(b) < 4 {
+		return ShardInfo{}, fmt.Errorf("%w: truncated shard map", ErrProtocol)
+	}
+	idx := int(binary.BigEndian.Uint32(b[0:4]))
+	plan, rest, err := shard.UnmarshalPlan(b[4:])
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if len(rest) != 0 {
+		return ShardInfo{}, fmt.Errorf("%w: %d trailing bytes in shard map", ErrProtocol, len(rest))
+	}
+	if idx < 0 || idx >= plan.Shards() {
+		return ShardInfo{}, fmt.Errorf("%w: shard index %d outside %d-shard plan", ErrProtocol, idx, plan.Shards())
+	}
+	return ShardInfo{Index: idx, Plan: plan}, nil
 }
 
 // EncodeDelete serializes an owner deletion.

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/record"
+	"sae/internal/shard"
+)
+
+// ShardedVerifyingClient performs the SAE protocol against a horizontally
+// sharded deployment: it holds pipelined connections to every shard's SP
+// and TE, scatters each range query to the overlapping shards, gathers the
+// sub-results in key order, XOR-combines the per-shard tokens and verifies
+// the merged result against the combined token.
+//
+// The partition plan is fetched from the trusted entities themselves at
+// dial time, not from any router: every TE must report the same plan and
+// its own position in it. Since the TEs are the protocol's trusted
+// parties, a malicious router or SP cannot shrink a shard's span to
+// suppress records at a partition seam — the client computes every
+// sub-range itself from the TE-attested plan, and the XOR fold makes the
+// combined token exactly the token a single TE over the whole dataset
+// would have issued.
+type ShardedVerifyingClient struct {
+	Plan   shard.Plan
+	Shards []*VerifyingClient
+}
+
+// DialShardedVerifying connects to every shard's SP/TE pair (spAddrs[i]
+// and teAddrs[i] form shard i) and cross-checks the deployment's shard
+// maps: each TE must attest the same plan, claim the index it is dialed
+// as, and the plan's shard count must match the address lists. The SPs'
+// maps are checked too — an SP mismatch is a deployment wiring error even
+// though SPs are untrusted.
+func DialShardedVerifying(spAddrs, teAddrs []string) (*ShardedVerifyingClient, error) {
+	if len(spAddrs) == 0 || len(spAddrs) != len(teAddrs) {
+		return nil, fmt.Errorf("wire: %d SP addresses for %d TE addresses", len(spAddrs), len(teAddrs))
+	}
+	c := &ShardedVerifyingClient{Shards: make([]*VerifyingClient, len(spAddrs))}
+	for i := range spAddrs {
+		vc, err := DialVerifying(spAddrs[i], teAddrs[i])
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wire: dialing shard %d: %w", i, err)
+		}
+		c.Shards[i] = vc
+	}
+	for i, vc := range c.Shards {
+		si, err := vc.TE.ShardMap()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wire: shard %d TE map: %w", i, err)
+		}
+		if si.Index != i {
+			c.Close()
+			return nil, fmt.Errorf("wire: TE dialed as shard %d claims index %d", i, si.Index)
+		}
+		if si.Plan.Shards() != len(c.Shards) {
+			c.Close()
+			return nil, fmt.Errorf("wire: TE %d attests a %d-shard plan, dialed %d shards",
+				i, si.Plan.Shards(), len(c.Shards))
+		}
+		if i == 0 {
+			c.Plan = si.Plan
+		} else if !si.Plan.Equal(c.Plan) {
+			c.Close()
+			return nil, fmt.Errorf("wire: TE %d attests a different plan than TE 0", i)
+		}
+		// Routing sanity only: the SP map is untrusted but a mismatch
+		// means the deployment is mis-wired.
+		if spsi, err := vc.SP.ShardMap(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wire: shard %d SP map: %w", i, err)
+		} else if spsi.Index != i || !spsi.Plan.Equal(c.Plan) {
+			c.Close()
+			return nil, fmt.Errorf("wire: SP dialed as shard %d reports shard %d of %v",
+				i, spsi.Index, spsi.Plan)
+		}
+	}
+	return c, nil
+}
+
+// Close closes every shard connection.
+func (c *ShardedVerifyingClient) Close() error {
+	var first error
+	for _, vc := range c.Shards {
+		if vc == nil {
+			continue
+		}
+		if err := vc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BytesReceived sums the bytes received from all shards, split into the
+// SP (result) and TE (authentication) streams.
+func (c *ShardedVerifyingClient) BytesReceived() (sp, te int64) {
+	for _, vc := range c.Shards {
+		sp += vc.SP.BytesReceived()
+		te += vc.TE.BytesReceived()
+	}
+	return sp, te
+}
+
+// Query scatters a verified range query. It returns the merged records
+// only if they passed verification against the XOR-combined token.
+func (c *ShardedVerifyingClient) Query(q record.Range) ([]record.Record, error) {
+	first, last, ok := c.Plan.Overlapping(q)
+	if !ok {
+		return nil, nil
+	}
+	n := last - first + 1
+	type reply struct {
+		recs []record.Record
+		vt   digest.Digest
+		err  error
+	}
+	replies := make([]reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := first + i
+			sub := c.Plan.Clamp(idx, q)
+			vc := c.Shards[idx]
+			// SP and TE sub-requests pipeline on the shard's two
+			// connections exactly like the single-shard client.
+			var inner sync.WaitGroup
+			inner.Add(1)
+			var vt digest.Digest
+			var vtErr error
+			go func() {
+				defer inner.Done()
+				vt, vtErr = vc.TE.GenerateVT(sub)
+			}()
+			recs, spErr := vc.SP.Query(sub)
+			inner.Wait()
+			if spErr != nil {
+				replies[i].err = fmt.Errorf("wire: shard %d SP: %w", idx, spErr)
+				return
+			}
+			if vtErr != nil {
+				replies[i].err = fmt.Errorf("wire: shard %d TE: %w", idx, vtErr)
+				return
+			}
+			replies[i].recs, replies[i].vt = recs, vt
+		}(i)
+	}
+	wg.Wait()
+	var merged []record.Record
+	var acc digest.Accumulator
+	for i := range replies {
+		if replies[i].err != nil {
+			return nil, replies[i].err
+		}
+		// Contiguous partitions: gathering in shard order is the key-order
+		// merge.
+		merged = append(merged, replies[i].recs...)
+		acc.Add(replies[i].vt)
+	}
+	var client core.Client
+	if _, err := client.Verify(q, merged, acc.Sum()); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// QueryBatch runs many verified range queries with at most one batch
+// frame to each shard's SP and TE: every query's sub-ranges are grouped
+// per shard, each shard executes its group as one QueryBatch /
+// GenerateVTBatch, and the per-query results are reassembled and verified
+// against their XOR-combined tokens. Results align with qs.
+func (c *ShardedVerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
+	// Group the clamped sub-queries by shard, remembering which query each
+	// one belongs to.
+	subs := make([][]record.Range, len(c.Shards))
+	owners := make([][]int, len(c.Shards))
+	for qi, q := range qs {
+		first, last, ok := c.Plan.Overlapping(q)
+		if !ok {
+			continue
+		}
+		for idx := first; idx <= last; idx++ {
+			subs[idx] = append(subs[idx], c.Plan.Clamp(idx, q))
+			owners[idx] = append(owners[idx], qi)
+		}
+	}
+	type shardOut struct {
+		batches [][]record.Record
+		vts     []digest.Digest
+		err     error
+	}
+	outs := make([]shardOut, len(c.Shards))
+	var wg sync.WaitGroup
+	for idx := range c.Shards {
+		if len(subs[idx]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			vc := c.Shards[idx]
+			var inner sync.WaitGroup
+			inner.Add(1)
+			var vts []digest.Digest
+			var vtErr error
+			go func() {
+				defer inner.Done()
+				vts, vtErr = vc.TE.GenerateVTBatch(subs[idx])
+			}()
+			batches, spErr := vc.SP.QueryBatch(subs[idx])
+			inner.Wait()
+			if spErr != nil {
+				outs[idx].err = fmt.Errorf("wire: shard %d SP batch: %w", idx, spErr)
+				return
+			}
+			if vtErr != nil {
+				outs[idx].err = fmt.Errorf("wire: shard %d TE batch: %w", idx, vtErr)
+				return
+			}
+			outs[idx].batches, outs[idx].vts = batches, vts
+		}(idx)
+	}
+	wg.Wait()
+	for idx := range outs {
+		if outs[idx].err != nil {
+			return nil, outs[idx].err
+		}
+	}
+	// Reassemble per query. Shards are visited in index order and each
+	// shard's group preserves query order, so appending yields the
+	// key-order merge for every query.
+	results := make([][]record.Record, len(qs))
+	accs := make([]digest.Accumulator, len(qs))
+	for idx := range c.Shards {
+		for j, qi := range owners[idx] {
+			results[qi] = append(results[qi], outs[idx].batches[j]...)
+			accs[qi].Add(outs[idx].vts[j])
+		}
+	}
+	var client core.Client
+	for qi, q := range qs {
+		if _, err := client.Verify(q, results[qi], accs[qi].Sum()); err != nil {
+			return nil, fmt.Errorf("query %d %v: %w", qi, q, err)
+		}
+	}
+	return results, nil
+}

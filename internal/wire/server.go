@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"sae/internal/core"
 	"sae/internal/digest"
@@ -30,13 +31,47 @@ type server struct {
 	handle handler
 	logf   func(string, ...any)
 
+	// shardInfo is this server's place in a sharded deployment; unset
+	// means "shard 0 of the single-shard plan" so stand-alone servers
+	// answer shard-map requests uniformly.
+	shardInfo atomic.Pointer[ShardInfo]
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  chan struct{}
 	wg    sync.WaitGroup
 }
 
-func newServer(addr string, handle handler, logf func(string, ...any)) (*server, error) {
+// ServerOption configures a server before it starts accepting
+// connections.
+type ServerOption func(*server)
+
+// WithShardInfo declares the server's shard index and partition plan at
+// construction, before the listener accepts its first connection — a
+// client that dials the moment the port opens already sees the right
+// attestation.
+func WithShardInfo(si ShardInfo) ServerOption {
+	return func(s *server) { s.shardInfo.Store(&si) }
+}
+
+// SetShardInfo declares this server's shard index and partition plan,
+// served in response to MsgShardMapReq. Safe to call while serving, but
+// deployments should prefer WithShardInfo so no early client can observe
+// the default single-shard attestation.
+func (s *server) SetShardInfo(si ShardInfo) {
+	s.shardInfo.Store(&si)
+}
+
+// shardMapFrame answers a shard-map request.
+func (s *server) shardMapFrame() Frame {
+	si := s.shardInfo.Load()
+	if si == nil {
+		si = &ShardInfo{}
+	}
+	return Frame{Type: MsgShardMap, Payload: EncodeShardInfo(*si)}
+}
+
+func newServer(addr string, handle handler, logf func(string, ...any), opts []ServerOption) (*server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
@@ -50,6 +85,9 @@ func newServer(addr string, handle handler, logf func(string, ...any)) (*server,
 		logf:   logf,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -158,9 +196,9 @@ type SPServer struct {
 }
 
 // ServeSP starts an SP server on addr (use "127.0.0.1:0" for tests).
-func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any)) (*SPServer, error) {
+func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any), opts ...ServerOption) (*SPServer, error) {
 	srv := &SPServer{sp: sp}
-	s, err := newServer(addr, srv.handle, logf)
+	s, err := newServer(addr, srv.handle, logf, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +253,8 @@ func (s *SPServer) handle(req Frame) Frame {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}
+	case MsgShardMapReq:
+		return s.shardMapFrame()
 	default:
 		return errFrame(fmt.Errorf("%w: SP cannot handle message type %d", ErrProtocol, req.Type))
 	}
@@ -228,9 +268,9 @@ type TEServer struct {
 }
 
 // ServeTE starts a TE server on addr.
-func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any)) (*TEServer, error) {
+func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any), opts ...ServerOption) (*TEServer, error) {
 	srv := &TEServer{te: te}
-	s, err := newServer(addr, srv.handle, logf)
+	s, err := newServer(addr, srv.handle, logf, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +322,8 @@ func (s *TEServer) handle(req Frame) Frame {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}
+	case MsgShardMapReq:
+		return s.shardMapFrame()
 	default:
 		return errFrame(fmt.Errorf("%w: TE cannot handle message type %d", ErrProtocol, req.Type))
 	}
@@ -296,9 +338,9 @@ type TOMServer struct {
 }
 
 // ServeTOM starts a TOM provider server on addr.
-func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(string, ...any)) (*TOMServer, error) {
+func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(string, ...any), opts ...ServerOption) (*TOMServer, error) {
 	srv := &TOMServer{provider: provider, owner: owner}
-	s, err := newServer(addr, srv.handle, logf)
+	s, err := newServer(addr, srv.handle, logf, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +380,8 @@ func (s *TOMServer) handle(req Frame) Frame {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}
+	case MsgShardMapReq:
+		return s.shardMapFrame()
 	default:
 		return errFrame(fmt.Errorf("%w: TOM provider cannot handle message type %d", ErrProtocol, req.Type))
 	}

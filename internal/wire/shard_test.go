@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"sae/internal/core"
+	"sae/internal/record"
+	"sae/internal/shard"
+	"sae/internal/workload"
+)
+
+// shardedDeployment starts one SP and one TE server per shard of an
+// in-process sharded system and returns their address lists.
+func shardedDeployment(t *testing.T, n, shards int) (*core.ShardedSystem, []string, []string) {
+	t.Helper()
+	ds, err := workload.Generate(workload.UNF, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewShardedSystem(ds.Records, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spAddrs := make([]string, shards)
+	teAddrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		spSrv, err := ServeSP("127.0.0.1:0", sys.SPs[i], nil, WithShardInfo(ShardInfo{Index: i, Plan: sys.Plan}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { spSrv.Close() })
+		teSrv, err := ServeTE("127.0.0.1:0", sys.TEs[i], nil, WithShardInfo(ShardInfo{Index: i, Plan: sys.Plan}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { teSrv.Close() })
+		spAddrs[i], teAddrs[i] = spSrv.Addr(), teSrv.Addr()
+	}
+	return sys, spAddrs, teAddrs
+}
+
+// TestShardMapRoundTrip: servers answer shard-map requests, stand-alone
+// servers default to shard 0 of 1.
+func TestShardMapRoundTrip(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 1_000, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeSP("127.0.0.1:0", sys.SP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialSP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	si, err := c.ShardMap()
+	if err != nil {
+		t.Fatalf("ShardMap: %v", err)
+	}
+	if si.Index != 0 || si.Plan.Shards() != 1 {
+		t.Fatalf("stand-alone server reported shard %d of %d", si.Index, si.Plan.Shards())
+	}
+	plan, _ := shard.NewPlan([]record.Key{5_000_000})
+	srv.SetShardInfo(ShardInfo{Index: 1, Plan: plan})
+	si, err = c.ShardMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Index != 1 || si.Plan.Shards() != 2 {
+		t.Fatalf("got shard %d of %d after SetShardInfo", si.Index, si.Plan.Shards())
+	}
+}
+
+// TestShardedVerifyingClient: scatter-gather over real TCP with XOR token
+// combination, against the in-process sharded system as the oracle.
+func TestShardedVerifyingClient(t *testing.T) {
+	sys, spAddrs, teAddrs := shardedDeployment(t, 10_000, 3)
+	client, err := DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		t.Fatalf("DialShardedVerifying: %v", err)
+	}
+	defer client.Close()
+	if !client.Plan.Equal(sys.Plan) {
+		t.Fatal("client plan differs from deployment plan")
+	}
+	qs := append(workload.Queries(5, workload.DefaultExtent, 23),
+		record.Range{Lo: 0, Hi: record.KeyDomain}, // all shards
+		sys.Plan.Span(1),                          // boundary-exact
+	)
+	for _, q := range qs {
+		want, err := sys.Query(q)
+		if err != nil || want.VerifyErr != nil {
+			t.Fatalf("oracle %v: %v / %v", q, err, want.VerifyErr)
+		}
+		got, err := client.Query(q)
+		if err != nil {
+			t.Fatalf("wire query %v: %v", q, err)
+		}
+		if len(got) != len(want.Result) {
+			t.Fatalf("%v: %d records over wire, %d in-process", q, len(got), len(want.Result))
+		}
+		for i := range got {
+			if got[i].ID != want.Result[i].ID {
+				t.Fatalf("%v: diverges at %d", q, i)
+			}
+		}
+	}
+	// Tamper one shard: the combined token must reject.
+	sys.SPs[1].SetTamper(core.DropTamper(0))
+	q := record.Range{Lo: sys.Plan.Span(1).Lo, Hi: sys.Plan.Span(1).Lo + 200_000}
+	if _, err := client.Query(q); err == nil {
+		t.Fatal("tampered shard passed wire verification")
+	}
+	sys.SPs[1].SetTamper(nil)
+}
+
+// TestShardedQueryBatch: many queries, one batch frame per shard, all
+// verified.
+func TestShardedQueryBatch(t *testing.T) {
+	sys, spAddrs, teAddrs := shardedDeployment(t, 10_000, 3)
+	client, err := DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	qs := append(workload.Queries(16, workload.DefaultExtent, 24),
+		record.Range{Lo: 0, Hi: record.KeyDomain},
+		record.Range{Lo: 9, Hi: 3}, // empty mixed into the batch
+	)
+	results, err := client.QueryBatch(qs)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(results), len(qs))
+	}
+	for qi, q := range qs {
+		want, err := sys.Query(q)
+		if err != nil || want.VerifyErr != nil {
+			t.Fatalf("oracle %v: %v / %v", q, err, want.VerifyErr)
+		}
+		if len(results[qi]) != len(want.Result) {
+			t.Fatalf("query %d %v: %d records, want %d", qi, q, len(results[qi]), len(want.Result))
+		}
+		for i := range results[qi] {
+			if results[qi][i].ID != want.Result[i].ID {
+				t.Fatalf("query %d %v diverges at %d", qi, q, i)
+			}
+		}
+	}
+}
+
+// TestShardedQueryBatchConcurrent: batches pipeline from many goroutines
+// over the shared shard connections (race detector food).
+func TestShardedQueryBatchConcurrent(t *testing.T) {
+	_, spAddrs, teAddrs := shardedDeployment(t, 6_000, 3)
+	client, err := DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := workload.Queries(6, workload.DefaultExtent, int64(100+w))
+			if _, err := client.QueryBatch(qs); err != nil {
+				errs[w] = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent batch: %v", err)
+		}
+	}
+}
+
+// TestDialShardedRejectsMisassembly: wrong shard order and inconsistent
+// plans are caught at dial time.
+func TestDialShardedRejectsMisassembly(t *testing.T) {
+	_, spAddrs, teAddrs := shardedDeployment(t, 4_000, 3)
+	// Swap two shards' addresses: TE index attestation must catch it.
+	swappedSP := []string{spAddrs[1], spAddrs[0], spAddrs[2]}
+	swappedTE := []string{teAddrs[1], teAddrs[0], teAddrs[2]}
+	if c, err := DialShardedVerifying(swappedSP, swappedTE); err == nil {
+		c.Close()
+		t.Fatal("swapped shard order accepted")
+	}
+	// Too few shards dialed: plan count mismatch.
+	if c, err := DialShardedVerifying(spAddrs[:2], teAddrs[:2]); err == nil {
+		c.Close()
+		t.Fatal("partial deployment accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Sharded-query benchmarks: the payoff of horizontal partitioning. Under
+// the paper's simulated I/O model every node access occupies a disk; a
+// single deployment owns one disk, a sharded deployment owns one per
+// shard, so aggregate verified-query throughput grows with the shard count
+// until the host's real CPU (hashing, record copies) becomes the ceiling —
+// on a multi-core host the scaling approaches linear. The benchmark runs
+// the same driver as the saebench shard figure (BENCH_shard.json), so the
+// two always measure the same thing:
+//
+//	go test -bench=ShardedQueries -benchtime=1x .
+//	go run ./cmd/saebench -figure shard
+package sae
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sae/internal/core"
+	"sae/internal/experiments"
+	"sae/internal/workload"
+)
+
+// shardBenchPerAccess is the paper's 10 ms node-access charge scaled ~67x
+// down, matching experiments.DefaultShardConfig: heavy enough that the
+// simulated disks dominate the real CPU, light enough for quick runs.
+const shardBenchPerAccess = 150 * time.Microsecond
+
+// shardBenchWorkers keeps every deployment's disks saturated.
+const shardBenchWorkers = 32
+
+// BenchmarkShardedQueries drives verified scatter-gather queries against
+// sharded deployments of 1, 2, 4 and 8 shards over the same 100K-record
+// dataset, charging each shard's node accesses to that shard's simulated
+// disk. The queries/s metric is the aggregate verified throughput.
+func BenchmarkShardedQueries(b *testing.B) {
+	ds, err := workload.Generate(workload.UNF, benchN, 1)
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	// Narrow queries (0.1% extent) keep per-query CPU small relative to
+	// the simulated stall; see experiments.DefaultShardConfig.
+	queries := workload.Queries(256, 0.001, 2)
+	for _, shards := range []int{1, 2, 4, 8} {
+		sys, err := core.NewShardedSystem(ds.Records, shards)
+		if err != nil {
+			b.Fatalf("NewShardedSystem(%d): %v", shards, err)
+		}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			disks := experiments.NewSimDisks(sys.Plan.Shards())
+			elapsed, _, err := experiments.DriveSharded(sys, disks, queries, b.N, shardBenchWorkers, shardBenchPerAccess)
+			if err != nil {
+				b.Fatalf("DriveSharded: %v", err)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+			}
+		})
+	}
+}
