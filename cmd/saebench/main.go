@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard or all")
+		figure    = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath or all")
 		scale     = flag.String("scale", "quick", "sweep scale: quick or paper")
 		ns        = flag.String("n", "", "comma-separated cardinalities overriding the scale")
 		queries   = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
@@ -41,11 +41,17 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts (-figure shard)")
 		shardJSON = flag.String("shardjson", "BENCH_shard.json", "output path for the shard-scaling JSON (-figure shard)")
+		fastJSON  = flag.String("fastjson", "BENCH_fastpath.json", "output path for the fast-path JSON (-figure fastpath)")
+		fastIters = flag.Int("fastiters", 0, "iterations per fast-path variant (0 = default)")
 	)
 	flag.Parse()
 
 	if *figure == "shard" {
 		runShardFigure(*shards, *shardJSON, *queries, *seed, *quiet)
+		return
+	}
+	if *figure == "fastpath" {
+		runFastpathFigure(*fastJSON, *fastIters, *seed, *quiet)
 		return
 	}
 
@@ -119,6 +125,48 @@ func main() {
 		} else {
 			fmt.Print(t.Format())
 		}
+	}
+}
+
+// runFastpathFigure measures the zero-copy serve/verify chain against the
+// seed pipeline and writes BENCH_fastpath.json alongside a table.
+func runFastpathFigure(jsonPath string, iters int, seed int64, quiet bool) {
+	cfg := experiments.DefaultFastpathConfig()
+	cfg.Seed = seed
+	if iters > 0 {
+		cfg.Iters = iters
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunFastpath(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Fast path (n=%d, %d-record results, SHA-NI=%v, GOMAXPROCS=%d)\n",
+		res.N, res.ResultRecords, res.SHANI, res.GOMAXPROCS)
+	fmt.Printf("  client verify: seed %6.0f ns/record  fast %6.0f ns/record  (%.2fx)\n",
+		res.VerifySeedNsPerRec, res.VerifyFastNsPerRec, res.VerifySpeedup)
+	for _, p := range res.VerifyWorkers {
+		fmt.Printf("    %d workers: %6.0f ns/record  (%.2fM records/s)\n", p.Workers, p.NsPerRec, p.RecordsSec/1e6)
+	}
+	fmt.Printf("  SP serve: seed %6.0f q/s (%.0f allocs, %.0f B/op)  fast %6.0f q/s (%.0f allocs, %.0f B/op)\n",
+		res.ServeSeedQPS, res.ServeSeedAllocsOp, res.ServeSeedBytesOp,
+		res.ServeFastQPS, res.ServeFastAllocsOp, res.ServeFastBytesOp)
+	fmt.Printf("  serve alloc reduction: %.0fx, serve speedup: %.2fx\n", res.AllocReduction, res.ServeSpeedup)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteFastpathJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
 	}
 }
 

@@ -310,25 +310,33 @@ func (t *Tree) Range(lo, hi record.Key) ([]heapfile.RID, error) {
 // more than exec.ScanThreshold leaves declares itself a scan so its fills
 // bypass LRU admission.
 func (t *Tree) RangeCtx(ctx *exec.Context, lo, hi record.Key) ([]heapfile.RID, error) {
+	return t.RangeAppendCtx(ctx, lo, hi, nil)
+}
+
+// RangeAppendCtx is RangeCtx appending into a caller-provided buffer
+// (out[:0]-style reuse), so a serve loop recycling one RID buffer across
+// queries performs the leaf scan without growing a fresh slice every
+// time. Traversal, node accesses and scan hinting are identical to
+// RangeCtx — it IS RangeCtx.
+func (t *Tree) RangeAppendCtx(ctx *exec.Context, lo, hi record.Key, out []heapfile.RID) ([]heapfile.RID, error) {
 	if lo > hi {
-		return nil, nil
+		return out, nil
 	}
 	id := t.root
 	for level := t.height; level > 1; level-- {
 		n, err := t.readNode(ctx, id)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		id = n.children[lowerBoundKey(n.entries, lo)]
 	}
-	var out []heapfile.RID
 	scan := exec.TrackScan(ctx)
 	defer scan.End()
 	for id != pagestore.InvalidPage {
 		scan.NotePage()
 		n, err := t.readNode(ctx, id)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		i := lowerBoundKey(n.entries, lo)
 		for ; i < len(n.entries); i++ {

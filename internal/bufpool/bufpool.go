@@ -130,6 +130,11 @@ type shard struct {
 type cnode struct {
 	id pagestore.PageID
 	v  any
+	// pins counts borrowers currently slicing the decoded node (the
+	// zero-copy serve path); a pinned node is never evicted, so a borrowed
+	// record cannot have its backing page recycled out from under the
+	// borrow window. Guarded by the shard mutex.
+	pins int
 }
 
 // New returns a cache holding up to capacity decoded nodes under the
@@ -176,6 +181,79 @@ func (c *Cache) get(id pagestore.PageID) (v any, gen uint64, ok bool) {
 	s.mu.Unlock()
 	c.misses.Add(1)
 	return nil, gen, false
+}
+
+// getPin is get plus a pin taken under the same lock on a hit, so the
+// entry cannot be evicted between lookup and borrow.
+func (c *Cache) getPin(id pagestore.PageID) (v any, gen uint64, ok bool) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	if el, hit := s.byID[id]; hit {
+		s.lru.MoveToFront(el)
+		cn := el.Value.(*cnode)
+		cn.pins++
+		v = cn.v
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, 0, true
+	}
+	gen = s.gen.Current(id)
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, gen, false
+}
+
+// fillPinned is fill plus a pin on whatever entry ends up holding v. It
+// reports whether a pin was taken: a fill dropped for staleness leaves
+// nothing to pin (the caller keeps using its private decoded node, which
+// needs no protection).
+func (c *Cache) fillPinned(id pagestore.PageID, gen uint64, v any) bool {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen.Stale(id, gen) {
+		return false
+	}
+	if el, ok := s.byID[id]; ok {
+		cn := el.Value.(*cnode)
+		cn.v = v
+		cn.pins++
+		s.lru.MoveToFront(el)
+		return true
+	}
+	s.insert(c, id, v).pins++
+	return true
+}
+
+// Unpin releases one pin on id. Unpinning a page that was invalidated (or
+// evicted by an Invalidate) while borrowed is a no-op: the borrower's
+// decoded node stays alive through its own reference.
+func (c *Cache) Unpin(id pagestore.PageID) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		if cn := el.Value.(*cnode); cn.pins > 0 {
+			cn.pins--
+		}
+	}
+}
+
+// PinnedCount returns the number of currently pinned nodes (tests and
+// leak diagnostics: every serve must return it to zero).
+func (c *Cache) PinnedCount() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if el.Value.(*cnode).pins > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // genOf returns the page's current generation (the cold fallback for a
@@ -234,16 +312,29 @@ func (c *Cache) Invalidate(id pagestore.PageID) {
 	}
 }
 
-// insert adds a fresh entry, evicting from the shard's LRU tail on
-// overflow. Caller holds s.mu.
-func (s *shard) insert(c *Cache, id pagestore.PageID, v any) {
-	s.byID[id] = s.lru.PushFront(&cnode{id: id, v: v})
-	for s.lru.Len() > s.capacity {
-		old := s.lru.Back()
-		s.lru.Remove(old)
-		delete(s.byID, old.Value.(*cnode).id)
-		c.evictions.Add(1)
+// insert adds a fresh entry, evicting the least-recently-used unpinned
+// entries from the shard's LRU tail on overflow. If every resident entry
+// is pinned the shard temporarily overflows its capacity instead — a
+// borrow window is short (one serve call) and never spans more than a
+// handful of pages per request, so the overshoot is bounded by the number
+// of in-flight requests. Caller holds s.mu.
+func (s *shard) insert(c *Cache, id pagestore.PageID, v any) *cnode {
+	cn := &cnode{id: id, v: v}
+	s.byID[id] = s.lru.PushFront(cn)
+	for el := s.lru.Back(); el != nil && s.lru.Len() > s.capacity; {
+		prev := el.Prev()
+		// Never evict the entry being inserted: under all-pinned pressure
+		// it is the only unpinned one, and evicting it would orphan the
+		// pin fillPinned is about to take (a later Unpin could then
+		// release a different borrower's pin on a refilled entry).
+		if old := el.Value.(*cnode); old != cn && old.pins == 0 {
+			s.lru.Remove(el)
+			delete(s.byID, old.id)
+			c.evictions.Add(1)
+		}
+		el = prev
 	}
+	return cn
 }
 
 // Len returns the number of decoded nodes currently cached.

@@ -1,0 +1,219 @@
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+)
+
+// pinFixture builds an IO over n written pages whose decoded form is the
+// page's first byte.
+func pinFixture(t *testing.T, n, capacity int) (*IO, *Cache) {
+	t.Helper()
+	store := pagestore.NewMem()
+	cache := New(capacity, ChargeMissesOnly)
+	io := NewIO(store, cache)
+	for i := 0; i < n; i++ {
+		id, err := io.Allocate(nil)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if err := WriteNode(io, nil, id, byte(i), func(buf []byte, v byte) {
+			buf[0] = v
+		}); err != nil {
+			t.Fatalf("WriteNode: %v", err)
+		}
+	}
+	return io, cache
+}
+
+func decodeFirst(buf []byte) byte { return buf[0] }
+
+// TestPinnedNodeSurvivesEviction floods a tiny cache while one node is
+// pinned: every unpinned node may be evicted, the pinned one must not.
+func TestPinnedNodeSurvivesEviction(t *testing.T) {
+	io, cache := pinFixture(t, 64, numShards) // one node per shard
+	v, pinned, err := ReadNodePinned(io, nil, 0, decodeFirst)
+	if err != nil || !pinned {
+		t.Fatalf("ReadNodePinned: v=%v pinned=%v err=%v", v, pinned, err)
+	}
+	if cache.PinnedCount() != 1 {
+		t.Fatalf("PinnedCount = %d, want 1", cache.PinnedCount())
+	}
+	// Page ids share shards modulo numShards: flood page 0's shard.
+	for round := 0; round < 3; round++ {
+		for id := pagestore.PageID(numShards); id < 64; id += numShards {
+			if _, err := ReadNode(io, nil, id, decodeFirst); err != nil {
+				t.Fatalf("ReadNode(%d): %v", id, err)
+			}
+		}
+	}
+	// A read of page 0 must still hit: the pin kept it resident.
+	before := cache.Stats().Hits
+	if _, err := ReadNode(io, nil, 0, decodeFirst); err != nil {
+		t.Fatalf("ReadNode(0): %v", err)
+	}
+	if cache.Stats().Hits != before+1 {
+		t.Fatal("pinned node was evicted under LRU pressure")
+	}
+	cache.Unpin(0)
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount = %d after Unpin, want 0", cache.PinnedCount())
+	}
+}
+
+// TestUnpinnedNodeEvicts is the control: without the pin the same flood
+// evicts page 0.
+func TestUnpinnedNodeEvicts(t *testing.T) {
+	io, cache := pinFixture(t, 64, numShards)
+	if _, err := ReadNode(io, nil, 0, decodeFirst); err != nil {
+		t.Fatalf("ReadNode(0): %v", err)
+	}
+	for id := pagestore.PageID(numShards); id < 64; id += numShards {
+		if _, err := ReadNode(io, nil, id, decodeFirst); err != nil {
+			t.Fatalf("ReadNode(%d): %v", id, err)
+		}
+	}
+	before := cache.Stats().Misses
+	if _, err := ReadNode(io, nil, 0, decodeFirst); err != nil {
+		t.Fatalf("ReadNode(0): %v", err)
+	}
+	if cache.Stats().Misses != before+1 {
+		t.Fatal("expected page 0 to have been evicted without a pin")
+	}
+}
+
+// TestPinDuringScanSkipsFill: a scan-section read bypasses admission, so
+// ReadNodePinned must report unpinned and leave nothing behind.
+func TestPinDuringScanSkipsFill(t *testing.T) {
+	io, cache := pinFixture(t, 4, 16)
+	cache.Invalidate(1) // write-through cached it at build time; force a miss
+	ctx := exec.NewContext()
+	ctx.BeginScan()
+	_, pinned, err := ReadNodePinned(io, ctx, 1, decodeFirst)
+	ctx.EndScan()
+	if err != nil {
+		t.Fatalf("ReadNodePinned: %v", err)
+	}
+	if pinned {
+		t.Fatal("a scan-section fill skip must not report a pin")
+	}
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount = %d, want 0", cache.PinnedCount())
+	}
+}
+
+// TestPinnedInvalidateThenUnpin: invalidating a pinned page drops the
+// entry; the later Unpin must be a harmless no-op and fresh pins must
+// still work.
+func TestPinnedInvalidateThenUnpin(t *testing.T) {
+	io, cache := pinFixture(t, 4, 16)
+	if _, pinned, err := ReadNodePinned(io, nil, 2, decodeFirst); err != nil || !pinned {
+		t.Fatalf("ReadNodePinned: pinned=%v err=%v", pinned, err)
+	}
+	cache.Invalidate(2)
+	cache.Unpin(2) // entry gone; must not panic or corrupt
+	if _, pinned, err := ReadNodePinned(io, nil, 2, decodeFirst); err != nil || !pinned {
+		t.Fatalf("re-pin after invalidate: pinned=%v err=%v", pinned, err)
+	}
+	cache.Unpin(2)
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount = %d, want 0", cache.PinnedCount())
+	}
+}
+
+// TestFillPinnedUnderAllPinnedPressure pins every resident node in a
+// one-node-per-shard cache, then fills-and-pins new pages into the same
+// shards: the insert must never evict the entry it is about to pin (the
+// orphaned-pin bug), so every pin stays accounted and unpins drain to
+// zero.
+func TestFillPinnedUnderAllPinnedPressure(t *testing.T) {
+	io, cache := pinFixture(t, 3*numShards, numShards)
+	// Pin one resident node per shard (ids 0..numShards-1 were written
+	// last... order unimportant: pin whatever is resident).
+	var held []pagestore.PageID
+	for id := pagestore.PageID(0); id < 3*numShards; id++ {
+		if _, ok, err := TryPinned[byte](io, nil, id); err != nil {
+			t.Fatalf("TryPinned(%d): %v", id, err)
+		} else if ok {
+			held = append(held, id)
+		}
+	}
+	if len(held) == 0 {
+		t.Fatal("fixture left nothing resident to pin")
+	}
+	// Now force fills into full shards whose entries are all pinned.
+	for id := pagestore.PageID(0); id < 3*numShards; id++ {
+		cache.Invalidate(id + 1000) // no-op spacing; keeps ids distinct
+	}
+	for _, id := range held {
+		probe := (id + numShards) % (3 * numShards) // same shard, different page
+		cache.Invalidate(probe)                     // force a real miss
+		v, pinned, err := ReadNodePinned(io, nil, probe, decodeFirst)
+		if err != nil {
+			t.Fatalf("ReadNodePinned(%d): %v", probe, err)
+		}
+		if v != byte(probe) {
+			t.Fatalf("page %d decoded to %d", probe, v)
+		}
+		if pinned {
+			// The freshly pinned entry must actually be resident: a hit
+			// right now must not miss.
+			before := cache.Stats().Hits
+			if _, err := ReadNode(io, nil, probe, decodeFirst); err != nil {
+				t.Fatalf("ReadNode(%d): %v", probe, err)
+			}
+			if cache.Stats().Hits != before+1 {
+				t.Fatalf("pinned fill of page %d was evicted by its own insert", probe)
+			}
+			cache.Unpin(probe)
+		}
+	}
+	for _, id := range held {
+		cache.Unpin(id)
+	}
+	if n := cache.PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount = %d after draining all pins, want 0", n)
+	}
+}
+
+// TestConcurrentPinUnpin hammers pin/read/unpin from many goroutines
+// against a cache smaller than the working set (run under -race in CI).
+func TestConcurrentPinUnpin(t *testing.T) {
+	io, cache := pinFixture(t, 128, 32)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := pagestore.PageID((g*31 + i) % 128)
+				v, pinned, err := ReadNodePinned(io, nil, id, decodeFirst)
+				if err != nil {
+					errs <- fmt.Errorf("ReadNodePinned(%d): %w", id, err)
+					return
+				}
+				if v != byte(id) {
+					errs <- fmt.Errorf("page %d decoded to %d", id, v)
+					return
+				}
+				if pinned {
+					cache.Unpin(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount = %d after drain, want 0", cache.PinnedCount())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sae/internal/bptree"
@@ -210,6 +211,93 @@ func (sp *ServiceProvider) QueryCtx(ctx *exec.Context, q record.Range) ([]record
 	return recs, qc, nil
 }
 
+// ridBufPool recycles the RID buffers the serve fast path scans into, so
+// steady-state serving performs no per-query index-result allocation.
+var ridBufPool = sync.Pool{
+	New: func() any { return new([]heapfile.RID) },
+}
+
+// ServeRange is ServeRangeCtx with a fresh request context.
+func (sp *ServiceProvider) ServeRange(q record.Range, emit func(*record.Record) error) (int, QueryCost, error) {
+	return sp.ServeRangeCtx(exec.NewContext(), q, emit)
+}
+
+// ServeRangeCtx is the zero-copy serve path: it executes the same
+// B+-tree scan and clustered fetch as QueryCtx but streams each result
+// record to emit as a pointer borrowed from the pinned decoded heap page,
+// instead of materializing a []record.Record. The wire layer encodes the
+// record into its frame inside the callback, so the only per-record copy
+// left on the serve path is the one onto the wire itself.
+//
+// emit must not retain the pointer after returning: the borrow is valid
+// only for the duration of the call (the record aliases a cached page
+// that updates may rewrite once the query's read lock is released).
+// Node-access counts, their index/fetch phase split and the returned
+// QueryCost are identical to QueryCtx (TestServeRangeParity); only the
+// copies and allocations are gone. A tampering SP (SetTamper) falls back
+// to the materializing path so attack experiments see identical behavior
+// on both entry points.
+func (sp *ServiceProvider) ServeRangeCtx(ctx *exec.Context, q record.Range, emit func(*record.Record) error) (int, QueryCost, error) {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	if sp.tamper != nil {
+		return sp.serveTampered(ctx, q, emit)
+	}
+	var qc QueryCost
+	before := ctx.Stats()
+	start := time.Now()
+	buf := ridBufPool.Get().(*[]heapfile.RID)
+	rids, err := sp.index.RangeAppendCtx(ctx, q.Lo, q.Hi, (*buf)[:0])
+	if err != nil {
+		*buf = rids[:0]
+		ridBufPool.Put(buf)
+		return 0, qc, fmt.Errorf("core: SP range scan: %w", err)
+	}
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	n := 0
+	err = sp.heap.ServeManyCtx(ctx, rids, func(r *record.Record) error {
+		n++
+		return emit(r)
+	})
+	*buf = rids[:0]
+	ridBufPool.Put(buf)
+	if err != nil {
+		return n, qc, fmt.Errorf("core: SP record serve: %w", err)
+	}
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
+	return n, qc, nil
+}
+
+// serveTampered routes a ServeRangeCtx call through the materializing
+// query path so the tamper hook sees the full result slice. Caller holds
+// the read lock.
+func (sp *ServiceProvider) serveTampered(ctx *exec.Context, q record.Range, emit func(*record.Record) error) (int, QueryCost, error) {
+	var qc QueryCost
+	before := ctx.Stats()
+	start := time.Now()
+	rids, err := sp.index.RangeCtx(ctx, q.Lo, q.Hi)
+	if err != nil {
+		return 0, qc, fmt.Errorf("core: SP range scan: %w", err)
+	}
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	recs, err := sp.heap.GetManyCtx(ctx, rids)
+	if err != nil {
+		return 0, qc, fmt.Errorf("core: SP record fetch: %w", err)
+	}
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
+	recs = sp.tamper(recs)
+	for i := range recs {
+		if err := emit(&recs[i]); err != nil {
+			return i, qc, err
+		}
+	}
+	return len(recs), qc, nil
+}
+
 // ApplyInsert stores a new record from the owner with a fresh request
 // context; see ApplyInsertCtx.
 func (sp *ServiceProvider) ApplyInsert(r record.Record) error {
@@ -335,13 +423,18 @@ func (te *TrustedEntity) CacheStats() bufpool.Stats {
 
 // Load receives the owner's initial dataset (sorted by key), projects each
 // record to its (id, digest) tuple, and bulk-loads the XB-Tree. The TE
-// discards everything else about the records.
+// discards everything else about the records. Digesting the dataset is
+// the load's SHA-1 bill — one 500-byte hash per record — so it fans out
+// across the crypto worker pool (digest.RecordDigests) before the
+// single-threaded tree build.
 func (te *TrustedEntity) Load(records []record.Record) error {
 	te.mu.Lock()
 	defer te.mu.Unlock()
+	digests := make([]digest.Digest, len(records))
+	digest.RecordDigests(digests, records, 0)
 	var items []xbtree.KeyTuples
 	for i := range records {
-		tup := xbtree.Tuple{ID: records[i].ID, Digest: digest.OfRecord(&records[i])}
+		tup := xbtree.Tuple{ID: records[i].ID, Digest: digests[i]}
 		if n := len(items); n > 0 && items[n-1].Key == records[i].Key {
 			items[n-1].Tuples = append(items[n-1].Tuples, tup)
 		} else {
@@ -378,6 +471,65 @@ func (te *TrustedEntity) GenerateVTCtx(ctx *exec.Context, q record.Range) (diges
 	}
 	cost := costmodel.Default.Measure(ctx.Stats().Sub(before), time.Since(start))
 	return vt, cost, nil
+}
+
+// GenerateVTBatch computes the tokens for many ranges, fanning the
+// generations out across up to `workers` goroutines (0 = the default
+// crypto fan-out). Each query runs under its own request context exactly
+// as the serial batch loop did, so every token is bit-identical to a
+// GenerateVT call and the global access accounting is unchanged — only
+// the wall-clock time shrinks on multicore TEs. Tokens align with qs.
+func (te *TrustedEntity) GenerateVTBatch(qs []record.Range, workers int) ([]digest.Digest, error) {
+	vts := make([]digest.Digest, len(qs))
+	if workers <= 0 {
+		workers = digest.DefaultWorkers()
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			vt, _, err := te.GenerateVTCtx(exec.NewContext(), q)
+			if err != nil {
+				return nil, err
+			}
+			vts[i] = vt
+		}
+		return vts, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	var next atomic.Int64
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				vt, _, err := te.GenerateVTCtx(exec.NewContext(), qs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				vts[i] = vt
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vts, nil
 }
 
 // ApplyInsert registers a new record from the owner with a fresh request
@@ -451,6 +603,71 @@ func (Client) Verify(q record.Range, result []record.Record, vt digest.Digest) (
 	}
 	cost := costmodel.Breakdown{CPU: time.Since(start)}
 	if acc.Sum() != vt {
+		return cost, fmt.Errorf("%w: digest XOR mismatch for %v", ErrVerificationFailed, q)
+	}
+	return cost, nil
+}
+
+// VerifyPool is the client-side parallel verifier: the Figure 7 check
+// (recompute every record digest, XOR-fold, compare with the VT) fanned
+// out across a bounded worker pool with per-worker SHA-1 scratch state,
+// merged through digest's XOR fold. Accept/reject decisions are identical
+// to Client.Verify for every input — XOR is order-independent — which
+// TestVerifyPoolParity enforces across honest and tampered results.
+type VerifyPool struct {
+	workers int
+}
+
+// NewVerifyPool returns a verifier fanning out across up to `workers`
+// goroutines; workers <= 0 selects the default crypto fan-out
+// (digest.DefaultWorkers). Small results always verify inline.
+func NewVerifyPool(workers int) VerifyPool {
+	if workers <= 0 {
+		workers = digest.DefaultWorkers()
+	}
+	return VerifyPool{workers: workers}
+}
+
+// Verify checks a materialized result against the TE token, hashing
+// records across the pool. Like Client.Verify it rejects out-of-range
+// records outright and measures pure client CPU.
+func (vp VerifyPool) Verify(q record.Range, result []record.Record, vt digest.Digest) (costmodel.Breakdown, error) {
+	start := time.Now()
+	for i := range result {
+		if !q.Contains(result[i].Key) {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, result[i].ID, result[i].Key, q)
+		}
+	}
+	sum := digest.XORFoldRecords(result, vp.workers)
+	cost := costmodel.Breakdown{CPU: time.Since(start)}
+	if sum != vt {
+		return cost, fmt.Errorf("%w: digest XOR mismatch for %v", ErrVerificationFailed, q)
+	}
+	return cost, nil
+}
+
+// VerifyEncoded checks a result still in canonical wire form — n
+// back-to-back record encodings — without materializing a single record:
+// keys are peeked in place and every 500-byte slice is hashed where it
+// lies in the frame. This is the zero-copy end of the serve→wire→verify
+// chain; combined with the SHA-NI digest core it is what carries the
+// ≥2x single-core verification target.
+func (vp VerifyPool) VerifyEncoded(q record.Range, enc []byte, vt digest.Digest) (costmodel.Breakdown, error) {
+	start := time.Now()
+	if len(enc)%record.Size != 0 {
+		return costmodel.Breakdown{CPU: time.Since(start)},
+			fmt.Errorf("%w: payload of %d bytes is not whole records", ErrVerificationFailed, len(enc))
+	}
+	for off := 0; off < len(enc); off += record.Size {
+		if k := record.WireKey(enc[off:]); !q.Contains(k) {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, record.WireID(enc[off:]), k, q)
+		}
+	}
+	sum := digest.XORFoldWire(enc, vp.workers)
+	cost := costmodel.Breakdown{CPU: time.Since(start)}
+	if sum != vt {
 		return cost, fmt.Errorf("%w: digest XOR mismatch for %v", ErrVerificationFailed, q)
 	}
 	return cost, nil

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+func fastpathRecords(n int) []record.Record {
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Synthesize(record.ID(i+1), record.Key((i*7919)%record.KeyDomain))
+	}
+	sort.Slice(recs, func(i, j int) bool { return record.SortByKey(recs[i], recs[j]) < 0 })
+	return recs
+}
+
+func fastpathSP(t *testing.T, recs []record.Record, cached bool) *ServiceProvider {
+	t.Helper()
+	sp := NewServiceProvider(pagestore.NewMem())
+	if !cached {
+		sp.ConfigureCache(0, 0)
+	}
+	if err := sp.Load(recs); err != nil {
+		t.Fatalf("SP load: %v", err)
+	}
+	return sp
+}
+
+// TestServeRangeParity proves the zero-copy serve path emits exactly the
+// records QueryCtx returns with the identical access counts AND the
+// identical index/fetch phase split, cached and uncached, across
+// selectivities from empty to full-table.
+func TestServeRangeParity(t *testing.T) {
+	recs := fastpathRecords(3000)
+	ranges := []record.Range{
+		{Lo: 5, Hi: 4},                                 // empty (inverted guard handled by index)
+		{Lo: 0, Hi: 0},                                 // empty result, valid range
+		{Lo: recs[10].Key, Hi: recs[10].Key},           // point
+		{Lo: recs[100].Key, Hi: recs[700].Key},         // mid-size
+		{Lo: 0, Hi: record.KeyDomain - 1},              // full table
+		{Lo: recs[2990].Key, Hi: record.KeyDomain - 1}, // tail
+	}
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		t.Run(name, func(t *testing.T) {
+			sp := fastpathSP(t, recs, cached)
+			for _, q := range ranges {
+				qctx := exec.NewContext()
+				want, wantQC, err := sp.QueryCtx(qctx, q)
+				if err != nil {
+					t.Fatalf("QueryCtx(%v): %v", q, err)
+				}
+				sctx := exec.NewContext()
+				var got []record.Record
+				n, gotQC, err := sp.ServeRangeCtx(sctx, q, func(r *record.Record) error {
+					got = append(got, *r)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("ServeRangeCtx(%v): %v", q, err)
+				}
+				if n != len(want) || len(got) != len(want) {
+					t.Fatalf("%v: served %d/%d records, want %d", q, n, len(got), len(want))
+				}
+				for i := range want {
+					if !got[i].Equal(&want[i]) {
+						t.Fatalf("%v: record %d mismatch", q, i)
+					}
+				}
+				if g, w := sctx.Stats(), qctx.Stats(); g != w {
+					t.Fatalf("%v: serve accesses %+v != query accesses %+v", q, g, w)
+				}
+				if gotQC.Index.Accesses != wantQC.Index.Accesses || gotQC.Fetch.Accesses != wantQC.Fetch.Accesses {
+					t.Fatalf("%v: phase split (%d,%d) != (%d,%d)", q,
+						gotQC.Index.Accesses, gotQC.Fetch.Accesses,
+						wantQC.Index.Accesses, wantQC.Fetch.Accesses)
+				}
+			}
+			if cached {
+				if pinned := sp.cache.PinnedCount(); pinned != 0 {
+					t.Fatalf("%d pages still pinned after serving", pinned)
+				}
+			}
+		})
+	}
+}
+
+// TestServeRangeTamperedParity proves the tampering fallback emits the
+// same (tampered) result the query path returns.
+func TestServeRangeTamperedParity(t *testing.T) {
+	recs := fastpathRecords(400)
+	sp := fastpathSP(t, recs, true)
+	sp.SetTamper(DropTamper(3))
+	q := record.Range{Lo: 0, Hi: record.KeyDomain - 1}
+	want, _, err := sp.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var got []record.Record
+	n, _, err := sp.ServeRange(q, func(r *record.Record) error {
+		got = append(got, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ServeRange: %v", err)
+	}
+	if n != len(want) {
+		t.Fatalf("served %d records, want %d", n, len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(&want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestServeRangeEmitError proves emit errors stop the serve and surface.
+func TestServeRangeEmitError(t *testing.T) {
+	recs := fastpathRecords(100)
+	sp := fastpathSP(t, recs, true)
+	boom := errors.New("downstream full")
+	n := 0
+	_, _, err := sp.ServeRange(record.Range{Lo: 0, Hi: record.KeyDomain - 1}, func(*record.Record) error {
+		n++
+		if n == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+	if pinned := sp.cache.PinnedCount(); pinned != 0 {
+		t.Fatalf("%d pages still pinned after emit error", pinned)
+	}
+}
+
+// TestVerifyPoolParity drives the parallel and encoded verifiers across
+// honest and tampered results at several worker counts: accept/reject
+// must match Client.Verify exactly.
+func TestVerifyPoolParity(t *testing.T) {
+	recs := fastpathRecords(600)
+	te := NewTrustedEntity(pagestore.NewMem())
+	if err := te.Load(recs); err != nil {
+		t.Fatalf("TE load: %v", err)
+	}
+	q := record.Range{Lo: recs[50].Key, Hi: recs[500].Key}
+	vt, _, err := te.GenerateVT(q)
+	if err != nil {
+		t.Fatalf("GenerateVT: %v", err)
+	}
+	sp := fastpathSP(t, recs, true)
+	honest, _, err := sp.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	encode := func(rs []record.Record) []byte {
+		out := make([]byte, 0, len(rs)*record.Size)
+		for i := range rs {
+			out = rs[i].AppendBinary(out)
+		}
+		return out
+	}
+	outside := record.Synthesize(9999, q.Hi+1)
+	cases := []struct {
+		name   string
+		result []record.Record
+		ok     bool
+	}{
+		{"honest", honest, true},
+		{"drop", DropTamper(2)(honest), false},
+		{"inject", InjectTamper(record.Synthesize(12345, q.Lo))(honest), false},
+		{"modify", ModifyTamper(1)(honest), false},
+		{"outside", append(append([]record.Record{}, honest...), outside), false},
+		{"empty-claiming", nil, false},
+	}
+	var serial Client
+	for _, tc := range cases {
+		_, wantErr := serial.Verify(q, tc.result, vt)
+		if (wantErr == nil) != tc.ok {
+			t.Fatalf("%s: baseline verify ok=%v, want %v", tc.name, wantErr == nil, tc.ok)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			vp := NewVerifyPool(workers)
+			if _, err := vp.Verify(q, tc.result, vt); (err == nil) != tc.ok {
+				t.Fatalf("%s: VerifyPool(%d) ok=%v, want %v (err=%v)", tc.name, workers, err == nil, tc.ok, err)
+			}
+			if _, err := vp.VerifyEncoded(q, encode(tc.result), vt); (err == nil) != tc.ok {
+				t.Fatalf("%s: VerifyEncoded(%d) ok=%v, want %v (err=%v)", tc.name, workers, err == nil, tc.ok, err)
+			}
+		}
+	}
+	// A ragged payload must be rejected outright.
+	vp := NewVerifyPool(2)
+	if _, err := vp.VerifyEncoded(q, encode(honest)[:len(honest)*record.Size-1], vt); err == nil {
+		t.Fatal("VerifyEncoded accepted a truncated payload")
+	}
+}
+
+// TestGenerateVTBatchParity proves batch tokens are bit-identical to
+// serial GenerateVT calls at every worker count.
+func TestGenerateVTBatchParity(t *testing.T) {
+	recs := fastpathRecords(1500)
+	te := NewTrustedEntity(pagestore.NewMem())
+	if err := te.Load(recs); err != nil {
+		t.Fatalf("TE load: %v", err)
+	}
+	qs := []record.Range{
+		{Lo: 0, Hi: record.KeyDomain - 1},
+		{Lo: recs[3].Key, Hi: recs[70].Key},
+		{Lo: recs[100].Key, Hi: recs[100].Key},
+		{Lo: 1, Hi: 2},
+		{Lo: recs[900].Key, Hi: recs[1400].Key},
+	}
+	want := make([]digest.Digest, len(qs))
+	for i, q := range qs {
+		vt, _, err := te.GenerateVT(q)
+		if err != nil {
+			t.Fatalf("GenerateVT(%v): %v", q, err)
+		}
+		want[i] = vt
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := te.GenerateVTBatch(qs, workers)
+		if err != nil {
+			t.Fatalf("GenerateVTBatch(workers=%d): %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: token %d mismatch", workers, i)
+			}
+		}
+	}
+}
+
+// Allocation-regression tests: the three hot paths must stay (near)
+// allocation-free per operation so future PRs cannot silently reintroduce
+// per-record garbage. Bounds are small constants, far below one
+// allocation per record.
+
+// TestServeRangeAllocs bounds the steady-state allocations of the SP
+// serve fast path: index scan into a pooled RID buffer, pinned-page
+// record streaming, no result slice materialization.
+func TestServeRangeAllocs(t *testing.T) {
+	recs := fastpathRecords(2000)
+	sp := fastpathSP(t, recs, true)
+	// ~400 records = ~50 heap pages: under exec.ScanThreshold, so the
+	// working set is fully admitted and steady-state serves run on cache
+	// hits. (Above the threshold, scan-resistant admission intentionally
+	// re-decodes the tail pages every run — that is hot-set protection,
+	// not an allocation regression.)
+	q := record.Range{Lo: recs[100].Key, Hi: recs[500].Key}
+	sink := 0
+	serve := func() {
+		n, _, err := sp.ServeRangeCtx(exec.NewContext(), q, func(r *record.Record) error {
+			sink += int(r.Key)
+			return nil
+		})
+		if err != nil || n == 0 {
+			t.Fatalf("serve: n=%d err=%v", n, err)
+		}
+	}
+	serve() // warm the decoded cache and the RID pool
+	allocs := testing.AllocsPerRun(50, serve)
+	if allocs > 8 {
+		t.Fatalf("SP serve path allocates %.1f objects/op for a ~400-record query, want <= 8", allocs)
+	}
+}
+
+// TestGenerateVTAllocs bounds TE token generation on a warm cache.
+func TestGenerateVTAllocs(t *testing.T) {
+	recs := fastpathRecords(2000)
+	te := NewTrustedEntity(pagestore.NewMem())
+	if err := te.Load(recs); err != nil {
+		t.Fatalf("TE load: %v", err)
+	}
+	q := record.Range{Lo: recs[100].Key, Hi: recs[1100].Key}
+	gen := func() {
+		if _, _, err := te.GenerateVTCtx(exec.NewContext(), q); err != nil {
+			t.Fatalf("GenerateVT: %v", err)
+		}
+	}
+	gen()
+	allocs := testing.AllocsPerRun(50, gen)
+	if allocs > 8 {
+		t.Fatalf("TE VT generation allocates %.1f objects/op, want <= 8", allocs)
+	}
+}
+
+// TestVerifyEncodedAllocs bounds the client's zero-copy verification: the
+// payload is hashed in place, so a thousand-record check must not
+// allocate per record (workers=1 keeps the fan-out goroutines out of the
+// measurement).
+func TestVerifyEncodedAllocs(t *testing.T) {
+	recs := fastpathRecords(1000)
+	enc := make([]byte, 0, len(recs)*record.Size)
+	var acc digest.Accumulator
+	for i := range recs {
+		enc = recs[i].AppendBinary(enc)
+		acc.Add(digest.OfRecord(&recs[i]))
+	}
+	vt := acc.Sum()
+	q := record.Range{Lo: 0, Hi: record.KeyDomain - 1}
+	vp := NewVerifyPool(1)
+	verify := func() {
+		if _, err := vp.VerifyEncoded(q, enc, vt); err != nil {
+			t.Fatalf("VerifyEncoded: %v", err)
+		}
+	}
+	verify()
+	allocs := testing.AllocsPerRun(50, verify)
+	if allocs > 2 {
+		t.Fatalf("client verify allocates %.1f objects/op for 1000 records, want <= 2", allocs)
+	}
+}

@@ -29,7 +29,7 @@ var Zero Digest
 
 // OfBytes hashes an arbitrary byte string.
 func OfBytes(b []byte) Digest {
-	return sha1.Sum(b)
+	return sum20(b)
 }
 
 // OfRecord hashes the canonical binary representation of a record. This is
@@ -38,7 +38,29 @@ func OfBytes(b []byte) Digest {
 func OfRecord(r *record.Record) Digest {
 	var buf [record.Size]byte
 	h := r.AppendBinary(buf[:0])
-	return sha1.Sum(h)
+	return sum20(h)
+}
+
+// OfRecordInto hashes r like OfRecord but serializes through the
+// caller-provided scratch buffer instead of a fresh stack frame, returning
+// the (possibly grown) scratch for reuse. Batch digesting — the TE's load
+// path, the verifier's per-record recompute — holds one scratch per worker
+// and pays zero allocations per record.
+func OfRecordInto(scratch []byte, r *record.Record) (Digest, []byte) {
+	scratch = r.AppendBinary(scratch[:0])
+	return sum20(scratch), scratch
+}
+
+// OfWire hashes a canonical record encoding directly out of a wire frame
+// or page buffer — the zero-copy path: no record materialization, no
+// serialization, the borrowed bytes are hashed in place. It panics if b is
+// not exactly record.Size bytes (the fixed encoding every party agrees
+// on), because hashing a partial record would silently verify garbage.
+func OfWire(b []byte) Digest {
+	if len(b) != record.Size {
+		panic("digest: OfWire requires exactly one encoded record")
+	}
+	return sum20(b)
 }
 
 // XOR returns d ⊕ o. The 20 bytes are folded as two uint64 words plus one
@@ -120,19 +142,28 @@ func (a *Accumulator) Reset() { a.acc = Zero }
 // Concat returns H(d1 || d2 || ... || dk), the Merkle combination used for
 // MB-Tree intermediate entries.
 func Concat(ds ...Digest) Digest {
-	h := sha1.New()
+	var w ConcatWriter
+	w.Reset()
 	for _, d := range ds {
-		h.Write(d[:])
+		w.Add(d)
 	}
-	var out Digest
-	copy(out[:], h.Sum(nil))
-	return out
+	return w.Sum()
 }
 
 // ConcatWriter incrementally computes a Merkle node digest without
-// materializing the child digest list.
+// materializing the child digest list. It runs on the package's own SHA-1
+// core (SHA-NI accelerated where available), buffers in place and never
+// allocates, so VO verification can re-hash an entire Merkle path with
+// zero garbage. The zero value is NOT ready; call Reset (or use
+// NewConcatWriter) first.
 type ConcatWriter struct {
-	h interface {
+	h   [5]uint32
+	buf [64]byte
+	n   int
+	len uint64
+	// std carries the stdlib hasher when SHA-NI is off: crypto/sha1's AVX2
+	// schedule beats our portable block, so the fallback defers to it.
+	std interface {
 		Write(p []byte) (int, error)
 		Sum(b []byte) []byte
 	}
@@ -140,18 +171,70 @@ type ConcatWriter struct {
 
 // NewConcatWriter returns a streaming Merkle-node hasher.
 func NewConcatWriter() *ConcatWriter {
-	return &ConcatWriter{h: sha1.New()}
+	w := &ConcatWriter{}
+	w.Reset()
+	return w
+}
+
+// Reset restores the initial hash state so one writer can be reused
+// across many Merkle nodes without reallocation.
+func (w *ConcatWriter) Reset() {
+	if !Accelerated {
+		w.std = sha1.New()
+		return
+	}
+	w.h = sha1init
+	w.n = 0
+	w.len = 0
 }
 
 // Add appends one child digest to the stream.
 func (w *ConcatWriter) Add(d Digest) {
-	w.h.Write(d[:])
+	if w.std != nil {
+		w.std.Write(d[:])
+		return
+	}
+	w.len += Size
+	b := d[:]
+	if w.n > 0 {
+		c := copy(w.buf[w.n:], b)
+		w.n += c
+		if w.n < 64 {
+			return
+		}
+		compress(&w.h, w.buf[:])
+		w.n = 0
+		b = b[c:]
+	}
+	// A 20-byte digest never fills a whole block on its own once the
+	// buffer has drained.
+	w.n += copy(w.buf[:], b)
 }
 
-// Sum finalizes the node digest.
+// Sum finalizes the node digest. The writer remains usable (Sum does not
+// disturb the running state), matching hash.Hash semantics.
 func (w *ConcatWriter) Sum() Digest {
+	if w.std != nil {
+		var out Digest
+		copy(out[:], w.std.Sum(nil))
+		return out
+	}
+	h := w.h
+	var tail [128]byte
+	n := copy(tail[:], w.buf[:w.n])
+	tail[n] = 0x80
+	end := 64
+	if n+9 > 64 {
+		end = 128
+	}
+	binary.BigEndian.PutUint64(tail[end-8:end], w.len<<3)
+	compress(&h, tail[:end])
 	var out Digest
-	copy(out[:], w.h.Sum(nil))
+	binary.BigEndian.PutUint32(out[0:4], h[0])
+	binary.BigEndian.PutUint32(out[4:8], h[1])
+	binary.BigEndian.PutUint32(out[8:12], h[2])
+	binary.BigEndian.PutUint32(out[12:16], h[3])
+	binary.BigEndian.PutUint32(out[16:20], h[4])
 	return out
 }
 

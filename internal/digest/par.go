@@ -1,0 +1,142 @@
+package digest
+
+import (
+	"runtime"
+	"sync"
+
+	"sae/internal/record"
+)
+
+// Parallel batch digesting. Record digests are independent, and the XOR
+// fold that aggregates them is commutative and associative, so a batch
+// can be chunked across a bounded worker pool — each worker hashing with
+// its own serialization scratch and folding into its own Accumulator —
+// and the per-worker sums merged in any order without changing a single
+// output bit. This is the crypto fan-out behind the TE's bulk digesting
+// and the client's Figure 7 verification fast path.
+
+// parThreshold is the batch size below which fan-out costs more than it
+// saves: spawning a goroutine costs on the order of a couple of record
+// hashes, so small results stay inline.
+const parThreshold = 128
+
+// DefaultWorkers returns the default crypto fan-out: every schedulable
+// CPU, capped at 8 — beyond that the XOR merge and goroutine churn beat
+// the marginal core on this workload.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// clampWorkers bounds the fan-out for n items under the requested worker
+// count (0 or negative means DefaultWorkers).
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if n < parThreshold || workers < 2 {
+		return 1
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// chunk returns the half-open item range worker w of n workers owns.
+func chunk(items, workers, w int) (lo, hi int) {
+	lo = items * w / workers
+	hi = items * (w + 1) / workers
+	return lo, hi
+}
+
+// RecordDigests fills dst[i] with OfRecord(&recs[i]) for every record,
+// fanning the hashing out across up to `workers` goroutines (0 = default).
+// dst must be at least as long as recs. Each worker reuses one
+// serialization scratch, so the batch performs zero per-record
+// allocations.
+func RecordDigests(dst []Digest, recs []record.Record, workers int) {
+	w := clampWorkers(workers, len(recs))
+	if w == 1 {
+		var scratch [2 * record.Size]byte
+		digestRecordsInto(dst, recs, scratch[:0])
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := chunk(len(recs), w, k)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var scratch [2 * record.Size]byte
+			digestRecordsInto(dst[lo:hi], recs[lo:hi], scratch[:0])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// XORFoldRecords returns the XOR of OfRecord over recs — the client's
+// recompute-and-fold step — fanned out across up to `workers` goroutines
+// with per-worker scratch and accumulator. The result is bit-identical
+// to a serial fold regardless of worker count.
+func XORFoldRecords(recs []record.Record, workers int) Digest {
+	w := clampWorkers(workers, len(recs))
+	if w == 1 {
+		var acc Accumulator
+		var scratch [2 * record.Size]byte
+		foldRecordsInto(&acc, recs, scratch[:0])
+		return acc.Sum()
+	}
+	parts := make([]Digest, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := chunk(len(recs), w, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var acc Accumulator
+			var scratch [2 * record.Size]byte
+			foldRecordsInto(&acc, recs[lo:hi], scratch[:0])
+			parts[k] = acc.Sum()
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	return XORAll(parts...)
+}
+
+// XORFoldWire folds the digests of n := len(enc)/record.Size canonical
+// record encodings packed back-to-back in enc — a received wire payload —
+// without materializing a single record: each worker hashes its chunk's
+// 500-byte slices in place. It panics if enc is not whole records.
+func XORFoldWire(enc []byte, workers int) Digest {
+	if len(enc)%record.Size != 0 {
+		panic("digest: XORFoldWire requires whole record encodings")
+	}
+	n := len(enc) / record.Size
+	w := clampWorkers(workers, n)
+	if w == 1 {
+		var acc Accumulator
+		foldWireInto(&acc, enc)
+		return acc.Sum()
+	}
+	parts := make([]Digest, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := chunk(n, w, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var acc Accumulator
+			foldWireInto(&acc, enc[lo*record.Size:hi*record.Size])
+			parts[k] = acc.Sum()
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	return XORAll(parts...)
+}

@@ -1,0 +1,104 @@
+package digest
+
+import (
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+
+	"sae/internal/record"
+)
+
+func parRecords(n int, seed int64) []record.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Synthesize(record.ID(rng.Int63()), record.Key(rng.Intn(record.KeyDomain)))
+	}
+	return recs
+}
+
+// TestHashPairMatchesStdlib drives the two-lane core (when active)
+// against crypto/sha1 over random record pairs.
+func TestHashPairMatchesStdlib(t *testing.T) {
+	if hashPair == nil {
+		t.Skip("two-lane SHA core not active on this CPU")
+	}
+	recs := parRecords(64, 31)
+	for i := 0; i+1 < len(recs); i += 2 {
+		a, b := recs[i].Marshal(), recs[i+1].Marshal()
+		da, db := hashPair(a, b)
+		if want := Digest(sha1.Sum(a)); da != want {
+			t.Fatalf("pair %d lane A mismatch: got %s want %s", i, da, want)
+		}
+		if want := Digest(sha1.Sum(b)); db != want {
+			t.Fatalf("pair %d lane B mismatch: got %s want %s", i, db, want)
+		}
+	}
+}
+
+// TestRecordDigestsParity checks every worker count and both parities of
+// batch length against serial OfRecord.
+func TestRecordDigestsParity(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 127, 128, 129, 500, 501} {
+		recs := parRecords(n, int64(40+n))
+		want := make([]Digest, n)
+		for i := range recs {
+			want[i] = OfRecord(&recs[i])
+		}
+		for _, workers := range []int{0, 1, 2, 3, 4} {
+			got := make([]Digest, n)
+			RecordDigests(got, recs, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: digest %d mismatch", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestXORFoldParity checks the fold variants — records and wire form —
+// against a serial reference at every worker count.
+func TestXORFoldParity(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 127, 128, 129, 400, 1001} {
+		recs := parRecords(n, int64(70+n))
+		var ref Accumulator
+		enc := make([]byte, 0, n*record.Size)
+		for i := range recs {
+			ref.Add(OfRecord(&recs[i]))
+			enc = recs[i].AppendBinary(enc)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 4} {
+			if got := XORFoldRecords(recs, workers); got != ref.Sum() {
+				t.Fatalf("n=%d workers=%d: XORFoldRecords mismatch", n, workers)
+			}
+			if got := XORFoldWire(enc, workers); got != ref.Sum() {
+				t.Fatalf("n=%d workers=%d: XORFoldWire mismatch", n, workers)
+			}
+		}
+	}
+}
+
+func TestXORFoldWirePanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XORFoldWire accepted a ragged payload")
+		}
+	}()
+	XORFoldWire(make([]byte, record.Size+1), 1)
+}
+
+func BenchmarkXORFoldWire(b *testing.B) {
+	recs := parRecords(1000, 99)
+	enc := make([]byte, 0, len(recs)*record.Size)
+	for i := range recs {
+		enc = recs[i].AppendBinary(enc)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	var d Digest
+	for i := 0; i < b.N; i++ {
+		d = XORFoldWire(enc, 1)
+	}
+	sink = d
+}

@@ -1,0 +1,171 @@
+package digest
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+
+	"sae/internal/record"
+)
+
+// This file carries the package's own SHA-1 core: a portable block
+// function, a SHA-NI accelerated one on amd64 (sha1block_amd64.s), and a
+// small streaming state shared by the one-shot and Merkle-concat paths.
+// Results are bit-identical to crypto/sha1 (enforced by TestSHA1MatchesStdlib);
+// the point of owning the core is (a) dispatching to the SHA-NI compression
+// the stdlib lacks and (b) hashing borrowed byte slices with zero
+// allocation, which the fast serve/verify paths rely on.
+
+// Accelerated reports whether the SHA-NI block function is in use. It is
+// set during init on amd64 CPUs with the SHA extensions (and left false
+// under SAE_DISABLE_SHANI=1).
+//
+// compress (defined per-arch) dispatches to the active block function with
+// direct calls — a function variable here would defeat escape analysis and
+// put every padding scratch on the heap.
+var Accelerated bool
+
+// sha1init is the SHA-1 initial state (FIPS 180-4).
+var sha1init = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+
+// hashPair, when non-nil, hashes two canonical record.Size-byte encodings
+// in one two-lane pass (amd64 SHA-NI sets it during init). Batch digest
+// paths pair records through it to hide the single-stream compression's
+// dependency-chain latency; one-at-a-time callers keep using sum20.
+var hashPair func(a, b []byte) (Digest, Digest)
+
+// foldWireInto XOR-folds the digests of the n = len(enc)/record.Size
+// canonical record encodings packed in enc, pairing records through the
+// two-lane core when available. Callers guarantee whole records.
+func foldWireInto(acc *Accumulator, enc []byte) {
+	n := len(enc) / record.Size
+	i := 0
+	if hashPair != nil {
+		for ; i+1 < n; i += 2 {
+			da, db := hashPair(enc[i*record.Size:(i+1)*record.Size], enc[(i+1)*record.Size:(i+2)*record.Size])
+			acc.Add(da)
+			acc.Add(db)
+		}
+	}
+	for ; i < n; i++ {
+		acc.Add(OfWire(enc[i*record.Size : (i+1)*record.Size]))
+	}
+}
+
+// foldRecordsInto XOR-folds OfRecord over recs into acc, serializing
+// through scratch (returned for reuse) and pairing when available.
+func foldRecordsInto(acc *Accumulator, recs []record.Record, scratch []byte) []byte {
+	i := 0
+	if hashPair != nil {
+		for ; i+1 < len(recs); i += 2 {
+			scratch = recs[i].AppendBinary(scratch[:0])
+			scratch = recs[i+1].AppendBinary(scratch)
+			da, db := hashPair(scratch[:record.Size], scratch[record.Size:2*record.Size])
+			acc.Add(da)
+			acc.Add(db)
+		}
+	}
+	var d Digest
+	for ; i < len(recs); i++ {
+		d, scratch = OfRecordInto(scratch, &recs[i])
+		acc.Add(d)
+	}
+	return scratch
+}
+
+// digestRecordsInto fills dst[i] with OfRecord(&recs[i]), serializing
+// through scratch (grown to 2*record.Size and returned for reuse) and
+// pairing through the two-lane core when available.
+func digestRecordsInto(dst []Digest, recs []record.Record, scratch []byte) []byte {
+	i := 0
+	if hashPair != nil {
+		for ; i+1 < len(recs); i += 2 {
+			scratch = recs[i].AppendBinary(scratch[:0])
+			scratch = recs[i+1].AppendBinary(scratch)
+			dst[i], dst[i+1] = hashPair(scratch[:record.Size], scratch[record.Size:2*record.Size])
+		}
+	}
+	for ; i < len(recs); i++ {
+		dst[i], scratch = OfRecordInto(scratch, &recs[i])
+	}
+	return scratch
+}
+
+// sha1blockGeneric is the textbook SHA-1 compression, processing
+// len(p)/64 blocks. It mirrors crypto/sha1's blockGeneric (same schedule,
+// plain Go) and is the fallback where SHA-NI is unavailable.
+func sha1blockGeneric(h *[5]uint32, p []byte) {
+	var w [16]uint32
+	h0, h1, h2, h3, h4 := h[0], h[1], h[2], h[3], h[4]
+	for len(p) >= 64 {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(p[4*i:])
+		}
+		a, b, c, d, e := h0, h1, h2, h3, h4
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f = (b & c) | (^b & d)
+				k = 0x5A827999
+			case i < 40:
+				f = b ^ c ^ d
+				k = 0x6ED9EBA1
+			case i < 60:
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x8F1BBCDC
+			default:
+				f = b ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			var wi uint32
+			if i < 16 {
+				wi = w[i]
+			} else {
+				wi = w[(i-3)&15] ^ w[(i-8)&15] ^ w[(i-14)&15] ^ w[i&15]
+				wi = wi<<1 | wi>>31
+				w[i&15] = wi
+			}
+			t := (a<<5 | a>>27) + f + e + k + wi
+			a, b, c, d, e = t, a, b<<30|b>>2, c, d
+		}
+		h0 += a
+		h1 += b
+		h2 += c
+		h3 += d
+		h4 += e
+		p = p[64:]
+	}
+	h[0], h[1], h[2], h[3], h[4] = h0, h1, h2, h3, h4
+}
+
+// sum20 computes the SHA-1 digest of b with the active block function.
+// The bulk of b is hashed in place (no copy); only the final partial
+// block goes through a stack scratch for padding. Allocation-free.
+func sum20(b []byte) Digest {
+	if !Accelerated {
+		// The stdlib's AVX2 schedule beats our portable loop; use it when
+		// SHA-NI is off so the fallback is never slower than the seed.
+		return sha1.Sum(b)
+	}
+	h := sha1init
+	full := len(b) &^ 63
+	if full > 0 {
+		compress(&h, b[:full])
+	}
+	var tail [128]byte
+	n := copy(tail[:], b[full:])
+	tail[n] = 0x80
+	end := 64
+	if n+9 > 64 {
+		end = 128
+	}
+	binary.BigEndian.PutUint64(tail[end-8:end], uint64(len(b))<<3)
+	compress(&h, tail[:end])
+	var out Digest
+	binary.BigEndian.PutUint32(out[0:4], h[0])
+	binary.BigEndian.PutUint32(out[4:8], h[1])
+	binary.BigEndian.PutUint32(out[8:12], h[2])
+	binary.BigEndian.PutUint32(out[12:16], h[3])
+	binary.BigEndian.PutUint32(out[16:20], h[4])
+	return out
+}

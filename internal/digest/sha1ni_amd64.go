@@ -1,0 +1,89 @@
+//go:build amd64
+
+package digest
+
+import (
+	"encoding/binary"
+	"os"
+
+	"sae/internal/record"
+)
+
+// sha1blockNI runs the SHA-NI compression over len(p)/64 blocks.
+// len(p) must be a non-zero multiple of 64.
+//
+//go:noescape
+func sha1blockNI(h *[5]uint32, p []byte)
+
+// cpuidx executes CPUID with the given leaf/subleaf.
+func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// hasSHANI reports whether the CPU implements the SHA new instructions
+// (CPUID.(EAX=7,ECX=0):EBX bit 29) plus SSSE3 for the byte shuffle
+// (CPUID.1:ECX bit 9). SAE_DISABLE_SHANI=1 forces the pure-Go fallback,
+// used by CI to exercise both block implementations.
+func detectSHANI() bool {
+	if os.Getenv("SAE_DISABLE_SHANI") == "1" {
+		return false
+	}
+	maxLeaf, _, _, _ := cpuidx(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidx(1, 0)
+	if ecx1&(1<<9) == 0 { // SSSE3
+		return false
+	}
+	_, ebx7, _, _ := cpuidx(7, 0)
+	return ebx7&(1<<29) != 0 // SHA
+}
+
+// sha1block2NI runs the two-lane SHA-NI compression: h holds two states
+// back to back, p1/p2 are equal-length multiples of 64 bytes.
+//
+//go:noescape
+func sha1block2NI(h *[10]uint32, p1, p2 []byte)
+
+func init() {
+	Accelerated = detectSHANI()
+	if Accelerated {
+		hashPair = sumRecordPairNI
+	}
+}
+
+// sumRecordPairNI hashes two canonical record encodings through the
+// two-lane core: both bulk sections in one interleaved pass, then both
+// padded tails in a second. Fixed record size means the padding layout is
+// static. Allocation-free.
+func sumRecordPairNI(a, b []byte) (da, db Digest) {
+	const bulk = record.Size &^ 63 // 448
+	const rem = record.Size - bulk // 52
+	var h [10]uint32
+	copy(h[0:5], sha1init[:])
+	copy(h[5:10], sha1init[:])
+	sha1block2NI(&h, a[:bulk], b[:bulk])
+	var tails [128]byte
+	copy(tails[0:rem], a[bulk:record.Size])
+	tails[rem] = 0x80
+	binary.BigEndian.PutUint64(tails[56:64], record.Size<<3)
+	copy(tails[64:64+rem], b[bulk:record.Size])
+	tails[64+rem] = 0x80
+	binary.BigEndian.PutUint64(tails[120:128], record.Size<<3)
+	sha1block2NI(&h, tails[:64], tails[64:])
+	for i := 0; i < 5; i++ {
+		binary.BigEndian.PutUint32(da[4*i:], h[i])
+		binary.BigEndian.PutUint32(db[4*i:], h[5+i])
+	}
+	return da, db
+}
+
+// compress dispatches to the SHA-NI block when available. Both callees are
+// direct calls (sha1blockNI is //go:noescape), so state and padding
+// scratches stay on the caller's stack.
+func compress(h *[5]uint32, p []byte) {
+	if Accelerated {
+		sha1blockNI(h, p)
+	} else {
+		sha1blockGeneric(h, p)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package digest
+
+// compress runs the portable block function on architectures without a
+// SHA-NI path. Accelerated stays false, so the one-shot sum20 defers to
+// crypto/sha1 (which may have its own per-arch assembly).
+func compress(h *[5]uint32, p []byte) {
+	sha1blockGeneric(h, p)
+}

@@ -254,6 +254,136 @@ func (f *File) GetManyCtx(ctx *exec.Context, rids []RID) ([]record.Record, error
 	return out, nil
 }
 
+// ServeManyCtx streams the records for rids to emit without materializing
+// a result slice: records borrowed from cached decoded pages are passed
+// by pointer, with the page pinned in the buffer pool for exactly the
+// span of its run so concurrent readers' LRU pressure cannot evict it
+// mid-serve. The borrow rule is strict: emit must not retain the pointer
+// past its return — the encode into the wire frame happens inside the
+// callback, under the structure's read lock, which is what keeps writers
+// (who mutate decoded pages in place under the write lock) out of the
+// borrow window.
+//
+// Page access order, counts and the scan-hint behavior are identical to
+// GetManyCtx (enforced by TestServeManyParity), so the paper's
+// node-access figures are unchanged — only the per-record copy and the
+// result-slice allocation disappear. Once a run declares itself a scan,
+// pages past the admission cutoff are served straight from a pooled raw
+// page buffer — the same single page read the decoded path would issue,
+// but with the per-page decode allocation skipped too, so a full-table
+// serve stays allocation-free end to end.
+func (f *File) ServeManyCtx(ctx *exec.Context, rids []RID, emit func(*record.Record) error) error {
+	if f.io.Cache() == nil {
+		return f.serveManyUncached(ctx, rids, emit)
+	}
+	var (
+		cur     *page
+		curPage = pagestore.InvalidPage
+		pinned  bool
+		raw     *[pagestore.PageSize]byte // non-nil once the scan tail begins
+		onRaw   bool                      // current page lives in raw, not cur
+		rec     record.Record             // reused decode target for raw slots
+	)
+	defer func() {
+		if pinned {
+			f.io.Cache().Unpin(curPage)
+		}
+		if raw != nil {
+			bufpool.PutPage(raw)
+		}
+	}()
+	scan := exec.TrackScan(ctx)
+	defer scan.End()
+	maxPage := pagestore.PageID(0)
+	for _, rid := range rids {
+		if rid.Page != curPage {
+			if rid.Page >= maxPage {
+				maxPage = rid.Page + 1
+				scan.NotePage()
+			}
+			if pinned {
+				f.io.Cache().Unpin(curPage)
+				pinned = false
+			}
+			if ctx.Scanning() {
+				// Past the admission cutoff: a resident page is still a
+				// normal (charged, pinned) cache hit — identical to what
+				// GetManyCtx sees under either charge policy — and only a
+				// true miss reads raw, which charges the same single
+				// access as the decoded path's unfilled miss while
+				// skipping the decode allocation.
+				p, hit, err := bufpool.TryPinned[*page](f.io, ctx, rid.Page)
+				if err != nil {
+					return fmt.Errorf("heapfile: %w", err)
+				}
+				if hit {
+					cur, curPage, pinned, onRaw = p, rid.Page, true, false
+				} else {
+					if raw == nil {
+						raw = bufpool.GetPage()
+					}
+					if err := f.io.ReadRaw(ctx, rid.Page, raw[:]); err != nil {
+						return fmt.Errorf("heapfile: %w", err)
+					}
+					curPage, onRaw = rid.Page, true
+				}
+			} else {
+				p, pin, err := bufpool.ReadNodePinned(f.io, ctx, rid.Page, decodePage)
+				if err != nil {
+					return fmt.Errorf("heapfile: %w", err)
+				}
+				cur, curPage, pinned, onRaw = p, rid.Page, pin, false
+			}
+		}
+		if onRaw {
+			r, err := decodeSlot(raw[:], rid)
+			if err != nil {
+				return err
+			}
+			rec = r
+			if err := emit(&rec); err != nil {
+				return err
+			}
+			continue
+		}
+		r, err := cur.slotRef(rid)
+		if err != nil {
+			return err
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveManyUncached mirrors getManyUncached: one pooled page buffer per
+// run, only the requested slots decoded — into a single reused stack
+// record handed to emit, so the uncached serve is also allocation-free.
+func (f *File) serveManyUncached(ctx *exec.Context, rids []RID, emit func(*record.Record) error) error {
+	buf := bufpool.GetPage()
+	defer bufpool.PutPage(buf)
+	var rec record.Record
+	curPage := pagestore.InvalidPage
+	for _, rid := range rids {
+		if rid.Page != curPage {
+			if err := f.io.ReadRaw(ctx, rid.Page, buf[:]); err != nil {
+				return fmt.Errorf("heapfile: %w", err)
+			}
+			curPage = rid.Page
+		}
+		r, err := decodeSlot(buf[:], rid)
+		if err != nil {
+			return err
+		}
+		rec = r
+		if err := emit(&rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // getManyUncached reads into one pooled buffer per page run and decodes
 // only the requested slots, like the pre-bufpool implementation.
 func (f *File) getManyUncached(ctx *exec.Context, rids []RID) ([]record.Record, error) {

@@ -1,0 +1,146 @@
+package heapfile
+
+import (
+	"errors"
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// TestServeManyParity proves the zero-copy serve path emits exactly the
+// records GetManyCtx returns, in order, with identical page-access
+// accounting — cached and uncached — and that every pin it takes is
+// released.
+func TestServeManyParity(t *testing.T) {
+	// 1000 records = 125 pages: a full sweep crosses exec.ScanThreshold,
+	// so the parity run covers the pinned-page head AND the raw-page
+	// scan tail — under both charge policies, because the tail must
+	// serve resident pages as ordinary (charged-per-policy) cache hits.
+	recs := buildRecords(1000)
+	modes := []struct {
+		name   string
+		policy bufpool.ChargePolicy
+		cached bool
+	}{
+		{"uncached", 0, false},
+		{"charge-all", bufpool.ChargeAllAccesses, true},
+		{"charge-misses", bufpool.ChargeMissesOnly, true},
+	}
+	for _, mode := range modes {
+		cached := mode.cached
+		t.Run(mode.name, func(t *testing.T) {
+			counting := pagestore.NewCounting(pagestore.NewMem())
+			f, rids, err := Build(counting, recs)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			// A mixed access pattern: one long clustered run spanning the
+			// scan threshold, a revisit, and a single straggler.
+			pattern := append(append([]RID{}, rids[8:960]...), rids[16], rids[999])
+
+			// Charged accesses under ChargeMissesOnly depend on what is
+			// resident, so each measured pass starts from an identical
+			// cache state: a fresh cache warmed by one GetManyCtx sweep.
+			var cache *bufpool.Cache
+			freshWarmCache := func() {
+				if !cached {
+					return
+				}
+				cache = bufpool.New(64, mode.policy)
+				f.UseCache(cache)
+				if _, err := f.GetManyCtx(exec.NewContext(), pattern); err != nil {
+					t.Fatalf("warmup GetManyCtx: %v", err)
+				}
+			}
+
+			freshWarmCache()
+			getCtx := exec.NewContext()
+			want, err := f.GetManyCtx(getCtx, pattern)
+			if err != nil {
+				t.Fatalf("GetManyCtx: %v", err)
+			}
+
+			freshWarmCache()
+			serveCtx := exec.NewContext()
+			var got []record.Record
+			err = f.ServeManyCtx(serveCtx, pattern, func(r *record.Record) error {
+				got = append(got, *r) // copy: the borrow ends at return
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ServeManyCtx: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("served %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(&want[i]) {
+					t.Fatalf("record %d mismatch", i)
+				}
+			}
+			if g, w := serveCtx.Stats(), getCtx.Stats(); g != w {
+				t.Fatalf("serve accesses %+v != get accesses %+v", g, w)
+			}
+			if cache != nil {
+				if pinned := cache.PinnedCount(); pinned != 0 {
+					t.Fatalf("%d pages still pinned after serve", pinned)
+				}
+			}
+		})
+	}
+}
+
+// TestServeManyEmitError proves an emit error stops the serve, propagates,
+// and leaves no pin behind.
+func TestServeManyEmitError(t *testing.T) {
+	recs := buildRecords(40)
+	f, rids, err := Build(pagestore.NewMem(), recs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cache := bufpool.New(16, bufpool.ChargeAllAccesses)
+	f.UseCache(cache)
+	boom := errors.New("boom")
+	n := 0
+	err = f.ServeManyCtx(nil, rids, func(*record.Record) error {
+		n++
+		if n == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 17 {
+		t.Fatalf("emitted %d records before stopping, want 17", n)
+	}
+	if pinned := cache.PinnedCount(); pinned != 0 {
+		t.Fatalf("%d pages still pinned after emit error", pinned)
+	}
+}
+
+// TestServeManyTombstone proves serving a deleted slot fails like GetMany
+// does and releases its pins.
+func TestServeManyTombstone(t *testing.T) {
+	recs := buildRecords(24)
+	f, rids, err := Build(pagestore.NewMem(), recs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cache := bufpool.New(16, bufpool.ChargeAllAccesses)
+	f.UseCache(cache)
+	if err := f.Delete(rids[10]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	err = f.ServeManyCtx(nil, rids, func(*record.Record) error { return nil })
+	if !errors.Is(err, ErrDeleted) {
+		t.Fatalf("err = %v, want ErrDeleted", err)
+	}
+	if pinned := cache.PinnedCount(); pinned != 0 {
+		t.Fatalf("%d pages still pinned after tombstone error", pinned)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"sae/internal/digest"
 	"sae/internal/exec"
@@ -76,32 +77,73 @@ func (vo *VO) Size() int {
 
 // Marshal serializes the VO.
 func (vo *VO) Marshal() []byte {
-	out := make([]byte, 0, vo.Size())
+	return vo.AppendTo(make([]byte, 0, vo.Size()))
+}
+
+// AppendTo serializes the VO onto the end of buf and returns the extended
+// slice — the scatter-append path the server write loop uses to encode a
+// VO straight into a pooled wire frame with no intermediate Marshal
+// allocation. Bytes are identical to Marshal (TestVOAppendToMatchesMarshal).
+func (vo *VO) AppendTo(buf []byte) []byte {
 	var u16 [2]byte
 	binary.BigEndian.PutUint16(u16[:], uint16(len(vo.Sig)))
-	out = append(out, u16[:]...)
-	out = append(out, vo.Sig...)
+	buf = append(buf, u16[:]...)
+	buf = append(buf, vo.Sig...)
 	for i := range vo.Tokens {
 		t := &vo.Tokens[i]
-		out = append(out, byte(t.Kind))
+		buf = append(buf, byte(t.Kind))
 		switch t.Kind {
 		case TokDigest:
-			out = append(out, t.Digest[:]...)
+			buf = append(buf, t.Digest[:]...)
 		case TokRecord:
-			out = t.Record.AppendBinary(out)
+			buf = t.Record.AppendBinary(buf)
 		case TokResult:
 			var u32 [4]byte
 			binary.BigEndian.PutUint32(u32[:], uint32(t.Count))
-			out = append(out, u32[:]...)
+			buf = append(buf, u32[:]...)
 		}
 	}
-	return out
+	return buf
 }
 
 // ErrBadVO is wrapped by all VO parsing and verification failures.
 var ErrBadVO = errors.New("mbtree: invalid verification object")
 
-// UnmarshalVO parses a serialized VO.
+// countTokens walks a serialized token stream counting tokens without
+// materializing them — the pre-pass that lets UnmarshalVO size the token
+// slice once. A malformed stream is left for the decode loop to report;
+// the count is simply cut short there.
+func countTokens(b []byte) int {
+	n := 0
+	for len(b) > 0 {
+		kind := TokenKind(b[0])
+		b = b[1:]
+		var skip int
+		switch kind {
+		case TokDigest:
+			skip = digest.Size
+		case TokRecord:
+			skip = record.Size
+		case TokResult:
+			skip = 4
+		case TokNodeBegin, TokNodeEnd:
+			skip = 0
+		default:
+			return n
+		}
+		if len(b) < skip {
+			return n
+		}
+		b = b[skip:]
+		n++
+	}
+	return n
+}
+
+// UnmarshalVO parses a serialized VO. A counting pre-pass sizes the token
+// slice exactly: tokens embed a full record (500+ bytes), so letting
+// append double a thousand-token slice repeatedly used to copy megabytes
+// per VO — the pre-pass costs one cheap scan instead.
 func UnmarshalVO(b []byte) (*VO, error) {
 	if len(b) < 2 {
 		return nil, fmt.Errorf("%w: truncated header", ErrBadVO)
@@ -113,6 +155,9 @@ func UnmarshalVO(b []byte) (*VO, error) {
 	}
 	vo := &VO{Sig: append([]byte(nil), b[:sigLen]...)}
 	b = b[sigLen:]
+	if n := countTokens(b); n > 0 {
+		vo.Tokens = make([]Token, 0, n)
+	}
 	for len(b) > 0 {
 		kind := TokenKind(b[0])
 		b = b[1:]
@@ -303,6 +348,24 @@ func (t *Tree) findSucc(ctx *exec.Context, c nodeCache, hi record.Key) (Entry, b
 	return Entry{}, false, nil
 }
 
+// voPool recycles VO shells — the token slice and signature buffer — for
+// the serve path, where a VO lives exactly from RangeVOCtxInto until its
+// AppendTo into the response frame. Tokens embed full records, so a
+// recycled slice saves the largest allocation on the TOM serve path.
+var voPool = sync.Pool{New: func() any { return new(VO) }}
+
+// GetVO fetches a reusable VO shell from the pool.
+func GetVO() *VO { return voPool.Get().(*VO) }
+
+// PutVO returns a VO to the pool. The caller must be done with every
+// token and the signature: the backing arrays are handed to the next
+// GetVO.
+func PutVO(vo *VO) {
+	vo.Tokens = vo.Tokens[:0]
+	vo.Sig = vo.Sig[:0]
+	voPool.Put(vo)
+}
+
 // RangeVO executes a range query and builds its verification object with
 // no request context; see RangeVOCtx.
 func (t *Tree) RangeVO(lo, hi record.Key, heap *heapfile.File, sig []byte) ([]heapfile.RID, *VO, error) {
@@ -314,7 +377,15 @@ func (t *Tree) RangeVO(lo, hi record.Key, heap *heapfile.File, sig []byte) ([]he
 // fetch from the heap file), the VO with the two boundary records fetched
 // from heap, and the given owner signature embedded.
 func (t *Tree) RangeVOCtx(ctx *exec.Context, lo, hi record.Key, heap *heapfile.File, sig []byte) ([]heapfile.RID, *VO, error) {
-	vo := &VO{Sig: append([]byte(nil), sig...)}
+	return t.RangeVOCtxInto(ctx, lo, hi, heap, sig, &VO{})
+}
+
+// RangeVOCtxInto is RangeVOCtx building into a caller-provided (typically
+// pooled, see GetVO/PutVO) VO shell, reusing its token and signature
+// arrays. The token stream is byte-identical to a fresh build.
+func (t *Tree) RangeVOCtxInto(ctx *exec.Context, lo, hi record.Key, heap *heapfile.File, sig []byte, vo *VO) ([]heapfile.RID, *VO, error) {
+	vo.Tokens = vo.Tokens[:0]
+	vo.Sig = append(vo.Sig[:0], sig...)
 	if lo > hi {
 		return nil, nil, fmt.Errorf("mbtree: inverted range [%d, %d]", lo, hi)
 	}
@@ -454,6 +525,46 @@ func VerifyVO(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verif
 // identity and key span into the signed digest so one shard's signature
 // cannot vouch for another shard's tree). A nil bind is the identity.
 func VerifyVOBound(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verifier, bind func(digest.Digest) digest.Digest) error {
+	return VerifyVOBoundWorkers(vo, result, lo, hi, ver, bind, 1)
+}
+
+// VerifyVOWorkers is VerifyVO with the result-record re-hashing — the
+// dominant cost of a large VO check — fanned out across up to `workers`
+// goroutines (0 = the default crypto fan-out). The Merkle replay itself
+// stays sequential (each node digest feeds its parent), but the per-record
+// leaf digests it consumes are independent, so they are precomputed by the
+// worker pool. Accept/reject is identical to VerifyVO for every input.
+func VerifyVOWorkers(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verifier, workers int) error {
+	return VerifyVOBoundWorkers(vo, result, lo, hi, ver, nil, workers)
+}
+
+// resDigestPool recycles the precomputed result-digest arrays the
+// parallel verify path uses.
+var resDigestPool = sync.Pool{New: func() any { return new([]digest.Digest) }}
+
+// VerifyVOBoundWorkers is VerifyVOBound with parallel result re-hashing;
+// see VerifyVOWorkers.
+func VerifyVOBoundWorkers(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.Verifier, bind func(digest.Digest) digest.Digest, workers int) error {
+	var resDigests []digest.Digest
+	if workers != 1 && len(result) > 0 {
+		buf := resDigestPool.Get().(*[]digest.Digest)
+		if cap(*buf) < len(result) {
+			*buf = make([]digest.Digest, len(result))
+		}
+		resDigests = (*buf)[:len(result)]
+		digest.RecordDigests(resDigests, result, workers)
+		defer func() {
+			*buf = resDigests[:0]
+			resDigestPool.Put(buf)
+		}()
+	}
+	return verifyVOBound(vo, result, resDigests, lo, hi, ver, bind)
+}
+
+// verifyVOBound runs the full VO check. resDigests, when non-nil, carries
+// the precomputed digest of every result record (aligned with result);
+// nil recomputes inline.
+func verifyVOBound(vo *VO, result []record.Record, resDigests []digest.Digest, lo, hi record.Key, ver *sigs.Verifier, bind func(digest.Digest) digest.Digest) error {
 	// Result sanity: within range and sorted by key.
 	for i := range result {
 		if result[i].Key < lo || result[i].Key > hi {
@@ -498,7 +609,11 @@ func VerifyVOBound(vo *VO, result []record.Record, lo, hi record.Key, ver *sigs.
 					if resIdx >= len(result) {
 						return digest.Zero, fmt.Errorf("%w: VO references more result records than received", ErrBadVO)
 					}
-					w.Add(digest.OfRecord(&result[resIdx]))
+					if resDigests != nil {
+						w.Add(resDigests[resIdx])
+					} else {
+						w.Add(digest.OfRecord(&result[resIdx]))
+					}
 					resIdx++
 				}
 				pos++

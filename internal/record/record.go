@@ -71,6 +71,19 @@ func Unmarshal(b []byte) (Record, error) {
 	return r, nil
 }
 
+// WireID reads the identifier out of a canonical record encoding without
+// decoding the record — the zero-copy path peeks at borrowed wire bytes
+// in place. b must hold at least Size bytes of one encoded record.
+func WireID(b []byte) ID {
+	return ID(binary.BigEndian.Uint64(b[0:8]))
+}
+
+// WireKey reads the search key out of a canonical record encoding without
+// decoding the record; see WireID.
+func WireKey(b []byte) Key {
+	return Key(binary.BigEndian.Uint32(b[8:12]))
+}
+
 // Synthesize builds a record with a deterministic payload derived from its
 // id. Workload generators use it so that datasets are reproducible from a
 // seed without storing 500 bytes per record in the generator itself.

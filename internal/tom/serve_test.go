@@ -1,0 +1,100 @@
+package tom
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"sae/internal/exec"
+	"sae/internal/mbtree"
+	"sae/internal/record"
+)
+
+func serveFixture(t *testing.T, n int) *System {
+	t.Helper()
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Synthesize(record.ID(i+1), record.Key((i*6151)%record.KeyDomain))
+	}
+	sort.Slice(recs, func(i, j int) bool { return record.SortByKey(recs[i], recs[j]) < 0 })
+	sys, err := NewSystem(recs)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+// TestServeQueryParity proves the TOM zero-copy serve path emits the same
+// records, the same VO bytes and the same access counts as QueryCtx, and
+// that the verified protocol accepts the streamed result.
+func TestServeQueryParity(t *testing.T) {
+	sys := serveFixture(t, 2500)
+	p := sys.Provider
+	ranges := []record.Range{
+		{Lo: 0, Hi: record.KeyDomain - 1},
+		{Lo: 1, Hi: 2},               // empty result
+		{Lo: 500_000, Hi: 2_000_000}, // mid-size
+	}
+	for _, q := range ranges {
+		qctx := exec.NewContext()
+		wantRecs, wantVO, _, err := p.QueryCtx(qctx, q)
+		if err != nil {
+			t.Fatalf("QueryCtx(%v): %v", q, err)
+		}
+		sctx := exec.NewContext()
+		var got []record.Record
+		vo, n, _, err := p.ServeQueryCtx(sctx, q, func(r *record.Record) error {
+			got = append(got, *r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ServeQueryCtx(%v): %v", q, err)
+		}
+		if n != len(wantRecs) || len(got) != len(wantRecs) {
+			t.Fatalf("%v: served %d/%d records, want %d", q, n, len(got), len(wantRecs))
+		}
+		for i := range wantRecs {
+			if !got[i].Equal(&wantRecs[i]) {
+				t.Fatalf("%v: record %d mismatch", q, i)
+			}
+		}
+		if !bytes.Equal(vo.Marshal(), wantVO.Marshal()) {
+			t.Fatalf("%v: VO bytes differ between serve and query paths", q)
+		}
+		if g, w := sctx.Stats(), qctx.Stats(); g != w {
+			t.Fatalf("%v: serve accesses %+v != query accesses %+v", q, g, w)
+		}
+		// The streamed result must verify exactly like the queried one.
+		if err := mbtree.VerifyVO(vo, got, q.Lo, q.Hi, sys.Owner.Verifier()); err != nil {
+			t.Fatalf("%v: streamed result failed verification: %v", q, err)
+		}
+		mbtree.PutVO(vo)
+	}
+}
+
+// TestServeQueryTamperedDetected proves the tampering fallback streams the
+// tampered result and that verification rejects it — the attack
+// experiments behave identically through the serve path.
+func TestServeQueryTamperedDetected(t *testing.T) {
+	sys := serveFixture(t, 600)
+	p := sys.Provider
+	p.SetTamper(func(rs []record.Record) []record.Record {
+		if len(rs) > 1 {
+			return rs[:len(rs)-1] // drop the last record
+		}
+		return rs
+	})
+	q := record.Range{Lo: 0, Hi: record.KeyDomain - 1}
+	var got []record.Record
+	vo, _, _, err := p.ServeQueryCtx(exec.NewContext(), q, func(r *record.Record) error {
+		got = append(got, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ServeQueryCtx: %v", err)
+	}
+	defer mbtree.PutVO(vo)
+	if err := mbtree.VerifyVO(vo, got, q.Lo, q.Hi, sys.Owner.Verifier()); err == nil {
+		t.Fatal("verification accepted a tampered streamed result")
+	}
+}

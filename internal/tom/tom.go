@@ -138,12 +138,16 @@ func (p *Provider) Load(records []record.Record, owner *Owner) error {
 	if err != nil {
 		return fmt.Errorf("tom: provider loading heap: %w", err)
 	}
+	// Digesting the dataset is the load's SHA-1 bill; fan it out across
+	// the crypto worker pool before the single-threaded tree build.
+	digests := make([]digest.Digest, len(records))
+	digest.RecordDigests(digests, records, 0)
 	entries := make([]mbtree.Entry, len(records))
 	for i := range records {
 		entries[i] = mbtree.Entry{
 			Key:    records[i].Key,
 			RID:    rids[i],
-			Digest: digest.OfRecord(&records[i]),
+			Digest: digests[i],
 		}
 		p.byID[records[i].ID] = rids[i]
 	}
@@ -197,6 +201,78 @@ func (p *Provider) QueryCtx(ctx *exec.Context, q record.Range) ([]record.Record,
 		recs = p.tamper(recs)
 	}
 	return recs, vo, qc, nil
+}
+
+// ServeQueryCtx is the zero-copy serve path: it runs the same MB-Tree VO
+// build as QueryCtx, then streams each result record to emit as a pointer
+// borrowed from the pinned decoded heap page instead of materializing the
+// result slice. The returned VO comes from the mbtree shell pool — the
+// caller must hand it back with mbtree.PutVO once encoded. Node accesses,
+// phase split and VO bytes are identical to QueryCtx. A tampering
+// provider (SetTamper) falls back to the materializing path so attack
+// experiments behave identically on both entry points.
+func (p *Provider) ServeQueryCtx(ctx *exec.Context, q record.Range, emit func(*record.Record) error) (*mbtree.VO, int, core.QueryCost, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var qc core.QueryCost
+	if p.tamper != nil {
+		return p.serveTampered(ctx, q, emit)
+	}
+	before := ctx.Stats()
+	start := time.Now()
+	shell := mbtree.GetVO()
+	rids, vo, err := p.tree.RangeVOCtxInto(ctx, q.Lo, q.Hi, p.heap, p.sig, shell)
+	if err != nil {
+		mbtree.PutVO(shell)
+		return nil, 0, qc, fmt.Errorf("tom: provider VO build: %w", err)
+	}
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	n := 0
+	err = p.heap.ServeManyCtx(ctx, rids, func(r *record.Record) error {
+		n++
+		return emit(r)
+	})
+	if err != nil {
+		mbtree.PutVO(vo)
+		return nil, n, qc, fmt.Errorf("tom: provider record serve: %w", err)
+	}
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
+	return vo, n, qc, nil
+}
+
+// serveTampered routes a ServeQueryCtx call through the materializing
+// query path so the tamper hook sees the full result slice. Caller holds
+// the read lock. The VO still comes from the shell pool so the caller's
+// PutVO contract is uniform.
+func (p *Provider) serveTampered(ctx *exec.Context, q record.Range, emit func(*record.Record) error) (*mbtree.VO, int, core.QueryCost, error) {
+	var qc core.QueryCost
+	before := ctx.Stats()
+	start := time.Now()
+	shell := mbtree.GetVO()
+	rids, vo, err := p.tree.RangeVOCtxInto(ctx, q.Lo, q.Hi, p.heap, p.sig, shell)
+	if err != nil {
+		mbtree.PutVO(shell)
+		return nil, 0, qc, fmt.Errorf("tom: provider VO build: %w", err)
+	}
+	mid := ctx.Stats()
+	fetchStart := time.Now()
+	qc.Index = costmodel.Default.Measure(mid.Sub(before), fetchStart.Sub(start))
+	recs, err := p.heap.GetManyCtx(ctx, rids)
+	if err != nil {
+		mbtree.PutVO(vo)
+		return nil, 0, qc, fmt.Errorf("tom: provider record fetch: %w", err)
+	}
+	qc.Fetch = costmodel.Default.Measure(ctx.Stats().Sub(mid), time.Since(fetchStart))
+	recs = p.tamper(recs)
+	for i := range recs {
+		if err := emit(&recs[i]); err != nil {
+			mbtree.PutVO(vo)
+			return nil, i, qc, err
+		}
+	}
+	return vo, len(recs), qc, nil
 }
 
 // ApplyInsert stores a new record with a fresh request context; see

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -154,6 +155,32 @@ func DialSP(addr string) (*SPClient, error) {
 
 // Query fetches the result records for a range.
 func (c *SPClient) Query(q record.Range) ([]record.Record, error) {
+	recs, _, err := c.queryDecoded(q)
+	return recs, err
+}
+
+// queryDecoded fetches and decodes a result, also returning the raw
+// payload so verifying callers can hash the encoded records in place.
+func (c *SPClient) queryDecoded(q record.Range) ([]record.Record, []byte, error) {
+	raw, err := c.QueryRaw(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, rest, err := DecodeRecords(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(rest))
+	}
+	return recs, raw, nil
+}
+
+// QueryRaw fetches the result for a range still in wire form — the
+// EncodeRecords payload (count + packed canonical records). The verifying
+// client hashes these bytes in place (digest.OfWire) before ever
+// materializing a record.
+func (c *SPClient) QueryRaw(q record.Range) ([]byte, error) {
 	resp, err := c.roundTrip(Frame{Type: MsgQuery, Payload: EncodeRange(q)})
 	if err != nil {
 		return nil, err
@@ -161,27 +188,17 @@ func (c *SPClient) Query(q record.Range) ([]record.Record, error) {
 	if resp.Type != MsgResult {
 		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
 	}
-	recs, rest, err := DecodeRecords(resp.Payload)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(rest))
-	}
-	return recs, nil
+	return resp.Payload, nil
 }
 
 // QueryBatch fetches the results of many ranges in one frame, amortizing
 // framing and round-trip latency. Results align with qs.
 func (c *SPClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgBatchQuery, Payload: EncodeRanges(qs)})
+	raw, err := c.QueryBatchRaw(qs)
 	if err != nil {
 		return nil, err
 	}
-	if resp.Type != MsgBatchResult {
-		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
-	}
-	batches, err := DecodeRecordBatches(resp.Payload)
+	batches, err := DecodeRecordBatches(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +206,19 @@ func (c *SPClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
 		return nil, fmt.Errorf("%w: %d batch results for %d queries", ErrProtocol, len(batches), len(qs))
 	}
 	return batches, nil
+}
+
+// QueryBatchRaw fetches a batched result still in wire form (the
+// EncodeRecordBatches payload); see QueryRaw.
+func (c *SPClient) QueryBatchRaw(qs []record.Range) ([]byte, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgBatchQuery, Payload: EncodeRanges(qs)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgBatchResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return resp.Payload, nil
 }
 
 // Insert pushes an owner insertion.
@@ -314,9 +344,17 @@ func (c *TOMClient) Query(q record.Range) ([]record.Record, *mbtree.VO, error) {
 // VerifyingClient performs the full SAE protocol over the network: it
 // queries the SP and the TE concurrently (the paper's latency optimization)
 // and verifies the result before returning it.
+//
+// Verification takes the zero-copy fast path: the SP's payload is hashed
+// record-by-record where it sits in the received frame (no intermediate
+// record materialization, SHA-NI digests, fanned out across
+// VerifyWorkers goroutines) and only then decoded for the caller.
 type VerifyingClient struct {
 	SP *SPClient
 	TE *TEClient
+	// VerifyWorkers bounds the verification fan-out; 0 selects the
+	// default crypto pool size (digest.DefaultWorkers).
+	VerifyWorkers int
 }
 
 // DialVerifying connects to both SAE parties.
@@ -347,8 +385,8 @@ func (v *VerifyingClient) Close() error {
 // passed verification against the TE's token.
 func (v *VerifyingClient) Query(q record.Range) ([]record.Record, error) {
 	type spOut struct {
-		recs []record.Record
-		err  error
+		raw []byte
+		err error
 	}
 	type teOut struct {
 		vt  digest.Digest
@@ -357,8 +395,8 @@ func (v *VerifyingClient) Query(q record.Range) ([]record.Record, error) {
 	spCh := make(chan spOut, 1)
 	teCh := make(chan teOut, 1)
 	go func() {
-		recs, err := v.SP.Query(q)
-		spCh <- spOut{recs, err}
+		raw, err := v.SP.QueryRaw(q)
+		spCh <- spOut{raw, err}
 	}()
 	go func() {
 		vt, err := v.TE.GenerateVT(q)
@@ -372,20 +410,33 @@ func (v *VerifyingClient) Query(q record.Range) ([]record.Record, error) {
 	if te.err != nil {
 		return nil, fmt.Errorf("wire: TE token failed: %w", te.err)
 	}
-	var client core.Client
-	if _, err := client.Verify(q, sp.recs, te.vt); err != nil {
+	enc, rest, _, err := RecordsView(sp.raw)
+	if err != nil {
 		return nil, err
 	}
-	return sp.recs, nil
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(rest))
+	}
+	// Verify straight off the wire bytes; decode only a proven result.
+	vp := core.NewVerifyPool(v.VerifyWorkers)
+	if _, err := vp.VerifyEncoded(q, enc, te.vt); err != nil {
+		return nil, err
+	}
+	recs, _, err := DecodeRecords(sp.raw)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // QueryBatch runs many verified range queries with one frame to each
 // party: the SP executes the batch while the TE generates all tokens, and
-// every result is verified against its token before returning.
+// every result is verified against its token — in place, off the wire
+// bytes — before any record is decoded.
 func (v *VerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
 	type spOut struct {
-		batches [][]record.Record
-		err     error
+		raw []byte
+		err error
 	}
 	type teOut struct {
 		vts []digest.Digest
@@ -394,8 +445,8 @@ func (v *VerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, erro
 	spCh := make(chan spOut, 1)
 	teCh := make(chan teOut, 1)
 	go func() {
-		batches, err := v.SP.QueryBatch(qs)
-		spCh <- spOut{batches, err}
+		raw, err := v.SP.QueryBatchRaw(qs)
+		spCh <- spOut{raw, err}
 	}()
 	go func() {
 		vts, err := v.TE.GenerateVTBatch(qs)
@@ -409,19 +460,47 @@ func (v *VerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, erro
 	if te.err != nil {
 		return nil, fmt.Errorf("wire: TE batch token failed: %w", te.err)
 	}
-	var client core.Client
+	if len(te.vts) != len(qs) {
+		return nil, fmt.Errorf("%w: %d tokens for %d queries", ErrProtocol, len(te.vts), len(qs))
+	}
+	b := sp.raw
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated batch count", ErrProtocol)
+	}
+	if n := int(binary.BigEndian.Uint32(b[0:4])); n != len(qs) {
+		return nil, fmt.Errorf("%w: %d batch results for %d queries", ErrProtocol, n, len(qs))
+	}
+	b = b[4:]
+	vp := core.NewVerifyPool(v.VerifyWorkers)
+	batches := make([][]record.Record, len(qs))
 	for i, q := range qs {
-		if _, err := client.Verify(q, sp.batches[i], te.vts[i]); err != nil {
+		enc, rest, _, err := RecordsView(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch entry %d: %v", ErrProtocol, i, err)
+		}
+		if _, err := vp.VerifyEncoded(q, enc, te.vts[i]); err != nil {
 			return nil, err
 		}
+		recs, _, err := DecodeRecords(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch entry %d: %v", ErrProtocol, i, err)
+		}
+		batches[i] = recs
+		b = rest
 	}
-	return sp.batches, nil
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrProtocol, len(b))
+	}
+	return batches, nil
 }
 
 // VerifyingTOMClient performs the full TOM protocol over the network.
 type VerifyingTOMClient struct {
 	Provider *TOMClient
 	Verifier *sigs.Verifier
+	// VerifyWorkers bounds the VO re-hashing fan-out; 0 selects the
+	// default crypto pool size.
+	VerifyWorkers int
 }
 
 // Query runs the verified TOM range query.
@@ -430,7 +509,7 @@ func (v *VerifyingTOMClient) Query(q record.Range) ([]record.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mbtree.VerifyVO(vo, recs, q.Lo, q.Hi, v.Verifier); err != nil {
+	if err := mbtree.VerifyVOWorkers(vo, recs, q.Lo, q.Hi, v.Verifier, v.VerifyWorkers); err != nil {
 		return nil, err
 	}
 	return recs, nil

@@ -176,6 +176,21 @@ func DecodeRecords(b []byte) ([]record.Record, []byte, error) {
 	return recs, b, nil
 }
 
+// RecordsView validates the EncodeRecords framing of b without decoding:
+// it returns the n*record.Size bytes of raw encoded records as a subslice
+// (zero-copy — callers hash or decode in place) plus any trailing bytes.
+func RecordsView(b []byte) (enc, rest []byte, n int, err error) {
+	if len(b) < 4 {
+		return nil, nil, 0, fmt.Errorf("%w: truncated record count", ErrProtocol)
+	}
+	n = int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n > len(b)/record.Size {
+		return nil, nil, 0, fmt.Errorf("%w: implausible record count %d for %d payload bytes", ErrProtocol, n, len(b))
+	}
+	return b[:n*record.Size], b[n*record.Size:], n, nil
+}
+
 // EncodeRanges serializes a batch of query ranges: count, then 8 bytes
 // per range.
 func EncodeRanges(qs []record.Range) []byte {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -10,14 +11,60 @@ import (
 	"sync/atomic"
 
 	"sae/internal/core"
-	"sae/internal/digest"
 	"sae/internal/exec"
+	"sae/internal/mbtree"
 	"sae/internal/record"
 	"sae/internal/tom"
 )
 
-// handler maps one request frame to one response frame.
-type handler func(Frame) Frame
+// handler maps one request frame to one response frame. rb is a pooled
+// response payload buffer the handler may (but need not) encode into:
+// returning a Frame whose Payload aliases rb.b is safe because the buffer
+// is recycled only after the frame has been written to the socket.
+type handler func(req Frame, rb *respBuf) Frame
+
+// respBuf is one pooled response payload buffer. Before pooling, every
+// response frame allocated its payload — for record-heavy results that
+// was the server write path's dominant allocation.
+type respBuf struct{ b []byte }
+
+// respBufRetain caps the capacity a recycled buffer may keep. The
+// occasional multi-megabyte response should not pin its buffer in the
+// pool forever.
+const respBufRetain = 4 << 20
+
+var respBufPool = sync.Pool{New: func() any { return new(respBuf) }}
+
+func getRespBuf() *respBuf {
+	rb := respBufPool.Get().(*respBuf)
+	rb.b = rb.b[:0]
+	return rb
+}
+
+func putRespBuf(rb *respBuf) {
+	if cap(rb.b) <= respBufRetain {
+		respBufPool.Put(rb)
+	}
+}
+
+// beginRecords reserves a 4-byte record-count slot in rb and returns its
+// offset; endRecords backfills it once the records have been streamed in.
+// Between the two, appendRecord scatter-appends each borrowed record
+// directly into the frame — EncodeRecords without the intermediate slice.
+func (rb *respBuf) beginRecords() int {
+	at := len(rb.b)
+	rb.b = append(rb.b, 0, 0, 0, 0)
+	return at
+}
+
+func (rb *respBuf) appendRecord(r *record.Record) error {
+	rb.b = r.AppendBinary(rb.b)
+	return nil
+}
+
+func (rb *respBuf) endRecords(at, count int) {
+	binary.BigEndian.PutUint32(rb.b[at:at+4], uint32(count))
+}
 
 // maxInFlight bounds the requests one connection may have executing at
 // once; further frames queue in the kernel's socket buffer. The providers
@@ -163,7 +210,8 @@ func (s *server) serveConn(conn net.Conn) {
 		go func(req Frame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			resp := s.handle(req)
+			rb := getRespBuf()
+			resp := s.handle(req, rb)
 			if len(resp.Payload) > MaxPayload {
 				// The peer's ReadFrame would reject the oversize frame and
 				// tear down the whole pipelined connection; degrade to a
@@ -175,6 +223,10 @@ func (s *server) serveConn(conn net.Conn) {
 			writeMu.Lock()
 			err := WriteFrame(conn, resp)
 			writeMu.Unlock()
+			// The frame is on the wire (or the connection is dead); either
+			// way the pooled buffer's flight is over and it may be reused
+			// by the next request.
+			putRespBuf(rb)
 			if err != nil {
 				s.logf("wire: writing response: %v", err)
 				// Unblock the read loop so the connection tears down.
@@ -206,7 +258,7 @@ func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any), o
 	return srv, nil
 }
 
-func (s *SPServer) handle(req Frame) Frame {
+func (s *SPServer) handle(req Frame, rb *respBuf) Frame {
 	switch req.Type {
 	case MsgQuery:
 		q, err := DecodeRange(req.Payload)
@@ -215,26 +267,31 @@ func (s *SPServer) handle(req Frame) Frame {
 		}
 		// One execution context per network request: concurrent requests
 		// on this (or any other) connection account their accesses
-		// independently.
-		recs, _, err := s.sp.QueryCtx(exec.NewContext(), q)
+		// independently. The serve path streams each record from its
+		// pinned page straight into the pooled response frame — the only
+		// per-record copy between the heap file and the socket.
+		at := rb.beginRecords()
+		n, _, err := s.sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
 		if err != nil {
 			return errFrame(err)
 		}
-		return Frame{Type: MsgResult, Payload: EncodeRecords(recs)}
+		rb.endRecords(at, n)
+		return Frame{Type: MsgResult, Payload: rb.b}
 	case MsgBatchQuery:
 		qs, err := DecodeRanges(req.Payload)
 		if err != nil {
 			return errFrame(err)
 		}
-		batches := make([][]record.Record, len(qs))
-		for i, q := range qs {
-			recs, _, err := s.sp.QueryCtx(exec.NewContext(), q)
+		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(qs)))
+		for _, q := range qs {
+			at := rb.beginRecords()
+			n, _, err := s.sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
 			if err != nil {
 				return errFrame(err)
 			}
-			batches[i] = recs
+			rb.endRecords(at, n)
 		}
-		return Frame{Type: MsgBatchResult, Payload: EncodeRecordBatches(batches)}
+		return Frame{Type: MsgBatchResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -278,7 +335,7 @@ func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any), opt
 	return srv, nil
 }
 
-func (s *TEServer) handle(req Frame) Frame {
+func (s *TEServer) handle(req Frame, rb *respBuf) Frame {
 	switch req.Type {
 	case MsgVTRequest:
 		q, err := DecodeRange(req.Payload)
@@ -289,21 +346,25 @@ func (s *TEServer) handle(req Frame) Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		return Frame{Type: MsgVT, Payload: vt[:]}
+		rb.b = append(rb.b, vt[:]...)
+		return Frame{Type: MsgVT, Payload: rb.b}
 	case MsgBatchVT:
 		qs, err := DecodeRanges(req.Payload)
 		if err != nil {
 			return errFrame(err)
 		}
-		vts := make([]digest.Digest, len(qs))
-		for i, q := range qs {
-			vt, _, err := s.te.GenerateVTCtx(exec.NewContext(), q)
-			if err != nil {
-				return errFrame(err)
-			}
-			vts[i] = vt
+		// The batch fans out across the TE's crypto worker pool; each
+		// token still runs under its own request context, so accounting
+		// and token bytes match the serial loop exactly.
+		vts, err := s.te.GenerateVTBatch(qs, 0)
+		if err != nil {
+			return errFrame(err)
 		}
-		return Frame{Type: MsgBatchVTResult, Payload: EncodeDigests(vts)}
+		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(vts)))
+		for i := range vts {
+			rb.b = append(rb.b, vts[i][:]...)
+		}
+		return Frame{Type: MsgBatchVTResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -348,20 +409,24 @@ func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(s
 	return srv, nil
 }
 
-func (s *TOMServer) handle(req Frame) Frame {
+func (s *TOMServer) handle(req Frame, rb *respBuf) Frame {
 	switch req.Type {
 	case MsgTOMQuery:
 		q, err := DecodeRange(req.Payload)
 		if err != nil {
 			return errFrame(err)
 		}
-		recs, vo, _, err := s.provider.QueryCtx(exec.NewContext(), q)
+		// Records stream from pinned pages into the pooled frame, then
+		// the VO (built in a pooled shell) scatter-appends behind them.
+		at := rb.beginRecords()
+		vo, n, _, err := s.provider.ServeQueryCtx(exec.NewContext(), q, rb.appendRecord)
 		if err != nil {
 			return errFrame(err)
 		}
-		payload := EncodeRecords(recs)
-		payload = append(payload, vo.Marshal()...)
-		return Frame{Type: MsgTOMResult, Payload: payload}
+		rb.endRecords(at, n)
+		rb.b = vo.AppendTo(rb.b)
+		mbtree.PutVO(vo)
+		return Frame{Type: MsgTOMResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {

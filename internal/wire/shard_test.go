@@ -93,7 +93,7 @@ func TestShardedVerifyingClient(t *testing.T) {
 	}
 	qs := append(workload.Queries(5, workload.DefaultExtent, 23),
 		record.Range{Lo: 0, Hi: record.KeyDomain}, // all shards
-		sys.Plan.Span(1),                          // boundary-exact
+		sys.Plan.Span(1), // boundary-exact
 	)
 	for _, q := range qs {
 		want, err := sys.Query(q)
