@@ -18,6 +18,10 @@
 //
 //	saebench -figure shard                   # 1,2,4,8 shards
 //	saebench -figure shard -shards 1,4,16    # custom deployment sizes
+//
+// -figure router prices the router tier's extra hop: the same loopback
+// deployment queried by a client-side scatter versus a plain client
+// behind the router (BENCH_router.json).
 package main
 
 import (
@@ -32,17 +36,18 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath or all")
-		scale     = flag.String("scale", "quick", "sweep scale: quick or paper")
-		ns        = flag.String("n", "", "comma-separated cardinalities overriding the scale")
-		queries   = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts (-figure shard)")
-		shardJSON = flag.String("shardjson", "BENCH_shard.json", "output path for the shard-scaling JSON (-figure shard)")
-		fastJSON  = flag.String("fastjson", "BENCH_fastpath.json", "output path for the fast-path JSON (-figure fastpath)")
-		fastIters = flag.Int("fastiters", 0, "iterations per fast-path variant (0 = default)")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router or all")
+		scale      = flag.String("scale", "quick", "sweep scale: quick or paper")
+		ns         = flag.String("n", "", "comma-separated cardinalities overriding the scale")
+		queries    = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts (-figure shard)")
+		shardJSON  = flag.String("shardjson", "BENCH_shard.json", "output path for the shard-scaling JSON (-figure shard)")
+		fastJSON   = flag.String("fastjson", "BENCH_fastpath.json", "output path for the fast-path JSON (-figure fastpath)")
+		routerJSON = flag.String("routerjson", "BENCH_router.json", "output path for the router-overhead JSON (-figure router)")
+		fastIters  = flag.Int("fastiters", 0, "iterations per fast-path variant (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,10 @@ func main() {
 	}
 	if *figure == "fastpath" {
 		runFastpathFigure(*fastJSON, *fastIters, *seed, *quiet)
+		return
+	}
+	if *figure == "router" {
+		runRouterFigure(*routerJSON, *queries, *seed, *quiet)
 		return
 	}
 
@@ -162,6 +171,42 @@ func runFastpathFigure(jsonPath string, iters int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteFastpathJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runRouterFigure measures the router tier's hop overhead and writes
+// the machine-readable BENCH_router.json alongside a summary.
+func runRouterFigure(jsonPath string, queries int, seed int64, quiet bool) {
+	cfg := experiments.DefaultRouterConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunRouterOverhead(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Router-hop overhead (n=%d, %d shards, %d workers, GOMAXPROCS=%d)\n",
+		res.N, res.Shards, res.Workers, res.GOMAXPROCS)
+	fmt.Printf("  direct client-side scatter: %8.0f queries/s\n", res.DirectQPS)
+	fmt.Printf("  plain client via router:    %8.0f queries/s (%.0f%% of direct)\n",
+		res.RoutedQPS, 100*res.RoutedRelative)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteRouterJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,8 +1,8 @@
 // Command saenet runs one party of the outsourcing deployment as a TCP
-// server (sp, te or tom), or a verifying client session against running
-// servers. It turns the library into the distributed system the paper
-// actually describes — including horizontally sharded deployments, one
-// process per shard.
+// server (sp, te or tom), a router tier over a sharded deployment, or a
+// verifying client session against running servers. It turns the library
+// into the distributed system the paper actually describes — including
+// horizontally sharded deployments, one process per shard.
 //
 //	saenet -role sp  -addr :7001 -n 100000         # SAE service provider
 //	saenet -role te  -addr :7002 -n 100000         # trusted entity
@@ -21,9 +21,18 @@
 //	saenet -role client -sp localhost:7101,localhost:7102 \
 //	       -te localhost:7201,localhost:7202 -queries 20
 //
+// Alternatively, run a router in front of the shards and point plain
+// (non-sharded) clients at its single address — the router scatters on
+// the server side, the client verifies exactly as against one system:
+//
+//	saenet -role router -addr :7000 -sp localhost:7101,localhost:7102 \
+//	       -te localhost:7201,localhost:7202
+//	saenet -role client -router localhost:7000 -queries 20
+//
 // Servers generate the same deterministic dataset from -n/-dist/-seed, so
 // any sp/te group started with identical parameters is consistent; the
-// client cross-checks every shard's attested plan before querying.
+// client (or router) cross-checks every shard's attested plan before
+// querying.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"sae/internal/bufpool"
 	"sae/internal/core"
 	"sae/internal/pagestore"
+	"sae/internal/router"
 	"sae/internal/shard"
 	"sae/internal/tom"
 	"sae/internal/wire"
@@ -45,33 +55,42 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", "sp | te | tom | client")
-		addr     = flag.String("addr", "127.0.0.1:0", "listen address (server roles)")
-		n        = flag.Int("n", 100_000, "dataset cardinality (server roles)")
-		dist     = flag.String("dist", "UNF", "key distribution: UNF or SKW")
-		seed     = flag.Int64("seed", 1, "dataset seed (must match across all servers)")
-		shards   = flag.Int("shards", 1, "total shards in the deployment (server roles)")
-		shardIdx = flag.Int("shard-index", 0, "this server's shard index (server roles)")
-		spAddr   = flag.String("sp", "", "SP address(es), comma-separated in shard order (client role)")
-		teAddr   = flag.String("te", "", "TE address(es), comma-separated in shard order (client role)")
-		queries  = flag.Int("queries", 10, "queries to run (client role)")
+		role       = flag.String("role", "", "sp | te | tom | router | client")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address (server + router roles)")
+		n          = flag.Int("n", 100_000, "dataset cardinality (server roles)")
+		dist       = flag.String("dist", "UNF", "key distribution: UNF or SKW")
+		seed       = flag.Int64("seed", 1, "dataset seed (must match across all servers)")
+		shards     = flag.Int("shards", 1, "total shards in the deployment (server roles)")
+		shardIdx   = flag.Int("shard-index", 0, "this server's shard index (server roles)")
+		tamperMode = flag.String("tamper", "", "turn a malicious sp: 'drop' omits the first result record (attack experiments)")
+		spAddr     = flag.String("sp", "", "SP address(es), comma-separated in shard order (client + router roles)")
+		teAddr     = flag.String("te", "", "TE address(es), comma-separated in shard order (client + router roles)")
+		tomAddr    = flag.String("tom", "", "TOM provider address(es), comma-separated in shard order (router role, optional)")
+		routerAddr = flag.String("router", "", "router address; the client dials it as both SP and TE (client role)")
+		upTimeout  = flag.Duration("upstream-timeout", router.DefaultUpstreamTimeout, "per-shard sub-request bound (router role)")
+		queries    = flag.Int("queries", 10, "queries to run (client role)")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "sp", "te", "tom":
-		runServer(*role, *addr, *n, workload.Distribution(*dist), *seed, *shards, *shardIdx)
+		runServer(*role, *addr, *n, workload.Distribution(*dist), *seed, *shards, *shardIdx, *tamperMode)
+	case "router":
+		runRouter(*addr, *spAddr, *teAddr, *tomAddr, *upTimeout)
 	case "client":
-		runClient(*spAddr, *teAddr, *queries, *seed)
+		runClient(*spAddr, *teAddr, *routerAddr, *queries, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom or client")
+		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom, router or client")
 		os.Exit(2)
 	}
 }
 
-func runServer(role, addr string, n int, dist workload.Distribution, seed int64, shards, shardIdx int) {
+func runServer(role, addr string, n int, dist workload.Distribution, seed int64, shards, shardIdx int, tamperMode string) {
 	if shards < 1 || shardIdx < 0 || shardIdx >= shards {
 		fail(fmt.Errorf("shard index %d outside 0..%d", shardIdx, shards-1))
+	}
+	if tamperMode != "" && (tamperMode != "drop" || role != "sp") {
+		fail(fmt.Errorf("-tamper supports only 'drop' on the sp role"))
 	}
 	if role == "tom" && shards > 1 {
 		fail(fmt.Errorf("the tom role serves a single process; sharded TOM is in-process only (see internal/tom.ShardedSystem)"))
@@ -102,6 +121,10 @@ func runServer(role, addr string, n int, dist workload.Distribution, seed int64,
 		sp.ConfigureCache(cachePages, bufpool.ChargeAllAccesses)
 		if err := sp.Load(part); err != nil {
 			fail(err)
+		}
+		if tamperMode == "drop" {
+			fmt.Fprintln(os.Stderr, "saenet sp: MALICIOUS — dropping the first record of every result")
+			sp.SetTamper(core.DropTamper(0))
 		}
 		srv, err := wire.ServeSP(addr, sp, wire.Logf("sp"), wire.WithShardInfo(info))
 		if err != nil {
@@ -152,7 +175,44 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-func runClient(spAddr, teAddr string, queries int, seed int64) {
+// runRouter starts the router tier: one client-facing address, the
+// scatter-gather against the shard servers on the server side.
+func runRouter(addr, spAddr, teAddr, tomAddr string, upTimeout time.Duration) {
+	cfg := router.Config{
+		SPs:             splitAddrs(spAddr),
+		TEs:             splitAddrs(teAddr),
+		TOMs:            splitAddrs(tomAddr),
+		UpstreamTimeout: upTimeout,
+		Logf:            wire.Logf("router"),
+	}
+	if len(cfg.SPs) == 0 || len(cfg.TEs) == 0 {
+		fmt.Fprintln(os.Stderr, "saenet router: -sp and -te are required")
+		os.Exit(2)
+	}
+	r, err := router.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := r.Serve(addr); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "saenet router: %d shards under %s\n", r.Shards(), r.Plan())
+	fmt.Fprintf(os.Stderr, "saenet router: serving on %s (ctrl-c to stop)\n", r.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	r.Close()
+}
+
+func runClient(spAddr, teAddr, routerAddr string, queries int, seed int64) {
+	if routerAddr != "" {
+		if spAddr != "" || teAddr != "" {
+			fmt.Fprintln(os.Stderr, "saenet client: -router replaces -sp/-te")
+			os.Exit(2)
+		}
+		runPlainClient(routerAddr, queries, seed)
+		return
+	}
 	spAddrs, teAddrs := splitAddrs(spAddr), splitAddrs(teAddr)
 	if len(spAddrs) == 0 || len(teAddrs) == 0 {
 		fmt.Fprintln(os.Stderr, "saenet client: -sp and -te are required")
@@ -186,6 +246,30 @@ func runClient(spAddr, teAddr string, queries int, seed int64) {
 	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
 	spBytes, teBytes := client.BytesReceived()
 	fmt.Printf("wire bytes: SP->client %d, TE->client %d (authentication only)\n", spBytes, teBytes)
+}
+
+// runPlainClient drives an unmodified single-system VerifyingClient
+// through a router's one address — the deployment mode the router tier
+// exists for.
+func runPlainClient(routerAddr string, queries int, seed int64) {
+	client, err := wire.DialVerifying(routerAddr, routerAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer client.Close()
+	qs := workload.Queries(queries, workload.DefaultExtent, seed+1000)
+	start := time.Now()
+	total := 0
+	for _, q := range qs {
+		recs, err := client.Query(q)
+		if err != nil {
+			fail(fmt.Errorf("query %v: %w", q, err))
+		}
+		total += len(recs)
+		fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
+	}
+	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wire bytes: router->client %d\n", client.SP.BytesReceived()+client.TE.BytesReceived())
 }
 
 func fail(err error) {

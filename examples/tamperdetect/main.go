@@ -45,7 +45,11 @@ func main() {
 		{"soundness attack: inject a fake record (IS={r'})",
 			core.InjectTamper(record.Synthesize(77_000_000, (q.Lo+q.Hi)/2))},
 		{"combined attack: modify a record (DS={r}, IS={r'})", core.ModifyTamper(0)},
-		{"reorder only (no content change: XOR is order-free, legal)",
+		// The XOR fold itself is order-free, but every honest serve path
+		// returns clustered key order, so the client makes order part of
+		// the contract (it matters once relays/routers sit on the result
+		// path — a permuted stream is not the canonical answer).
+		{"reorder only (XOR is order-free; key-order contract catches it)",
 			func(rs []record.Record) []record.Record {
 				out := append([]record.Record(nil), rs...)
 				for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
@@ -70,10 +74,12 @@ func main() {
 
 	fmt.Println("\nThe XOR caveat (documented in the paper's technical report):")
 	fmt.Println("duplicating one record an even number of times cancels in the")
-	fmt.Println("XOR, so a set-semantics client must deduplicate before hashing:")
+	fmt.Println("XOR — and if the pair is inserted order-preservingly the key")
+	fmt.Println("order check cannot see it either — so a set-semantics client")
+	fmt.Println("must deduplicate before hashing:")
 	dup := baseline.Result[0]
 	sys.SP.SetTamper(func(rs []record.Record) []record.Record {
-		return append(append([]record.Record(nil), rs...), dup, dup)
+		return append([]record.Record{dup, dup}, rs...)
 	})
 	out, err := sys.Query(q)
 	if err != nil {

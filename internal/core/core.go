@@ -588,7 +588,12 @@ func (te *TrustedEntity) Validate() error {
 type Client struct{}
 
 // Verify hashes every received record, XORs the digests and compares with
-// the token; it also rejects records outside the queried range outright.
+// the token; it also rejects records outside the queried range, or out of
+// key order, outright. (The order check is not in the paper — the XOR fold
+// proves the result *set* — but every honest serve path in this tree
+// returns clustered key order, single-system and sharded merge alike, so
+// the client makes order part of the contract: a relay that reorders
+// sub-results cannot pass off a permuted stream as the canonical answer.)
 // The measured breakdown is pure CPU (the client touches no pages) — this
 // is the quantity of Figure 7.
 func (Client) Verify(q record.Range, result []record.Record, vt digest.Digest) (costmodel.Breakdown, error) {
@@ -598,6 +603,10 @@ func (Client) Verify(q record.Range, result []record.Record, vt digest.Digest) (
 		if !q.Contains(result[i].Key) {
 			return costmodel.Breakdown{CPU: time.Since(start)},
 				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, result[i].ID, result[i].Key, q)
+		}
+		if i > 0 && result[i].Key < result[i-1].Key {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: result out of key order at record %d", ErrVerificationFailed, i)
 		}
 		acc.Add(digest.OfRecord(&result[i]))
 	}
@@ -629,14 +638,18 @@ func NewVerifyPool(workers int) VerifyPool {
 }
 
 // Verify checks a materialized result against the TE token, hashing
-// records across the pool. Like Client.Verify it rejects out-of-range
-// records outright and measures pure client CPU.
+// records across the pool. Like Client.Verify it rejects out-of-range and
+// out-of-order records outright and measures pure client CPU.
 func (vp VerifyPool) Verify(q record.Range, result []record.Record, vt digest.Digest) (costmodel.Breakdown, error) {
 	start := time.Now()
 	for i := range result {
 		if !q.Contains(result[i].Key) {
 			return costmodel.Breakdown{CPU: time.Since(start)},
 				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, result[i].ID, result[i].Key, q)
+		}
+		if i > 0 && result[i].Key < result[i-1].Key {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: result out of key order at record %d", ErrVerificationFailed, i)
 		}
 	}
 	sum := digest.XORFoldRecords(result, vp.workers)
@@ -659,11 +672,18 @@ func (vp VerifyPool) VerifyEncoded(q record.Range, enc []byte, vt digest.Digest)
 		return costmodel.Breakdown{CPU: time.Since(start)},
 			fmt.Errorf("%w: payload of %d bytes is not whole records", ErrVerificationFailed, len(enc))
 	}
+	prev := q.Lo
 	for off := 0; off < len(enc); off += record.Size {
-		if k := record.WireKey(enc[off:]); !q.Contains(k) {
+		k := record.WireKey(enc[off:])
+		if !q.Contains(k) {
 			return costmodel.Breakdown{CPU: time.Since(start)},
 				fmt.Errorf("%w: record id=%d key=%d outside %v", ErrVerificationFailed, record.WireID(enc[off:]), k, q)
 		}
+		if k < prev {
+			return costmodel.Breakdown{CPU: time.Since(start)},
+				fmt.Errorf("%w: result out of key order at record %d", ErrVerificationFailed, off/record.Size)
+		}
+		prev = k
 	}
 	sum := digest.XORFoldWire(enc, vp.workers)
 	cost := costmodel.Breakdown{CPU: time.Since(start)}

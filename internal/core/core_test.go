@@ -135,13 +135,15 @@ func TestDuplicateInjectionCancellationCaveat(t *testing.T) {
 	// record twice XOR-cancels, so the token matches even though the
 	// result is wrong. The paper's security proof (and our Verify) treats
 	// results as sets; a production client additionally deduplicates.
-	// This test documents the caveat: duplicate pairs cancel in the XOR,
-	// and the range check alone does not catch in-range duplicates.
+	// This test documents the caveat: an order-preserving duplicate pair
+	// cancels in the XOR, and the range and key-order checks alone do not
+	// catch in-place duplicates. (Appending the pair at the end no longer
+	// works: the client rejects out-of-key-order results outright.)
 	sys, ds := newTestSystem(t, 3000, workload.UNF)
 	q, want := busyQuery(t, sys, ds)
 	dup := want[0]
 	sys.SP.SetTamper(func(rs []record.Record) []record.Record {
-		return append(append([]record.Record{}, rs...), dup, dup)
+		return append([]record.Record{dup, dup}, rs...)
 	})
 	out, err := sys.Query(q)
 	if err != nil {
@@ -152,7 +154,7 @@ func TestDuplicateInjectionCancellationCaveat(t *testing.T) {
 	}
 	// A single duplicate, however, breaks the token.
 	sys.SP.SetTamper(func(rs []record.Record) []record.Record {
-		return append(append([]record.Record{}, rs...), dup)
+		return append([]record.Record{dup}, rs...)
 	})
 	out, err = sys.Query(q)
 	if err != nil {

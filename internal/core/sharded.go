@@ -181,30 +181,27 @@ func (o *ShardedQueryOutcome) ResponseTime() costmodel.Breakdown {
 // results in key order, XOR-combines the per-shard tokens and verifies the
 // merged result against the combined token.
 func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
-	first, last, ok := s.Plan.Overlapping(q)
-	if !ok {
+	subs := s.Plan.Scatter(q)
+	if len(subs) == 0 {
 		// An empty range touches no shard: zero records against the XOR
 		// identity verifies trivially, matching the single-system outcome.
 		out := &ShardedQueryOutcome{}
 		out.ClientCost, out.VerifyErr = s.Client.Verify(q, nil, digest.Zero)
 		return out, nil
 	}
-	n := last - first + 1
 	type shardReply struct {
-		recs  []record.Record
-		vt    digest.Digest
+		part  shard.SAEPart
 		cost  ShardCost
 		spErr error
 		vtErr error
 	}
-	replies := make([]shardReply, n)
+	replies := make([]shardReply, len(subs))
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for i := range subs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			idx := first + i
-			sub := s.Plan.Clamp(idx, q)
+			idx, sub := subs[i].Shard, subs[i].Sub
 			r := &replies[i]
 			r.cost.Shard = idx
 			r.cost.Sub = sub
@@ -215,16 +212,16 @@ func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
 			inner.Add(1)
 			go func() {
 				defer inner.Done()
-				r.vt, r.cost.TECost, r.vtErr = s.TEs[idx].GenerateVTCtx(exec.NewContext(), sub)
+				r.part.VT, r.cost.TECost, r.vtErr = s.TEs[idx].GenerateVTCtx(exec.NewContext(), sub)
 			}()
-			r.recs, r.cost.SPCost, r.spErr = s.SPs[idx].QueryCtx(exec.NewContext(), sub)
+			r.part.Recs, r.cost.SPCost, r.spErr = s.SPs[idx].QueryCtx(exec.NewContext(), sub)
 			inner.Wait()
 		}(i)
 	}
 	wg.Wait()
 
-	out := &ShardedQueryOutcome{PerShard: make([]ShardCost, 0, n)}
-	var acc digest.Accumulator
+	out := &ShardedQueryOutcome{PerShard: make([]ShardCost, 0, len(subs))}
+	parts := make([]shard.SAEPart, len(subs))
 	for i := range replies {
 		r := &replies[i]
 		if r.spErr != nil {
@@ -233,13 +230,10 @@ func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
 		if r.vtErr != nil {
 			return nil, r.vtErr
 		}
-		// Partitions are contiguous and each shard returns its sub-result
-		// in key order, so gathering in shard order IS the key-order merge.
-		out.Result = append(out.Result, r.recs...)
-		acc.Add(r.vt)
+		parts[i] = r.part
 		out.PerShard = append(out.PerShard, r.cost)
 	}
-	out.VT = acc.Sum()
+	out.Result, out.VT = shard.MergeSAE(parts)
 	out.ClientCost, out.VerifyErr = s.Client.Verify(q, out.Result, out.VT)
 	return out, nil
 }

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/record"
+	"sae/internal/router"
+	"sae/internal/wire"
+	"sae/internal/workload"
+)
+
+// Router-hop overhead experiment: the same sharded deployment served
+// over real loopback TCP, queried two ways — a shard-aware client
+// scattering from the client side (wire.ShardedVerifyingClient) versus a
+// plain single-system client behind the router tier. Both paths verify
+// every result; the throughput ratio prices the extra hop (one more
+// serialize/deserialize and one more process on the result path).
+
+// RouterConfig parameterizes the overhead measurement.
+type RouterConfig struct {
+	N       int
+	Shards  int
+	Queries int
+	// Workers is the number of concurrent client goroutines; requests
+	// pipeline over shared connections on both paths.
+	Workers int
+	// Extent is the query width as a fraction of the key domain.
+	Extent   float64
+	Dist     workload.Distribution
+	Seed     int64
+	Progress func(string)
+}
+
+// DefaultRouterConfig mirrors the shard-scaling geometry: narrow
+// queries over 100K records, enough workers to keep every shard busy.
+func DefaultRouterConfig() RouterConfig {
+	return RouterConfig{
+		N:       100_000,
+		Shards:  4,
+		Queries: 400,
+		Workers: 8,
+		Extent:  0.001,
+		Dist:    workload.UNF,
+		Seed:    1,
+	}
+}
+
+// RouterResult is the machine-readable BENCH_router.json payload.
+type RouterResult struct {
+	N          int  `json:"n"`
+	Shards     int  `json:"shards"`
+	Workers    int  `json:"workers"`
+	Queries    int  `json:"queries"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	SHANI      bool `json:"shaNI"`
+	// DirectQPS is client-side scatter throughput; RoutedQPS the same
+	// workload through the router's single endpoint.
+	DirectQPS float64 `json:"directQueriesPerSec"`
+	RoutedQPS float64 `json:"routedQueriesPerSec"`
+	// RoutedRelative = RoutedQPS / DirectQPS: the fraction of direct
+	// throughput that survives the extra hop. Machine-independent-ish
+	// (both sides run on the same box in the same process group), which
+	// is what the CI regression gate checks.
+	RoutedRelative float64 `json:"routedRelative"`
+}
+
+// RunRouterOverhead serves a sharded deployment on loopback and
+// measures verified-query throughput with and without the router tier.
+func RunRouterOverhead(cfg RouterConfig) (RouterResult, error) {
+	res := RouterResult{
+		N: cfg.N, Shards: cfg.Shards, Workers: cfg.Workers, Queries: cfg.Queries,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SHANI:      digest.Accelerated,
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(fmt.Sprintf("router overhead: %d records, %d shards, %d workers...", cfg.N, cfg.Shards, cfg.Workers))
+	}
+	ds, err := workload.Generate(cfg.Dist, cfg.N, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	sys, err := core.NewShardedSystem(ds.Records, cfg.Shards)
+	if err != nil {
+		return res, err
+	}
+	var spAddrs, teAddrs []string
+	var servers []interface{ Close() error }
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < sys.Plan.Shards(); i++ {
+		si := wire.ShardInfo{Index: i, Plan: sys.Plan}
+		spSrv, err := wire.ServeSP("127.0.0.1:0", sys.SPs[i], nil, wire.WithShardInfo(si))
+		if err != nil {
+			return res, err
+		}
+		servers = append(servers, spSrv)
+		teSrv, err := wire.ServeTE("127.0.0.1:0", sys.TEs[i], nil, wire.WithShardInfo(si))
+		if err != nil {
+			return res, err
+		}
+		servers = append(servers, teSrv)
+		spAddrs = append(spAddrs, spSrv.Addr())
+		teAddrs = append(teAddrs, teSrv.Addr())
+	}
+	rt, err := router.New(router.Config{SPs: spAddrs, TEs: teAddrs})
+	if err != nil {
+		return res, err
+	}
+	defer rt.Close()
+	if err := rt.Serve("127.0.0.1:0"); err != nil {
+		return res, err
+	}
+
+	qs := workload.Queries(256, cfg.Extent, cfg.Seed+1)
+
+	direct, err := wire.DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		return res, err
+	}
+	defer direct.Close()
+	if cfg.Progress != nil {
+		cfg.Progress("router overhead: measuring direct client-side scatter...")
+	}
+	directElapsed, err := driveWire(qs, cfg.Queries, cfg.Workers, direct.Query)
+	if err != nil {
+		return res, fmt.Errorf("direct drive: %w", err)
+	}
+	res.DirectQPS = float64(cfg.Queries) / directElapsed.Seconds()
+
+	routed, err := wire.DialVerifying(rt.Addr(), rt.Addr())
+	if err != nil {
+		return res, err
+	}
+	defer routed.Close()
+	if cfg.Progress != nil {
+		cfg.Progress("router overhead: measuring plain client through the router...")
+	}
+	routedElapsed, err := driveWire(qs, cfg.Queries, cfg.Workers, routed.Query)
+	if err != nil {
+		return res, fmt.Errorf("routed drive: %w", err)
+	}
+	res.RoutedQPS = float64(cfg.Queries) / routedElapsed.Seconds()
+	res.RoutedRelative = res.RoutedQPS / res.DirectQPS
+	return res, nil
+}
+
+// driveWire runs count verified queries (cycled from qs) from `workers`
+// concurrent goroutines over one shared (pipelining) client, after a
+// short warmup.
+func driveWire(qs []record.Range, count, workers int, query func(record.Range) ([]record.Record, error)) (time.Duration, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < min(32, len(qs)); i++ { // warm caches and conns
+		if _, err := query(qs[i]); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		firstE error
+	)
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if _, err := query(qs[i%len(qs)]); err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return time.Since(start), firstE
+}
+
+// WriteRouterJSON emits the machine-readable BENCH_router.json payload.
+func WriteRouterJSON(w io.Writer, res RouterResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestRouterOverheadSmoke: a scaled-down overhead run completes, both
+// paths serve verified queries, and the relative throughput is sane.
+func TestRouterOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback deployment in -short mode")
+	}
+	cfg := DefaultRouterConfig()
+	cfg.N = 20_000
+	cfg.Queries = 60
+	cfg.Shards = 2
+	cfg.Workers = 4
+	res, err := RunRouterOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectQPS <= 0 || res.RoutedQPS <= 0 {
+		t.Fatalf("non-positive throughput: direct %.1f routed %.1f", res.DirectQPS, res.RoutedQPS)
+	}
+	if res.RoutedRelative <= 0.05 {
+		t.Fatalf("routed path at %.1f%% of direct — the hop cannot cost 20x", 100*res.RoutedRelative)
+	}
+}

@@ -1,0 +1,182 @@
+package router
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sae/internal/record"
+	"sae/internal/wire"
+	"sae/internal/workload"
+)
+
+// TestRouterUpstreamDropMidGather: a shard SP that dies under the router
+// fails the client's request loudly. The client must see an error (or a
+// verification failure) — never a silently truncated verified result.
+func TestRouterUpstreamDropMidGather(t *testing.T) {
+	d := newDeployment(t, 8_000, 2, false, Config{UpstreamTimeout: 5 * time.Second})
+	client := d.plainClient(t)
+	q := spanningQuery(t, d)
+	if _, err := client.Query(q); err != nil {
+		t.Fatalf("honest routed query: %v", err)
+	}
+	// Kill shard 1's SP out from under the router's pooled connections:
+	// closing the server drops every live upstream conn mid-stream.
+	d.spSrvs[1].Close()
+	recs, err := client.Query(q)
+	if err == nil {
+		t.Fatalf("query spanning a dead shard returned %d records with no error", len(recs))
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Logf("dead-shard error does not name the shard: %v", err)
+	}
+	// Queries entirely inside the surviving shard keep working: the
+	// router degrades per-request, not wholesale.
+	q0 := record.Range{Lo: d.sys.Plan.Span(0).Lo, Hi: d.sys.Plan.Span(0).Lo + 200_000}
+	if _, err := client.Query(q0); err != nil {
+		t.Fatalf("query on the surviving shard failed: %v", err)
+	}
+}
+
+// TestRouterSlowShardTimeout: a shard that stalls past UpstreamTimeout
+// fails the request within the bound instead of hanging the client, and
+// the router's pipelined upstream connection survives for later
+// requests.
+func TestRouterSlowShardTimeout(t *testing.T) {
+	d := newDeployment(t, 6_000, 2, false, Config{})
+	// A fake slow SP for shard 1: attests correctly so the router dials
+	// it, then stalls every query.
+	release := make(chan struct{})
+	plan := d.sys.Plan
+	slow, err := wire.Serve("127.0.0.1:0", func(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+		switch req.Type {
+		case wire.MsgShardMapReq:
+			return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 1, Plan: plan})}
+		case wire.MsgQuery:
+			<-release // stall until the test ends
+			rb.AppendUint32(0)
+			return wire.Frame{Type: wire.MsgResult, Payload: rb.Bytes()}
+		default:
+			return wire.ErrFrame(wire.ErrProtocol)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	defer close(release)
+
+	r, err := New(Config{
+		SPs:             []string{d.spAddrs[0], slow.Addr()},
+		TEs:             d.teAddrs,
+		UpstreamTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("router over slow shard: %v", err)
+	}
+	defer r.Close()
+	if err := r.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := wire.DialVerifying(r.Addr(), r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	q := spanningQuery(t, d)
+	start := time.Now()
+	_, qErr := vc.Query(q)
+	elapsed := time.Since(start)
+	if qErr == nil {
+		t.Fatal("query against a stalled shard succeeded")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("slow-shard failure took %v; the timeout bound did not apply", elapsed)
+	}
+	// The stalled request was abandoned, not the connection: queries that
+	// avoid the slow shard still flow.
+	q0 := record.Range{Lo: d.sys.Plan.Span(0).Lo, Hi: d.sys.Plan.Span(0).Lo + 100_000}
+	if _, err := vc.Query(q0); err != nil {
+		t.Fatalf("query avoiding the slow shard failed: %v", err)
+	}
+}
+
+// TestRoutedConcurrentClients: many goroutines hammer one router over
+// shared pooled upstream connections — the race detector's view of the
+// whole request path (run under -race in CI).
+func TestRoutedConcurrentClients(t *testing.T) {
+	d := newDeployment(t, 10_000, 3, false, Config{})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vc, err := wire.DialVerifying(d.router.Addr(), d.router.Addr())
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer vc.Close()
+			qs := workload.Queries(6, workload.DefaultExtent, int64(300+w))
+			for _, q := range qs {
+				if _, err := vc.Query(q); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			if _, err := vc.QueryBatch(qs); err != nil {
+				errs[w] = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestRouterBadUpstreamFraming: an upstream SP that returns malformed
+// record payloads must fail the request at the router, not smuggle
+// garbage into a merged frame.
+func TestRouterBadUpstreamFraming(t *testing.T) {
+	d := newDeployment(t, 4_000, 2, false, Config{})
+	plan := d.sys.Plan
+	bad, err := wire.Serve("127.0.0.1:0", func(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+		switch req.Type {
+		case wire.MsgShardMapReq:
+			return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 1, Plan: plan})}
+		case wire.MsgQuery:
+			// Claims 100 records, ships none.
+			rb.AppendUint32(100)
+			return wire.Frame{Type: wire.MsgResult, Payload: rb.Bytes()}
+		default:
+			return wire.ErrFrame(wire.ErrProtocol)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	r, err := New(Config{SPs: []string{d.spAddrs[0], bad.Addr()}, TEs: d.teAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := wire.DialVerifying(r.Addr(), r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	if _, err := vc.Query(spanningQuery(t, d)); err == nil {
+		t.Fatal("malformed upstream framing passed through the router")
+	}
+}

@@ -1,0 +1,375 @@
+package router
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sae/internal/digest"
+	"sae/internal/record"
+	"sae/internal/shard"
+	"sae/internal/wire"
+)
+
+// handle maps one client request to one response frame. Every branch
+// either returns the complete merged answer or an error frame — a
+// failed or timed-out shard can never surface as a truncated result.
+func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	switch req.Type {
+	case wire.MsgQuery:
+		return r.handleQuery(req, rb)
+	case wire.MsgBatchQuery:
+		return r.handleBatchQuery(req, rb)
+	case wire.MsgVTRequest:
+		return r.handleVT(req, rb)
+	case wire.MsgBatchVT:
+		return r.handleBatchVT(req, rb)
+	case wire.MsgTOMQuery:
+		return r.handleTOM(req, rb)
+	case wire.MsgShardMapReq:
+		// Relay the TE-attested partition plan for observability and
+		// tooling. The index slot is meaningless for a router; by
+		// convention it reports 0. Clients never need this answer — the
+		// whole point of the tier is that they treat the router as a
+		// stand-alone system — and must not trust it: verification never
+		// depends on it.
+		return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 0, Plan: r.plan})}
+	default:
+		return wire.ErrFrame(fmt.Errorf("%w: router cannot handle message type %d (the router serves queries; owners update the shards directly)",
+			wire.ErrProtocol, req.Type))
+	}
+}
+
+// scatterSubs computes the SP-side sub-queries for q. The adversarial
+// test hooks interpose here (forged plans, narrowed seams) — the token
+// side never goes through them, mirroring an attacker who can bend the
+// untrusted result path but not the TE aggregation.
+func (r *Router) scatterSubs(q record.Range) []shard.SubQuery {
+	if r.tamper != nil && r.tamper.scatterPlan != nil {
+		return r.tamper.scatterPlan.Scatter(q)
+	}
+	subs := r.plan.Scatter(q)
+	if r.tamper != nil && r.tamper.reshapeSubs != nil {
+		subs = r.tamper.reshapeSubs(subs)
+	}
+	return subs
+}
+
+// gatherRecords fans a range out to the overlapping shard SPs and
+// appends the merged EncodeRecords payload (count + packed records) to
+// rb, without decoding a single record: each shard's sub-result is
+// validated for framing and spliced into the response in shard order.
+// It returns the merged record count.
+func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
+	subs := r.scatterSubs(q)
+	raws := make([][]byte, len(subs))
+	errs := make([]error, len(subs))
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := r.sps[subs[i].Shard].pick().QueryRawCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d SP: %w", subs[i].Shard, err)
+				return
+			}
+			raws[i] = raw
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	encs := make([][]byte, len(subs))
+	for i, raw := range raws {
+		enc, rest, _, err := wire.RecordsView(raw)
+		if err != nil {
+			return 0, fmt.Errorf("router: shard %d result: %w", subs[i].Shard, err)
+		}
+		if len(rest) != 0 {
+			return 0, fmt.Errorf("%w: shard %d result carries %d trailing bytes", wire.ErrProtocol, subs[i].Shard, len(rest))
+		}
+		encs[i] = enc
+	}
+	if r.tamper != nil && r.tamper.reshapeParts != nil {
+		encs = r.tamper.reshapeParts(encs)
+	}
+	// Contiguous partitions: splicing the shard payloads in shard order
+	// is the key-order merge, byte-for-byte what a single SP serving the
+	// whole dataset would have encoded.
+	at := rb.Len()
+	rb.AppendUint32(0)
+	total := 0
+	for _, enc := range encs {
+		total += len(enc) / record.Size
+		rb.Append(enc)
+	}
+	rb.PatchUint32(at, uint32(total))
+	return total, nil
+}
+
+func (r *Router) handleQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	if _, err := r.gatherRecords(q, rb); err != nil {
+		return wire.ErrFrame(err)
+	}
+	return wire.Frame{Type: wire.MsgResult, Payload: rb.Bytes()}
+}
+
+func (r *Router) handleBatchQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	qs, err := wire.DecodeRanges(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	// Group every query's sub-ranges by shard so each shard SP sees at
+	// most one batch frame, exactly like the shard-aware client.
+	subs := make([][]record.Range, len(r.sps))
+	owners := make([][]int, len(r.sps))
+	for qi, q := range qs {
+		for _, sq := range r.scatterSubs(q) {
+			subs[sq.Shard] = append(subs[sq.Shard], sq.Sub)
+			owners[sq.Shard] = append(owners[sq.Shard], qi)
+		}
+	}
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	raws := make([][]byte, len(r.sps))
+	errs := make([]error, len(r.sps))
+	var wg sync.WaitGroup
+	for idx := range r.sps {
+		if len(subs[idx]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			raw, err := r.sps[idx].pick().QueryBatchRawCtx(ctx, subs[idx])
+			if err != nil {
+				errs[idx] = fmt.Errorf("router: shard %d SP batch: %w", idx, err)
+				return
+			}
+			raws[idx] = raw
+		}(idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	// Split each shard's batch payload into per-entry record views and
+	// hand every query its parts in shard order.
+	parts := make([][][]byte, len(qs))
+	for idx := range r.sps {
+		if len(subs[idx]) == 0 {
+			continue
+		}
+		entries, err := splitBatchPayload(raws[idx], len(subs[idx]))
+		if err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: shard %d batch result: %w", idx, err))
+		}
+		for j, qi := range owners[idx] {
+			parts[qi] = append(parts[qi], entries[j])
+		}
+	}
+	rb.AppendUint32(uint32(len(qs)))
+	for qi := range qs {
+		at := rb.Len()
+		rb.AppendUint32(0)
+		total := 0
+		for _, enc := range parts[qi] {
+			total += len(enc) / record.Size
+			rb.Append(enc)
+		}
+		rb.PatchUint32(at, uint32(total))
+	}
+	return wire.Frame{Type: wire.MsgBatchResult, Payload: rb.Bytes()}
+}
+
+// splitBatchPayload validates an EncodeRecordBatches payload of exactly
+// n entries and returns each entry's raw record bytes (count stripped).
+func splitBatchPayload(raw []byte, n int) ([][]byte, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: truncated batch count", wire.ErrProtocol)
+	}
+	if got := int(binary.BigEndian.Uint32(raw[0:4])); got != n {
+		return nil, fmt.Errorf("%w: %d batch entries, want %d", wire.ErrProtocol, got, n)
+	}
+	b := raw[4:]
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		enc, rest, _, err := wire.RecordsView(b)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		out = append(out, enc)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", wire.ErrProtocol, len(b))
+	}
+	return out, nil
+}
+
+// gatherVT XOR-combines the overlapping shard TEs' tokens for q. The
+// scatter uses the attested plan directly (never the tamper hooks): the
+// token path models the authenticated client↔TE aggregate.
+func (r *Router) gatherVT(q record.Range) (digest.Digest, error) {
+	subs := r.plan.Scatter(q)
+	vts := make([]digest.Digest, len(subs))
+	errs := make([]error, len(subs))
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vt, err := r.tes[subs[i].Shard].pick().GenerateVTWithCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d TE: %w", subs[i].Shard, err)
+				return
+			}
+			vts[i] = vt
+		}(i)
+	}
+	wg.Wait()
+	var acc digest.Accumulator
+	for i := range subs {
+		if errs[i] != nil {
+			return digest.Zero, errs[i]
+		}
+		acc.Add(vts[i])
+	}
+	return acc.Sum(), nil
+}
+
+func (r *Router) handleVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	vt, err := r.gatherVT(q)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	rb.Append(vt[:])
+	return wire.Frame{Type: wire.MsgVT, Payload: rb.Bytes()}
+}
+
+func (r *Router) handleBatchVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	qs, err := wire.DecodeRanges(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	subs := make([][]record.Range, len(r.tes))
+	owners := make([][]int, len(r.tes))
+	for qi, q := range qs {
+		for _, sq := range r.plan.Scatter(q) {
+			subs[sq.Shard] = append(subs[sq.Shard], sq.Sub)
+			owners[sq.Shard] = append(owners[sq.Shard], qi)
+		}
+	}
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	shardVTs := make([][]digest.Digest, len(r.tes))
+	errs := make([]error, len(r.tes))
+	var wg sync.WaitGroup
+	for idx := range r.tes {
+		if len(subs[idx]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			vts, err := r.tes[idx].pick().GenerateVTBatchCtx(ctx, subs[idx])
+			if err != nil {
+				errs[idx] = fmt.Errorf("router: shard %d TE batch: %w", idx, err)
+				return
+			}
+			shardVTs[idx] = vts
+		}(idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	accs := make([]digest.Accumulator, len(qs))
+	for idx := range r.tes {
+		for j, qi := range owners[idx] {
+			accs[qi].Add(shardVTs[idx][j])
+		}
+	}
+	rb.AppendUint32(uint32(len(qs)))
+	for qi := range qs {
+		sum := accs[qi].Sum()
+		rb.Append(sum[:])
+	}
+	return wire.Frame{Type: wire.MsgBatchVTResult, Payload: rb.Bytes()}
+}
+
+// handleTOM routes a TOM query. A single-shard deployment relays the
+// provider's answer verbatim (bit-identical to dialing it directly); a
+// sharded one gathers each overlapping provider's (records + VO) blob
+// and stitches them into a MsgTOMShardedResult the verifying client
+// checks against the owner-signed shard bindings.
+func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	if len(r.toms) == 0 {
+		return wire.ErrFrame(fmt.Errorf("%w: router has no TOM upstreams", wire.ErrProtocol))
+	}
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	if r.plan.Shards() == 1 {
+		raw, err := r.toms[0].pick().QueryRawCtx(ctx, q)
+		if err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: TOM: %w", err))
+		}
+		rb.Append(raw)
+		return wire.Frame{Type: wire.MsgTOMResult, Payload: rb.Bytes()}
+	}
+	subs := r.plan.Scatter(q)
+	parts := make([]wire.TOMShardPart, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := r.toms[subs[i].Shard].pick().QueryRawCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d TOM: %w", subs[i].Shard, err)
+				return
+			}
+			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: raw}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	plan := r.plan
+	if r.tamper != nil && r.tamper.reshapeTOM != nil {
+		plan, parts = r.tamper.reshapeTOM(plan, parts)
+	}
+	wire.AppendTOMShardedHeader(rb, plan, len(parts))
+	for _, p := range parts {
+		wire.AppendTOMShardedPart(rb, p.Shard, p.Sub, p.Blob)
+	}
+	return wire.Frame{Type: wire.MsgTOMShardedResult, Payload: rb.Bytes()}
+}

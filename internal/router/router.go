@@ -1,0 +1,242 @@
+// Package router implements the deployment tier the ROADMAP calls the
+// missing piece of the horizontal story: a stateless, untrusted router
+// process with ONE client-facing address. It speaks the single-system
+// wire protocol to clients (MsgQuery / MsgBatchQuery / MsgVTRequest /
+// MsgBatchVT / MsgTOMQuery / MsgShardMapReq), scatters every request to
+// the overlapping shards over pooled pipelined upstream connections,
+// gathers in shard order and streams the merged response back — so an
+// unmodified wire.VerifyingClient can query a sharded deployment exactly
+// as if it were a single SP/TE pair, with bit-identical results and
+// tokens to a client-side scatter (wire.ShardedVerifyingClient).
+//
+// # Trust argument
+//
+// The router is NOT a trusted party. On the result path it is exactly as
+// untrusted as the SP: anything it could do to the record stream —
+// suppress a shard's sub-result, narrow a sub-range at a partition seam,
+// merge shards out of order, scatter under a forged plan — yields a
+// record stream whose digest XOR no longer matches the token (or, for
+// reordering, violates the key-order contract the client checks), so the
+// client rejects. That holds because the token side is pure aggregation:
+// every shard TE holds only its own partition, so the XOR of the
+// per-shard tokens for the clamped sub-ranges IS the token a single TE
+// over the whole dataset would have issued, and the router contributes
+// no input to it beyond relaying the client's range. As everywhere in
+// this wire layer (single-system deployments included), the client↔TE
+// byte stream itself is assumed authenticated end-to-end — a relay that
+// can rewrite TE token bytes is the paper's compromised-TE-channel case,
+// out of model here and solved by transport authentication (TLS to the
+// TE tier) in a hardened deployment, not by the protocol.
+//
+// For TOM the router is untrusted without even that channel assumption:
+// each shard's VO carries an owner signature binding the shard's index,
+// count and span, so the client verifies the stitched evidence — and the
+// relayed plan itself — against the owner's key alone.
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sae/internal/shard"
+	"sae/internal/wire"
+)
+
+// Config parameterizes a router.
+type Config struct {
+	// SPs and TEs list the upstream shard servers, one address per shard
+	// in shard order (exactly the lists a ShardedVerifyingClient dials).
+	SPs, TEs []string
+	// TOMs optionally lists one TOM provider per shard; empty disables
+	// TOM routing.
+	TOMs []string
+	// Conns is the number of pooled pipelined connections the router
+	// keeps to every upstream (default 2). Requests round-robin across
+	// the pool; each connection additionally pipelines many requests.
+	Conns int
+	// UpstreamTimeout bounds every upstream sub-request (default 30s;
+	// negative disables). A shard that exceeds it fails the client
+	// request with an error — never a silently truncated result.
+	UpstreamTimeout time.Duration
+	// Logf receives serving diagnostics (nil = silent).
+	Logf func(string, ...any)
+}
+
+// DefaultUpstreamTimeout bounds upstream sub-requests when the Config
+// does not say otherwise.
+const DefaultUpstreamTimeout = 30 * time.Second
+
+// Router is the client-facing scatter-gather endpoint. It keeps no
+// per-request state beyond in-flight gathers and holds no data: closing
+// and restarting one (or running several behind a TCP load balancer) is
+// always safe.
+type Router struct {
+	cfg  Config
+	plan shard.Plan
+	sps  []*pool[*wire.SPClient]
+	tes  []*pool[*wire.TEClient]
+	toms []*pool[*wire.TOMClient]
+	srv  *wire.Server
+
+	// tamper carries the adversarial-test hooks; nil in production. See
+	// tamper.go.
+	tamper *tamper
+}
+
+// pool is a fixed set of pipelined connections to one upstream with
+// round-robin pick.
+type pool[T any] struct {
+	conns []T
+	next  atomic.Uint32
+}
+
+func (p *pool[T]) pick() T {
+	return p.conns[p.next.Add(1)%uint32(len(p.conns))]
+}
+
+// New dials every upstream and cross-checks the deployment's shard
+// attestations exactly like a shard-aware client would: all TEs must
+// agree on one plan and their dialed indices, and the plan must match
+// the address lists. The TE-attested plan drives all scattering.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.SPs) == 0 || len(cfg.SPs) != len(cfg.TEs) {
+		return nil, fmt.Errorf("router: %d SP addresses for %d TE addresses", len(cfg.SPs), len(cfg.TEs))
+	}
+	if len(cfg.TOMs) != 0 && len(cfg.TOMs) != len(cfg.SPs) {
+		return nil, fmt.Errorf("router: %d TOM addresses for %d shards", len(cfg.TOMs), len(cfg.SPs))
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 2
+	}
+	if cfg.UpstreamTimeout == 0 {
+		cfg.UpstreamTimeout = DefaultUpstreamTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Router{cfg: cfg}
+	ok := false
+	defer func() {
+		if !ok {
+			r.Close()
+		}
+	}()
+	for i := range cfg.SPs {
+		sp, err := dialPool(cfg.SPs[i], cfg.Conns, wire.DialSP)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d SP: %w", i, err)
+		}
+		r.sps = append(r.sps, sp)
+		te, err := dialPool(cfg.TEs[i], cfg.Conns, wire.DialTE)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TE: %w", i, err)
+		}
+		r.tes = append(r.tes, te)
+	}
+	firstSPs := make([]*wire.SPClient, len(r.sps))
+	firstTEs := make([]*wire.TEClient, len(r.tes))
+	for i := range r.sps {
+		firstSPs[i], firstTEs[i] = r.sps[i].conns[0], r.tes[i].conns[0]
+	}
+	plan, err := wire.VerifyShardAttestations(firstSPs, firstTEs)
+	if err != nil {
+		return nil, fmt.Errorf("router: upstream attestation: %w", err)
+	}
+	r.plan = plan
+	for i := range cfg.TOMs {
+		tc, err := dialPool(cfg.TOMs[i], cfg.Conns, wire.DialTOM)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TOM: %w", i, err)
+		}
+		// Wiring sanity (the provider is untrusted regardless): the TOM
+		// server must sit at the index it is dialed as, under the same
+		// plan the TEs attest.
+		si, err := tc.conns[0].ShardMap()
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TOM map: %w", i, err)
+		}
+		if si.Index != i || !si.Plan.Equal(plan) {
+			return nil, fmt.Errorf("router: TOM dialed as shard %d reports shard %d of %v", i, si.Index, si.Plan)
+		}
+		r.toms = append(r.toms, tc)
+	}
+	ok = true
+	return r, nil
+}
+
+func dialPool[T interface{ Close() error }](addr string, n int, dial func(string) (T, error)) (*pool[T], error) {
+	p := &pool[T]{}
+	for i := 0; i < n; i++ {
+		c, err := dial(addr)
+		if err != nil {
+			for _, prev := range p.conns {
+				prev.Close()
+			}
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// Serve starts the client-facing endpoint on addr (":0" picks a port).
+func (r *Router) Serve(addr string) error {
+	if r.srv != nil {
+		return fmt.Errorf("router: already serving on %s", r.srv.Addr())
+	}
+	srv, err := wire.Serve(addr, r.handle, r.cfg.Logf)
+	if err != nil {
+		return err
+	}
+	r.srv = srv
+	return nil
+}
+
+// Addr returns the client-facing address once Serve has been called.
+func (r *Router) Addr() string { return r.srv.Addr() }
+
+// Plan returns the TE-attested partition plan the router scatters under.
+func (r *Router) Plan() shard.Plan { return r.plan }
+
+// Shards returns the upstream shard count.
+func (r *Router) Shards() int { return len(r.sps) }
+
+// Close stops serving and closes every upstream connection.
+func (r *Router) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if r.srv != nil {
+		keep(r.srv.Close())
+	}
+	for _, p := range r.sps {
+		for _, c := range p.conns {
+			keep(c.Close())
+		}
+	}
+	for _, p := range r.tes {
+		for _, c := range p.conns {
+			keep(c.Close())
+		}
+	}
+	for _, p := range r.toms {
+		for _, c := range p.conns {
+			keep(c.Close())
+		}
+	}
+	return first
+}
+
+// reqCtx builds the context bounding one client request's upstream
+// fan-out.
+func (r *Router) reqCtx() (context.Context, context.CancelFunc) {
+	if r.cfg.UpstreamTimeout > 0 {
+		return context.WithTimeout(context.Background(), r.cfg.UpstreamTimeout)
+	}
+	return context.WithCancel(context.Background())
+}

@@ -1,0 +1,32 @@
+package router
+
+import (
+	"sae/internal/shard"
+	"sae/internal/wire"
+)
+
+// tamper makes a router malicious for the adversarial tests. The hooks
+// interpose only on what a real rogue router controls — the untrusted
+// result path (SP-side scatter shapes, gathered record payloads, TOM
+// evidence and plan relay). The token path is deliberately out of reach,
+// modeling the end-to-end-authenticated client↔TE aggregate the trust
+// argument rests on: a router that can also rewrite token bytes is the
+// paper's compromised-TE-channel case, which no VO-less scheme survives.
+type tamper struct {
+	// scatterPlan substitutes a forged partition plan for the SP-side
+	// scatter (seam shifting: records between the true and forged splits
+	// silently vanish from the gather).
+	scatterPlan *shard.Plan
+	// reshapeSubs rewrites the SP-side sub-queries (narrowing a clamp at
+	// a seam, dropping a shard from the scatter).
+	reshapeSubs func([]shard.SubQuery) []shard.SubQuery
+	// reshapeParts rewrites the gathered raw record payloads before the
+	// merge (suppressing or swapping whole shards' sub-results).
+	reshapeParts func([][]byte) [][]byte
+	// reshapeTOM rewrites the stitched TOM evidence and/or the relayed
+	// plan before encoding.
+	reshapeTOM func(shard.Plan, []wire.TOMShardPart) (shard.Plan, []wire.TOMShardPart)
+}
+
+// setTamper installs (or clears) the malicious hooks; test-only.
+func (r *Router) setTamper(t *tamper) { r.tamper = t }

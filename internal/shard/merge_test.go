@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"testing"
+
+	"sae/internal/digest"
+	"sae/internal/record"
+)
+
+func TestScatterTilesQuery(t *testing.T) {
+	plan, err := NewPlan([]record.Key{1000, 5000, 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []record.Range{
+		{Lo: 0, Hi: 20000},   // all shards
+		{Lo: 500, Hi: 500},   // single key, shard 0
+		{Lo: 999, Hi: 1000},  // straddles the first split
+		{Lo: 1000, Hi: 4999}, // boundary-exact shard 1 span
+		{Lo: 7, Hi: 3},       // empty
+	}
+	for _, q := range qs {
+		subs := plan.Scatter(q)
+		if q.Empty() {
+			if len(subs) != 0 {
+				t.Fatalf("%v: empty query scattered to %d shards", q, len(subs))
+			}
+			continue
+		}
+		if len(subs) == 0 {
+			t.Fatalf("%v: non-empty query scattered nowhere", q)
+		}
+		// Sub-ranges must tile q exactly: start at q.Lo, end at q.Hi,
+		// adjacent subs contiguous, shard indices increasing.
+		if subs[0].Sub.Lo != q.Lo || subs[len(subs)-1].Sub.Hi != q.Hi {
+			t.Fatalf("%v: scatter spans [%d,%d]", q, subs[0].Sub.Lo, subs[len(subs)-1].Sub.Hi)
+		}
+		for i, sq := range subs {
+			if sq.Sub.Empty() {
+				t.Fatalf("%v: empty sub-range for shard %d", q, sq.Shard)
+			}
+			if sq.Sub != plan.Clamp(sq.Shard, q) {
+				t.Fatalf("%v: shard %d sub %v != clamp %v", q, sq.Shard, sq.Sub, plan.Clamp(sq.Shard, q))
+			}
+			if i > 0 {
+				if sq.Shard != subs[i-1].Shard+1 {
+					t.Fatalf("%v: shard order %d after %d", q, sq.Shard, subs[i-1].Shard)
+				}
+				if sq.Sub.Lo != subs[i-1].Sub.Hi+1 {
+					t.Fatalf("%v: seam gap between %v and %v", q, subs[i-1].Sub, sq.Sub)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSAE(t *testing.T) {
+	mk := func(keys ...record.Key) []record.Record {
+		out := make([]record.Record, len(keys))
+		for i, k := range keys {
+			out[i] = record.Synthesize(record.ID(i+1), k)
+		}
+		return out
+	}
+	a, b := mk(1, 2, 3), mk(10, 11)
+	da := digest.OfBytes([]byte("a"))
+	db := digest.OfBytes([]byte("b"))
+	merged, vt := MergeSAE([]SAEPart{{Recs: a, VT: da}, {Recs: b, VT: db}})
+	if len(merged) != 5 {
+		t.Fatalf("merged %d records, want 5", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Key < merged[i-1].Key {
+			t.Fatalf("merge out of key order at %d", i)
+		}
+	}
+	var acc digest.Accumulator
+	acc.Add(da)
+	acc.Add(db)
+	if vt != acc.Sum() {
+		t.Fatal("combined token is not the XOR of the parts")
+	}
+	// Zero parts: no records, the XOR identity.
+	if recs, vt := MergeSAE(nil); recs != nil || vt != digest.Zero {
+		t.Fatalf("empty merge produced %d records, token %v", len(recs), vt)
+	}
+}

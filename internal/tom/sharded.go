@@ -152,22 +152,20 @@ func (o *ShardedQueryOutcome) VOBytes() int {
 // Query scatters a range query to the overlapping shards, gathers the
 // sub-results and VOs, and verifies the stitched evidence.
 func (s *ShardedSystem) Query(q record.Range) (*ShardedQueryOutcome, error) {
-	first, last, ok := s.Plan.Overlapping(q)
-	if !ok {
+	subs := s.Plan.Scatter(q)
+	if len(subs) == 0 {
 		out := &ShardedQueryOutcome{}
 		out.ClientCost, out.VerifyErr = s.Client.Verify(q, nil)
 		return out, nil
 	}
-	n := last - first + 1
-	replies := make([]ShardVO, n)
-	errs := make([]error, n)
+	replies := make([]ShardVO, len(subs))
+	errs := make([]error, len(subs))
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for i := range subs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			idx := first + i
-			sub := s.Plan.Clamp(idx, q)
+			idx, sub := subs[i].Shard, subs[i].Sub
 			recs, vo, qc, err := s.Providers[idx].QueryCtx(exec.NewContext(), sub)
 			if err != nil {
 				errs[i] = fmt.Errorf("tom: shard %d: %w", idx, err)
@@ -220,28 +218,28 @@ func (c ShardedClient) Verify(q record.Range, perShard []ShardVO) (costmodel.Bre
 	fail := func(err error) (costmodel.Breakdown, error) {
 		return costmodel.Breakdown{CPU: time.Since(start)}, err
 	}
-	first, last, ok := c.Plan.Overlapping(q)
-	if !ok {
+	subs := c.Plan.Scatter(q)
+	if len(subs) == 0 {
 		if len(perShard) != 0 {
 			return fail(fmt.Errorf("%w: evidence for an empty range", mbtree.ErrBadVO))
 		}
 		return costmodel.Breakdown{CPU: time.Since(start)}, nil
 	}
-	if len(perShard) != last-first+1 {
+	if len(perShard) != len(subs) {
 		return fail(fmt.Errorf("%w: %d shard answers for %d overlapping shards",
-			mbtree.ErrBadVO, len(perShard), last-first+1))
+			mbtree.ErrBadVO, len(perShard), len(subs)))
 	}
 	for i := range perShard {
 		sv := &perShard[i]
-		idx := first + i
+		idx := subs[i].Shard
 		if sv.Shard != idx {
 			return fail(fmt.Errorf("%w: answer %d is from shard %d, want %d", mbtree.ErrBadVO, i, sv.Shard, idx))
 		}
 		// Boundary continuity: the sub-range must be exactly the plan's
 		// clamp, so adjacent sub-ranges meet with no gap a record could
 		// vanish into.
-		if want := c.Plan.Clamp(idx, q); sv.Sub != want {
-			return fail(fmt.Errorf("%w: shard %d answered sub-range %v, want %v", mbtree.ErrBadVO, idx, sv.Sub, want))
+		if sv.Sub != subs[i].Sub {
+			return fail(fmt.Errorf("%w: shard %d answered sub-range %v, want %v", mbtree.ErrBadVO, idx, sv.Sub, subs[i].Sub))
 		}
 		if err := mbtree.VerifyVOBound(sv.VO, sv.Result, sv.Sub.Lo, sv.Sub.Hi, c.Verifier,
 			ShardBinding(c.Plan, idx)); err != nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"sae/internal/mbtree"
 	"sae/internal/record"
 	"sae/internal/sigs"
+	"sae/internal/tom"
 )
 
 // conn is a persistent pipelined connection with byte accounting. All
@@ -82,6 +84,15 @@ func (c *conn) fail(err error) {
 // roundTrip sends one frame and waits for its tagged response,
 // translating MsgErr. Concurrent calls pipeline on the connection.
 func (c *conn) roundTrip(req Frame) (Frame, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx is roundTrip bounded by a context: if ctx expires before
+// the tagged response arrives, the request is abandoned (its pending
+// entry removed, so a late response is discarded by the demux loop) and
+// ctx's error returned. The connection itself stays healthy — a slow
+// response poisons one request, not the pipeline.
+func (c *conn) roundTripCtx(ctx context.Context, req Frame) (Frame, error) {
 	ch := make(chan Frame, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -108,7 +119,16 @@ func (c *conn) roundTrip(req Frame) (Frame, error) {
 	c.sent += int64(HeaderSize + len(req.Payload))
 	c.mu.Unlock()
 
-	resp, ok := <-ch
+	var resp Frame
+	var ok bool
+	select {
+	case resp, ok = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Frame{}, fmt.Errorf("wire: request abandoned: %w", ctx.Err())
+	}
 	if !ok {
 		c.mu.Lock()
 		err := c.err
@@ -181,7 +201,13 @@ func (c *SPClient) queryDecoded(q record.Range) ([]record.Record, []byte, error)
 // client hashes these bytes in place (digest.OfWire) before ever
 // materializing a record.
 func (c *SPClient) QueryRaw(q record.Range) ([]byte, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgQuery, Payload: EncodeRange(q)})
+	return c.QueryRawCtx(context.Background(), q)
+}
+
+// QueryRawCtx is QueryRaw bounded by a context (the router's slow-shard
+// guard).
+func (c *SPClient) QueryRawCtx(ctx context.Context, q record.Range) ([]byte, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgQuery, Payload: EncodeRange(q)})
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +237,12 @@ func (c *SPClient) QueryBatch(qs []record.Range) ([][]record.Record, error) {
 // QueryBatchRaw fetches a batched result still in wire form (the
 // EncodeRecordBatches payload); see QueryRaw.
 func (c *SPClient) QueryBatchRaw(qs []record.Range) ([]byte, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgBatchQuery, Payload: EncodeRanges(qs)})
+	return c.QueryBatchRawCtx(context.Background(), qs)
+}
+
+// QueryBatchRawCtx is QueryBatchRaw bounded by a context.
+func (c *SPClient) QueryBatchRawCtx(ctx context.Context, qs []record.Range) ([]byte, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgBatchQuery, Payload: EncodeRanges(qs)})
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +300,12 @@ func DialTE(addr string) (*TEClient, error) {
 
 // GenerateVT fetches the verification token for a range.
 func (c *TEClient) GenerateVT(q record.Range) (digest.Digest, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgVTRequest, Payload: EncodeRange(q)})
+	return c.GenerateVTWithCtx(context.Background(), q)
+}
+
+// GenerateVTWithCtx is GenerateVT bounded by a context.
+func (c *TEClient) GenerateVTWithCtx(ctx context.Context, q record.Range) (digest.Digest, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgVTRequest, Payload: EncodeRange(q)})
 	if err != nil {
 		return digest.Zero, err
 	}
@@ -282,7 +318,12 @@ func (c *TEClient) GenerateVT(q record.Range) (digest.Digest, error) {
 // GenerateVTBatch fetches the tokens for many ranges in one frame.
 // Tokens align with qs.
 func (c *TEClient) GenerateVTBatch(qs []record.Range) ([]digest.Digest, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgBatchVT, Payload: EncodeRanges(qs)})
+	return c.GenerateVTBatchCtx(context.Background(), qs)
+}
+
+// GenerateVTBatchCtx is GenerateVTBatch bounded by a context.
+func (c *TEClient) GenerateVTBatchCtx(ctx context.Context, qs []record.Range) ([]digest.Digest, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgBatchVT, Payload: EncodeRanges(qs)})
 	if err != nil {
 		return nil, err
 	}
@@ -321,16 +362,41 @@ func DialTOM(addr string) (*TOMClient, error) {
 	return &TOMClient{conn: c}, nil
 }
 
-// Query fetches result records plus their verification object.
+// Query fetches result records plus their verification object from a
+// single (unsharded) TOM provider.
 func (c *TOMClient) Query(q record.Range) ([]record.Record, *mbtree.VO, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgTOMQuery, Payload: EncodeRange(q)})
+	resp, err := c.queryFrame(q)
 	if err != nil {
 		return nil, nil, err
 	}
 	if resp.Type != MsgTOMResult {
 		return nil, nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
 	}
-	recs, rest, err := DecodeRecords(resp.Payload)
+	return decodeTOMResult(resp.Payload)
+}
+
+// queryFrame sends a TOM query and returns the raw response frame, which
+// may be a single-provider MsgTOMResult or a router's MsgTOMShardedResult.
+func (c *TOMClient) queryFrame(q record.Range) (Frame, error) {
+	return c.roundTrip(Frame{Type: MsgTOMQuery, Payload: EncodeRange(q)})
+}
+
+// QueryRawCtx fetches the MsgTOMResult payload (records + VO) still in
+// wire form — the router's upstream relay path.
+func (c *TOMClient) QueryRawCtx(ctx context.Context, q record.Range) ([]byte, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgTOMQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgTOMResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return resp.Payload, nil
+}
+
+// decodeTOMResult splits a MsgTOMResult payload into records and VO.
+func decodeTOMResult(payload []byte) ([]record.Record, *mbtree.VO, error) {
+	recs, rest, err := DecodeRecords(payload)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -494,7 +560,12 @@ func (v *VerifyingClient) QueryBatch(qs []record.Range) ([][]record.Record, erro
 	return batches, nil
 }
 
-// VerifyingTOMClient performs the full TOM protocol over the network.
+// VerifyingTOMClient performs the full TOM protocol over the network. It
+// accepts both answer forms: a single provider's records + VO, and a
+// router's stitched per-shard evidence (MsgTOMShardedResult), which it
+// verifies with the same stitched-VO logic as the in-process sharded
+// system — the relayed plan is untrusted, but every shard's VO signature
+// binds the owner-signed plan, so a router cannot forge the topology.
 type VerifyingTOMClient struct {
 	Provider *TOMClient
 	Verifier *sigs.Verifier
@@ -505,12 +576,50 @@ type VerifyingTOMClient struct {
 
 // Query runs the verified TOM range query.
 func (v *VerifyingTOMClient) Query(q record.Range) ([]record.Record, error) {
-	recs, vo, err := v.Provider.Query(q)
+	resp, err := v.Provider.queryFrame(q)
 	if err != nil {
 		return nil, err
 	}
-	if err := mbtree.VerifyVOWorkers(vo, recs, q.Lo, q.Hi, v.Verifier, v.VerifyWorkers); err != nil {
+	switch resp.Type {
+	case MsgTOMResult:
+		recs, vo, err := decodeTOMResult(resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := mbtree.VerifyVOWorkers(vo, recs, q.Lo, q.Hi, v.Verifier, v.VerifyWorkers); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	case MsgTOMShardedResult:
+		return v.verifySharded(q, resp.Payload)
+	default:
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+}
+
+// verifySharded checks a router's stitched TOM evidence: decode the plan
+// and per-shard parts, rebuild the tom.ShardVO list and run the sharded
+// client verification (boundary continuity from the plan's own clamps,
+// shard-identity-bound signatures per VO). A nil error proves the merged
+// result sound and complete for all of q, with no trust in the router.
+func (v *VerifyingTOMClient) verifySharded(q record.Range, payload []byte) ([]record.Record, error) {
+	plan, parts, err := DecodeTOMSharded(payload)
+	if err != nil {
 		return nil, err
 	}
-	return recs, nil
+	perShard := make([]tom.ShardVO, len(parts))
+	var merged []record.Record
+	for i, p := range parts {
+		recs, vo, err := decodeTOMResult(p.Blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d evidence: %v", ErrProtocol, p.Shard, err)
+		}
+		perShard[i] = tom.ShardVO{Shard: p.Shard, Sub: p.Sub, Result: recs, VO: vo}
+		merged = append(merged, recs...)
+	}
+	sc := tom.ShardedClient{Verifier: v.Verifier, Plan: plan}
+	if _, err := sc.Verify(q, perShard); err != nil {
+		return nil, err
+	}
+	return merged, nil
 }

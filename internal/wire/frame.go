@@ -67,6 +67,11 @@ const (
 	MsgShardMapReq MsgType = 15
 	// Server -> client: shard index + partition plan.
 	MsgShardMap MsgType = 16
+	// Router -> client: a TOM query answered by a sharded deployment —
+	// the partition plan plus one (records + VO) blob per overlapping
+	// shard. The plan is untrusted relay data: each shard's VO signature
+	// binds the owner-signed plan, so a forged relay fails verification.
+	MsgTOMShardedResult MsgType = 17
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal
@@ -323,6 +328,73 @@ func DecodeShardInfo(b []byte) (ShardInfo, error) {
 		return ShardInfo{}, fmt.Errorf("%w: shard index %d outside %d-shard plan", ErrProtocol, idx, plan.Shards())
 	}
 	return ShardInfo{Index: idx, Plan: plan}, nil
+}
+
+// TOMShardPart is one shard's contribution to a routed TOM query: the
+// shard index, the clamped sub-range it answered, and its MsgTOMResult
+// payload (records + serialized VO) relayed verbatim.
+type TOMShardPart struct {
+	Shard int
+	Sub   record.Range
+	Blob  []byte
+}
+
+// AppendTOMShardedHeader and AppendTOMShardedPart stream a routed TOM
+// result — the partition plan, the part count, then each part as shard
+// index, sub-range and a length-prefixed relay blob — into a pooled
+// response buffer (the router's gather path builds the frame with these
+// two; DecodeTOMSharded parses it).
+func AppendTOMShardedHeader(rb *RespBuf, plan shard.Plan, parts int) {
+	rb.Append(plan.Marshal())
+	rb.AppendUint32(uint32(parts))
+}
+
+func AppendTOMShardedPart(rb *RespBuf, shardIdx int, sub record.Range, blob []byte) {
+	rb.AppendUint32(uint32(shardIdx))
+	rb.Append(EncodeRange(sub))
+	rb.AppendUint32(uint32(len(blob)))
+	rb.Append(blob)
+}
+
+// DecodeTOMSharded parses a routed TOM result. Part blobs alias b.
+func DecodeTOMSharded(b []byte) (shard.Plan, []TOMShardPart, error) {
+	plan, rest, err := shard.UnmarshalPlan(b)
+	if err != nil {
+		return shard.Plan{}, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	b = rest
+	if len(b) < 4 {
+		return shard.Plan{}, nil, fmt.Errorf("%w: truncated part count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	// Every part carries at least its 16-byte fixed header, bounding a
+	// hostile count before the count-sized allocation.
+	if n > len(b)/16 {
+		return shard.Plan{}, nil, fmt.Errorf("%w: implausible part count %d for %d payload bytes", ErrProtocol, n, len(b))
+	}
+	parts := make([]TOMShardPart, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 16 {
+			return shard.Plan{}, nil, fmt.Errorf("%w: truncated part %d header", ErrProtocol, i)
+		}
+		idx := int(binary.BigEndian.Uint32(b[0:4]))
+		sub, err := DecodeRange(b[4:12])
+		if err != nil {
+			return shard.Plan{}, nil, err
+		}
+		bl := int(binary.BigEndian.Uint32(b[12:16]))
+		b = b[16:]
+		if bl > len(b) {
+			return shard.Plan{}, nil, fmt.Errorf("%w: part %d blob of %d bytes exceeds payload", ErrProtocol, i, bl)
+		}
+		parts = append(parts, TOMShardPart{Shard: idx, Sub: sub, Blob: b[:bl]})
+		b = b[bl:]
+	}
+	if len(b) != 0 {
+		return shard.Plan{}, nil, fmt.Errorf("%w: %d trailing bytes after sharded TOM result", ErrProtocol, len(b))
+	}
+	return plan, parts, nil
 }
 
 // EncodeDelete serializes an owner deletion.

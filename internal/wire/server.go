@@ -17,52 +17,74 @@ import (
 	"sae/internal/tom"
 )
 
-// handler maps one request frame to one response frame. rb is a pooled
+// Handler maps one request frame to one response frame. rb is a pooled
 // response payload buffer the handler may (but need not) encode into:
 // returning a Frame whose Payload aliases rb.b is safe because the buffer
 // is recycled only after the frame has been written to the socket.
-type handler func(req Frame, rb *respBuf) Frame
+type Handler func(req Frame, rb *RespBuf) Frame
 
-// respBuf is one pooled response payload buffer. Before pooling, every
+// RespBuf is one pooled response payload buffer. Before pooling, every
 // response frame allocated its payload — for record-heavy results that
 // was the server write path's dominant allocation.
-type respBuf struct{ b []byte }
+type RespBuf struct{ b []byte }
 
 // respBufRetain caps the capacity a recycled buffer may keep. The
 // occasional multi-megabyte response should not pin its buffer in the
 // pool forever.
 const respBufRetain = 4 << 20
 
-var respBufPool = sync.Pool{New: func() any { return new(respBuf) }}
+var respBufPool = sync.Pool{New: func() any { return new(RespBuf) }}
 
-func getRespBuf() *respBuf {
-	rb := respBufPool.Get().(*respBuf)
+func getRespBuf() *RespBuf {
+	rb := respBufPool.Get().(*RespBuf)
 	rb.b = rb.b[:0]
 	return rb
 }
 
-func putRespBuf(rb *respBuf) {
+func putRespBuf(rb *RespBuf) {
 	if cap(rb.b) <= respBufRetain {
 		respBufPool.Put(rb)
 	}
+}
+
+// Len returns the bytes encoded into the buffer so far.
+func (rb *RespBuf) Len() int { return len(rb.b) }
+
+// Bytes returns the encoded payload. The slice aliases the pooled buffer:
+// it is valid until the returned response frame has been written to the
+// socket, exactly the lifetime a Handler's response needs.
+func (rb *RespBuf) Bytes() []byte { return rb.b }
+
+// Append appends raw bytes to the payload.
+func (rb *RespBuf) Append(p []byte) { rb.b = append(rb.b, p...) }
+
+// AppendUint32 appends a big-endian uint32 to the payload.
+func (rb *RespBuf) AppendUint32(v uint32) {
+	rb.b = binary.BigEndian.AppendUint32(rb.b, v)
+}
+
+// PatchUint32 backfills a big-endian uint32 at a previously appended
+// offset (count slots reserved before streaming, à la beginRecords).
+func (rb *RespBuf) PatchUint32(at int, v uint32) {
+	binary.BigEndian.PutUint32(rb.b[at:at+4], v)
 }
 
 // beginRecords reserves a 4-byte record-count slot in rb and returns its
 // offset; endRecords backfills it once the records have been streamed in.
 // Between the two, appendRecord scatter-appends each borrowed record
 // directly into the frame — EncodeRecords without the intermediate slice.
-func (rb *respBuf) beginRecords() int {
+func (rb *RespBuf) beginRecords() int {
 	at := len(rb.b)
 	rb.b = append(rb.b, 0, 0, 0, 0)
 	return at
 }
 
-func (rb *respBuf) appendRecord(r *record.Record) error {
+func (rb *RespBuf) appendRecord(r *record.Record) error {
 	rb.b = r.AppendBinary(rb.b)
 	return nil
 }
 
-func (rb *respBuf) endRecords(at, count int) {
+func (rb *RespBuf) endRecords(at, count int) {
 	binary.BigEndian.PutUint32(rb.b[at:at+4], uint32(count))
 }
 
@@ -72,10 +94,13 @@ func (rb *respBuf) endRecords(at, count int) {
 // correctness.
 const maxInFlight = 32
 
-// server is the shared TCP accept/serve loop.
-type server struct {
+// Server is the shared TCP accept/serve loop behind every party's
+// endpoint. Use Serve to run a custom Handler on it (the router tier
+// does); the SP/TE/TOM servers below wrap it with their protocol
+// handlers.
+type Server struct {
 	ln     net.Listener
-	handle handler
+	handle Handler
 	logf   func(string, ...any)
 
 	// shardInfo is this server's place in a sharded deployment; unset
@@ -83,34 +108,36 @@ type server struct {
 	// answer shard-map requests uniformly.
 	shardInfo atomic.Pointer[ShardInfo]
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
-	wg    sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
 }
 
 // ServerOption configures a server before it starts accepting
 // connections.
-type ServerOption func(*server)
+type ServerOption func(*Server)
 
 // WithShardInfo declares the server's shard index and partition plan at
 // construction, before the listener accepts its first connection — a
 // client that dials the moment the port opens already sees the right
 // attestation.
 func WithShardInfo(si ShardInfo) ServerOption {
-	return func(s *server) { s.shardInfo.Store(&si) }
+	return func(s *Server) { s.shardInfo.Store(&si) }
 }
 
 // SetShardInfo declares this server's shard index and partition plan,
 // served in response to MsgShardMapReq. Safe to call while serving, but
 // deployments should prefer WithShardInfo so no early client can observe
 // the default single-shard attestation.
-func (s *server) SetShardInfo(si ShardInfo) {
+func (s *Server) SetShardInfo(si ShardInfo) {
 	s.shardInfo.Store(&si)
 }
 
 // shardMapFrame answers a shard-map request.
-func (s *server) shardMapFrame() Frame {
+func (s *Server) shardMapFrame() Frame {
 	si := s.shardInfo.Load()
 	if si == nil {
 		si = &ShardInfo{}
@@ -118,7 +145,7 @@ func (s *server) shardMapFrame() Frame {
 	return Frame{Type: MsgShardMap, Payload: EncodeShardInfo(*si)}
 }
 
-func newServer(addr string, handle handler, logf func(string, ...any), opts []ServerOption) (*server, error) {
+func newServer(addr string, handle Handler, logf func(string, ...any), opts []ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
@@ -126,7 +153,7 @@ func newServer(addr string, handle handler, logf func(string, ...any), opts []Se
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &server{
+	s := &Server{
 		ln:     ln,
 		handle: handle,
 		logf:   logf,
@@ -141,24 +168,40 @@ func newServer(addr string, handle handler, logf func(string, ...any), opts []Se
 	return s, nil
 }
 
-// Addr returns the server's bound address (useful with ":0" listeners).
-func (s *server) Addr() string { return s.ln.Addr().String() }
-
-// Close stops accepting, closes live connections and waits for the serving
-// goroutines to drain.
-func (s *server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return err
+// Serve starts a TCP server running a custom Handler — the hook the
+// router tier builds its client-facing endpoint on (and tests build fake
+// upstreams with). The handler runs once per request frame, concurrently
+// across the requests in flight on a connection; the RespBuf it receives
+// is pooled and recycled after its response frame hits the socket.
+func Serve(addr string, handle Handler, logf func(string, ...any), opts ...ServerOption) (*Server, error) {
+	return newServer(addr, handle, logf, opts)
 }
 
-func (s *server) acceptLoop() {
+// ErrFrame builds the error response for a request a Handler cannot
+// serve, mirroring what the built-in party servers send.
+func ErrFrame(err error) Frame { return errFrame(err) }
+
+// Addr returns the server's bound address (useful with ":0" listeners).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections and waits for the serving
+// goroutines to drain. It is idempotent: deployment teardown paths often
+// race an explicit shutdown against a deferred one.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
@@ -183,7 +226,7 @@ func (s *server) acceptLoop() {
 // connection can have up to maxInFlight requests executing concurrently
 // (the request-id tagging lets responses return out of order). A write
 // mutex keeps response frames from interleaving.
-func (s *server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	var (
 		writeMu  sync.Mutex
@@ -243,7 +286,7 @@ func errFrame(err error) Frame {
 // SPServer exposes an SAE service provider over TCP: queries, inserts and
 // deletes.
 type SPServer struct {
-	*server
+	*Server
 	sp *core.ServiceProvider
 }
 
@@ -254,11 +297,11 @@ func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any), o
 	if err != nil {
 		return nil, err
 	}
-	srv.server = s
+	srv.Server = s
 	return srv, nil
 }
 
-func (s *SPServer) handle(req Frame, rb *respBuf) Frame {
+func (s *SPServer) handle(req Frame, rb *RespBuf) Frame {
 	switch req.Type {
 	case MsgQuery:
 		q, err := DecodeRange(req.Payload)
@@ -320,7 +363,7 @@ func (s *SPServer) handle(req Frame, rb *respBuf) Frame {
 // TEServer exposes a trusted entity over TCP: token requests and owner
 // updates.
 type TEServer struct {
-	*server
+	*Server
 	te *core.TrustedEntity
 }
 
@@ -331,11 +374,11 @@ func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any), opt
 	if err != nil {
 		return nil, err
 	}
-	srv.server = s
+	srv.Server = s
 	return srv, nil
 }
 
-func (s *TEServer) handle(req Frame, rb *respBuf) Frame {
+func (s *TEServer) handle(req Frame, rb *RespBuf) Frame {
 	switch req.Type {
 	case MsgVTRequest:
 		q, err := DecodeRange(req.Payload)
@@ -393,7 +436,7 @@ func (s *TEServer) handle(req Frame, rb *respBuf) Frame {
 // TOMServer exposes a TOM provider over TCP: queries answered with records
 // plus a serialized VO.
 type TOMServer struct {
-	*server
+	*Server
 	provider *tom.Provider
 	owner    *tom.Owner
 }
@@ -405,11 +448,11 @@ func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(s
 	if err != nil {
 		return nil, err
 	}
-	srv.server = s
+	srv.Server = s
 	return srv, nil
 }
 
-func (s *TOMServer) handle(req Frame, rb *respBuf) Frame {
+func (s *TOMServer) handle(req Frame, rb *RespBuf) Frame {
 	switch req.Type {
 	case MsgTOMQuery:
 		q, err := DecodeRange(req.Payload)

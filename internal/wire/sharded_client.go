@@ -14,7 +14,9 @@ import (
 // sharded deployment: it holds pipelined connections to every shard's SP
 // and TE, scatters each range query to the overlapping shards, gathers the
 // sub-results in key order, XOR-combines the per-shard tokens and verifies
-// the merged result against the combined token.
+// the merged result against the combined token. (For deployments that want
+// the scatter on the server side instead, see internal/router: a plain
+// VerifyingClient pointed at a router obtains bit-identical results.)
 //
 // The partition plan is fetched from the trusted entities themselves at
 // dial time, not from any router: every TE must report the same plan and
@@ -31,10 +33,7 @@ type ShardedVerifyingClient struct {
 
 // DialShardedVerifying connects to every shard's SP/TE pair (spAddrs[i]
 // and teAddrs[i] form shard i) and cross-checks the deployment's shard
-// maps: each TE must attest the same plan, claim the index it is dialed
-// as, and the plan's shard count must match the address lists. The SPs'
-// maps are checked too — an SP mismatch is a deployment wiring error even
-// though SPs are untrusted.
+// maps with VerifyShardAttestations.
 func DialShardedVerifying(spAddrs, teAddrs []string) (*ShardedVerifyingClient, error) {
 	if len(spAddrs) == 0 || len(spAddrs) != len(teAddrs) {
 		return nil, fmt.Errorf("wire: %d SP addresses for %d TE addresses", len(spAddrs), len(teAddrs))
@@ -48,39 +47,56 @@ func DialShardedVerifying(spAddrs, teAddrs []string) (*ShardedVerifyingClient, e
 		}
 		c.Shards[i] = vc
 	}
+	sps := make([]*SPClient, len(c.Shards))
+	tes := make([]*TEClient, len(c.Shards))
 	for i, vc := range c.Shards {
-		si, err := vc.TE.ShardMap()
+		sps[i], tes[i] = vc.SP, vc.TE
+	}
+	plan, err := VerifyShardAttestations(sps, tes)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Plan = plan
+	return c, nil
+}
+
+// VerifyShardAttestations cross-checks a dialed deployment's shard maps:
+// each TE must attest the same plan, claim the index it is dialed as, and
+// the plan's shard count must match the address lists. The SPs' maps are
+// checked too — an SP mismatch is a deployment wiring error even though
+// SPs are untrusted. It returns the TE-attested plan. Shared by the
+// shard-aware client and the router tier, which performs the same
+// cross-check against its upstreams at startup.
+func VerifyShardAttestations(sps []*SPClient, tes []*TEClient) (shard.Plan, error) {
+	var plan shard.Plan
+	for i, te := range tes {
+		si, err := te.ShardMap()
 		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("wire: shard %d TE map: %w", i, err)
+			return shard.Plan{}, fmt.Errorf("wire: shard %d TE map: %w", i, err)
 		}
 		if si.Index != i {
-			c.Close()
-			return nil, fmt.Errorf("wire: TE dialed as shard %d claims index %d", i, si.Index)
+			return shard.Plan{}, fmt.Errorf("wire: TE dialed as shard %d claims index %d", i, si.Index)
 		}
-		if si.Plan.Shards() != len(c.Shards) {
-			c.Close()
-			return nil, fmt.Errorf("wire: TE %d attests a %d-shard plan, dialed %d shards",
-				i, si.Plan.Shards(), len(c.Shards))
+		if si.Plan.Shards() != len(tes) {
+			return shard.Plan{}, fmt.Errorf("wire: TE %d attests a %d-shard plan, dialed %d shards",
+				i, si.Plan.Shards(), len(tes))
 		}
 		if i == 0 {
-			c.Plan = si.Plan
-		} else if !si.Plan.Equal(c.Plan) {
-			c.Close()
-			return nil, fmt.Errorf("wire: TE %d attests a different plan than TE 0", i)
+			plan = si.Plan
+		} else if !si.Plan.Equal(plan) {
+			return shard.Plan{}, fmt.Errorf("wire: TE %d attests a different plan than TE 0", i)
 		}
 		// Routing sanity only: the SP map is untrusted but a mismatch
 		// means the deployment is mis-wired.
-		if spsi, err := vc.SP.ShardMap(); err != nil {
-			c.Close()
-			return nil, fmt.Errorf("wire: shard %d SP map: %w", i, err)
-		} else if spsi.Index != i || !spsi.Plan.Equal(c.Plan) {
-			c.Close()
-			return nil, fmt.Errorf("wire: SP dialed as shard %d reports shard %d of %v",
+		if spsi, err := sps[i].ShardMap(); err != nil {
+			return shard.Plan{}, fmt.Errorf("wire: shard %d SP map: %w", i, err)
+		} else if spsi.Index != i || !spsi.Plan.Equal(plan) {
+			return shard.Plan{}, fmt.Errorf("wire: SP dialed as shard %d reports shard %d of %v",
 				i, spsi.Index, spsi.Plan)
 		}
 	}
-	return c, nil
+	return plan, nil
 }
 
 // Close closes every shard connection.
@@ -110,24 +126,18 @@ func (c *ShardedVerifyingClient) BytesReceived() (sp, te int64) {
 // Query scatters a verified range query. It returns the merged records
 // only if they passed verification against the XOR-combined token.
 func (c *ShardedVerifyingClient) Query(q record.Range) ([]record.Record, error) {
-	first, last, ok := c.Plan.Overlapping(q)
-	if !ok {
+	subs := c.Plan.Scatter(q)
+	if len(subs) == 0 {
 		return nil, nil
 	}
-	n := last - first + 1
-	type reply struct {
-		recs []record.Record
-		vt   digest.Digest
-		err  error
-	}
-	replies := make([]reply, n)
+	parts := make([]shard.SAEPart, len(subs))
+	errs := make([]error, len(subs))
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for i := range subs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			idx := first + i
-			sub := c.Plan.Clamp(idx, q)
+			idx, sub := subs[i].Shard, subs[i].Sub
 			vc := c.Shards[idx]
 			// SP and TE sub-requests pipeline on the shard's two
 			// connections exactly like the single-shard client.
@@ -142,33 +152,28 @@ func (c *ShardedVerifyingClient) Query(q record.Range) ([]record.Record, error) 
 			recs, spErr := vc.SP.Query(sub)
 			inner.Wait()
 			if spErr != nil {
-				replies[i].err = fmt.Errorf("wire: shard %d SP: %w", idx, spErr)
+				errs[i] = fmt.Errorf("wire: shard %d SP: %w", idx, spErr)
 				return
 			}
 			if vtErr != nil {
-				replies[i].err = fmt.Errorf("wire: shard %d TE: %w", idx, vtErr)
+				errs[i] = fmt.Errorf("wire: shard %d TE: %w", idx, vtErr)
 				return
 			}
-			replies[i].recs, replies[i].vt = recs, vt
+			parts[i] = shard.SAEPart{Recs: recs, VT: vt}
 		}(i)
 	}
 	wg.Wait()
-	var merged []record.Record
-	var acc digest.Accumulator
-	for i := range replies {
-		if replies[i].err != nil {
-			return nil, replies[i].err
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		// Contiguous partitions: gathering in shard order is the key-order
-		// merge.
-		merged = append(merged, replies[i].recs...)
-		acc.Add(replies[i].vt)
 	}
+	merged, vt := shard.MergeSAE(parts)
 	// The merged result verifies through the parallel pool: record
 	// hashing dominates, and the XOR fold is order-independent, so the
 	// fan-out returns exactly what the serial Figure 7 check would.
 	vp := core.NewVerifyPool(0)
-	if _, err := vp.Verify(q, merged, acc.Sum()); err != nil {
+	if _, err := vp.Verify(q, merged, vt); err != nil {
 		return nil, err
 	}
 	return merged, nil
@@ -185,13 +190,9 @@ func (c *ShardedVerifyingClient) QueryBatch(qs []record.Range) ([][]record.Recor
 	subs := make([][]record.Range, len(c.Shards))
 	owners := make([][]int, len(c.Shards))
 	for qi, q := range qs {
-		first, last, ok := c.Plan.Overlapping(q)
-		if !ok {
-			continue
-		}
-		for idx := first; idx <= last; idx++ {
-			subs[idx] = append(subs[idx], c.Plan.Clamp(idx, q))
-			owners[idx] = append(owners[idx], qi)
+		for _, sq := range c.Plan.Scatter(q) {
+			subs[sq.Shard] = append(subs[sq.Shard], sq.Sub)
+			owners[sq.Shard] = append(owners[sq.Shard], qi)
 		}
 	}
 	type shardOut struct {
@@ -237,21 +238,22 @@ func (c *ShardedVerifyingClient) QueryBatch(qs []record.Range) ([][]record.Recor
 		}
 	}
 	// Reassemble per query. Shards are visited in index order and each
-	// shard's group preserves query order, so appending yields the
-	// key-order merge for every query.
-	results := make([][]record.Record, len(qs))
-	accs := make([]digest.Accumulator, len(qs))
+	// shard's group preserves query order, so collecting every query's
+	// parts in visit order hands MergeSAE the Scatter order it expects.
+	parts := make([][]shard.SAEPart, len(qs))
 	for idx := range c.Shards {
 		for j, qi := range owners[idx] {
-			results[qi] = append(results[qi], outs[idx].batches[j]...)
-			accs[qi].Add(outs[idx].vts[j])
+			parts[qi] = append(parts[qi], shard.SAEPart{Recs: outs[idx].batches[j], VT: outs[idx].vts[j]})
 		}
 	}
 	vp := core.NewVerifyPool(0)
+	results := make([][]record.Record, len(qs))
 	for qi, q := range qs {
-		if _, err := vp.Verify(q, results[qi], accs[qi].Sum()); err != nil {
+		merged, vt := shard.MergeSAE(parts[qi])
+		if _, err := vp.Verify(q, merged, vt); err != nil {
 			return nil, fmt.Errorf("query %d %v: %w", qi, q, err)
 		}
+		results[qi] = merged
 	}
 	return results, nil
 }

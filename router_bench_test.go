@@ -1,0 +1,29 @@
+// Routed-query benchmark: the router tier's end-to-end request path — a
+// plain single-system client, the router's scatter-gather over real
+// loopback TCP, and the shard servers — measured as verified queries per
+// second. It runs the same driver as the saebench router figure
+// (BENCH_router.json), so the two always measure the same thing:
+//
+//	go test -bench=RoutedQueries -benchtime=1x .
+//	go run ./cmd/saebench -figure router
+package sae
+
+import (
+	"testing"
+
+	"sae/internal/experiments"
+)
+
+func BenchmarkRoutedQueries(b *testing.B) {
+	cfg := experiments.DefaultRouterConfig()
+	cfg.N = 50_000
+	cfg.Shards = 4
+	cfg.Queries = 50 * b.N
+	res, err := experiments.RunRouterOverhead(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.RoutedQPS, "routed-q/s")
+	b.ReportMetric(res.DirectQPS, "direct-q/s")
+	b.ReportMetric(100*res.RoutedRelative, "%of-direct")
+}

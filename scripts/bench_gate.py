@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench-regression gate.
+
+Compares the CI-generated benchmark JSONs against the committed
+baselines and fails on a >30% regression. Absolute queries-per-second
+numbers are NOT comparable across machines, so every gated quantity is a
+WITHIN-RUN ratio (shard-scaling speedup, fast-path speedup, alloc
+reduction, routed-relative throughput) — the same style as the existing
+`serveAllocReduction >= 5` assert — plus basic sanity floors.
+
+Usage (from the repo root, after the saebench CI steps):
+    python3 scripts/bench_gate.py
+"""
+import json
+import sys
+
+TOLERANCE = 0.7  # a gated ratio may lose at most 30% against its baseline
+
+failures = []
+checks = 0
+
+
+def check(ok, msg):
+    global checks
+    checks += 1
+    status = "ok  " if ok else "FAIL"
+    print(f"  [{status}] {msg}")
+    if not ok:
+        failures.append(msg)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gate_shard():
+    print("shard scaling (BENCH_shard.ci.json vs committed BENCH_shard.json):")
+    base = {c["shards"]: c for c in load("BENCH_shard.json")["results"]}
+    ci = load("BENCH_shard.ci.json")["results"]
+    check(len(ci) > 0, f"{len(ci)} shard cells measured")
+    for c in ci:
+        check(c["queries_per_sec"] > 0,
+              f"{c['shards']} shards: {c['queries_per_sec']:.0f} q/s > 0")
+        b = base.get(c["shards"])
+        if b is None or c["shards"] == 1:
+            continue
+        floor = TOLERANCE * b["speedup"]
+        check(c["speedup"] >= floor,
+              f"{c['shards']}-shard speedup {c['speedup']:.2f}x >= {floor:.2f}x "
+              f"(baseline {b['speedup']:.2f}x - 30%)")
+
+
+def gate_fastpath():
+    print("fast path (BENCH_fastpath.ci.json vs committed BENCH_fastpath.json):")
+    base = load("BENCH_fastpath.json")
+    ci = load("BENCH_fastpath.ci.json")
+    # Alloc counts are deterministic per Go version; allow drift but keep
+    # the hard acceptance floor from the fast-path PR.
+    check(ci["serveAllocReduction"] >= 5,
+          f"serve alloc reduction {ci['serveAllocReduction']:.0f}x >= 5x (hard floor)")
+    floor = TOLERANCE * base["serveAllocReduction"]
+    check(ci["serveAllocReduction"] >= floor,
+          f"serve alloc reduction {ci['serveAllocReduction']:.0f}x >= {floor:.0f}x (baseline - 30%)")
+    floor = TOLERANCE * base["serveSpeedup"]
+    check(ci["serveSpeedup"] >= floor,
+          f"serve speedup {ci['serveSpeedup']:.2f}x >= {floor:.2f}x (baseline - 30%)")
+    if ci.get("shaNI"):
+        # The per-record verify ratio jitters more than the throughput
+        # ratios on busy runners (a ~1µs measurement), so it gets a
+        # wider band: half the baseline, never below break-even.
+        floor = max(1.0, 0.5 * base["verifySpeedup"])
+        check(ci["verifySpeedup"] >= floor,
+              f"verify speedup {ci['verifySpeedup']:.2f}x >= {floor:.2f}x (baseline - 50%)")
+    else:
+        # Runners without SHA-NI can't hit the accelerated ratio; the
+        # fast path must still never be slower than the seed.
+        check(ci["verifySpeedup"] >= 1.0,
+              f"verify speedup {ci['verifySpeedup']:.2f}x >= 1.0x (no SHA-NI on this runner)")
+
+
+def gate_router():
+    print("router hop (BENCH_router.ci.json):")
+    ci = load("BENCH_router.ci.json")
+    check(ci["directQueriesPerSec"] > 0, f"direct {ci['directQueriesPerSec']:.0f} q/s > 0")
+    check(ci["routedQueriesPerSec"] > 0, f"routed {ci['routedQueriesPerSec']:.0f} q/s > 0")
+    # The routed/direct ratio is noisy when router, shards and client
+    # share one machine, so gate on a generous absolute floor: the hop
+    # may never cost more than 4x.
+    check(ci["routedRelative"] >= 0.25,
+          f"routed path at {100 * ci['routedRelative']:.0f}% of direct >= 25%")
+
+
+def main():
+    gate_shard()
+    gate_fastpath()
+    gate_router()
+    if failures:
+        print(f"\nbench gate: {len(failures)}/{checks} checks FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nbench gate: all {checks} checks passed")
+
+
+if __name__ == "__main__":
+    main()

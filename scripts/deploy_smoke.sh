@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# deploy_smoke.sh — end-to-end multi-process router deployment smoke.
+#
+# Launches a real 2-shard SAE deployment (2 SP + 2 TE processes) with a
+# router tier in front via cmd/saenet, then drives a plain (non-sharded)
+# VerifyingClient through the router's single address and asserts:
+#
+#   1. honest deployment: every query verifies;
+#   2. a tampering shard SP (-tamper drop) is caught by verification;
+#   3. killing one shard under the router fails queries loudly (the
+#      client errors; it never receives a truncated "verified" result).
+#
+# Run from the repo root: ./scripts/deploy_smoke.sh
+set -u -o pipefail
+
+N=${N:-20000}
+SEED=${SEED:-1}
+QUERIES=${QUERIES:-12}
+WORK=$(mktemp -d)
+BIN="$WORK/saenet"
+
+cleanup() {
+  for pf in "$WORK"/*.pid; do
+    [ -f "$pf" ] && kill "$(cat "$pf")" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() { echo "deploy_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "deploy_smoke: building saenet..."
+go build -o "$BIN" ./cmd/saenet || die "build"
+
+# start_server <logname> <args...> — starts a saenet process (pid in
+# $WORK/<logname>.pid) and echoes the address it reports once serving.
+start_server() {
+  local name="$1" log="$WORK/$1.log"; shift
+  "$BIN" "$@" >>"$log" 2>&1 &
+  echo $! >"$WORK/$name.pid"
+  for _ in $(seq 1 100); do
+    local addr
+    addr=$(sed -n 's/.*serving on \([0-9.:]*\).*/\1/p' "$log" | head -1)
+    if [ -n "$addr" ]; then echo "$addr"; return 0; fi
+    sleep 0.2
+  done
+  echo "deploy_smoke: server $log never became ready:" >&2
+  cat "$log" >&2
+  return 1
+}
+
+echo "deploy_smoke: starting 2 shard SP/TE pairs..."
+SP0=$(start_server sp0 -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 0) || die "sp0"
+SP1=$(start_server sp1 -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1) || die "sp1"
+SP1_PID=$(cat "$WORK/sp1.pid")
+TE0=$(start_server te0 -role te -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 0) || die "te0"
+TE1=$(start_server te1 -role te -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1) || die "te1"
+
+echo "deploy_smoke: starting router over sp=[$SP0,$SP1] te=[$TE0,$TE1]..."
+ROUTER=$(start_server router -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1" -te "$TE0,$TE1") || die "router"
+
+echo "deploy_smoke: [1/3] plain client through the router (honest deployment)..."
+OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1) \
+  || { echo "$OUT" >&2; die "honest routed query session failed"; }
+echo "$OUT" | grep -q "verified" || { echo "$OUT" >&2; die "no verified queries in client output"; }
+VERIFIED=$(echo "$OUT" | grep -c "verified")
+echo "deploy_smoke:   $VERIFIED queries verified through $ROUTER"
+
+echo "deploy_smoke: [2/3] tampering shard SP must be detected..."
+SP1T=$(start_server sp1t -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1 -tamper drop) || die "sp1t"
+ROUTER2=$(start_server router2 -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1T" -te "$TE0,$TE1") || die "router2"
+if OUT=$("$BIN" -role client -router "$ROUTER2" -queries "$QUERIES" -seed "$SEED" 2>&1); then
+  echo "$OUT" >&2
+  die "client verified results from a tampering shard"
+fi
+echo "$OUT" | grep -qi "verification" || { echo "$OUT" >&2; die "tamper failure is not a verification error"; }
+echo "deploy_smoke:   tampered shard rejected: $(echo "$OUT" | tail -1)"
+
+echo "deploy_smoke: [3/3] killing shard 1 mid-deployment must fail queries loudly..."
+kill -9 "$SP1_PID" 2>/dev/null || true
+sleep 0.5
+if OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1); then
+  echo "$OUT" >&2
+  die "client succeeded against a dead shard"
+fi
+# The failure must be an explicit error; a truncated-but-"verified"
+# session would have exited 0 and tripped the check above.
+echo "deploy_smoke:   dead shard failed loudly: $(echo "$OUT" | tail -1)"
+
+echo "deploy_smoke: PASS"
