@@ -30,13 +30,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sae/internal/experiments"
 )
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst or all")
 		scale      = flag.String("scale", "quick", "sweep scale: quick or paper")
 		ns         = flag.String("n", "", "comma-separated cardinalities overriding the scale")
 		queries    = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
@@ -48,6 +49,8 @@ func main() {
 		fastJSON   = flag.String("fastjson", "BENCH_fastpath.json", "output path for the fast-path JSON (-figure fastpath)")
 		routerJSON = flag.String("routerjson", "BENCH_router.json", "output path for the router-overhead JSON (-figure router)")
 		fastIters  = flag.Int("fastiters", 0, "iterations per fast-path variant (0 = default)")
+		burstJSON  = flag.String("burstjson", "BENCH_burst.json", "output path for the burst-serving JSON (-figure burst)")
+		burstMs    = flag.Int("burstms", 0, "measured milliseconds per burst point (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,10 @@ func main() {
 	}
 	if *figure == "router" {
 		runRouterFigure(*routerJSON, *queries, *seed, *quiet)
+		return
+	}
+	if *figure == "burst" {
+		runBurstFigure(*burstJSON, *burstMs, *seed, *quiet)
 		return
 	}
 
@@ -171,6 +178,49 @@ func runFastpathFigure(jsonPath string, iters int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteFastpathJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runBurstFigure measures the burst serve loop — single-core batching
+// win, GOMAXPROCS lane sweep and the file-backed pread/mmap read paths —
+// and writes BENCH_burst.json alongside a summary.
+func runBurstFigure(jsonPath string, burstMs int, seed int64, quiet bool) {
+	cfg := experiments.DefaultBurstConfig()
+	cfg.Seed = seed
+	if burstMs > 0 {
+		cfg.Duration = time.Duration(burstMs) * time.Millisecond
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunBurst(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Burst serving (n=%d, %d-record queries, burst=%d, SHA-NI=%v, GOMAXPROCS=%d)\n",
+		res.N, res.ResultRecords, res.BurstSize, res.SHANI, res.GOMAXPROCS)
+	fmt.Printf("  per-request serving: %8.0f queries/s\n", res.PerRequestQPS)
+	fmt.Printf("  burst serving:       %8.0f queries/s  (batching win %.2fx)\n", res.BurstQPS, res.BatchWin)
+	fmt.Printf("  lane sweep:\n")
+	for _, p := range res.Lanes {
+		fmt.Printf("    %2d lanes: %8.0f queries/s  %6.0f ns/record  efficiency %.2f\n",
+			p.Lanes, p.QPS, p.NsPerRec, p.Efficiency)
+	}
+	fmt.Printf("  file-backed (pread): %8.0f queries/s\n", res.FilePreadQPS)
+	fmt.Printf("  file-backed (mmap):  %8.0f queries/s  (mmap active: %v)\n", res.FileMmapQPS, res.MmapActive)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteBurstJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

@@ -350,6 +350,32 @@ func (t *Tree) RangeAppendCtx(ctx *exec.Context, lo, hi record.Key, out []heapfi
 	return out, nil
 }
 
+// RangeBurstCtx plans a burst of range queries in one pass: query qi
+// (bounds los[qi]..his[qi], charged to ctxs[qi]) appends its RIDs into a
+// shared arena, and the returned offsets give query qi's run as
+// arena[offs[qi]:offs[qi+1]]. Offsets — not sub-slices — are returned
+// because the arena reallocates as it grows; callers materialize the
+// per-query views only after the whole burst is planned.
+//
+// Each descent is exactly RangeAppendCtx (same node accesses, same scan
+// hinting, charged to that query's own context), so per-query access
+// counts match per-request planning bit for bit; the burst's win is the
+// shared arena (one growing buffer instead of per-query slices) and the
+// back-to-back descents hitting a warm decoded-node cache. arena and
+// offs are reused via the usual out[:0] convention.
+func (t *Tree) RangeBurstCtx(ctxs []*exec.Context, los, his []record.Key, arena []heapfile.RID, offs []int) ([]heapfile.RID, []int, error) {
+	offs = append(offs[:0], len(arena))
+	for qi := range los {
+		var err error
+		arena, err = t.RangeAppendCtx(ctxs[qi], los[qi], his[qi], arena)
+		if err != nil {
+			return arena, offs, err
+		}
+		offs = append(offs, len(arena))
+	}
+	return arena, offs, nil
+}
+
 // Insert adds an entry with no request context; see InsertCtx.
 func (t *Tree) Insert(e Entry) error { return t.InsertCtx(nil, e) }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/heapfile"
+	"sae/internal/record"
+)
+
+// Burst serving. A serve lane collects the pipelined queries that arrived
+// in one read wakeup and pushes them through the SP/TE as a single unit:
+// one lock acquisition, the index descents planned back to back into a
+// shared RID arena, the heap runs served under one pin/unpin epoch, and
+// (client-side) the whole burst's digests folded through one worker
+// dispatch. Every query still runs under its OWN request context, so
+// per-query access counts are bit-identical to the per-request path —
+// the burst parity tests enforce results, tokens and counts alike.
+
+// BurstScratch holds the reusable plan buffers for one serve lane. A lane
+// serves one burst at a time on one goroutine, so the scratch needs no
+// locking; steady-state bursts reuse the arena and offset slices and
+// allocate nothing.
+type BurstScratch struct {
+	arena []heapfile.RID
+	offs  []int
+	runs  [][]heapfile.RID
+	los   []record.Key
+	his   []record.Key
+}
+
+// ServeBurstCtx serves a burst of range queries through the zero-copy
+// path: qs[qi] runs under ctxs[qi], and emit(qi, r) receives query qi's
+// records in key order under the same strict no-retain borrow rule as
+// ServeRangeCtx. The whole burst holds the SP read lock once, plans all
+// descents into sc's shared arena, and serves every heap run through one
+// bufpool pin epoch. A tampering SP falls back to the materializing
+// per-query path so attack experiments behave identically on every entry
+// point. An error aborts the burst (callers that need per-query error
+// isolation re-serve individually; the wire server does).
+func (sp *ServiceProvider) ServeBurstCtx(ctxs []*exec.Context, qs []record.Range, sc *BurstScratch, emit func(int, *record.Record) error) error {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	if sp.tamper != nil {
+		for qi := range qs {
+			qi := qi
+			if _, _, err := sp.serveTampered(ctxs[qi], qs[qi], func(r *record.Record) error {
+				return emit(qi, r)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc.los = sc.los[:0]
+	sc.his = sc.his[:0]
+	for _, q := range qs {
+		sc.los = append(sc.los, q.Lo)
+		sc.his = append(sc.his, q.Hi)
+	}
+	var err error
+	sc.arena, sc.offs, err = sp.index.RangeBurstCtx(ctxs, sc.los, sc.his, sc.arena[:0], sc.offs[:0])
+	if err != nil {
+		return fmt.Errorf("core: SP burst range scan: %w", err)
+	}
+	sc.runs = sc.runs[:0]
+	for qi := range qs {
+		sc.runs = append(sc.runs, sc.arena[sc.offs[qi]:sc.offs[qi+1]])
+	}
+	if err := sp.heap.ServeBurstCtx(ctxs, sc.runs, emit); err != nil {
+		return fmt.Errorf("core: SP burst record serve: %w", err)
+	}
+	return nil
+}
+
+// GenerateVTBurst computes the verification tokens for a burst of ranges
+// under ONE read-lock acquisition, each descent charged to its query's
+// own context. vts[i] receives query i's token; tokens are bit-identical
+// to per-request GenerateVTCtx calls (the XB-Tree descent is untouched).
+// vts must be at least len(qs) long.
+func (te *TrustedEntity) GenerateVTBurst(ctxs []*exec.Context, qs []record.Range, vts []digest.Digest) error {
+	te.mu.RLock()
+	defer te.mu.RUnlock()
+	for i, q := range qs {
+		vt, err := te.tree.GenerateVTCtx(ctxs[i], q.Lo, q.Hi)
+		if err != nil {
+			return fmt.Errorf("core: TE burst token generation: %w", err)
+		}
+		vts[i] = vt
+	}
+	return nil
+}
+
+// VerifyEncodedBurst checks a burst of wire-form results against their
+// tokens with a SINGLE digest-worker dispatch: the per-payload range and
+// order checks run inline (they are branch-and-compare, not crypto), and
+// then every payload in the burst is hashed and folded through one
+// digest.XORFoldWireBurst call instead of one worker fan-out per query.
+// Accept/reject decisions are identical to calling VerifyEncoded per
+// query; the first failing query aborts with its error. sums is scratch
+// for the per-query folds and is reused via the usual [:0] convention
+// (pass nil to allocate).
+func (vp VerifyPool) VerifyEncodedBurst(qs []record.Range, encs [][]byte, vts []digest.Digest, sums []digest.Digest) ([]digest.Digest, error) {
+	for qi, enc := range encs {
+		q := qs[qi]
+		if len(enc)%record.Size != 0 {
+			return sums, fmt.Errorf("%w: query %d payload of %d bytes is not whole records",
+				ErrVerificationFailed, qi, len(enc))
+		}
+		prev := q.Lo
+		for off := 0; off < len(enc); off += record.Size {
+			k := record.WireKey(enc[off:])
+			if !q.Contains(k) {
+				return sums, fmt.Errorf("%w: query %d record id=%d key=%d outside %v",
+					ErrVerificationFailed, qi, record.WireID(enc[off:]), k, q)
+			}
+			if k < prev {
+				return sums, fmt.Errorf("%w: query %d result out of key order at record %d",
+					ErrVerificationFailed, qi, off/record.Size)
+			}
+			prev = k
+		}
+	}
+	for len(sums) < len(encs) {
+		sums = append(sums, digest.Zero)
+	}
+	sums = sums[:len(encs)]
+	digest.XORFoldWireBurst(sums, encs, vp.workers)
+	for qi := range encs {
+		if sums[qi] != vts[qi] {
+			return sums, fmt.Errorf("%w: digest XOR mismatch for %v (query %d)",
+				ErrVerificationFailed, qs[qi], qi)
+		}
+	}
+	return sums, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+func burstQueries(n int) []record.Range {
+	qs := workload.Queries(n, workload.DefaultExtent, 83)
+	qs = append(qs, record.Range{Lo: record.KeyDomain + 1, Hi: record.KeyDomain + 5}) // empty
+	qs = append(qs, record.Range{Lo: 0, Hi: 0})
+	return qs
+}
+
+// TestServeBurstParity pins the burst serve path to the per-request path:
+// for identical providers and the same queries, the emitted record bytes
+// AND each query's access counts must match exactly — the burst may
+// amortize locks, pins and dispatches, but not change what any single
+// query reads or returns.
+func TestServeBurstParity(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 6000, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSP := func() *ServiceProvider {
+		sp := NewServiceProvider(pagestore.NewMem())
+		if err := sp.Load(ds.Records); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	spA, spB := newSP(), newSP()
+	qs := burstQueries(30)
+
+	// Per-request reference: records serialized per query, stats per query.
+	wantBytes := make([][]byte, len(qs))
+	wantStats := make([]pagestore.Stats, len(qs))
+	for i, q := range qs {
+		ctx := exec.NewContext()
+		_, _, err := spA.ServeRangeCtx(ctx, q, func(r *record.Record) error {
+			wantBytes[i] = r.AppendBinary(wantBytes[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ServeRangeCtx(%v): %v", q, err)
+		}
+		wantStats[i] = ctx.Stats()
+	}
+
+	// Burst path on the identical twin.
+	lane := exec.NewLane(0)
+	ctxs := lane.Contexts(len(qs))
+	gotBytes := make([][]byte, len(qs))
+	var sc BurstScratch
+	err = spB.ServeBurstCtx(ctxs, qs, &sc, func(qi int, r *record.Record) error {
+		gotBytes[qi] = r.AppendBinary(gotBytes[qi])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ServeBurstCtx: %v", err)
+	}
+	for i := range qs {
+		if !bytes.Equal(gotBytes[i], wantBytes[i]) {
+			t.Errorf("query %d (%v): burst records != per-request records", i, qs[i])
+		}
+		if got := ctxs[i].Stats(); got != wantStats[i] {
+			t.Errorf("query %d (%v): burst accesses %+v != per-request accesses %+v",
+				i, qs[i], got, wantStats[i])
+		}
+	}
+}
+
+// TestServeBurstEmitError checks an emit error aborts the whole burst
+// with that error (the wire layer then falls back to per-request
+// serving, which isolates the failure).
+func TestServeBurstEmitError(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewServiceProvider(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	qs := burstQueries(8)
+	boom := errors.New("emit failed")
+	lane := exec.NewLane(0)
+	var sc BurstScratch
+	n := 0
+	err = sp.ServeBurstCtx(lane.Contexts(len(qs)), qs, &sc, func(int, *record.Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ServeBurstCtx error = %v, want %v", err, boom)
+	}
+}
+
+// TestGenerateVTBurstParity pins burst token generation to the
+// per-request path: same token bytes, same per-query accesses.
+func TestGenerateVTBurstParity(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 6000, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTE := func() *TrustedEntity {
+		te := NewTrustedEntity(pagestore.NewMem())
+		if err := te.Load(ds.Records); err != nil {
+			t.Fatal(err)
+		}
+		return te
+	}
+	teA, teB := newTE(), newTE()
+	qs := burstQueries(25)
+
+	wantVTs := make([]digest.Digest, len(qs))
+	wantStats := make([]pagestore.Stats, len(qs))
+	for i, q := range qs {
+		ctx := exec.NewContext()
+		vt, _, err := teA.GenerateVTCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("GenerateVTCtx(%v): %v", q, err)
+		}
+		wantVTs[i] = vt
+		wantStats[i] = ctx.Stats()
+	}
+
+	lane := exec.NewLane(0)
+	ctxs := lane.Contexts(len(qs))
+	gotVTs := make([]digest.Digest, len(qs))
+	if err := teB.GenerateVTBurst(ctxs, qs, gotVTs); err != nil {
+		t.Fatalf("GenerateVTBurst: %v", err)
+	}
+	for i := range qs {
+		if gotVTs[i] != wantVTs[i] {
+			t.Errorf("query %d (%v): burst token != per-request token", i, qs[i])
+		}
+		if got := ctxs[i].Stats(); got != wantStats[i] {
+			t.Errorf("query %d (%v): burst accesses %+v != per-request accesses %+v",
+				i, qs[i], got, wantStats[i])
+		}
+	}
+}
+
+// TestVerifyEncodedBurstParity checks the single-dispatch burst verifier
+// accepts exactly what per-query VerifyEncoded accepts — and rejects a
+// burst containing one bad payload, naming the failing query.
+func TestVerifyEncodedBurstParity(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 4000, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewServiceProvider(pagestore.NewMem())
+	te := NewTrustedEntity(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	qs := burstQueries(12)
+	encs := make([][]byte, len(qs))
+	vts := make([]digest.Digest, len(qs))
+	for i, q := range qs {
+		_, _, err := sp.ServeRangeCtx(nil, q, func(r *record.Record) error {
+			encs[i] = r.AppendBinary(encs[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vt, _, err := te.GenerateVTCtx(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vts[i] = vt
+	}
+	vp := NewVerifyPool(0)
+
+	// Every payload accepted individually must be accepted as a burst.
+	for i, q := range qs {
+		if _, err := vp.VerifyEncoded(q, encs[i], vts[i]); err != nil {
+			t.Fatalf("per-query VerifyEncoded(%v): %v", q, err)
+		}
+	}
+	sums, err := vp.VerifyEncodedBurst(qs, encs, vts, nil)
+	if err != nil {
+		t.Fatalf("VerifyEncodedBurst (honest): %v", err)
+	}
+	if len(sums) != len(qs) {
+		t.Fatalf("VerifyEncodedBurst returned %d sums for %d queries", len(sums), len(qs))
+	}
+
+	// Flip one byte in one payload: the burst must fail verification.
+	bad := -1
+	for i := range encs {
+		if len(encs[i]) > 0 {
+			bad = i
+			break
+		}
+	}
+	if bad < 0 {
+		t.Fatal("no non-empty payload to tamper with")
+	}
+	tampered := append([]byte(nil), encs[bad]...)
+	tampered[record.Size-1] ^= 0xFF
+	encs[bad] = tampered
+	if _, err := vp.VerifyEncodedBurst(qs, encs, vts, sums[:0]); !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("tampered burst error = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestServeBurstTampered checks a tampering SP still tampers under burst
+// serving (the attack experiments must behave identically on every entry
+// point), and that the tampered burst fails burst verification.
+func TestServeBurstTampered(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewServiceProvider(pagestore.NewMem())
+	te := NewTrustedEntity(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	sp.SetTamper(DropTamper(0))
+	qs := workload.Queries(6, workload.DefaultExtent, 76)
+	lane := exec.NewLane(0)
+	var sc BurstScratch
+	encs := make([][]byte, len(qs))
+	err = sp.ServeBurstCtx(lane.Contexts(len(qs)), qs, &sc, func(qi int, r *record.Record) error {
+		encs[qi] = r.AppendBinary(encs[qi])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tampered ServeBurstCtx: %v", err)
+	}
+	vts := make([]digest.Digest, len(qs))
+	if err := te.GenerateVTBurst(lane.Contexts(len(qs)), qs, vts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVerifyPool(0).VerifyEncodedBurst(qs, encs, vts, nil); !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("tampered burst verification error = %v, want ErrVerificationFailed", err)
+	}
+}

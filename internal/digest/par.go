@@ -3,6 +3,7 @@ package digest
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sae/internal/record"
 )
@@ -21,13 +22,13 @@ import (
 const parThreshold = 128
 
 // DefaultWorkers returns the default crypto fan-out: every schedulable
-// CPU, capped at 8 — beyond that the XOR merge and goroutine churn beat
-// the marginal core on this workload.
+// CPU, straight from runtime.GOMAXPROCS(0). The old fixed cap of 8 made
+// verify throughput flat past 8 cores (and pointlessly woke 8 goroutines
+// on boxes with fewer); sizing from GOMAXPROCS tracks the actual
+// schedulable parallelism, and clampWorkers still collapses to a fully
+// inline, dispatch-free path when only one worker is useful.
 func DefaultWorkers() int {
 	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
 	if w < 1 {
 		w = 1
 	}
@@ -108,6 +109,60 @@ func XORFoldRecords(recs []record.Record, workers int) Digest {
 	}
 	wg.Wait()
 	return XORAll(parts...)
+}
+
+// XORFoldWireBurst folds each wire payload in encs independently and
+// writes the per-payload fold into dst[i] — the burst analogue of calling
+// XORFoldWire once per query, but with a SINGLE worker dispatch for the
+// whole burst: instead of one goroutine fan-out (and join barrier) per
+// query, the burst spawns min(workers, len(encs)) goroutines once and
+// they pull whole payloads from a shared atomic cursor. Payload i with
+// len(encs[i])%record.Size != 0 panics exactly as XORFoldWire would; an
+// empty payload folds to the zero digest (the empty-result token). dst
+// must be at least len(encs) long. The outputs are bit-identical to the
+// per-query path for any worker count.
+func XORFoldWireBurst(dst []Digest, encs [][]byte, workers int) {
+	total := 0
+	for _, enc := range encs {
+		if len(enc)%record.Size != 0 {
+			panic("digest: XORFoldWireBurst requires whole record encodings")
+		}
+		total += len(enc) / record.Size
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(encs) {
+		workers = len(encs)
+	}
+	if total < parThreshold || workers < 2 {
+		var acc Accumulator
+		for i, enc := range encs {
+			acc.Reset()
+			foldWireInto(&acc, enc)
+			dst[i] = acc.Sum()
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var acc Accumulator
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(encs) {
+					return
+				}
+				acc.Reset()
+				foldWireInto(&acc, encs[i])
+				dst[i] = acc.Sum()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // XORFoldWire folds the digests of n := len(enc)/record.Size canonical

@@ -3,6 +3,7 @@ package digest
 import (
 	"crypto/sha1"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"sae/internal/record"
@@ -101,4 +102,59 @@ func BenchmarkXORFoldWire(b *testing.B) {
 		d = XORFoldWire(enc, 1)
 	}
 	sink = d
+}
+
+// TestXORFoldWireBurstParity checks the burst fold — many payloads, one
+// worker dispatch — matches per-payload XORFoldWire at every worker
+// count, over payload mixes including empty payloads and sizes straddling
+// the parallel threshold.
+func TestXORFoldWireBurstParity(t *testing.T) {
+	shapes := [][]int{
+		{},
+		{0},
+		{5},
+		{0, 3, 0, 7},
+		{40, 90, 1, 0, 128},
+		{300, 2, 501, 64, 64, 17},
+	}
+	for si, shape := range shapes {
+		encs := make([][]byte, len(shape))
+		want := make([]Digest, len(shape))
+		seed := int64(900 + si)
+		for i, n := range shape {
+			recs := parRecords(n, seed+int64(i))
+			enc := make([]byte, 0, n*record.Size)
+			for j := range recs {
+				enc = recs[j].AppendBinary(enc)
+			}
+			encs[i] = enc
+			want[i] = XORFoldWire(enc, 1)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 4} {
+			got := make([]Digest, len(shape))
+			XORFoldWireBurst(got, encs, workers)
+			for i := range shape {
+				if got[i] != want[i] {
+					t.Fatalf("shape %d workers %d payload %d: burst fold mismatch", si, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestXORFoldWireBurstPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XORFoldWireBurst accepted a ragged payload")
+		}
+	}()
+	XORFoldWireBurst(make([]Digest, 2), [][]byte{nil, make([]byte, record.Size+2)}, 2)
+}
+
+// TestDefaultWorkersTracksGOMAXPROCS pins the satellite change: the
+// crypto pool sizes itself to the scheduler's parallelism, uncapped.
+func TestDefaultWorkersTracksGOMAXPROCS(t *testing.T) {
+	if got, want := DefaultWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS %d", got, want)
+	}
 }

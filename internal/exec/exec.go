@@ -25,6 +25,8 @@
 package exec
 
 import (
+	"sync"
+
 	"sae/internal/pagestore"
 )
 
@@ -46,6 +48,34 @@ type Context struct {
 
 // NewContext returns a fresh request context.
 func NewContext() *Context { return &Context{} }
+
+// ctxPool recycles Contexts across requests. A Context is tiny, but the
+// burst serve loop creates one per query per burst; pooling keeps the
+// steady-state allocation count of a burst at zero.
+var ctxPool = sync.Pool{New: func() any { return &Context{} }}
+
+// GetContext returns a zeroed Context from the pool. Pair with PutContext
+// once the request's stats have been read out.
+func GetContext() *Context {
+	c := ctxPool.Get().(*Context)
+	c.Reset()
+	return c
+}
+
+// PutContext returns a Context to the pool. The caller must not touch it
+// afterwards. Putting nil is a no-op.
+func PutContext(c *Context) {
+	if c != nil {
+		ctxPool.Put(c)
+	}
+}
+
+// Reset clears the context for reuse by a new request.
+func (c *Context) Reset() {
+	if c != nil {
+		*c = Context{}
+	}
+}
 
 // AccountRead charges one page read to the request.
 func (c *Context) AccountRead() {
@@ -104,6 +134,36 @@ func (c *Context) EndScan() {
 // decoded-node cache bypasses LRU admission while it is.
 func (c *Context) Scanning() bool {
 	return c != nil && c.scan > 0
+}
+
+// Lane is the per-serve-lane execution scratch. A burst-mode server runs N
+// independent lanes (one per GOMAXPROCS slot); each lane serves its bursts
+// on a single goroutine, so everything hanging off a Lane is accessed
+// without locks. The lane keeps a reusable set of request Contexts sized to
+// the largest burst it has seen, so steady-state bursts allocate nothing.
+type Lane struct {
+	// ID is the lane's index in [0, NumLanes); lanes use it for shard
+	// affinity (e.g. picking a bufpool shard or a stats slot).
+	ID int
+
+	ctxs []*Context
+}
+
+// NewLane returns an empty lane with the given index.
+func NewLane(id int) *Lane { return &Lane{ID: id} }
+
+// Contexts returns n reset request contexts owned by the lane. The slice
+// and the contexts are valid until the next Contexts call; the lane grows
+// its context set on demand and never shrinks it.
+func (l *Lane) Contexts(n int) []*Context {
+	for len(l.ctxs) < n {
+		l.ctxs = append(l.ctxs, NewContext())
+	}
+	out := l.ctxs[:n]
+	for _, c := range out {
+		c.Reset()
+	}
+	return out
 }
 
 // ScanTracker applies the admission-cutoff policy for one traversal: the

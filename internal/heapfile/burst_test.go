@@ -1,0 +1,182 @@
+package heapfile
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+)
+
+// buildBurstHeap builds a cached heap file plus the run set the burst
+// tests serve: one run per "query", including an empty run and runs long
+// enough to cross the scan threshold.
+func buildBurstHeap(t *testing.T, n, cachePages int) (*File, [][]RID) {
+	t.Helper()
+	recs := buildRecords(n)
+	f, rids, err := Build(pagestore.NewMem(), recs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f.UseCache(bufpool.New(cachePages, bufpool.ChargeAllAccesses))
+	runs := [][]RID{
+		rids[:len(rids)/3],
+		{},                                // empty run still gets its context charged nothing
+		rids[len(rids)/2:],                // long tail run
+		rids[len(rids)/4 : 1+len(rids)/4], // single record
+		rids,                              // whole file: crosses the scan threshold
+	}
+	return f, runs
+}
+
+// TestServeBurstCtxParity pins the multi-run burst serve to per-run
+// ServeManyCtx: identical record bytes and identical per-run access
+// counts, on identically built files.
+func TestServeBurstCtxParity(t *testing.T) {
+	fA, runs := buildBurstHeap(t, 2000, 8)
+	fB, _ := buildBurstHeap(t, 2000, 8)
+
+	wantBytes := make([][]byte, len(runs))
+	wantStats := make([]pagestore.Stats, len(runs))
+	for i, run := range runs {
+		ctx := exec.NewContext()
+		err := fA.ServeManyCtx(ctx, run, func(r *record.Record) error {
+			wantBytes[i] = r.AppendBinary(wantBytes[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ServeManyCtx(run %d): %v", i, err)
+		}
+		wantStats[i] = ctx.Stats()
+	}
+
+	lane := exec.NewLane(0)
+	ctxs := lane.Contexts(len(runs))
+	gotBytes := make([][]byte, len(runs))
+	err := fB.ServeBurstCtx(ctxs, runs, func(qi int, r *record.Record) error {
+		gotBytes[qi] = r.AppendBinary(gotBytes[qi])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ServeBurstCtx: %v", err)
+	}
+	for i := range runs {
+		if !bytes.Equal(gotBytes[i], wantBytes[i]) {
+			t.Errorf("run %d: burst records != per-run records", i)
+		}
+		if got := ctxs[i].Stats(); got != wantStats[i] {
+			t.Errorf("run %d: burst accesses %+v != per-run accesses %+v", i, got, wantStats[i])
+		}
+	}
+	if n := fB.io.Cache().PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount after burst = %d, want 0", n)
+	}
+}
+
+// TestServeBurstCtxPinHygieneOnError is the satellite's pin-hygiene
+// guarantee: a burst aborted by an emit error mid-run (mid-epoch, with
+// pages pinned across several runs) must still return every pin —
+// bufpool.PinnedCount goes back to zero.
+func TestServeBurstCtxPinHygieneOnError(t *testing.T) {
+	f, runs := buildBurstHeap(t, 2000, 8)
+	boom := errors.New("cancelled mid-burst")
+	lane := exec.NewLane(0)
+	emitted := 0
+	err := f.ServeBurstCtx(lane.Contexts(len(runs)), runs, func(int, *record.Record) error {
+		emitted++
+		if emitted == 700 { // inside the third run, pins from earlier runs live
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ServeBurstCtx error = %v, want %v", err, boom)
+	}
+	if n := f.io.Cache().PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount after aborted burst = %d, want 0", n)
+	}
+
+	// And an abort on the very first emit (no run completed).
+	err = f.ServeBurstCtx(lane.Contexts(len(runs)), runs, func(int, *record.Record) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ServeBurstCtx error = %v, want %v", err, boom)
+	}
+	if n := f.io.Cache().PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount after first-emit abort = %d, want 0", n)
+	}
+}
+
+// TestServeBurstCtxConcurrent hammers one cached file with concurrent
+// bursts, some of which abort mid-flight — run with -race, this is the
+// satellite's "burst serves that error or are cancelled mid-burst"
+// regression net. After the storm every pin must be back.
+func TestServeBurstCtxConcurrent(t *testing.T) {
+	f, runs := buildBurstHeap(t, 3000, 8)
+	boom := errors.New("abort")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lane := exec.NewLane(g)
+			for iter := 0; iter < 20; iter++ {
+				abortAt := -1
+				if (g+iter)%3 == 0 {
+					abortAt = 100 + 37*iter
+				}
+				emitted := 0
+				err := f.ServeBurstCtx(lane.Contexts(len(runs)), runs, func(int, *record.Record) error {
+					emitted++
+					if emitted == abortAt {
+						return boom
+					}
+					return nil
+				})
+				if err != nil && !errors.Is(err, boom) {
+					t.Errorf("goroutine %d iter %d: %v", g, iter, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := f.io.Cache().PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount after concurrent bursts = %d, want 0", n)
+	}
+}
+
+// TestServeBurstCtxUncached checks the uncached branch serves burst runs
+// identically to per-run serving.
+func TestServeBurstCtxUncached(t *testing.T) {
+	recs := buildRecords(500)
+	f, rids, err := Build(pagestore.NewMem(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := [][]RID{rids[:100], {}, rids[200:]}
+	var want, got []byte
+	for _, run := range runs {
+		if err := f.ServeManyCtx(nil, run, func(r *record.Record) error {
+			want = r.AppendBinary(want)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lane := exec.NewLane(0)
+	if err := f.ServeBurstCtx(lane.Contexts(len(runs)), runs, func(_ int, r *record.Record) error {
+		got = r.AppendBinary(got)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("uncached burst records != per-run records")
+	}
+}

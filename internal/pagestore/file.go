@@ -8,7 +8,20 @@ import (
 )
 
 // File is a file-backed page store. Page id i lives at byte offset
-// i*PageSize. It is safe for concurrent use.
+// i*PageSize. It is safe for concurrent use: reads and writes are
+// positioned (pread/pwrite) under a shared lock, so any number of serve
+// lanes read concurrently without serializing on the store; only the
+// operations that mutate store geometry (Allocate, Free, Close, mmap
+// remaps) take the lock exclusively.
+//
+// With SAE_IO=mmap in the environment (or an explicit EnableMmap call)
+// reads are served from a read-only memory map of the file instead of
+// pread, so a burst serve touches pages without any syscall at all.
+// Writes stay pwrite — Linux's unified page cache keeps the map coherent
+// with them — and the map covers exactly the file's current size (never
+// beyond EOF, so no SIGBUS); it is re-established from Allocate as the
+// file grows, one remap per ~4 MB of growth, with reads of not-yet-mapped
+// tail pages falling back to pread in between.
 //
 // The free list is held in memory while the store is open; persistent
 // stores (CreateFile/ReopenFile) additionally write it into a trailer of
@@ -17,13 +30,27 @@ import (
 // Close loses only the free list (space is leaked until the next clean
 // close, never corrupted); there is still no write-ahead logging.
 type File struct {
-	mu            sync.Mutex
+	mu            sync.RWMutex
 	f             *os.File
 	nPages        int
 	free          []PageID
 	closed        bool
 	removeOnClose bool
+	// mapped is the mmap-backed read window (nil when mmap I/O is off);
+	// mmapOn records that mmap mode is requested so Allocate keeps the
+	// window growing with the file.
+	mapped []byte
+	mmapOn bool
 }
+
+// mmapRemapChunk is how far (in bytes) the file may outgrow the read
+// window before Allocate re-establishes the map: one remap syscall per
+// ~4 MB of growth, with tail reads falling back to pread in between.
+const mmapRemapChunk = 4 << 20
+
+// MmapRequested reports whether the environment selects the mmap read
+// path (SAE_IO=mmap) for file-backed stores.
+func MmapRequested() bool { return os.Getenv("SAE_IO") == "mmap" }
 
 // Free-list trailer layout: the trailer occupies whole pages appended
 // after the last data page. Freed page ids (4 bytes each) pack from the
@@ -44,7 +71,11 @@ func OpenFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: opening %s: %w", path, err)
 	}
-	return &File{f: f, removeOnClose: true}, nil
+	s := &File{f: f, removeOnClose: true}
+	if MmapRequested() {
+		_ = s.EnableMmap() // best effort; pread remains the fallback
+	}
+	return s, nil
 }
 
 // CreateFile creates (truncating) a persistent file-backed store at path:
@@ -55,7 +86,11 @@ func CreateFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: creating %s: %w", path, err)
 	}
-	return &File{f: f}, nil
+	s := &File{f: f}
+	if MmapRequested() {
+		_ = s.EnableMmap()
+	}
+	return s, nil
 }
 
 // ReopenFile opens an existing page file, recovering the page count from
@@ -82,6 +117,9 @@ func ReopenFile(path string) (*File, error) {
 	if err := s.recoverFreeList(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if MmapRequested() {
+		_ = s.EnableMmap()
 	}
 	return s, nil
 }
@@ -181,6 +219,14 @@ func (s *File) Allocate() (PageID, error) {
 	if _, err := s.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
 		return 0, fmt.Errorf("pagestore: extending file for page %d: %w", id, err)
 	}
+	// Re-establish the window on the first page of a store mapped while
+	// empty, then once per chunk of growth; tail pages between remaps are
+	// served by the pread fallback.
+	if s.mmapOn && (len(s.mapped) == 0 || s.nPages*PageSize >= len(s.mapped)+mmapRemapChunk) {
+		if err := s.remapLocked(); err != nil {
+			return 0, err
+		}
+	}
 	return id, nil
 }
 
@@ -189,15 +235,20 @@ func (s *File) Read(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return ErrBadBufSize
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrStoreClosed
 	}
 	if int(id) >= s.nPages {
 		return fmt.Errorf("%w: read %d", ErrBadPageID, id)
 	}
-	if _, err := s.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+	off := int64(id) * PageSize
+	if end := off + PageSize; end <= int64(len(s.mapped)) {
+		copy(buf, s.mapped[off:end])
+		return nil
+	}
+	if _, err := s.f.ReadAt(buf, off); err != nil {
 		return fmt.Errorf("pagestore: reading page %d: %w", id, err)
 	}
 	return nil
@@ -208,14 +259,18 @@ func (s *File) Write(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return ErrBadBufSize
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrStoreClosed
 	}
 	if int(id) >= s.nPages {
 		return fmt.Errorf("%w: write %d", ErrBadPageID, id)
 	}
+	// pwrite under the shared lock: positioned writes to distinct pages
+	// are independent, and the structures above serialize same-page
+	// writers with their own locks. The mmap window (if any) observes the
+	// write through the unified page cache.
 	if _, err := s.f.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("pagestore: writing page %d: %w", id, err)
 	}
@@ -238,8 +293,8 @@ func (s *File) Free(id PageID) error {
 
 // NumPages implements Store.
 func (s *File) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.nPages - len(s.free)
 }
 
@@ -253,6 +308,10 @@ func (s *File) Close() error {
 		return nil
 	}
 	s.closed = true
+	if len(s.mapped) > 0 {
+		_ = munmapFile(s.mapped)
+		s.mapped = nil
+	}
 	name := s.f.Name()
 	if !s.removeOnClose {
 		if err := s.writeFreeList(); err != nil {
@@ -271,10 +330,59 @@ func (s *File) Close() error {
 
 // Sync flushes the file to stable storage.
 func (s *File) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	return s.f.Sync()
+}
+
+// EnableMmap switches the store's read path to a read-only memory map of
+// the file (see the type comment). Safe to call at any point; reads of
+// pages the window does not yet cover fall back to pread. Returns an
+// error on platforms without mmap support, leaving the store fully
+// functional on the pread path.
+func (s *File) EnableMmap() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrStoreClosed
 	}
-	return s.f.Sync()
+	if !mmapSupported {
+		return fmt.Errorf("pagestore: mmap I/O is not supported on this platform")
+	}
+	s.mmapOn = true
+	return s.remapLocked()
+}
+
+// MmapActive reports whether the mmap read path is engaged. An empty
+// store reports true with nothing mapped yet; the window is established
+// by the first allocation.
+func (s *File) MmapActive() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mmapOn
+}
+
+// remapLocked (re)establishes the read window over exactly the file's
+// current data pages. Caller holds s.mu exclusively — no reader can be
+// inside the old window while it is unmapped.
+func (s *File) remapLocked() error {
+	if len(s.mapped) > 0 {
+		if err := munmapFile(s.mapped); err != nil {
+			return fmt.Errorf("pagestore: unmapping %s: %w", s.f.Name(), err)
+		}
+		s.mapped = nil
+	}
+	size := s.nPages * PageSize
+	if size == 0 {
+		return nil
+	}
+	m, err := mmapFile(s.f, size)
+	if err != nil {
+		return fmt.Errorf("pagestore: mapping %s: %w", s.f.Name(), err)
+	}
+	s.mapped = m
+	return nil
 }

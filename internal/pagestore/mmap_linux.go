@@ -1,0 +1,23 @@
+//go:build linux
+
+package pagestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the SAE_IO=mmap read path; see File.EnableMmap.
+const mmapSupported = true
+
+// mmapFile maps exactly length bytes of f read-only and shared, so the
+// window observes every later pwrite through the unified page cache. The
+// map never extends past EOF — the caller sizes it to whole data pages —
+// so no access through it can fault on a hole.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package pagestore
+
+import (
+	"errors"
+	"os"
+)
+
+// The mmap read path is Linux-only (the only platform the benchmarks
+// target); elsewhere EnableMmap reports unsupported and the store keeps
+// serving reads via pread.
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.New("pagestore: mmap unavailable")
+}
+
+func munmapFile(_ []byte) error { return nil }

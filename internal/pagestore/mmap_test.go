@@ -1,0 +1,262 @@
+package pagestore
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func fillPage(seed byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = byte(int(seed) + i*13)
+	}
+	return p
+}
+
+// TestEnableMmapReadParity writes pages through the pwrite path and
+// reads them back through the mmap window: the unified page cache must
+// make every write visible, including writes issued AFTER the mapping
+// was established.
+func TestEnableMmapReadParity(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap not supported on this platform")
+	}
+	s, err := CreateFile(filepath.Join(t.TempDir(), "mmap.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []PageID
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := fillPage(byte(i))
+		if err := s.Write(id, p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		want = append(want, p)
+	}
+	if err := s.EnableMmap(); err != nil {
+		t.Fatalf("EnableMmap: %v", err)
+	}
+	if !s.MmapActive() {
+		t.Fatal("MmapActive false after EnableMmap")
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if err := s.Read(id, buf); err != nil {
+			t.Fatalf("Read(%v): %v", id, err)
+		}
+		if !bytes.Equal(buf, want[i]) {
+			t.Fatalf("page %d read through mmap != written bytes", i)
+		}
+	}
+
+	// A write AFTER mapping must be coherent through the window.
+	p := fillPage(0xAB)
+	if err := s.Write(ids[2], p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(ids[2], buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, p) {
+		t.Fatal("post-mmap write not visible through the mapping")
+	}
+}
+
+// TestMmapGrowthRemap allocates far past the initial mapping: pages
+// beyond the mapped window must still read correctly (ReadAt fallback or
+// a remapped window), and a remap must pick them up.
+func TestMmapGrowthRemap(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap not supported on this platform")
+	}
+	s, err := CreateFile(filepath.Join(t.TempDir(), "grow.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.EnableMmap(); err != nil {
+		t.Fatal(err)
+	}
+	// Enough pages to cross at least one remap chunk.
+	n := mmapRemapChunk/PageSize + 8
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := s.Write(id, fillPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if err := s.Read(id, buf); err != nil {
+			t.Fatalf("Read(%v): %v", id, err)
+		}
+		if !bytes.Equal(buf, fillPage(byte(i))) {
+			t.Fatalf("page %d corrupted across remap growth", i)
+		}
+	}
+}
+
+// TestMmapEnvRoundTrip is the satellite's ReopenFile round trip: create
+// under SAE_IO=mmap, write pages, free one (free-list trailer), close,
+// reopen under SAE_IO=mmap — the data and the free list must survive,
+// and the reopened store must serve reads from its mapping.
+func TestMmapEnvRoundTrip(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap not supported on this platform")
+	}
+	t.Setenv("SAE_IO", "mmap")
+	if !MmapRequested() {
+		t.Fatal("MmapRequested false under SAE_IO=mmap")
+	}
+	path := filepath.Join(t.TempDir(), "roundtrip.pages")
+	s, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MmapActive() {
+		t.Fatal("CreateFile under SAE_IO=mmap did not map the file")
+	}
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := s.Write(id, fillPage(byte(40+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Free(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := ReopenFile(path)
+	if err != nil {
+		t.Fatalf("ReopenFile: %v", err)
+	}
+	defer r.Close()
+	if !r.MmapActive() {
+		t.Fatal("ReopenFile under SAE_IO=mmap did not map the file")
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if i == 3 {
+			continue // freed
+		}
+		if err := r.Read(id, buf); err != nil {
+			t.Fatalf("Read(%v) after reopen: %v", id, err)
+		}
+		if !bytes.Equal(buf, fillPage(byte(40+i))) {
+			t.Fatalf("page %d corrupted across mmap reopen", i)
+		}
+	}
+	// The freed page must come back from the recovered free list before
+	// any fresh page is appended.
+	id, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[3] {
+		t.Fatalf("Allocate after reopen = %v, want recycled %v", id, ids[3])
+	}
+}
+
+// TestMmapConcurrentReads hammers one store from many goroutines — reads
+// through the mapping racing writes and allocations. Run with -race;
+// this is the satellite's "concurrent lane reads don't serialize on one
+// lock" regression net (correctness half; the non-serialization is the
+// RWMutex + ReadAt/pread structure itself).
+func TestMmapConcurrentReads(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap not supported on this platform")
+	}
+	s, err := CreateFile(filepath.Join(t.TempDir(), "conc.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.EnableMmap(); err != nil {
+		t.Fatal(err)
+	}
+	const pages = 64
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := s.Write(id, fillPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for iter := 0; iter < 200; iter++ {
+				i := (g*31 + iter) % pages
+				if err := s.Read(ids[i], buf); err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+				if buf[0] != fillPage(byte(i))[0] {
+					t.Errorf("page %d first byte mismatch", i)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent growth: allocations remap under the write lock while
+	// readers stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			id, err := s.Allocate()
+			if err != nil {
+				t.Errorf("Allocate: %v", err)
+				return
+			}
+			if err := s.Write(id, fillPage(byte(i))); err != nil {
+				t.Errorf("Write: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestEnableMmapUnsupportedOrClosed covers the error paths: a closed
+// store refuses to map.
+func TestEnableMmapOnClosedStore(t *testing.T) {
+	s, err := CreateFile(filepath.Join(t.TempDir(), "closed.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.EnableMmap(); err == nil {
+		t.Fatal("EnableMmap succeeded on a closed store")
+	}
+}

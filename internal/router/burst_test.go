@@ -1,0 +1,140 @@
+package router
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sae/internal/mbtree"
+	"sae/internal/record"
+	"sae/internal/wire"
+	"sae/internal/workload"
+)
+
+// runMixedBurst drives a router deployment (single-shard SAE + TOM tier)
+// with concurrent SAE and TOM bursts on pipelined connections and
+// returns the verified SAE results plus the raw TOM payloads.
+func runMixedBurst(t *testing.T, d *deployment, qs []record.Range) ([][]record.Record, [][]byte) {
+	t.Helper()
+	vc := d.plainClient(t)
+	tc, err := wire.DialTOM(d.router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.Close() })
+
+	var (
+		wg      sync.WaitGroup
+		saeRes  [][]record.Record
+		saeErr  error
+		tomRaws [][]byte
+		tomErr  error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		saeRes, saeErr = vc.QueryBurst(qs)
+	}()
+	go func() {
+		defer wg.Done()
+		tomRaws, tomErr = tc.QueryRawMany(qs)
+	}()
+	wg.Wait()
+	if saeErr != nil {
+		t.Fatalf("SAE burst through router: %v", saeErr)
+	}
+	if tomErr != nil {
+		t.Fatalf("TOM burst through router: %v", tomErr)
+	}
+	return saeRes, tomRaws
+}
+
+// TestRouterMixedBurstParity runs mixed SAE/TOM bursts through the
+// router with the upstream party servers in burst mode and in
+// per-request mode (SAE_BURST=0): the verified SAE results and the raw
+// TOM payloads must be identical — burst serving at the upstreams is
+// invisible to the router tier and its clients.
+func TestRouterMixedBurstParity(t *testing.T) {
+	qs := workload.Queries(10, workload.DefaultExtent, 88)
+	qs = append(qs, record.Range{Lo: record.KeyDomain + 1, Hi: record.KeyDomain + 5}) // empty
+
+	type outcome struct {
+		sae [][]record.Record
+		tom [][]byte // re-serialized records only: VO signatures differ by owner key
+	}
+	results := map[string]outcome{}
+	for _, mode := range []string{"1", "0"} {
+		t.Setenv("SAE_BURST", mode)
+		d := newDeployment(t, 4_000, 1, true, Config{})
+		sae, tomRaws := runMixedBurst(t, d, qs)
+		out := outcome{sae: sae, tom: make([][]byte, len(tomRaws))}
+
+		// Every TOM payload must verify against its deployment's owner key
+		// regardless of upstream serve mode. Each deployment generates a
+		// fresh key, so cross-mode comparison uses the record bytes only.
+		for i, raw := range tomRaws {
+			recs, rest, err := wire.DecodeRecords(raw)
+			if err != nil {
+				t.Fatalf("SAE_BURST=%s: decoding TOM payload %d: %v", mode, i, err)
+			}
+			vo, err := mbtree.UnmarshalVO(rest)
+			if err != nil {
+				t.Fatalf("SAE_BURST=%s: decoding TOM VO %d: %v", mode, i, err)
+			}
+			if err := mbtree.VerifyVO(vo, recs, qs[i].Lo, qs[i].Hi, d.tomOwner.Verifier()); err != nil {
+				t.Fatalf("SAE_BURST=%s: TOM payload %d failed verification: %v", mode, i, err)
+			}
+			for j := range recs {
+				out.tom[i] = recs[j].AppendBinary(out.tom[i])
+			}
+		}
+		results[mode] = out
+	}
+	on, off := results["1"], results["0"]
+	for i := range qs {
+		if len(on.sae[i]) != len(off.sae[i]) {
+			t.Fatalf("query %d: burst-mode upstreams returned %d SAE records, per-request %d",
+				i, len(on.sae[i]), len(off.sae[i]))
+		}
+		for j := range on.sae[i] {
+			if !on.sae[i][j].Equal(&off.sae[i][j]) {
+				t.Fatalf("query %d record %d: SAE result differs across upstream serve modes", i, j)
+			}
+		}
+		if !bytes.Equal(on.tom[i], off.tom[i]) {
+			t.Fatalf("query %d: TOM records differ across upstream serve modes", i)
+		}
+	}
+}
+
+// TestRouterShardedBurst runs a client burst through a 3-shard router
+// deployment in both upstream serve modes: scatter-gather over
+// burst-serving shards must return the same verified results as over
+// per-request shards.
+func TestRouterShardedBurst(t *testing.T) {
+	qs := workload.Queries(8, workload.DefaultExtent, 89)
+	var ref [][]record.Record
+	for _, mode := range []string{"1", "0"} {
+		t.Setenv("SAE_BURST", mode)
+		d := newDeployment(t, 12_000, 3, false, Config{})
+		vc := d.plainClient(t)
+		res, err := vc.QueryBurst(qs)
+		if err != nil {
+			t.Fatalf("SAE_BURST=%s: QueryBurst through 3-shard router: %v", mode, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range qs {
+			if len(res[i]) != len(ref[i]) {
+				t.Fatalf("query %d: %d records with per-request upstreams, %d with burst", i, len(res[i]), len(ref[i]))
+			}
+			for j := range res[i] {
+				if !res[i][j].Equal(&ref[i][j]) {
+					t.Fatalf("query %d record %d differs across upstream serve modes", i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package tom
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sae/internal/bufpool"
+	"sae/internal/exec"
+	"sae/internal/mbtree"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+// newBurstPair builds two identical TOM systems sharing one owner key,
+// so byte-level VO comparison between the per-request and burst paths is
+// meaningful (signatures differ by key, not by serve path).
+func newBurstPair(t *testing.T, n int) (*System, *System, *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Generate(workload.UNF, n, 210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB := NewProvider(pagestore.NewMem())
+	pB.ConfigureCache(bufpool.CapacityFor(len(ds.Records)), bufpool.ChargeAllAccesses)
+	if err := pB.Load(ds.Records, sysA.Owner); err != nil {
+		t.Fatal(err)
+	}
+	sysB := &System{Owner: sysA.Owner, Provider: pB}
+	return sysA, sysB, ds
+}
+
+func tomBurstQueries(n int) []record.Range {
+	qs := workload.Queries(n, workload.DefaultExtent, 211)
+	qs = append(qs, record.Range{Lo: record.KeyDomain + 1, Hi: record.KeyDomain + 5}) // empty
+	qs = append(qs, record.Range{Lo: 0, Hi: 0})
+	return qs
+}
+
+// TestProviderServeBurstParity pins the TOM burst serve to the
+// per-request path: identical record bytes, identical serialized VOs and
+// identical per-query access counts — the burst changes how many times
+// the lock and the pin epoch are taken, never what a query reads.
+func TestProviderServeBurstParity(t *testing.T) {
+	sysA, sysB, _ := newBurstPair(t, 4000)
+	qs := tomBurstQueries(15)
+
+	wantRecs := make([][]byte, len(qs))
+	wantVOs := make([][]byte, len(qs))
+	wantStats := make([]pagestore.Stats, len(qs))
+	for i, q := range qs {
+		ctx := exec.NewContext()
+		vo, _, _, err := sysA.Provider.ServeQueryCtx(ctx, q, func(r *record.Record) error {
+			wantRecs[i] = r.AppendBinary(wantRecs[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ServeQueryCtx(%v): %v", q, err)
+		}
+		wantVOs[i] = vo.AppendTo(nil)
+		mbtree.PutVO(vo)
+		wantStats[i] = ctx.Stats()
+	}
+
+	lane := exec.NewLane(0)
+	ctxs := lane.Contexts(len(qs))
+	gotRecs := make([][]byte, len(qs))
+	var sc BurstScratch
+	vos, err := sysB.Provider.ServeBurstCtx(ctxs, qs, &sc, func(qi int, r *record.Record) error {
+		gotRecs[qi] = r.AppendBinary(gotRecs[qi])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ServeBurstCtx: %v", err)
+	}
+	if len(vos) != len(qs) {
+		t.Fatalf("burst returned %d VOs for %d queries", len(vos), len(qs))
+	}
+	for i := range qs {
+		if !bytes.Equal(gotRecs[i], wantRecs[i]) {
+			t.Errorf("query %d (%v): burst records != per-request records", i, qs[i])
+		}
+		if got := vos[i].AppendTo(nil); !bytes.Equal(got, wantVOs[i]) {
+			t.Errorf("query %d (%v): burst VO != per-request VO", i, qs[i])
+		}
+		if got := ctxs[i].Stats(); got != wantStats[i] {
+			t.Errorf("query %d (%v): burst accesses %+v != per-request accesses %+v",
+				i, qs[i], got, wantStats[i])
+		}
+		mbtree.PutVO(vos[i])
+	}
+}
+
+// TestProviderServeBurstPinHygiene aborts a cached burst mid-flight and
+// checks every bufpool pin is returned.
+func TestProviderServeBurstPinHygiene(t *testing.T) {
+	sys, _, _ := newBurstPair(t, 4000)
+	qs := tomBurstQueries(10)
+	boom := errors.New("abort mid-burst")
+	lane := exec.NewLane(0)
+	var sc BurstScratch
+	emitted := 0
+	_, err := sys.Provider.ServeBurstCtx(lane.Contexts(len(qs)), qs, &sc, func(int, *record.Record) error {
+		emitted++
+		if emitted == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ServeBurstCtx error = %v, want %v", err, boom)
+	}
+	if n := sys.Provider.cache.PinnedCount(); n != 0 {
+		t.Fatalf("PinnedCount after aborted TOM burst = %d, want 0", n)
+	}
+}
+
+// TestProviderServeBurstTampered checks a tampering provider still
+// tampers under burst serving and its VOs fail client verification.
+func TestProviderServeBurstTampered(t *testing.T) {
+	sys, _, ds := newBurstPair(t, 3000)
+	q := busyQuery(t, ds)
+	sys.Provider.SetTamper(func(rs []record.Record) []record.Record { return rs[1:] })
+	defer sys.Provider.SetTamper(nil)
+
+	qs := []record.Range{q, q}
+	lane := exec.NewLane(0)
+	var sc BurstScratch
+	recs := make([][]record.Record, len(qs))
+	vos, err := sys.Provider.ServeBurstCtx(lane.Contexts(len(qs)), qs, &sc, func(qi int, r *record.Record) error {
+		recs[qi] = append(recs[qi], *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tampered ServeBurstCtx: %v", err)
+	}
+	for i := range qs {
+		if err := mbtree.VerifyVO(vos[i], recs[i], q.Lo, q.Hi, sys.Owner.Verifier()); err == nil {
+			t.Fatalf("tampered burst VO %d passed verification", i)
+		}
+		mbtree.PutVO(vos[i])
+	}
+}

@@ -242,6 +242,69 @@ func (p *Provider) ServeQueryCtx(ctx *exec.Context, q record.Range, emit func(*r
 	return vo, n, qc, nil
 }
 
+// BurstScratch holds the reusable per-lane buffers for TOM burst serving;
+// one burst at a time per scratch, no locking (see core.BurstScratch).
+type BurstScratch struct {
+	runs [][]heapfile.RID
+	vos  []*mbtree.VO
+}
+
+// ServeBurstCtx serves a burst of TOM queries under ONE read-lock
+// acquisition: every query's MB-Tree VO is built first (charged to its
+// own context), then all heap runs are served through one bufpool pin
+// epoch via heapfile.ServeBurstCtx. emit(qi, r) receives query qi's
+// records under the usual no-retain borrow rule. The returned VOs align
+// with qs and come from the mbtree shell pool — on success the CALLER
+// returns each with mbtree.PutVO once encoded (the slice itself is lane
+// scratch, valid until the next burst on sc); on error every shell built
+// so far is put back here and nil is returned. VO bytes, node accesses
+// and results are bit-identical to per-request ServeQueryCtx calls. A
+// tampering provider falls back to the materializing per-query path.
+func (p *Provider) ServeBurstCtx(ctxs []*exec.Context, qs []record.Range, sc *BurstScratch, emit func(int, *record.Record) error) ([]*mbtree.VO, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	sc.runs = sc.runs[:0]
+	sc.vos = sc.vos[:0]
+	ok := false
+	defer func() {
+		if !ok {
+			for _, vo := range sc.vos {
+				mbtree.PutVO(vo)
+			}
+			sc.vos = sc.vos[:0]
+		}
+	}()
+	if p.tamper != nil {
+		for qi := range qs {
+			qi := qi
+			vo, _, _, err := p.serveTampered(ctxs[qi], qs[qi], func(r *record.Record) error {
+				return emit(qi, r)
+			})
+			if err != nil {
+				return nil, err
+			}
+			sc.vos = append(sc.vos, vo)
+		}
+		ok = true
+		return sc.vos, nil
+	}
+	for qi, q := range qs {
+		shell := mbtree.GetVO()
+		rids, vo, err := p.tree.RangeVOCtxInto(ctxs[qi], q.Lo, q.Hi, p.heap, p.sig, shell)
+		if err != nil {
+			mbtree.PutVO(shell)
+			return nil, fmt.Errorf("tom: provider burst VO build: %w", err)
+		}
+		sc.vos = append(sc.vos, vo)
+		sc.runs = append(sc.runs, rids)
+	}
+	if err := p.heap.ServeBurstCtx(ctxs, sc.runs, emit); err != nil {
+		return nil, fmt.Errorf("tom: provider burst record serve: %w", err)
+	}
+	ok = true
+	return sc.vos, nil
+}
+
 // serveTampered routes a ServeQueryCtx call through the materializing
 // query path so the tamper hook sees the full result slice. Caller holds
 // the read lock. The VO still comes from the shell pool so the caller's

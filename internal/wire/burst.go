@@ -1,0 +1,568 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/mbtree"
+	"sae/internal/record"
+	"sae/internal/tom"
+)
+
+// Burst-mode serving: instead of one goroutine per request frame, the
+// server drains every frame the kernel has already buffered in one read
+// wakeup into a burst, hands the burst to one of N serve LANES (one per
+// GOMAXPROCS slot), and the lane pushes the whole burst through the
+// provider as a unit — one lock acquisition, grouped index descents, one
+// bufpool pin epoch, one digest dispatch — then writes every response in
+// a single vectored write. Connections are assigned to a lane for life
+// (round-robin at accept), each lane runs on one goroutine with its own
+// response arena, request contexts and plan scratch, and a lane is the
+// only writer to its connections, so the hot path takes zero cross-core
+// locks: the only synchronization per burst is one channel handoff.
+//
+// Frames a lane cannot group (inserts, deletes, shard-map requests,
+// legacy batch frames) are served individually on the lane, in arrival
+// order, through the same Handler as the per-request path; if anything
+// about a burst fails to group (a malformed range, an oversize result),
+// the burst falls back to per-request serving so error semantics match
+// the non-burst path exactly. SAE_BURST=0 (or WithBurstServing(false))
+// disables all of this and restores the goroutine-per-frame server.
+
+// maxBurst caps the frames one burst may carry; further buffered frames
+// form the next burst. 64 is past the point where per-burst overheads
+// are amortized away, and keeps a lane's arena and pin epoch bounded.
+const maxBurst = 64
+
+// burstReadBuf is the connection read-buffer size frames are drained
+// from; frames larger than this still work (they read through the buffer
+// as their own burst).
+const burstReadBuf = 64 << 10
+
+// laneArenaRetain caps the capacity a lane's response arena (and a
+// connection's burst arena) may keep between bursts, so one huge burst
+// does not pin its high-water mark forever.
+const laneArenaRetain = 4 << 20
+
+// burstServer is implemented by the built-in party servers: it names the
+// one frame type the lane may group and serves a group of them as a
+// burst. serveBurst returns false to reject the group (malformed frame,
+// provider error), in which case the lane re-serves every frame of the
+// group individually through the ordinary Handler.
+type burstServer interface {
+	burstType() MsgType
+	serveBurst(l *lane, reqs []Frame) bool
+}
+
+// frameRef is one request frame within a connBurst; the payload lives at
+// arena[off:off+n], so draining a burst performs one arena append per
+// frame instead of one allocation per frame.
+type frameRef struct {
+	typ MsgType
+	id  uint32
+	off int
+	n   int
+}
+
+// connBurst is one drained burst of request frames. Each connection owns
+// two (double buffering): the read goroutine fills one while the lane
+// serves the other, and the free-buffer channel is the backpressure —
+// a connection can have at most two bursts in the pipeline.
+type connBurst struct {
+	frames []frameRef
+	arena  []byte
+}
+
+func (cb *connBurst) reset() {
+	cb.frames = cb.frames[:0]
+	if cap(cb.arena) > laneArenaRetain {
+		cb.arena = nil
+	}
+	cb.arena = cb.arena[:0]
+}
+
+func (cb *connBurst) frame(i int) Frame {
+	fr := cb.frames[i]
+	return Frame{Type: fr.typ, ID: fr.id, Payload: cb.arena[fr.off : fr.off+fr.n]}
+}
+
+// burstJob hands one drained burst to a lane.
+type burstJob struct {
+	conn *burstConn
+	cb   *connBurst
+}
+
+// burstConn couples a connection with its free-burst-buffer channel.
+type burstConn struct {
+	nc   net.Conn
+	bufs chan *connBurst
+}
+
+// laneSet is the server's fixed pool of serve lanes.
+type laneSet struct {
+	lanes []*lane
+	next  uint32
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+}
+
+func newLaneSet(s *Server) *laneSet {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	ls := &laneSet{lanes: make([]*lane, n)}
+	for i := range ls.lanes {
+		l := &lane{
+			id:   i,
+			jobs: make(chan burstJob, 8),
+			exec: exec.NewLane(i),
+		}
+		ls.lanes[i] = l
+		ls.wg.Add(1)
+		go l.run(s, ls)
+	}
+	return ls
+}
+
+// pick assigns a new connection to a lane round-robin. Assignment is by
+// connection, so every frame of a connection is served (and written) by
+// one lane.
+func (ls *laneSet) pick() *lane {
+	ls.mu.Lock()
+	l := ls.lanes[ls.next%uint32(len(ls.lanes))]
+	ls.next++
+	ls.mu.Unlock()
+	return l
+}
+
+// close drains the lanes. Callers must guarantee no producer is left
+// (Server.Close waits for every connection goroutine first).
+func (ls *laneSet) close() {
+	for _, l := range ls.lanes {
+		close(l.jobs)
+	}
+	ls.wg.Wait()
+}
+
+// respPiece is one span of a response payload inside the lane's arena.
+type respPiece struct{ off, end int }
+
+// laneResp is one assembled response awaiting the flush. Payload bytes
+// are either arena spans (the burst path — pieces) or a direct slice
+// with its pooled buffer (the individual path).
+type laneResp struct {
+	typ     MsgType
+	id      uint32
+	pieces  [2]respPiece
+	npieces int
+	direct  []byte
+	rb      *RespBuf
+}
+
+func (r *laneResp) payloadLen(arena []byte) int {
+	if r.npieces == 0 {
+		return len(r.direct)
+	}
+	n := 0
+	for _, p := range r.pieces[:r.npieces] {
+		n += p.end - p.off
+	}
+	return n
+}
+
+// lane is one serve lane: a single goroutine owning all the scratch one
+// burst needs, so steady-state bursts touch no shared allocator or pool.
+type lane struct {
+	id   int
+	jobs chan burstJob
+	exec *exec.Lane
+
+	// response assembly
+	resp  []byte // payload arena
+	hdrs  []byte // one 9-byte header per response
+	iov   net.Buffers
+	resps []laneResp
+
+	// burst grouping scratch
+	idxs     []int
+	reqs     []Frame
+	qs       []record.Range
+	vts      []digest.Digest
+	secStart []int
+	counts   []int
+
+	// provider-side scratch
+	spSc  core.BurstScratch
+	tomSc tom.BurstScratch
+}
+
+func (l *lane) run(s *Server, ls *laneSet) {
+	defer ls.wg.Done()
+	for job := range l.jobs {
+		l.serveJob(s, job)
+	}
+}
+
+func (l *lane) reset() {
+	if cap(l.resp) > laneArenaRetain {
+		l.resp = nil
+	}
+	l.resp = l.resp[:0]
+	l.hdrs = l.hdrs[:0]
+	l.iov = l.iov[:0]
+	l.resps = l.resps[:0]
+	l.idxs = l.idxs[:0]
+	l.reqs = l.reqs[:0]
+	l.qs = l.qs[:0]
+}
+
+// appendBurstResp registers a burst response whose payload is the given
+// arena spans; an oversize payload degrades to a per-request error frame
+// exactly like the non-burst path.
+func (l *lane) appendBurstResp(typ MsgType, id uint32, pieces ...respPiece) {
+	r := laneResp{typ: typ, id: id}
+	n := 0
+	for _, p := range pieces {
+		r.pieces[r.npieces] = p
+		r.npieces++
+		n += p.end - p.off
+	}
+	if n > MaxPayload {
+		e := errFrame(fmt.Errorf("%w: response of %d bytes exceeds frame limit; narrow the query or split the batch",
+			ErrProtocol, n))
+		r = laneResp{typ: e.Type, id: id, direct: e.Payload}
+	}
+	l.resps = append(l.resps, r)
+}
+
+// serveOne routes a frame through the ordinary Handler on the lane — the
+// path for non-burstable types and for burst groups that fell back.
+func (l *lane) serveOne(s *Server, f Frame) {
+	rb := getRespBuf()
+	resp := s.handle(f, rb)
+	if len(resp.Payload) > MaxPayload {
+		resp = errFrame(fmt.Errorf("%w: response of %d bytes exceeds frame limit; narrow the query or split the batch",
+			ErrProtocol, len(resp.Payload)))
+	}
+	l.resps = append(l.resps, laneResp{typ: resp.Type, id: f.ID, direct: resp.Payload, rb: rb})
+}
+
+func (l *lane) serveJob(s *Server, job burstJob) {
+	cb := job.cb
+	l.reset()
+	bt := s.burstSrv.burstType()
+	for i := range cb.frames {
+		if cb.frames[i].typ == bt {
+			l.idxs = append(l.idxs, i)
+		}
+	}
+	grouped := false
+	if len(l.idxs) > 1 {
+		for _, i := range l.idxs {
+			l.reqs = append(l.reqs, cb.frame(i))
+		}
+		grouped = s.burstSrv.serveBurst(l, l.reqs)
+		if !grouped {
+			// A rejected group may have partially filled the arena and the
+			// response list; start the assembly over and serve everything
+			// per-request below.
+			l.resp = l.resp[:0]
+			l.resps = l.resps[:0]
+		}
+	}
+	for i := range cb.frames {
+		if grouped && cb.frames[i].typ == bt {
+			continue
+		}
+		l.serveOne(s, cb.frame(i))
+	}
+	err := l.flush(job.conn.nc)
+	// The burst buffer's frames and arena are dead the moment the flush
+	// returns; hand the buffer back so the read goroutine can refill it.
+	job.conn.bufs <- cb
+	if err != nil {
+		s.logf("wire: writing burst responses: %v", err)
+		job.conn.nc.Close()
+	}
+}
+
+// flush writes every assembled response in one vectored write: headers
+// and payload spans gathered into a net.Buffers, so a burst of B
+// responses costs one writev instead of 2B write syscalls.
+func (l *lane) flush(nc net.Conn) error {
+	if len(l.resps) == 0 {
+		return nil
+	}
+	need := len(l.resps) * HeaderSize
+	if cap(l.hdrs) < need {
+		l.hdrs = make([]byte, 0, need)
+	}
+	l.hdrs = l.hdrs[:need]
+	for i := range l.resps {
+		r := &l.resps[i]
+		hdr := l.hdrs[i*HeaderSize : (i+1)*HeaderSize]
+		hdr[0] = byte(r.typ)
+		binary.BigEndian.PutUint32(hdr[1:5], r.id)
+		binary.BigEndian.PutUint32(hdr[5:9], uint32(r.payloadLen(l.resp)))
+		l.iov = append(l.iov, hdr)
+		if r.npieces == 0 {
+			if len(r.direct) > 0 {
+				l.iov = append(l.iov, r.direct)
+			}
+			continue
+		}
+		for _, p := range r.pieces[:r.npieces] {
+			if p.end > p.off {
+				l.iov = append(l.iov, l.resp[p.off:p.end])
+			}
+		}
+	}
+	bufs := l.iov
+	_, err := bufs.WriteTo(nc)
+	for i := range l.resps {
+		if rb := l.resps[i].rb; rb != nil {
+			putRespBuf(rb)
+		}
+	}
+	return err
+}
+
+// beginSections starts the per-query record-section assembly for a burst
+// of n queries: each section is a 4-byte count slot followed by that
+// query's packed records, laid out back to back in the arena. Sections
+// open lazily as emits arrive (sequentially, query by query) so empty
+// results still get their count slot.
+func (l *lane) beginSections(n int) {
+	l.secStart = l.secStart[:0]
+	if cap(l.counts) < n {
+		l.counts = make([]int, n)
+	}
+	l.counts = l.counts[:n]
+	for i := range l.counts {
+		l.counts[i] = 0
+	}
+}
+
+// openTo ensures sections 0..qi exist.
+func (l *lane) openTo(qi int) {
+	for len(l.secStart) <= qi {
+		l.secStart = append(l.secStart, len(l.resp))
+		l.resp = append(l.resp, 0, 0, 0, 0)
+	}
+}
+
+// endSections closes the assembly: every remaining section is opened
+// (empty results), counts are patched, and the per-query spans returned
+// via section(qi).
+func (l *lane) endSections(n int) {
+	l.openTo(n - 1)
+	for qi := 0; qi < n; qi++ {
+		binary.BigEndian.PutUint32(l.resp[l.secStart[qi]:l.secStart[qi]+4], uint32(l.counts[qi]))
+	}
+}
+
+// section returns query qi's [count|records] span. Valid only after
+// endSections and before the next reset; sections are contiguous, so a
+// section ends where the next begins (the last ends at the high-water
+// mark recorded by its caller).
+func (l *lane) section(qi, nsections, hi int) respPiece {
+	end := hi
+	if qi+1 < nsections {
+		end = l.secStart[qi+1]
+	}
+	return respPiece{off: l.secStart[qi], end: end}
+}
+
+// --- SPServer burst ---
+
+func (s *SPServer) burstType() MsgType { return MsgQuery }
+
+// serveBurst pushes a group of MsgQuery frames through the SP as one
+// unit: ranges decoded into lane scratch, one pooled context per query,
+// and core.ServiceProvider.ServeBurstCtx doing one read-lock, grouped
+// B+-tree descents and a single heap pin epoch. Each query's records
+// stream straight into the lane's response arena.
+func (s *SPServer) serveBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	ctxs := l.exec.Contexts(len(reqs))
+	l.beginSections(len(reqs))
+	err := s.sp.ServeBurstCtx(ctxs, l.qs, &l.spSc, func(qi int, r *record.Record) error {
+		l.openTo(qi)
+		l.resp = r.AppendBinary(l.resp)
+		l.counts[qi]++
+		return nil
+	})
+	if err != nil {
+		return false
+	}
+	l.endSections(len(reqs))
+	hi := len(l.resp) // after endSections: trailing empty sections live before hi
+	for qi := range reqs {
+		l.appendBurstResp(MsgResult, reqs[qi].ID, l.section(qi, len(reqs), hi))
+	}
+	return true
+}
+
+// --- TEServer burst ---
+
+func (s *TEServer) burstType() MsgType { return MsgVTRequest }
+
+// serveBurst answers a group of MsgVTRequest frames with one read-lock
+// acquisition over the XB-Tree (core.TrustedEntity.GenerateVTBurst),
+// every descent charged to its own pooled context.
+func (s *TEServer) serveBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	if cap(l.vts) < len(reqs) {
+		l.vts = make([]digest.Digest, len(reqs))
+	}
+	l.vts = l.vts[:len(reqs)]
+	ctxs := l.exec.Contexts(len(reqs))
+	if err := s.te.GenerateVTBurst(ctxs, l.qs, l.vts); err != nil {
+		return false
+	}
+	for qi := range reqs {
+		off := len(l.resp)
+		l.resp = append(l.resp, l.vts[qi][:]...)
+		l.appendBurstResp(MsgVT, reqs[qi].ID, respPiece{off: off, end: len(l.resp)})
+	}
+	return true
+}
+
+// --- TOMServer burst ---
+
+func (s *TOMServer) burstType() MsgType { return MsgTOMQuery }
+
+// serveBurst pushes a group of MsgTOMQuery frames through the TOM
+// provider as one unit: all VOs built and all heap runs served under one
+// read-lock and one pin epoch (tom.Provider.ServeBurstCtx). Each
+// response is its record section followed by its VO, appended to the
+// arena after the serve so record spans never move.
+func (s *TOMServer) serveBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	ctxs := l.exec.Contexts(len(reqs))
+	l.beginSections(len(reqs))
+	vos, err := s.provider.ServeBurstCtx(ctxs, l.qs, &l.tomSc, func(qi int, r *record.Record) error {
+		l.openTo(qi)
+		l.resp = r.AppendBinary(l.resp)
+		l.counts[qi]++
+		return nil
+	})
+	if err != nil {
+		return false
+	}
+	l.endSections(len(reqs))
+	hi := len(l.resp) // after endSections: trailing empty sections live before hi
+	for qi := range reqs {
+		voOff := len(l.resp)
+		l.resp = vos[qi].AppendTo(l.resp)
+		mbtree.PutVO(vos[qi])
+		l.appendBurstResp(MsgTOMResult, reqs[qi].ID,
+			l.section(qi, len(reqs), hi), respPiece{off: voOff, end: len(l.resp)})
+	}
+	return true
+}
+
+// --- burst-mode connection read loop ---
+
+// serveConnBurst drains bursts off the connection and hands them to the
+// connection's lane. The first frame of a burst is read blocking; then
+// every frame the read buffer ALREADY holds completely is drained after
+// it without further syscalls, up to maxBurst. The kernel's socket
+// buffer coalesces pipelined client writes, so a busy connection
+// naturally produces multi-frame bursts and an idle one degrades to
+// per-frame reads with one extra Buffered() check.
+func (s *Server) serveConnBurst(conn net.Conn, l *lane) {
+	defer s.wg.Done()
+	bc := &burstConn{nc: conn, bufs: make(chan *connBurst, 2)}
+	bc.bufs <- &connBurst{}
+	bc.bufs <- &connBurst{}
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, burstReadBuf)
+	for {
+		cb := <-bc.bufs
+		cb.reset()
+		if err := readFrameInto(br, cb); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: reading request: %v", err)
+			}
+			return
+		}
+		for len(cb.frames) < maxBurst && br.Buffered() >= HeaderSize {
+			hdr, _ := br.Peek(HeaderSize)
+			n := int(binary.BigEndian.Uint32(hdr[5:9]))
+			if n > MaxPayload {
+				s.logf("wire: reading request: %v", fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n))
+				return
+			}
+			if br.Buffered() < HeaderSize+n {
+				break // partially buffered: it opens the next burst, blocking
+			}
+			if err := readFrameInto(br, cb); err != nil {
+				s.logf("wire: reading request: %v", err)
+				return
+			}
+		}
+		l.jobs <- burstJob{conn: bc, cb: cb}
+	}
+}
+
+// readFrameInto reads one frame into the burst's arena — the burst-mode
+// replacement for ReadFrame's per-frame payload allocation.
+func readFrameInto(br *bufio.Reader, cb *connBurst) error {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown
+	}
+	n := int(binary.BigEndian.Uint32(hdr[5:9]))
+	if n > MaxPayload {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	off := len(cb.arena)
+	for cap(cb.arena) < off+n {
+		cb.arena = append(cb.arena[:cap(cb.arena)], 0)
+	}
+	cb.arena = cb.arena[:off+n]
+	if _, err := io.ReadFull(br, cb.arena[off:off+n]); err != nil {
+		return fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	}
+	cb.frames = append(cb.frames, frameRef{
+		typ: MsgType(hdr[0]),
+		id:  binary.BigEndian.Uint32(hdr[1:5]),
+		off: off,
+		n:   n,
+	})
+	return nil
+}

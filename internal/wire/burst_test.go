@@ -1,0 +1,327 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sae/internal/core"
+	"sae/internal/mbtree"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/tom"
+	"sae/internal/workload"
+)
+
+// launchSAEMode boots an SP and a TE over loopback with burst serving
+// explicitly forced on or off, so parity tests can hold everything else
+// constant across the two serve paths.
+func launchSAEMode(t *testing.T, n int, burst bool) (*SPServer, *TEServer, *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Generate(workload.UNF, n, 55)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sp := core.NewServiceProvider(pagestore.NewMem())
+	te := core.NewTrustedEntity(pagestore.NewMem())
+	if err := sp.Load(ds.Records); err != nil {
+		t.Fatalf("sp.Load: %v", err)
+	}
+	if err := te.Load(ds.Records); err != nil {
+		t.Fatalf("te.Load: %v", err)
+	}
+	spSrv, err := ServeSP("127.0.0.1:0", sp, nil, WithBurstServing(burst))
+	if err != nil {
+		t.Fatalf("ServeSP: %v", err)
+	}
+	t.Cleanup(func() { spSrv.Close() })
+	teSrv, err := ServeTE("127.0.0.1:0", te, nil, WithBurstServing(burst))
+	if err != nil {
+		t.Fatalf("ServeTE: %v", err)
+	}
+	t.Cleanup(func() { teSrv.Close() })
+	return spSrv, teSrv, ds
+}
+
+// burstParityQueries builds a query mix that exercises every burst
+// code path: ordinary ranges, empty results (so lazily opened sections
+// must still emit their count slots), point ranges and the full keyspace
+// tail.
+func burstParityQueries(n int) []record.Range {
+	qs := workload.Queries(n, workload.DefaultExtent, 91)
+	qs = append(qs, record.Range{Lo: record.KeyDomain + 1, Hi: record.KeyDomain + 10}) // empty
+	qs = append(qs, record.Range{Lo: 0, Hi: 0})                                        // point, likely empty
+	qs = append(qs, record.Range{Lo: record.KeyDomain / 2, Hi: record.KeyDomain / 2})
+	return qs
+}
+
+// TestBurstParitySAE pins the tentpole's core promise at the wire level:
+// the payload bytes and token bytes a burst-mode server produces are
+// bit-identical to the per-request server's, for the same dataset and
+// queries — including empty results and bursts larger than maxBurst.
+func TestBurstParitySAE(t *testing.T) {
+	spB, teB, _ := launchSAEMode(t, 5000, true)
+	spP, teP, _ := launchSAEMode(t, 5000, false)
+
+	// 100 queries > maxBurst, so the burst server must split the group
+	// across bursts without dropping or reordering responses.
+	qs := burstParityQueries(97)
+
+	cb, err := DialSP(spB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	cp, err := DialSP(spP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	burstRaws, err := cb.QueryRawMany(qs)
+	if err != nil {
+		t.Fatalf("burst QueryRawMany: %v", err)
+	}
+	for i, q := range qs {
+		perReq, err := cp.QueryRaw(q)
+		if err != nil {
+			t.Fatalf("per-request QueryRaw(%v): %v", q, err)
+		}
+		if !bytes.Equal(burstRaws[i], perReq) {
+			t.Fatalf("query %d (%v): burst payload (%d bytes) != per-request payload (%d bytes)",
+				i, q, len(burstRaws[i]), len(perReq))
+		}
+	}
+
+	tb, err := DialTE(teB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tp, err := DialTE(teP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	burstVTs, err := tb.GenerateVTMany(qs)
+	if err != nil {
+		t.Fatalf("burst GenerateVTMany: %v", err)
+	}
+	for i, q := range qs {
+		vt, err := tp.GenerateVT(q)
+		if err != nil {
+			t.Fatalf("per-request GenerateVT(%v): %v", q, err)
+		}
+		if burstVTs[i] != vt {
+			t.Fatalf("query %d (%v): burst token != per-request token", i, q)
+		}
+	}
+}
+
+// TestBurstVerifiedQuery runs the full verified protocol through
+// QueryBurst against servers in BOTH modes: every result must verify,
+// and the records must match a per-request verified query.
+func TestBurstVerifiedQuery(t *testing.T) {
+	for _, burst := range []bool{true, false} {
+		spSrv, teSrv, ds := launchSAEMode(t, 4000, burst)
+		client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := burstParityQueries(20)
+		results, err := client.QueryBurst(qs)
+		if err != nil {
+			t.Fatalf("burst=%v QueryBurst: %v", burst, err)
+		}
+		for i, q := range qs {
+			want := 0
+			for j := range ds.Records {
+				if q.Contains(ds.Records[j].Key) {
+					want++
+				}
+			}
+			if len(results[i]) != want {
+				t.Fatalf("burst=%v query %v: %d records, want %d", burst, q, len(results[i]), want)
+			}
+		}
+		client.Close()
+	}
+}
+
+// TestBurstParityTOM pins records+VO byte parity for the TOM provider
+// between burst and per-request serving, and checks the burst result
+// verifies end to end.
+func TestBurstParityTOM(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := tom.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSrv := func(burst bool) *TOMServer {
+		provider := tom.NewProvider(pagestore.NewMem())
+		if err := provider.Load(ds.Records, owner); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeTOM("127.0.0.1:0", provider, owner, nil, WithBurstServing(burst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	srvB, srvP := newSrv(true), newSrv(false)
+
+	cb, err := DialTOM(srvB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	cp, err := DialTOM(srvP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	qs := burstParityQueries(20)
+	burstRaws, err := cb.QueryRawMany(qs)
+	if err != nil {
+		t.Fatalf("burst TOM QueryRawMany: %v", err)
+	}
+	for i, q := range qs {
+		perReq, err := cp.QueryRawCtx(t.Context(), q)
+		if err != nil {
+			t.Fatalf("per-request TOM query(%v): %v", q, err)
+		}
+		if !bytes.Equal(burstRaws[i], perReq) {
+			t.Fatalf("TOM query %d (%v): burst payload != per-request payload", i, q)
+		}
+		// The burst payload must decode and verify like any other.
+		recs, vo, err := decodeTOMResult(burstRaws[i])
+		if err != nil {
+			t.Fatalf("decoding burst TOM result %d: %v", i, err)
+		}
+		if err := mbtree.VerifyVO(vo, recs, q.Lo, q.Hi, owner.Verifier()); err != nil {
+			t.Fatalf("burst TOM result %d failed verification: %v", i, err)
+		}
+	}
+}
+
+// TestBurstMixedFrames pipelines burstable queries interleaved with
+// non-burstable frames (shard-map requests) in one gather write: the
+// lane must group the queries, serve the rest individually, and answer
+// every id correctly.
+func TestBurstMixedFrames(t *testing.T) {
+	spSrv, _, ds := launchSAEMode(t, 3000, true)
+	c, err := dial(spSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	qs := workload.Queries(6, workload.DefaultExtent, 92)
+	reqs := make([]Frame, 0, len(qs)+3)
+	for i, q := range qs {
+		if i%2 == 0 {
+			reqs = append(reqs, Frame{Type: MsgShardMapReq})
+		}
+		reqs = append(reqs, Frame{Type: MsgQuery, Payload: EncodeRange(q)})
+	}
+	resps, err := c.roundTripMany(reqs)
+	if err != nil {
+		t.Fatalf("mixed roundTripMany: %v", err)
+	}
+	qi := 0
+	for i, r := range resps {
+		switch reqs[i].Type {
+		case MsgShardMapReq:
+			if r.Type != MsgShardMap {
+				t.Fatalf("frame %d: got type %d, want shard map", i, r.Type)
+			}
+		case MsgQuery:
+			if r.Type != MsgResult {
+				t.Fatalf("frame %d: got type %d, want result", i, r.Type)
+			}
+			recs, rest, err := DecodeRecords(r.Payload)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("frame %d: bad result payload: %v", i, err)
+			}
+			want := 0
+			for j := range ds.Records {
+				if qs[qi].Contains(ds.Records[j].Key) {
+					want++
+				}
+			}
+			if len(recs) != want {
+				t.Fatalf("query %v: %d records, want %d", qs[qi], len(recs), want)
+			}
+			qi++
+		}
+	}
+}
+
+// TestBurstFallbackOnMalformed sends a burst containing one malformed
+// query: the group must fall back to per-request serving, the bad frame
+// must get an error response, the good frames real results — and the
+// connection must stay healthy for the next burst.
+func TestBurstFallbackOnMalformed(t *testing.T) {
+	spSrv, _, _ := launchSAEMode(t, 2000, true)
+	c, err := dial(spSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	qs := workload.Queries(3, workload.DefaultExtent, 93)
+	reqs := []Frame{
+		{Type: MsgQuery, Payload: EncodeRange(qs[0])},
+		{Type: MsgQuery, Payload: []byte{1, 2, 3}}, // malformed range
+		{Type: MsgQuery, Payload: EncodeRange(qs[1])},
+	}
+	if _, err := c.roundTripMany(reqs); err == nil ||
+		!strings.Contains(err.Error(), "server error") {
+		t.Fatalf("malformed burst error = %v, want server error", err)
+	}
+
+	// The connection survives: the next burst serves normally.
+	raws, err := c.roundTripMany([]Frame{
+		{Type: MsgQuery, Payload: EncodeRange(qs[2])},
+		{Type: MsgQuery, Payload: EncodeRange(qs[0])},
+	})
+	if err != nil {
+		t.Fatalf("burst after malformed burst: %v", err)
+	}
+	for i, r := range raws {
+		if r.Type != MsgResult {
+			t.Fatalf("follow-up frame %d: got type %d, want result", i, r.Type)
+		}
+	}
+}
+
+// TestBurstEnvGate checks SAE_BURST=0 actually disables lane serving
+// (and that the default enables it) via the server's own gate resolver.
+func TestBurstEnvGate(t *testing.T) {
+	t.Setenv("SAE_BURST", "0")
+	spSrv, _, _ := launchSAE(t, 500)
+	if spSrv.lanes != nil {
+		t.Fatal("SAE_BURST=0 server still built serve lanes")
+	}
+	// The per-request path must serve as before.
+	c, err := DialSP(spSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.QueryRawMany(workload.Queries(4, workload.DefaultExtent, 94)); err != nil {
+		t.Fatalf("pipelined queries with burst disabled: %v", err)
+	}
+
+	t.Setenv("SAE_BURST", "1")
+	spSrv2, _, _ := launchSAE(t, 500)
+	if spSrv2.lanes == nil {
+		t.Fatal("default server did not build serve lanes")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -108,6 +109,14 @@ type Server struct {
 	// answer shard-map requests uniformly.
 	shardInfo atomic.Pointer[ShardInfo]
 
+	// burstSrv is set by the built-in party servers (SP/TE/TOM) to enable
+	// burst-mode serving; custom Serve handlers (the router tier, whose
+	// requests block on upstream round trips) keep the concurrent
+	// goroutine-per-frame path. lanes is non-nil iff burst mode is active.
+	burstSrv  burstServer
+	burstMode *bool // WithBurstServing override; nil = SAE_BURST env
+	lanes     *laneSet
+
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	done      chan struct{}
@@ -126,6 +135,15 @@ type ServerOption func(*Server)
 // attestation.
 func WithShardInfo(si ShardInfo) ServerOption {
 	return func(s *Server) { s.shardInfo.Store(&si) }
+}
+
+// WithBurstServing forces burst-mode serving on or off for this server,
+// overriding the SAE_BURST environment gate — the parity tests run every
+// topology in both modes regardless of the environment. It only applies
+// to the built-in party servers; custom Serve handlers always use the
+// concurrent per-frame path.
+func WithBurstServing(on bool) ServerOption {
+	return func(s *Server) { s.burstMode = &on }
 }
 
 // SetShardInfo declares this server's shard index and partition plan,
@@ -163,9 +181,30 @@ func newServer(addr string, handle Handler, logf func(string, ...any), opts []Se
 	for _, opt := range opts {
 		opt(s)
 	}
+	return s, nil
+}
+
+// start spins up the serve lanes (when burst mode applies) and the accept
+// loop. Constructors call it only after the server is fully wired — the
+// built-in party servers set burstSrv first, so no connection can be
+// accepted into a half-configured server.
+func (s *Server) start() *Server {
+	if s.burstSrv != nil && s.burstActive() {
+		s.lanes = newLaneSet(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
+}
+
+// burstActive resolves the burst-serving gate: an explicit
+// WithBurstServing option wins; otherwise burst mode is ON unless the
+// environment opts out with SAE_BURST=0.
+func (s *Server) burstActive() bool {
+	if s.burstMode != nil {
+		return *s.burstMode
+	}
+	return os.Getenv("SAE_BURST") != "0"
 }
 
 // Serve starts a TCP server running a custom Handler — the hook the
@@ -174,7 +213,11 @@ func newServer(addr string, handle Handler, logf func(string, ...any), opts []Se
 // across the requests in flight on a connection; the RespBuf it receives
 // is pooled and recycled after its response frame hits the socket.
 func Serve(addr string, handle Handler, logf func(string, ...any), opts ...ServerOption) (*Server, error) {
-	return newServer(addr, handle, logf, opts)
+	s, err := newServer(addr, handle, logf, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
 }
 
 // ErrFrame builds the error response for a request a Handler cannot
@@ -197,6 +240,9 @@ func (s *Server) Close() error {
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
+		if s.lanes != nil {
+			s.lanes.close()
+		}
 	})
 	return s.closeErr
 }
@@ -218,7 +264,11 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		if s.lanes != nil {
+			go s.serveConnBurst(conn, s.lanes.pick())
+		} else {
+			go s.serveConn(conn)
+		}
 	}
 }
 
@@ -297,7 +347,9 @@ func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any), o
 	if err != nil {
 		return nil, err
 	}
+	s.burstSrv = srv
 	srv.Server = s
+	s.start()
 	return srv, nil
 }
 
@@ -374,7 +426,9 @@ func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any), opt
 	if err != nil {
 		return nil, err
 	}
+	s.burstSrv = srv
 	srv.Server = s
+	s.start()
 	return srv, nil
 }
 
@@ -448,7 +502,9 @@ func ServeTOM(addr string, provider *tom.Provider, owner *tom.Owner, logf func(s
 	if err != nil {
 		return nil, err
 	}
+	s.burstSrv = srv
 	srv.Server = s
+	s.start()
 	return srv, nil
 }
 

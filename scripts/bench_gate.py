@@ -91,10 +91,46 @@ def gate_router():
           f"routed path at {100 * ci['routedRelative']:.0f}% of direct >= 25%")
 
 
+def gate_burst():
+    print("burst serving (BENCH_burst.ci.json vs committed BENCH_burst.json):")
+    base = load("BENCH_burst.json")
+    ci = load("BENCH_burst.ci.json")
+    check(ci["burstQueriesPerSec"] > 0,
+          f"burst {ci['burstQueriesPerSec']:.0f} q/s > 0")
+    # Batching must win on any machine, including one-core runners: the
+    # within-run burst/per-request ratio may never drop below break-even,
+    # and not more than 30% below the committed baseline.
+    floor = max(1.0, TOLERANCE * base["batchWin"])
+    check(ci["batchWin"] >= floor,
+          f"batching win {ci['batchWin']:.2f}x >= {floor:.2f}x "
+          f"(baseline {base['batchWin']:.2f}x - 30%, never < 1x)")
+    # Scaling efficiency is only meaningful when the runner actually has
+    # cores to sweep; a one-core runner records a single lane point and
+    # asserts the batching win alone.
+    lanes = ci.get("lanes", [])
+    check(len(lanes) >= 1, f"{len(lanes)} lane points measured")
+    if len(lanes) >= 2:
+        for p in lanes[1:]:
+            floor = 0.7 if p["lanes"] <= 4 else 0.5
+            check(p["scalingEfficiency"] >= floor,
+                  f"{p['lanes']}-lane scaling efficiency "
+                  f"{p['scalingEfficiency']:.2f} >= {floor:.2f}")
+    else:
+        print("  [skip] single lane point: no multicore efficiency to gate")
+    # The mmap read path must engage and serve within 2x of pread (the
+    # two share the page cache; a bigger gap means the window is broken).
+    check(ci["mmapActive"], "mmap window active during file-backed serve")
+    if ci["filePreadQueriesPerSec"] > 0:
+        rel = ci["fileMmapQueriesPerSec"] / ci["filePreadQueriesPerSec"]
+        check(rel >= 0.5,
+              f"mmap serve at {100 * rel:.0f}% of pread >= 50%")
+
+
 def main():
     gate_shard()
     gate_fastpath()
     gate_router()
+    gate_burst()
     if failures:
         print(f"\nbench gate: {len(failures)}/{checks} checks FAILED")
         for f in failures:
