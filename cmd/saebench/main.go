@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst, write or all")
 		scale      = flag.String("scale", "quick", "sweep scale: quick or paper")
 		ns         = flag.String("n", "", "comma-separated cardinalities overriding the scale")
 		queries    = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
@@ -51,6 +51,8 @@ func main() {
 		fastIters  = flag.Int("fastiters", 0, "iterations per fast-path variant (0 = default)")
 		burstJSON  = flag.String("burstjson", "BENCH_burst.json", "output path for the burst-serving JSON (-figure burst)")
 		burstMs    = flag.Int("burstms", 0, "measured milliseconds per burst point (0 = default)")
+		writeJSON  = flag.String("writejson", "BENCH_write.json", "output path for the write-pipeline JSON (-figure write)")
+		writers    = flag.Int("writers", 0, "concurrent writers for the grouped measurement (0 = default)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,10 @@ func main() {
 	}
 	if *figure == "burst" {
 		runBurstFigure(*burstJSON, *burstMs, *seed, *quiet)
+		return
+	}
+	if *figure == "write" {
+		runWriteFigure(*writeJSON, *writers, *seed, *quiet)
 		return
 	}
 
@@ -221,6 +227,50 @@ func runBurstFigure(jsonPath string, burstMs int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteBurstJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runWriteFigure measures the group-commit write pipeline — serial
+// durable commits vs coalesced groups, the GOMAXPROCS sweep and the TOM
+// sign-amortization pair — and writes BENCH_write.json alongside a
+// summary.
+func runWriteFigure(jsonPath string, writers int, seed int64, quiet bool) {
+	cfg := experiments.DefaultWriteConfig()
+	cfg.Seed = seed
+	if writers > 0 {
+		cfg.Writers = writers
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunWrite(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Group-commit write pipeline (n=%d, %d writers, maxGroup=%d, SHA-NI=%v, GOMAXPROCS=%d)\n",
+		res.N, res.Writers, res.MaxGroup, res.SHANI, res.GOMAXPROCS)
+	fmt.Printf("  serial durable:  %8.0f updates/s  (%d fsyncs)\n", res.SerialUpdatesPerSec, res.SerialSyncs)
+	fmt.Printf("  group commit:    %8.0f updates/s  (%d fsyncs, avg group %.1f, win %.2fx)\n",
+		res.GroupUpdatesPerSec, res.GroupSyncs, res.AvgGroupSize, res.GroupCommitWin)
+	fmt.Printf("  procs sweep:\n")
+	for _, p := range res.Procs {
+		fmt.Printf("    %2d procs: %8.0f updates/s  avg group %.1f\n", p.Procs, p.UpdatesPerSec, p.AvgGroup)
+	}
+	fmt.Printf("  TOM re-sign: per-update %6.0f updates/s  per-group(%d) %6.0f updates/s  (%.2fx)\n",
+		res.TOMSerialUpdatesPerSec, res.TOMBatch, res.TOMBatchUpdatesPerSec, res.SignAmortWin)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteWriteJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sae/internal/exec"
+	"sae/internal/record"
+	"sae/internal/wal"
+)
+
+// DefaultMaxGroup caps how many pending updates one commit group
+// coalesces. 128 keeps the WAL write under ~64 KiB while amortizing the
+// fsync and the structure locks far past the point of diminishing
+// returns (the win curve is flat beyond ~32).
+const DefaultMaxGroup = 128
+
+// CommitStats counts the committer's work: Ops/Groups is the achieved
+// amortization factor, Syncs equals Groups when a WAL is attached (one
+// fsync per group — the whole point) and is zero without one.
+type CommitStats struct {
+	Groups int64 // commit groups applied
+	Ops    int64 // individual updates committed
+	Syncs  int64 // WAL fsyncs issued
+}
+
+// GroupCommitter coalesces concurrent Insert/Delete submissions into
+// commit groups. Each group is logged with ONE WAL append + fsync,
+// applied to the SP under ONE structure-lock acquisition and to the TE
+// under ONE lock + ONE digest dispatch, and then every waiter is acked
+// at once. A submission returns when its group is durable and visible.
+//
+// One background leader drains the queue; submitters only enqueue and
+// wait, so the group size adapts to the offered load: an idle committer
+// applies singleton groups with the latency of the serial path, a
+// saturated one rides groups of maxGroup.
+type GroupCommitter struct {
+	owner *DataOwner
+	sp    *ServiceProvider
+	te    *TrustedEntity
+	log   *wal.Log // may be nil: volatile mode (no durability, same grouping)
+
+	// commitMu is held exclusively across a whole group's application to
+	// both parties, and shared by Snapshot(), so every snapshot pair
+	// captures the SP and the TE at the same group boundary — never one
+	// party mid-group ahead of the other.
+	commitMu sync.RWMutex
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on enqueue, group completion, and close
+	queue    []pendingOp
+	inflight bool // leader is committing a drained group
+	stopped  bool
+	done     chan struct{}
+
+	seq   uint64 // WAL group sequence; guarded by mu
+	stats CommitStats
+
+	maxGroup int
+}
+
+type pendingOp struct {
+	op   wal.Op
+	errc chan error
+}
+
+// NewGroupCommitter starts a committer over the three SAE parties.
+// log may be nil for volatile operation (grouping without durability);
+// maxGroup <= 0 selects DefaultMaxGroup.
+func NewGroupCommitter(owner *DataOwner, sp *ServiceProvider, te *TrustedEntity, log *wal.Log, maxGroup int) *GroupCommitter {
+	if maxGroup <= 0 {
+		maxGroup = DefaultMaxGroup
+	}
+	gc := &GroupCommitter{
+		owner:    owner,
+		sp:       sp,
+		te:       te,
+		log:      log,
+		done:     make(chan struct{}),
+		maxGroup: maxGroup,
+	}
+	gc.cond = sync.NewCond(&gc.mu)
+	go gc.run()
+	return gc
+}
+
+// Insert synthesizes a record with a fresh id, commits it through the
+// group pipeline and returns once it is durable and visible.
+func (gc *GroupCommitter) Insert(key record.Key) (record.Record, error) {
+	recs, err := gc.InsertBatch([]record.Key{key})
+	if err != nil {
+		return record.Record{}, err
+	}
+	return recs[0], nil
+}
+
+// InsertBatch synthesizes one record per key and commits them as members
+// of (at most) one group.
+func (gc *GroupCommitter) InsertBatch(keys []record.Key) ([]record.Record, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	recs := gc.owner.NewRecords(keys)
+	ops := make([]wal.Op, len(recs))
+	for i := range recs {
+		ops[i] = wal.InsertOp(recs[i])
+	}
+	if err := gc.submitWait(ops); err != nil {
+		gc.owner.Forget(idsOf(recs))
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Delete removes the record with the given id through the group
+// pipeline.
+func (gc *GroupCommitter) Delete(id record.ID) error {
+	return gc.DeleteBatch([]record.ID{id})
+}
+
+// DeleteBatch removes the given ids as members of (at most) one group.
+func (gc *GroupCommitter) DeleteBatch(ids []record.ID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	keys, err := gc.owner.Drop(ids)
+	if err != nil {
+		return err
+	}
+	ops := make([]wal.Op, len(ids))
+	for i := range ids {
+		ops[i] = wal.DeleteOp(ids[i], keys[i])
+	}
+	return gc.submitWait(ops)
+}
+
+// SubmitOps enqueues pre-built ops (wire batch handlers use this after
+// the remote owner already synthesized the records) and waits for their
+// group to commit.
+func (gc *GroupCommitter) SubmitOps(ops []wal.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return gc.submitWait(ops)
+}
+
+func idsOf(recs []record.Record) []record.ID {
+	ids := make([]record.ID, len(recs))
+	for i := range recs {
+		ids[i] = recs[i].ID
+	}
+	return ids
+}
+
+// submitWait enqueues ops sharing one ack channel and blocks until their
+// group commits. All ops of one call land in the same group (the leader
+// never splits a submission).
+func (gc *GroupCommitter) submitWait(ops []wal.Op) error {
+	errc := make(chan error, 1)
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		return fmt.Errorf("core: group committer is closed")
+	}
+	for i := range ops {
+		ec := (chan error)(nil)
+		if i == len(ops)-1 {
+			ec = errc // ack once per submission, on its last op
+		}
+		gc.queue = append(gc.queue, pendingOp{op: ops[i], errc: ec})
+	}
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	return <-errc
+}
+
+// run is the group leader: it drains the queue into groups of at most
+// maxGroup and commits each group.
+func (gc *GroupCommitter) run() {
+	defer close(gc.done)
+	gc.mu.Lock()
+	for {
+		for len(gc.queue) == 0 && !gc.stopped {
+			gc.cond.Wait()
+		}
+		if len(gc.queue) == 0 && gc.stopped {
+			gc.mu.Unlock()
+			return
+		}
+		n := len(gc.queue)
+		if n > gc.maxGroup {
+			// Never split one submission's ops across groups: they share
+			// an ack and must commit atomically. Extend to the end of the
+			// submission that straddles the cap (a submission is at most
+			// one caller's batch, so the overshoot is bounded).
+			n = gc.maxGroup
+			for n < len(gc.queue) && gc.queue[n-1].errc == nil {
+				n++
+			}
+		}
+		group := gc.queue[:n:n]
+		gc.queue = gc.queue[n:]
+		gc.inflight = true
+		gc.seq++
+		seq := gc.seq
+		gc.mu.Unlock()
+
+		gc.commitGroup(seq, group)
+
+		gc.mu.Lock()
+		gc.inflight = false
+		gc.stats.Groups++
+		gc.stats.Ops += int64(len(group))
+		if gc.log != nil {
+			gc.stats.Syncs++
+		}
+		gc.cond.Broadcast()
+	}
+}
+
+// commitGroup makes one group durable and visible, then acks every
+// waiter. Order matters: the WAL fsync precedes visibility, so an acked
+// update is always recoverable and an unacked one never partially
+// escapes a crash (the replay drops uncommitted tails).
+func (gc *GroupCommitter) commitGroup(seq uint64, group []pendingOp) {
+	ops := make([]wal.Op, len(group))
+	for i := range group {
+		ops[i] = group[i].op
+	}
+	var err error
+	if gc.log != nil {
+		err = gc.log.AppendGroup(seq, ops)
+	}
+	if err == nil {
+		ctx := exec.GetContext()
+		gc.commitMu.Lock()
+		if err = gc.sp.ApplyBatchCtx(ctx, ops); err == nil {
+			err = gc.te.ApplyBatchCtx(ctx, ops)
+		}
+		gc.commitMu.Unlock()
+		exec.PutContext(ctx)
+	}
+	for i := range group {
+		if group[i].errc != nil {
+			group[i].errc <- err
+		}
+	}
+}
+
+// Snapshot opens a consistent SP+TE snapshot pair at a group boundary:
+// tokens generated from the TE half verify results served from the SP
+// half, no matter how many groups commit after.
+func (gc *GroupCommitter) Snapshot() (*SPSnapshot, *TESnapshot, error) {
+	gc.commitMu.RLock()
+	defer gc.commitMu.RUnlock()
+	sps, err := gc.sp.BeginSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	tes, err := gc.te.BeginSnapshot()
+	if err != nil {
+		sps.Close()
+		return nil, nil, err
+	}
+	return sps, tes, nil
+}
+
+// Stats returns the committer's counters.
+func (gc *GroupCommitter) Stats() CommitStats {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.stats
+}
+
+// Quiesce blocks until every update submitted before the call has
+// committed (checkpoint barriers).
+func (gc *GroupCommitter) Quiesce() {
+	gc.mu.Lock()
+	for len(gc.queue) > 0 || gc.inflight {
+		gc.cond.Wait()
+	}
+	gc.mu.Unlock()
+}
+
+// Close drains pending submissions, stops the leader and (when attached)
+// closes the WAL. Further submissions fail.
+func (gc *GroupCommitter) Close() error {
+	gc.mu.Lock()
+	alreadyStopped := gc.stopped
+	gc.stopped = true
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	<-gc.done
+	// The leader exits only with an empty queue, so everything submitted
+	// before Close was acked.
+	if gc.log != nil && !alreadyStopped {
+		return gc.log.Close()
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"sae/internal/heapfile"
 	"sae/internal/pagestore"
 	"sae/internal/record"
+	"sae/internal/wal"
 	"sae/internal/xbtree"
 )
 
@@ -83,6 +84,7 @@ func ModifyTamper(i int) Tamper {
 // safe for concurrent queries interleaved with updates.
 type ServiceProvider struct {
 	mu     sync.RWMutex
+	ver    *pagestore.Versioned // page-level MVCC under the counting store
 	store  *pagestore.Counting
 	cache  *bufpool.Cache // decoded-node cache shared by heap + index; may be nil
 	heap   *heapfile.File
@@ -97,8 +99,10 @@ type ServiceProvider struct {
 // drops while the paper's node-access accounting stays exact; use
 // ConfigureCache to resize, change policy, or disable it.
 func NewServiceProvider(store pagestore.Store) *ServiceProvider {
+	ver := pagestore.NewVersioned(store)
 	return &ServiceProvider{
-		store: pagestore.NewCounting(store),
+		ver:   ver,
+		store: pagestore.NewCounting(ver),
 		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 		byID:  make(map[record.ID]heapfile.RID),
 	}
@@ -345,6 +349,49 @@ func (sp *ServiceProvider) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key r
 	return nil
 }
 
+// ApplyBatchCtx applies a whole commit group under ONE lock acquisition:
+// every insert and delete in order, on a single request context. Results
+// are bit-identical to applying the ops one at a time — the group path
+// changes when the lock is taken and how often ancillary work (digesting,
+// signing, fsync) is dispatched, never what the structures contain.
+func (sp *ServiceProvider) ApplyBatchCtx(ctx *exec.Context, ops []wal.Op) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for i := range ops {
+		switch ops[i].Kind {
+		case wal.OpInsert:
+			r := &ops[i].Rec
+			rid, err := sp.heap.AppendCtx(ctx, *r)
+			if err != nil {
+				return fmt.Errorf("core: SP inserting record: %w", err)
+			}
+			if err := sp.index.InsertCtx(ctx, bptree.Entry{Key: r.Key, RID: rid}); err != nil {
+				return fmt.Errorf("core: SP indexing record: %w", err)
+			}
+			sp.byID[r.ID] = rid
+		case wal.OpDelete:
+			rid, ok := sp.byID[ops[i].ID]
+			if !ok {
+				return fmt.Errorf("core: SP has no record with id %d", ops[i].ID)
+			}
+			if err := sp.index.DeleteCtx(ctx, bptree.Entry{Key: ops[i].Key, RID: rid}); err != nil {
+				return fmt.Errorf("core: SP unindexing record: %w", err)
+			}
+			if err := sp.heap.DeleteCtx(ctx, rid); err != nil {
+				return fmt.Errorf("core: SP deleting record: %w", err)
+			}
+			delete(sp.byID, ops[i].ID)
+		default:
+			return fmt.Errorf("core: SP cannot apply op kind %d", ops[i].Kind)
+		}
+	}
+	return nil
+}
+
+// SyncStore flushes the SP's page store to stable storage (a no-op over
+// in-memory stores) — the snapshot/commit durability barrier.
+func (sp *ServiceProvider) SyncStore() error { return sp.store.Sync() }
+
 // SetTamper installs (or clears, with nil) result tampering, turning the SP
 // malicious for attack experiments.
 func (sp *ServiceProvider) SetTamper(t Tamper) {
@@ -381,6 +428,7 @@ func (sp *ServiceProvider) IndexHeight() int {
 // TrustedEntity maintains the XB-Tree and issues verification tokens.
 type TrustedEntity struct {
 	mu    sync.RWMutex
+	ver   *pagestore.Versioned // page-level MVCC under the counting store
 	store *pagestore.Counting
 	cache *bufpool.Cache // decoded XB-Tree node cache; may be nil
 	tree  *xbtree.Tree
@@ -390,8 +438,10 @@ type TrustedEntity struct {
 // SP, it starts with a charge-every-access decoded-node cache; see
 // ConfigureCache.
 func NewTrustedEntity(store pagestore.Store) *TrustedEntity {
+	ver := pagestore.NewVersioned(store)
 	return &TrustedEntity{
-		store: pagestore.NewCounting(store),
+		ver:   ver,
+		store: pagestore.NewCounting(ver),
 		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 	}
 }
@@ -566,6 +616,53 @@ func (te *TrustedEntity) ApplyDeleteCtx(ctx *exec.Context, id record.ID, key rec
 	}
 	return nil
 }
+
+// ApplyBatchCtx applies a whole commit group under ONE lock acquisition
+// and ONE digest dispatch: the digests of every inserted record in the
+// group are computed in a single fan-out across the crypto worker pool
+// (exactly what the TE does at load time), then the tree ops run in
+// order. Tuples, tree shape and therefore every future VT are
+// bit-identical to the one-at-a-time path.
+func (te *TrustedEntity) ApplyBatchCtx(ctx *exec.Context, ops []wal.Op) error {
+	// Digest outside the lock: the records are the caller's, and hashing
+	// is the group's CPU bill — readers keep serving tokens while the
+	// crypto pool grinds.
+	var inserts []record.Record
+	for i := range ops {
+		if ops[i].Kind == wal.OpInsert {
+			inserts = append(inserts, ops[i].Rec)
+		}
+	}
+	var digests []digest.Digest
+	if len(inserts) > 0 {
+		digests = make([]digest.Digest, len(inserts))
+		digest.RecordDigests(digests, inserts, 0)
+	}
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	di := 0
+	for i := range ops {
+		switch ops[i].Kind {
+		case wal.OpInsert:
+			tup := xbtree.Tuple{ID: ops[i].Rec.ID, Digest: digests[di]}
+			di++
+			if err := te.tree.InsertCtx(ctx, ops[i].Rec.Key, tup); err != nil {
+				return fmt.Errorf("core: TE inserting tuple: %w", err)
+			}
+		case wal.OpDelete:
+			if err := te.tree.DeleteCtx(ctx, ops[i].Key, ops[i].ID); err != nil {
+				return fmt.Errorf("core: TE deleting tuple: %w", err)
+			}
+		default:
+			return fmt.Errorf("core: TE cannot apply op kind %d", ops[i].Kind)
+		}
+	}
+	return nil
+}
+
+// SyncStore flushes the TE's page store to stable storage (a no-op over
+// in-memory stores) — the snapshot/commit durability barrier.
+func (te *TrustedEntity) SyncStore() error { return te.store.Sync() }
 
 // Stats exposes the TE's page-access counters.
 func (te *TrustedEntity) Stats() pagestore.Stats { return te.store.Stats() }
@@ -750,6 +847,77 @@ func (do *DataOwner) Delete(id record.ID, sp *ServiceProvider, te *TrustedEntity
 		return err
 	}
 	return te.ApplyDelete(id, r.Key)
+}
+
+// NewRecords synthesizes one fresh-id record per key and registers them
+// in the owner's map, without propagating anything: the group committer
+// and wire batch paths propagate the returned records as one group.
+func (do *DataOwner) NewRecords(keys []record.Key) []record.Record {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	recs := make([]record.Record, len(keys))
+	for i, k := range keys {
+		r := record.Synthesize(do.nextID, k)
+		do.nextID++
+		do.byID[r.ID] = r
+		recs[i] = r
+	}
+	return recs
+}
+
+// Drop removes the given ids from the owner's map and returns the keys
+// they were indexed under, in id order; the caller propagates the
+// deletions as one group. Unknown ids fail the whole batch before any
+// removal, so the owner map and the parties never diverge.
+func (do *DataOwner) Drop(ids []record.ID) ([]record.Key, error) {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	keys := make([]record.Key, len(ids))
+	for i, id := range ids {
+		r, ok := do.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: owner has no record with id %d", id)
+		}
+		keys[i] = r.Key
+	}
+	for _, id := range ids {
+		delete(do.byID, id)
+	}
+	return keys, nil
+}
+
+// Restore re-registers records in the owner's map (WAL replay during
+// recovery) and advances the fresh-id watermark past them.
+func (do *DataOwner) Restore(recs []record.Record) {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	for i := range recs {
+		do.byID[recs[i].ID] = recs[i]
+		if recs[i].ID >= do.nextID {
+			do.nextID = recs[i].ID + 1
+		}
+	}
+}
+
+// Forget removes ids from the owner's map if present (WAL replay of
+// deletions during recovery).
+func (do *DataOwner) Forget(ids []record.ID) {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	for _, id := range ids {
+		delete(do.byID, id)
+	}
+}
+
+// Records returns the owner's live records, unsorted (checkpointing).
+func (do *DataOwner) Records() []record.Record {
+	do.mu.Lock()
+	defer do.mu.Unlock()
+	out := make([]record.Record, 0, len(do.byID))
+	for _, r := range do.byID {
+		out = append(out, r)
+	}
+	return out
 }
 
 // KeyOf returns the key of the owner's record with the given id (used by

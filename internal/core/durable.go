@@ -1,0 +1,315 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"sae/internal/exec"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/wal"
+)
+
+// DurableSystem is a crash-safe SAE deployment rooted in one directory:
+//
+//	records.dat — the last checkpoint, a flat dump of the owner's records
+//	wal.log     — every commit group since that checkpoint
+//
+// Updates flow through a GroupCommitter whose WAL append+fsync precedes
+// the ack, so after a crash — even kill -9 mid-group — reopening the
+// directory reconstructs exactly the acked state: the checkpoint is
+// bulk-loaded and the WAL's committed groups are re-applied through the
+// same ApplyBatch path that ran before the crash. Torn trailing groups
+// (writes that never acked) are discarded by the WAL replay, so no
+// unacked update becomes partially visible. VTs come out identical
+// because the XOR fold is order-independent and tree contents are
+// determined by the record set.
+//
+// The parties run on in-memory page stores rebuilt at open; durability
+// lives entirely in the checkpoint + WAL pair, which keeps recovery a
+// sequential read instead of a page-by-page fsck.
+type DurableSystem struct {
+	Dir    string
+	Owner  *DataOwner
+	SP     *ServiceProvider
+	TE     *TrustedEntity
+	Client Client
+
+	committer *GroupCommitter
+	replayed  int // committed WAL groups re-applied at open (tests, tooling)
+}
+
+const checkpointMagic = "SAECKP02"
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "records.dat") }
+func walPath(dir string) string        { return filepath.Join(dir, "wal.log") }
+
+// writeCheckpoint dumps records to path atomically: write to a temp
+// file, fsync, rename, fsync the directory. seq is the commit sequence
+// already folded into the dump; replay skips WAL groups at or below it,
+// which makes a crash between checkpoint publish and WAL reset safe
+// (the groups still in the log would otherwise double-apply).
+func writeCheckpoint(dir string, recs []record.Record, seq uint64) error {
+	tmp := checkpointPath(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	scratch := make([]byte, 0, record.Size)
+	for i := range recs {
+		if _, err := bw.Write(recs[i].AppendBinary(scratch)); err != nil {
+			f.Close()
+			return fmt.Errorf("core: writing checkpoint: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flushing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, checkpointPath(dir)); err != nil {
+		return fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readCheckpoint loads the record dump at path plus the commit sequence
+// it covers; a missing file is an empty checkpoint at sequence zero.
+func readCheckpoint(dir string) ([]record.Record, uint64, error) {
+	f, err := os.Open(checkpointPath(dir))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, 0, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("core: reading checkpoint count: %w", err)
+	}
+	seq := binary.BigEndian.Uint64(hdr[:8])
+	n := binary.BigEndian.Uint64(hdr[8:])
+	recs := make([]record.Record, n)
+	var buf [record.Size]byte
+	for i := range recs {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, 0, fmt.Errorf("core: reading checkpoint record %d: %w", i, err)
+		}
+		r, err := record.Unmarshal(buf[:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: decoding checkpoint record %d: %w", i, err)
+		}
+		recs[i] = r
+	}
+	return recs, seq, nil
+}
+
+// OpenDurableSystem opens (or initializes) a durable deployment in dir.
+// When the directory is fresh, initial seeds the dataset and becomes the
+// first checkpoint; on reopen, initial is ignored and the state is
+// rebuilt from the checkpoint plus the WAL's committed groups.
+// maxGroup <= 0 selects DefaultMaxGroup.
+func OpenDurableSystem(dir string, initial []record.Record, maxGroup int) (*DurableSystem, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating durable dir: %w", err)
+	}
+	recs, ckptSeq, err := readCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	fresh := recs == nil && !fileExists(walPath(dir))
+	if fresh {
+		recs = append([]record.Record(nil), initial...)
+		if err := writeCheckpoint(dir, recs, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	log, groups, err := wal.Open(walPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening WAL: %w", err)
+	}
+
+	owner := NewDataOwner(recs)
+	sp := NewServiceProvider(pagestore.NewMem())
+	te := NewTrustedEntity(pagestore.NewMem())
+	sorted := append([]record.Record(nil), recs...)
+	slices.SortFunc(sorted, record.SortByKey)
+	if err := owner.Outsource(sp, te, sorted); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("core: rebuilding from checkpoint: %w", err)
+	}
+
+	// Re-apply every committed group through the very batch path that ran
+	// before the crash; anything the WAL did not mark committed was never
+	// acked and is discarded by the replay. Groups at or below the
+	// checkpoint's sequence are already folded into the dump — a crash
+	// between checkpoint publish and WAL reset leaves them in the log, and
+	// re-applying them would double-insert.
+	ctx := exec.NewContext()
+	maxSeq := ckptSeq
+	replayed := 0
+	for _, g := range groups {
+		if g.Seq <= ckptSeq {
+			continue
+		}
+		replayed++
+		if err := sp.ApplyBatchCtx(ctx, g.Ops); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("core: replaying group %d into SP: %w", g.Seq, err)
+		}
+		if err := te.ApplyBatchCtx(ctx, g.Ops); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("core: replaying group %d into TE: %w", g.Seq, err)
+		}
+		for i := range g.Ops {
+			switch g.Ops[i].Kind {
+			case wal.OpInsert:
+				owner.Restore([]record.Record{g.Ops[i].Rec})
+			case wal.OpDelete:
+				owner.Forget([]record.ID{g.Ops[i].ID})
+			}
+		}
+		if g.Seq > maxSeq {
+			maxSeq = g.Seq
+		}
+	}
+
+	ds := &DurableSystem{
+		Dir:      dir,
+		Owner:    owner,
+		SP:       sp,
+		TE:       te,
+		replayed: replayed,
+	}
+	ds.committer = NewGroupCommitter(owner, sp, te, log, maxGroup)
+	ds.committer.mu.Lock()
+	ds.committer.seq = maxSeq
+	ds.committer.mu.Unlock()
+	return ds, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Committer exposes the system's group committer (benchmarks, wire
+// servers).
+func (ds *DurableSystem) Committer() *GroupCommitter { return ds.committer }
+
+// ReplayedGroups returns how many committed WAL groups the open
+// re-applied (zero on a clean start).
+func (ds *DurableSystem) ReplayedGroups() int { return ds.replayed }
+
+// Insert commits one insert through the group pipeline.
+func (ds *DurableSystem) Insert(key record.Key) (record.Record, error) {
+	return ds.committer.Insert(key)
+}
+
+// InsertBatch commits a batch of inserts as one group.
+func (ds *DurableSystem) InsertBatch(keys []record.Key) ([]record.Record, error) {
+	return ds.committer.InsertBatch(keys)
+}
+
+// Delete commits one delete through the group pipeline.
+func (ds *DurableSystem) Delete(id record.ID) error {
+	return ds.committer.Delete(id)
+}
+
+// DeleteBatch commits a batch of deletes as one group.
+func (ds *DurableSystem) DeleteBatch(ids []record.ID) error {
+	return ds.committer.DeleteBatch(ids)
+}
+
+// Query runs a verified range query against the live state.
+func (ds *DurableSystem) Query(q record.Range) (QueryOutcome, error) {
+	var out QueryOutcome
+	recs, qc, err := ds.SP.Query(q)
+	if err != nil {
+		return out, err
+	}
+	vt, teCost, err := ds.TE.GenerateVT(q)
+	if err != nil {
+		return out, err
+	}
+	verifyCost, verifyErr := ds.Client.Verify(q, recs, vt)
+	out.Result = recs
+	out.VT = vt
+	out.SPCost = qc
+	out.TECost = teCost
+	out.ClientCost = verifyCost
+	out.VerifyErr = verifyErr
+	return out, nil
+}
+
+// Snapshot opens a consistent SP+TE snapshot pair at a group boundary.
+func (ds *DurableSystem) Snapshot() (*SPSnapshot, *TESnapshot, error) {
+	return ds.committer.Snapshot()
+}
+
+// Checkpoint quiesces the committer, dumps the owner's records as the
+// new checkpoint and truncates the WAL. Recovery cost drops to the dump
+// read; durability is never in doubt because the new checkpoint is
+// published (rename + dir sync) before the log resets.
+func (ds *DurableSystem) Checkpoint() error {
+	ds.committer.Quiesce()
+	recs := ds.Owner.Records()
+	ds.committer.mu.Lock()
+	seq := ds.committer.seq
+	ds.committer.mu.Unlock()
+	if err := writeCheckpoint(ds.Dir, recs, seq); err != nil {
+		return err
+	}
+	if ds.committer.log != nil {
+		if err := ds.committer.log.Reset(); err != nil {
+			return fmt.Errorf("core: resetting WAL after checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats returns the committer's counters.
+func (ds *DurableSystem) Stats() CommitStats { return ds.committer.Stats() }
+
+// Close drains pending updates and closes the WAL. The directory remains
+// openable.
+func (ds *DurableSystem) Close() error {
+	return ds.committer.Close()
+}

@@ -11,6 +11,7 @@ import (
 	"sae/internal/pagestore"
 	"sae/internal/record"
 	"sae/internal/shard"
+	"sae/internal/wal"
 )
 
 // ShardedSystem runs the SAE protocol over a horizontally partitioned
@@ -253,6 +254,77 @@ func (s *ShardedSystem) Delete(id record.ID) error {
 	}
 	i := s.Plan.ShardFor(key)
 	return s.Owner.Delete(id, s.SPs[i], s.TEs[i])
+}
+
+// InsertBatch synthesizes one fresh-id record per key and routes the
+// batch BY SHARD: all records owned by one shard are applied as one
+// group (one lock pass, one digest dispatch at its TE), and the per-
+// shard groups run concurrently. The serial per-key route issued one
+// full update round per record regardless of sharing a shard.
+func (s *ShardedSystem) InsertBatch(keys []record.Key) ([]record.Record, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	recs := s.Owner.NewRecords(keys)
+	groups := make(map[int][]wal.Op)
+	for i := range recs {
+		sh := s.Plan.ShardFor(recs[i].Key)
+		groups[sh] = append(groups[sh], wal.InsertOp(recs[i]))
+	}
+	if err := s.applyShardGroups(groups); err != nil {
+		s.Owner.Forget(idsOf(recs))
+		return nil, err
+	}
+	return recs, nil
+}
+
+// DeleteBatch removes the given ids, routing one group per owning shard,
+// concurrently across shards. Unknown ids fail the whole batch before
+// anything is applied.
+func (s *ShardedSystem) DeleteBatch(ids []record.ID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	keys, err := s.Owner.Drop(ids)
+	if err != nil {
+		return err
+	}
+	groups := make(map[int][]wal.Op)
+	for i := range ids {
+		sh := s.Plan.ShardFor(keys[i])
+		groups[sh] = append(groups[sh], wal.DeleteOp(ids[i], keys[i]))
+	}
+	return s.applyShardGroups(groups)
+}
+
+// applyShardGroups applies one op group per shard, shards in parallel.
+func (s *ShardedSystem) applyShardGroups(groups map[int][]wal.Op) error {
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for sh, ops := range groups {
+		wg.Add(1)
+		go func(sh int, ops []wal.Op) {
+			defer wg.Done()
+			ctx := exec.GetContext()
+			defer exec.PutContext(ctx)
+			err := s.SPs[sh].ApplyBatchCtx(ctx, ops)
+			if err == nil {
+				err = s.TEs[sh].ApplyBatchCtx(ctx, ops)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: shard %d batch: %w", sh, err)
+				}
+				errMu.Unlock()
+			}
+		}(sh, ops)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // StorageBytes returns the deployment's total footprint across shards.

@@ -45,6 +45,11 @@ func readU32(r io.Reader) (uint32, error) {
 func (sp *ServiceProvider) SaveSnapshot(w io.Writer) error {
 	sp.mu.RLock()
 	defer sp.mu.RUnlock()
+	// Durability barrier: the metadata below must never point at pages
+	// that are still only in the page cache of a file-backed store.
+	if err := sp.store.Sync(); err != nil {
+		return fmt.Errorf("core: syncing SP store before snapshot: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(spSnapshotMagic); err != nil {
 		return fmt.Errorf("core: writing SP snapshot: %w", err)
@@ -108,8 +113,10 @@ func RestoreServiceProvider(store pagestore.Store, r io.Reader) (*ServiceProvide
 			return nil, fmt.Errorf("core: reading SP snapshot: %w", err)
 		}
 	}
+	ver := pagestore.NewVersioned(store)
 	sp := &ServiceProvider{
-		store: pagestore.NewCounting(store),
+		ver:   ver,
+		store: pagestore.NewCounting(ver),
 		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 		byID:  make(map[record.ID]heapfile.RID, hm.Live),
 	}
@@ -139,6 +146,10 @@ func RestoreServiceProvider(store pagestore.Store, r io.Reader) (*ServiceProvide
 func (te *TrustedEntity) SaveSnapshot(w io.Writer) error {
 	te.mu.RLock()
 	defer te.mu.RUnlock()
+	// Same durability barrier as the SP: sync pages before anchoring them.
+	if err := te.store.Sync(); err != nil {
+		return fmt.Errorf("core: syncing TE store before snapshot: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(teSnapshotMagic); err != nil {
 		return fmt.Errorf("core: writing TE snapshot: %w", err)
@@ -177,8 +188,10 @@ func RestoreTrustedEntity(store pagestore.Store, r io.Reader) (*TrustedEntity, e
 		}
 		vals[i] = v
 	}
+	ver := pagestore.NewVersioned(store)
 	te := &TrustedEntity{
-		store: pagestore.NewCounting(store),
+		ver:   ver,
+		store: pagestore.NewCounting(ver),
 		cache: bufpool.New(bufpool.DefaultCapacity, bufpool.ChargeAllAccesses),
 	}
 	tree, err := xbtree.Open(te.store, xbtree.Meta{

@@ -314,6 +314,15 @@ func (s *File) Close() error {
 	}
 	name := s.f.Name()
 	if !s.removeOnClose {
+		// Data pages must be durable BEFORE the trailer: writeFreeList
+		// syncs only after appending the trailer, so without this barrier
+		// a crash between the two could leave a valid-looking trailer
+		// over unsynced data pages — recovery would then trust a free
+		// list describing pages that never reached the disk.
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return err
+		}
 		if err := s.writeFreeList(); err != nil {
 			s.f.Close()
 			return err

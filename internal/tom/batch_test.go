@@ -1,0 +1,83 @@
+package tom
+
+import (
+	"testing"
+
+	"sae/internal/exec"
+	"sae/internal/record"
+	"sae/internal/wal"
+	"sae/internal/workload"
+)
+
+// TestApplyBatchParity applies the same updates one at a time (a root
+// re-sign each) and as one batch (a single re-sign at the end); queries
+// and VO verification must come out identical, because the tree only
+// depends on the final entry set and the signature only on the final
+// root.
+func TestApplyBatchParity(t *testing.T) {
+	serial, ds := newTestSystem(t, 2000, workload.UNF)
+	batched, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+
+	var ops []wal.Op
+	nextID := record.ID(1000000)
+	for i := 0; i < 60; i++ {
+		r := record.Synthesize(nextID, record.Key((i*6151)%record.KeyDomain))
+		nextID++
+		ops = append(ops, wal.InsertOp(r))
+	}
+	for i := 0; i < 20; i++ {
+		r := ds.Records[i*29]
+		ops = append(ops, wal.DeleteOp(r.ID, r.Key))
+	}
+
+	for _, op := range ops {
+		switch op.Kind {
+		case wal.OpInsert:
+			if err := serial.Provider.ApplyInsert(op.Rec, serial.Owner); err != nil {
+				t.Fatalf("serial insert: %v", err)
+			}
+		case wal.OpDelete:
+			if err := serial.Provider.ApplyDelete(op.ID, op.Key, serial.Owner); err != nil {
+				t.Fatalf("serial delete: %v", err)
+			}
+		}
+	}
+	if err := batched.Provider.ApplyBatchCtx(exec.NewContext(), ops, batched.Owner); err != nil {
+		t.Fatalf("ApplyBatchCtx: %v", err)
+	}
+
+	for _, q := range workload.Queries(15, workload.DefaultExtent, 888) {
+		so, err := serial.Query(q)
+		if err != nil {
+			t.Fatalf("serial query: %v", err)
+		}
+		bo, err := batched.Query(q)
+		if err != nil {
+			t.Fatalf("batched query: %v", err)
+		}
+		if so.VerifyErr != nil || bo.VerifyErr != nil {
+			t.Fatalf("verification failed: serial %v, batched %v", so.VerifyErr, bo.VerifyErr)
+		}
+		if len(so.Result) != len(bo.Result) {
+			t.Fatalf("result sizes diverged for %v: %d vs %d", q, len(so.Result), len(bo.Result))
+		}
+		for i := range so.Result {
+			if !so.Result[i].Equal(&bo.Result[i]) {
+				t.Fatalf("result %d diverged for %v", i, q)
+			}
+		}
+	}
+}
+
+// TestApplyBatchUnknownDeleteFails ensures a bad op surfaces an error
+// instead of corrupting the provider.
+func TestApplyBatchUnknownDeleteFails(t *testing.T) {
+	sys, _ := newTestSystem(t, 200, workload.UNF)
+	ops := []wal.Op{wal.DeleteOp(987654321, 1)}
+	if err := sys.Provider.ApplyBatchCtx(exec.NewContext(), ops, sys.Owner); err == nil {
+		t.Fatalf("deleting an unknown id in a batch succeeded")
+	}
+}

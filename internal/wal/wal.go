@@ -1,0 +1,286 @@
+// Package wal implements the per-shard write-ahead log behind the
+// group-commit write pipeline. Updates are appended as framed op records
+// followed by a group commit marker, with one fsync per group — the
+// durability point every waiter in the group is acked against. Replay
+// after a crash yields exactly the fully committed groups, in order; a
+// torn tail (ops without their commit marker, or a half-written frame) is
+// discarded and truncated, so an unacked group is never partially
+// visible.
+//
+// On-disk format, one frame per op:
+//
+//	[kind 1][len 4][payload len][crc32 4]
+//
+// where crc32 covers kind plus payload (IEEE). An insert's payload is the
+// canonical 500-byte record encoding; a delete's is id (8) + key (4). A
+// group ends with a commit frame whose payload is seq (8) + op count (4);
+// the count must match the ops buffered since the previous commit, or the
+// tail is treated as torn. The format is append-only and self-delimiting:
+// no in-place mutation, so a crash can only ever damage the tail.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sae/internal/record"
+)
+
+// OpKind discriminates logged operations.
+type OpKind byte
+
+// Logged operation kinds. kindCommit is internal framing, not an op.
+const (
+	OpInsert OpKind = 1
+	OpDelete OpKind = 2
+
+	kindCommit OpKind = 0xC0
+)
+
+// Op is one logged update. Inserts carry the full record (the canonical
+// encoding is what both the SP and TE apply); deletes carry id + key.
+type Op struct {
+	Kind OpKind
+	Rec  record.Record // OpInsert
+	ID   record.ID     // OpDelete
+	Key  record.Key    // OpDelete
+}
+
+// InsertOp builds an insert op for r.
+func InsertOp(r record.Record) Op { return Op{Kind: OpInsert, Rec: r} }
+
+// DeleteOp builds a delete op for id/key.
+func DeleteOp(id record.ID, key record.Key) Op {
+	return Op{Kind: OpDelete, ID: id, Key: key}
+}
+
+// Group is one committed group as recovered by Open.
+type Group struct {
+	Seq uint64
+	Ops []Op
+}
+
+// frameHeaderSize is kind (1) + payload length (4).
+const frameHeaderSize = 5
+
+// commitPayloadSize is seq (8) + count (4).
+const commitPayloadSize = 12
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an append-only write-ahead log. It is safe for concurrent use,
+// though the committer design funnels all appends through one goroutine.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+	syncs  int64 // fsyncs issued (the quantity group commit amortizes)
+	groups int64 // groups appended since open
+}
+
+// Create creates (truncating) a fresh log at path.
+func Create(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", path, err)
+	}
+	return &Log{f: f}, nil
+}
+
+// Open opens an existing log (creating an empty one if absent), replays
+// it, and returns the fully committed groups in append order. Any torn
+// tail — a half-written frame, a CRC mismatch, or ops not followed by
+// their commit marker — is discarded and truncated away, so subsequent
+// appends extend a clean log.
+func Open(path string) (*Log, []Group, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	groups, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	return &Log{f: f, size: good}, groups, nil
+}
+
+// replay scans the log from the start, returning the committed groups and
+// the byte offset of the last commit marker's end (everything after it is
+// torn). Frame-level damage simply ends the scan: the format is
+// append-only, so damage can only be at the tail.
+func replay(f *os.File) (groups []Group, good int64, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: stat: %w", err)
+	}
+	data := make([]byte, info.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, info.Size()), data); err != nil {
+		return nil, 0, fmt.Errorf("wal: reading log: %w", err)
+	}
+	var pending []Op
+	off := int64(0)
+	for int64(len(data))-off >= frameHeaderSize {
+		kind := OpKind(data[off])
+		plen := int64(binary.BigEndian.Uint32(data[off+1 : off+5]))
+		frameEnd := off + frameHeaderSize + plen + 4
+		if plen > maxPayload || frameEnd > int64(len(data)) {
+			break // torn or corrupt tail
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+plen]
+		want := binary.BigEndian.Uint32(data[frameEnd-4 : frameEnd])
+		if frameCRC(kind, payload) != want {
+			break
+		}
+		switch kind {
+		case OpInsert:
+			r, err := record.Unmarshal(payload)
+			if err != nil || int64(len(payload)) != record.Size {
+				return groups, good, nil // treat as torn
+			}
+			pending = append(pending, InsertOp(r))
+		case OpDelete:
+			if len(payload) != 12 {
+				return groups, good, nil
+			}
+			pending = append(pending, DeleteOp(
+				record.ID(binary.BigEndian.Uint64(payload[0:8])),
+				record.Key(binary.BigEndian.Uint32(payload[8:12]))))
+		case kindCommit:
+			if len(payload) != commitPayloadSize {
+				return groups, good, nil
+			}
+			seq := binary.BigEndian.Uint64(payload[0:8])
+			count := int(binary.BigEndian.Uint32(payload[8:12]))
+			if count != len(pending) {
+				return groups, good, nil // marker disagrees with its ops: torn
+			}
+			groups = append(groups, Group{Seq: seq, Ops: pending})
+			pending = nil
+			good = frameEnd
+		default:
+			return groups, good, nil
+		}
+		off = frameEnd
+	}
+	return groups, good, nil
+}
+
+// maxPayload bounds a single frame payload; an op is at most one record.
+const maxPayload = record.Size
+
+func frameCRC(kind OpKind, payload []byte) uint32 {
+	c := crc32.NewIEEE()
+	c.Write([]byte{byte(kind)})
+	c.Write(payload)
+	return c.Sum32()
+}
+
+func appendFrame(buf []byte, kind OpKind, payload []byte) []byte {
+	buf = append(buf, byte(kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, frameCRC(kind, payload))
+}
+
+// AppendGroup appends a whole commit group — every op frame, then the
+// commit marker — as one write, and fsyncs once. When it returns nil, the
+// group is durable: a crash at any later point replays it in full.
+func (l *Log) AppendGroup(seq uint64, ops []Op) error {
+	buf := make([]byte, 0, len(ops)*(frameHeaderSize+record.Size+4)+frameHeaderSize+commitPayloadSize+4)
+	var scratch [record.Size]byte
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpInsert:
+			buf = appendFrame(buf, OpInsert, ops[i].Rec.AppendBinary(scratch[:0]))
+		case OpDelete:
+			binary.BigEndian.PutUint64(scratch[0:8], uint64(ops[i].ID))
+			binary.BigEndian.PutUint32(scratch[8:12], uint32(ops[i].Key))
+			buf = appendFrame(buf, OpDelete, scratch[:12])
+		default:
+			return fmt.Errorf("wal: unknown op kind %d", ops[i].Kind)
+		}
+	}
+	binary.BigEndian.PutUint64(scratch[0:8], seq)
+	binary.BigEndian.PutUint32(scratch[8:12], uint32(len(ops)))
+	buf = appendFrame(buf, kindCommit, scratch[:commitPayloadSize])
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return fmt.Errorf("wal: appending group %d: %w", seq, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing group %d: %w", seq, err)
+	}
+	l.size += int64(len(buf))
+	l.syncs++
+	l.groups++
+	return nil
+}
+
+// Reset truncates the log to empty — the checkpoint barrier: every
+// committed group is assumed captured by a durable checkpoint before the
+// call.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: resetting log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = 0
+	return nil
+}
+
+// Size returns the log's current byte size.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Syncs returns the number of fsyncs issued since open — the cost group
+// commit amortizes (one per group, regardless of group size).
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// Groups returns the number of groups appended since open.
+func (l *Log) Groups() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.groups
+}
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"testing"
+
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+func TestBatchCodecs(t *testing.T) {
+	ids := []record.ID{1, 77, 900000}
+	keys := []record.Key{10, 20, 30}
+	gotIDs, gotKeys, err := DecodeDeletes(EncodeDeletes(ids, keys))
+	if err != nil {
+		t.Fatalf("delete batch codec: %v", err)
+	}
+	for i := range ids {
+		if gotIDs[i] != ids[i] || gotKeys[i] != keys[i] {
+			t.Fatalf("delete %d round trip: got (%d,%d), want (%d,%d)", i, gotIDs[i], gotKeys[i], ids[i], keys[i])
+		}
+	}
+	if _, _, err := DecodeDeletes([]byte{0, 0, 0, 9, 1, 2}); err == nil {
+		t.Fatal("DecodeDeletes accepted an implausible count")
+	}
+}
+
+// TestOwnerClientBatchUpdates pushes insert and delete batches through
+// the wire batch frames and checks verified queries see exactly the
+// committed state.
+func TestOwnerClientBatchUpdates(t *testing.T) {
+	spSrv, teSrv, ds := launchSAE(t, 3000)
+	owner, err := DialOwner(spSrv.Addr(), teSrv.Addr(), ds.Records)
+	if err != nil {
+		t.Fatalf("DialOwner: %v", err)
+	}
+	defer owner.Close()
+	client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+	if err != nil {
+		t.Fatalf("DialVerifying: %v", err)
+	}
+	defer client.Close()
+
+	keys := make([]record.Key, 120)
+	for i := range keys {
+		keys[i] = record.Key((i * 4093) % record.KeyDomain)
+	}
+	ins, err := owner.InsertBatch(keys)
+	if err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	if len(ins) != len(keys) {
+		t.Fatalf("InsertBatch returned %d records, want %d", len(ins), len(keys))
+	}
+	delIDs := make([]record.ID, 0, 40)
+	for i := 0; i < 40; i++ {
+		delIDs = append(delIDs, ins[i*2].ID)
+	}
+	if err := owner.DeleteBatch(delIDs); err != nil {
+		t.Fatalf("DeleteBatch: %v", err)
+	}
+	if err := owner.DeleteBatch([]record.ID{987654321}); err == nil {
+		t.Fatal("DeleteBatch accepted an unknown id")
+	}
+	if got, want := owner.Count(), len(ds.Records)+len(keys)-len(delIDs); got != want {
+		t.Fatalf("owner count %d, want %d", got, want)
+	}
+
+	// Verified queries over the updated state: results must verify
+	// against the TE's tokens, so SP and TE saw identical batches.
+	deleted := make(map[record.ID]bool, len(delIDs))
+	for _, id := range delIDs {
+		deleted[id] = true
+	}
+	for _, q := range workload.Queries(10, workload.DefaultExtent, 777) {
+		recs, err := client.Query(q)
+		if err != nil {
+			t.Fatalf("verified query after batches: %v", err)
+		}
+		want := 0
+		for i := range ds.Records {
+			if q.Contains(ds.Records[i].Key) {
+				want++
+			}
+		}
+		for i := range ins {
+			if !deleted[ins[i].ID] && q.Contains(ins[i].Key) {
+				want++
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("query %v returned %d records, want %d", q, len(recs), want)
+		}
+	}
+}

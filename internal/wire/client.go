@@ -262,6 +262,18 @@ func (c *SPClient) Delete(id record.ID, key record.Key) error {
 	return c.expectAck(Frame{Type: MsgDelete, Payload: EncodeDelete(id, key)})
 }
 
+// InsertBatch pushes a whole insertion batch in one frame; the server
+// applies it as one commit group.
+func (c *SPClient) InsertBatch(recs []record.Record) error {
+	return c.expectAck(Frame{Type: MsgBatchInsert, Payload: EncodeRecords(recs)})
+}
+
+// DeleteBatch pushes a whole deletion batch in one frame; the server
+// applies it as one commit group.
+func (c *SPClient) DeleteBatch(ids []record.ID, keys []record.Key) error {
+	return c.expectAck(Frame{Type: MsgBatchDelete, Payload: EncodeDeletes(ids, keys)})
+}
+
 // ShardMap asks the server which shard it is and under which partition
 // plan it was loaded. Stand-alone servers answer "shard 0 of 1".
 func (c *conn) ShardMap() (ShardInfo, error) {
@@ -348,6 +360,17 @@ func (c *TEClient) Insert(r record.Record) error {
 // Delete pushes an owner deletion.
 func (c *TEClient) Delete(id record.ID, key record.Key) error {
 	return c.expectAck(Frame{Type: MsgDelete, Payload: EncodeDelete(id, key)})
+}
+
+// InsertBatch pushes a whole insertion batch in one frame; the server
+// applies it as one commit group (one lock, one digest dispatch).
+func (c *TEClient) InsertBatch(recs []record.Record) error {
+	return c.expectAck(Frame{Type: MsgBatchInsert, Payload: EncodeRecords(recs)})
+}
+
+// DeleteBatch pushes a whole deletion batch in one frame.
+func (c *TEClient) DeleteBatch(ids []record.ID, keys []record.Key) error {
+	return c.expectAck(Frame{Type: MsgBatchDelete, Payload: EncodeDeletes(ids, keys)})
 }
 
 // TOMClient talks to a TOM provider.
@@ -823,4 +846,132 @@ func (v *VerifyingClient) QueryBurst(qs []record.Range) ([][]record.Record, erro
 		results[i] = recs
 	}
 	return results, nil
+}
+
+// InsertBatch pushes a whole insertion batch in one frame; the provider
+// applies it as one group with a single owner re-sign.
+func (c *TOMClient) InsertBatch(recs []record.Record) error {
+	return c.expectAck(Frame{Type: MsgBatchInsert, Payload: EncodeRecords(recs)})
+}
+
+// DeleteBatch pushes a whole deletion batch in one frame.
+func (c *TOMClient) DeleteBatch(ids []record.ID, keys []record.Key) error {
+	return c.expectAck(Frame{Type: MsgBatchDelete, Payload: EncodeDeletes(ids, keys)})
+}
+
+// OwnerClient is a remote data owner: it keeps the authoritative id→key
+// catalog on the client side (the owner maintains no authentication
+// structures — the point of SAE) and pushes update batches to the SP and
+// TE so each wire batch commits as ONE group at each party instead of a
+// round trip per record.
+type OwnerClient struct {
+	sp *SPClient
+	te *TEClient
+
+	mu     sync.Mutex
+	keys   map[record.ID]record.Key
+	nextID record.ID
+}
+
+// NewOwnerClient wraps connected SP/TE clients as a remote owner. seed
+// registers the already-outsourced dataset so deletions can be routed
+// and fresh ids never collide.
+func NewOwnerClient(sp *SPClient, te *TEClient, seed []record.Record) *OwnerClient {
+	oc := &OwnerClient{sp: sp, te: te, keys: make(map[record.ID]record.Key, len(seed)), nextID: 1}
+	for i := range seed {
+		oc.keys[seed[i].ID] = seed[i].Key
+		if seed[i].ID >= oc.nextID {
+			oc.nextID = seed[i].ID + 1
+		}
+	}
+	return oc
+}
+
+// DialOwner connects a remote owner to its SP and TE endpoints.
+func DialOwner(spAddr, teAddr string, seed []record.Record) (*OwnerClient, error) {
+	sp, err := DialSP(spAddr)
+	if err != nil {
+		return nil, err
+	}
+	te, err := DialTE(teAddr)
+	if err != nil {
+		sp.Close()
+		return nil, err
+	}
+	return NewOwnerClient(sp, te, seed), nil
+}
+
+// Count returns the owner's live record count.
+func (oc *OwnerClient) Count() int {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return len(oc.keys)
+}
+
+// InsertBatch synthesizes one fresh-id record per key and pushes the
+// whole batch to the SP and the TE in one frame each.
+func (oc *OwnerClient) InsertBatch(keys []record.Key) ([]record.Record, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	oc.mu.Lock()
+	recs := make([]record.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = record.Synthesize(oc.nextID, k)
+		oc.nextID++
+	}
+	oc.mu.Unlock()
+	if err := oc.sp.InsertBatch(recs); err != nil {
+		return nil, fmt.Errorf("wire: owner pushing insert batch to SP: %w", err)
+	}
+	if err := oc.te.InsertBatch(recs); err != nil {
+		return nil, fmt.Errorf("wire: owner pushing insert batch to TE: %w", err)
+	}
+	oc.mu.Lock()
+	for i := range recs {
+		oc.keys[recs[i].ID] = recs[i].Key
+	}
+	oc.mu.Unlock()
+	return recs, nil
+}
+
+// DeleteBatch pushes a whole deletion batch to the SP and the TE in one
+// frame each. Unknown ids fail the call before anything is sent.
+func (oc *OwnerClient) DeleteBatch(ids []record.ID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	oc.mu.Lock()
+	keys := make([]record.Key, len(ids))
+	for i, id := range ids {
+		k, ok := oc.keys[id]
+		if !ok {
+			oc.mu.Unlock()
+			return fmt.Errorf("wire: owner has no record with id %d", id)
+		}
+		keys[i] = k
+	}
+	oc.mu.Unlock()
+	if err := oc.sp.DeleteBatch(ids, keys); err != nil {
+		return fmt.Errorf("wire: owner pushing delete batch to SP: %w", err)
+	}
+	if err := oc.te.DeleteBatch(ids, keys); err != nil {
+		return fmt.Errorf("wire: owner pushing delete batch to TE: %w", err)
+	}
+	oc.mu.Lock()
+	for _, id := range ids {
+		delete(oc.keys, id)
+	}
+	oc.mu.Unlock()
+	return nil
+}
+
+// Close closes both party connections.
+func (oc *OwnerClient) Close() error {
+	err1 := oc.sp.Close()
+	err2 := oc.te.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
 }

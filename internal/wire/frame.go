@@ -72,6 +72,11 @@ const (
 	// shard. The plan is untrusted relay data: each shard's VO signature
 	// binds the owner-signed plan, so a forged relay fails verification.
 	MsgTOMShardedResult MsgType = 17
+	// Owner -> SP/TE/TOM: a batch of freshly-synthesized records to
+	// commit as one group (EncodeRecords payload).
+	MsgBatchInsert MsgType = 18
+	// Owner -> SP/TE/TOM: a batch of deletions to commit as one group.
+	MsgBatchDelete MsgType = 19
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal
@@ -412,4 +417,38 @@ func DecodeDelete(b []byte) (record.ID, record.Key, error) {
 	}
 	return record.ID(binary.BigEndian.Uint64(b[0:8])),
 		record.Key(binary.BigEndian.Uint32(b[8:12])), nil
+}
+
+// EncodeDeletes serializes a deletion batch: count, then 12 bytes per
+// deletion (id + key) in EncodeDelete's layout.
+func EncodeDeletes(ids []record.ID, keys []record.Key) []byte {
+	out := make([]byte, 4, 4+len(ids)*12)
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(ids)))
+	for i := range ids {
+		var b [12]byte
+		binary.BigEndian.PutUint64(b[0:8], uint64(ids[i]))
+		binary.BigEndian.PutUint32(b[8:12], uint32(keys[i]))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeDeletes parses a deletion batch.
+func DecodeDeletes(b []byte) ([]record.ID, []record.Key, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated delete count", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n > len(b)/12 {
+		return nil, nil, fmt.Errorf("%w: implausible delete count %d for %d payload bytes", ErrProtocol, n, len(b))
+	}
+	ids := make([]record.ID, n)
+	keys := make([]record.Key, n)
+	for i := 0; i < n; i++ {
+		ids[i] = record.ID(binary.BigEndian.Uint64(b[0:8]))
+		keys[i] = record.Key(binary.BigEndian.Uint32(b[8:12]))
+		b = b[12:]
+	}
+	return ids, keys, nil
 }

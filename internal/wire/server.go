@@ -16,6 +16,7 @@ import (
 	"sae/internal/mbtree"
 	"sae/internal/record"
 	"sae/internal/tom"
+	"sae/internal/wal"
 )
 
 // Handler maps one request frame to one response frame. rb is a pooled
@@ -405,11 +406,60 @@ func (s *SPServer) handle(req Frame, rb *RespBuf) Frame {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}
+	case MsgBatchInsert:
+		ops, err := decodeInsertOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		// The whole wire batch is one commit group: one lock acquisition,
+		// one structure pass.
+		if err := s.sp.ApplyBatchCtx(exec.NewContext(), ops); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgBatchDelete:
+		ops, err := decodeDeleteOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.sp.ApplyBatchCtx(exec.NewContext(), ops); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
 	case MsgShardMapReq:
 		return s.shardMapFrame()
 	default:
 		return errFrame(fmt.Errorf("%w: SP cannot handle message type %d", ErrProtocol, req.Type))
 	}
+}
+
+// decodeInsertOps turns a MsgBatchInsert payload into one group's ops.
+func decodeInsertOps(payload []byte) ([]wal.Op, error) {
+	recs, rest, err := DecodeRecords(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after insert batch", ErrProtocol, len(rest))
+	}
+	ops := make([]wal.Op, len(recs))
+	for i := range recs {
+		ops[i] = wal.InsertOp(recs[i])
+	}
+	return ops, nil
+}
+
+// decodeDeleteOps turns a MsgBatchDelete payload into one group's ops.
+func decodeDeleteOps(payload []byte) ([]wal.Op, error) {
+	ids, keys, err := DecodeDeletes(payload)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]wal.Op, len(ids))
+	for i := range ids {
+		ops[i] = wal.DeleteOp(ids[i], keys[i])
+	}
+	return ops, nil
 }
 
 // TEServer exposes a trusted entity over TCP: token requests and owner
@@ -480,6 +530,25 @@ func (s *TEServer) handle(req Frame, rb *RespBuf) Frame {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}
+	case MsgBatchInsert:
+		ops, err := decodeInsertOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		// One group: one lock, one digest dispatch for the whole batch.
+		if err := s.te.ApplyBatchCtx(exec.NewContext(), ops); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgBatchDelete:
+		ops, err := decodeDeleteOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.te.ApplyBatchCtx(exec.NewContext(), ops); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
 	case MsgShardMapReq:
 		return s.shardMapFrame()
 	default:
@@ -541,6 +610,25 @@ func (s *TOMServer) handle(req Frame, rb *RespBuf) Frame {
 			return errFrame(err)
 		}
 		if err := s.provider.ApplyDelete(id, key, s.owner); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgBatchInsert:
+		ops, err := decodeInsertOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		// One group: one lock pass and ONE owner re-sign for the batch.
+		if err := s.provider.ApplyBatchCtx(exec.NewContext(), ops, s.owner); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgBatchDelete:
+		ops, err := decodeDeleteOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.provider.ApplyBatchCtx(exec.NewContext(), ops, s.owner); err != nil {
 			return errFrame(err)
 		}
 		return Frame{Type: MsgAck}

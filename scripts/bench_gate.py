@@ -126,11 +126,41 @@ def gate_burst():
               f"mmap serve at {100 * rel:.0f}% of pread >= 50%")
 
 
+def gate_write():
+    print("write pipeline (BENCH_write.ci.json vs committed BENCH_write.json):")
+    base = load("BENCH_write.json")
+    ci = load("BENCH_write.ci.json")
+    check(ci["groupUpdatesPerSec"] > 0,
+          f"grouped {ci['groupUpdatesPerSec']:.0f} updates/s > 0")
+    # Group commit must win on any machine with a real fsync: the
+    # within-run grouped/serial ratio may never drop below break-even,
+    # and not more than 30% below the committed baseline. (On tmpfs
+    # runners fsync is free and the ratio collapses toward 1; the CI
+    # step runs in the checkout, which is on-disk.)
+    floor = max(1.0, TOLERANCE * base["groupCommitWin"])
+    check(ci["groupCommitWin"] >= floor,
+          f"group-commit win {ci['groupCommitWin']:.2f}x >= {floor:.2f}x "
+          f"(baseline {base['groupCommitWin']:.2f}x - 30%, never < 1x)")
+    # The win is only meaningful if commits actually coalesced.
+    check(ci["avgGroupSize"] >= 8,
+          f"achieved group depth {ci['avgGroupSize']:.1f} >= 8")
+    # One fsync per group, by construction.
+    check(ci["groupWalSyncs"] <= ci["writers"] * 2 + 2,
+          f"{ci['groupWalSyncs']} fsyncs for the grouped run (bounded by groups)")
+    # TOM's per-group root re-sign must beat per-update re-signing; RSA
+    # timing is stable, so hold it to the usual band.
+    floor = max(1.0, TOLERANCE * base["signAmortWin"])
+    check(ci["signAmortWin"] >= floor,
+          f"TOM sign amortization {ci['signAmortWin']:.2f}x >= {floor:.2f}x "
+          f"(baseline {base['signAmortWin']:.2f}x - 30%)")
+
+
 def main():
     gate_shard()
     gate_fastpath()
     gate_router()
     gate_burst()
+    gate_write()
     if failures:
         print(f"\nbench gate: {len(failures)}/{checks} checks FAILED")
         for f in failures:

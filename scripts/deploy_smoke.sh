@@ -8,7 +8,10 @@
 #   1. honest deployment: every query verifies;
 #   2. a tampering shard SP (-tamper drop) is caught by verification;
 #   3. killing one shard under the router fails queries loudly (the
-#      client errors; it never receives a truncated "verified" result).
+#      client errors; it never receives a truncated "verified" result);
+#   4. kill -9 against a durable write pipeline mid-group loses no acked
+#      update and leaves no unacked update partially visible (WAL
+#      replay + full-range verification on reopen).
 #
 # Run from the repo root: ./scripts/deploy_smoke.sh
 set -u -o pipefail
@@ -60,14 +63,14 @@ TE1=$(start_server te1 -role te -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 
 echo "deploy_smoke: starting router over sp=[$SP0,$SP1] te=[$TE0,$TE1]..."
 ROUTER=$(start_server router -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1" -te "$TE0,$TE1") || die "router"
 
-echo "deploy_smoke: [1/3] plain client through the router (honest deployment)..."
+echo "deploy_smoke: [1/4] plain client through the router (honest deployment)..."
 OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1) \
   || { echo "$OUT" >&2; die "honest routed query session failed"; }
 echo "$OUT" | grep -q "verified" || { echo "$OUT" >&2; die "no verified queries in client output"; }
 VERIFIED=$(echo "$OUT" | grep -c "verified")
 echo "deploy_smoke:   $VERIFIED queries verified through $ROUTER"
 
-echo "deploy_smoke: [2/3] tampering shard SP must be detected..."
+echo "deploy_smoke: [2/4] tampering shard SP must be detected..."
 SP1T=$(start_server sp1t -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1 -tamper drop) || die "sp1t"
 ROUTER2=$(start_server router2 -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1T" -te "$TE0,$TE1") || die "router2"
 if OUT=$("$BIN" -role client -router "$ROUTER2" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -77,7 +80,7 @@ fi
 echo "$OUT" | grep -qi "verification" || { echo "$OUT" >&2; die "tamper failure is not a verification error"; }
 echo "deploy_smoke:   tampered shard rejected: $(echo "$OUT" | tail -1)"
 
-echo "deploy_smoke: [3/3] killing shard 1 mid-deployment must fail queries loudly..."
+echo "deploy_smoke: [3/4] killing shard 1 mid-deployment must fail queries loudly..."
 kill -9 "$SP1_PID" 2>/dev/null || true
 sleep 0.5
 if OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -87,5 +90,26 @@ fi
 # The failure must be an explicit error; a truncated-but-"verified"
 # session would have exited 0 and tripped the check above.
 echo "deploy_smoke:   dead shard failed loudly: $(echo "$OUT" | tail -1)"
+
+echo "deploy_smoke: [4/4] kill -9 mid-group: acked updates must survive recovery..."
+CRASH_DIR="$WORK/crashdb"
+CRASH_N=${CRASH_N:-2000}
+"$BIN" -role crashwriter -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" >>"$WORK/crashwriter.log" 2>&1 &
+WRITER_PID=$!
+echo "$WRITER_PID" >"$WORK/crashwriter.pid"
+# Wait until the writer has acked a few dozen groups, then kill -9.
+for _ in $(seq 1 100); do
+  LINES=0
+  [ -f "$CRASH_DIR/acked.log" ] && LINES=$(wc -l <"$CRASH_DIR/acked.log")
+  [ "$LINES" -ge 30 ] && break
+  sleep 0.2
+done
+[ "${LINES:-0}" -ge 30 ] || { cat "$WORK/crashwriter.log" >&2; die "crashwriter made no progress"; }
+kill -9 "$WRITER_PID" 2>/dev/null || true
+wait "$WRITER_PID" 2>/dev/null || true
+OUT=$("$BIN" -role crashverify -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" 2>&1) \
+  || { echo "$OUT" >&2; die "crash recovery audit failed"; }
+echo "$OUT" | grep -q "full range verified" || { echo "$OUT" >&2; die "crashverify gave no verified verdict"; }
+echo "deploy_smoke:   $OUT"
 
 echo "deploy_smoke: PASS"
