@@ -53,6 +53,8 @@ func main() {
 		burstMs    = flag.Int("burstms", 0, "measured milliseconds per burst point (0 = default)")
 		writeJSON  = flag.String("writejson", "BENCH_write.json", "output path for the write-pipeline JSON (-figure write)")
 		writers    = flag.Int("writers", 0, "concurrent writers for the grouped measurement (0 = default)")
+		aggJSON    = flag.String("aggjson", "BENCH_agg.json", "output path for the aggregation fast-path JSON (-figure agg)")
+		aggIters   = flag.Int("aggiters", 0, "query-set repetitions per aggregation variant (0 = default)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,10 @@ func main() {
 	}
 	if *figure == "write" {
 		runWriteFigure(*writeJSON, *writers, *seed, *quiet)
+		return
+	}
+	if *figure == "agg" {
+		runAggFigure(*aggJSON, *aggIters, *queries, *seed, *quiet)
 		return
 	}
 
@@ -271,6 +277,49 @@ func runWriteFigure(jsonPath string, writers int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteWriteJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runAggFigure measures the verified-aggregation fast path against
+// scan-and-fold under both protocols and writes BENCH_agg.json alongside
+// a summary.
+func runAggFigure(jsonPath string, iters, queries int, seed int64, quiet bool) {
+	cfg := experiments.DefaultAggConfig()
+	cfg.Seed = seed
+	if iters > 0 {
+		cfg.Iters = iters
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunAgg(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Verified aggregation fast path (n=%d, %d queries, avg %.0f records/range, SHA-NI=%v, GOMAXPROCS=%d)\n",
+		res.N, res.Queries, res.AvgRecords, res.SHANI, res.GOMAXPROCS)
+	fmt.Printf("  SAE scan-and-fold: %8.0f q/s  %8.0f resp B/query\n", res.ScanQPS, res.ScanRespBytes)
+	fmt.Printf("  SAE aggregate:     %8.0f q/s  %8.0f resp B/query  (speedup %.1fx, bytes %.0fx)\n",
+		res.AggQPS, res.AggRespBytes, res.AggSpeedup, res.RespBytesRatio)
+	fmt.Printf("  TOM scan-and-fold: %8.0f q/s  %8.0f resp B/query\n", res.TOMScanQPS, res.TOMScanRespBytes)
+	fmt.Printf("  TOM aggregate VO:  %8.0f q/s  %8.0f resp B/query  (speedup %.1fx, bytes %.0fx)\n",
+		res.TOMAggQPS, res.TOMAggRespBytes, res.TOMAggSpeedup, res.TOMRespBytesRatio)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteAggJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

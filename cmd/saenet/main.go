@@ -36,17 +36,23 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"sae/internal/agg"
 	"sae/internal/bufpool"
 	"sae/internal/core"
 	"sae/internal/pagestore"
+	"sae/internal/record"
 	"sae/internal/router"
 	"sae/internal/shard"
 	"sae/internal/tom"
@@ -70,10 +76,16 @@ func main() {
 		routerAddr = flag.String("router", "", "router address; the client dials it as both SP and TE (client role)")
 		upTimeout  = flag.Duration("upstream-timeout", router.DefaultUpstreamTimeout, "per-shard sub-request bound (router role)")
 		queries    = flag.Int("queries", 10, "queries to run (client role)")
+		aggMode    = flag.Bool("agg", false, "client role: also run a verified COUNT/SUM/MIN/MAX per range and cross-check it against the scanned records")
 		dir        = flag.String("dir", "", "durable system directory (crashwriter + crashverify roles)")
 		batch      = flag.Int("batch", 16, "insert batch size (crashwriter role)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof + expvar counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		startDebugServer(*pprofAddr)
+	}
 
 	switch *role {
 	case "sp", "te", "tom":
@@ -81,7 +93,7 @@ func main() {
 	case "router":
 		runRouter(*addr, *spAddr, *teAddr, *tomAddr, *upTimeout)
 	case "client":
-		runClient(*spAddr, *teAddr, *routerAddr, *queries, *seed)
+		runClient(*spAddr, *teAddr, *routerAddr, *queries, *seed, *aggMode)
 	case "crashwriter":
 		runCrashWriter(*dir, *n, workload.Distribution(*dist), *seed, *batch)
 	case "crashverify":
@@ -109,6 +121,7 @@ func runCrashWriter(dir string, n int, dist workload.Distribution, seed int64, b
 	if err != nil {
 		fail(err)
 	}
+	expvar.Publish("sae_group_commit", expvar.Func(func() any { return sys.Stats() }))
 	fmt.Fprintf(os.Stderr, "saenet crashwriter: writing groups into %s (kill -9 me)\n", dir)
 	if err := core.RunCrashWriter(sys, filepath.Join(dir, "acked.log"), batch, 0, seed); err != nil {
 		fail(err)
@@ -263,13 +276,13 @@ func runRouter(addr, spAddr, teAddr, tomAddr string, upTimeout time.Duration) {
 	r.Close()
 }
 
-func runClient(spAddr, teAddr, routerAddr string, queries int, seed int64) {
+func runClient(spAddr, teAddr, routerAddr string, queries int, seed int64, aggMode bool) {
 	if routerAddr != "" {
 		if spAddr != "" || teAddr != "" {
 			fmt.Fprintln(os.Stderr, "saenet client: -router replaces -sp/-te")
 			os.Exit(2)
 		}
-		runPlainClient(routerAddr, queries, seed)
+		runPlainClient(routerAddr, queries, seed, aggMode)
 		return
 	}
 	spAddrs, teAddrs := splitAddrs(spAddr), splitAddrs(teAddr)
@@ -300,17 +313,41 @@ func runClient(spAddr, teAddr, routerAddr string, queries int, seed int64) {
 			fail(fmt.Errorf("query %v: %w", q, err))
 		}
 		total += len(recs)
-		fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
+		if aggMode {
+			checkAggregate(q, recs, client.Aggregate)
+		} else {
+			fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
+		}
 	}
 	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
 	spBytes, teBytes := client.BytesReceived()
 	fmt.Printf("wire bytes: SP->client %d, TE->client %d (authentication only)\n", spBytes, teBytes)
 }
 
+// checkAggregate runs the verified aggregate for q and cross-checks it
+// against folding the records the verified scan returned — the two
+// independently authenticated answers must agree bit for bit.
+func checkAggregate(q record.Range, recs []record.Record, aggregate func(record.Range) (agg.Agg, error)) {
+	a, err := aggregate(q)
+	if err != nil {
+		fail(fmt.Errorf("aggregate %v: %w", q, err))
+	}
+	var fold agg.Agg
+	for i := range recs {
+		if q.Contains(recs[i].Key) {
+			fold = fold.Add(recs[i].Key)
+		}
+	}
+	if a != fold.Normalize() {
+		fail(fmt.Errorf("aggregate %v = %v, scan fold = %v", q, a, fold.Normalize()))
+	}
+	fmt.Printf("%-24v %6d records  verified  %v (matches scan)\n", q, len(recs), a)
+}
+
 // runPlainClient drives an unmodified single-system VerifyingClient
 // through a router's one address — the deployment mode the router tier
 // exists for.
-func runPlainClient(routerAddr string, queries int, seed int64) {
+func runPlainClient(routerAddr string, queries int, seed int64, aggMode bool) {
 	client, err := wire.DialVerifying(routerAddr, routerAddr)
 	if err != nil {
 		fail(err)
@@ -325,10 +362,30 @@ func runPlainClient(routerAddr string, queries int, seed int64) {
 			fail(fmt.Errorf("query %v: %w", q, err))
 		}
 		total += len(recs)
-		fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
+		if aggMode {
+			checkAggregate(q, recs, client.Aggregate)
+		} else {
+			fmt.Printf("%-24v %6d records  verified\n", q, len(recs))
+		}
 	}
 	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("wire bytes: router->client %d\n", client.SP.BytesReceived()+client.TE.BytesReceived())
+}
+
+// startDebugServer exposes the process on addr for profiling and
+// observability: net/http/pprof at /debug/pprof and expvar at
+// /debug/vars, including the lane/burst serve counters every wire server
+// in the process feeds. Durable roles additionally publish their
+// group-commit counters (see runCrashWriter).
+func startDebugServer(addr string) {
+	expvar.Publish("sae_serve_lanes", expvar.Func(func() any { return runtime.GOMAXPROCS(0) }))
+	expvar.Publish("sae_burst", expvar.Func(func() any { return wire.ReadBurstCounters() }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "saenet: pprof server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "saenet: pprof on http://%s/debug/pprof, counters on http://%s/debug/vars\n", addr, addr)
 }
 
 func fail(err error) {

@@ -56,7 +56,7 @@ const DefaultCapacity = 16384
 //
 // The working set is dominated by the clustered heap file (500-byte
 // records, 8 per 4096-byte page) plus the leaf level of the densest index
-// built here (the XB-/MB-Tree at ~136 entries per leaf; the B+-tree packs
+// built here (the XB-Tree at ~120 entries per leaf; the B+-tree packs
 // ~3x more). Inner nodes are a rounding error at those fanouts. A 25%
 // headroom absorbs post-load insertions and the tuple-list pages the
 // XB-Tree keeps beside its nodes. The floor keeps tiny partitions from
@@ -65,7 +65,7 @@ const DefaultCapacity = 16384
 func CapacityFor(records int) int {
 	const (
 		recordsPerHeapPage = 8   // 500-byte records in 4096-byte pages (heapfile.RecordsPerPage)
-		minLeafFanout      = 136 // densest leaf layout (xbtree/mbtree LeafCapacity)
+		minLeafFanout      = 120 // densest leaf layout (xbtree LeafCapacity; mbtree packs 136)
 		floor              = 1024
 	)
 	heap := (records + recordsPerHeapPage - 1) / recordsPerHeapPage

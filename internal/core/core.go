@@ -83,14 +83,15 @@ func ModifyTamper(i int) Tamper {
 // ServiceProvider executes queries on a conventional DBMS substrate. It is
 // safe for concurrent queries interleaved with updates.
 type ServiceProvider struct {
-	mu     sync.RWMutex
-	ver    *pagestore.Versioned // page-level MVCC under the counting store
-	store  *pagestore.Counting
-	cache  *bufpool.Cache // decoded-node cache shared by heap + index; may be nil
-	heap   *heapfile.File
-	index  *bptree.Tree
-	byID   map[record.ID]heapfile.RID // catalog for update routing
-	tamper Tamper
+	mu        sync.RWMutex
+	ver       *pagestore.Versioned // page-level MVCC under the counting store
+	store     *pagestore.Counting
+	cache     *bufpool.Cache // decoded-node cache shared by heap + index; may be nil
+	heap      *heapfile.File
+	index     *bptree.Tree
+	byID      map[record.ID]heapfile.RID // catalog for update routing
+	tamper    Tamper
+	aggTamper AggTamper
 }
 
 // NewServiceProvider returns an SP backed by the given page store (pass a

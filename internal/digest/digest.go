@@ -211,6 +211,32 @@ func (w *ConcatWriter) Add(d Digest) {
 	w.n += copy(w.buf[:], b)
 }
 
+// Write appends raw bytes of any length to the stream — the generic path
+// for Merkle node formulas that interleave keys and aggregate annotations
+// with child digests (see mbtree's node hashing).
+func (w *ConcatWriter) Write(p []byte) {
+	if w.std != nil {
+		w.std.Write(p)
+		return
+	}
+	w.len += uint64(len(p))
+	if w.n > 0 {
+		c := copy(w.buf[w.n:], p)
+		w.n += c
+		if w.n < 64 {
+			return
+		}
+		compress(&w.h, w.buf[:])
+		w.n = 0
+		p = p[c:]
+	}
+	if full := len(p) &^ 63; full > 0 {
+		compress(&w.h, p[:full])
+		p = p[full:]
+	}
+	w.n += copy(w.buf[:], p)
+}
+
 // Sum finalizes the node digest. The writer remains usable (Sum does not
 // disturb the running state), matching hash.Hash semantics.
 func (w *ConcatWriter) Sum() Digest {

@@ -132,7 +132,7 @@ func BenchmarkUnmarshalVO(b *testing.B) {
 	for i := 0; i < 600; i++ {
 		switch i % 12 {
 		case 0:
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeBegin})
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokLeafBegin})
 		case 11:
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeEnd})
 		case 5:
@@ -141,7 +141,7 @@ func BenchmarkUnmarshalVO(b *testing.B) {
 		case 7:
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokResult, Count: 8})
 		default:
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokDigest})
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokKeyDig, Key: record.Key(i)})
 		}
 	}
 	// Balance node begin/end for well-formedness of the byte stream (the
@@ -166,7 +166,7 @@ func BenchmarkUnmarshalVOGrow(b *testing.B) {
 	for i := 0; i < 600; i++ {
 		switch i % 12 {
 		case 0:
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeBegin})
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokLeafBegin})
 		case 11:
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeEnd})
 		case 5:
@@ -175,7 +175,7 @@ func BenchmarkUnmarshalVOGrow(b *testing.B) {
 		case 7:
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokResult, Count: 8})
 		default:
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokDigest})
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokKeyDig, Key: record.Key(i)})
 		}
 	}
 	enc := vo.Marshal()
@@ -206,12 +206,13 @@ func unmarshalVOGrowing(b []byte) (*VO, error) {
 		kind := TokenKind(b[0])
 		b = b[1:]
 		switch kind {
-		case TokDigest:
+		case TokKeyDig:
 			var t Token
-			t.Kind = TokDigest
-			copy(t.Digest[:], b[:20])
+			t.Kind = TokKeyDig
+			t.Key = record.Key(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+			copy(t.Digest[:], b[4:24])
 			vo.Tokens = append(vo.Tokens, t)
-			b = b[20:]
+			b = b[24:]
 		case TokRecord:
 			r, err := record.Unmarshal(b)
 			if err != nil {
@@ -223,7 +224,7 @@ func unmarshalVOGrowing(b []byte) (*VO, error) {
 			n := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokResult, Count: n})
 			b = b[4:]
-		case TokNodeBegin, TokNodeEnd:
+		case TokLeafBegin, TokNodeEnd:
 			vo.Tokens = append(vo.Tokens, Token{Kind: kind})
 		default:
 			return nil, ErrBadVO

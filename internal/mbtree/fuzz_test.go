@@ -11,15 +11,22 @@ import (
 func FuzzUnmarshalVO(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0})
-	f.Add([]byte{0, 0, byte(TokNodeBegin), byte(TokNodeEnd)})
-	f.Add([]byte{0, 4, 1, 2, 3, 4, byte(TokDigest)})
+	f.Add([]byte{0, 0, byte(TokLeafBegin), byte(TokNodeEnd)})
+	f.Add([]byte{0, 4, 1, 2, 3, 4, byte(TokChild)})
 	f.Add([]byte{0, 0, byte(TokResult), 0, 0, 0, 1})
 	f.Add([]byte{0xFF, 0xFF})
-	// A tiny valid-ish VO: empty sig, node with one digest.
-	valid := []byte{0, 0, byte(TokNodeBegin), byte(TokDigest)}
-	valid = append(valid, make([]byte, 20)...)
+	// A tiny valid-ish VO: empty sig, leaf with one pruned entry.
+	valid := []byte{0, 0, byte(TokLeafBegin), byte(TokKeyDig)}
+	valid = append(valid, make([]byte, 24)...)
 	valid = append(valid, byte(TokNodeEnd))
 	f.Add(valid)
+	// An internal node: child, separator, child.
+	inner := []byte{0, 0, byte(TokInnerBegin), byte(TokChild)}
+	inner = append(inner, make([]byte, 44)...)
+	inner = append(inner, byte(TokSep), 0, 0, 0, 9, byte(TokChild))
+	inner = append(inner, make([]byte, 44)...)
+	inner = append(inner, byte(TokNodeEnd))
+	f.Add(inner)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		vo, err := UnmarshalVO(data)

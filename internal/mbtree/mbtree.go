@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sae/internal/agg"
 	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/exec"
@@ -59,17 +60,22 @@ func Compare(a, b Entry) int {
 //
 // Leaf: [0]=1 | [1:3] count | [3:7] next | entries { key 4, rid 6, digest 20 }
 // Internal: [0]=0 | [1:3] count | [3:7] child0 | [7:27] digest0 |
+// [27:51] agg0 | entries { sep(key 4, rid 6), child 4, digest 20, agg 24 }
 //
-//	entries { sep(key 4, rid 6), child 4, digest 20 }
+// Internal children carry the (count, sum, min, max) aggregate of their
+// subtree, and the node hash binds separator keys, child digests AND the
+// aggregates (see node.digest), so a VO can prove an aggregate without
+// shipping leaf records: tampering with an annotation breaks the Merkle
+// chain to the signed root.
 const (
 	leafHeader  = 7
-	innerHeader = 27
+	innerHeader = 27 + agg.Size // 51
 	leafEntry   = 30
-	innerEntry  = 34
+	innerEntry  = 34 + agg.Size // 58
 	// LeafCapacity is the maximum number of entries per leaf page.
 	LeafCapacity = (pagestore.PageSize - leafHeader) / leafEntry // 136
 	// InnerCapacity is the maximum number of separators per internal page.
-	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 119
+	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 69
 )
 
 // ErrNotFound is returned by Delete for an absent entry.
@@ -95,24 +101,62 @@ type node struct {
 	entries  []Entry
 	children []pagestore.PageID
 	// digests aligned with children (internal nodes only): digests[i] is
-	// the hash of the concatenation of the digests in children[i]'s page.
+	// the Merkle digest of children[i]'s page.
 	digests []digest.Digest
+	// aggs aligned with children (internal nodes only): aggs[i] is the
+	// (count, sum, min, max) aggregate of children[i]'s subtree.
+	aggs []agg.Agg
 }
 
-// digest computes the node's Merkle digest: the hash of the concatenation
-// of the digests stored in the page.
+// digest computes the node's Merkle digest. The hash stream binds
+// everything a verifier reasons about:
+//
+//	leaf:     per entry  key(4) || recordDigest(20)
+//	internal: dig0(20) || agg0(24), then per child i >= 1:
+//	          sepKey(4) || dig_i(20) || agg_i(24)
+//
+// Binding the keys and separators (not just the child digests) lets VO
+// verification prove which key range each pruned child covers, and binding
+// the aggregates makes the annotations as tamper-evident as the records.
+// voVerify's replay must write the exact same byte stream.
 func (n *node) digest() digest.Digest {
 	w := digest.NewConcatWriter()
+	var kb [4]byte
+	var ab [agg.Size]byte
 	if n.leaf {
 		for i := range n.entries {
+			binary.BigEndian.PutUint32(kb[:], uint32(n.entries[i].Key))
+			w.Write(kb[:])
 			w.Add(n.entries[i].Digest)
 		}
 		return w.Sum()
 	}
-	for i := range n.digests {
-		w.Add(n.digests[i])
+	w.Add(n.digests[0])
+	n.aggs[0].PutBytes(ab[:])
+	w.Write(ab[:])
+	for i := range n.entries {
+		binary.BigEndian.PutUint32(kb[:], uint32(n.entries[i].Key))
+		w.Write(kb[:])
+		w.Add(n.digests[i+1])
+		n.aggs[i+1].PutBytes(ab[:])
+		w.Write(ab[:])
 	}
 	return w.Sum()
+}
+
+// aggAll returns the aggregate of every key in the node's subtree.
+func (n *node) aggAll() agg.Agg {
+	var a agg.Agg
+	if n.leaf {
+		for i := range n.entries {
+			a = a.Add(n.entries[i].Key)
+		}
+		return a
+	}
+	for i := range n.aggs {
+		a = a.Merge(n.aggs[i])
+	}
+	return a
 }
 
 // New creates an empty tree.
@@ -146,6 +190,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 		id  pagestore.PageID
 		min Entry
 		dig digest.Digest
+		agg agg.Agg
 	}
 	var level []built
 	var prevID pagestore.PageID = pagestore.InvalidPage
@@ -168,7 +213,7 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 			}
 		}
 		prevID, prev = id, n
-		level = append(level, built{id: id, min: entries[start], dig: n.digest()})
+		level = append(level, built{id: id, min: entries[start], dig: n.digest(), agg: n.aggAll()})
 	}
 
 	t.height = 1
@@ -183,16 +228,18 @@ func Bulkload(store pagestore.Store, entries []Entry) (*Tree, error) {
 			n := &node{leaf: false}
 			n.children = append(n.children, group[0].id)
 			n.digests = append(n.digests, group[0].dig)
+			n.aggs = append(n.aggs, group[0].agg)
 			for _, b := range group[1:] {
 				n.entries = append(n.entries, Entry{Key: b.min.Key, RID: b.min.RID})
 				n.children = append(n.children, b.id)
 				n.digests = append(n.digests, b.dig)
+				n.aggs = append(n.aggs, b.agg)
 			}
 			id, err := t.allocNode(nil, n)
 			if err != nil {
 				return nil, err
 			}
-			next = append(next, built{id: id, min: group[0].min, dig: n.digest()})
+			next = append(next, built{id: id, min: group[0].min, dig: n.digest(), agg: n.aggAll()})
 		}
 		level = next
 		t.height++
@@ -281,11 +328,13 @@ func encodeNode(buf []byte, n *node) {
 	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
 	binary.BigEndian.PutUint32(buf[3:7], uint32(n.children[0]))
 	copy(buf[7:27], n.digests[0][:])
+	n.aggs[0].PutBytes(buf[27:innerHeader])
 	off := innerHeader
 	for i := range n.entries {
 		putEntryKeyRID(buf[off:off+10], n.entries[i])
 		binary.BigEndian.PutUint32(buf[off+10:off+14], uint32(n.children[i+1]))
 		copy(buf[off+14:off+34], n.digests[i+1][:])
+		n.aggs[i+1].PutBytes(buf[off+34 : off+innerEntry])
 		off += innerEntry
 	}
 }
@@ -307,13 +356,16 @@ func decodeNode(buf []byte) *node {
 	n.entries = make([]Entry, count)
 	n.children = make([]pagestore.PageID, 0, count+1)
 	n.digests = make([]digest.Digest, 0, count+1)
+	n.aggs = make([]agg.Agg, 0, count+1)
 	n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[3:7])))
 	n.digests = append(n.digests, digest.FromBytes(buf[7:27]))
+	n.aggs = append(n.aggs, agg.FromBytes(buf[27:innerHeader]))
 	off := innerHeader
 	for i := 0; i < count; i++ {
 		n.entries[i] = getEntryKeyRID(buf[off : off+10])
 		n.children = append(n.children, pagestore.PageID(binary.BigEndian.Uint32(buf[off+10:off+14])))
 		n.digests = append(n.digests, digest.FromBytes(buf[off+14:off+34]))
+		n.aggs = append(n.aggs, agg.FromBytes(buf[off+34:off+innerEntry]))
 		off += innerEntry
 	}
 	return n
@@ -393,16 +445,18 @@ func (t *Tree) Insert(e Entry) error { return t.InsertCtx(nil, e) }
 // new root digest (which the owner must re-sign) is available via
 // RootDigest.
 func (t *Tree) InsertCtx(ctx *exec.Context, e Entry) error {
-	sep, right, rightDig, selfDig, err := t.insertAt(ctx, t.root, t.height, e)
+	res, err := t.insertAt(ctx, t.root, t.height, e)
 	if err != nil {
 		return err
 	}
-	if right != pagestore.InvalidPage {
+	selfDig := res.selfDig
+	if res.right != pagestore.InvalidPage {
 		n := &node{
 			leaf:     false,
-			entries:  []Entry{sep},
-			children: []pagestore.PageID{t.root, right},
-			digests:  []digest.Digest{selfDig, rightDig},
+			entries:  []Entry{res.sep},
+			children: []pagestore.PageID{t.root, res.right},
+			digests:  []digest.Digest{res.selfDig, res.rightDig},
+			aggs:     []agg.Agg{res.selfAgg, res.rightAgg},
 		}
 		id, err := t.allocNode(ctx, n)
 		if err != nil {
@@ -417,10 +471,23 @@ func (t *Tree) InsertCtx(ctx *exec.Context, e Entry) error {
 	return nil
 }
 
-func (t *Tree) insertAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (sep Entry, right pagestore.PageID, rightDig, selfDig digest.Digest, err error) {
+// insertResult carries a child's post-insert summary up the recursion: the
+// split separator and right sibling (InvalidPage when no split), and the
+// digest + aggregate of the updated node(s), so parents refresh their
+// Merkle digests and annotations without extra reads.
+type insertResult struct {
+	sep      Entry
+	right    pagestore.PageID
+	rightDig digest.Digest
+	rightAgg agg.Agg
+	selfDig  digest.Digest
+	selfAgg  agg.Agg
+}
+
+func (t *Tree) insertAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (insertResult, error) {
 	n, err := t.readNode(ctx, id)
 	if err != nil {
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
 	if level == 1 {
 		pos := upperBound(n.entries, e)
@@ -428,34 +495,38 @@ func (t *Tree) insertAt(ctx *exec.Context, id pagestore.PageID, level int, e Ent
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = e
 		if len(n.entries) <= LeafCapacity {
-			return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(ctx, id, n)
+			return insertResult{right: pagestore.InvalidPage, selfDig: n.digest(), selfAgg: n.aggAll()}, t.writeNode(ctx, id, n)
 		}
 		return t.splitLeaf(ctx, id, n)
 	}
 	ci := upperBound(n.entries, e)
-	childSep, childRight, childRightDig, childDig, err := t.insertAt(ctx, n.children[ci], level-1, e)
+	cr, err := t.insertAt(ctx, n.children[ci], level-1, e)
 	if err != nil {
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
-	n.digests[ci] = childDig
-	if childRight != pagestore.InvalidPage {
+	n.digests[ci] = cr.selfDig
+	n.aggs[ci] = cr.selfAgg
+	if cr.right != pagestore.InvalidPage {
 		n.entries = append(n.entries, Entry{})
 		copy(n.entries[ci+1:], n.entries[ci:])
-		n.entries[ci] = childSep
+		n.entries[ci] = cr.sep
 		n.children = append(n.children, pagestore.InvalidPage)
 		copy(n.children[ci+2:], n.children[ci+1:])
-		n.children[ci+1] = childRight
+		n.children[ci+1] = cr.right
 		n.digests = append(n.digests, digest.Zero)
 		copy(n.digests[ci+2:], n.digests[ci+1:])
-		n.digests[ci+1] = childRightDig
+		n.digests[ci+1] = cr.rightDig
+		n.aggs = append(n.aggs, agg.Agg{})
+		copy(n.aggs[ci+2:], n.aggs[ci+1:])
+		n.aggs[ci+1] = cr.rightAgg
 		if len(n.entries) > InnerCapacity {
 			return t.splitInner(ctx, id, n)
 		}
 	}
-	return Entry{}, pagestore.InvalidPage, digest.Zero, n.digest(), t.writeNode(ctx, id, n)
+	return insertResult{right: pagestore.InvalidPage, selfDig: n.digest(), selfAgg: n.aggAll()}, t.writeNode(ctx, id, n)
 }
 
-func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *node) (insertResult, error) {
 	mid := len(n.entries) / 2
 	rightNode := &node{leaf: true, next: n.next}
 	rightNode.entries = append(rightNode.entries, n.entries[mid:]...)
@@ -463,36 +534,51 @@ func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *node) (Entry
 	if err != nil {
 		// n was mutated in memory but never persisted; drop the cached copy.
 		t.io.Discard(id)
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
 	n.entries = n.entries[:mid]
 	n.next = rightID
 	if err := t.writeNode(ctx, id, n); err != nil {
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
-	sep := Entry{Key: rightNode.entries[0].Key, RID: rightNode.entries[0].RID}
-	return sep, rightID, rightNode.digest(), n.digest(), nil
+	return insertResult{
+		sep:      Entry{Key: rightNode.entries[0].Key, RID: rightNode.entries[0].RID},
+		right:    rightID,
+		rightDig: rightNode.digest(),
+		rightAgg: rightNode.aggAll(),
+		selfDig:  n.digest(),
+		selfAgg:  n.aggAll(),
+	}, nil
 }
 
-func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *node) (Entry, pagestore.PageID, digest.Digest, digest.Digest, error) {
+func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *node) (insertResult, error) {
 	mid := len(n.entries) / 2
 	sep := n.entries[mid]
 	rightNode := &node{leaf: false}
 	rightNode.entries = append(rightNode.entries, n.entries[mid+1:]...)
 	rightNode.children = append(rightNode.children, n.children[mid+1:]...)
 	rightNode.digests = append(rightNode.digests, n.digests[mid+1:]...)
+	rightNode.aggs = append(rightNode.aggs, n.aggs[mid+1:]...)
 	rightID, err := t.allocNode(ctx, rightNode)
 	if err != nil {
 		t.io.Discard(id)
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
 	n.entries = n.entries[:mid]
 	n.children = n.children[:mid+1]
 	n.digests = n.digests[:mid+1]
+	n.aggs = n.aggs[:mid+1]
 	if err := t.writeNode(ctx, id, n); err != nil {
-		return Entry{}, pagestore.InvalidPage, digest.Zero, digest.Zero, err
+		return insertResult{}, err
 	}
-	return sep, rightID, rightNode.digest(), n.digest(), nil
+	return insertResult{
+		sep:      sep,
+		right:    rightID,
+		rightDig: rightNode.digest(),
+		rightAgg: rightNode.aggAll(),
+		selfDig:  n.digest(),
+		selfAgg:  n.aggAll(),
+	}, nil
 }
 
 // Delete removes the exact entry with no request context; see DeleteCtx.
@@ -501,7 +587,7 @@ func (t *Tree) Delete(e Entry) error { return t.DeleteCtx(nil, e) }
 // DeleteCtx removes the exact entry (matched by key and RID), maintaining
 // digests on the path. Underfull nodes are left in place, as in bptree.
 func (t *Tree) DeleteCtx(ctx *exec.Context, e Entry) error {
-	dig, found, err := t.deleteAt(ctx, t.root, t.height, e)
+	dig, _, found, err := t.deleteAt(ctx, t.root, t.height, e)
 	if err != nil {
 		return err
 	}
@@ -513,64 +599,73 @@ func (t *Tree) DeleteCtx(ctx *exec.Context, e Entry) error {
 	return nil
 }
 
-func (t *Tree) deleteAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (digest.Digest, bool, error) {
+func (t *Tree) deleteAt(ctx *exec.Context, id pagestore.PageID, level int, e Entry) (digest.Digest, agg.Agg, bool, error) {
 	n, err := t.readNode(ctx, id)
 	if err != nil {
-		return digest.Zero, false, err
+		return digest.Zero, agg.Agg{}, false, err
 	}
 	if level == 1 {
 		for i := range n.entries {
 			if Compare(n.entries[i], e) == 0 {
 				n.entries = append(n.entries[:i], n.entries[i+1:]...)
 				if err := t.writeNode(ctx, id, n); err != nil {
-					return digest.Zero, false, err
+					return digest.Zero, agg.Agg{}, false, err
 				}
-				return n.digest(), true, nil
+				return n.digest(), n.aggAll(), true, nil
 			}
 		}
-		return digest.Zero, false, nil
+		return digest.Zero, agg.Agg{}, false, nil
 	}
 	ci := upperBound(n.entries, e)
-	childDig, found, err := t.deleteAt(ctx, n.children[ci], level-1, e)
+	childDig, childAgg, found, err := t.deleteAt(ctx, n.children[ci], level-1, e)
 	if err != nil || !found {
-		return digest.Zero, found, err
+		return digest.Zero, agg.Agg{}, found, err
 	}
 	n.digests[ci] = childDig
+	n.aggs[ci] = childAgg
 	if err := t.writeNode(ctx, id, n); err != nil {
-		return digest.Zero, false, err
+		return digest.Zero, agg.Agg{}, false, err
 	}
-	return n.digest(), true, nil
+	return n.digest(), n.aggAll(), true, nil
 }
 
-// Validate recomputes every Merkle digest and checks ordering and bounds,
-// returning an error on the first inconsistency.
+// Validate recomputes every Merkle digest and aggregate annotation and
+// checks ordering and bounds, returning an error on the first
+// inconsistency.
 func (t *Tree) Validate() error {
 	seen := 0
-	var walk func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error)
-	walk = func(id pagestore.PageID, level int, lo, hi *Entry) (digest.Digest, error) {
+	type summary struct {
+		dig digest.Digest
+		agg agg.Agg
+	}
+	var walk func(id pagestore.PageID, level int, lo, hi *Entry) (summary, error)
+	walk = func(id pagestore.PageID, level int, lo, hi *Entry) (summary, error) {
 		n, err := t.readNode(nil, id)
 		if err != nil {
-			return digest.Zero, err
+			return summary{}, err
 		}
 		if (level == 1) != n.leaf {
-			return digest.Zero, fmt.Errorf("mbtree: node %d leaf flag inconsistent with level %d", id, level)
+			return summary{}, fmt.Errorf("mbtree: node %d leaf flag inconsistent with level %d", id, level)
 		}
 		for i := 1; i < len(n.entries); i++ {
 			if Compare(n.entries[i-1], n.entries[i]) >= 0 {
-				return digest.Zero, fmt.Errorf("mbtree: node %d entries out of order at %d", id, i)
+				return summary{}, fmt.Errorf("mbtree: node %d entries out of order at %d", id, i)
 			}
 		}
 		for i := range n.entries {
 			if lo != nil && Compare(n.entries[i], *lo) < 0 {
-				return digest.Zero, fmt.Errorf("mbtree: node %d entry below lower bound", id)
+				return summary{}, fmt.Errorf("mbtree: node %d entry below lower bound", id)
 			}
 			if hi != nil && Compare(n.entries[i], *hi) >= 0 {
-				return digest.Zero, fmt.Errorf("mbtree: node %d entry above upper bound", id)
+				return summary{}, fmt.Errorf("mbtree: node %d entry above upper bound", id)
 			}
 		}
 		if n.leaf {
 			seen += len(n.entries)
-			return n.digest(), nil
+			return summary{dig: n.digest(), agg: n.aggAll()}, nil
+		}
+		if len(n.aggs) != len(n.children) {
+			return summary{}, fmt.Errorf("mbtree: node %d has %d aggregate annotations for %d children", id, len(n.aggs), len(n.children))
 		}
 		for i, c := range n.children {
 			var clo, chi *Entry
@@ -584,21 +679,24 @@ func (t *Tree) Validate() error {
 			} else {
 				chi = &n.entries[i]
 			}
-			dig, err := walk(c, level-1, clo, chi)
+			sub, err := walk(c, level-1, clo, chi)
 			if err != nil {
-				return digest.Zero, err
+				return summary{}, err
 			}
-			if dig != n.digests[i] {
-				return digest.Zero, fmt.Errorf("mbtree: node %d child %d digest mismatch", id, i)
+			if sub.dig != n.digests[i] {
+				return summary{}, fmt.Errorf("mbtree: node %d child %d digest mismatch", id, i)
+			}
+			if sub.agg.Normalize() != n.aggs[i].Normalize() {
+				return summary{}, fmt.Errorf("mbtree: node %d child %d annotation %v, subtree is %v", id, i, n.aggs[i], sub.agg)
 			}
 		}
-		return n.digest(), nil
+		return summary{dig: n.digest(), agg: n.aggAll()}, nil
 	}
-	dig, err := walk(t.root, t.height, nil, nil)
+	s, err := walk(t.root, t.height, nil, nil)
 	if err != nil {
 		return err
 	}
-	if dig != t.rootDigest {
+	if s.dig != t.rootDigest {
 		return fmt.Errorf("mbtree: cached root digest stale")
 	}
 	if seen != t.count {

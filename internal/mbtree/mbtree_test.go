@@ -244,7 +244,7 @@ func TestVODetectsDigestSubstitutionAttack(t *testing.T) {
 	for _, tok := range vo.Tokens {
 		if tok.Kind == TokResult && !fixedOne {
 			patched.Tokens = append(patched.Tokens,
-				Token{Kind: TokDigest, Digest: digest.OfRecord(&dropped)},
+				Token{Kind: TokKeyDig, Key: dropped.Key, Digest: digest.OfRecord(&dropped)},
 				Token{Kind: TokResult, Count: tok.Count - 1})
 			fixedOne = true
 			continue
@@ -297,8 +297,8 @@ func TestUnmarshalVOErrors(t *testing.T) {
 	if _, err := UnmarshalVO([]byte{0, 0, 99}); err == nil {
 		t.Fatal("UnmarshalVO accepted an unknown token kind")
 	}
-	if _, err := UnmarshalVO([]byte{0, 0, byte(TokDigest), 1, 2}); err == nil {
-		t.Fatal("UnmarshalVO accepted a truncated digest")
+	if _, err := UnmarshalVO([]byte{0, 0, byte(TokChild), 1, 2}); err == nil {
+		t.Fatal("UnmarshalVO accepted a truncated child token")
 	}
 }
 
@@ -381,13 +381,14 @@ func TestDeleteNotFound(t *testing.T) {
 
 func TestCapacityConstants(t *testing.T) {
 	// Fanout relation that drives the paper's Figure 6: the MB-Tree's
-	// authenticated entries are larger, so its fanout must be strictly
-	// below the plain B+-tree's (408 leaf / 292 inner).
+	// authenticated entries are larger — and now carry a 24-byte
+	// (COUNT, SUM, MIN, MAX) annotation each — so its fanout must be
+	// strictly below the plain B+-tree's (408 leaf / 106 inner).
 	if LeafCapacity != 136 {
 		t.Fatalf("LeafCapacity = %d, want 136", LeafCapacity)
 	}
-	if InnerCapacity != 119 {
-		t.Fatalf("InnerCapacity = %d, want 119", InnerCapacity)
+	if InnerCapacity != 69 {
+		t.Fatalf("InnerCapacity = %d, want 69", InnerCapacity)
 	}
 }
 

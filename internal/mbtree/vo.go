@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sae/internal/agg"
 	"sae/internal/digest"
 	"sae/internal/exec"
 	"sae/internal/heapfile"
@@ -14,38 +15,53 @@ import (
 	"sae/internal/sigs"
 )
 
-// A VO (verification object) proves the correctness of a range result under
+// A VO (verification object) proves the correctness of a query result under
 // TOM. It is a pre-order token stream over the part of the MB-Tree the query
 // touched:
 //
-//   - Digest tokens stand in for pruned entries/subtrees.
-//   - Record tokens carry the two boundary records that bracket the result
-//     (proving completeness).
+//   - Child tokens stand in for pruned internal subtrees, carrying the
+//     child's digest and its (COUNT, SUM, MIN, MAX) annotation.
+//   - KeyDig tokens stand in for pruned leaf entries (key + record digest).
+//   - Sep tokens carry the separator key preceding each non-first child of
+//     an expanded internal node.
+//   - Expand tokens precede a nested child node, carrying the annotation the
+//     parent stores for it (the replay needs it to rebuild the parent's hash
+//     stream).
+//   - Record tokens carry the two boundary records that bracket a range
+//     result (proving completeness).
 //   - Result tokens are placeholders for runs of result records, which the
 //     client already holds and hashes itself.
-//   - NodeBegin/NodeEnd tokens delimit a tree page, whose digest is the hash
-//     of the concatenation of its children's digests.
+//   - LeafBegin/InnerBegin/NodeEnd tokens delimit a tree page, whose digest
+//     is the hash of the byte stream node.digest() defines.
 //
 // The client replays the stream, reconstructs the root digest and checks it
 // against the owner's signature; the token grammar additionally proves that
-// nothing was omitted between the boundary records.
+// nothing was omitted between the boundary records. Because separators and
+// annotations are bound into every internal node's digest, the same stream
+// shape also carries aggregate proofs: see AggVOCtx / VerifyAggVO.
 
 // TokenKind discriminates VO stream tokens.
 type TokenKind byte
 
 // Token kinds in a VO stream.
 const (
-	TokDigest    TokenKind = 1
-	TokRecord    TokenKind = 2
-	TokResult    TokenKind = 3
-	TokNodeBegin TokenKind = 4
-	TokNodeEnd   TokenKind = 5
+	TokChild      TokenKind = 1 // pruned internal child: digest + aggregate
+	TokRecord     TokenKind = 2 // boundary record
+	TokResult     TokenKind = 3 // run of result records held by the client
+	TokLeafBegin  TokenKind = 4 // start of a leaf page
+	TokNodeEnd    TokenKind = 5 // end of any page
+	TokKeyDig     TokenKind = 6 // pruned leaf entry: key + record digest
+	TokInnerBegin TokenKind = 7 // start of an internal page
+	TokSep        TokenKind = 8 // separator key before a non-first child
+	TokExpand     TokenKind = 9 // expanded child: its stored aggregate
 )
 
 // Token is one element of the VO stream.
 type Token struct {
 	Kind   TokenKind
-	Digest digest.Digest // TokDigest
+	Key    record.Key    // TokKeyDig, TokSep
+	Digest digest.Digest // TokChild, TokKeyDig
+	Agg    agg.Agg       // TokChild, TokExpand
 	Record record.Record // TokRecord
 	Count  int           // TokResult: number of result records to consume
 }
@@ -57,20 +73,34 @@ type VO struct {
 	Sig    []byte
 }
 
+// tokenPayload returns the serialized payload size of a token kind, or -1
+// for an unknown kind.
+func tokenPayload(kind TokenKind) int {
+	switch kind {
+	case TokChild:
+		return digest.Size + agg.Size
+	case TokRecord:
+		return record.Size
+	case TokResult:
+		return 4
+	case TokKeyDig:
+		return 4 + digest.Size
+	case TokSep:
+		return 4
+	case TokExpand:
+		return agg.Size
+	case TokLeafBegin, TokInnerBegin, TokNodeEnd:
+		return 0
+	}
+	return -1
+}
+
 // Size returns the VO's serialized size in bytes — the communication
 // overhead the paper measures in Figure 5.
 func (vo *VO) Size() int {
 	n := 2 + len(vo.Sig)
 	for i := range vo.Tokens {
-		n++ // kind byte
-		switch vo.Tokens[i].Kind {
-		case TokDigest:
-			n += digest.Size
-		case TokRecord:
-			n += record.Size
-		case TokResult:
-			n += 4
-		}
+		n += 1 + tokenPayload(vo.Tokens[i].Kind)
 	}
 	return n
 }
@@ -89,18 +119,28 @@ func (vo *VO) AppendTo(buf []byte) []byte {
 	binary.BigEndian.PutUint16(u16[:], uint16(len(vo.Sig)))
 	buf = append(buf, u16[:]...)
 	buf = append(buf, vo.Sig...)
+	var u32 [4]byte
 	for i := range vo.Tokens {
 		t := &vo.Tokens[i]
 		buf = append(buf, byte(t.Kind))
 		switch t.Kind {
-		case TokDigest:
+		case TokChild:
 			buf = append(buf, t.Digest[:]...)
+			buf = t.Agg.AppendTo(buf)
 		case TokRecord:
 			buf = t.Record.AppendBinary(buf)
 		case TokResult:
-			var u32 [4]byte
 			binary.BigEndian.PutUint32(u32[:], uint32(t.Count))
 			buf = append(buf, u32[:]...)
+		case TokKeyDig:
+			binary.BigEndian.PutUint32(u32[:], uint32(t.Key))
+			buf = append(buf, u32[:]...)
+			buf = append(buf, t.Digest[:]...)
+		case TokSep:
+			binary.BigEndian.PutUint32(u32[:], uint32(t.Key))
+			buf = append(buf, u32[:]...)
+		case TokExpand:
+			buf = t.Agg.AppendTo(buf)
 		}
 	}
 	return buf
@@ -116,22 +156,9 @@ var ErrBadVO = errors.New("mbtree: invalid verification object")
 func countTokens(b []byte) int {
 	n := 0
 	for len(b) > 0 {
-		kind := TokenKind(b[0])
+		skip := tokenPayload(TokenKind(b[0]))
 		b = b[1:]
-		var skip int
-		switch kind {
-		case TokDigest:
-			skip = digest.Size
-		case TokRecord:
-			skip = record.Size
-		case TokResult:
-			skip = 4
-		case TokNodeBegin, TokNodeEnd:
-			skip = 0
-		default:
-			return n
-		}
-		if len(b) < skip {
+		if skip < 0 || len(b) < skip {
 			return n
 		}
 		b = b[skip:]
@@ -162,12 +189,16 @@ func UnmarshalVO(b []byte) (*VO, error) {
 		kind := TokenKind(b[0])
 		b = b[1:]
 		switch kind {
-		case TokDigest:
-			if len(b) < digest.Size {
-				return nil, fmt.Errorf("%w: truncated digest token", ErrBadVO)
+		case TokChild:
+			if len(b) < digest.Size+agg.Size {
+				return nil, fmt.Errorf("%w: truncated child token", ErrBadVO)
 			}
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokDigest, Digest: digest.FromBytes(b[:digest.Size])})
-			b = b[digest.Size:]
+			vo.Tokens = append(vo.Tokens, Token{
+				Kind:   TokChild,
+				Digest: digest.FromBytes(b[:digest.Size]),
+				Agg:    agg.FromBytes(b[digest.Size : digest.Size+agg.Size]),
+			})
+			b = b[digest.Size+agg.Size:]
 		case TokRecord:
 			r, err := record.Unmarshal(b)
 			if err != nil {
@@ -181,13 +212,51 @@ func UnmarshalVO(b []byte) (*VO, error) {
 			}
 			vo.Tokens = append(vo.Tokens, Token{Kind: TokResult, Count: int(binary.BigEndian.Uint32(b[:4]))})
 			b = b[4:]
-		case TokNodeBegin, TokNodeEnd:
+		case TokKeyDig:
+			if len(b) < 4+digest.Size {
+				return nil, fmt.Errorf("%w: truncated key-digest token", ErrBadVO)
+			}
+			vo.Tokens = append(vo.Tokens, Token{
+				Kind:   TokKeyDig,
+				Key:    record.Key(binary.BigEndian.Uint32(b[:4])),
+				Digest: digest.FromBytes(b[4 : 4+digest.Size]),
+			})
+			b = b[4+digest.Size:]
+		case TokSep:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("%w: truncated separator token", ErrBadVO)
+			}
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokSep, Key: record.Key(binary.BigEndian.Uint32(b[:4]))})
+			b = b[4:]
+		case TokExpand:
+			if len(b) < agg.Size {
+				return nil, fmt.Errorf("%w: truncated expand token", ErrBadVO)
+			}
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokExpand, Agg: agg.FromBytes(b[:agg.Size])})
+			b = b[agg.Size:]
+		case TokLeafBegin, TokInnerBegin, TokNodeEnd:
 			vo.Tokens = append(vo.Tokens, Token{Kind: kind})
 		default:
 			return nil, fmt.Errorf("%w: unknown token kind %d", ErrBadVO, kind)
 		}
 	}
 	return vo, nil
+}
+
+// writeKeyTo appends a key to a digest replay stream exactly as
+// node.digest() encodes it.
+func writeKeyTo(w *digest.ConcatWriter, k record.Key) {
+	var kb [4]byte
+	binary.BigEndian.PutUint32(kb[:], uint32(k))
+	w.Write(kb[:])
+}
+
+// writeAggTo appends an aggregate annotation to a digest replay stream
+// exactly as node.digest() encodes it.
+func writeAggTo(w *digest.ConcatWriter, a agg.Agg) {
+	var ab [agg.Size]byte
+	a.PutBytes(ab[:])
+	w.Write(ab[:])
 }
 
 // nodeCache holds the nodes one query has already read. A query's working
@@ -461,8 +530,8 @@ func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
 	if err != nil {
 		return err
 	}
-	vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeBegin})
 	if n.leaf {
+		vo.Tokens = append(vo.Tokens, Token{Kind: TokLeafBegin})
 		for i := range n.entries {
 			e := &n.entries[i]
 			isBoundary := (b.hasPred && Compare(*e, b.pred) == 0) ||
@@ -480,14 +549,18 @@ func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
 				b.rids = append(b.rids, e.RID)
 			default:
 				b.flushRun(vo)
-				vo.Tokens = append(vo.Tokens, Token{Kind: TokDigest, Digest: e.Digest})
+				vo.Tokens = append(vo.Tokens, Token{Kind: TokKeyDig, Key: e.Key, Digest: e.Digest})
 			}
 		}
 		b.flushRun(vo)
 		vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeEnd})
 		return nil
 	}
+	vo.Tokens = append(vo.Tokens, Token{Kind: TokInnerBegin})
 	for i, c := range n.children {
+		if i > 0 {
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokSep, Key: n.entries[i-1].Key})
+		}
 		var childLo, childHi *Entry
 		if i > 0 {
 			childLo = &n.entries[i-1]
@@ -496,13 +569,12 @@ func (b *voBuilder) build(id pagestore.PageID, level int, vo *VO) error {
 			childHi = &n.entries[i]
 		}
 		if b.overlaps(childLo, childHi) {
-			b.flushRun(vo)
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokExpand, Agg: n.aggs[i]})
 			if err := b.build(c, level-1, vo); err != nil {
 				return err
 			}
 		} else {
-			b.flushRun(vo)
-			vo.Tokens = append(vo.Tokens, Token{Kind: TokDigest, Digest: n.digests[i]})
+			vo.Tokens = append(vo.Tokens, Token{Kind: TokChild, Digest: n.digests[i], Agg: n.aggs[i]})
 		}
 	}
 	vo.Tokens = append(vo.Tokens, Token{Kind: TokNodeEnd})
@@ -576,56 +648,106 @@ func verifyVOBound(vo *VO, result []record.Record, resDigests []digest.Digest, l
 	}
 
 	// Reconstruct the root digest with a recursive descent over the token
-	// stream.
+	// stream, replaying the exact byte stream node.digest() hashes.
 	pos := 0
 	resIdx := 0
 	var parseNode func() (digest.Digest, error)
 	parseNode = func() (digest.Digest, error) {
-		if pos >= len(vo.Tokens) || vo.Tokens[pos].Kind != TokNodeBegin {
+		if pos >= len(vo.Tokens) {
 			return digest.Zero, fmt.Errorf("%w: expected node begin at token %d", ErrBadVO, pos)
 		}
-		pos++
-		w := digest.NewConcatWriter()
-		for {
-			if pos >= len(vo.Tokens) {
-				return digest.Zero, fmt.Errorf("%w: unterminated node", ErrBadVO)
-			}
-			tok := &vo.Tokens[pos]
-			switch tok.Kind {
-			case TokNodeEnd:
-				pos++
-				return w.Sum(), nil
-			case TokDigest:
-				w.Add(tok.Digest)
-				pos++
-			case TokRecord:
-				w.Add(digest.OfRecord(&tok.Record))
-				pos++
-			case TokResult:
-				if tok.Count <= 0 {
-					return digest.Zero, fmt.Errorf("%w: non-positive result run", ErrBadVO)
+		switch vo.Tokens[pos].Kind {
+		case TokLeafBegin:
+			pos++
+			w := digest.NewConcatWriter()
+			for {
+				if pos >= len(vo.Tokens) {
+					return digest.Zero, fmt.Errorf("%w: unterminated leaf", ErrBadVO)
 				}
-				for k := 0; k < tok.Count; k++ {
-					if resIdx >= len(result) {
-						return digest.Zero, fmt.Errorf("%w: VO references more result records than received", ErrBadVO)
+				tok := &vo.Tokens[pos]
+				switch tok.Kind {
+				case TokNodeEnd:
+					pos++
+					return w.Sum(), nil
+				case TokKeyDig:
+					writeKeyTo(w, tok.Key)
+					w.Add(tok.Digest)
+					pos++
+				case TokRecord:
+					writeKeyTo(w, tok.Record.Key)
+					w.Add(digest.OfRecord(&tok.Record))
+					pos++
+				case TokResult:
+					if tok.Count <= 0 {
+						return digest.Zero, fmt.Errorf("%w: non-positive result run", ErrBadVO)
 					}
-					if resDigests != nil {
-						w.Add(resDigests[resIdx])
-					} else {
-						w.Add(digest.OfRecord(&result[resIdx]))
+					for k := 0; k < tok.Count; k++ {
+						if resIdx >= len(result) {
+							return digest.Zero, fmt.Errorf("%w: VO references more result records than received", ErrBadVO)
+						}
+						writeKeyTo(w, result[resIdx].Key)
+						if resDigests != nil {
+							w.Add(resDigests[resIdx])
+						} else {
+							w.Add(digest.OfRecord(&result[resIdx]))
+						}
+						resIdx++
 					}
-					resIdx++
+					pos++
+				default:
+					return digest.Zero, fmt.Errorf("%w: token kind %d inside a leaf", ErrBadVO, tok.Kind)
 				}
-				pos++
-			case TokNodeBegin:
-				d, err := parseNode()
-				if err != nil {
-					return digest.Zero, err
-				}
-				w.Add(d)
-			default:
-				return digest.Zero, fmt.Errorf("%w: unknown token kind %d", ErrBadVO, tok.Kind)
 			}
+		case TokInnerBegin:
+			pos++
+			w := digest.NewConcatWriter()
+			needChild := true
+			for {
+				if pos >= len(vo.Tokens) {
+					return digest.Zero, fmt.Errorf("%w: unterminated internal node", ErrBadVO)
+				}
+				tok := &vo.Tokens[pos]
+				switch tok.Kind {
+				case TokNodeEnd:
+					if needChild {
+						return digest.Zero, fmt.Errorf("%w: internal node missing a child", ErrBadVO)
+					}
+					pos++
+					return w.Sum(), nil
+				case TokSep:
+					if needChild {
+						return digest.Zero, fmt.Errorf("%w: misplaced separator", ErrBadVO)
+					}
+					writeKeyTo(w, tok.Key)
+					needChild = true
+					pos++
+				case TokChild:
+					if !needChild {
+						return digest.Zero, fmt.Errorf("%w: adjacent children without a separator", ErrBadVO)
+					}
+					w.Add(tok.Digest)
+					writeAggTo(w, tok.Agg)
+					needChild = false
+					pos++
+				case TokExpand:
+					if !needChild {
+						return digest.Zero, fmt.Errorf("%w: adjacent children without a separator", ErrBadVO)
+					}
+					a := tok.Agg
+					pos++
+					d, err := parseNode()
+					if err != nil {
+						return digest.Zero, err
+					}
+					w.Add(d)
+					writeAggTo(w, a)
+					needChild = false
+				default:
+					return digest.Zero, fmt.Errorf("%w: token kind %d inside an internal node", ErrBadVO, tok.Kind)
+				}
+			}
+		default:
+			return digest.Zero, fmt.Errorf("%w: expected node begin at token %d", ErrBadVO, pos)
 		}
 	}
 	rootDig, err := parseNode()
@@ -648,7 +770,9 @@ func verifyVOBound(vo *VO, result []record.Record, resDigests []digest.Digest, l
 
 	// Completeness grammar over the flattened stream: D* B? R* B? D*, with
 	// boundary keys bracketing the range, and a missing boundary only
-	// acceptable when no digest hides entries on that side.
+	// acceptable when no pruned entry hides records on that side. TokKeyDig
+	// and TokChild are both digest-like: each stands in for entries the
+	// client cannot see.
 	type coreItem struct {
 		isRecord bool
 		key      record.Key
@@ -658,7 +782,7 @@ func verifyVOBound(vo *VO, result []record.Record, resDigests []digest.Digest, l
 	firstD, lastD := -1, -1
 	for i := range vo.Tokens {
 		switch vo.Tokens[i].Kind {
-		case TokDigest:
+		case TokKeyDig, TokChild:
 			if firstD == -1 {
 				firstD = i
 			}
@@ -685,7 +809,8 @@ func verifyVOBound(vo *VO, result []record.Record, resDigests []digest.Digest, l
 	coreBegin := core[0].streamAt
 	coreEnd := core[len(core)-1].streamAt
 	for i := coreBegin + 1; i < coreEnd; i++ {
-		if vo.Tokens[i].Kind == TokDigest {
+		switch vo.Tokens[i].Kind {
+		case TokKeyDig, TokChild:
 			return fmt.Errorf("%w: pruned entries inside the result span (possible omission)", ErrBadVO)
 		}
 	}

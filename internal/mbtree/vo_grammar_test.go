@@ -31,20 +31,23 @@ func newGrammarFixture(t *testing.T) *grammarFixture {
 }
 
 // sign produces a VO over the given tokens, with the root digest computed
-// honestly over the stream so that only the *grammar* checks distinguish
-// acceptance from rejection.
+// honestly over the leaf hash stream (key || digest per entry) so that only
+// the *grammar* checks distinguish acceptance from rejection.
 func (f *grammarFixture) sign(t *testing.T, tokens []Token, result []record.Record) *VO {
 	t.Helper()
 	w := digest.NewConcatWriter()
 	resIdx := 0
 	for i := range tokens {
 		switch tokens[i].Kind {
-		case TokDigest:
+		case TokKeyDig:
+			writeKeyTo(w, tokens[i].Key)
 			w.Add(tokens[i].Digest)
 		case TokRecord:
+			writeKeyTo(w, tokens[i].Record.Key)
 			w.Add(digest.OfRecord(&tokens[i].Record))
 		case TokResult:
 			for k := 0; k < tokens[i].Count; k++ {
+				writeKeyTo(w, result[resIdx].Key)
 				w.Add(digest.OfRecord(&result[resIdx]))
 				resIdx++
 			}
@@ -55,7 +58,7 @@ func (f *grammarFixture) sign(t *testing.T, tokens []Token, result []record.Reco
 	if err != nil {
 		t.Fatal(err)
 	}
-	inner := append([]Token{{Kind: TokNodeBegin}}, tokens...)
+	inner := append([]Token{{Kind: TokLeafBegin}}, tokens...)
 	inner = append(inner, Token{Kind: TokNodeEnd})
 	return &VO{Tokens: inner, Sig: sig}
 }
@@ -70,7 +73,7 @@ func TestGrammarAcceptsProperBracketing(t *testing.T) {
 	// Query [25, 45]: result = {30, 40}; boundaries 20 and 50; 10 pruned.
 	result := []record.Record{f.recs[30], f.recs[40]}
 	vo := f.sign(t, []Token{
-		{Kind: TokDigest, Digest: f.digestOf(10)},
+		{Kind: TokKeyDig, Key: 10, Digest: f.digestOf(10)},
 		{Kind: TokRecord, Record: f.recs[20]},
 		{Kind: TokResult, Count: 2},
 		{Kind: TokRecord, Record: f.recs[50]},
@@ -86,7 +89,7 @@ func TestGrammarRejectsDigestInsideSpan(t *testing.T) {
 	result := []record.Record{f.recs[40]}
 	vo := f.sign(t, []Token{
 		{Kind: TokRecord, Record: f.recs[20]},
-		{Kind: TokDigest, Digest: f.digestOf(30)}, // hidden qualifying record
+		{Kind: TokKeyDig, Key: 30, Digest: f.digestOf(30)}, // hidden qualifying record
 		{Kind: TokResult, Count: 1},
 		{Kind: TokRecord, Record: f.recs[50]},
 	}, result)
@@ -101,7 +104,7 @@ func TestGrammarRejectsMissingLeftBoundaryWithPrunedLeft(t *testing.T) {
 	// cannot confirm nothing qualifying was pruned.
 	result := []record.Record{f.recs[30]}
 	vo := f.sign(t, []Token{
-		{Kind: TokDigest, Digest: f.digestOf(20)}, // could be a qualifying record!
+		{Kind: TokKeyDig, Key: 20, Digest: f.digestOf(20)}, // could be a qualifying record!
 		{Kind: TokResult, Count: 1},
 		{Kind: TokRecord, Record: f.recs[50]},
 	}, result)
@@ -118,8 +121,8 @@ func TestGrammarAcceptsMissingLeftBoundaryAtTableStart(t *testing.T) {
 	vo := f.sign(t, []Token{
 		{Kind: TokResult, Count: 2},
 		{Kind: TokRecord, Record: f.recs[30]},
-		{Kind: TokDigest, Digest: f.digestOf(40)},
-		{Kind: TokDigest, Digest: f.digestOf(50)},
+		{Kind: TokKeyDig, Key: 40, Digest: f.digestOf(40)},
+		{Kind: TokKeyDig, Key: 50, Digest: f.digestOf(50)},
 	}, result)
 	if err := VerifyVO(vo, result, 5, 25, f.signer.Verifier()); err != nil {
 		t.Fatalf("legitimate table-start query rejected: %v", err)
@@ -146,11 +149,11 @@ func TestGrammarEmptyResultBracketed(t *testing.T) {
 	// Query [32, 38] between records 30 and 40: adjacency of the two
 	// boundary records proves emptiness.
 	vo := f.sign(t, []Token{
-		{Kind: TokDigest, Digest: f.digestOf(10)},
-		{Kind: TokDigest, Digest: f.digestOf(20)},
+		{Kind: TokKeyDig, Key: 10, Digest: f.digestOf(10)},
+		{Kind: TokKeyDig, Key: 20, Digest: f.digestOf(20)},
 		{Kind: TokRecord, Record: f.recs[30]},
 		{Kind: TokRecord, Record: f.recs[40]},
-		{Kind: TokDigest, Digest: f.digestOf(50)},
+		{Kind: TokKeyDig, Key: 50, Digest: f.digestOf(50)},
 	}, nil)
 	if err := VerifyVO(vo, nil, 32, 38, f.signer.Verifier()); err != nil {
 		t.Fatalf("bracketed empty result rejected: %v", err)
@@ -162,8 +165,8 @@ func TestGrammarEmptyResultWithHiddenMiddle(t *testing.T) {
 	// Claiming [25, 45] is empty while hiding 30 and 40 behind digests.
 	vo := f.sign(t, []Token{
 		{Kind: TokRecord, Record: f.recs[20]},
-		{Kind: TokDigest, Digest: f.digestOf(30)},
-		{Kind: TokDigest, Digest: f.digestOf(40)},
+		{Kind: TokKeyDig, Key: 30, Digest: f.digestOf(30)},
+		{Kind: TokKeyDig, Key: 40, Digest: f.digestOf(40)},
 		{Kind: TokRecord, Record: f.recs[50]},
 	}, nil)
 	if err := VerifyVO(vo, nil, 25, 45, f.signer.Verifier()); err == nil {
@@ -174,8 +177,8 @@ func TestGrammarEmptyResultWithHiddenMiddle(t *testing.T) {
 func TestGrammarRejectsAllDigests(t *testing.T) {
 	f := newGrammarFixture(t)
 	vo := f.sign(t, []Token{
-		{Kind: TokDigest, Digest: f.digestOf(10)},
-		{Kind: TokDigest, Digest: f.digestOf(20)},
+		{Kind: TokKeyDig, Key: 10, Digest: f.digestOf(10)},
+		{Kind: TokKeyDig, Key: 20, Digest: f.digestOf(20)},
 	}, nil)
 	if err := VerifyVO(vo, nil, 12, 18, f.signer.Verifier()); err == nil {
 		t.Fatal("all-digest VO accepted for a range inside the data")

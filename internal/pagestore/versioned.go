@@ -27,8 +27,8 @@ type Versioned struct {
 	inner Store
 
 	mu      sync.RWMutex
-	gen     uint64              // generation stamped on new writes
-	lastGen map[PageID]uint64   // page -> generation of its live content
+	gen     uint64            // generation stamped on new writes
+	lastGen map[PageID]uint64 // page -> generation of its live content
 	vers    map[PageID][]pageVersion
 	snaps   map[uint64]int // open snapshot generation -> refcount
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sae/internal/agg"
 	"sae/internal/digest"
 	"sae/internal/record"
 	"sae/internal/shard"
@@ -26,6 +27,12 @@ func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		return r.handleBatchVT(req, rb)
 	case wire.MsgTOMQuery:
 		return r.handleTOM(req, rb)
+	case wire.MsgAggQuery:
+		return r.handleAggQuery(req, rb)
+	case wire.MsgAggTokenReq:
+		return r.handleAggToken(req, rb)
+	case wire.MsgTOMAggQuery:
+		return r.handleTOMAgg(req, rb)
 	case wire.MsgShardMapReq:
 		// Relay the TE-attested partition plan for observability and
 		// tooling. The index slot is meaningless for a router; by
@@ -372,4 +379,160 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wire.AppendTOMShardedPart(rb, p.Shard, p.Sub, p.Blob)
 	}
 	return wire.Frame{Type: wire.MsgTOMShardedResult, Payload: rb.Bytes()}
+}
+
+// handleAggQuery scatters an aggregate query to the overlapping shard SPs
+// and merges the partial scalars. This is the untrusted result path: the
+// scatter goes through the tamper hooks and the merged scalar through
+// forgeAgg, and the client's token comparison must catch anything a rogue
+// router bends here.
+func (r *Router) handleAggQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	subs := r.scatterSubs(q)
+	partials := make([]agg.Agg, len(subs))
+	errs := make([]error, len(subs))
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := r.sps[subs[i].Shard].pick().AggregateWithCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d SP aggregate: %w", subs[i].Shard, err)
+				return
+			}
+			partials[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	// Contiguous non-overlapping clamps: the monoid fold over the partials
+	// in any order is the whole range's scalar.
+	var merged agg.Agg
+	for _, a := range partials {
+		merged = merged.Merge(a)
+	}
+	if r.tamper != nil && r.tamper.forgeAgg != nil {
+		merged = r.tamper.forgeAgg(merged)
+	}
+	var buf [agg.Size]byte
+	rb.Append(merged.Normalize().AppendTo(buf[:0]))
+	return wire.Frame{Type: wire.MsgAggResult, Payload: rb.Bytes()}
+}
+
+// handleAggToken gathers the overlapping shard TEs' aggregate tokens and
+// deterministically re-derives the whole-range token. Like gatherVT this
+// models the authenticated client↔TE aggregate: the scatter uses the
+// attested plan directly, every upstream token's tag is checked before its
+// scalar is trusted, and the partials must seam-check back into q before
+// the merged token is tagged. The tamper hooks never reach this path — a
+// router that could rewrite token bytes is the compromised-TE-channel
+// case, out of the model.
+func (r *Router) handleAggToken(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	subs := r.plan.Scatter(q)
+	toks := make([]agg.Token, len(subs))
+	errs := make([]error, len(subs))
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tok, err := r.tes[subs[i].Shard].pick().AggTokenWithCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d TE aggregate token: %w", subs[i].Shard, err)
+				return
+			}
+			toks[i] = tok
+		}(i)
+	}
+	wg.Wait()
+	parts := make([]shard.AggPart, len(subs))
+	for i := range subs {
+		if errs[i] != nil {
+			return wire.ErrFrame(errs[i])
+		}
+		if err := toks[i].Verify(subs[i].Sub, toks[i].Agg); err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: shard %d TE aggregate token: %w", subs[i].Shard, err))
+		}
+		parts[i] = shard.AggPart{Sub: subs[i].Sub, Agg: toks[i].Agg}
+	}
+	merged, err := shard.MergeAgg(q, parts)
+	if err != nil {
+		return wire.ErrFrame(fmt.Errorf("router: merging shard aggregate tokens: %w", err))
+	}
+	tok := agg.TokenFor(q, merged)
+	var buf [agg.TokenSize]byte
+	rb.Append(tok.AppendTo(buf[:0]))
+	return wire.Frame{Type: wire.MsgAggToken, Payload: rb.Bytes()}
+}
+
+// handleTOMAgg routes a TOM aggregate query, mirroring handleTOM: a
+// single-shard deployment relays the provider's aggregate VO verbatim; a
+// sharded one stitches the per-shard aggregate VOs into a
+// MsgTOMAggShardedResult the client verifies against the owner-signed
+// shard bindings.
+func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	if len(r.toms) == 0 {
+		return wire.ErrFrame(fmt.Errorf("%w: router has no TOM upstreams", wire.ErrProtocol))
+	}
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	if r.plan.Shards() == 1 {
+		raw, err := r.toms[0].pick().AggregateRawCtx(ctx, q)
+		if err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: TOM aggregate: %w", err))
+		}
+		rb.Append(raw)
+		return wire.Frame{Type: wire.MsgTOMAggResult, Payload: rb.Bytes()}
+	}
+	subs := r.plan.Scatter(q)
+	parts := make([]wire.TOMShardPart, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := r.toms[subs[i].Shard].pick().AggregateRawCtx(ctx, subs[i].Sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d TOM aggregate: %w", subs[i].Shard, err)
+				return
+			}
+			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: raw}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	plan := r.plan
+	if r.tamper != nil && r.tamper.reshapeTOM != nil {
+		plan, parts = r.tamper.reshapeTOM(plan, parts)
+	}
+	wire.AppendTOMShardedHeader(rb, plan, len(parts))
+	for _, p := range parts {
+		wire.AppendTOMShardedPart(rb, p.Shard, p.Sub, p.Blob)
+	}
+	return wire.Frame{Type: wire.MsgTOMAggShardedResult, Payload: rb.Bytes()}
 }

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"sae/internal/agg"
 	"sae/internal/shard"
 	"sae/internal/wire"
 )
@@ -26,6 +27,9 @@ type tamper struct {
 	// reshapeTOM rewrites the stitched TOM evidence and/or the relayed
 	// plan before encoding.
 	reshapeTOM func(shard.Plan, []wire.TOMShardPart) (shard.Plan, []wire.TOMShardPart)
+	// forgeAgg rewrites the merged aggregate scalar before it is encoded
+	// (a rogue router asserting a flat-out wrong COUNT/SUM/MIN/MAX).
+	forgeAgg func(agg.Agg) agg.Agg
 }
 
 // setTamper installs (or clears) the malicious hooks; test-only.

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"fmt"
+
+	"sae/internal/agg"
+	"sae/internal/record"
+)
+
+// AggPart is one shard's contribution to a scattered aggregate query: the
+// sub-range it claims to cover and the aggregate over it. The caller is
+// expected to have verified the aggregate against that shard's trusted
+// token for exactly Sub before merging — MergeAgg checks the geometry,
+// not the cryptography.
+type AggPart struct {
+	Sub record.Range
+	Agg agg.Agg
+}
+
+// MergeAgg combines per-shard aggregate partials into the aggregate over
+// q, enforcing the seam invariant the cross-shard trust argument rests
+// on: the sub-ranges must tile q exactly — first starts at q.Lo, each
+// next starts one past the previous end, the last ends at q.Hi. A relay
+// that suppresses a shard's partial leaves a gap; one that duplicates or
+// re-clamps a partial creates an overlap; both fail here loudly instead
+// of silently biasing the scalar. Each partial's Min/Max must also fall
+// inside its claimed sub-range.
+func MergeAgg(q record.Range, parts []AggPart) (agg.Agg, error) {
+	if q.Empty() {
+		if len(parts) != 0 {
+			return agg.Agg{}, fmt.Errorf("shard: %d partials for an empty range", len(parts))
+		}
+		return agg.Agg{}, nil
+	}
+	if len(parts) == 0 {
+		return agg.Agg{}, fmt.Errorf("shard: no partials cover [%d, %d]", q.Lo, q.Hi)
+	}
+	var out agg.Agg
+	next := q.Lo
+	for i := range parts {
+		sub := parts[i].Sub
+		if sub.Lo != next {
+			if sub.Lo > next {
+				return agg.Agg{}, fmt.Errorf("shard: seam gap before partial %d: [%d, ...] leaves [%d, %d] uncovered",
+					i, sub.Lo, next, sub.Lo-1)
+			}
+			return agg.Agg{}, fmt.Errorf("shard: seam overlap at partial %d: [%d, ...] re-covers keys below %d",
+				i, sub.Lo, next)
+		}
+		if sub.Hi < sub.Lo || sub.Hi > q.Hi {
+			return agg.Agg{}, fmt.Errorf("shard: partial %d spans [%d, %d] outside query [%d, %d]",
+				i, sub.Lo, sub.Hi, q.Lo, q.Hi)
+		}
+		a := parts[i].Agg.Normalize()
+		if !a.Empty() && (a.Min < sub.Lo || a.Max > sub.Hi) {
+			return agg.Agg{}, fmt.Errorf("shard: partial %d aggregate %v escapes its sub-range [%d, %d]",
+				i, a, sub.Lo, sub.Hi)
+		}
+		out = out.Merge(a)
+		if sub.Hi == q.Hi {
+			if i != len(parts)-1 {
+				return agg.Agg{}, fmt.Errorf("shard: %d extra partials after [%d, %d] closed the query",
+					len(parts)-1-i, sub.Lo, sub.Hi)
+			}
+			return out.Normalize(), nil
+		}
+		next = sub.Hi + 1
+	}
+	return agg.Agg{}, fmt.Errorf("shard: partials stop at %d, short of query end %d", next-1, q.Hi)
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"sae/internal/record"
+)
+
+// shardForLinear is the reference implementation ShardFor replaced: a
+// left-to-right scan of the split keys. Kept as the correctness oracle
+// and the micro-benchmark baseline.
+func (p Plan) shardForLinear(k record.Key) int {
+	for i, s := range p.splits {
+		if s > k {
+			return i
+		}
+	}
+	return len(p.splits)
+}
+
+func randomPlan(t testing.TB, rng *rand.Rand, shards int) Plan {
+	splits := make([]record.Key, 0, shards-1)
+	next := record.Key(1)
+	for len(splits) < shards-1 {
+		next += record.Key(rng.Intn(1000) + 1)
+		splits = append(splits, next)
+	}
+	p, err := NewPlan(splits)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	return p
+}
+
+// TestShardForMatchesLinear drives the binary search against the linear
+// oracle across plan sizes, boundary keys and random probes.
+func TestShardForMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, shards := range []int{1, 2, 3, 8, 17, 64, 257} {
+		p := randomPlan(t, rng, shards)
+		probe := func(k record.Key) {
+			got, want := p.ShardFor(k), p.shardForLinear(k)
+			if got != want {
+				t.Fatalf("%d shards: ShardFor(%d) = %d, linear oracle = %d", shards, k, got, want)
+			}
+		}
+		probe(0)
+		probe(MaxKey)
+		for _, s := range p.splits {
+			probe(s - 1)
+			probe(s)
+			probe(s + 1)
+		}
+		for trial := 0; trial < 500; trial++ {
+			probe(record.Key(rng.Uint32()))
+		}
+		if shards == 1 {
+			continue
+		}
+		// Every key must land in the shard whose span contains it.
+		for trial := 0; trial < 200; trial++ {
+			k := record.Key(rng.Intn(int(p.splits[len(p.splits)-1]) + 100))
+			i := p.ShardFor(k)
+			if span := p.Span(i); k < span.Lo || k > span.Hi {
+				t.Fatalf("ShardFor(%d) = %d but span is %v", k, i, span)
+			}
+		}
+	}
+}
+
+func benchProbes(rng *rand.Rand, p Plan, n int) []record.Key {
+	hi := int(p.splits[len(p.splits)-1]) + 1000
+	keys := make([]record.Key, n)
+	for i := range keys {
+		keys[i] = record.Key(rng.Intn(hi))
+	}
+	return keys
+}
+
+// BenchmarkShardFor measures the hand-rolled binary search on the
+// update-routing hot path.
+func BenchmarkShardFor(b *testing.B) {
+	for _, shards := range []int{4, 16, 64, 256} {
+		b.Run(benchName(shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(72))
+			p := randomPlan(b, rng, shards)
+			keys := benchProbes(rng, p, 1024)
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += p.ShardFor(keys[i&1023])
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkShardForLinear is the before: the linear span scan ShardFor
+// replaced.
+func BenchmarkShardForLinear(b *testing.B) {
+	for _, shards := range []int{4, 16, 64, 256} {
+		b.Run(benchName(shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(72))
+			p := randomPlan(b, rng, shards)
+			keys := benchProbes(rng, p, 1024)
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += p.shardForLinear(keys[i&1023])
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink int
+
+func benchName(shards int) string {
+	switch shards {
+	case 4:
+		return "shards=4"
+	case 16:
+		return "shards=16"
+	case 64:
+		return "shards=64"
+	default:
+		return "shards=256"
+	}
+}

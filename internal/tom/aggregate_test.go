@@ -1,0 +1,197 @@
+package tom
+
+import (
+	"testing"
+
+	"sae/internal/agg"
+	"sae/internal/record"
+	"sae/internal/workload"
+)
+
+func tomRefAgg(recs []record.Record, q record.Range) agg.Agg {
+	var a agg.Agg
+	for i := range recs {
+		if q.Contains(recs[i].Key) {
+			a = a.Add(recs[i].Key)
+		}
+	}
+	return a.Normalize()
+}
+
+// TestTOMAggregateParity: the VO-verified scalar equals folding the
+// records of a verified range scan.
+func TestTOMAggregateParity(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	for _, q := range workload.Queries(20, workload.DefaultExtent, 121) {
+		out, err := sys.Aggregate(q)
+		if err != nil {
+			t.Fatalf("Aggregate(%v): %v", q, err)
+		}
+		if out.VerifyErr != nil {
+			t.Fatalf("honest aggregate VO rejected for %v: %v", q, out.VerifyErr)
+		}
+		scan, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", q, err)
+		}
+		if scan.VerifyErr != nil {
+			t.Fatalf("range scan rejected: %v", scan.VerifyErr)
+		}
+		var folded agg.Agg
+		for i := range scan.Result {
+			folded = folded.Add(scan.Result[i].Key)
+		}
+		if out.Agg != folded.Normalize() {
+			t.Fatalf("aggregate %v, scan-and-fold %v for %v", out.Agg, folded, q)
+		}
+	}
+}
+
+// TestTOMAggregateAfterUpdates: the annotated MB-Tree keeps producing
+// correct, verifiable aggregate VOs through insert/delete maintenance
+// with root re-signing.
+func TestTOMAggregateAfterUpdates(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 1000, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	live := append([]record.Record(nil), ds.Records...)
+	nextID := record.ID(1_000_000)
+	for step := 0; step < 120; step++ {
+		if step%3 != 0 {
+			k := record.Key((step * 7919) % int(record.KeyDomain))
+			r, err := sys.Insert(k, nextID)
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			nextID++
+			live = append(live, r)
+		} else {
+			victim := live[len(live)-1]
+			if err := sys.Delete(victim.ID, victim.Key); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			live = live[:len(live)-1]
+		}
+	}
+	for _, q := range workload.Queries(12, workload.DefaultExtent, 122) {
+		out, err := sys.Aggregate(q)
+		if err != nil {
+			t.Fatalf("Aggregate: %v", err)
+		}
+		if out.VerifyErr != nil {
+			t.Fatalf("aggregate VO rejected after updates: %v", out.VerifyErr)
+		}
+		if want := tomRefAgg(live, q); out.Agg != want {
+			t.Fatalf("aggregate %v, reference %v after updates", out.Agg, want)
+		}
+	}
+}
+
+// TestTOMShardedAggregateParity: stitched per-shard aggregate VOs merge
+// to the single-provider answer.
+func TestTOMShardedAggregateParity(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, shards := range []int{1, 3, 5} {
+		sys, err := NewShardedSystem(ds.Records, shards)
+		if err != nil {
+			t.Fatalf("NewShardedSystem(%d): %v", shards, err)
+		}
+		for _, q := range workload.Queries(12, workload.DefaultExtent, 123) {
+			out, err := sys.Aggregate(q)
+			if err != nil {
+				t.Fatalf("shards=%d Aggregate: %v", shards, err)
+			}
+			if out.VerifyErr != nil {
+				t.Fatalf("shards=%d honest evidence rejected: %v", shards, out.VerifyErr)
+			}
+			if want := tomRefAgg(ds.Records, q); out.Agg != want {
+				t.Fatalf("shards=%d aggregate %v, want %v", shards, out.Agg, want)
+			}
+		}
+	}
+}
+
+// TestTOMShardedAggregateSeamAttacks: a relay suppressing, reordering or
+// re-clamping per-shard aggregate evidence is rejected.
+func TestTOMShardedAggregateSeamAttacks(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 2500, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewShardedSystem(ds.Records, 4)
+	if err != nil {
+		t.Fatalf("NewShardedSystem: %v", err)
+	}
+	q := record.Range{Lo: 0, Hi: record.KeyDomain}
+	out, err := sys.Aggregate(q)
+	if err != nil || out.VerifyErr != nil {
+		t.Fatalf("honest run: err=%v verify=%v", err, out.VerifyErr)
+	}
+	honest := out.PerShard
+
+	check := func(name string, perShard []ShardAggVO) {
+		t.Helper()
+		if _, _, err := sys.Client.VerifyAggregate(q, perShard); err == nil {
+			t.Fatalf("%s: tampered evidence verified", name)
+		}
+	}
+	check("suppress-shard", append(append([]ShardAggVO{}, honest[:1]...), honest[2:]...))
+	check("empty", nil)
+
+	swapped := append([]ShardAggVO{}, honest...)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	check("reorder", swapped)
+
+	// Substitute one shard's VO with another shard's (frontier/tree
+	// substitution): the bound signature pins each VO to its shard.
+	subst := append([]ShardAggVO{}, honest...)
+	subst[1].VO = honest[2].VO
+	check("vo-substitution", subst)
+
+	// Re-clamp a shard's claimed sub-range to shrink coverage.
+	reclamped := append([]ShardAggVO{}, honest...)
+	reclamped[1].Sub.Hi = reclamped[1].Sub.Lo
+	check("re-clamp", reclamped)
+}
+
+// TestTOMAggregateVOFrontierBytes: the aggregate VO is asymptotically
+// smaller than the range VO + result for wide ranges.
+func TestTOMAggregateVOFrontierBytes(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 5000, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sys, err := NewSystem(ds.Records)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	q := record.Range{Lo: 0, Hi: record.KeyDomain}
+	aggOut, err := sys.Aggregate(q)
+	if err != nil || aggOut.VerifyErr != nil {
+		t.Fatalf("Aggregate: err=%v verify=%v", err, aggOut.VerifyErr)
+	}
+	scan, err := sys.Query(q)
+	if err != nil || scan.VerifyErr != nil {
+		t.Fatalf("Query: err=%v verify=%v", err, scan.VerifyErr)
+	}
+	scanBytes := scan.VO.Size() + len(scan.Result)*record.Size
+	if aggOut.VO.Size()*100 > scanBytes {
+		t.Fatalf("aggregate response %dB not 100x under scan response %dB",
+			aggOut.VO.Size(), scanBytes)
+	}
+}

@@ -1,0 +1,317 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sae/internal/agg"
+	"sae/internal/core"
+	"sae/internal/mbtree"
+	"sae/internal/record"
+	"sae/internal/shard"
+	"sae/internal/tom"
+)
+
+// The aggregation fast path on the wire. The frames mirror the range
+// protocol's shape — the client sends the query to both parties
+// simultaneously — but the responses are constant-size: a 24-byte scalar
+// from the SP, a 44-byte range-bound token from the TE, and under TOM an
+// O(log n) aggregate VO instead of the result set. That constant response
+// is the protocol's response-bytes win over scan-and-fold, which ships
+// every covered record.
+
+// Aggregate fetches the COUNT/SUM/MIN/MAX scalar for a range. The answer
+// is untrusted until checked against a TE aggregate token.
+func (c *SPClient) Aggregate(q record.Range) (agg.Agg, error) {
+	return c.AggregateWithCtx(context.Background(), q)
+}
+
+// AggregateWithCtx is Aggregate bounded by a context (the router's
+// slow-shard guard).
+func (c *SPClient) AggregateWithCtx(ctx context.Context, q record.Range) (agg.Agg, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgAggQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return agg.Agg{}, err
+	}
+	return decodeAggResult(resp)
+}
+
+func decodeAggResult(resp Frame) (agg.Agg, error) {
+	if resp.Type != MsgAggResult || len(resp.Payload) != agg.Size {
+		return agg.Agg{}, fmt.Errorf("%w: malformed aggregate response", ErrProtocol)
+	}
+	return agg.FromBytes(resp.Payload), nil
+}
+
+// AggregateMany fetches the scalars for a group of ranges as one
+// pipelined burst (single vectored write; a burst-mode server serves the
+// group through one lane pass). Scalars align with qs.
+func (c *SPClient) AggregateMany(qs []record.Range) ([]agg.Agg, error) {
+	reqs := make([]Frame, len(qs))
+	for i, q := range qs {
+		reqs[i] = Frame{Type: MsgAggQuery, Payload: EncodeRange(q)}
+	}
+	resps, err := c.roundTripMany(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]agg.Agg, len(qs))
+	for i := range resps {
+		if out[i], err = decodeAggResult(resps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AggToken fetches the aggregate verification token for a range.
+func (c *TEClient) AggToken(q record.Range) (agg.Token, error) {
+	return c.AggTokenWithCtx(context.Background(), q)
+}
+
+// AggTokenWithCtx is AggToken bounded by a context.
+func (c *TEClient) AggTokenWithCtx(ctx context.Context, q record.Range) (agg.Token, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgAggTokenReq, Payload: EncodeRange(q)})
+	if err != nil {
+		return agg.Token{}, err
+	}
+	return decodeAggToken(resp)
+}
+
+func decodeAggToken(resp Frame) (agg.Token, error) {
+	if resp.Type != MsgAggToken || len(resp.Payload) != agg.TokenSize {
+		return agg.Token{}, fmt.Errorf("%w: malformed aggregate token response", ErrProtocol)
+	}
+	return agg.TokenFromBytes(resp.Payload), nil
+}
+
+// AggTokenMany fetches the tokens for a group of ranges as one pipelined
+// burst; tokens align with qs.
+func (c *TEClient) AggTokenMany(qs []record.Range) ([]agg.Token, error) {
+	reqs := make([]Frame, len(qs))
+	for i, q := range qs {
+		reqs[i] = Frame{Type: MsgAggTokenReq, Payload: EncodeRange(q)}
+	}
+	resps, err := c.roundTripMany(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]agg.Token, len(qs))
+	for i := range resps {
+		if out[i], err = decodeAggToken(resps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Aggregate runs the verified aggregation fast path over the network: the
+// SP folds its B+-tree annotations while the TE issues the range-bound
+// token, in parallel, and the scalar is returned only if it matches the
+// token bit for bit. Both requests and both responses are constant-size,
+// so the round trip costs O(log n) at the parties and O(1) bytes and
+// client work regardless of how many records the range covers.
+func (v *VerifyingClient) Aggregate(q record.Range) (agg.Agg, error) {
+	type spOut struct {
+		a   agg.Agg
+		err error
+	}
+	type teOut struct {
+		tok agg.Token
+		err error
+	}
+	spCh := make(chan spOut, 1)
+	teCh := make(chan teOut, 1)
+	go func() {
+		a, err := v.SP.Aggregate(q)
+		spCh <- spOut{a, err}
+	}()
+	go func() {
+		tok, err := v.TE.AggToken(q)
+		teCh <- teOut{tok, err}
+	}()
+	sp := <-spCh
+	te := <-teCh
+	if sp.err != nil {
+		return agg.Agg{}, fmt.Errorf("wire: SP aggregate failed: %w", sp.err)
+	}
+	if te.err != nil {
+		return agg.Agg{}, fmt.Errorf("wire: TE aggregate token failed: %w", te.err)
+	}
+	if err := te.tok.Verify(q, sp.a); err != nil {
+		return agg.Agg{}, fmt.Errorf("%w: %v", core.ErrVerificationFailed, err)
+	}
+	return sp.a, nil
+}
+
+// AggregateBurst runs a group of verified aggregate queries as one burst:
+// each party receives the whole group in a single vectored write (served
+// as one grouped lane pass by a burst-mode server) and every scalar is
+// checked against its own token. Results align with qs; the first
+// verification failure rejects the burst.
+func (v *VerifyingClient) AggregateBurst(qs []record.Range) ([]agg.Agg, error) {
+	type spOut struct {
+		as  []agg.Agg
+		err error
+	}
+	type teOut struct {
+		toks []agg.Token
+		err  error
+	}
+	spCh := make(chan spOut, 1)
+	teCh := make(chan teOut, 1)
+	go func() {
+		as, err := v.SP.AggregateMany(qs)
+		spCh <- spOut{as, err}
+	}()
+	go func() {
+		toks, err := v.TE.AggTokenMany(qs)
+		teCh <- teOut{toks, err}
+	}()
+	sp := <-spCh
+	te := <-teCh
+	if sp.err != nil {
+		return nil, fmt.Errorf("wire: SP aggregate burst failed: %w", sp.err)
+	}
+	if te.err != nil {
+		return nil, fmt.Errorf("wire: TE aggregate token burst failed: %w", te.err)
+	}
+	for i, q := range qs {
+		if err := te.toks[i].Verify(q, sp.as[i]); err != nil {
+			return nil, fmt.Errorf("%w: query %d %v: %v", core.ErrVerificationFailed, i, q, err)
+		}
+	}
+	return sp.as, nil
+}
+
+// AggregateRawCtx fetches the MsgTOMAggResult payload (the serialized
+// aggregate VO) still in wire form — the router's upstream relay path.
+func (c *TOMClient) AggregateRawCtx(ctx context.Context, q record.Range) ([]byte, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgTOMAggQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgTOMAggResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return resp.Payload, nil
+}
+
+// Aggregate runs the verified TOM aggregation fast path. Under TOM the
+// aggregate VO IS the answer: replaying it against the owner's signature
+// produces the verified scalar, so there is no separate claimed value to
+// compare. Both answer forms are accepted — a single provider's VO and a
+// router's stitched per-shard evidence (MsgTOMAggShardedResult), the
+// latter verified with the same stitched logic as the in-process sharded
+// system: the relayed plan is untrusted, but every shard's VO signature
+// binds the owner-signed plan.
+func (v *VerifyingTOMClient) Aggregate(q record.Range) (agg.Agg, error) {
+	resp, err := v.Provider.roundTrip(Frame{Type: MsgTOMAggQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return agg.Agg{}, err
+	}
+	switch resp.Type {
+	case MsgTOMAggResult:
+		vo, err := mbtree.UnmarshalVO(resp.Payload)
+		if err != nil {
+			return agg.Agg{}, err
+		}
+		return mbtreeVerifyAgg(vo, q, v)
+	case MsgTOMAggShardedResult:
+		return v.verifyShardedAgg(q, resp.Payload)
+	default:
+		return agg.Agg{}, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+}
+
+func mbtreeVerifyAgg(vo *mbtree.VO, q record.Range, v *VerifyingTOMClient) (agg.Agg, error) {
+	a, err := mbtree.VerifyAggVO(vo, q.Lo, q.Hi, v.Verifier)
+	if err != nil {
+		return agg.Agg{}, err
+	}
+	return a, nil
+}
+
+// verifyShardedAgg checks a router's stitched TOM aggregate evidence:
+// decode the plan and per-shard aggregate VOs, rebuild the tom.ShardAggVO
+// list and run the sharded verification (every VO replays to its shard's
+// bound signed root for the plan's own clamp, then the partials
+// seam-check and merge). A nil error proves the scalar for all of q with
+// no trust in the router.
+func (v *VerifyingTOMClient) verifyShardedAgg(q record.Range, payload []byte) (agg.Agg, error) {
+	plan, parts, err := DecodeTOMSharded(payload)
+	if err != nil {
+		return agg.Agg{}, err
+	}
+	perShard := make([]tom.ShardAggVO, len(parts))
+	for i, p := range parts {
+		vo, err := mbtree.UnmarshalVO(p.Blob)
+		if err != nil {
+			return agg.Agg{}, fmt.Errorf("%w: shard %d aggregate evidence: %v", ErrProtocol, p.Shard, err)
+		}
+		perShard[i] = tom.ShardAggVO{Shard: p.Shard, Sub: p.Sub, VO: vo}
+	}
+	sc := tom.ShardedClient{Verifier: v.Verifier, Plan: plan}
+	_, a, err := sc.VerifyAggregate(q, perShard)
+	return a, err
+}
+
+// Aggregate scatters a verified aggregate query across the shards: every
+// overlapping shard answers the clamp the client computed itself from the
+// TE-attested plan (scalar and token in parallel on the shard's two
+// connections), each scalar verifies against its own shard's range-bound
+// token, and the partials must seam-check back into q (shard.MergeAgg)
+// before merging — so a suppressed, duplicated or re-clamped partial
+// fails loudly, exactly as in the in-process sharded system.
+func (c *ShardedVerifyingClient) Aggregate(q record.Range) (agg.Agg, error) {
+	subs := c.Plan.Scatter(q)
+	if len(subs) == 0 {
+		return agg.Agg{}, nil
+	}
+	parts := make([]shard.AggPart, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx, sub := subs[i].Shard, subs[i].Sub
+			vc := c.Shards[idx]
+			var inner sync.WaitGroup
+			inner.Add(1)
+			var tok agg.Token
+			var tokErr error
+			go func() {
+				defer inner.Done()
+				tok, tokErr = vc.TE.AggToken(sub)
+			}()
+			a, spErr := vc.SP.Aggregate(sub)
+			inner.Wait()
+			if spErr != nil {
+				errs[i] = fmt.Errorf("wire: shard %d SP aggregate: %w", idx, spErr)
+				return
+			}
+			if tokErr != nil {
+				errs[i] = fmt.Errorf("wire: shard %d TE aggregate token: %w", idx, tokErr)
+				return
+			}
+			if err := tok.Verify(sub, a); err != nil {
+				errs[i] = fmt.Errorf("%w: shard %d: %v", core.ErrVerificationFailed, idx, err)
+				return
+			}
+			parts[i] = shard.AggPart{Sub: sub, Agg: a}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return agg.Agg{}, err
+		}
+	}
+	merged, err := shard.MergeAgg(q, parts)
+	if err != nil {
+		return agg.Agg{}, fmt.Errorf("%w: %v", core.ErrVerificationFailed, err)
+	}
+	return merged, nil
+}

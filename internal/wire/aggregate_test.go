@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"sae/internal/agg"
+	"sae/internal/core"
+	"sae/internal/pagestore"
+	"sae/internal/record"
+	"sae/internal/tom"
+	"sae/internal/workload"
+)
+
+// foldAgg folds the reference aggregate by linear scan over the dataset.
+func foldAgg(recs []record.Record, q record.Range) agg.Agg {
+	var a agg.Agg
+	for i := range recs {
+		if q.Contains(recs[i].Key) {
+			a = a.Add(recs[i].Key)
+		}
+	}
+	return a
+}
+
+// TestAggregateOverWire runs the verified aggregation fast path through
+// real TCP in both serve modes: every scalar must verify and equal the
+// linear-scan fold, and the per-request and burst forms must agree
+// bit-identically across SAE_BURST modes.
+func TestAggregateOverWire(t *testing.T) {
+	qs := burstParityQueries(20)
+	var modes [2][]agg.Agg
+	for mi, burst := range []bool{true, false} {
+		spSrv, teSrv, ds := launchSAEMode(t, 4000, burst)
+		client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			a, err := client.Aggregate(q)
+			if err != nil {
+				t.Fatalf("burst=%v Aggregate(%v): %v", burst, q, err)
+			}
+			if want := foldAgg(ds.Records, q).Normalize(); a != want {
+				t.Fatalf("burst=%v Aggregate(%v) = %v, want %v", burst, q, a, want)
+			}
+		}
+		// The grouped burst path must produce the same scalars.
+		as, err := client.AggregateBurst(qs)
+		if err != nil {
+			t.Fatalf("burst=%v AggregateBurst: %v", burst, err)
+		}
+		for i, q := range qs {
+			if want := foldAgg(ds.Records, q).Normalize(); as[i] != want {
+				t.Fatalf("burst=%v AggregateBurst[%d] (%v) = %v, want %v", burst, i, q, as[i], want)
+			}
+		}
+		modes[mi] = as
+		client.Close()
+	}
+	for i := range qs {
+		if modes[0][i] != modes[1][i] {
+			t.Fatalf("query %d: burst-mode scalar %v != per-request scalar %v", i, modes[0][i], modes[1][i])
+		}
+	}
+}
+
+// TestAggregateWireTampered: a forged SP scalar crossing the wire must be
+// rejected by the client's token comparison, in both serve modes.
+func TestAggregateWireTampered(t *testing.T) {
+	for _, burst := range []bool{true, false} {
+		spSrv, teSrv, _ := launchSAEMode(t, 2000, burst)
+		spSrv.sp.SetAggTamper(core.InflateAggTamper(1, 0))
+		client, err := DialVerifying(spSrv.Addr(), teSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := record.Range{Lo: 0, Hi: record.KeyDomain}
+		if _, err := client.Aggregate(q); !errors.Is(err, core.ErrVerificationFailed) {
+			t.Fatalf("burst=%v tampered Aggregate error = %v, want ErrVerificationFailed", burst, err)
+		}
+		if _, err := client.AggregateBurst(burstParityQueries(4)); !errors.Is(err, core.ErrVerificationFailed) {
+			t.Fatalf("burst=%v tampered AggregateBurst error = %v, want ErrVerificationFailed", burst, err)
+		}
+		client.Close()
+	}
+}
+
+// TestTOMAggregateOverWire runs the TOM aggregation fast path through real
+// TCP in both serve modes: the replayed VO must produce the fold scalar.
+func TestTOMAggregateOverWire(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3000, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := tom.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, burst := range []bool{true, false} {
+		provider := tom.NewProvider(pagestore.NewMem())
+		if err := provider.Load(ds.Records, owner); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeTOM("127.0.0.1:0", provider, owner, nil, WithBurstServing(burst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		tc, err := DialTOM(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &VerifyingTOMClient{Provider: tc, Verifier: owner.Verifier()}
+		for _, q := range burstParityQueries(12) {
+			a, err := client.Aggregate(q)
+			if err != nil {
+				t.Fatalf("burst=%v TOM Aggregate(%v): %v", burst, q, err)
+			}
+			if want := foldAgg(ds.Records, q).Normalize(); a != want {
+				t.Fatalf("burst=%v TOM Aggregate(%v) = %v, want %v", burst, q, a, want)
+			}
+		}
+		tc.Close()
+	}
+}
+
+// TestShardedAggregateOverWire scatters verified aggregate queries across
+// a real sharded TCP deployment, with the in-process sharded system as
+// the oracle.
+func TestShardedAggregateOverWire(t *testing.T) {
+	sys, spAddrs, teAddrs := shardedDeployment(t, 8000, 3)
+	client, err := DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		t.Fatalf("DialShardedVerifying: %v", err)
+	}
+	defer client.Close()
+	for _, q := range burstParityQueries(15) {
+		a, err := client.Aggregate(q)
+		if err != nil {
+			t.Fatalf("sharded Aggregate(%v): %v", q, err)
+		}
+		oracle, err := sys.Aggregate(q)
+		if err != nil {
+			t.Fatalf("in-process sharded Aggregate(%v): %v", q, err)
+		}
+		if oracle.VerifyErr != nil {
+			t.Fatalf("in-process sharded aggregate rejected for %v: %v", q, oracle.VerifyErr)
+		}
+		if a != oracle.Agg {
+			t.Fatalf("sharded Aggregate(%v) = %v, in-process oracle %v", q, a, oracle.Agg)
+		}
+	}
+}
+
+// TestShardedAggregateWireTampered: one shard SP forging its partial must
+// fail that shard's token comparison at the scatter client.
+func TestShardedAggregateWireTampered(t *testing.T) {
+	sys, spAddrs, teAddrs := shardedDeployment(t, 6000, 3)
+	sys.SPs[1].SetAggTamper(core.InflateAggTamper(3, 0))
+	client, err := DialShardedVerifying(spAddrs, teAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	q := record.Range{Lo: 0, Hi: record.KeyDomain}
+	if _, err := client.Aggregate(q); !errors.Is(err, core.ErrVerificationFailed) {
+		t.Fatalf("tampered sharded Aggregate error = %v, want ErrVerificationFailed", err)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"sae/internal/agg"
 	"sae/internal/core"
 	"sae/internal/digest"
 	"sae/internal/exec"
@@ -53,6 +55,41 @@ const burstReadBuf = 64 << 10
 // does not pin its high-water mark forever.
 const laneArenaRetain = 4 << 20
 
+// burstCounters tracks serve-loop activity across every lane of every
+// server in the process, for the -pprof/expvar observability endpoint.
+// They sit off the per-frame hot path: one atomic add per burst (or per
+// rejected group), never per frame.
+var burstCounters struct {
+	jobs          atomic.Int64
+	groupedFrames atomic.Int64
+	soloFrames    atomic.Int64
+	fallbacks     atomic.Int64
+}
+
+// BurstCounters is a snapshot of process-wide burst-serving activity.
+type BurstCounters struct {
+	// Jobs is the number of drained bursts handed to serve lanes.
+	Jobs int64
+	// GroupedFrames counts frames served through a grouped provider pass
+	// (range or aggregate), SoloFrames those served individually on a
+	// lane (ungroupable types, singletons, fallbacks).
+	GroupedFrames int64
+	SoloFrames    int64
+	// Fallbacks counts rejected groups (malformed frame, provider error)
+	// that re-served per-request.
+	Fallbacks int64
+}
+
+// ReadBurstCounters snapshots the process-wide burst serve counters.
+func ReadBurstCounters() BurstCounters {
+	return BurstCounters{
+		Jobs:          burstCounters.jobs.Load(),
+		GroupedFrames: burstCounters.groupedFrames.Load(),
+		SoloFrames:    burstCounters.soloFrames.Load(),
+		Fallbacks:     burstCounters.fallbacks.Load(),
+	}
+}
+
 // burstServer is implemented by the built-in party servers: it names the
 // one frame type the lane may group and serves a group of them as a
 // burst. serveBurst returns false to reject the group (malformed frame,
@@ -61,6 +98,17 @@ const laneArenaRetain = 4 << 20
 type burstServer interface {
 	burstType() MsgType
 	serveBurst(l *lane, reqs []Frame) bool
+}
+
+// aggBurstServer is the optional second grouping a party server may
+// support: aggregate frames (MsgAggQuery / MsgAggTokenReq / MsgTOMAggQuery)
+// ride the same lane arenas and pooled contexts as the primary burst type,
+// so a mixed burst of range queries and aggregate queries costs two
+// grouped provider passes instead of one handler goroutine per frame. All
+// built-in party servers implement it.
+type aggBurstServer interface {
+	aggBurstType() MsgType
+	serveAggBurst(l *lane, reqs []Frame) bool
 }
 
 // frameRef is one request frame within a connBurst; the payload lives at
@@ -198,6 +246,9 @@ type lane struct {
 	reqs     []Frame
 	qs       []record.Range
 	vts      []digest.Digest
+	aggs     []agg.Agg
+	toks     []agg.Token
+	vos      []*mbtree.VO
 	secStart []int
 	counts   []int
 
@@ -261,31 +312,27 @@ func (l *lane) serveJob(s *Server, job burstJob) {
 	cb := job.cb
 	l.reset()
 	bt := s.burstSrv.burstType()
-	for i := range cb.frames {
-		if cb.frames[i].typ == bt {
-			l.idxs = append(l.idxs, i)
-		}
+	grouped := l.serveGroup(cb, bt, s.burstSrv.serveBurst)
+	// Aggregate frames form their own group on the same lane: a second
+	// grouped provider pass after the primary one, sharing the arena.
+	aggGrouped := false
+	var at MsgType
+	if abs, ok := s.burstSrv.(aggBurstServer); ok {
+		at = abs.aggBurstType()
+		aggGrouped = l.serveGroup(cb, at, abs.serveAggBurst)
 	}
-	grouped := false
-	if len(l.idxs) > 1 {
-		for _, i := range l.idxs {
-			l.reqs = append(l.reqs, cb.frame(i))
-		}
-		grouped = s.burstSrv.serveBurst(l, l.reqs)
-		if !grouped {
-			// A rejected group may have partially filled the arena and the
-			// response list; start the assembly over and serve everything
-			// per-request below.
-			l.resp = l.resp[:0]
-			l.resps = l.resps[:0]
-		}
-	}
+	solo := 0
 	for i := range cb.frames {
-		if grouped && cb.frames[i].typ == bt {
+		t := cb.frames[i].typ
+		if (grouped && t == bt) || (aggGrouped && t == at) {
 			continue
 		}
 		l.serveOne(s, cb.frame(i))
+		solo++
 	}
+	burstCounters.jobs.Add(1)
+	burstCounters.groupedFrames.Add(int64(len(cb.frames) - solo))
+	burstCounters.soloFrames.Add(int64(solo))
 	err := l.flush(job.conn.nc)
 	// The burst buffer's frames and arena are dead the moment the flush
 	// returns; hand the buffer back so the read goroutine can refill it.
@@ -294,6 +341,36 @@ func (l *lane) serveJob(s *Server, job burstJob) {
 		s.logf("wire: writing burst responses: %v", err)
 		job.conn.nc.Close()
 	}
+}
+
+// serveGroup collects the burst's frames of one type and serves them as a
+// group. A rejected group (malformed frame, provider error) may have
+// partially filled the arena and the response list; it rolls both back to
+// their pre-group marks and reports false, so those frames re-serve
+// individually with error semantics matching the non-burst path.
+func (l *lane) serveGroup(cb *connBurst, typ MsgType, serve func(*lane, []Frame) bool) bool {
+	l.idxs = l.idxs[:0]
+	for i := range cb.frames {
+		if cb.frames[i].typ == typ {
+			l.idxs = append(l.idxs, i)
+		}
+	}
+	if len(l.idxs) < 2 {
+		return false
+	}
+	l.reqs = l.reqs[:0]
+	l.qs = l.qs[:0]
+	for _, i := range l.idxs {
+		l.reqs = append(l.reqs, cb.frame(i))
+	}
+	respMark, respsMark := len(l.resp), len(l.resps)
+	if !serve(l, l.reqs) {
+		l.resp = l.resp[:respMark]
+		l.resps = l.resps[:respsMark]
+		burstCounters.fallbacks.Add(1)
+		return false
+	}
+	return true
 }
 
 // flush writes every assembled response in one vectored write: headers
@@ -419,6 +496,35 @@ func (s *SPServer) serveBurst(l *lane, reqs []Frame) bool {
 	return true
 }
 
+func (s *SPServer) aggBurstType() MsgType { return MsgAggQuery }
+
+// serveAggBurst answers a group of MsgAggQuery frames with ONE read-lock
+// pass over the annotated B+-tree (core.ServiceProvider.AggregateBurst);
+// each 24-byte scalar lands in the lane's response arena.
+func (s *SPServer) serveAggBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	if cap(l.aggs) < len(reqs) {
+		l.aggs = make([]agg.Agg, len(reqs))
+	}
+	l.aggs = l.aggs[:len(reqs)]
+	ctxs := l.exec.Contexts(len(reqs))
+	if err := s.sp.AggregateBurst(ctxs, l.qs, l.aggs); err != nil {
+		return false
+	}
+	for qi := range reqs {
+		off := len(l.resp)
+		l.resp = l.aggs[qi].AppendTo(l.resp)
+		l.appendBurstResp(MsgAggResult, reqs[qi].ID, respPiece{off: off, end: len(l.resp)})
+	}
+	return true
+}
+
 // --- TEServer burst ---
 
 func (s *TEServer) burstType() MsgType { return MsgVTRequest }
@@ -446,6 +552,35 @@ func (s *TEServer) serveBurst(l *lane, reqs []Frame) bool {
 		off := len(l.resp)
 		l.resp = append(l.resp, l.vts[qi][:]...)
 		l.appendBurstResp(MsgVT, reqs[qi].ID, respPiece{off: off, end: len(l.resp)})
+	}
+	return true
+}
+
+func (s *TEServer) aggBurstType() MsgType { return MsgAggTokenReq }
+
+// serveAggBurst answers a group of MsgAggTokenReq frames with one
+// read-lock pass over the annotated XB-Tree; each 44-byte range-bound
+// token lands in the lane's response arena.
+func (s *TEServer) serveAggBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	if cap(l.toks) < len(reqs) {
+		l.toks = make([]agg.Token, len(reqs))
+	}
+	l.toks = l.toks[:len(reqs)]
+	ctxs := l.exec.Contexts(len(reqs))
+	if err := s.te.AggTokenBurst(ctxs, l.qs, l.toks); err != nil {
+		return false
+	}
+	for qi := range reqs {
+		off := len(l.resp)
+		l.resp = l.toks[qi].AppendTo(l.resp)
+		l.appendBurstResp(MsgAggToken, reqs[qi].ID, respPiece{off: off, end: len(l.resp)})
 	}
 	return true
 }
@@ -486,6 +621,35 @@ func (s *TOMServer) serveBurst(l *lane, reqs []Frame) bool {
 		mbtree.PutVO(vos[qi])
 		l.appendBurstResp(MsgTOMResult, reqs[qi].ID,
 			l.section(qi, len(reqs), hi), respPiece{off: voOff, end: len(l.resp)})
+	}
+	return true
+}
+
+func (s *TOMServer) aggBurstType() MsgType { return MsgTOMAggQuery }
+
+// serveAggBurst answers a group of MsgTOMAggQuery frames with one
+// read-lock pass over the MB-Tree (tom.Provider.ServeAggBurstCtx): every
+// aggregate VO built into a pooled shell, serialized into the arena and
+// handed straight back to the pool.
+func (s *TOMServer) serveAggBurst(l *lane, reqs []Frame) bool {
+	for _, r := range reqs {
+		q, err := DecodeRange(r.Payload)
+		if err != nil {
+			return false
+		}
+		l.qs = append(l.qs, q)
+	}
+	ctxs := l.exec.Contexts(len(reqs))
+	vos, err := s.provider.ServeAggBurstCtx(ctxs, l.qs, l.vos[:0])
+	l.vos = vos[:0]
+	if err != nil {
+		return false
+	}
+	for qi := range reqs {
+		off := len(l.resp)
+		l.resp = vos[qi].AppendTo(l.resp)
+		mbtree.PutVO(vos[qi])
+		l.appendBurstResp(MsgTOMAggResult, reqs[qi].ID, respPiece{off: off, end: len(l.resp)})
 	}
 	return true
 }

@@ -77,6 +77,26 @@ const (
 	MsgBatchInsert MsgType = 18
 	// Owner -> SP/TE/TOM: a batch of deletions to commit as one group.
 	MsgBatchDelete MsgType = 19
+	// Client -> SP (or router): authenticated COUNT/SUM/MIN/MAX over a
+	// range — the aggregation fast path's untrusted half.
+	MsgAggQuery MsgType = 20
+	// SP -> client: the 24-byte aggregate scalar (agg.Agg wire form).
+	MsgAggResult MsgType = 21
+	// Client -> TE (or router): aggregate-token request for a range.
+	MsgAggTokenReq MsgType = 22
+	// TE -> client: the 44-byte range-bound aggregate token (agg.Token
+	// wire form) the scalar is checked against.
+	MsgAggToken MsgType = 23
+	// Client -> TOM provider (or router): aggregate query under TOM.
+	MsgTOMAggQuery MsgType = 24
+	// TOM provider -> client: the serialized aggregate VO; replaying it
+	// against the owner-signed root PRODUCES the verified scalar.
+	MsgTOMAggResult MsgType = 25
+	// Router -> client: a TOM aggregate query answered by a sharded
+	// deployment — the partition plan plus one aggregate-VO blob per
+	// overlapping shard, in the MsgTOMShardedResult envelope. The plan is
+	// untrusted relay data exactly as for range queries.
+	MsgTOMAggShardedResult MsgType = 26
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal

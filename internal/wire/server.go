@@ -388,6 +388,19 @@ func (s *SPServer) handle(req Frame, rb *RespBuf) Frame {
 			rb.endRecords(at, n)
 		}
 		return Frame{Type: MsgBatchResult, Payload: rb.b}
+	case MsgAggQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		// The aggregation fast path: a canonical-cover descent over the
+		// annotated B+-tree, no heap access, a constant 24-byte response.
+		a, _, err := s.sp.AggregateCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err)
+		}
+		rb.b = a.AppendTo(rb.b)
+		return Frame{Type: MsgAggResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -512,6 +525,17 @@ func (s *TEServer) handle(req Frame, rb *RespBuf) Frame {
 			rb.b = append(rb.b, vts[i][:]...)
 		}
 		return Frame{Type: MsgBatchVTResult, Payload: rb.b}
+	case MsgAggTokenReq:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		tok, _, err := s.te.AggTokenCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err)
+		}
+		rb.b = tok.AppendTo(rb.b)
+		return Frame{Type: MsgAggToken, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -595,6 +619,20 @@ func (s *TOMServer) handle(req Frame, rb *RespBuf) Frame {
 		rb.b = vo.AppendTo(rb.b)
 		mbtree.PutVO(vo)
 		return Frame{Type: MsgTOMResult, Payload: rb.b}
+	case MsgTOMAggQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		// Under TOM the aggregate VO IS the answer: the client's replay
+		// against the owner-signed root produces the verified scalar.
+		vo, _, err := s.provider.ServeAggregateCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err)
+		}
+		rb.b = vo.AppendTo(rb.b)
+		mbtree.PutVO(vo)
+		return Frame{Type: MsgTOMAggResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {

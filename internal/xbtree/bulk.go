@@ -3,6 +3,7 @@ package xbtree
 import (
 	"fmt"
 
+	"sae/internal/agg"
 	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/pagestore"
@@ -37,9 +38,10 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 
 	// Materialize every tuple list up front.
 	type loaded struct {
-		sk   record.Key
-		lref listRef
-		lxor digest.Digest
+		sk    record.Key
+		lref  listRef
+		lxor  digest.Digest
+		count uint32
 	}
 	flat := make([]loaded, len(items))
 	for i, it := range items {
@@ -51,7 +53,7 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 		for _, tup := range it.Tuples {
 			acc.Add(tup.Digest)
 		}
-		flat[i] = loaded{sk: it.Key, lref: lref, lxor: acc.Sum()}
+		flat[i] = loaded{sk: it.Key, lref: lref, lxor: acc.Sum(), count: uint32(len(it.Tuples))}
 		t.tuples += len(it.Tuples)
 	}
 	t.keys = len(items)
@@ -59,8 +61,9 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 	// Build the leaf level: runs of LeafCapacity entries separated by one
 	// pulled-up item each.
 	type builtNode struct {
-		id  pagestore.PageID
-		agg digest.Digest
+		id   pagestore.PageID
+		agg  digest.Digest
+		aggA agg.Agg
 	}
 	var nodes []builtNode
 	var seps []loaded
@@ -74,13 +77,13 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 		}
 		n := &xnode{leaf: true}
 		for _, it := range flat[i : i+chunk] {
-			n.entries = append(n.entries, entry{sk: it.sk, lref: it.lref, x: it.lxor, child: pagestore.InvalidPage})
+			n.entries = append(n.entries, entry{sk: it.sk, lref: it.lref, x: it.lxor, child: pagestore.InvalidPage, listCount: it.count})
 		}
 		id, err := t.allocNode(nil, n)
 		if err != nil {
 			return nil, err
 		}
-		nodes = append(nodes, builtNode{id: id, agg: n.agg()})
+		nodes = append(nodes, builtNode{id: id, agg: n.agg(), aggA: n.aggAll()})
 		i += chunk
 		if i < len(flat) {
 			seps = append(seps, flat[i])
@@ -103,22 +106,24 @@ func Bulkload(store pagestore.Store, items []KeyTuples) (*Tree, error) {
 			if rem-(g+1) == 1 {
 				g-- // leave the trailing node a sibling and separator
 			}
-			n := &xnode{leaf: false, e0C: nodes[j].id, e0X: nodes[j].agg}
+			n := &xnode{leaf: false, e0C: nodes[j].id, e0X: nodes[j].agg, e0Agg: nodes[j].aggA}
 			for k := 0; k < g; k++ {
 				s := seps[j+k]
 				child := nodes[j+k+1]
 				n.entries = append(n.entries, entry{
-					sk:    s.sk,
-					lref:  s.lref,
-					x:     s.lxor.XOR(child.agg),
-					child: child.id,
+					sk:        s.sk,
+					lref:      s.lref,
+					x:         s.lxor.XOR(child.agg),
+					child:     child.id,
+					listCount: s.count,
+					childAgg:  child.aggA,
 				})
 			}
 			id, err := t.allocNode(nil, n)
 			if err != nil {
 				return nil, err
 			}
-			upNodes = append(upNodes, builtNode{id: id, agg: n.agg()})
+			upNodes = append(upNodes, builtNode{id: id, agg: n.agg(), aggA: n.aggAll()})
 			j += g + 1
 			if j < len(nodes) {
 				upSeps = append(upSeps, seps[j-1])
@@ -158,43 +163,50 @@ func (t *Tree) Lookup(key record.Key) ([]Tuple, bool, error) {
 
 // Validate checks every structural and cryptographic invariant of the tree:
 // strict key ordering within and across nodes, child pointers consistent
-// with leaf level, and — the XB-Tree's defining property — that every
-// entry's X equals its list's XOR combined with its child subtree's
-// aggregate. It recomputes everything from the page images, so tests can
-// run it after arbitrary operation interleavings.
+// with leaf level, the XB-Tree's defining property — that every entry's X
+// equals its list's XOR combined with its child subtree's aggregate — and
+// the (COUNT, SUM, MIN, MAX) annotations (listCount against the actual
+// list, childAgg/e0.agg against the recomputed subtree aggregate). It
+// recomputes everything from the page images, so tests can run it after
+// arbitrary operation interleavings.
 func (t *Tree) Validate() error {
 	tuples := 0
-	var walk func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error)
-	walk = func(id pagestore.PageID, level int, lo, hi *record.Key) (digest.Digest, error) {
+	type subSummary struct {
+		x digest.Digest
+		a agg.Agg
+	}
+	var walk func(id pagestore.PageID, level int, lo, hi *record.Key) (subSummary, error)
+	walk = func(id pagestore.PageID, level int, lo, hi *record.Key) (subSummary, error) {
 		n, err := t.readNode(nil, id)
 		if err != nil {
-			return digest.Zero, err
+			return subSummary{}, err
 		}
 		if (level == 1) != n.leaf {
-			return digest.Zero, fmt.Errorf("xbtree: node %d leaf flag inconsistent with level %d", id, level)
+			return subSummary{}, fmt.Errorf("xbtree: node %d leaf flag inconsistent with level %d", id, level)
 		}
 		for i := range n.entries {
 			e := &n.entries[i]
 			if i > 0 && n.entries[i-1].sk >= e.sk {
-				return digest.Zero, fmt.Errorf("xbtree: node %d keys not strictly ascending at %d", id, i)
+				return subSummary{}, fmt.Errorf("xbtree: node %d keys not strictly ascending at %d", id, i)
 			}
 			if lo != nil && e.sk <= *lo {
-				return digest.Zero, fmt.Errorf("xbtree: node %d key %d violates lower bound %d", id, e.sk, *lo)
+				return subSummary{}, fmt.Errorf("xbtree: node %d key %d violates lower bound %d", id, e.sk, *lo)
 			}
 			if hi != nil && e.sk >= *hi {
-				return digest.Zero, fmt.Errorf("xbtree: node %d key %d violates upper bound %d", id, e.sk, *hi)
+				return subSummary{}, fmt.Errorf("xbtree: node %d key %d violates upper bound %d", id, e.sk, *hi)
 			}
 		}
 		var acc digest.Accumulator
+		var agr agg.Agg
 		if n.leaf {
 			for i := range n.entries {
 				e := &n.entries[i]
 				if e.child != pagestore.InvalidPage {
-					return digest.Zero, fmt.Errorf("xbtree: leaf %d entry %d has a child", id, i)
+					return subSummary{}, fmt.Errorf("xbtree: leaf %d entry %d has a child", id, i)
 				}
 				ts, err := t.lists.read(nil, e.lref)
 				if err != nil {
-					return digest.Zero, err
+					return subSummary{}, err
 				}
 				tuples += len(ts)
 				var lx digest.Accumulator
@@ -202,11 +214,15 @@ func (t *Tree) Validate() error {
 					lx.Add(tup.Digest)
 				}
 				if e.x != lx.Sum() {
-					return digest.Zero, fmt.Errorf("xbtree: leaf %d entry sk=%d X != L⊕", id, e.sk)
+					return subSummary{}, fmt.Errorf("xbtree: leaf %d entry sk=%d X != L⊕", id, e.sk)
+				}
+				if int(e.listCount) != len(ts) {
+					return subSummary{}, fmt.Errorf("xbtree: leaf %d entry sk=%d listCount=%d, list has %d", id, e.sk, e.listCount, len(ts))
 				}
 				acc.Add(e.x)
+				agr = agr.Merge(e.ownAgg())
 			}
-			return acc.Sum(), nil
+			return subSummary{x: acc.Sum(), a: agr}, nil
 		}
 		// e0 covers keys below the first entry.
 		var e0Hi *record.Key
@@ -215,24 +231,31 @@ func (t *Tree) Validate() error {
 		} else {
 			e0Hi = hi
 		}
-		childAgg, err := walk(n.e0C, level-1, lo, e0Hi)
+		sub, err := walk(n.e0C, level-1, lo, e0Hi)
 		if err != nil {
-			return digest.Zero, err
+			return subSummary{}, err
 		}
-		if n.e0X != childAgg {
-			return digest.Zero, fmt.Errorf("xbtree: node %d e0.X mismatch", id)
+		if n.e0X != sub.x {
+			return subSummary{}, fmt.Errorf("xbtree: node %d e0.X mismatch", id)
+		}
+		if n.e0Agg.Normalize() != sub.a.Normalize() {
+			return subSummary{}, fmt.Errorf("xbtree: node %d e0 annotation %v, subtree is %v", id, n.e0Agg, sub.a)
 		}
 		acc.Add(n.e0X)
+		agr = agr.Merge(sub.a)
 		for i := range n.entries {
 			e := &n.entries[i]
 			ts, err := t.lists.read(nil, e.lref)
 			if err != nil {
-				return digest.Zero, err
+				return subSummary{}, err
 			}
 			tuples += len(ts)
 			var lx digest.Accumulator
 			for _, tup := range ts {
 				lx.Add(tup.Digest)
+			}
+			if int(e.listCount) != len(ts) {
+				return subSummary{}, fmt.Errorf("xbtree: node %d entry sk=%d listCount=%d, list has %d", id, e.sk, e.listCount, len(ts))
 			}
 			var nextHi *record.Key
 			if i+1 < len(n.entries) {
@@ -240,16 +263,20 @@ func (t *Tree) Validate() error {
 			} else {
 				nextHi = hi
 			}
-			childAgg, err := walk(e.child, level-1, &e.sk, nextHi)
+			sub, err := walk(e.child, level-1, &e.sk, nextHi)
 			if err != nil {
-				return digest.Zero, err
+				return subSummary{}, err
 			}
-			if want := lx.Sum().XOR(childAgg); e.x != want {
-				return digest.Zero, fmt.Errorf("xbtree: node %d entry sk=%d X invariant violated", id, e.sk)
+			if want := lx.Sum().XOR(sub.x); e.x != want {
+				return subSummary{}, fmt.Errorf("xbtree: node %d entry sk=%d X invariant violated", id, e.sk)
+			}
+			if e.childAgg.Normalize() != sub.a.Normalize() {
+				return subSummary{}, fmt.Errorf("xbtree: node %d entry sk=%d annotation %v, subtree is %v", id, e.sk, e.childAgg, sub.a)
 			}
 			acc.Add(e.x)
+			agr = agr.Merge(e.ownAgg()).Merge(sub.a)
 		}
-		return acc.Sum(), nil
+		return subSummary{x: acc.Sum(), a: agr}, nil
 	}
 	if _, err := walk(t.root, t.height, nil, nil); err != nil {
 		return err

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sae/internal/agg"
 	"sae/internal/bufpool"
 	"sae/internal/digest"
 	"sae/internal/exec"
@@ -37,20 +38,27 @@ import (
 // Node layouts over 4096-byte pages.
 //
 // Internal: [0] flags=0 | [1:3] count | [3:7] e0.c | [7:27] e0.X |
+// [27:51] e0.agg | entries { sk 4 | lref 6 | X 20 | c 4 | listCount 4 |
+// childAgg 24 } ...
 //
-//	entries { sk 4 | lref 6 | X 20 | c 4 } ...
+// Leaf: [0] flags=1 | [1:3] count | entries { sk 4 | lref 6 | X 20 |
+// listCount 4 } ...
 //
-// Leaf: [0] flags=1 | [1:3] count | entries { sk 4 | lref 6 | X 20 } ...
+// listCount is the number of live tuples in the entry's list; together with
+// sk it determines the entry's own aggregate contribution agg.OfKey(sk,
+// listCount) without reading the list page. childAgg (internal) / e0.agg
+// summarize the whole subtree under the child pointer, so AggregateCtx can
+// answer COUNT/SUM/MIN/MAX with zero list-page reads.
 const (
-	innerHeader = 27
+	innerHeader = 27 + agg.Size // 51
 	leafHeader  = 3
-	innerEntry  = 4 + 6 + digest.Size + 4 // 34
-	leafEntry   = 4 + 6 + digest.Size     // 30
+	innerEntry  = 4 + 6 + digest.Size + 4 + 4 + agg.Size // 62
+	leafEntry   = 4 + 6 + digest.Size + 4                // 34
 	// InnerCapacity is the maximum number of keyed entries per internal
 	// node (e0 not counted).
-	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 119
+	InnerCapacity = (pagestore.PageSize - innerHeader) / innerEntry // 65
 	// LeafCapacity is the maximum number of entries per leaf node.
-	LeafCapacity = (pagestore.PageSize - leafHeader) / leafEntry // 136
+	LeafCapacity = (pagestore.PageSize - leafHeader) / leafEntry // 120
 )
 
 // ErrNotFound is returned by Delete when no tuple with the given key and id
@@ -74,17 +82,23 @@ func (t *Tree) UseCache(c *bufpool.Cache) { t.io.SetCache(c) }
 
 // entry is the in-memory form of a keyed entry.
 type entry struct {
-	sk    record.Key
-	lref  listRef
-	x     digest.Digest
-	child pagestore.PageID // InvalidPage in leaves
+	sk        record.Key
+	lref      listRef
+	x         digest.Digest
+	child     pagestore.PageID // InvalidPage in leaves
+	listCount uint32           // live tuples in the entry's list
+	childAgg  agg.Agg          // internal only: aggregate of child's subtree
 }
+
+// ownAgg is the aggregate contribution of the entry's own tuple list.
+func (e *entry) ownAgg() agg.Agg { return agg.OfKey(e.sk, uint64(e.listCount)) }
 
 // xnode is the decoded form of one tree page.
 type xnode struct {
 	leaf    bool
 	e0X     digest.Digest    // internal only
 	e0C     pagestore.PageID // internal only
+	e0Agg   agg.Agg          // internal only: aggregate of e0's subtree
 	entries []entry
 }
 
@@ -100,6 +114,24 @@ func (n *xnode) agg() digest.Digest {
 		acc.Add(n.entries[i].x)
 	}
 	return acc.Sum()
+}
+
+// aggAll returns the (COUNT, SUM, MIN, MAX) aggregate of every tuple in the
+// node's subtree: each entry contributes its own list (OfKey(sk, listCount))
+// plus its child subtree's annotation. Pure arithmetic, no I/O.
+func (n *xnode) aggAll() agg.Agg {
+	var a agg.Agg
+	if !n.leaf {
+		a = n.e0Agg
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		a = a.Merge(e.ownAgg())
+		if !n.leaf {
+			a = a.Merge(e.childAgg)
+		}
+	}
+	return a
 }
 
 // New creates an empty XB-Tree. Tree nodes and tuple-list pages are both
@@ -166,6 +198,7 @@ func encodeXNode(buf []byte, n *xnode) {
 			binary.BigEndian.PutUint32(buf[off:off+4], uint32(e.sk))
 			putRef(buf[off+4:off+10], e.lref)
 			copy(buf[off+10:off+30], e.x[:])
+			binary.BigEndian.PutUint32(buf[off+30:off+34], e.listCount)
 			off += leafEntry
 		}
 		return
@@ -173,6 +206,7 @@ func encodeXNode(buf []byte, n *xnode) {
 	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
 	binary.BigEndian.PutUint32(buf[3:7], uint32(n.e0C))
 	copy(buf[7:27], n.e0X[:])
+	n.e0Agg.PutBytes(buf[27:innerHeader])
 	off := innerHeader
 	for i := range n.entries {
 		e := &n.entries[i]
@@ -180,6 +214,8 @@ func encodeXNode(buf []byte, n *xnode) {
 		putRef(buf[off+4:off+10], e.lref)
 		copy(buf[off+10:off+30], e.x[:])
 		binary.BigEndian.PutUint32(buf[off+30:off+34], uint32(e.child))
+		binary.BigEndian.PutUint32(buf[off+34:off+38], e.listCount)
+		e.childAgg.PutBytes(buf[off+38 : off+innerEntry])
 		off += innerEntry
 	}
 }
@@ -196,12 +232,14 @@ func decodeXNode(buf []byte) *xnode {
 			e.lref = getRef(buf[off+4 : off+10])
 			e.x = digest.FromBytes(buf[off+10 : off+30])
 			e.child = pagestore.InvalidPage
+			e.listCount = binary.BigEndian.Uint32(buf[off+30 : off+34])
 			off += leafEntry
 		}
 		return n
 	}
 	n.e0C = pagestore.PageID(binary.BigEndian.Uint32(buf[3:7]))
 	n.e0X = digest.FromBytes(buf[7:27])
+	n.e0Agg = agg.FromBytes(buf[27:innerHeader])
 	off := innerHeader
 	for i := 0; i < count; i++ {
 		e := &n.entries[i]
@@ -209,6 +247,8 @@ func decodeXNode(buf []byte) *xnode {
 		e.lref = getRef(buf[off+4 : off+10])
 		e.x = digest.FromBytes(buf[off+10 : off+30])
 		e.child = pagestore.PageID(binary.BigEndian.Uint32(buf[off+30 : off+34]))
+		e.listCount = binary.BigEndian.Uint32(buf[off+34 : off+38])
+		e.childAgg = agg.FromBytes(buf[off+38 : off+innerEntry])
 		off += innerEntry
 	}
 	return n
@@ -243,7 +283,7 @@ func (t *Tree) Insert(key record.Key, tup Tuple) error {
 
 // InsertCtx is Insert charging node accesses to the request context.
 func (t *Tree) InsertCtx(ctx *exec.Context, key record.Key, tup Tuple) error {
-	promoted, rightID, _, err := t.insertRec(ctx, t.root, key, tup)
+	promoted, rightID, _, _, err := t.insertRec(ctx, t.root, key, tup)
 	if err != nil {
 		return err
 	}
@@ -256,6 +296,7 @@ func (t *Tree) InsertCtx(ctx *exec.Context, key record.Key, tup Tuple) error {
 			leaf:    false,
 			e0C:     t.root,
 			e0X:     oldRoot.agg(),
+			e0Agg:   oldRoot.aggAll(),
 			entries: []entry{*promoted},
 		}
 		id, err := t.allocNode(ctx, newRoot)
@@ -272,12 +313,14 @@ func (t *Tree) InsertCtx(ctx *exec.Context, key record.Key, tup Tuple) error {
 
 // insertRec inserts into the subtree rooted at id. It returns a promoted
 // entry and its right-sibling node id when the node split, plus the change
-// (delta) in this node's aggregate as observed by the parent after the
-// promoted entry has been removed from it.
-func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key, tup Tuple) (*entry, pagestore.PageID, digest.Digest, error) {
+// (delta) in this node's XOR aggregate as observed by the parent after the
+// promoted entry has been removed from it, plus this node's new subtree
+// aggregate annotation (same post-promotion view) so the parent refreshes
+// its childAgg without extra reads.
+func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key, tup Tuple) (*entry, pagestore.PageID, digest.Digest, agg.Agg, error) {
 	n, err := t.readNode(ctx, id)
 	if err != nil {
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
 	aggBefore := n.agg()
 
@@ -285,14 +328,15 @@ func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key,
 		// Key exists here: extend its list and absorb the digest.
 		newRef, err := t.lists.appendTuple(ctx, n.entries[pos].lref, tup)
 		if err != nil {
-			return nil, pagestore.InvalidPage, digest.Zero, err
+			return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 		}
 		n.entries[pos].lref = newRef
 		n.entries[pos].x = n.entries[pos].x.XOR(tup.Digest)
+		n.entries[pos].listCount++
 		if err := t.writeNode(ctx, id, n); err != nil {
-			return nil, pagestore.InvalidPage, digest.Zero, err
+			return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 		}
-		return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+		return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), n.aggAll(), nil
 	} else if !n.leaf {
 		// Descend: child pos-1 (or e0) covers keys below entries[pos].sk.
 		childID := n.e0C
@@ -301,20 +345,22 @@ func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key,
 			childID = n.entries[pos-1].child
 			applyTo = pos - 1
 		}
-		promoted, rightID, childDelta, err := t.insertRec(ctx, childID, key, tup)
+		promoted, rightID, childDelta, childAgg, err := t.insertRec(ctx, childID, key, tup)
 		if err != nil {
-			return nil, pagestore.InvalidPage, digest.Zero, err
+			return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 		}
 		if applyTo == -1 {
 			n.e0X = n.e0X.XOR(childDelta)
+			n.e0Agg = childAgg
 		} else {
 			n.entries[applyTo].x = n.entries[applyTo].x.XOR(childDelta)
+			n.entries[applyTo].childAgg = childAgg
 		}
 		if promoted == nil {
 			if err := t.writeNode(ctx, id, n); err != nil {
-				return nil, pagestore.InvalidPage, digest.Zero, err
+				return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 			}
-			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), n.aggAll(), nil
 		}
 		promoted.child = rightID
 		n.entries = append(n.entries, entry{})
@@ -322,27 +368,27 @@ func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key,
 		n.entries[pos] = *promoted
 		if len(n.entries) <= InnerCapacity {
 			if err := t.writeNode(ctx, id, n); err != nil {
-				return nil, pagestore.InvalidPage, digest.Zero, err
+				return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 			}
-			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), n.aggAll(), nil
 		}
 		return t.splitInner(ctx, id, n, aggBefore)
 	} else {
 		// New key at the leaf level.
 		lref, err := t.lists.alloc(ctx, []Tuple{tup})
 		if err != nil {
-			return nil, pagestore.InvalidPage, digest.Zero, err
+			return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 		}
 		t.keys++
-		e := entry{sk: key, lref: lref, x: tup.Digest, child: pagestore.InvalidPage}
+		e := entry{sk: key, lref: lref, x: tup.Digest, child: pagestore.InvalidPage, listCount: 1}
 		n.entries = append(n.entries, entry{})
 		copy(n.entries[pos+1:], n.entries[pos:])
 		n.entries[pos] = e
 		if len(n.entries) <= LeafCapacity {
 			if err := t.writeNode(ctx, id, n); err != nil {
-				return nil, pagestore.InvalidPage, digest.Zero, err
+				return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 			}
-			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), nil
+			return nil, pagestore.InvalidPage, n.agg().XOR(aggBefore), n.aggAll(), nil
 		}
 		return t.splitLeaf(ctx, id, n, aggBefore)
 	}
@@ -352,7 +398,7 @@ func (t *Tree) insertRec(ctx *exec.Context, id pagestore.PageID, key record.Key,
 // entry's X equals its L⊕, so the promoted entry's new X (which must also
 // cover the right sibling it will point to) is its old X XOR the right
 // entries' X values.
-func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, agg.Agg, error) {
 	mid := len(n.entries) / 2
 	promoted := n.entries[mid]
 
@@ -362,50 +408,53 @@ func (t *Tree) splitLeaf(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBe
 	if err != nil {
 		// n was mutated in memory but never persisted; drop the cached copy.
 		t.io.Discard(id)
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
 	promoted.x = promoted.x.XOR(right.agg())
 	promoted.child = rightID
+	promoted.childAgg = right.aggAll()
 
 	n.entries = n.entries[:mid]
 	if err := t.writeNode(ctx, id, n); err != nil {
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
-	return &promoted, rightID, n.agg().XOR(aggBefore), nil
+	return &promoted, rightID, n.agg().XOR(aggBefore), n.aggAll(), nil
 }
 
 // splitInner splits an overflowing internal node. The promoted entry keeps
 // its list but its subtree becomes the new right node, whose e0 must cover
 // the promoted entry's former child; computing that e0.X requires the
 // promoted entry's L⊕, read from its list page (one extra access per split).
-func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, error) {
+func (t *Tree) splitInner(ctx *exec.Context, id pagestore.PageID, n *xnode, aggBefore digest.Digest) (*entry, pagestore.PageID, digest.Digest, agg.Agg, error) {
 	mid := len(n.entries) / 2
 	promoted := n.entries[mid]
 
 	lxor, err := t.lists.xorOf(ctx, promoted.lref)
 	if err != nil {
 		t.io.Discard(id)
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
 	right := &xnode{
-		leaf: false,
-		e0C:  promoted.child,
-		e0X:  promoted.x.XOR(lxor), // agg of the subtree under the promoted entry
+		leaf:  false,
+		e0C:   promoted.child,
+		e0X:   promoted.x.XOR(lxor), // agg of the subtree under the promoted entry
+		e0Agg: promoted.childAgg,
 	}
 	right.entries = append(right.entries, n.entries[mid+1:]...)
 	rightID, err := t.allocNode(ctx, right)
 	if err != nil {
 		t.io.Discard(id)
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
 	promoted.x = lxor.XOR(right.agg())
 	promoted.child = rightID
+	promoted.childAgg = right.aggAll()
 
 	n.entries = n.entries[:mid]
 	if err := t.writeNode(ctx, id, n); err != nil {
-		return nil, pagestore.InvalidPage, digest.Zero, err
+		return nil, pagestore.InvalidPage, digest.Zero, agg.Agg{}, err
 	}
-	return &promoted, rightID, n.agg().XOR(aggBefore), nil
+	return &promoted, rightID, n.agg().XOR(aggBefore), n.aggAll(), nil
 }
 
 // Delete removes the tuple with the given key and id. The entry's list
@@ -418,7 +467,7 @@ func (t *Tree) Delete(key record.Key, id record.ID) error {
 
 // DeleteCtx is Delete charging node accesses to the request context.
 func (t *Tree) DeleteCtx(ctx *exec.Context, key record.Key, id record.ID) error {
-	_, found, err := t.deleteRec(ctx, t.root, key, id)
+	_, _, found, err := t.deleteRec(ctx, t.root, key, id)
 	if err != nil {
 		return err
 	}
@@ -430,48 +479,54 @@ func (t *Tree) DeleteCtx(ctx *exec.Context, key record.Key, id record.ID) error 
 }
 
 // deleteRec returns the removed tuple's digest (so ancestors can XOR it out
-// of their X values) and whether the tuple was found.
-func (t *Tree) deleteRec(ctx *exec.Context, nodeID pagestore.PageID, key record.Key, id record.ID) (digest.Digest, bool, error) {
+// of their X values), the subtree's new aggregate annotation, and whether
+// the tuple was found. All list tuples share the entry's key, so the
+// aggregate stays exact under listCount-- (an emptied list contributes the
+// zero aggregate, matching the tombstone's zero X contribution).
+func (t *Tree) deleteRec(ctx *exec.Context, nodeID pagestore.PageID, key record.Key, id record.ID) (digest.Digest, agg.Agg, bool, error) {
 	n, err := t.readNode(ctx, nodeID)
 	if err != nil {
-		return digest.Zero, false, err
+		return digest.Zero, agg.Agg{}, false, err
 	}
 	pos, ok := searchEntries(n.entries, key)
 	if ok {
 		d, newRef, err := t.lists.removeTuple(ctx, n.entries[pos].lref, id)
 		if err != nil {
 			if errors.Is(err, errTupleNotFound) {
-				return digest.Zero, false, nil
+				return digest.Zero, agg.Agg{}, false, nil
 			}
-			return digest.Zero, false, err
+			return digest.Zero, agg.Agg{}, false, err
 		}
 		n.entries[pos].lref = newRef
 		n.entries[pos].x = n.entries[pos].x.XOR(d)
+		n.entries[pos].listCount--
 		if err := t.writeNode(ctx, nodeID, n); err != nil {
-			return digest.Zero, false, err
+			return digest.Zero, agg.Agg{}, false, err
 		}
-		return d, true, nil
+		return d, n.aggAll(), true, nil
 	}
 	if n.leaf {
-		return digest.Zero, false, nil
+		return digest.Zero, agg.Agg{}, false, nil
 	}
 	childID := n.e0C
 	if pos > 0 {
 		childID = n.entries[pos-1].child
 	}
-	d, found, err := t.deleteRec(ctx, childID, key, id)
+	d, childAgg, found, err := t.deleteRec(ctx, childID, key, id)
 	if err != nil || !found {
-		return digest.Zero, found, err
+		return digest.Zero, agg.Agg{}, found, err
 	}
 	if pos > 0 {
 		n.entries[pos-1].x = n.entries[pos-1].x.XOR(d)
+		n.entries[pos-1].childAgg = childAgg
 	} else {
 		n.e0X = n.e0X.XOR(d)
+		n.e0Agg = childAgg
 	}
 	if err := t.writeNode(ctx, nodeID, n); err != nil {
-		return digest.Zero, false, err
+		return digest.Zero, agg.Agg{}, false, err
 	}
-	return d, true, nil
+	return d, n.aggAll(), true, nil
 }
 
 // GenerateVT computes the verification token for the range [lo, hi]: the
@@ -558,6 +613,85 @@ func (t *Tree) generateVT(ctx *exec.Context, id pagestore.PageID, lo, hi record.
 		hiInGap := (!skValid || hi > sk) && (!nextValid || hi < nextSk)
 		if (loInGap || hiInGap) && child != pagestore.InvalidPage {
 			if err := t.generateVT(ctx, child, lo, hi, acc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Aggregate answers COUNT/SUM/MIN/MAX over [lo, hi] with no request
+// context; see AggregateCtx.
+func (t *Tree) Aggregate(lo, hi record.Key) (agg.Agg, error) {
+	return t.AggregateCtx(nil, lo, hi)
+}
+
+// AggregateCtx computes the trusted aggregate for the range [lo, hi] by the
+// same boundary recursion as GenerateVTCtx, substituting the (COUNT, SUM,
+// MIN, MAX) annotations for the XOR values: a fully covered entry folds in
+// its own list aggregate plus its child annotation, a partially covered
+// entry folds only its list aggregate, and the walk recurses where a query
+// boundary falls inside a key gap. O(log n) node accesses and — unlike VT
+// generation — zero list-page reads, because OfKey(sk, listCount) replaces
+// the list XOR.
+func (t *Tree) AggregateCtx(ctx *exec.Context, lo, hi record.Key) (agg.Agg, error) {
+	if lo > hi {
+		return agg.Agg{}, nil
+	}
+	var a agg.Agg
+	if err := t.aggregateRec(ctx, t.root, lo, hi, &a); err != nil {
+		return agg.Agg{}, err
+	}
+	return a, nil
+}
+
+func (t *Tree) aggregateRec(ctx *exec.Context, id pagestore.PageID, lo, hi record.Key, a *agg.Agg) error {
+	n, err := t.readNode(ctx, id)
+	if err != nil {
+		return err
+	}
+	f := len(n.entries)
+	for i := -1; i < f; i++ {
+		var (
+			sk      record.Key
+			skValid bool // false ⇒ sk is -∞
+			own     agg.Agg
+			sub     agg.Agg
+			child   pagestore.PageID
+		)
+		if i == -1 {
+			if n.leaf {
+				continue
+			}
+			skValid = false
+			sub = n.e0Agg
+			child = n.e0C
+		} else {
+			e := &n.entries[i]
+			sk, skValid = e.sk, true
+			own = e.ownAgg()
+			sub = e.childAgg
+			child = e.child
+		}
+		nextSk, nextValid := record.Key(0), false // false ⇒ +∞
+		if i+1 < f {
+			nextSk, nextValid = n.entries[i+1].sk, true
+		}
+
+		loLEsk := skValid && lo <= sk
+		hiGEnext := nextValid && hi >= nextSk
+		switch {
+		case loLEsk && hiGEnext:
+			// The entry's list and its whole subtree are inside q.
+			*a = a.Merge(own).Merge(sub)
+		case loLEsk && hi >= sk:
+			// Only the entry's own tuples qualify.
+			*a = a.Merge(own)
+		}
+		loInGap := (!skValid || lo > sk) && (!nextValid || lo < nextSk)
+		hiInGap := (!skValid || hi > sk) && (!nextValid || hi < nextSk)
+		if (loInGap || hiInGap) && child != pagestore.InvalidPage {
+			if err := t.aggregateRec(ctx, child, lo, hi, a); err != nil {
 				return err
 			}
 		}

@@ -506,11 +506,13 @@ func TestGenerateVTAccessCountLogarithmic(t *testing.T) {
 }
 
 func TestCapacityConstants(t *testing.T) {
-	if InnerCapacity != 119 {
-		t.Fatalf("InnerCapacity = %d, want 119", InnerCapacity)
+	// Aggregate annotations (listCount per entry, childAgg per child) cost
+	// fanout: inner 119 -> 65, leaf 136 -> 120.
+	if InnerCapacity != 65 {
+		t.Fatalf("InnerCapacity = %d, want 65", InnerCapacity)
 	}
-	if LeafCapacity != 136 {
-		t.Fatalf("LeafCapacity = %d, want 136", LeafCapacity)
+	if LeafCapacity != 120 {
+		t.Fatalf("LeafCapacity = %d, want 120", LeafCapacity)
 	}
 	if TupleSize != 28 {
 		t.Fatalf("TupleSize = %d, want 28", TupleSize)
