@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst, write or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst, write, agg, replica or all")
 		scale      = flag.String("scale", "quick", "sweep scale: quick or paper")
 		ns         = flag.String("n", "", "comma-separated cardinalities overriding the scale")
 		queries    = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
@@ -55,6 +55,7 @@ func main() {
 		writers    = flag.Int("writers", 0, "concurrent writers for the grouped measurement (0 = default)")
 		aggJSON    = flag.String("aggjson", "BENCH_agg.json", "output path for the aggregation fast-path JSON (-figure agg)")
 		aggIters   = flag.Int("aggiters", 0, "query-set repetitions per aggregation variant (0 = default)")
+		replJSON   = flag.String("replicajson", "BENCH_replica.json", "output path for the replica-tier JSON (-figure replica)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,10 @@ func main() {
 	}
 	if *figure == "agg" {
 		runAggFigure(*aggJSON, *aggIters, *queries, *seed, *quiet)
+		return
+	}
+	if *figure == "replica" {
+		runReplicaFigure(*replJSON, *queries, *seed, *quiet)
 		return
 	}
 
@@ -356,6 +361,43 @@ func runRouterFigure(jsonPath string, queries int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteRouterJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runReplicaFigure measures the replica tier's routed throughput
+// against the primaries-only baseline and writes the machine-readable
+// BENCH_replica.json alongside a summary.
+func runReplicaFigure(jsonPath string, queries int, seed int64, quiet bool) {
+	cfg := experiments.DefaultReplicaConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunReplica(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Replica tier (n=%d, %d shards x %d replicas, %d workers, GOMAXPROCS=%d)\n",
+		res.N, res.Shards, res.ReplicasPerShard, res.Workers, res.GOMAXPROCS)
+	fmt.Printf("  routed, primaries only:     %8.0f queries/s\n", res.BaselineQPS)
+	fmt.Printf("  routed, with replica sets:  %8.0f queries/s (%.0f%% of baseline, %d failovers)\n",
+		res.ReplicatedQPS, 100*res.ReplicatedRelative, res.Failovers)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteReplicaJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

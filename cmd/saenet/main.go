@@ -29,6 +29,25 @@
 //	       -te localhost:7201,localhost:7202
 //	saenet -role client -router localhost:7000 -queries 20
 //
+// A replicated deployment runs one writable primary per shard (SP reads,
+// TE tokens and the replication feed on one address) plus any number of
+// read replicas bootstrapped from it, and hands the router each shard's
+// replica list (comma within a shard, semicolon between shards):
+//
+//	saenet -role primary -addr :7301 -dir /tmp/shard0 -shards 2 -shard-index 0
+//	saenet -role replica -addr :7311 -primary localhost:7301
+//	saenet -role router  -addr :7000 -sp localhost:7301,localhost:7302 \
+//	       -te localhost:7301,localhost:7302 \
+//	       -replicas "localhost:7311,localhost:7312;localhost:7321" \
+//	       -hedge-after 30ms
+//	saenet -role chaos -router localhost:7000 -sp localhost:7301,localhost:7302
+//
+// The chaos role is the harness half of the failover story: it trickles
+// writes into the primaries while concurrent verified readers hammer the
+// router, and reports a zero-failure accounting line only if every
+// answer verified — kill and restart replicas underneath it to exercise
+// failover (scripts/deploy_smoke.sh does exactly that).
+//
 // Servers generate the same deterministic dataset from -n/-dist/-seed, so
 // any sp/te group started with identical parameters is consistent; the
 // client (or router) cross-checks every shard's attested plan before
@@ -36,6 +55,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -46,6 +66,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sae/internal/agg"
@@ -53,6 +75,7 @@ import (
 	"sae/internal/core"
 	"sae/internal/pagestore"
 	"sae/internal/record"
+	"sae/internal/replica"
 	"sae/internal/router"
 	"sae/internal/shard"
 	"sae/internal/tom"
@@ -73,12 +96,18 @@ func main() {
 		spAddr     = flag.String("sp", "", "SP address(es), comma-separated in shard order (client + router roles)")
 		teAddr     = flag.String("te", "", "TE address(es), comma-separated in shard order (client + router roles)")
 		tomAddr    = flag.String("tom", "", "TOM provider address(es), comma-separated in shard order (router role, optional)")
-		routerAddr = flag.String("router", "", "router address; the client dials it as both SP and TE (client role)")
+		routerAddr = flag.String("router", "", "router address; the client dials it as both SP and TE (client + chaos roles)")
 		upTimeout  = flag.Duration("upstream-timeout", router.DefaultUpstreamTimeout, "per-shard sub-request bound (router role)")
 		queries    = flag.Int("queries", 10, "queries to run (client role)")
 		aggMode    = flag.Bool("agg", false, "client role: also run a verified COUNT/SUM/MIN/MAX per range and cross-check it against the scanned records")
-		dir        = flag.String("dir", "", "durable system directory (crashwriter + crashverify roles)")
+		dir        = flag.String("dir", "", "durable system directory (primary + crashwriter + crashverify roles)")
 		batch      = flag.Int("batch", 16, "insert batch size (crashwriter role)")
+		primary    = flag.String("primary", "", "primary address to bootstrap from and tail (replica role)")
+		replicas   = flag.String("replicas", "", "per-shard replica lists, comma within a shard, semicolon between shards (router role)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "race a sibling endpoint after this delay; 0 disables hedging (router role)")
+		maxLag     = flag.Uint64("max-lag", 0, "staleness bound in commit groups; 0 uses the router default (router role)")
+		duration   = flag.Duration("duration", 5*time.Second, "how long to run the churn workload (chaos role)")
+		workers    = flag.Int("workers", 3, "concurrent verified readers (chaos role)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof + expvar counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -90,16 +119,22 @@ func main() {
 	switch *role {
 	case "sp", "te", "tom":
 		runServer(*role, *addr, *n, workload.Distribution(*dist), *seed, *shards, *shardIdx, *tamperMode)
+	case "primary":
+		runPrimary(*addr, *dir, *n, workload.Distribution(*dist), *seed, *shards, *shardIdx)
+	case "replica":
+		runReplica(*addr, *primary)
 	case "router":
-		runRouter(*addr, *spAddr, *teAddr, *tomAddr, *upTimeout)
+		runRouter(*addr, *spAddr, *teAddr, *tomAddr, *replicas, *upTimeout, *hedgeAfter, *maxLag)
 	case "client":
 		runClient(*spAddr, *teAddr, *routerAddr, *queries, *seed, *aggMode)
+	case "chaos":
+		runChaos(*routerAddr, *spAddr, *duration, *workers, *seed)
 	case "crashwriter":
 		runCrashWriter(*dir, *n, workload.Distribution(*dist), *seed, *batch)
 	case "crashverify":
 		runCrashVerify(*dir, *n, workload.Distribution(*dist), *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom, router, client, crashwriter or crashverify")
+		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom, primary, replica, router, client, chaos, crashwriter or crashverify")
 		os.Exit(2)
 	}
 }
@@ -237,6 +272,80 @@ func runServer(role, addr string, n int, dist workload.Distribution, seed int64,
 	closer.Close()
 }
 
+// runPrimary serves one writable shard on one address: SP reads, TE
+// tokens, owner writes through the group-commit pipeline, generation
+// stamps, verified queries and the replication feed replicas bootstrap
+// and tail from. The dataset is the usual deterministic partition, but
+// it lives in a durable system under -dir so writes survive and
+// replicas have a WAL stream to follow.
+func runPrimary(addr, dir string, n int, dist workload.Distribution, seed int64, shards, shardIdx int) {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "saenet primary: -dir is required")
+		os.Exit(2)
+	}
+	if shards < 1 || shardIdx < 0 || shardIdx >= shards {
+		fail(fmt.Errorf("shard index %d outside 0..%d", shardIdx, shards-1))
+	}
+	fmt.Fprintf(os.Stderr, "saenet primary: generating %d %s records (seed %d)...\n", n, dist, seed)
+	ds, err := workload.Generate(dist, n, seed)
+	if err != nil {
+		fail(err)
+	}
+	plan := shard.PlanFor(ds.Records, shards)
+	part := plan.Partition(ds.Records)[shardIdx]
+	sys, err := core.OpenDurableSystem(dir, part, 0)
+	if err != nil {
+		fail(err)
+	}
+	hub := replica.Attach(sys, 0)
+	expvar.Publish("sae_group_commit", expvar.Func(func() any { return sys.Stats() }))
+	expvar.Publish("sae_primary_seq", expvar.Func(func() any { return sys.Seq() }))
+	srv, err := wire.ServePrimary(addr, sys, hub, wire.Logf("primary"),
+		wire.WithShardInfo(wire.ShardInfo{Index: shardIdx, Plan: plan}))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "saenet primary: shard %d/%d owns span %v (%d records, seq %d)\n",
+		shardIdx, shards, plan.Span(shardIdx), len(part), sys.Seq())
+	fmt.Fprintf(os.Stderr, "saenet primary: serving on %s (ctrl-c to stop)\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	sys.Close()
+}
+
+// runReplica bootstraps a read replica from its primary's sequence-
+// stamped snapshot, serves reads on addr, and keeps tailing the
+// primary's commit groups in the background. Answers are bit-identical
+// to the primary's at the same generation stamp; the client's XOR
+// verification needs no new trust in this process.
+func runReplica(addr, primaryAddr string) {
+	if primaryAddr == "" {
+		fmt.Fprintln(os.Stderr, "saenet replica: -primary is required")
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "saenet replica: bootstrapping from %s...\n", primaryAddr)
+	rep, info, err := wire.BootstrapReplica(primaryAddr)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := wire.ServeReplica(addr, rep, wire.Logf("replica"), wire.WithShardInfo(info))
+	if err != nil {
+		fail(err)
+	}
+	feed := wire.StartReplicaFeed(rep, primaryAddr, wire.Logf("replica"))
+	expvar.Publish("sae_replica_seq", expvar.Func(func() any { return rep.Seq() }))
+	fmt.Fprintf(os.Stderr, "saenet replica: shard %d of %s at seq %d, tailing %s\n",
+		info.Index, info.Plan, rep.Seq(), primaryAddr)
+	fmt.Fprintf(os.Stderr, "saenet replica: serving on %s (ctrl-c to stop)\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	feed.Close()
+	srv.Close()
+}
+
 func splitAddrs(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -247,14 +356,35 @@ func splitAddrs(s string) []string {
 	return out
 }
 
+// splitReplicaLists parses the router's -replicas flag: semicolons
+// separate shards (in shard order, one segment per shard), commas
+// separate a shard's replicas. A shard with no replicas is an empty
+// segment.
+func splitReplicaLists(s string) [][]string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	segs := strings.Split(s, ";")
+	out := make([][]string, len(segs))
+	for i, seg := range segs {
+		out[i] = splitAddrs(seg)
+	}
+	return out
+}
+
 // runRouter starts the router tier: one client-facing address, the
-// scatter-gather against the shard servers on the server side.
-func runRouter(addr, spAddr, teAddr, tomAddr string, upTimeout time.Duration) {
+// scatter-gather against the shard servers on the server side. With
+// -replicas, each shard's read replicas join its endpoint set behind
+// health probing, failover and (with -hedge-after) hedged requests.
+func runRouter(addr, spAddr, teAddr, tomAddr, replicaLists string, upTimeout, hedgeAfter time.Duration, maxLag uint64) {
 	cfg := router.Config{
 		SPs:             splitAddrs(spAddr),
 		TEs:             splitAddrs(teAddr),
 		TOMs:            splitAddrs(tomAddr),
+		Replicas:        splitReplicaLists(replicaLists),
 		UpstreamTimeout: upTimeout,
+		HedgeAfter:      hedgeAfter,
+		MaxLag:          maxLag,
 		Logf:            wire.Logf("router"),
 	}
 	if len(cfg.SPs) == 0 || len(cfg.TEs) == 0 {
@@ -265,10 +395,24 @@ func runRouter(addr, spAddr, teAddr, tomAddr string, upTimeout time.Duration) {
 	if err != nil {
 		fail(err)
 	}
+	// Failover observability: scalar counters for alerting plus the full
+	// per-upstream health table, all on /debug/vars when -pprof is set.
+	expvar.Publish("sae_router_failovers", expvar.Func(func() any { return r.Counters().Failovers }))
+	expvar.Publish("sae_router_hedges_won", expvar.Func(func() any { return r.Counters().HedgesWon }))
+	expvar.Publish("sae_router_hedges_lost", expvar.Func(func() any { return r.Counters().HedgesLost }))
+	expvar.Publish("sae_router_counters", expvar.Func(func() any { return r.Counters() }))
+	expvar.Publish("sae_router_upstreams", expvar.Func(func() any { return r.Health() }))
 	if err := r.Serve(addr); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "saenet router: %d shards under %s\n", r.Shards(), r.Plan())
+	if nrep := len(cfg.Replicas); nrep > 0 {
+		total := 0
+		for _, l := range cfg.Replicas {
+			total += len(l)
+		}
+		fmt.Fprintf(os.Stderr, "saenet router: %d replicas across %d shards, hedge-after %v\n", total, nrep, hedgeAfter)
+	}
 	fmt.Fprintf(os.Stderr, "saenet router: serving on %s (ctrl-c to stop)\n", r.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -370,6 +514,136 @@ func runPlainClient(routerAddr string, queries int, seed int64, aggMode bool) {
 	}
 	fmt.Printf("\n%d queries, %d records, %v elapsed\n", len(qs), total, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("wire bytes: router->client %d\n", client.SP.BytesReceived()+client.TE.BytesReceived())
+}
+
+// runChaos is the client half of the chaos harness: a writer trickles
+// inserts into the shard primaries (high-ID records routed by the
+// attested plan) while -workers concurrent verified readers hammer the
+// router, each enforcing the XOR verification and its own monotonic
+// freshness floor. It prints a single accounting line and exits 0 only
+// if every read verified and every write was acked — kill and restart
+// replicas under the router while this runs and the line must still say
+// zero failures.
+func runChaos(routerAddr, spAddr string, duration time.Duration, workers int, seed int64) {
+	if routerAddr == "" || spAddr == "" {
+		fmt.Fprintln(os.Stderr, "saenet chaos: -router and -sp (the shard primaries, in shard order) are required")
+		os.Exit(2)
+	}
+	primAddrs := splitAddrs(spAddr)
+	prims := make([]*wire.SPClient, len(primAddrs))
+	for i, a := range primAddrs {
+		c, err := wire.DialSP(a)
+		if err != nil {
+			fail(fmt.Errorf("chaos: primary %s: %w", a, err))
+		}
+		defer c.Close()
+		prims[i] = c
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	info, err := prims[0].ShardMapCtx(ctx)
+	cancelCtx()
+	if err != nil {
+		fail(fmt.Errorf("chaos: primary plan: %w", err))
+	}
+	plan := info.Plan
+	if plan.Shards() != len(prims) {
+		fail(fmt.Errorf("chaos: plan has %d shards, -sp lists %d primaries", plan.Shards(), len(prims)))
+	}
+
+	stop := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		reads    atomic.Uint64
+		written  atomic.Uint64
+		writeErr error
+		readErrs = make([]error, workers)
+	)
+
+	// Writer: small batches every couple of milliseconds, IDs far above
+	// the synthetic dataset's, keys spread across the domain so every
+	// shard keeps advancing its generation during the churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		base := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			perShard := make(map[int][]record.Record)
+			for i := 0; i < 4; i++ {
+				key := record.Key(uint64(base+i) * 7919 % record.KeyDomain)
+				s := plan.ShardFor(key)
+				perShard[s] = append(perShard[s], record.Synthesize(record.ID(1<<40+base+i), key))
+			}
+			for s, recs := range perShard {
+				if err := prims[s].InsertBatch(recs); err != nil {
+					writeErr = fmt.Errorf("shard %d insert: %w", s, err)
+					return
+				}
+				written.Add(uint64(len(recs)))
+			}
+			base += 4
+		}
+	}()
+
+	// Verified readers through the router's single address.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vc, err := wire.DialVerified(routerAddr)
+			if err != nil {
+				readErrs[w] = err
+				return
+			}
+			defer vc.Close()
+			qs := workload.Queries(64, workload.DefaultExtent, seed+int64(1000*w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := vc.Query(qs[i%len(qs)]); err != nil {
+					readErrs[w] = fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+				reads.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	failed := 0
+	if writeErr != nil {
+		failed++
+		fmt.Fprintf(os.Stderr, "saenet chaos: writer failed: %v\n", writeErr)
+	}
+	for w, err := range readErrs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "saenet chaos: reader %d failed: %v\n", w, err)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("chaos: FAIL — %d verified reads, %d records written, %d failures\n",
+			reads.Load(), written.Load(), failed)
+		os.Exit(1)
+	}
+	if reads.Load() == 0 {
+		fmt.Println("chaos: FAIL — no verified reads completed")
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: PASS — %d verified reads, %d records written, 0 failures\n",
+		reads.Load(), written.Load())
 }
 
 // startDebugServer exposes the process on addr for profiling and

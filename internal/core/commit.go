@@ -24,6 +24,15 @@ type CommitStats struct {
 	Syncs  int64 // WAL fsyncs issued
 }
 
+// CommitHook observes every successfully applied commit group. It runs
+// under the commit lock, after the group is visible in both parties and
+// before the next group can apply, so hooks see groups exactly once, in
+// sequence order, at the very boundary the group became the system's
+// state. The replication hub rides this to retain recent groups for
+// replica tailing. Hooks must be fast and must not call back into the
+// committer.
+type CommitHook func(seq uint64, ops []wal.Op)
+
 // GroupCommitter coalesces concurrent Insert/Delete submissions into
 // commit groups. Each group is logged with ONE WAL append + fsync,
 // applied to the SP under ONE structure-lock acquisition and to the TE
@@ -45,6 +54,13 @@ type GroupCommitter struct {
 	// captures the SP and the TE at the same group boundary — never one
 	// party mid-group ahead of the other.
 	commitMu sync.RWMutex
+
+	// applied is the sequence of the last group whose application
+	// completed — the system's generation stamp. Guarded by commitMu (it
+	// advances only under the exclusive lock), so a ReadView observes a
+	// stamp consistent with the state it reads.
+	applied uint64
+	hook    CommitHook // fired under commitMu after each applied group
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue, group completion, and close
@@ -237,6 +253,12 @@ func (gc *GroupCommitter) commitGroup(seq uint64, group []pendingOp) {
 		if err = gc.sp.ApplyBatchCtx(ctx, ops); err == nil {
 			err = gc.te.ApplyBatchCtx(ctx, ops)
 		}
+		if err == nil {
+			gc.applied = seq
+			if gc.hook != nil {
+				gc.hook(seq, ops)
+			}
+		}
 		gc.commitMu.Unlock()
 		exec.PutContext(ctx)
 	}
@@ -263,6 +285,35 @@ func (gc *GroupCommitter) Snapshot() (*SPSnapshot, *TESnapshot, error) {
 		return nil, nil, err
 	}
 	return sps, tes, nil
+}
+
+// SetCommitHook installs the commit observer. Install it before the
+// committer sees traffic (or while quiesced): the hook is read under the
+// commit lock, but a group committing concurrently with the install may
+// run either with or without it.
+func (gc *GroupCommitter) SetCommitHook(h CommitHook) {
+	gc.commitMu.Lock()
+	gc.hook = h
+	gc.commitMu.Unlock()
+}
+
+// AppliedSeq returns the generation stamp: the sequence of the last
+// commit group visible in both parties.
+func (gc *GroupCommitter) AppliedSeq() uint64 {
+	gc.commitMu.RLock()
+	defer gc.commitMu.RUnlock()
+	return gc.applied
+}
+
+// ReadView runs f with the commit lock held shared: no group can apply
+// while f runs, so everything f reads from the SP and the TE belongs to
+// the single generation stamp it is handed. This is what lets one
+// response carry records, a verification token and a generation stamp
+// that are mutually consistent even under a concurrent write burst.
+func (gc *GroupCommitter) ReadView(f func(seq uint64) error) error {
+	gc.commitMu.RLock()
+	defer gc.commitMu.RUnlock()
+	return f(gc.applied)
 }
 
 // Stats returns the committer's counters.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"slices"
 
+	"sae/internal/digest"
 	"sae/internal/exec"
 	"sae/internal/pagestore"
 	"sae/internal/record"
@@ -222,12 +223,59 @@ func OpenDurableSystem(dir string, initial []record.Record, maxGroup int) (*Dura
 	ds.committer.mu.Lock()
 	ds.committer.seq = maxSeq
 	ds.committer.mu.Unlock()
+	ds.committer.commitMu.Lock()
+	ds.committer.applied = maxSeq
+	ds.committer.commitMu.Unlock()
 	return ds, nil
 }
 
 func fileExists(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
+}
+
+// EncodeSnapshot appends a sequence-stamped record dump in the
+// checkpoint's own byte format (magic, sequence, count, packed records)
+// to buf. A replica bootstrapping over the wire parses exactly the bytes
+// a DurableSystem checkpoint file holds.
+func EncodeSnapshot(buf []byte, recs []record.Record, seq uint64) []byte {
+	buf = append(buf, checkpointMagic...)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	buf = append(buf, hdr[:]...)
+	for i := range recs {
+		buf = recs[i].AppendBinary(buf)
+	}
+	return buf
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload back into the record
+// set and the generation stamp it was cut at.
+func DecodeSnapshot(b []byte) ([]record.Record, uint64, error) {
+	if len(b) < len(checkpointMagic)+16 {
+		return nil, 0, fmt.Errorf("core: snapshot of %d bytes is truncated", len(b))
+	}
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("core: bad snapshot magic %q", b[:len(checkpointMagic)])
+	}
+	b = b[len(checkpointMagic):]
+	seq := binary.BigEndian.Uint64(b[:8])
+	n := binary.BigEndian.Uint64(b[8:16])
+	b = b[16:]
+	if n > uint64(len(b))/record.Size || uint64(len(b)) != n*record.Size {
+		return nil, 0, fmt.Errorf("core: snapshot claims %d records but carries %d bytes", n, len(b))
+	}
+	recs := make([]record.Record, n)
+	for i := range recs {
+		r, err := record.Unmarshal(b[:record.Size])
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: decoding snapshot record %d: %w", i, err)
+		}
+		recs[i] = r
+		b = b[record.Size:]
+	}
+	return recs, seq, nil
 }
 
 // Committer exposes the system's group committer (benchmarks, wire
@@ -282,6 +330,50 @@ func (ds *DurableSystem) Query(q record.Range) (QueryOutcome, error) {
 // Snapshot opens a consistent SP+TE snapshot pair at a group boundary.
 func (ds *DurableSystem) Snapshot() (*SPSnapshot, *TESnapshot, error) {
 	return ds.committer.Snapshot()
+}
+
+// Seq returns the system's generation stamp: the sequence of the last
+// commit group visible in both parties.
+func (ds *DurableSystem) Seq() uint64 { return ds.committer.AppliedSeq() }
+
+// ServeVerified answers one range query atomically at a single commit
+// boundary: the emitted records, the verification token and the returned
+// generation stamp all describe the same group sequence, even while a
+// concurrent write burst is advancing the system. This is the primary's
+// half of the replica-set contract — a client (or router) that receives
+// the triple can verify the records against the token with the ordinary
+// XOR check and knows exactly which generation it is looking at.
+func (ds *DurableSystem) ServeVerified(q record.Range, emit func(*record.Record) error) (n int, vt digest.Digest, seq uint64, err error) {
+	err = ds.committer.ReadView(func(s uint64) error {
+		seq = s
+		ctx := exec.NewContext()
+		var serveErr error
+		n, _, serveErr = ds.SP.ServeRangeCtx(ctx, q, emit)
+		if serveErr != nil {
+			return serveErr
+		}
+		vt, _, serveErr = ds.TE.GenerateVTCtx(ctx, q)
+		return serveErr
+	})
+	return n, vt, seq, err
+}
+
+// SnapshotRecords returns the full record set in key order together with
+// the generation stamp it belongs to, read under the commit lock so no
+// group can slip in between the scan and the stamp. This is the
+// wire-transfer twin of Checkpoint: EncodeSnapshot of the returned pair
+// is byte-compatible with the records.dat a checkpoint would have
+// written at the same boundary, and it is what bootstraps a replica.
+func (ds *DurableSystem) SnapshotRecords() ([]record.Record, uint64, error) {
+	var recs []record.Record
+	var seq uint64
+	err := ds.committer.ReadView(func(s uint64) error {
+		seq = s
+		var qErr error
+		recs, _, qErr = ds.SP.QueryCtx(exec.NewContext(), record.Range{Lo: 0, Hi: record.KeyDomain})
+		return qErr
+	})
+	return recs, seq, err
 }
 
 // Checkpoint quiesces the committer, dumps the owner's records as the

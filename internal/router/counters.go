@@ -1,0 +1,79 @@
+package router
+
+import "sync/atomic"
+
+// counters are the router's failure-handling tallies, shared by every
+// endpoint set and bumped lock-free on the request path. They exist for
+// operators, not for correctness: verification never depends on them.
+type counters struct {
+	failovers    atomic.Uint64 // attempts abandoned for a different endpoint
+	hedges       atomic.Uint64 // hedge legs launched
+	hedgesWon    atomic.Uint64 // hedge legs that answered first
+	hedgesLost   atomic.Uint64 // hedge legs cancelled by the primary leg
+	staleRejects atomic.Uint64 // answers rejected for exceeding the staleness bound
+	evictions    atomic.Uint64 // connections dropped as broken
+	reconnects   atomic.Uint64 // fresh dials after a breakage
+}
+
+// Counters is a point-in-time snapshot of the router's failure-handling
+// tallies (see the Observability section of the README).
+type Counters struct {
+	Failovers    uint64
+	Hedges       uint64
+	HedgesWon    uint64
+	HedgesLost   uint64
+	StaleRejects uint64
+	Evictions    uint64
+	Reconnects   uint64
+}
+
+// Counters snapshots the router's failure-handling tallies.
+func (r *Router) Counters() Counters {
+	return Counters{
+		Failovers:    r.ctrs.failovers.Load(),
+		Hedges:       r.ctrs.hedges.Load(),
+		HedgesWon:    r.ctrs.hedgesWon.Load(),
+		HedgesLost:   r.ctrs.hedgesLost.Load(),
+		StaleRejects: r.ctrs.staleRejects.Load(),
+		Evictions:    r.ctrs.evictions.Load(),
+		Reconnects:   r.ctrs.reconnects.Load(),
+	}
+}
+
+// UpstreamHealth describes one upstream endpoint's current state.
+type UpstreamHealth struct {
+	Shard int
+	Role  string
+	Addr  string
+	Down  bool   // inside its reconnect-backoff window
+	Gen   uint64 // newest generation stamp observed (0 if unstamped)
+}
+
+func healthOf[T upstream](s *endpointSet[T], out []UpstreamHealth) []UpstreamHealth {
+	for _, ep := range s.eps {
+		out = append(out, UpstreamHealth{
+			Shard: ep.shard,
+			Role:  ep.role,
+			Addr:  ep.addr,
+			Down:  ep.isDown(),
+			Gen:   ep.gen.Load(),
+		})
+	}
+	return out
+}
+
+// Health reports every upstream endpoint's state, shard by shard.
+func (r *Router) Health() []UpstreamHealth {
+	var out []UpstreamHealth
+	for i := range r.sps {
+		out = healthOf(r.sps[i], out)
+		out = healthOf(r.tes[i], out)
+		if i < len(r.vqs) {
+			out = healthOf(r.vqs[i], out)
+		}
+		if i < len(r.toms) {
+			out = healthOf(r.toms[i], out)
+		}
+	}
+	return out
+}

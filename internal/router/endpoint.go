@@ -1,0 +1,483 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sae/internal/shard"
+	"sae/internal/wire"
+)
+
+// upstream is what the router needs from any wire client: lifecycle,
+// liveness, and the attestation/stamp probes the health loop runs.
+type upstream interface {
+	Close() error
+	Err() error
+	ShardMapCtx(context.Context) (wire.ShardInfo, error)
+	GenStampCtx(context.Context) (uint64, error)
+}
+
+// Reconnect backoff: a failed upstream is retried after backoffMin,
+// doubling (plus jitter) up to backoffMax. The cap stays well under a
+// chaos harness's restart cadence so a revived process is re-adopted
+// within a probe interval or two.
+const (
+	backoffMin = 25 * time.Millisecond
+	backoffMax = 500 * time.Millisecond
+)
+
+// maxAttempts bounds how many distinct endpoints one request may fail
+// over across before the error goes back to the client.
+const maxAttempts = 3
+
+// errStale marks an answer whose generation stamp lags the set's newest
+// observed stamp by more than the configured bound. It triggers failover
+// to a fresher endpoint WITHOUT evicting the connection — the replica is
+// healthy, just behind.
+var errStale = errors.New("router: answer exceeds the staleness bound")
+
+// errAttestMismatch marks an upstream that dialed fine but attests a
+// different shard or plan than it was configured as. Unlike a dead
+// process (which may come back) this is a wiring error: New fails fast
+// on it rather than quietly running degraded forever.
+var errAttestMismatch = errors.New("router: upstream attestation mismatch")
+
+// endpoint is one upstream address with its pooled pipelined connections
+// and health state. Connections are (re)dialed lazily: a dead endpoint
+// costs nothing until its backoff expires, and a revived one is adopted
+// on the next pick or probe.
+type endpoint[T upstream] struct {
+	addr    string
+	shard   int
+	role    string
+	dial    func(string) (T, error)
+	stamped bool // speaks MsgGenStampReq (a primary or replica server)
+	ctrs    *counters
+
+	// attest, when non-nil, is re-checked on every fresh dial: the
+	// upstream must report this plan and the endpoint's shard index, so
+	// a process restarted with the wrong dataset (or a port reused by a
+	// stranger) is rejected instead of adopted.
+	attest *shard.Plan
+
+	mu      sync.Mutex
+	conns   []T
+	next    int
+	down    bool
+	broken  bool // saw an eviction or markDown since the last clean dial
+	retryAt time.Time
+	backoff time.Duration
+
+	gen atomic.Uint64 // newest generation stamp observed from this upstream
+}
+
+// acquire returns a live connection, evicting dead ones and redialing up
+// to want connections. While the endpoint is inside its backoff window
+// with no live connections it fails fast.
+func (e *endpoint[T]) acquire(want int) (T, error) {
+	var zero T
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Evict connections whose receive loop has died (the passive half of
+	// failure detection: a mid-flight breakage poisons the conn, and it
+	// must never be round-robined back into service).
+	live := e.conns[:0]
+	for _, c := range e.conns {
+		if c.Err() != nil {
+			c.Close()
+			e.ctrs.evictions.Add(1)
+			e.broken = true
+		} else {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < len(e.conns); i++ {
+		e.conns[i] = zero
+	}
+	e.conns = live
+	if len(e.conns) == 0 && e.down && time.Now().Before(e.retryAt) {
+		return zero, fmt.Errorf("router: %s %s (shard %d) is down, retrying after backoff", e.role, e.addr, e.shard)
+	}
+	for len(e.conns) < want {
+		c, err := e.dialChecked()
+		if err != nil {
+			if len(e.conns) > 0 {
+				break // serve on what we have
+			}
+			e.markDownLocked()
+			return zero, err
+		}
+		if e.broken {
+			e.ctrs.reconnects.Add(1)
+		}
+		e.conns = append(e.conns, c)
+	}
+	e.down = false
+	e.next++
+	return e.conns[e.next%len(e.conns)], nil
+}
+
+// dialChecked dials one connection and, when an attestation is pinned,
+// verifies the upstream still reports the expected shard and plan.
+func (e *endpoint[T]) dialChecked() (T, error) {
+	var zero T
+	c, err := e.dial(e.addr)
+	if err != nil {
+		return zero, err
+	}
+	if e.attest != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		si, err := c.ShardMapCtx(ctx)
+		cancel()
+		if err != nil {
+			c.Close()
+			return zero, fmt.Errorf("router: attesting %s %s: %w", e.role, e.addr, err)
+		}
+		if si.Index != e.shard || !si.Plan.Equal(*e.attest) {
+			c.Close()
+			return zero, fmt.Errorf("%w: %s %s attests shard %d of %d, dialed as shard %d",
+				errAttestMismatch, e.role, e.addr, si.Index, si.Plan.Shards(), e.shard)
+		}
+	}
+	return c, nil
+}
+
+// evict drops a connection that failed mid-flight and, if it was the
+// last one, marks the endpoint down with backoff.
+func (e *endpoint[T]) evict(bad T) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var zero T
+	for i, c := range e.conns {
+		if any(c) == any(bad) {
+			c.Close()
+			e.ctrs.evictions.Add(1)
+			e.broken = true
+			e.conns[i] = e.conns[len(e.conns)-1]
+			e.conns[len(e.conns)-1] = zero
+			e.conns = e.conns[:len(e.conns)-1]
+			break
+		}
+	}
+	if len(e.conns) == 0 {
+		e.markDownLocked()
+	}
+}
+
+// markDownLocked starts (or extends) the backoff window: exponential
+// with jitter so a fleet of routers does not stampede a restarting
+// upstream in lockstep.
+func (e *endpoint[T]) markDownLocked() {
+	e.down = true
+	e.broken = true
+	if e.backoff < backoffMin {
+		e.backoff = backoffMin
+	} else if e.backoff *= 2; e.backoff > backoffMax {
+		e.backoff = backoffMax
+	}
+	jitter := time.Duration(rand.Int63n(int64(e.backoff)/2 + 1))
+	e.retryAt = time.Now().Add(e.backoff + jitter)
+}
+
+// markUp records a successful round trip: the endpoint is healthy and
+// its backoff resets.
+func (e *endpoint[T]) markUp() {
+	e.mu.Lock()
+	e.down = false
+	e.backoff = 0
+	e.mu.Unlock()
+}
+
+func (e *endpoint[T]) isDown() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down && time.Now().Before(e.retryAt)
+}
+
+// closeAll closes every pooled connection (router shutdown).
+func (e *endpoint[T]) closeAll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, c := range e.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.conns = nil
+	return first
+}
+
+// endpointSet is one shard's replica set for one role (SP reads, TE
+// tokens, verified queries, TOM): the primary plus any replicas, with
+// pick/failover/hedging across them.
+type endpointSet[T upstream] struct {
+	role  string
+	shard int
+	eps   []*endpoint[T]
+	next  atomic.Uint32
+
+	conns      int
+	hedgeAfter time.Duration
+	maxLag     uint64
+	ctrs       *counters
+
+	// maxGen is the newest generation stamp observed from ANY endpoint
+	// of this set — the freshness bar replicas are measured against.
+	maxGen atomic.Uint64
+}
+
+func (s *endpointSet[T]) add(ep *endpoint[T]) { s.eps = append(s.eps, ep) }
+
+// noteGen records a stamp observed from ep and reports whether ep now
+// exceeds the staleness bound.
+func (s *endpointSet[T]) noteGen(ep *endpoint[T], gen uint64) (stale bool) {
+	ep.gen.Store(gen)
+	for {
+		cur := s.maxGen.Load()
+		if gen <= cur || s.maxGen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	return s.isStaleGen(gen)
+}
+
+func (s *endpointSet[T]) isStaleGen(gen uint64) bool {
+	max := s.maxGen.Load()
+	return max > gen && max-gen > s.maxLag
+}
+
+func (s *endpointSet[T]) isStale(ep *endpoint[T]) bool {
+	return ep.stamped && s.isStaleGen(ep.gen.Load())
+}
+
+// pick chooses the next endpoint to try, round-robin with two quality
+// passes: first the healthy-and-fresh, then anything not in backoff.
+// Endpoints in skip (already tried this request) are never returned.
+func (s *endpointSet[T]) pick(skip map[*endpoint[T]]bool) *endpoint[T] {
+	n := len(s.eps)
+	if n == 0 {
+		return nil
+	}
+	start := int(s.next.Add(1))
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			ep := s.eps[(start+i)%n]
+			if skip[ep] {
+				continue
+			}
+			if pass == 0 && (ep.isDown() || s.isStale(ep)) {
+				continue
+			}
+			if pass == 1 && ep.isDown() {
+				continue
+			}
+			return ep
+		}
+	}
+	// Everything usable is down or tried; hand back the first untried
+	// endpoint anyway — its acquire fails fast inside backoff, and a
+	// just-revived process gets adopted without waiting for the prober.
+	for i := 0; i < n; i++ {
+		ep := s.eps[(start+i)%n]
+		if !skip[ep] {
+			return ep
+		}
+	}
+	return nil
+}
+
+// opFunc is one request attempt against one upstream connection. ep is
+// supplied so verified ops can record the generation stamps they parse.
+type opFunc[T upstream] func(ctx context.Context, c T, ep *endpoint[T]) (any, error)
+
+// do runs op with bounded failover: up to maxAttempts distinct endpoints
+// are tried. A typed ServerError never fails over (it came over a
+// healthy connection and would recur anywhere); a parent-context expiry
+// never retries (the client's budget is spent); a stale answer retries
+// without eviction; everything else evicts the implicated connection and
+// moves on. With hedging configured, each attempt may race two
+// endpoints.
+func (s *endpointSet[T]) do(parent context.Context, op opFunc[T]) (any, error) {
+	tried := make(map[*endpoint[T]]bool, maxAttempts)
+	var lastErr error
+	for try := 0; try < maxAttempts; try++ {
+		ep := s.pick(tried)
+		if ep == nil {
+			break
+		}
+		tried[ep] = true
+		var v any
+		var err error
+		if s.hedgeAfter > 0 && len(s.eps) > 1 {
+			v, err = s.attemptHedged(parent, ep, tried, op)
+		} else {
+			v, err = s.attempt(parent, ep, op)
+		}
+		if err == nil {
+			return v, nil
+		}
+		var se *wire.ServerError
+		if errors.As(err, &se) {
+			return nil, err
+		}
+		if parent.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		s.ctrs.failovers.Add(1)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("router: shard %d has no usable %s upstream", s.shard, s.role)
+	}
+	return nil, lastErr
+}
+
+// attempt runs op once against ep under a per-attempt context.
+func (s *endpointSet[T]) attempt(parent context.Context, ep *endpoint[T], op opFunc[T]) (any, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return s.attemptOn(ctx, ep, op)
+}
+
+// attemptOn is attempt with caller-owned context (the hedged race keeps
+// both legs' contexts alive until a winner is chosen).
+func (s *endpointSet[T]) attemptOn(ctx context.Context, ep *endpoint[T], op opFunc[T]) (any, error) {
+	c, err := ep.acquire(s.conns)
+	if err != nil {
+		return nil, err
+	}
+	v, err := op(ctx, c, ep)
+	if err == nil {
+		ep.markUp()
+		return v, nil
+	}
+	if errors.Is(err, errStale) {
+		s.ctrs.staleRejects.Add(1)
+		return nil, err
+	}
+	var se *wire.ServerError
+	if errors.As(err, &se) {
+		return nil, err
+	}
+	if ctx.Err() == nil {
+		// Not our cancellation and not a server-reported failure: the
+		// connection itself is implicated.
+		ep.evict(c)
+	}
+	return nil, err
+}
+
+// attemptHedged races ep against a second endpoint started hedgeAfter
+// later: the first success wins and the loser's context is cancelled,
+// which abandons its in-flight request (the wire layer drops the pending
+// entry, so the late response frame is discarded, never double-
+// delivered). The hedge endpoint is added to tried.
+func (s *endpointSet[T]) attemptHedged(parent context.Context, ep1 *endpoint[T], tried map[*endpoint[T]]bool, op opFunc[T]) (any, error) {
+	type legResult struct {
+		v     any
+		err   error
+		hedge bool
+	}
+	ch := make(chan legResult, 2)
+	ctx1, cancel1 := context.WithCancel(parent)
+	defer cancel1()
+	go func() {
+		v, err := s.attemptOn(ctx1, ep1, op)
+		ch <- legResult{v, err, false}
+	}()
+	timer := time.NewTimer(s.hedgeAfter)
+	defer timer.Stop()
+	var cancel2 context.CancelFunc
+	hedged := false
+	outstanding := 1
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			ep2 := s.pick(tried)
+			if ep2 == nil {
+				continue
+			}
+			tried[ep2] = true
+			hedged = true
+			s.ctrs.hedges.Add(1)
+			var ctx2 context.Context
+			ctx2, cancel2 = context.WithCancel(parent)
+			defer cancel2()
+			outstanding++
+			go func() {
+				v, err := s.attemptOn(ctx2, ep2, op)
+				ch <- legResult{v, err, true}
+			}()
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				if res.hedge {
+					s.ctrs.hedgesWon.Add(1)
+					cancel1()
+				} else if hedged {
+					s.ctrs.hedgesLost.Add(1)
+					cancel2()
+				}
+				// A still-outstanding loser finishes into the buffered
+				// channel and is garbage collected; nothing blocks.
+				return res.v, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// probe runs one health pass over the set: endpoints past their backoff
+// window are redialed (with attestation), and stamped endpoints are asked
+// for their generation stamp so the set's freshness bar stays current even
+// when no client traffic is flowing.
+func (s *endpointSet[T]) probe(timeout time.Duration) {
+	for _, ep := range s.eps {
+		if ep.isDown() {
+			continue // still inside the backoff window
+		}
+		c, err := ep.acquire(1)
+		if err != nil || !ep.stamped {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		gen, err := c.GenStampCtx(ctx)
+		timedOut := ctx.Err() != nil
+		cancel()
+		if err != nil {
+			// A typed server error (endpoint does not speak the stamp) and a
+			// probe timeout (slow, not provably dead) leave the connection
+			// alone; a transport failure evicts it.
+			var se *wire.ServerError
+			if !errors.As(err, &se) && !timedOut {
+				ep.evict(c)
+			}
+			continue
+		}
+		s.noteGen(ep, gen)
+		ep.markUp()
+	}
+}
+
+func (s *endpointSet[T]) closeAll() error {
+	var first error
+	for _, ep := range s.eps {
+		if err := ep.closeAll(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

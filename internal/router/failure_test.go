@@ -6,7 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"sae/internal/core"
 	"sae/internal/record"
+	"sae/internal/replica"
+	"sae/internal/shard"
 	"sae/internal/wire"
 	"sae/internal/workload"
 )
@@ -100,6 +103,102 @@ func TestRouterSlowShardTimeout(t *testing.T) {
 	q0 := record.Range{Lo: d.sys.Plan.Span(0).Lo, Hi: d.sys.Plan.Span(0).Lo + 100_000}
 	if _, err := vc.Query(q0); err != nil {
 		t.Fatalf("query avoiding the slow shard failed: %v", err)
+	}
+}
+
+// TestRouterHedgedCancellation: with HedgeAfter set, a stalled endpoint
+// is raced against a healthy sibling, the fast leg's answer wins and
+// verifies, and the loser's in-flight request is cancelled — its
+// connection survives (no eviction for a cancellation) and no response
+// is ever double-delivered. Runs under -race in CI: the two legs share
+// the endpoint set's counters and generation tracking.
+func TestRouterHedgedCancellation(t *testing.T) {
+	ds, err := workload.Generate(workload.UNF, 3_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.OpenDurableSystem(t.TempDir(), ds.Records, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	hub := replica.Attach(sys, 0)
+	plan := shard.PlanFor(ds.Records, 1)
+	psrv, err := wire.ServePrimary("127.0.0.1:0", sys, hub, nil,
+		wire.WithShardInfo(wire.ShardInfo{Index: 0, Plan: plan}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+
+	// A fake "replica" that attests and stamps correctly but stalls every
+	// verified query until the test ends — the pathological slow sibling.
+	release := make(chan struct{})
+	fake, err := wire.Serve("127.0.0.1:0", func(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+		switch req.Type {
+		case wire.MsgShardMapReq:
+			return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 0, Plan: plan})}
+		case wire.MsgGenStampReq:
+			rb.AppendUint64(sys.Seq())
+			return wire.Frame{Type: wire.MsgGenStamp, Payload: rb.Bytes()}
+		case wire.MsgVerifiedQuery:
+			<-release
+			return wire.ErrFrame(wire.ErrProtocol)
+		default:
+			return wire.ErrFrame(wire.ErrProtocol)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	defer close(release) // runs before fake.Close: stalled handlers drain
+
+	r, err := New(Config{
+		SPs:           []string{psrv.Addr()},
+		TEs:           []string{psrv.Addr()},
+		Replicas:      [][]string{{fake.Addr()}},
+		HedgeAfter:    15 * time.Millisecond,
+		MaxLag:        1 << 30, // the fake never answers, so its gen stays 0
+		ProbeInterval: -1,      // deterministic: no background stamping
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := wire.DialVerified(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	// Round-robin sends roughly half the queries to the stalled endpoint
+	// first; every one of them must still answer — via the hedge — and
+	// verify.
+	q := record.Range{Lo: 0, Hi: record.KeyDomain}
+	for i := 0; i < 8; i++ {
+		recs, _, err := vc.Query(q)
+		if err != nil {
+			t.Fatalf("hedged query %d: %v", i, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("hedged query %d returned no records", i)
+		}
+	}
+	ctrs := r.Counters()
+	if ctrs.Hedges == 0 {
+		t.Fatalf("no hedge was ever launched: %+v", ctrs)
+	}
+	if ctrs.HedgesWon == 0 {
+		t.Fatalf("hedges launched but none won (the stalled endpoint cannot win): %+v", ctrs)
+	}
+	// Cancelled legs must not have evicted the stalled endpoint's healthy
+	// connection: a cancellation implicates the request, not the conn.
+	if ctrs.Evictions != 0 {
+		t.Fatalf("hedge cancellations evicted connections: %+v", ctrs)
 	}
 }
 

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -33,6 +34,10 @@ func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		return r.handleAggToken(req, rb)
 	case wire.MsgTOMAggQuery:
 		return r.handleTOMAgg(req, rb)
+	case wire.MsgVerifiedQuery:
+		return r.handleVerifiedQuery(req, rb)
+	case wire.MsgGenStampReq:
+		return r.handleGenStamp(rb)
 	case wire.MsgShardMapReq:
 		// Relay the TE-attested partition plan for observability and
 		// tooling. The index slot is meaningless for a router; by
@@ -62,11 +67,12 @@ func (r *Router) scatterSubs(q record.Range) []shard.SubQuery {
 	return subs
 }
 
-// gatherRecords fans a range out to the overlapping shard SPs and
-// appends the merged EncodeRecords payload (count + packed records) to
-// rb, without decoding a single record: each shard's sub-result is
-// validated for framing and spliced into the response in shard order.
-// It returns the merged record count.
+// gatherRecords fans a range out to the overlapping shards' SP endpoint
+// sets (primary plus replicas, with failover and hedging) and appends
+// the merged EncodeRecords payload (count + packed records) to rb,
+// without decoding a single record: each shard's sub-result is validated
+// for framing and spliced into the response in shard order. It returns
+// the merged record count.
 func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
 	subs := r.scatterSubs(q)
 	raws := make([][]byte, len(subs))
@@ -78,12 +84,14 @@ func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			raw, err := r.sps[subs[i].Shard].pick().QueryRawCtx(ctx, subs[i].Sub)
+			v, err := r.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+				return c.QueryRawCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d SP: %w", subs[i].Shard, err)
 				return
 			}
-			raws[i] = raw
+			raws[i] = v.([]byte)
 		}(i)
 	}
 	wg.Wait()
@@ -158,12 +166,14 @@ func (r *Router) handleBatchQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			raw, err := r.sps[idx].pick().QueryBatchRawCtx(ctx, subs[idx])
+			v, err := r.sps[idx].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+				return c.QueryBatchRawCtx(ctx, subs[idx])
+			})
 			if err != nil {
 				errs[idx] = fmt.Errorf("router: shard %d SP batch: %w", idx, err)
 				return
 			}
-			raws[idx] = raw
+			raws[idx] = v.([]byte)
 		}(idx)
 	}
 	wg.Wait()
@@ -240,12 +250,14 @@ func (r *Router) gatherVT(q record.Range) (digest.Digest, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			vt, err := r.tes[subs[i].Shard].pick().GenerateVTWithCtx(ctx, subs[i].Sub)
+			v, err := r.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+				return c.GenerateVTWithCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d TE: %w", subs[i].Shard, err)
 				return
 			}
-			vts[i] = vt
+			vts[i] = v.(digest.Digest)
 		}(i)
 	}
 	wg.Wait()
@@ -297,12 +309,14 @@ func (r *Router) handleBatchVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			vts, err := r.tes[idx].pick().GenerateVTBatchCtx(ctx, subs[idx])
+			v, err := r.tes[idx].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+				return c.GenerateVTBatchCtx(ctx, subs[idx])
+			})
 			if err != nil {
 				errs[idx] = fmt.Errorf("router: shard %d TE batch: %w", idx, err)
 				return
 			}
-			shardVTs[idx] = vts
+			shardVTs[idx] = v.([]digest.Digest)
 		}(idx)
 	}
 	wg.Wait()
@@ -341,11 +355,13 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	ctx, cancel := r.reqCtx()
 	defer cancel()
 	if r.plan.Shards() == 1 {
-		raw, err := r.toms[0].pick().QueryRawCtx(ctx, q)
+		v, err := r.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+			return c.QueryRawCtx(ctx, q)
+		})
 		if err != nil {
 			return wire.ErrFrame(fmt.Errorf("router: TOM: %w", err))
 		}
-		rb.Append(raw)
+		rb.Append(v.([]byte))
 		return wire.Frame{Type: wire.MsgTOMResult, Payload: rb.Bytes()}
 	}
 	subs := r.plan.Scatter(q)
@@ -356,12 +372,14 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			raw, err := r.toms[subs[i].Shard].pick().QueryRawCtx(ctx, subs[i].Sub)
+			v, err := r.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+				return c.QueryRawCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d TOM: %w", subs[i].Shard, err)
 				return
 			}
-			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: raw}
+			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: v.([]byte)}
 		}(i)
 	}
 	wg.Wait()
@@ -401,12 +419,14 @@ func (r *Router) handleAggQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			a, err := r.sps[subs[i].Shard].pick().AggregateWithCtx(ctx, subs[i].Sub)
+			v, err := r.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+				return c.AggregateWithCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d SP aggregate: %w", subs[i].Shard, err)
 				return
 			}
-			partials[i] = a
+			partials[i] = v.(agg.Agg)
 		}(i)
 	}
 	wg.Wait()
@@ -452,12 +472,14 @@ func (r *Router) handleAggToken(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tok, err := r.tes[subs[i].Shard].pick().AggTokenWithCtx(ctx, subs[i].Sub)
+			v, err := r.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+				return c.AggTokenWithCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d TE aggregate token: %w", subs[i].Shard, err)
 				return
 			}
-			toks[i] = tok
+			toks[i] = v.(agg.Token)
 		}(i)
 	}
 	wg.Wait()
@@ -497,11 +519,13 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	ctx, cancel := r.reqCtx()
 	defer cancel()
 	if r.plan.Shards() == 1 {
-		raw, err := r.toms[0].pick().AggregateRawCtx(ctx, q)
+		v, err := r.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+			return c.AggregateRawCtx(ctx, q)
+		})
 		if err != nil {
 			return wire.ErrFrame(fmt.Errorf("router: TOM aggregate: %w", err))
 		}
-		rb.Append(raw)
+		rb.Append(v.([]byte))
 		return wire.Frame{Type: wire.MsgTOMAggResult, Payload: rb.Bytes()}
 	}
 	subs := r.plan.Scatter(q)
@@ -512,12 +536,14 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			raw, err := r.toms[subs[i].Shard].pick().AggregateRawCtx(ctx, subs[i].Sub)
+			v, err := r.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+				return c.AggregateRawCtx(ctx, subs[i].Sub)
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("router: shard %d TOM aggregate: %w", subs[i].Shard, err)
 				return
 			}
-			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: raw}
+			parts[i] = wire.TOMShardPart{Shard: subs[i].Shard, Sub: subs[i].Sub, Blob: v.([]byte)}
 		}(i)
 	}
 	wg.Wait()
@@ -535,4 +561,113 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wire.AppendTOMShardedPart(rb, p.Shard, p.Sub, p.Blob)
 	}
 	return wire.Frame{Type: wire.MsgTOMAggShardedResult, Payload: rb.Bytes()}
+}
+
+// handleVerifiedQuery routes a stamped verified query across the
+// verified-capable endpoint sets (each shard's replicas plus a combined
+// primary). Each shard returns one atomic (gen, VT, records) triple; the
+// merge stamps the spanning answer with the MINIMUM generation (the
+// freshest bound that holds for every part), XORs the per-shard tokens
+// and splices the record payloads in shard order — so the client's
+// single-system verification (XOR match, key order, containment) and its
+// freshness floor both apply unchanged. Answers lagging the shard's
+// newest observed generation by more than MaxLag are rejected inside the
+// retry loop and served by a fresher sibling.
+func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	q, err := wire.DecodeRange(req.Payload)
+	if err != nil {
+		return wire.ErrFrame(err)
+	}
+	subs := r.plan.Scatter(q)
+	raws := make([][]byte, len(subs))
+	errs := make([]error, len(subs))
+	ctx, cancel := r.reqCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			set := r.vqs[subs[i].Shard]
+			v, err := set.do(ctx, func(ctx context.Context, c *wire.VerifiedClient, ep *endpoint[*wire.VerifiedClient]) (any, error) {
+				raw, err := c.QueryRawVerifiedCtx(ctx, subs[i].Sub)
+				if err != nil {
+					return nil, err
+				}
+				gen, _, _, err := wire.DecodeVerifiedResult(raw)
+				if err != nil {
+					return nil, err
+				}
+				if set.noteGen(ep, gen) {
+					return nil, fmt.Errorf("%w: shard %d endpoint stamped %d, newest observed %d",
+						errStale, subs[i].Shard, gen, set.maxGen.Load())
+				}
+				return raw, nil
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d verified: %w", subs[i].Shard, err)
+				return
+			}
+			raws[i] = v.([]byte)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+	}
+	if r.tamper != nil && r.tamper.replayVerified != nil {
+		raws = r.tamper.replayVerified(raws)
+	}
+	var acc digest.Accumulator
+	var minGen uint64
+	encs := make([][]byte, len(raws))
+	total := 0
+	for i, raw := range raws {
+		gen, vt, recsRaw, err := wire.DecodeVerifiedResult(raw)
+		if err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: shard %d verified result: %w", subs[i].Shard, err))
+		}
+		enc, rest, _, err := wire.RecordsView(recsRaw)
+		if err != nil {
+			return wire.ErrFrame(fmt.Errorf("router: shard %d verified result: %w", subs[i].Shard, err))
+		}
+		if len(rest) != 0 {
+			return wire.ErrFrame(fmt.Errorf("%w: shard %d verified result carries %d trailing bytes",
+				wire.ErrProtocol, subs[i].Shard, len(rest)))
+		}
+		acc.Add(vt)
+		if i == 0 || gen < minGen {
+			minGen = gen
+		}
+		encs[i] = enc
+		total += len(enc) / record.Size
+	}
+	rb.AppendUint64(minGen)
+	vt := acc.Sum()
+	rb.Append(vt[:])
+	rb.AppendUint32(uint32(total))
+	for _, enc := range encs {
+		rb.Append(enc)
+	}
+	return wire.Frame{Type: wire.MsgVerifiedResult, Payload: rb.Bytes()}
+}
+
+// handleGenStamp reports the freshest generation at which a spanning
+// verified answer could currently be served: the minimum over shards of
+// the newest stamp observed from any of the shard's verified-capable
+// endpoints. Clients use it to seed a freshness floor (QueryAtLeast);
+// they never need to trust it — a floor built on a lying stamp only ever
+// REJECTS more.
+func (r *Router) handleGenStamp(rb *wire.RespBuf) wire.Frame {
+	var min uint64
+	for i, s := range r.vqs {
+		g := s.maxGen.Load()
+		if i == 0 || g < min {
+			min = g
+		}
+	}
+	rb.AppendUint64(min)
+	return wire.Frame{Type: wire.MsgGenStamp, Payload: rb.Bytes()}
 }

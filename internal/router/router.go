@@ -2,42 +2,61 @@
 // missing piece of the horizontal story: a stateless, untrusted router
 // process with ONE client-facing address. It speaks the single-system
 // wire protocol to clients (MsgQuery / MsgBatchQuery / MsgVTRequest /
-// MsgBatchVT / MsgTOMQuery / MsgShardMapReq), scatters every request to
-// the overlapping shards over pooled pipelined upstream connections,
-// gathers in shard order and streams the merged response back — so an
-// unmodified wire.VerifyingClient can query a sharded deployment exactly
-// as if it were a single SP/TE pair, with bit-identical results and
-// tokens to a client-side scatter (wire.ShardedVerifyingClient).
+// MsgBatchVT / MsgTOMQuery / MsgVerifiedQuery / MsgShardMapReq),
+// scatters every request to the overlapping shards over pooled
+// pipelined upstream connections, gathers in shard order and streams
+// the merged response back — so an unmodified wire.VerifyingClient can
+// query a sharded deployment exactly as if it were a single SP/TE pair,
+// with bit-identical results and tokens to a client-side scatter
+// (wire.ShardedVerifyingClient).
+//
+// Each shard may additionally run read replicas (Config.Replicas). The
+// router treats the primary and its replicas as one endpoint set per
+// shard: requests round-robin across healthy endpoints, a failed
+// endpoint is evicted and retried with exponential backoff plus jitter,
+// an in-flight failure fails over to a sibling (bounded attempts), and
+// — when Config.HedgeAfter is set — a slow endpoint is raced against a
+// sibling, the loser cancelled. A health prober redials downed
+// endpoints and tracks every stamped endpoint's generation so answers
+// lagging the set's newest observed generation by more than
+// Config.MaxLag are rejected and retried elsewhere.
 //
 // # Trust argument
 //
-// The router is NOT a trusted party. On the result path it is exactly as
-// untrusted as the SP: anything it could do to the record stream —
-// suppress a shard's sub-result, narrow a sub-range at a partition seam,
-// merge shards out of order, scatter under a forged plan — yields a
-// record stream whose digest XOR no longer matches the token (or, for
-// reordering, violates the key-order contract the client checks), so the
-// client rejects. That holds because the token side is pure aggregation:
-// every shard TE holds only its own partition, so the XOR of the
-// per-shard tokens for the clamped sub-ranges IS the token a single TE
-// over the whole dataset would have issued, and the router contributes
-// no input to it beyond relaying the client's range. As everywhere in
-// this wire layer (single-system deployments included), the client↔TE
-// byte stream itself is assumed authenticated end-to-end — a relay that
-// can rewrite TE token bytes is the paper's compromised-TE-channel case,
-// out of model here and solved by transport authentication (TLS to the
-// TE tier) in a hardened deployment, not by the protocol.
+// The router is NOT a trusted party, and neither are the replicas it
+// fails over to. On the result path they are exactly as untrusted as
+// the SP: anything router or replica could do to the record stream —
+// suppress a shard's sub-result, narrow a sub-range at a partition
+// seam, merge shards out of order, scatter under a forged plan, or
+// serve from a torn or doctored copy of the dataset — yields a record
+// stream whose digest XOR no longer matches the token (or violates the
+// key-order contract), so the client rejects. That holds because the
+// token side is pure aggregation: every shard TE holds only its own
+// partition, so the XOR of the per-shard tokens for the clamped
+// sub-ranges IS the token a single TE over the whole dataset would have
+// issued. The ONLY property a replica could silently bend that the XOR
+// check cannot catch is freshness — serving a correct answer for an old
+// generation — which is why every verified answer carries its
+// generation stamp: the router bounds staleness against the newest
+// stamp it has observed, and a paranoid client enforces its own
+// monotonic floor (wire.VerifiedClient.QueryAtLeast), so even a rogue
+// router replaying old answers is caught. As everywhere in this wire
+// layer, the client↔TE byte stream itself is assumed authenticated
+// end-to-end — a relay that can rewrite TE token bytes is the paper's
+// compromised-TE-channel case, out of model here and solved by
+// transport authentication in a hardened deployment, not by the
+// protocol.
 //
 // For TOM the router is untrusted without even that channel assumption:
 // each shard's VO carries an owner signature binding the shard's index,
-// count and span, so the client verifies the stitched evidence — and the
-// relayed plan itself — against the owner's key alone.
+// count and span, so the client verifies the stitched evidence — and
+// the relayed plan itself — against the owner's key alone.
 package router
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"sae/internal/shard"
@@ -48,7 +67,15 @@ import (
 type Config struct {
 	// SPs and TEs list the upstream shard servers, one address per shard
 	// in shard order (exactly the lists a ShardedVerifyingClient dials).
+	// A combined primary (one process serving both halves) simply lists
+	// the same address in both slots.
 	SPs, TEs []string
+	// Replicas optionally lists each shard's read replicas: Replicas[i]
+	// are addresses of replica servers for shard i (wire.ServeReplica).
+	// Replicas join the shard's SP-read, TE-token and verified-query
+	// endpoint sets; a replica that is down at startup is adopted later
+	// by the health prober.
+	Replicas [][]string
 	// TOMs optionally lists one TOM provider per shard; empty disables
 	// TOM routing.
 	TOMs []string
@@ -60,6 +87,19 @@ type Config struct {
 	// negative disables). A shard that exceeds it fails the client
 	// request with an error — never a silently truncated result.
 	UpstreamTimeout time.Duration
+	// HedgeAfter, when positive, races a second endpoint of the same
+	// shard after this delay if the first has not answered; the first
+	// response wins and the loser is cancelled. Zero disables hedging.
+	HedgeAfter time.Duration
+	// MaxLag bounds replica staleness in commit groups: a verified
+	// answer stamped more than MaxLag generations behind the newest
+	// stamp the router has observed for that shard is rejected and the
+	// request retried on a fresher endpoint (default 128).
+	MaxLag uint64
+	// ProbeInterval is the health prober's cadence: redialing downed
+	// endpoints and refreshing generation stamps (default 100ms;
+	// negative disables probing).
+	ProbeInterval time.Duration
 	// Logf receives serving diagnostics (nil = silent).
 	Logf func(string, ...any)
 }
@@ -68,6 +108,14 @@ type Config struct {
 // does not say otherwise.
 const DefaultUpstreamTimeout = 30 * time.Second
 
+// DefaultMaxLag is the staleness bound (in commit groups) applied when
+// the Config does not set one.
+const DefaultMaxLag = 128
+
+// DefaultProbeInterval is the health prober's cadence when the Config
+// does not set one.
+const DefaultProbeInterval = 100 * time.Millisecond
+
 // Router is the client-facing scatter-gather endpoint. It keeps no
 // per-request state beyond in-flight gathers and holds no data: closing
 // and restarting one (or running several behind a TCP load balancer) is
@@ -75,31 +123,60 @@ const DefaultUpstreamTimeout = 30 * time.Second
 type Router struct {
 	cfg  Config
 	plan shard.Plan
-	sps  []*pool[*wire.SPClient]
-	tes  []*pool[*wire.TEClient]
-	toms []*pool[*wire.TOMClient]
+	sps  []*endpointSet[*wire.SPClient]
+	tes  []*endpointSet[*wire.TEClient]
+	toms []*endpointSet[*wire.TOMClient]
+	// vqs are the verified-query sets: each shard's replicas plus its
+	// primary when the primary serves both halves (SPs[i] == TEs[i] —
+	// only a process holding SP and TE together can stamp one atomic
+	// (gen, VT, records) triple).
+	vqs  []*endpointSet[*wire.VerifiedClient]
 	srv  *wire.Server
+	ctrs counters
+
+	proberStop chan struct{}
+	proberDone chan struct{}
 
 	// tamper carries the adversarial-test hooks; nil in production. See
 	// tamper.go.
 	tamper *tamper
 }
 
-// pool is a fixed set of pipelined connections to one upstream with
-// round-robin pick.
-type pool[T any] struct {
-	conns []T
-	next  atomic.Uint32
+// newSet builds one shard's empty endpoint set for one role.
+func newSet[T upstream](role string, shardIdx int, cfg *Config, ctrs *counters) *endpointSet[T] {
+	return &endpointSet[T]{
+		role:       role,
+		shard:      shardIdx,
+		conns:      cfg.Conns,
+		hedgeAfter: cfg.HedgeAfter,
+		maxLag:     cfg.MaxLag,
+		ctrs:       ctrs,
+	}
 }
 
-func (p *pool[T]) pick() T {
-	return p.conns[p.next.Add(1)%uint32(len(p.conns))]
+// addEndpoint registers one upstream address with a set.
+func addEndpoint[T upstream](s *endpointSet[T], addr string, dial func(string) (T, error), stamped bool) *endpoint[T] {
+	ep := &endpoint[T]{
+		addr:    addr,
+		shard:   s.shard,
+		role:    s.role,
+		dial:    dial,
+		stamped: stamped,
+		ctrs:    s.ctrs,
+	}
+	s.add(ep)
+	return ep
 }
 
-// New dials every upstream and cross-checks the deployment's shard
-// attestations exactly like a shard-aware client would: all TEs must
-// agree on one plan and their dialed indices, and the plan must match
-// the address lists. The TE-attested plan drives all scattering.
+// New dials every primary upstream and cross-checks the deployment's
+// shard attestations exactly like a shard-aware client would: all TEs
+// must agree on one plan and their dialed indices, and the plan must
+// match the address lists. The TE-attested plan drives all scattering
+// and is pinned on every endpoint, so a process that restarts with the
+// wrong dataset is rejected on redial. Replicas are dialed best-effort
+// (a dead replica is adopted later by the prober), but a replica that
+// answers with a mismatched attestation fails construction — that is a
+// wiring error, not an outage.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.SPs) == 0 || len(cfg.SPs) != len(cfg.TEs) {
 		return nil, fmt.Errorf("router: %d SP addresses for %d TE addresses", len(cfg.SPs), len(cfg.TEs))
@@ -107,11 +184,20 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.TOMs) != 0 && len(cfg.TOMs) != len(cfg.SPs) {
 		return nil, fmt.Errorf("router: %d TOM addresses for %d shards", len(cfg.TOMs), len(cfg.SPs))
 	}
+	if len(cfg.Replicas) != 0 && len(cfg.Replicas) != len(cfg.SPs) {
+		return nil, fmt.Errorf("router: replica lists for %d shards, have %d shards", len(cfg.Replicas), len(cfg.SPs))
+	}
 	if cfg.Conns < 1 {
 		cfg.Conns = 2
 	}
 	if cfg.UpstreamTimeout == 0 {
 		cfg.UpstreamTimeout = DefaultUpstreamTimeout
+	}
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -123,62 +209,137 @@ func New(cfg Config) (*Router, error) {
 			r.Close()
 		}
 	}()
+
+	// Primaries first: their attestations establish the plan.
 	for i := range cfg.SPs {
-		sp, err := dialPool(cfg.SPs[i], cfg.Conns, wire.DialSP)
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d SP: %w", i, err)
+		combined := cfg.SPs[i] == cfg.TEs[i]
+		spSet := newSet[*wire.SPClient]("SP", i, &cfg, &r.ctrs)
+		addEndpoint(spSet, cfg.SPs[i], wire.DialSP, combined)
+		r.sps = append(r.sps, spSet)
+		teSet := newSet[*wire.TEClient]("TE", i, &cfg, &r.ctrs)
+		addEndpoint(teSet, cfg.TEs[i], wire.DialTE, combined)
+		r.tes = append(r.tes, teSet)
+		vqSet := newSet[*wire.VerifiedClient]("verified", i, &cfg, &r.ctrs)
+		if combined {
+			addEndpoint(vqSet, cfg.SPs[i], wire.DialVerified, true)
 		}
-		r.sps = append(r.sps, sp)
-		te, err := dialPool(cfg.TEs[i], cfg.Conns, wire.DialTE)
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d TE: %w", i, err)
-		}
-		r.tes = append(r.tes, te)
+		r.vqs = append(r.vqs, vqSet)
 	}
 	firstSPs := make([]*wire.SPClient, len(r.sps))
 	firstTEs := make([]*wire.TEClient, len(r.tes))
 	for i := range r.sps {
-		firstSPs[i], firstTEs[i] = r.sps[i].conns[0], r.tes[i].conns[0]
+		sp, err := r.sps[i].eps[0].acquire(cfg.Conns)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d SP: %w", i, err)
+		}
+		firstSPs[i] = sp
+		te, err := r.tes[i].eps[0].acquire(cfg.Conns)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TE: %w", i, err)
+		}
+		firstTEs[i] = te
 	}
 	plan, err := wire.VerifyShardAttestations(firstSPs, firstTEs)
 	if err != nil {
 		return nil, fmt.Errorf("router: upstream attestation: %w", err)
 	}
 	r.plan = plan
+
+	// Replicas join the read sets under the now-known plan.
+	for i := range cfg.Replicas {
+		for _, addr := range cfg.Replicas[i] {
+			addEndpoint(r.sps[i], addr, wire.DialSP, true)
+			addEndpoint(r.tes[i], addr, wire.DialTE, true)
+			addEndpoint(r.vqs[i], addr, wire.DialVerified, true)
+		}
+	}
+	// Pin the attested plan on every endpoint: from here on, every fresh
+	// dial (including prober re-adoption after a crash) re-verifies the
+	// upstream's shard index and plan before trusting it with traffic.
+	for i := range r.sps {
+		for _, ep := range r.sps[i].eps {
+			ep.attest = &r.plan
+		}
+		for _, ep := range r.tes[i].eps {
+			ep.attest = &r.plan
+		}
+		for _, ep := range r.vqs[i].eps {
+			ep.attest = &r.plan
+		}
+	}
+	// Best-effort eager replica dial: a dead replica only logs (the
+	// prober adopts it when it comes up), a misattested one is fatal.
+	for i := range cfg.Replicas {
+		for _, ep := range r.vqs[i].eps {
+			if ep.addr == cfg.SPs[i] {
+				continue // the primary, already verified
+			}
+			if _, err := ep.acquire(1); err != nil {
+				if errors.Is(err, errAttestMismatch) {
+					return nil, err
+				}
+				cfg.Logf("router: shard %d replica %s not yet reachable: %v", i, ep.addr, err)
+			}
+		}
+	}
+
 	for i := range cfg.TOMs {
-		tc, err := dialPool(cfg.TOMs[i], cfg.Conns, wire.DialTOM)
+		tomSet := newSet[*wire.TOMClient]("TOM", i, &cfg, &r.ctrs)
+		ep := addEndpoint(tomSet, cfg.TOMs[i], wire.DialTOM, false)
+		tc, err := ep.acquire(cfg.Conns)
 		if err != nil {
 			return nil, fmt.Errorf("router: shard %d TOM: %w", i, err)
 		}
 		// Wiring sanity (the provider is untrusted regardless): the TOM
 		// server must sit at the index it is dialed as, under the same
 		// plan the TEs attest.
-		si, err := tc.conns[0].ShardMap()
+		si, err := tc.ShardMap()
 		if err != nil {
 			return nil, fmt.Errorf("router: shard %d TOM map: %w", i, err)
 		}
 		if si.Index != i || !si.Plan.Equal(plan) {
 			return nil, fmt.Errorf("router: TOM dialed as shard %d reports shard %d of %v", i, si.Index, si.Plan)
 		}
-		r.toms = append(r.toms, tc)
+		ep.attest = &r.plan
+		r.toms = append(r.toms, tomSet)
+	}
+
+	if cfg.ProbeInterval > 0 {
+		r.proberStop = make(chan struct{})
+		r.proberDone = make(chan struct{})
+		go r.prober()
 	}
 	ok = true
 	return r, nil
 }
 
-func dialPool[T interface{ Close() error }](addr string, n int, dial func(string) (T, error)) (*pool[T], error) {
-	p := &pool[T]{}
-	for i := 0; i < n; i++ {
-		c, err := dial(addr)
-		if err != nil {
-			for _, prev := range p.conns {
-				prev.Close()
-			}
-			return nil, err
-		}
-		p.conns = append(p.conns, c)
+// prober periodically redials downed endpoints (re-verifying their
+// attestation) and refreshes stamped endpoints' generations, so
+// failover targets are warm and the staleness bar is current even
+// across idle periods.
+func (r *Router) prober() {
+	defer close(r.proberDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	probeTimeout := r.cfg.ProbeInterval * 5
+	if probeTimeout < time.Second {
+		probeTimeout = time.Second
 	}
-	return p, nil
+	for {
+		select {
+		case <-r.proberStop:
+			return
+		case <-t.C:
+			for i := range r.sps {
+				r.sps[i].probe(probeTimeout)
+				r.tes[i].probe(probeTimeout)
+				r.vqs[i].probe(probeTimeout)
+			}
+			for i := range r.toms {
+				r.toms[i].probe(probeTimeout)
+			}
+		}
+	}
 }
 
 // Serve starts the client-facing endpoint on addr (":0" picks a port).
@@ -203,8 +364,14 @@ func (r *Router) Plan() shard.Plan { return r.plan }
 // Shards returns the upstream shard count.
 func (r *Router) Shards() int { return len(r.sps) }
 
-// Close stops serving and closes every upstream connection.
+// Close stops the prober and the client-facing server, then closes
+// every upstream connection.
 func (r *Router) Close() error {
+	if r.proberStop != nil {
+		close(r.proberStop)
+		<-r.proberDone
+		r.proberStop = nil
+	}
 	var first error
 	keep := func(err error) {
 		if err != nil && first == nil {
@@ -214,20 +381,17 @@ func (r *Router) Close() error {
 	if r.srv != nil {
 		keep(r.srv.Close())
 	}
-	for _, p := range r.sps {
-		for _, c := range p.conns {
-			keep(c.Close())
-		}
+	for _, s := range r.sps {
+		keep(s.closeAll())
 	}
-	for _, p := range r.tes {
-		for _, c := range p.conns {
-			keep(c.Close())
-		}
+	for _, s := range r.tes {
+		keep(s.closeAll())
 	}
-	for _, p := range r.toms {
-		for _, c := range p.conns {
-			keep(c.Close())
-		}
+	for _, s := range r.vqs {
+		keep(s.closeAll())
+	}
+	for _, s := range r.toms {
+		keep(s.closeAll())
 	}
 	return first
 }

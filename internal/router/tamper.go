@@ -30,6 +30,11 @@ type tamper struct {
 	// forgeAgg rewrites the merged aggregate scalar before it is encoded
 	// (a rogue router asserting a flat-out wrong COUNT/SUM/MIN/MAX).
 	forgeAgg func(agg.Agg) agg.Agg
+	// replayVerified rewrites the gathered per-shard verified payloads
+	// (gen + VT + records) before the merge — a rogue router replaying a
+	// cached answer from an older generation, which the client's
+	// freshness floor must catch even though the XOR check passes.
+	replayVerified func([][]byte) [][]byte
 }
 
 // setTamper installs (or clears) the malicious hooks; test-only.

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sae/internal/record"
+)
+
+// TestRoundTripAbandonCleansPending: a context-cancelled round trip (the
+// hedged-request loser, a timed-out sub-request) removes its pending
+// entry, leaves the connection healthy, and its late response — arriving
+// after the abandonment — is discarded by the demux loop rather than
+// delivered to a later request. Runs under -race in CI.
+func TestRoundTripAbandonCleansPending(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unstall := func() { releaseOnce.Do(func() { close(release) }) }
+	srv, err := Serve("127.0.0.1:0", func(req Frame, rb *RespBuf) Frame {
+		switch req.Type {
+		case MsgQuery:
+			<-release // stall until the test releases the response
+			rb.AppendUint32(0)
+			return Frame{Type: MsgResult, Payload: rb.Bytes()}
+		default:
+			return ErrFrame(ErrProtocol)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer unstall()
+
+	c, err := DialSP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.QueryRawCtx(ctx, record.Range{Lo: 0, Hi: 100}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned round trip: got %v, want a deadline error", err)
+	}
+
+	// The abandoned request's pending entry is gone and the connection is
+	// unpoisoned.
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries survive an abandoned round trip", n)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("abandonment poisoned the connection: %v", err)
+	}
+
+	// Let the stalled handler finally answer: the late frame carries the
+	// abandoned request's id, matches no pending entry and is discarded.
+	// A fresh request on the same connection must get ITS response (ids
+	// never collide), proving no double delivery.
+	unstall()
+	raw, err := c.QueryRaw(record.Range{Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatalf("fresh request after an abandoned one: %v", err)
+	}
+	if len(raw) != 4 {
+		t.Fatalf("fresh response payload is %d bytes, want the 4-byte empty count", len(raw))
+	}
+	c.mu.Lock()
+	n = len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries after the fresh round trip", n)
+	}
+}

@@ -139,9 +139,28 @@ func (c *conn) roundTripCtx(ctx context.Context, req Frame) (Frame, error) {
 		return Frame{}, err
 	}
 	if resp.Type == MsgErr {
-		return Frame{}, fmt.Errorf("wire: server error: %s", resp.Payload)
+		return Frame{}, &ServerError{Msg: string(resp.Payload)}
 	}
 	return resp, nil
+}
+
+// ServerError is an application-level failure the server reported in a
+// well-formed MsgErr frame. The distinction matters to the router's
+// failover logic: a ServerError came over a healthy connection and would
+// recur on any correct upstream (bad range, unknown message), so it is
+// returned to the client as-is; every other round-trip error implicates
+// the connection and triggers eviction + retry.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "wire: server error: " + e.Msg }
+
+// Err reports the connection's terminal receive-loop error, nil while the
+// connection is healthy. Endpoint pools poll it to evict broken
+// connections before handing them to the next request.
+func (c *conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // BytesSent returns the bytes written to this connection so far.
@@ -277,7 +296,14 @@ func (c *SPClient) DeleteBatch(ids []record.ID, keys []record.Key) error {
 // ShardMap asks the server which shard it is and under which partition
 // plan it was loaded. Stand-alone servers answer "shard 0 of 1".
 func (c *conn) ShardMap() (ShardInfo, error) {
-	resp, err := c.roundTrip(Frame{Type: MsgShardMapReq})
+	return c.ShardMapCtx(context.Background())
+}
+
+// ShardMapCtx is ShardMap bounded by a context (the router's health
+// prober re-checks attestations on reconnect and must not hang on a sick
+// upstream).
+func (c *conn) ShardMapCtx(ctx context.Context) (ShardInfo, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgShardMapReq})
 	if err != nil {
 		return ShardInfo{}, err
 	}

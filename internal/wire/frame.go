@@ -97,6 +97,31 @@ const (
 	// overlapping shard, in the MsgTOMShardedResult envelope. The plan is
 	// untrusted relay data exactly as for range queries.
 	MsgTOMAggShardedResult MsgType = 26
+	// Client/router -> primary or replica: what is your generation stamp
+	// (the sequence of the last commit group folded into your state)?
+	MsgGenStampReq MsgType = 27
+	// Server -> client: an 8-byte big-endian generation stamp.
+	MsgGenStamp MsgType = 28
+	// Replica -> primary: send me a bootstrap snapshot.
+	MsgReplicaSnapReq MsgType = 29
+	// Primary -> replica: shard attestation + a sequence-stamped record
+	// dump cut at a commit boundary (the checkpoint's own byte format).
+	MsgReplicaSnap MsgType = 30
+	// Replica -> primary: commit groups after my sequence, please.
+	MsgReplicaPull MsgType = 31
+	// Primary -> replica: a flags byte (bit 0: the retention window no
+	// longer reaches your sequence — re-bootstrap from a snapshot) plus
+	// zero or more whole commit groups in wal wire form.
+	MsgReplicaGroups MsgType = 32
+	// Client (or router) -> primary/replica: one range query whose
+	// records, verification token and generation stamp must be served
+	// atomically at a single commit boundary — the frame that makes
+	// replica reads safe under concurrent group application.
+	MsgVerifiedQuery MsgType = 33
+	// Server -> client: generation stamp + 20-byte VT + records. The
+	// whole triple belongs to one generation, so the XOR check can never
+	// tear across a commit.
+	MsgVerifiedResult MsgType = 34
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal

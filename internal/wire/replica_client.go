@@ -1,0 +1,330 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"sae/internal/core"
+	"sae/internal/record"
+	"sae/internal/replica"
+	"sae/internal/wal"
+)
+
+// GenStamp asks the server for its generation stamp: the sequence of the
+// last commit group folded into its state. Routers probe it to bound
+// replica staleness; paranoid clients compare it across reads.
+func (c *conn) GenStamp() (uint64, error) {
+	return c.GenStampCtx(context.Background())
+}
+
+// GenStampCtx is GenStamp bounded by a context (the router's probe
+// guard).
+func (c *conn) GenStampCtx(ctx context.Context) (uint64, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgGenStampReq})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != MsgGenStamp || len(resp.Payload) != 8 {
+		return 0, fmt.Errorf("%w: malformed generation stamp response", ErrProtocol)
+	}
+	return binary.BigEndian.Uint64(resp.Payload), nil
+}
+
+// ReplicationClient talks a primary's replication endpoints: bootstrap
+// snapshots and commit-group tailing.
+type ReplicationClient struct{ *conn }
+
+// DialReplication connects to a primary server's replication endpoints.
+func DialReplication(addr string) (*ReplicationClient, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationClient{conn: c}, nil
+}
+
+// Snapshot fetches a sequence-stamped bootstrap snapshot plus the
+// primary's shard attestation.
+func (c *ReplicationClient) Snapshot() (ShardInfo, []record.Record, uint64, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgReplicaSnapReq})
+	if err != nil {
+		return ShardInfo{}, nil, 0, err
+	}
+	if resp.Type != MsgReplicaSnap {
+		return ShardInfo{}, nil, 0, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return DecodeReplicaSnap(resp.Payload)
+}
+
+// Pull fetches up to max commit groups after the tailer's sequence.
+// snapshotNeeded reports the sequence has fallen out of the primary's
+// retention window.
+func (c *ReplicationClient) Pull(after uint64, max int) ([]wal.Group, bool, error) {
+	resp, err := c.roundTrip(Frame{Type: MsgReplicaPull, Payload: EncodeReplicaPull(after, max)})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Type != MsgReplicaGroups {
+		return nil, false, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return DecodeReplicaGroups(resp.Payload)
+}
+
+// BootstrapReplica dials a primary, pulls one snapshot and builds a
+// replica from it, returning the primary's shard attestation so the
+// caller can serve it onward. The connection is not retained — start a
+// ReplicaFeed to keep the replica current.
+func BootstrapReplica(primaryAddr string) (*replica.Replica, ShardInfo, error) {
+	c, err := DialReplication(primaryAddr)
+	if err != nil {
+		return nil, ShardInfo{}, err
+	}
+	defer c.Close()
+	si, recs, seq, err := c.Snapshot()
+	if err != nil {
+		return nil, ShardInfo{}, fmt.Errorf("wire: bootstrapping replica from %s: %w", primaryAddr, err)
+	}
+	rep, err := replica.NewFromSnapshot(recs, seq)
+	if err != nil {
+		return nil, ShardInfo{}, err
+	}
+	return rep, si, nil
+}
+
+// feedIdleSleep is how long the feed dozes after draining the primary's
+// groups; feedRedialMax caps the reconnect backoff after a lost primary.
+const (
+	feedIdleSleep = 2 * time.Millisecond
+	feedRedialMax = 500 * time.Millisecond
+)
+
+// ReplicaFeed keeps one replica current against its primary: a pull loop
+// that applies whole commit groups, re-bootstraps from a snapshot when it
+// falls out of the retention window (or hits a gap), and redials with
+// backoff when the primary goes away — the replica keeps serving its last
+// generation throughout.
+type ReplicaFeed struct {
+	rep  *replica.Replica
+	addr string
+	logf func(string, ...any)
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartReplicaFeed spins up the feed loop for rep against the primary at
+// addr.
+func StartReplicaFeed(rep *replica.Replica, primaryAddr string, logf func(string, ...any)) *ReplicaFeed {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f := &ReplicaFeed{
+		rep:  rep,
+		addr: primaryAddr,
+		logf: logf,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Close stops the feed loop and waits for it to exit. The replica stays
+// valid and keeps serving its last generation.
+func (f *ReplicaFeed) Close() {
+	close(f.stop)
+	<-f.done
+}
+
+func (f *ReplicaFeed) sleep(d time.Duration) bool {
+	select {
+	case <-f.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (f *ReplicaFeed) run() {
+	defer close(f.done)
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		c, err := DialReplication(f.addr)
+		if err != nil {
+			f.logf("replica feed: dialing %s: %v (retrying in %v)", f.addr, err, backoff)
+			if !f.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > feedRedialMax {
+				backoff = feedRedialMax
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		f.tail(c)
+		c.Close()
+	}
+}
+
+// tail runs the pull loop over one connection until it breaks or the
+// feed stops.
+func (f *ReplicaFeed) tail(c *ReplicationClient) {
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		gs, snapshotNeeded, err := c.Pull(f.rep.Seq(), 64)
+		if err != nil {
+			f.logf("replica feed: pulling from %s: %v", f.addr, err)
+			return
+		}
+		if snapshotNeeded {
+			_, recs, seq, err := c.Snapshot()
+			if err != nil {
+				f.logf("replica feed: re-snapshot from %s: %v", f.addr, err)
+				return
+			}
+			if err := f.rep.Reset(recs, seq); err != nil {
+				f.logf("replica feed: resetting from snapshot: %v", err)
+				return
+			}
+			continue
+		}
+		if len(gs) == 0 {
+			if !f.sleep(feedIdleSleep) {
+				return
+			}
+			continue
+		}
+		if err := f.rep.ApplyGroups(gs); err != nil {
+			// A gap (retention raced our pull) heals through the snapshot
+			// path on the next iteration; anything else may have left the
+			// replica torn mid-group, and only a snapshot reset makes it
+			// whole again — either way, force the re-bootstrap.
+			f.logf("replica feed: applying groups: %v (re-bootstrapping)", err)
+			_, recs, seq, serr := c.Snapshot()
+			if serr != nil {
+				f.logf("replica feed: re-snapshot from %s: %v", f.addr, serr)
+				return
+			}
+			if rerr := f.rep.Reset(recs, seq); rerr != nil {
+				f.logf("replica feed: resetting from snapshot: %v", rerr)
+				return
+			}
+		}
+	}
+}
+
+// ErrStaleRead reports a verified answer whose generation stamp fell
+// below the caller's required floor.
+var ErrStaleRead = errors.New("wire: verified answer is staler than required")
+
+// VerifiedClient issues stamped verified queries: one frame returns
+// records, the TE token and the generation stamp as an atomic triple,
+// verified locally before being returned. It remembers the newest stamp
+// it has seen, so a sequence of reads (possibly served by different
+// replicas behind a router) can enforce monotonic freshness.
+type VerifiedClient struct {
+	*conn
+	vp      core.VerifyPool
+	lastGen uint64 // guarded by conn.mu
+}
+
+// DialVerified connects to any server speaking MsgVerifiedQuery — a
+// primary, a replica, or a router fronting either.
+func DialVerified(addr string) (*VerifiedClient, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &VerifiedClient{conn: c, vp: core.NewVerifyPool(0)}, nil
+}
+
+// Gen returns the newest generation stamp observed on this client.
+func (c *VerifiedClient) Gen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastGen
+}
+
+func (c *VerifiedClient) observeGen(gen uint64) {
+	c.mu.Lock()
+	if gen > c.lastGen {
+		c.lastGen = gen
+	}
+	c.mu.Unlock()
+}
+
+// Query runs one verified query: the records are checked against the
+// returned token (the unchanged XOR check) before being returned with
+// their generation stamp.
+func (c *VerifiedClient) Query(q record.Range) ([]record.Record, uint64, error) {
+	return c.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query bounded by a context.
+func (c *VerifiedClient) QueryCtx(ctx context.Context, q record.Range) ([]record.Record, uint64, error) {
+	raw, err := c.QueryRawVerifiedCtx(ctx, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	gen, vt, recsRaw, err := DecodeVerifiedResult(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Hash the encoded records in place (VerifyEncoded wants the packed
+	// records without their count prefix), then materialize.
+	if len(recsRaw) < 4 {
+		return nil, gen, fmt.Errorf("%w: truncated record section", ErrProtocol)
+	}
+	if _, err := c.vp.VerifyEncoded(q, recsRaw[4:], vt); err != nil {
+		return nil, gen, err
+	}
+	recs, rest, err := DecodeRecords(recsRaw)
+	if err != nil {
+		return nil, gen, err
+	}
+	if len(rest) != 0 {
+		return nil, gen, fmt.Errorf("%w: %d trailing bytes in verified result", ErrProtocol, len(rest))
+	}
+	c.observeGen(gen)
+	return recs, gen, nil
+}
+
+// QueryAtLeast is Query plus a freshness floor: an answer stamped below
+// minGen fails with ErrStaleRead even though it verified — the defense
+// against a router (or any relay) replaying an old replica's answer
+// after the client has already seen a newer generation.
+func (c *VerifiedClient) QueryAtLeast(q record.Range, minGen uint64) ([]record.Record, uint64, error) {
+	recs, gen, err := c.Query(q)
+	if err != nil {
+		return nil, gen, err
+	}
+	if gen < minGen {
+		return nil, gen, fmt.Errorf("%w: stamped %d, required >= %d", ErrStaleRead, gen, minGen)
+	}
+	return recs, gen, nil
+}
+
+// QueryRawVerifiedCtx fetches one verified result still in wire form
+// (gen + VT + encoded records) without verifying — the router's relay
+// path; end clients should use QueryCtx.
+func (c *VerifiedClient) QueryRawVerifiedCtx(ctx context.Context, q record.Range) ([]byte, error) {
+	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgVerifiedQuery, Payload: EncodeRange(q)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgVerifiedResult {
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, resp.Type)
+	}
+	return resp.Payload, nil
+}

@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sae/internal/core"
+	"sae/internal/digest"
+	"sae/internal/exec"
+	"sae/internal/record"
+	"sae/internal/replica"
+	"sae/internal/wal"
+)
+
+// serveSPRead answers the read-only SP protocol messages (range query,
+// batch query, aggregate) against any service provider. It is shared by
+// the stand-alone SPServer, the composite primary server and the replica
+// server, which is what keeps read responses byte-for-byte identical
+// across topologies. ok is false for messages it does not own.
+func serveSPRead(sp *core.ServiceProvider, req Frame, rb *RespBuf) (Frame, bool) {
+	switch req.Type {
+	case MsgQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		// One execution context per network request: concurrent requests
+		// on this (or any other) connection account their accesses
+		// independently. The serve path streams each record from its
+		// pinned page straight into the pooled response frame — the only
+		// per-record copy between the heap file and the socket.
+		at := rb.beginRecords()
+		n, _, err := sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.endRecords(at, n)
+		return Frame{Type: MsgResult, Payload: rb.b}, true
+	case MsgBatchQuery:
+		qs, err := DecodeRanges(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(qs)))
+		for _, q := range qs {
+			at := rb.beginRecords()
+			n, _, err := sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
+			if err != nil {
+				return errFrame(err), true
+			}
+			rb.endRecords(at, n)
+		}
+		return Frame{Type: MsgBatchResult, Payload: rb.b}, true
+	case MsgAggQuery:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		// The aggregation fast path: a canonical-cover descent over the
+		// annotated B+-tree, no heap access, a constant 24-byte response.
+		a, _, err := sp.AggregateCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.b = a.AppendTo(rb.b)
+		return Frame{Type: MsgAggResult, Payload: rb.b}, true
+	}
+	return Frame{}, false
+}
+
+// serveTERead answers the read-only TE protocol messages (token, batch
+// token, aggregate token) against any trusted entity; see serveSPRead.
+func serveTERead(te *core.TrustedEntity, req Frame, rb *RespBuf) (Frame, bool) {
+	switch req.Type {
+	case MsgVTRequest:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		vt, _, err := te.GenerateVTCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.b = append(rb.b, vt[:]...)
+		return Frame{Type: MsgVT, Payload: rb.b}, true
+	case MsgBatchVT:
+		qs, err := DecodeRanges(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		// The batch fans out across the TE's crypto worker pool; each
+		// token still runs under its own request context, so accounting
+		// and token bytes match the serial loop exactly.
+		vts, err := te.GenerateVTBatch(qs, 0)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(vts)))
+		for i := range vts {
+			rb.b = append(rb.b, vts[i][:]...)
+		}
+		return Frame{Type: MsgBatchVTResult, Payload: rb.b}, true
+	case MsgAggTokenReq:
+		q, err := DecodeRange(req.Payload)
+		if err != nil {
+			return errFrame(err), true
+		}
+		tok, _, err := te.AggTokenCtx(exec.NewContext(), q)
+		if err != nil {
+			return errFrame(err), true
+		}
+		rb.b = tok.AppendTo(rb.b)
+		return Frame{Type: MsgAggToken, Payload: rb.b}, true
+	}
+	return Frame{}, false
+}
+
+// genStampFrame answers a generation-stamp request.
+func genStampFrame(seq uint64, rb *RespBuf) Frame {
+	rb.b = binary.BigEndian.AppendUint64(rb.b, seq)
+	return Frame{Type: MsgGenStamp, Payload: rb.b}
+}
+
+// serveVerified encodes one atomically-served (gen, VT, records) triple:
+// an 8-byte stamp and a 20-byte token slot reserved up front, records
+// streamed behind them, both holes patched once the serve call reports
+// what boundary it ran at.
+func serveVerified(req Frame, rb *RespBuf,
+	serve func(q record.Range, emit func(*record.Record) error) (int, digest.Digest, uint64, error)) Frame {
+	q, err := DecodeRange(req.Payload)
+	if err != nil {
+		return errFrame(err)
+	}
+	base := len(rb.b)
+	rb.b = append(rb.b, make([]byte, 8+digest.Size)...)
+	at := rb.beginRecords()
+	n, vt, seq, err := serve(q, rb.appendRecord)
+	if err != nil {
+		return errFrame(err)
+	}
+	rb.endRecords(at, n)
+	binary.BigEndian.PutUint64(rb.b[base:base+8], seq)
+	copy(rb.b[base+8:base+8+digest.Size], vt[:])
+	return Frame{Type: MsgVerifiedResult, Payload: rb.b}
+}
+
+// PrimaryServer exposes a whole durable shard — SP reads, TE tokens,
+// owner writes through the group-commit pipeline, verified (stamped)
+// queries, and the replication endpoints replicas bootstrap and tail
+// from — on ONE address.
+type PrimaryServer struct {
+	*Server
+	ds  *core.DurableSystem
+	hub *replica.Hub
+}
+
+// ServePrimary starts a primary server on addr. hub must be attached to
+// ds's committer (replica.Attach); it supplies the snapshot and
+// group-retention halves of the replication protocol.
+func ServePrimary(addr string, ds *core.DurableSystem, hub *replica.Hub, logf func(string, ...any), opts ...ServerOption) (*PrimaryServer, error) {
+	srv := &PrimaryServer{ds: ds, hub: hub}
+	s, err := newServer(addr, srv.handle, logf, opts)
+	if err != nil {
+		return nil, err
+	}
+	srv.Server = s
+	s.start()
+	return srv, nil
+}
+
+func (s *PrimaryServer) handle(req Frame, rb *RespBuf) Frame {
+	if resp, ok := serveSPRead(s.ds.SP, req, rb); ok {
+		return resp
+	}
+	if resp, ok := serveTERead(s.ds.TE, req, rb); ok {
+		return resp
+	}
+	switch req.Type {
+	case MsgGenStampReq:
+		return genStampFrame(s.ds.Seq(), rb)
+	case MsgVerifiedQuery:
+		return serveVerified(req, rb, s.ds.ServeVerified)
+	case MsgInsert:
+		r, err := record.Unmarshal(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		return s.commitOps([]wal.Op{wal.InsertOp(r)})
+	case MsgDelete:
+		id, key, err := DecodeDelete(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		return s.commitOps([]wal.Op{wal.DeleteOp(id, key)})
+	case MsgBatchInsert:
+		ops, err := decodeInsertOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		return s.commitOps(ops)
+	case MsgBatchDelete:
+		ops, err := decodeDeleteOps(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		return s.commitOps(ops)
+	case MsgReplicaSnapReq:
+		recs, seq, err := s.hub.Snapshot()
+		if err != nil {
+			return errFrame(err)
+		}
+		si := s.shardInfo.Load()
+		if si == nil {
+			si = &ShardInfo{}
+		}
+		sib := EncodeShardInfo(*si)
+		rb.AppendUint32(uint32(len(sib)))
+		rb.Append(sib)
+		rb.b = core.EncodeSnapshot(rb.b, recs, seq)
+		return Frame{Type: MsgReplicaSnap, Payload: rb.b}
+	case MsgReplicaPull:
+		after, max, err := DecodeReplicaPull(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		gs, snapshotNeeded, _ := s.hub.Since(after, max)
+		flags := byte(0)
+		if snapshotNeeded {
+			flags |= replicaFlagSnapshotNeeded
+		}
+		rb.b = append(rb.b, flags)
+		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(gs)))
+		for i := range gs {
+			if rb.b, err = wal.AppendGroupWire(rb.b, gs[i]); err != nil {
+				return errFrame(err)
+			}
+		}
+		return Frame{Type: MsgReplicaGroups, Payload: rb.b}
+	case MsgShardMapReq:
+		return s.shardMapFrame()
+	default:
+		return errFrame(fmt.Errorf("%w: primary cannot handle message type %d", ErrProtocol, req.Type))
+	}
+}
+
+// commitOps routes wire-submitted writes through the primary's
+// group-commit pipeline — durable, generation-stamped, observed by the
+// replication hub — then folds them into the owner's bookkeeping.
+// (Stand-alone SP/TE servers apply writes directly; a primary must not,
+// or replicas would never hear about them.)
+func (s *PrimaryServer) commitOps(ops []wal.Op) Frame {
+	if err := s.ds.Committer().SubmitOps(ops); err != nil {
+		return errFrame(err)
+	}
+	for i := range ops {
+		switch ops[i].Kind {
+		case wal.OpInsert:
+			s.ds.Owner.Restore([]record.Record{ops[i].Rec})
+		case wal.OpDelete:
+			s.ds.Owner.Forget([]record.ID{ops[i].ID})
+		}
+	}
+	return Frame{Type: MsgAck}
+}
+
+// ReplicaServer exposes one read replica on one address: SP reads, TE
+// tokens, verified (stamped) queries and the generation stamp. Writes are
+// rejected — replicas advance only by tailing their primary's commit
+// groups.
+type ReplicaServer struct {
+	*Server
+	rep *replica.Replica
+}
+
+// ServeReplica starts a replica server on addr.
+func ServeReplica(addr string, rep *replica.Replica, logf func(string, ...any), opts ...ServerOption) (*ReplicaServer, error) {
+	srv := &ReplicaServer{rep: rep}
+	s, err := newServer(addr, srv.handle, logf, opts)
+	if err != nil {
+		return nil, err
+	}
+	srv.Server = s
+	s.start()
+	return srv, nil
+}
+
+func (s *ReplicaServer) handle(req Frame, rb *RespBuf) Frame {
+	if resp, ok := serveSPRead(s.rep.SP(), req, rb); ok {
+		return resp
+	}
+	if resp, ok := serveTERead(s.rep.TE(), req, rb); ok {
+		return resp
+	}
+	switch req.Type {
+	case MsgGenStampReq:
+		return genStampFrame(s.rep.Seq(), rb)
+	case MsgVerifiedQuery:
+		return serveVerified(req, rb, s.rep.ServeVerified)
+	case MsgShardMapReq:
+		return s.shardMapFrame()
+	case MsgInsert, MsgDelete, MsgBatchInsert, MsgBatchDelete:
+		return errFrame(fmt.Errorf("%w: replica is read-only; write to the shard's primary", ErrProtocol))
+	default:
+		return errFrame(fmt.Errorf("%w: replica cannot handle message type %d", ErrProtocol, req.Type))
+	}
+}

@@ -65,6 +65,11 @@ func (rb *RespBuf) AppendUint32(v uint32) {
 	rb.b = binary.BigEndian.AppendUint32(rb.b, v)
 }
 
+// AppendUint64 appends a big-endian uint64 to the payload.
+func (rb *RespBuf) AppendUint64(v uint64) {
+	rb.b = binary.BigEndian.AppendUint64(rb.b, v)
+}
+
 // PatchUint32 backfills a big-endian uint32 at a previously appended
 // offset (count slots reserved before streaming, à la beginRecords).
 func (rb *RespBuf) PatchUint32(at int, v uint32) {
@@ -355,52 +360,13 @@ func ServeSP(addr string, sp *core.ServiceProvider, logf func(string, ...any), o
 }
 
 func (s *SPServer) handle(req Frame, rb *RespBuf) Frame {
+	// Read-only requests run through the shared serve helpers — the same
+	// code path a composite primary or replica server uses, so every
+	// topology answers reads byte-for-byte identically.
+	if resp, ok := serveSPRead(s.sp, req, rb); ok {
+		return resp
+	}
 	switch req.Type {
-	case MsgQuery:
-		q, err := DecodeRange(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		// One execution context per network request: concurrent requests
-		// on this (or any other) connection account their accesses
-		// independently. The serve path streams each record from its
-		// pinned page straight into the pooled response frame — the only
-		// per-record copy between the heap file and the socket.
-		at := rb.beginRecords()
-		n, _, err := s.sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.endRecords(at, n)
-		return Frame{Type: MsgResult, Payload: rb.b}
-	case MsgBatchQuery:
-		qs, err := DecodeRanges(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(qs)))
-		for _, q := range qs {
-			at := rb.beginRecords()
-			n, _, err := s.sp.ServeRangeCtx(exec.NewContext(), q, rb.appendRecord)
-			if err != nil {
-				return errFrame(err)
-			}
-			rb.endRecords(at, n)
-		}
-		return Frame{Type: MsgBatchResult, Payload: rb.b}
-	case MsgAggQuery:
-		q, err := DecodeRange(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		// The aggregation fast path: a canonical-cover descent over the
-		// annotated B+-tree, no heap access, a constant 24-byte response.
-		a, _, err := s.sp.AggregateCtx(exec.NewContext(), q)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.b = a.AppendTo(rb.b)
-		return Frame{Type: MsgAggResult, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -496,46 +462,12 @@ func ServeTE(addr string, te *core.TrustedEntity, logf func(string, ...any), opt
 }
 
 func (s *TEServer) handle(req Frame, rb *RespBuf) Frame {
+	// Read-only requests run through the shared serve helper (see
+	// SPServer.handle).
+	if resp, ok := serveTERead(s.te, req, rb); ok {
+		return resp
+	}
 	switch req.Type {
-	case MsgVTRequest:
-		q, err := DecodeRange(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		vt, _, err := s.te.GenerateVTCtx(exec.NewContext(), q)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.b = append(rb.b, vt[:]...)
-		return Frame{Type: MsgVT, Payload: rb.b}
-	case MsgBatchVT:
-		qs, err := DecodeRanges(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		// The batch fans out across the TE's crypto worker pool; each
-		// token still runs under its own request context, so accounting
-		// and token bytes match the serial loop exactly.
-		vts, err := s.te.GenerateVTBatch(qs, 0)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.b = binary.BigEndian.AppendUint32(rb.b, uint32(len(vts)))
-		for i := range vts {
-			rb.b = append(rb.b, vts[i][:]...)
-		}
-		return Frame{Type: MsgBatchVTResult, Payload: rb.b}
-	case MsgAggTokenReq:
-		q, err := DecodeRange(req.Payload)
-		if err != nil {
-			return errFrame(err)
-		}
-		tok, _, err := s.te.AggTokenCtx(exec.NewContext(), q)
-		if err != nil {
-			return errFrame(err)
-		}
-		rb.b = tok.AppendTo(rb.b)
-		return Frame{Type: MsgAggToken, Payload: rb.b}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {

@@ -188,6 +188,25 @@ def gate_agg():
           f"TOM response-bytes reduction {ci['tomRespBytesReduction']:.0f}x >= 5x")
 
 
+def gate_replica():
+    print("replica tier (BENCH_replica.ci.json):")
+    ci = load("BENCH_replica.ci.json")
+    check(ci["baselineQueriesPerSec"] > 0,
+          f"primaries-only baseline {ci['baselineQueriesPerSec']:.0f} q/s > 0")
+    check(ci["replicatedQueriesPerSec"] > 0,
+          f"replicated {ci['replicatedQueriesPerSec']:.0f} q/s > 0")
+    # Both sides are routed verified queries measured within the same
+    # run, so the ratio is machine-independent-ish. Spreading reads over
+    # the replica sets usually WINS (more processes serving); the gate
+    # only demands the indirection never costs more than 10%.
+    check(ci["replicatedRelative"] >= 0.9,
+          f"replicated path at {100 * ci['replicatedRelative']:.0f}% of primaries-only >= 90%")
+    # A healthy loopback run needs no failovers; any retry inflates the
+    # measurement and means an endpoint misbehaved.
+    check(ci["failovers"] == 0,
+          f"{ci['failovers']} failovers during the replicated run (want 0)")
+
+
 def main():
     gate_shard()
     gate_fastpath()
@@ -195,6 +214,7 @@ def main():
     gate_burst()
     gate_write()
     gate_agg()
+    gate_replica()
     if failures:
         print(f"\nbench gate: {len(failures)}/{checks} checks FAILED")
         for f in failures:

@@ -11,7 +11,11 @@
 #      client errors; it never receives a truncated "verified" result);
 #   4. kill -9 against a durable write pipeline mid-group loses no acked
 #      update and leaves no unacked update partially visible (WAL
-#      replay + full-range verification on reopen).
+#      replay + full-range verification on reopen);
+#   5. chaos: a replicated deployment (2 shards x primary + 2 replicas,
+#      hedged router in front) survives kill -9 / restart churn against
+#      its replicas — concurrent verified readers and a live writer see
+#      ZERO failures while at least one endpoint per shard stays up.
 #
 # Run from the repo root: ./scripts/deploy_smoke.sh
 set -u -o pipefail
@@ -63,14 +67,14 @@ TE1=$(start_server te1 -role te -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 
 echo "deploy_smoke: starting router over sp=[$SP0,$SP1] te=[$TE0,$TE1]..."
 ROUTER=$(start_server router -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1" -te "$TE0,$TE1") || die "router"
 
-echo "deploy_smoke: [1/4] plain client through the router (honest deployment)..."
+echo "deploy_smoke: [1/5] plain client through the router (honest deployment)..."
 OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1) \
   || { echo "$OUT" >&2; die "honest routed query session failed"; }
 echo "$OUT" | grep -q "verified" || { echo "$OUT" >&2; die "no verified queries in client output"; }
 VERIFIED=$(echo "$OUT" | grep -c "verified")
 echo "deploy_smoke:   $VERIFIED queries verified through $ROUTER"
 
-echo "deploy_smoke: [2/4] tampering shard SP must be detected..."
+echo "deploy_smoke: [2/5] tampering shard SP must be detected..."
 SP1T=$(start_server sp1t -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1 -tamper drop) || die "sp1t"
 ROUTER2=$(start_server router2 -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1T" -te "$TE0,$TE1") || die "router2"
 if OUT=$("$BIN" -role client -router "$ROUTER2" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -80,7 +84,7 @@ fi
 echo "$OUT" | grep -qi "verification" || { echo "$OUT" >&2; die "tamper failure is not a verification error"; }
 echo "deploy_smoke:   tampered shard rejected: $(echo "$OUT" | tail -1)"
 
-echo "deploy_smoke: [3/4] killing shard 1 mid-deployment must fail queries loudly..."
+echo "deploy_smoke: [3/5] killing shard 1 mid-deployment must fail queries loudly..."
 kill -9 "$SP1_PID" 2>/dev/null || true
 sleep 0.5
 if OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -91,7 +95,7 @@ fi
 # session would have exited 0 and tripped the check above.
 echo "deploy_smoke:   dead shard failed loudly: $(echo "$OUT" | tail -1)"
 
-echo "deploy_smoke: [4/4] kill -9 mid-group: acked updates must survive recovery..."
+echo "deploy_smoke: [4/5] kill -9 mid-group: acked updates must survive recovery..."
 CRASH_DIR="$WORK/crashdb"
 CRASH_N=${CRASH_N:-2000}
 "$BIN" -role crashwriter -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" >>"$WORK/crashwriter.log" 2>&1 &
@@ -111,5 +115,46 @@ OUT=$("$BIN" -role crashverify -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" 2>&
   || { echo "$OUT" >&2; die "crash recovery audit failed"; }
 echo "$OUT" | grep -q "full range verified" || { echo "$OUT" >&2; die "crashverify gave no verified verdict"; }
 echo "deploy_smoke:   $OUT"
+
+echo "deploy_smoke: [5/5] replica churn under a hedged router: zero client failures..."
+CHAOS_N=${CHAOS_N:-8000}
+P0=$(start_server prim0 -role primary -dir "$WORK/shard0" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 0) || die "prim0"
+P1=$(start_server prim1 -role primary -dir "$WORK/shard1" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 1) || die "prim1"
+R00=$(start_server rep00 -role replica -addr 127.0.0.1:0 -primary "$P0") || die "rep00"
+R01=$(start_server rep01 -role replica -addr 127.0.0.1:0 -primary "$P0") || die "rep01"
+R10=$(start_server rep10 -role replica -addr 127.0.0.1:0 -primary "$P1") || die "rep10"
+R11=$(start_server rep11 -role replica -addr 127.0.0.1:0 -primary "$P1") || die "rep11"
+ROUTER3=$(start_server router3 -role router -addr 127.0.0.1:0 \
+  -sp "$P0,$P1" -te "$P0,$P1" -replicas "$R00,$R01;$R10,$R11" \
+  -hedge-after 30ms) || die "router3"
+
+"$BIN" -role chaos -router "$ROUTER3" -sp "$P0,$P1" -seed "$SEED" \
+  -duration 8s >"$WORK/chaos.log" 2>&1 &
+CHAOS_PID=$!
+echo "$CHAOS_PID" >"$WORK/chaos.pid"
+sleep 1
+
+# Churn: kill -9 one replica per shard, let failover absorb it, restart
+# the replica on its old address (it re-bootstraps from the primary),
+# then churn the OTHER replica of each shard. The primary plus at least
+# one endpoint per shard stays alive throughout.
+churn() {
+  local name="$1" addr="$2" prim="$3"
+  kill -9 "$(cat "$WORK/$name.pid")" 2>/dev/null || true
+  sleep 1
+  : >"$WORK/$name.log"  # fresh log so start_server sees the new serving line
+  start_server "$name" -role replica -addr "$addr" -primary "$prim" >/dev/null || die "restart $name"
+}
+churn rep01 "$R01" "$P0"
+churn rep11 "$R11" "$P1"
+churn rep00 "$R00" "$P0"
+churn rep10 "$R10" "$P1"
+
+wait "$CHAOS_PID" && CHAOS_RC=0 || CHAOS_RC=$?
+cat "$WORK/chaos.log"
+[ "$CHAOS_RC" -eq 0 ] || die "chaos client exited $CHAOS_RC"
+grep -q "chaos: PASS" "$WORK/chaos.log" || die "no zero-failure accounting line"
+grep -q " 0 failures" "$WORK/chaos.log" || die "chaos reported failures"
+echo "deploy_smoke:   replica churn survived: $(grep 'chaos: PASS' "$WORK/chaos.log")"
 
 echo "deploy_smoke: PASS"
