@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst, write, agg, replica or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8, rt (response time), updates, shard, fastpath, router, burst, write, agg, replica, reshard or all")
 		scale      = flag.String("scale", "quick", "sweep scale: quick or paper")
 		ns         = flag.String("n", "", "comma-separated cardinalities overriding the scale")
 		queries    = flag.Int("queries", 0, "queries per grid point (0 = scale default)")
@@ -56,6 +56,7 @@ func main() {
 		aggJSON    = flag.String("aggjson", "BENCH_agg.json", "output path for the aggregation fast-path JSON (-figure agg)")
 		aggIters   = flag.Int("aggiters", 0, "query-set repetitions per aggregation variant (0 = default)")
 		replJSON   = flag.String("replicajson", "BENCH_replica.json", "output path for the replica-tier JSON (-figure replica)")
+		reshJSON   = flag.String("reshardjson", "BENCH_reshard.json", "output path for the online-reshard JSON (-figure reshard)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,10 @@ func main() {
 	}
 	if *figure == "replica" {
 		runReplicaFigure(*replJSON, *queries, *seed, *quiet)
+		return
+	}
+	if *figure == "reshard" {
+		runReshardFigure(*reshJSON, *queries, *seed, *quiet)
 		return
 	}
 
@@ -398,6 +403,47 @@ func runReplicaFigure(jsonPath string, queries int, seed int64, quiet bool) {
 	}
 	defer f.Close()
 	if err := experiments.WriteReplicaJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saebench: wrote %s\n", jsonPath)
+	}
+}
+
+// runReshardFigure splits a hot shard online behind the router under a
+// live verified workload and writes the machine-readable
+// BENCH_reshard.json alongside a summary.
+func runReshardFigure(jsonPath string, queries int, seed int64, quiet bool) {
+	cfg := experiments.DefaultReshardConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := experiments.RunReshard(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Online reshard (n=%d, %d -> %d shards, %d workers, GOMAXPROCS=%d)\n",
+		res.N, res.Shards, res.PostShards, res.Workers, res.GOMAXPROCS)
+	fmt.Printf("  routed, pre-split:   %8.0f queries/s\n", res.BaselineQPS)
+	fmt.Printf("  routed, post-split:  %8.0f queries/s (%.0f%% of baseline)\n",
+		res.MigratedQPS, 100*res.MigratedRelative)
+	fmt.Printf("  cutover pause:       %8.2f ms (commit-group interval %.2f ms)\n",
+		res.CutoverPauseMs, res.CommitGroupIntervalMs)
+	fmt.Printf("  during the split:    %d verified reads, %d failures, %d groups streamed, %d records migrated\n",
+		res.ChurnReads, res.ReadFailures, res.GroupsStreamed, res.RecordsMigrated)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteReshardJSON(f, res); err != nil {
 		fmt.Fprintf(os.Stderr, "saebench: %v\n", err)
 		os.Exit(1)
 	}

@@ -76,6 +76,7 @@ import (
 	"sae/internal/pagestore"
 	"sae/internal/record"
 	"sae/internal/replica"
+	"sae/internal/reshard"
 	"sae/internal/router"
 	"sae/internal/shard"
 	"sae/internal/tom"
@@ -108,6 +109,8 @@ func main() {
 		maxLag     = flag.Uint64("max-lag", 0, "staleness bound in commit groups; 0 uses the router default (router role)")
 		duration   = flag.Duration("duration", 5*time.Second, "how long to run the churn workload (chaos role)")
 		workers    = flag.Int("workers", 3, "concurrent verified readers (chaos role)")
+		splitShard = flag.Int("split-shard", -1, "shard index to split online; -1 splits the last shard (reshard role)")
+		splitAt    = flag.Uint64("split-at", 0, "key to split at; 0 uses the midpoint of the populated range (reshard role)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof + expvar counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -129,12 +132,14 @@ func main() {
 		runClient(*spAddr, *teAddr, *routerAddr, *queries, *seed, *aggMode)
 	case "chaos":
 		runChaos(*routerAddr, *spAddr, *duration, *workers, *seed)
+	case "reshard":
+		runReshard(*spAddr, *routerAddr, *dir, *splitShard, *splitAt)
 	case "crashwriter":
 		runCrashWriter(*dir, *n, workload.Distribution(*dist), *seed, *batch)
 	case "crashverify":
 		runCrashVerify(*dir, *n, workload.Distribution(*dist), *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom, primary, replica, router, client, chaos, crashwriter or crashverify")
+		fmt.Fprintln(os.Stderr, "saenet: -role must be sp, te, tom, primary, replica, router, client, chaos, reshard, crashwriter or crashverify")
 		os.Exit(2)
 	}
 }
@@ -582,6 +587,16 @@ func runChaos(routerAddr, spAddr string, duration time.Duration, workers int, se
 			}
 			for s, recs := range perShard {
 				if err := prims[s].InsertBatch(recs); err != nil {
+					if strings.Contains(err.Error(), "retired") {
+						// An online reshard migrated this shard away
+						// mid-churn. The fence is the intended signal to
+						// re-route; for the smoke workload the writer just
+						// stops cleanly — the verified readers carry the
+						// zero-failure invariant across the cutover.
+						fmt.Fprintf(os.Stderr, "saenet chaos: shard %d retired after reshard; stopping writes at %d records\n",
+							s, written.Load())
+						return
+					}
 					writeErr = fmt.Errorf("shard %d insert: %w", s, err)
 					return
 				}
@@ -644,6 +659,77 @@ func runChaos(routerAddr, spAddr string, duration time.Duration, workers int, se
 	}
 	fmt.Printf("chaos: PASS — %d verified reads, %d records written, 0 failures\n",
 		reads.Load(), written.Load())
+}
+
+// runReshard splits one shard of a live deployment online: it learns
+// the serving plan from the first primary, bootstraps and catches up
+// the two successor shards from the source's replication feed, then
+// freezes, drains, cuts the routers over and retires the source. The
+// process stays resident afterwards — it HOSTS the new shards — until
+// interrupted.
+func runReshard(spAddr, routerAddr, dirList string, splitShard int, splitAt uint64) {
+	if spAddr == "" || dirList == "" {
+		fmt.Fprintln(os.Stderr, "saenet reshard: -sp (the shard primaries, in shard order) and -dir (two target dirs, comma-separated) are required")
+		os.Exit(2)
+	}
+	prims := splitAddrs(spAddr)
+	dirs := splitAddrs(dirList)
+	if len(dirs) != 2 {
+		fail(fmt.Errorf("reshard: -dir must list exactly 2 target directories, got %d", len(dirs)))
+	}
+	ctrl, err := wire.DialSP(prims[0])
+	if err != nil {
+		fail(fmt.Errorf("reshard: primary %s: %w", prims[0], err))
+	}
+	info, err := ctrl.ShardMap()
+	ctrl.Close()
+	if err != nil {
+		fail(fmt.Errorf("reshard: primary plan: %w", err))
+	}
+	plan := info.Plan
+	if plan.Shards() != len(prims) {
+		fail(fmt.Errorf("reshard: plan has %d shards, -sp lists %d primaries", plan.Shards(), len(prims)))
+	}
+	if splitShard < 0 {
+		splitShard = plan.Shards() - 1
+	}
+	span := plan.Span(splitShard)
+	at := record.Key(splitAt)
+	if at == 0 {
+		hi := span.Hi
+		if hi > record.KeyDomain {
+			hi = record.KeyDomain // synthetic datasets populate [0, KeyDomain)
+		}
+		at = (span.Lo + hi) / 2
+	}
+	next, err := plan.SplitShard(splitShard, []record.Key{at})
+	if err != nil {
+		fail(fmt.Errorf("reshard: deriving successor plan: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "saenet reshard: splitting shard %d of %v at key %d...\n", splitShard, plan, at)
+	co, res, err := reshard.Run(reshard.Config{
+		Current:    plan,
+		Next:       next,
+		FirstShard: splitShard,
+		Replaced:   1,
+		Primaries:  prims,
+		TargetDirs: dirs,
+		Routers:    splitAddrs(routerAddr),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "saenet "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(fmt.Errorf("reshard: %w", err))
+	}
+	fmt.Printf("reshard: cutover complete — epoch %d, pause %v, %d groups streamed, %d records migrated, targets %s\n",
+		res.Plan.Epoch(), res.CutoverPause, res.GroupsStreamed, res.RecordsMigrated,
+		strings.Join(res.TargetAddrs, ","))
+	fmt.Fprintf(os.Stderr, "saenet reshard: hosting %d successor shards (ctrl-c to stop)\n", len(res.TargetAddrs))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	co.Close()
 }
 
 // startDebugServer exposes the process on addr for profiling and

@@ -13,6 +13,7 @@ type counters struct {
 	staleRejects atomic.Uint64 // answers rejected for exceeding the staleness bound
 	evictions    atomic.Uint64 // connections dropped as broken
 	reconnects   atomic.Uint64 // fresh dials after a breakage
+	cutovers     atomic.Uint64 // reshard topology swaps applied
 }
 
 // Counters is a point-in-time snapshot of the router's failure-handling
@@ -25,6 +26,7 @@ type Counters struct {
 	StaleRejects uint64
 	Evictions    uint64
 	Reconnects   uint64
+	Cutovers     uint64
 }
 
 // Counters snapshots the router's failure-handling tallies.
@@ -37,6 +39,7 @@ func (r *Router) Counters() Counters {
 		StaleRejects: r.ctrs.staleRejects.Load(),
 		Evictions:    r.ctrs.evictions.Load(),
 		Reconnects:   r.ctrs.reconnects.Load(),
+		Cutovers:     r.ctrs.cutovers.Load(),
 	}
 }
 
@@ -62,17 +65,19 @@ func healthOf[T upstream](s *endpointSet[T], out []UpstreamHealth) []UpstreamHea
 	return out
 }
 
-// Health reports every upstream endpoint's state, shard by shard.
+// Health reports every upstream endpoint's state in the currently
+// serving topology, shard by shard.
 func (r *Router) Health() []UpstreamHealth {
+	t := r.topo.Load()
 	var out []UpstreamHealth
-	for i := range r.sps {
-		out = healthOf(r.sps[i], out)
-		out = healthOf(r.tes[i], out)
-		if i < len(r.vqs) {
-			out = healthOf(r.vqs[i], out)
+	for i := range t.sps {
+		out = healthOf(t.sps[i], out)
+		out = healthOf(t.tes[i], out)
+		if i < len(t.vqs) {
+			out = healthOf(t.vqs[i], out)
 		}
-		if i < len(r.toms) {
-			out = healthOf(r.toms[i], out)
+		if i < len(t.toms) {
+			out = healthOf(t.toms[i], out)
 		}
 	}
 	return out

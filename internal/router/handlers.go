@@ -16,28 +16,40 @@ import (
 // handle maps one client request to one response frame. Every branch
 // either returns the complete merged answer or an error frame — a
 // failed or timed-out shard can never surface as a truncated result.
+// The topology is snapshotted ONCE per request: a reshard cutover
+// landing mid-request never mixes two topologies inside one answer.
 func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	t := r.topo.Load()
 	switch req.Type {
 	case wire.MsgQuery:
-		return r.handleQuery(req, rb)
+		return r.handleQuery(t, req, rb)
 	case wire.MsgBatchQuery:
-		return r.handleBatchQuery(req, rb)
+		return r.handleBatchQuery(t, req, rb)
 	case wire.MsgVTRequest:
-		return r.handleVT(req, rb)
+		return r.handleVT(t, req, rb)
 	case wire.MsgBatchVT:
-		return r.handleBatchVT(req, rb)
+		return r.handleBatchVT(t, req, rb)
 	case wire.MsgTOMQuery:
-		return r.handleTOM(req, rb)
+		return r.handleTOM(t, req, rb)
 	case wire.MsgAggQuery:
-		return r.handleAggQuery(req, rb)
+		return r.handleAggQuery(t, req, rb)
 	case wire.MsgAggTokenReq:
-		return r.handleAggToken(req, rb)
+		return r.handleAggToken(t, req, rb)
 	case wire.MsgTOMAggQuery:
-		return r.handleTOMAgg(req, rb)
+		return r.handleTOMAgg(t, req, rb)
 	case wire.MsgVerifiedQuery:
-		return r.handleVerifiedQuery(req, rb)
+		return r.handleVerifiedQuery(t, req, rb)
 	case wire.MsgGenStampReq:
-		return r.handleGenStamp(rb)
+		return r.handleGenStamp(t, rb)
+	case wire.MsgReshardCutover:
+		cut, err := wire.DecodeCutover(req.Payload)
+		if err != nil {
+			return wire.ErrFrame(err)
+		}
+		if err := r.Cutover(cut); err != nil {
+			return wire.ErrFrame(err)
+		}
+		return wire.Frame{Type: wire.MsgAck}
 	case wire.MsgShardMapReq:
 		// Relay the TE-attested partition plan for observability and
 		// tooling. The index slot is meaningless for a router; by
@@ -45,7 +57,7 @@ func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		// whole point of the tier is that they treat the router as a
 		// stand-alone system — and must not trust it: verification never
 		// depends on it.
-		return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 0, Plan: r.plan})}
+		return wire.Frame{Type: wire.MsgShardMap, Payload: wire.EncodeShardInfo(wire.ShardInfo{Index: 0, Plan: t.plan})}
 	default:
 		return wire.ErrFrame(fmt.Errorf("%w: router cannot handle message type %d (the router serves queries; owners update the shards directly)",
 			wire.ErrProtocol, req.Type))
@@ -56,11 +68,11 @@ func (r *Router) handle(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 // test hooks interpose here (forged plans, narrowed seams) — the token
 // side never goes through them, mirroring an attacker who can bend the
 // untrusted result path but not the TE aggregation.
-func (r *Router) scatterSubs(q record.Range) []shard.SubQuery {
+func (r *Router) scatterSubs(t *topology, q record.Range) []shard.SubQuery {
 	if r.tamper != nil && r.tamper.scatterPlan != nil {
 		return r.tamper.scatterPlan.Scatter(q)
 	}
-	subs := r.plan.Scatter(q)
+	subs := t.plan.Scatter(q)
 	if r.tamper != nil && r.tamper.reshapeSubs != nil {
 		subs = r.tamper.reshapeSubs(subs)
 	}
@@ -73,8 +85,8 @@ func (r *Router) scatterSubs(q record.Range) []shard.SubQuery {
 // without decoding a single record: each shard's sub-result is validated
 // for framing and spliced into the response in shard order. It returns
 // the merged record count.
-func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
-	subs := r.scatterSubs(q)
+func (r *Router) gatherRecords(t *topology, q record.Range, rb *wire.RespBuf) (int, error) {
+	subs := r.scatterSubs(t, q)
 	raws := make([][]byte, len(subs))
 	errs := make([]error, len(subs))
 	ctx, cancel := r.reqCtx()
@@ -84,7 +96,7 @@ func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+			v, err := t.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
 				return c.QueryRawCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -128,45 +140,45 @@ func (r *Router) gatherRecords(q record.Range, rb *wire.RespBuf) (int, error) {
 	return total, nil
 }
 
-func (r *Router) handleQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleQuery(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	q, err := wire.DecodeRange(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	if _, err := r.gatherRecords(q, rb); err != nil {
+	if _, err := r.gatherRecords(t, q, rb); err != nil {
 		return wire.ErrFrame(err)
 	}
 	return wire.Frame{Type: wire.MsgResult, Payload: rb.Bytes()}
 }
 
-func (r *Router) handleBatchQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleBatchQuery(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	qs, err := wire.DecodeRanges(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
 	// Group every query's sub-ranges by shard so each shard SP sees at
 	// most one batch frame, exactly like the shard-aware client.
-	subs := make([][]record.Range, len(r.sps))
-	owners := make([][]int, len(r.sps))
+	subs := make([][]record.Range, len(t.sps))
+	owners := make([][]int, len(t.sps))
 	for qi, q := range qs {
-		for _, sq := range r.scatterSubs(q) {
+		for _, sq := range r.scatterSubs(t, q) {
 			subs[sq.Shard] = append(subs[sq.Shard], sq.Sub)
 			owners[sq.Shard] = append(owners[sq.Shard], qi)
 		}
 	}
 	ctx, cancel := r.reqCtx()
 	defer cancel()
-	raws := make([][]byte, len(r.sps))
-	errs := make([]error, len(r.sps))
+	raws := make([][]byte, len(t.sps))
+	errs := make([]error, len(t.sps))
 	var wg sync.WaitGroup
-	for idx := range r.sps {
+	for idx := range t.sps {
 		if len(subs[idx]) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			v, err := r.sps[idx].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+			v, err := t.sps[idx].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
 				return c.QueryBatchRawCtx(ctx, subs[idx])
 			})
 			if err != nil {
@@ -185,7 +197,7 @@ func (r *Router) handleBatchQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	// Split each shard's batch payload into per-entry record views and
 	// hand every query its parts in shard order.
 	parts := make([][][]byte, len(qs))
-	for idx := range r.sps {
+	for idx := range t.sps {
 		if len(subs[idx]) == 0 {
 			continue
 		}
@@ -239,8 +251,8 @@ func splitBatchPayload(raw []byte, n int) ([][]byte, error) {
 // gatherVT XOR-combines the overlapping shard TEs' tokens for q. The
 // scatter uses the attested plan directly (never the tamper hooks): the
 // token path models the authenticated client↔TE aggregate.
-func (r *Router) gatherVT(q record.Range) (digest.Digest, error) {
-	subs := r.plan.Scatter(q)
+func (r *Router) gatherVT(t *topology, q record.Range) (digest.Digest, error) {
+	subs := t.plan.Scatter(q)
 	vts := make([]digest.Digest, len(subs))
 	errs := make([]error, len(subs))
 	ctx, cancel := r.reqCtx()
@@ -250,7 +262,7 @@ func (r *Router) gatherVT(q record.Range) (digest.Digest, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+			v, err := t.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
 				return c.GenerateVTWithCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -271,12 +283,12 @@ func (r *Router) gatherVT(q record.Range) (digest.Digest, error) {
 	return acc.Sum(), nil
 }
 
-func (r *Router) handleVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleVT(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	q, err := wire.DecodeRange(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	vt, err := r.gatherVT(q)
+	vt, err := r.gatherVT(t, q)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
@@ -284,32 +296,32 @@ func (r *Router) handleVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	return wire.Frame{Type: wire.MsgVT, Payload: rb.Bytes()}
 }
 
-func (r *Router) handleBatchVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleBatchVT(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	qs, err := wire.DecodeRanges(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	subs := make([][]record.Range, len(r.tes))
-	owners := make([][]int, len(r.tes))
+	subs := make([][]record.Range, len(t.tes))
+	owners := make([][]int, len(t.tes))
 	for qi, q := range qs {
-		for _, sq := range r.plan.Scatter(q) {
+		for _, sq := range t.plan.Scatter(q) {
 			subs[sq.Shard] = append(subs[sq.Shard], sq.Sub)
 			owners[sq.Shard] = append(owners[sq.Shard], qi)
 		}
 	}
 	ctx, cancel := r.reqCtx()
 	defer cancel()
-	shardVTs := make([][]digest.Digest, len(r.tes))
-	errs := make([]error, len(r.tes))
+	shardVTs := make([][]digest.Digest, len(t.tes))
+	errs := make([]error, len(t.tes))
 	var wg sync.WaitGroup
-	for idx := range r.tes {
+	for idx := range t.tes {
 		if len(subs[idx]) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			v, err := r.tes[idx].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+			v, err := t.tes[idx].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
 				return c.GenerateVTBatchCtx(ctx, subs[idx])
 			})
 			if err != nil {
@@ -326,7 +338,7 @@ func (r *Router) handleBatchVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		}
 	}
 	accs := make([]digest.Accumulator, len(qs))
-	for idx := range r.tes {
+	for idx := range t.tes {
 		for j, qi := range owners[idx] {
 			accs[qi].Add(shardVTs[idx][j])
 		}
@@ -344,8 +356,8 @@ func (r *Router) handleBatchVT(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 // sharded one gathers each overlapping provider's (records + VO) blob
 // and stitches them into a MsgTOMShardedResult the verifying client
 // checks against the owner-signed shard bindings.
-func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
-	if len(r.toms) == 0 {
+func (r *Router) handleTOM(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	if len(t.toms) == 0 {
 		return wire.ErrFrame(fmt.Errorf("%w: router has no TOM upstreams", wire.ErrProtocol))
 	}
 	q, err := wire.DecodeRange(req.Payload)
@@ -354,8 +366,8 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	}
 	ctx, cancel := r.reqCtx()
 	defer cancel()
-	if r.plan.Shards() == 1 {
-		v, err := r.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+	if t.plan.Shards() == 1 {
+		v, err := t.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
 			return c.QueryRawCtx(ctx, q)
 		})
 		if err != nil {
@@ -364,7 +376,7 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		rb.Append(v.([]byte))
 		return wire.Frame{Type: wire.MsgTOMResult, Payload: rb.Bytes()}
 	}
-	subs := r.plan.Scatter(q)
+	subs := t.plan.Scatter(q)
 	parts := make([]wire.TOMShardPart, len(subs))
 	errs := make([]error, len(subs))
 	var wg sync.WaitGroup
@@ -372,7 +384,7 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+			v, err := t.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
 				return c.QueryRawCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -388,7 +400,7 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 			return wire.ErrFrame(err)
 		}
 	}
-	plan := r.plan
+	plan := t.plan
 	if r.tamper != nil && r.tamper.reshapeTOM != nil {
 		plan, parts = r.tamper.reshapeTOM(plan, parts)
 	}
@@ -404,12 +416,12 @@ func (r *Router) handleTOM(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 // scatter goes through the tamper hooks and the merged scalar through
 // forgeAgg, and the client's token comparison must catch anything a rogue
 // router bends here.
-func (r *Router) handleAggQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleAggQuery(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	q, err := wire.DecodeRange(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	subs := r.scatterSubs(q)
+	subs := r.scatterSubs(t, q)
 	partials := make([]agg.Agg, len(subs))
 	errs := make([]error, len(subs))
 	ctx, cancel := r.reqCtx()
@@ -419,7 +431,7 @@ func (r *Router) handleAggQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
+			v, err := t.sps[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.SPClient, _ *endpoint[*wire.SPClient]) (any, error) {
 				return c.AggregateWithCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -457,12 +469,12 @@ func (r *Router) handleAggQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 // the merged token is tagged. The tamper hooks never reach this path — a
 // router that could rewrite token bytes is the compromised-TE-channel
 // case, out of the model.
-func (r *Router) handleAggToken(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleAggToken(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	q, err := wire.DecodeRange(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	subs := r.plan.Scatter(q)
+	subs := t.plan.Scatter(q)
 	toks := make([]agg.Token, len(subs))
 	errs := make([]error, len(subs))
 	ctx, cancel := r.reqCtx()
@@ -472,7 +484,7 @@ func (r *Router) handleAggToken(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
+			v, err := t.tes[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TEClient, _ *endpoint[*wire.TEClient]) (any, error) {
 				return c.AggTokenWithCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -508,8 +520,8 @@ func (r *Router) handleAggToken(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 // sharded one stitches the per-shard aggregate VOs into a
 // MsgTOMAggShardedResult the client verifies against the owner-signed
 // shard bindings.
-func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
-	if len(r.toms) == 0 {
+func (r *Router) handleTOMAgg(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
+	if len(t.toms) == 0 {
 		return wire.ErrFrame(fmt.Errorf("%w: router has no TOM upstreams", wire.ErrProtocol))
 	}
 	q, err := wire.DecodeRange(req.Payload)
@@ -518,8 +530,8 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	}
 	ctx, cancel := r.reqCtx()
 	defer cancel()
-	if r.plan.Shards() == 1 {
-		v, err := r.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+	if t.plan.Shards() == 1 {
+		v, err := t.toms[0].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
 			return c.AggregateRawCtx(ctx, q)
 		})
 		if err != nil {
@@ -528,7 +540,7 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		rb.Append(v.([]byte))
 		return wire.Frame{Type: wire.MsgTOMAggResult, Payload: rb.Bytes()}
 	}
-	subs := r.plan.Scatter(q)
+	subs := t.plan.Scatter(q)
 	parts := make([]wire.TOMShardPart, len(subs))
 	errs := make([]error, len(subs))
 	var wg sync.WaitGroup
@@ -536,7 +548,7 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := r.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
+			v, err := t.toms[subs[i].Shard].do(ctx, func(ctx context.Context, c *wire.TOMClient, _ *endpoint[*wire.TOMClient]) (any, error) {
 				return c.AggregateRawCtx(ctx, subs[i].Sub)
 			})
 			if err != nil {
@@ -552,7 +564,7 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 			return wire.ErrFrame(err)
 		}
 	}
-	plan := r.plan
+	plan := t.plan
 	if r.tamper != nil && r.tamper.reshapeTOM != nil {
 		plan, parts = r.tamper.reshapeTOM(plan, parts)
 	}
@@ -565,20 +577,25 @@ func (r *Router) handleTOMAgg(req wire.Frame, rb *wire.RespBuf) wire.Frame {
 
 // handleVerifiedQuery routes a stamped verified query across the
 // verified-capable endpoint sets (each shard's replicas plus a combined
-// primary). Each shard returns one atomic (gen, VT, records) triple; the
-// merge stamps the spanning answer with the MINIMUM generation (the
-// freshest bound that holds for every part), XORs the per-shard tokens
-// and splices the record payloads in shard order — so the client's
-// single-system verification (XOR match, key order, containment) and its
-// freshness floor both apply unchanged. Answers lagging the shard's
-// newest observed generation by more than MaxLag are rejected inside the
-// retry loop and served by a fresher sibling.
-func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Frame {
+// primary). Each shard returns one atomic (epoch, gen, VT, records)
+// quadruple; the merge stamps the spanning answer with the MINIMUM
+// epoch and MINIMUM generation (the freshest bounds that hold for every
+// part), XORs the per-shard tokens and splices the record payloads in
+// shard order — so the client's single-system verification (XOR match,
+// key order, containment) and its lexicographic (epoch, gen) freshness
+// floor both apply unchanged. During a reshard transition a surviving
+// primary may already attest the successor epoch while the rest of the
+// answer is served under the old one; stamping min keeps the merged
+// claim honest (the answer is only as new as its oldest part). The
+// scatter goes through the tamper hooks: an adversarial router that
+// scatters under a forged plan produces seam sub-queries that escape
+// the shards' spans, and the span-clamped servers refuse them.
+func (r *Router) handleVerifiedQuery(t *topology, req wire.Frame, rb *wire.RespBuf) wire.Frame {
 	q, err := wire.DecodeRange(req.Payload)
 	if err != nil {
 		return wire.ErrFrame(err)
 	}
-	subs := r.plan.Scatter(q)
+	subs := r.scatterSubs(t, q)
 	raws := make([][]byte, len(subs))
 	errs := make([]error, len(subs))
 	ctx, cancel := r.reqCtx()
@@ -588,13 +605,13 @@ func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Fram
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			set := r.vqs[subs[i].Shard]
+			set := t.vqs[subs[i].Shard]
 			v, err := set.do(ctx, func(ctx context.Context, c *wire.VerifiedClient, ep *endpoint[*wire.VerifiedClient]) (any, error) {
 				raw, err := c.QueryRawVerifiedCtx(ctx, subs[i].Sub)
 				if err != nil {
 					return nil, err
 				}
-				gen, _, _, err := wire.DecodeVerifiedResult(raw)
+				_, gen, _, _, err := wire.DecodeVerifiedResult(raw)
 				if err != nil {
 					return nil, err
 				}
@@ -621,11 +638,11 @@ func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Fram
 		raws = r.tamper.replayVerified(raws)
 	}
 	var acc digest.Accumulator
-	var minGen uint64
+	var minEpoch, minGen uint64
 	encs := make([][]byte, len(raws))
 	total := 0
 	for i, raw := range raws {
-		gen, vt, recsRaw, err := wire.DecodeVerifiedResult(raw)
+		epoch, gen, vt, recsRaw, err := wire.DecodeVerifiedResult(raw)
 		if err != nil {
 			return wire.ErrFrame(fmt.Errorf("router: shard %d verified result: %w", subs[i].Shard, err))
 		}
@@ -641,9 +658,24 @@ func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Fram
 		if i == 0 || gen < minGen {
 			minGen = gen
 		}
+		if i == 0 || epoch < minEpoch {
+			minEpoch = epoch
+		}
 		encs[i] = enc
 		total += len(enc) / record.Size
 	}
+	// Clamp the stamped epoch to the topology this answer was assembled
+	// under. Mid-reshard a surviving primary already attests epoch v+1
+	// while the router still scatters by the epoch-v plan; stamping v+1
+	// here would make a later (equally honest) epoch-v answer look like a
+	// regression to the client's floor. The clamp is honest — geometry,
+	// clamping and merge all followed the epoch-v plan — and clamping is
+	// all a rogue router could do anyway: under-stamping only trips the
+	// client's per-epoch generation floor once the real cutover lands.
+	if e := t.plan.Epoch(); minEpoch > e {
+		minEpoch = e
+	}
+	rb.AppendUint64(minEpoch)
 	rb.AppendUint64(minGen)
 	vt := acc.Sum()
 	rb.Append(vt[:])
@@ -660,9 +692,9 @@ func (r *Router) handleVerifiedQuery(req wire.Frame, rb *wire.RespBuf) wire.Fram
 // endpoints. Clients use it to seed a freshness floor (QueryAtLeast);
 // they never need to trust it — a floor built on a lying stamp only ever
 // REJECTS more.
-func (r *Router) handleGenStamp(rb *wire.RespBuf) wire.Frame {
+func (r *Router) handleGenStamp(t *topology, rb *wire.RespBuf) wire.Frame {
 	var min uint64
-	for i, s := range r.vqs {
+	for i, s := range t.vqs {
 		g := s.maxGen.Load()
 		if i == 0 || g < min {
 			min = g

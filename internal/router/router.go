@@ -21,6 +21,16 @@
 // lagging the set's newest observed generation by more than
 // Config.MaxLag are rejected and retried elsewhere.
 //
+// The whole upstream fabric — the attested plan and every endpoint set —
+// lives in ONE immutable topology value behind an atomic pointer. Every
+// request snapshots the pointer once and runs entirely against that
+// snapshot, which is what makes online resharding seam-safe: a cutover
+// (Cutover / MsgReshardCutover) builds and attests the successor
+// topology on the side, swaps the pointer, and in-flight requests finish
+// against the epoch they started under while every new pick lands on the
+// new one. The displaced topology's connections are closed after a grace
+// period sized to the upstream timeout.
+//
 // # Trust argument
 //
 // The router is NOT a trusted party, and neither are the replicas it
@@ -36,13 +46,14 @@
 // sub-ranges IS the token a single TE over the whole dataset would have
 // issued. The ONLY property a replica could silently bend that the XOR
 // check cannot catch is freshness — serving a correct answer for an old
-// generation — which is why every verified answer carries its
-// generation stamp: the router bounds staleness against the newest
+// generation — which is why every verified answer carries its plan epoch
+// and generation stamp: the router bounds staleness against the newest
 // stamp it has observed, and a paranoid client enforces its own
-// monotonic floor (wire.VerifiedClient.QueryAtLeast), so even a rogue
-// router replaying old answers is caught. As everywhere in this wire
-// layer, the client↔TE byte stream itself is assumed authenticated
-// end-to-end — a relay that can rewrite TE token bytes is the paper's
+// monotonic lexicographic (epoch, gen) floor
+// (wire.VerifiedClient.QueryAtLeast), so even a rogue router replaying
+// pre-reshard answers is caught. As everywhere in this wire layer, the
+// client↔TE byte stream itself is assumed authenticated end-to-end — a
+// relay that can rewrite TE token bytes is the paper's
 // compromised-TE-channel case, out of model here and solved by
 // transport authentication in a hardened deployment, not by the
 // protocol.
@@ -57,6 +68,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sae/internal/shard"
@@ -85,7 +98,9 @@ type Config struct {
 	Conns int
 	// UpstreamTimeout bounds every upstream sub-request (default 30s;
 	// negative disables). A shard that exceeds it fails the client
-	// request with an error — never a silently truncated result.
+	// request with an error — never a silently truncated result. It also
+	// sizes the grace period before a reshard cutover closes the
+	// displaced topology's connections.
 	UpstreamTimeout time.Duration
 	// HedgeAfter, when positive, races a second endpoint of the same
 	// shard after this delay if the first has not answered; the first
@@ -116,12 +131,11 @@ const DefaultMaxLag = 128
 // does not set one.
 const DefaultProbeInterval = 100 * time.Millisecond
 
-// Router is the client-facing scatter-gather endpoint. It keeps no
-// per-request state beyond in-flight gathers and holds no data: closing
-// and restarting one (or running several behind a TCP load balancer) is
-// always safe.
-type Router struct {
-	cfg  Config
+// topology is one immutable generation of the router's upstream fabric:
+// the attested plan plus every endpoint set, all built together and
+// swapped together. Requests snapshot one topology and never observe a
+// cutover mid-flight.
+type topology struct {
 	plan shard.Plan
 	sps  []*endpointSet[*wire.SPClient]
 	tes  []*endpointSet[*wire.TEClient]
@@ -129,10 +143,47 @@ type Router struct {
 	// vqs are the verified-query sets: each shard's replicas plus its
 	// primary when the primary serves both halves (SPs[i] == TEs[i] —
 	// only a process holding SP and TE together can stamp one atomic
-	// (gen, VT, records) triple).
-	vqs  []*endpointSet[*wire.VerifiedClient]
+	// (epoch, gen, VT, records) quadruple).
+	vqs []*endpointSet[*wire.VerifiedClient]
+}
+
+// closeAll closes every upstream connection of every set.
+func (t *topology) closeAll() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range t.sps {
+		keep(s.closeAll())
+	}
+	for _, s := range t.tes {
+		keep(s.closeAll())
+	}
+	for _, s := range t.vqs {
+		keep(s.closeAll())
+	}
+	for _, s := range t.toms {
+		keep(s.closeAll())
+	}
+	return first
+}
+
+// Router is the client-facing scatter-gather endpoint. It keeps no
+// per-request state beyond in-flight gathers and holds no data: closing
+// and restarting one (or running several behind a TCP load balancer) is
+// always safe.
+type Router struct {
+	cfg  Config
+	topo atomic.Pointer[topology]
 	srv  *wire.Server
 	ctrs counters
+
+	// cutoverMu serializes cutovers; retiring holds displaced topologies
+	// until their grace timers (or Close) release their connections.
+	cutoverMu sync.Mutex
+	retiring  []*topology
 
 	proberStop chan struct{}
 	proberDone chan struct{}
@@ -168,15 +219,125 @@ func addEndpoint[T upstream](s *endpointSet[T], addr string, dial func(string) (
 	return ep
 }
 
-// New dials every primary upstream and cross-checks the deployment's
-// shard attestations exactly like a shard-aware client would: all TEs
-// must agree on one plan and their dialed indices, and the plan must
-// match the address lists. The TE-attested plan drives all scattering
-// and is pinned on every endpoint, so a process that restarts with the
-// wrong dataset is rejected on redial. Replicas are dialed best-effort
-// (a dead replica is adopted later by the prober), but a replica that
-// answers with a mismatched attestation fails construction — that is a
-// wiring error, not an outage.
+// buildTopology dials every primary upstream and cross-checks the
+// deployment's shard attestations exactly like a shard-aware client
+// would: all TEs must agree on one plan and their dialed indices, and
+// the plan must match the address lists. The TE-attested plan drives all
+// scattering and is pinned on every endpoint, so a process that restarts
+// with the wrong dataset is rejected on redial. Replicas are dialed
+// best-effort (a dead replica is adopted later by the prober), but a
+// replica that answers with a mismatched attestation fails construction
+// — that is a wiring error, not an outage. On error the half-built
+// topology's connections are closed before returning.
+func (r *Router) buildTopology(spAddrs, teAddrs []string, replicas [][]string, tomAddrs []string) (*topology, error) {
+	cfg := &r.cfg
+	t := &topology{}
+	ok := false
+	defer func() {
+		if !ok {
+			t.closeAll()
+		}
+	}()
+
+	// Primaries first: their attestations establish the plan.
+	for i := range spAddrs {
+		combined := spAddrs[i] == teAddrs[i]
+		spSet := newSet[*wire.SPClient]("SP", i, cfg, &r.ctrs)
+		addEndpoint(spSet, spAddrs[i], wire.DialSP, combined)
+		t.sps = append(t.sps, spSet)
+		teSet := newSet[*wire.TEClient]("TE", i, cfg, &r.ctrs)
+		addEndpoint(teSet, teAddrs[i], wire.DialTE, combined)
+		t.tes = append(t.tes, teSet)
+		vqSet := newSet[*wire.VerifiedClient]("verified", i, cfg, &r.ctrs)
+		if combined {
+			addEndpoint(vqSet, spAddrs[i], wire.DialVerified, true)
+		}
+		t.vqs = append(t.vqs, vqSet)
+	}
+	firstSPs := make([]*wire.SPClient, len(t.sps))
+	firstTEs := make([]*wire.TEClient, len(t.tes))
+	for i := range t.sps {
+		sp, err := t.sps[i].eps[0].acquire(cfg.Conns)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d SP: %w", i, err)
+		}
+		firstSPs[i] = sp
+		te, err := t.tes[i].eps[0].acquire(cfg.Conns)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TE: %w", i, err)
+		}
+		firstTEs[i] = te
+	}
+	plan, err := wire.VerifyShardAttestations(firstSPs, firstTEs)
+	if err != nil {
+		return nil, fmt.Errorf("router: upstream attestation: %w", err)
+	}
+	t.plan = plan
+
+	// Replicas join the read sets under the now-known plan.
+	for i := range replicas {
+		for _, addr := range replicas[i] {
+			addEndpoint(t.sps[i], addr, wire.DialSP, true)
+			addEndpoint(t.tes[i], addr, wire.DialTE, true)
+			addEndpoint(t.vqs[i], addr, wire.DialVerified, true)
+		}
+	}
+	// Pin the attested plan on every endpoint: from here on, every fresh
+	// dial (including prober re-adoption after a crash) re-verifies the
+	// upstream's shard index and plan before trusting it with traffic.
+	for i := range t.sps {
+		for _, ep := range t.sps[i].eps {
+			ep.attest = &t.plan
+		}
+		for _, ep := range t.tes[i].eps {
+			ep.attest = &t.plan
+		}
+		for _, ep := range t.vqs[i].eps {
+			ep.attest = &t.plan
+		}
+	}
+	// Best-effort eager replica dial: a dead replica only logs (the
+	// prober adopts it when it comes up), a misattested one is fatal.
+	for i := range replicas {
+		for _, ep := range t.vqs[i].eps {
+			if ep.addr == spAddrs[i] {
+				continue // the primary, already verified
+			}
+			if _, err := ep.acquire(1); err != nil {
+				if errors.Is(err, errAttestMismatch) {
+					return nil, err
+				}
+				cfg.Logf("router: shard %d replica %s not yet reachable: %v", i, ep.addr, err)
+			}
+		}
+	}
+
+	for i := range tomAddrs {
+		tomSet := newSet[*wire.TOMClient]("TOM", i, cfg, &r.ctrs)
+		ep := addEndpoint(tomSet, tomAddrs[i], wire.DialTOM, false)
+		tc, err := ep.acquire(cfg.Conns)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TOM: %w", i, err)
+		}
+		// Wiring sanity (the provider is untrusted regardless): the TOM
+		// server must sit at the index it is dialed as, under the same
+		// plan the TEs attest.
+		si, err := tc.ShardMap()
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d TOM map: %w", i, err)
+		}
+		if si.Index != i || !si.Plan.Equal(plan) {
+			return nil, fmt.Errorf("router: TOM dialed as shard %d reports shard %d of %v", i, si.Index, si.Plan)
+		}
+		ep.attest = &t.plan
+		t.toms = append(t.toms, tomSet)
+	}
+	ok = true
+	return t, nil
+}
+
+// New builds a router over the configured upstreams, verifying their
+// shard attestations before serving a single request.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.SPs) == 0 || len(cfg.SPs) != len(cfg.TEs) {
 		return nil, fmt.Errorf("router: %d SP addresses for %d TE addresses", len(cfg.SPs), len(cfg.TEs))
@@ -203,120 +364,85 @@ func New(cfg Config) (*Router, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	r := &Router{cfg: cfg}
-	ok := false
-	defer func() {
-		if !ok {
-			r.Close()
-		}
-	}()
-
-	// Primaries first: their attestations establish the plan.
-	for i := range cfg.SPs {
-		combined := cfg.SPs[i] == cfg.TEs[i]
-		spSet := newSet[*wire.SPClient]("SP", i, &cfg, &r.ctrs)
-		addEndpoint(spSet, cfg.SPs[i], wire.DialSP, combined)
-		r.sps = append(r.sps, spSet)
-		teSet := newSet[*wire.TEClient]("TE", i, &cfg, &r.ctrs)
-		addEndpoint(teSet, cfg.TEs[i], wire.DialTE, combined)
-		r.tes = append(r.tes, teSet)
-		vqSet := newSet[*wire.VerifiedClient]("verified", i, &cfg, &r.ctrs)
-		if combined {
-			addEndpoint(vqSet, cfg.SPs[i], wire.DialVerified, true)
-		}
-		r.vqs = append(r.vqs, vqSet)
-	}
-	firstSPs := make([]*wire.SPClient, len(r.sps))
-	firstTEs := make([]*wire.TEClient, len(r.tes))
-	for i := range r.sps {
-		sp, err := r.sps[i].eps[0].acquire(cfg.Conns)
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d SP: %w", i, err)
-		}
-		firstSPs[i] = sp
-		te, err := r.tes[i].eps[0].acquire(cfg.Conns)
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d TE: %w", i, err)
-		}
-		firstTEs[i] = te
-	}
-	plan, err := wire.VerifyShardAttestations(firstSPs, firstTEs)
+	t, err := r.buildTopology(cfg.SPs, cfg.TEs, cfg.Replicas, cfg.TOMs)
 	if err != nil {
-		return nil, fmt.Errorf("router: upstream attestation: %w", err)
+		return nil, err
 	}
-	r.plan = plan
-
-	// Replicas join the read sets under the now-known plan.
-	for i := range cfg.Replicas {
-		for _, addr := range cfg.Replicas[i] {
-			addEndpoint(r.sps[i], addr, wire.DialSP, true)
-			addEndpoint(r.tes[i], addr, wire.DialTE, true)
-			addEndpoint(r.vqs[i], addr, wire.DialVerified, true)
-		}
-	}
-	// Pin the attested plan on every endpoint: from here on, every fresh
-	// dial (including prober re-adoption after a crash) re-verifies the
-	// upstream's shard index and plan before trusting it with traffic.
-	for i := range r.sps {
-		for _, ep := range r.sps[i].eps {
-			ep.attest = &r.plan
-		}
-		for _, ep := range r.tes[i].eps {
-			ep.attest = &r.plan
-		}
-		for _, ep := range r.vqs[i].eps {
-			ep.attest = &r.plan
-		}
-	}
-	// Best-effort eager replica dial: a dead replica only logs (the
-	// prober adopts it when it comes up), a misattested one is fatal.
-	for i := range cfg.Replicas {
-		for _, ep := range r.vqs[i].eps {
-			if ep.addr == cfg.SPs[i] {
-				continue // the primary, already verified
-			}
-			if _, err := ep.acquire(1); err != nil {
-				if errors.Is(err, errAttestMismatch) {
-					return nil, err
-				}
-				cfg.Logf("router: shard %d replica %s not yet reachable: %v", i, ep.addr, err)
-			}
-		}
-	}
-
-	for i := range cfg.TOMs {
-		tomSet := newSet[*wire.TOMClient]("TOM", i, &cfg, &r.ctrs)
-		ep := addEndpoint(tomSet, cfg.TOMs[i], wire.DialTOM, false)
-		tc, err := ep.acquire(cfg.Conns)
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d TOM: %w", i, err)
-		}
-		// Wiring sanity (the provider is untrusted regardless): the TOM
-		// server must sit at the index it is dialed as, under the same
-		// plan the TEs attest.
-		si, err := tc.ShardMap()
-		if err != nil {
-			return nil, fmt.Errorf("router: shard %d TOM map: %w", i, err)
-		}
-		if si.Index != i || !si.Plan.Equal(plan) {
-			return nil, fmt.Errorf("router: TOM dialed as shard %d reports shard %d of %v", i, si.Index, si.Plan)
-		}
-		ep.attest = &r.plan
-		r.toms = append(r.toms, tomSet)
-	}
+	r.topo.Store(t)
 
 	if cfg.ProbeInterval > 0 {
 		r.proberStop = make(chan struct{})
 		r.proberDone = make(chan struct{})
 		go r.prober()
 	}
-	ok = true
 	return r, nil
+}
+
+// Cutover atomically swaps the router onto a successor topology: the
+// new upstreams are dialed and their shard attestations verified BEFORE
+// the swap, the attested plan must Equal the ordered one (geometry AND
+// epoch — wire.VerifyShardAttestations runs under the epoch-aware
+// comparison, so upstreams still attesting the old topology fail here),
+// and the ordered epoch must be strictly higher than the serving one, so
+// a replayed cutover carrying a stale attested plan is rejected outright.
+// In-flight requests finish against the topology they snapshotted; its
+// connections close after a grace period sized to the upstream timeout.
+func (r *Router) Cutover(cut wire.Cutover) error {
+	if cut.Plan.Shards() != len(cut.Shards) {
+		return fmt.Errorf("router: cutover lists %d shards under a %d-shard plan", len(cut.Shards), cut.Plan.Shards())
+	}
+	r.cutoverMu.Lock()
+	defer r.cutoverMu.Unlock()
+	old := r.topo.Load()
+	if cut.Plan.Epoch() <= old.plan.Epoch() {
+		return fmt.Errorf("router: cutover to epoch %d rejected; already serving epoch %d (stale plan replay?)",
+			cut.Plan.Epoch(), old.plan.Epoch())
+	}
+	spAddrs := make([]string, len(cut.Shards))
+	teAddrs := make([]string, len(cut.Shards))
+	replicas := make([][]string, len(cut.Shards))
+	for i, s := range cut.Shards {
+		if len(s.SPs) == 0 || len(s.TEs) == 0 {
+			return fmt.Errorf("router: cutover shard %d has no SP or TE endpoints", i)
+		}
+		spAddrs[i] = s.SPs[0]
+		teAddrs[i] = s.TEs[0]
+		replicas[i] = s.SPs[1:]
+	}
+	next, err := r.buildTopology(spAddrs, teAddrs, replicas, nil)
+	if err != nil {
+		return fmt.Errorf("router: cutover to epoch %d: %w", cut.Plan.Epoch(), err)
+	}
+	if !next.plan.Equal(cut.Plan) {
+		next.closeAll()
+		return fmt.Errorf("router: cutover upstreams attest %v, ordered %v", next.plan, cut.Plan)
+	}
+	r.topo.Store(next)
+	r.ctrs.cutovers.Add(1)
+	r.retiring = append(r.retiring, old)
+	grace := r.cfg.UpstreamTimeout
+	if grace <= 0 {
+		grace = DefaultUpstreamTimeout
+	}
+	time.AfterFunc(grace, func() {
+		r.cutoverMu.Lock()
+		for i, t := range r.retiring {
+			if t == old {
+				r.retiring = append(r.retiring[:i], r.retiring[i+1:]...)
+				break
+			}
+		}
+		r.cutoverMu.Unlock()
+		old.closeAll()
+	})
+	r.cfg.Logf("router: cut over to %v (displaced epoch %d drains for %v)", next.plan, old.plan.Epoch(), grace)
+	return nil
 }
 
 // prober periodically redials downed endpoints (re-verifying their
 // attestation) and refreshes stamped endpoints' generations, so
 // failover targets are warm and the staleness bar is current even
-// across idle periods.
+// across idle periods. Each pass runs over the then-current topology.
 func (r *Router) prober() {
 	defer close(r.proberDone)
 	t := time.NewTicker(r.cfg.ProbeInterval)
@@ -330,13 +456,14 @@ func (r *Router) prober() {
 		case <-r.proberStop:
 			return
 		case <-t.C:
-			for i := range r.sps {
-				r.sps[i].probe(probeTimeout)
-				r.tes[i].probe(probeTimeout)
-				r.vqs[i].probe(probeTimeout)
+			topo := r.topo.Load()
+			for i := range topo.sps {
+				topo.sps[i].probe(probeTimeout)
+				topo.tes[i].probe(probeTimeout)
+				topo.vqs[i].probe(probeTimeout)
 			}
-			for i := range r.toms {
-				r.toms[i].probe(probeTimeout)
+			for i := range topo.toms {
+				topo.toms[i].probe(probeTimeout)
 			}
 		}
 	}
@@ -358,14 +485,16 @@ func (r *Router) Serve(addr string) error {
 // Addr returns the client-facing address once Serve has been called.
 func (r *Router) Addr() string { return r.srv.Addr() }
 
-// Plan returns the TE-attested partition plan the router scatters under.
-func (r *Router) Plan() shard.Plan { return r.plan }
+// Plan returns the TE-attested partition plan the router currently
+// scatters under.
+func (r *Router) Plan() shard.Plan { return r.topo.Load().plan }
 
-// Shards returns the upstream shard count.
-func (r *Router) Shards() int { return len(r.sps) }
+// Shards returns the current upstream shard count.
+func (r *Router) Shards() int { return len(r.topo.Load().sps) }
 
 // Close stops the prober and the client-facing server, then closes
-// every upstream connection.
+// every upstream connection — the serving topology's and any displaced
+// ones still inside their cutover grace window.
 func (r *Router) Close() error {
 	if r.proberStop != nil {
 		close(r.proberStop)
@@ -381,17 +510,15 @@ func (r *Router) Close() error {
 	if r.srv != nil {
 		keep(r.srv.Close())
 	}
-	for _, s := range r.sps {
-		keep(s.closeAll())
+	r.cutoverMu.Lock()
+	retiring := r.retiring
+	r.retiring = nil
+	r.cutoverMu.Unlock()
+	for _, t := range retiring {
+		keep(t.closeAll())
 	}
-	for _, s := range r.tes {
-		keep(s.closeAll())
-	}
-	for _, s := range r.vqs {
-		keep(s.closeAll())
-	}
-	for _, s := range r.toms {
-		keep(s.closeAll())
+	if t := r.topo.Load(); t != nil {
+		keep(t.closeAll())
 	}
 	return first
 }

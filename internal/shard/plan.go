@@ -35,9 +35,16 @@ const MaxKey = ^record.Key(0)
 // the whole domain — the property the cross-shard verification argument
 // rests on.
 //
-// The zero Plan is the single-shard plan.
+// A plan additionally carries an epoch: a monotonically increasing
+// version of the topology. Resharding publishes a new plan at epoch+1;
+// attestation checks compare plans with Equal (geometry AND epoch), so a
+// replayed attestation of an older topology is rejected even when its
+// spans happen to match.
+//
+// The zero Plan is the single-shard plan at epoch 0.
 type Plan struct {
 	splits []record.Key // strictly increasing, all > 0
+	epoch  uint64       // topology version; bumped by every reshard
 }
 
 // Single is the trivial one-shard plan.
@@ -115,6 +122,16 @@ func PlanFor(sorted []record.Record, shards int) Plan {
 
 // Shards returns the number of partitions.
 func (p Plan) Shards() int { return len(p.splits) + 1 }
+
+// Epoch returns the plan's topology version.
+func (p Plan) Epoch() uint64 { return p.epoch }
+
+// WithEpoch returns a copy of the plan stamped with the given epoch; the
+// split geometry is shared (splits are never mutated in place).
+func (p Plan) WithEpoch(e uint64) Plan {
+	p.epoch = e
+	return p
+}
 
 // Span returns shard i's key span (closed interval). The first span starts
 // at 0, the last ends at MaxKey.
@@ -198,8 +215,18 @@ func (p Plan) Splits() []record.Key {
 	return append([]record.Key(nil), p.splits...)
 }
 
-// Equal reports whether two plans partition the domain identically.
+// Equal reports whether two plans describe the same topology: identical
+// split geometry at the same epoch. This is the comparison every
+// attestation check uses — an old plan replayed after a reshard fails it
+// even when the geometry matches (a merge can restore earlier spans).
 func (p Plan) Equal(o Plan) bool {
+	return p.epoch == o.epoch && p.SameSpans(o)
+}
+
+// SameSpans reports whether two plans partition the domain identically,
+// ignoring epochs — the geometric half of Equal, for callers comparing
+// shapes across topology versions.
+func (p Plan) SameSpans(o Plan) bool {
 	if len(p.splits) != len(o.splits) {
 		return false
 	}
@@ -211,16 +238,20 @@ func (p Plan) Equal(o Plan) bool {
 	return true
 }
 
-// Marshal serializes the plan: shard count, then the split keys.
+// Marshal serializes the plan: shard count, the split keys, then the
+// epoch. Every carrier of a marshaled plan (shard attestations, TOM
+// sharded evidence, replica snapshots) transports the epoch with it.
 func (p Plan) Marshal() []byte {
-	out := make([]byte, 4, 4+4*len(p.splits))
+	out := make([]byte, 4, 4+4*len(p.splits)+8)
 	binary.BigEndian.PutUint32(out[0:4], uint32(p.Shards()))
 	for _, s := range p.splits {
 		var b [4]byte
 		binary.BigEndian.PutUint32(b[:], uint32(s))
 		out = append(out, b[:]...)
 	}
-	return out
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], p.epoch)
+	return append(out, e[:]...)
 }
 
 // UnmarshalPlan parses a serialized plan, validating it, and returns any
@@ -234,7 +265,7 @@ func UnmarshalPlan(b []byte) (Plan, []byte, error) {
 	if shards < 1 {
 		return Plan{}, nil, fmt.Errorf("shard: plan with %d shards", shards)
 	}
-	if len(b) < 4*(shards-1) {
+	if len(b) < 4*(shards-1)+8 {
 		return Plan{}, nil, fmt.Errorf("shard: truncated plan splits")
 	}
 	splits := make([]record.Key, shards-1)
@@ -245,7 +276,9 @@ func UnmarshalPlan(b []byte) (Plan, []byte, error) {
 	if err != nil {
 		return Plan{}, nil, err
 	}
-	return p, b[4*(shards-1):], nil
+	b = b[4*(shards-1):]
+	p.epoch = binary.BigEndian.Uint64(b[0:8])
+	return p, b[8:], nil
 }
 
 // String renders the plan for logs.
@@ -260,6 +293,9 @@ func (p Plan) String() string {
 			}
 			fmt.Fprintf(&sb, "%d", s)
 		}
+	}
+	if p.epoch > 0 {
+		fmt.Fprintf(&sb, " epoch %d", p.epoch)
 	}
 	sb.WriteString("}")
 	return sb.String()

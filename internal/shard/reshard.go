@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"fmt"
+
+	"sae/internal/record"
+)
+
+// SplitShard derives the successor topology that replaces shard i with
+// len(at)+1 new shards cut at the given keys, which must lie strictly
+// inside shard i's span (each key becomes the first key of a new shard).
+// The result is stamped epoch+1 — the epoch the reshard coordinator
+// publishes at cutover.
+func (p Plan) SplitShard(i int, at []record.Key) (Plan, error) {
+	if i < 0 || i >= p.Shards() {
+		return Plan{}, fmt.Errorf("shard: split of shard %d outside plan with %d shards", i, p.Shards())
+	}
+	if len(at) == 0 {
+		return Plan{}, fmt.Errorf("shard: split of shard %d with no split keys", i)
+	}
+	span := p.Span(i)
+	splits := make([]record.Key, 0, len(p.splits)+len(at))
+	splits = append(splits, p.splits[:i]...)
+	for j, k := range at {
+		if k <= span.Lo || k > span.Hi {
+			return Plan{}, fmt.Errorf("shard: split key %d outside the interior of shard %d's span %v", k, i, span)
+		}
+		if j > 0 && k <= at[j-1] {
+			return Plan{}, fmt.Errorf("shard: split keys not strictly increasing at %d", j)
+		}
+		splits = append(splits, k)
+	}
+	splits = append(splits, p.splits[i:]...)
+	next, err := NewPlan(splits)
+	if err != nil {
+		return Plan{}, err
+	}
+	return next.WithEpoch(p.epoch + 1), nil
+}
+
+// MergeShards derives the successor topology that merges the `count`
+// adjacent shards starting at i into one, stamped epoch+1.
+func (p Plan) MergeShards(i, count int) (Plan, error) {
+	if count < 2 {
+		return Plan{}, fmt.Errorf("shard: merge of %d shards (need at least 2)", count)
+	}
+	if i < 0 || i+count > p.Shards() {
+		return Plan{}, fmt.Errorf("shard: merge of shards [%d,%d) outside plan with %d shards", i, i+count, p.Shards())
+	}
+	splits := make([]record.Key, 0, len(p.splits)-count+1)
+	splits = append(splits, p.splits[:i]...)
+	splits = append(splits, p.splits[i+count-1:]...)
+	next, err := NewPlan(splits)
+	if err != nil {
+		return Plan{}, err
+	}
+	return next.WithEpoch(p.epoch + 1), nil
+}

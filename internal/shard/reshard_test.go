@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"testing"
+
+	"sae/internal/record"
+)
+
+func TestPlanEpochMarshalRoundTrip(t *testing.T) {
+	for _, splits := range [][]record.Key{nil, {42}, {100, 200, 4_000_000}} {
+		for _, epoch := range []uint64{0, 1, 7, 1 << 40} {
+			p, err := NewPlan(splits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = p.WithEpoch(epoch)
+			got, rest, err := UnmarshalPlan(p.Marshal())
+			if err != nil {
+				t.Fatalf("UnmarshalPlan(epoch %d): %v", epoch, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("trailing bytes: %d", len(rest))
+			}
+			if got.Epoch() != epoch {
+				t.Fatalf("epoch lost in round trip: got %d, want %d", got.Epoch(), epoch)
+			}
+			if !got.Equal(p) {
+				t.Fatalf("round trip mismatch: %v vs %v", got, p)
+			}
+		}
+	}
+	// A plan truncated before its epoch must be rejected, not defaulted.
+	p, _ := NewPlan([]record.Key{100})
+	enc := p.Marshal()
+	if _, _, err := UnmarshalPlan(enc[:len(enc)-8]); err == nil {
+		t.Fatal("UnmarshalPlan accepted a plan without an epoch")
+	}
+}
+
+func TestPlanEqualIsEpochAware(t *testing.T) {
+	p, err := NewPlan([]record.Key{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := p.WithEpoch(1)
+	current := p.WithEpoch(2)
+	if current.Equal(replayed) {
+		t.Fatal("Equal accepted the same geometry at a stale epoch")
+	}
+	if !current.SameSpans(replayed) {
+		t.Fatal("SameSpans must ignore epochs")
+	}
+	if !current.Equal(p.WithEpoch(2)) {
+		t.Fatal("Equal rejected an identical plan")
+	}
+}
+
+func TestSplitShardDerivesSuccessorPlan(t *testing.T) {
+	p, err := NewPlan([]record.Key{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.WithEpoch(3)
+	next, err := p.SplitShard(1, []record.Key{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != 4 {
+		t.Fatalf("split plan epoch = %d, want 4", next.Epoch())
+	}
+	wantSplits := []record.Key{1000, 1500, 2000}
+	got := next.Splits()
+	if len(got) != len(wantSplits) {
+		t.Fatalf("split plan splits = %v, want %v", got, wantSplits)
+	}
+	for i := range got {
+		if got[i] != wantSplits[i] {
+			t.Fatalf("split plan splits = %v, want %v", got, wantSplits)
+		}
+	}
+	// Spans outside the split shard are unchanged; the split shard's span
+	// is tiled exactly by its replacements.
+	if next.Span(0) != p.Span(0) || next.Span(3) != p.Span(2) {
+		t.Fatal("split moved an uninvolved shard's span")
+	}
+	if next.Span(1).Lo != p.Span(1).Lo || next.Span(2).Hi != p.Span(1).Hi ||
+		next.Span(2).Lo != next.Span(1).Hi+1 {
+		t.Fatalf("split spans %v + %v do not tile %v", next.Span(1), next.Span(2), p.Span(1))
+	}
+
+	// Split keys must be interior to the shard's span.
+	if _, err := p.SplitShard(1, []record.Key{1000}); err == nil {
+		t.Fatal("SplitShard accepted a split at the span's low bound")
+	}
+	if _, err := p.SplitShard(1, []record.Key{2001}); err == nil {
+		t.Fatal("SplitShard accepted a split outside the span")
+	}
+	if _, err := p.SplitShard(5, []record.Key{1500}); err == nil {
+		t.Fatal("SplitShard accepted an out-of-range shard index")
+	}
+}
+
+func TestMergeShardsInvertsSplit(t *testing.T) {
+	p, err := NewPlan([]record.Key{1000, 1500, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.WithEpoch(4)
+	next, err := p.MergeShards(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != 5 {
+		t.Fatalf("merge plan epoch = %d, want 5", next.Epoch())
+	}
+	got := next.Splits()
+	if len(got) != 2 || got[0] != 1000 || got[1] != 2000 {
+		t.Fatalf("merge plan splits = %v, want [1000 2000]", got)
+	}
+	if next.Span(1).Lo != p.Span(1).Lo || next.Span(1).Hi != p.Span(2).Hi {
+		t.Fatalf("merged span %v does not cover %v..%v", next.Span(1), p.Span(1), p.Span(2))
+	}
+	if _, err := p.MergeShards(3, 2); err == nil {
+		t.Fatal("MergeShards accepted a merge past the last shard")
+	}
+	if _, err := p.MergeShards(0, 1); err == nil {
+		t.Fatal("MergeShards accepted a single-shard merge")
+	}
+}

@@ -118,10 +118,32 @@ const (
 	// atomically at a single commit boundary — the frame that makes
 	// replica reads safe under concurrent group application.
 	MsgVerifiedQuery MsgType = 33
-	// Server -> client: generation stamp + 20-byte VT + records. The
-	// whole triple belongs to one generation, so the XOR check can never
-	// tear across a commit.
+	// Server -> client: plan epoch + generation stamp + 20-byte VT +
+	// records. The whole quadruple belongs to one generation under one
+	// topology, so the XOR check can never tear across a commit and a
+	// merged answer can never silently mix epochs.
 	MsgVerifiedResult MsgType = 34
+	// Reshard coordinator -> server: adopt this shard attestation (index
+	// + epoched plan, EncodeShardInfo payload). Servers accept only a
+	// strictly higher epoch, so a replayed update cannot roll a server
+	// back to a stale topology.
+	MsgPlanUpdate MsgType = 35
+	// Reshard coordinator -> primary: block new write commits (8-byte TTL
+	// in milliseconds; the server auto-thaws when it expires so a dead
+	// coordinator cannot freeze writes forever). Acked only after every
+	// in-flight group is committed and visible in the WAL stream.
+	MsgFreeze MsgType = 36
+	// Reshard coordinator -> primary: release a freeze.
+	MsgThaw MsgType = 37
+	// Reshard coordinator -> primary: the shard has been migrated away —
+	// permanently refuse writes and client reads (replication pulls keep
+	// working so stragglers can still drain).
+	MsgRetire MsgType = 38
+	// Reshard coordinator -> router: cut over to a new topology (epoched
+	// plan + per-shard SP/TE address lists, EncodeCutover payload). The
+	// router re-runs attestation against the new upstreams and accepts
+	// only a strictly higher epoch.
+	MsgReshardCutover MsgType = 39
 )
 
 // MaxPayload bounds a frame payload (64 MiB — far above any legal

@@ -1,0 +1,79 @@
+package wire
+
+// The frame registry is the single authoritative table of every message
+// type the protocol defines. Frame numbers used to be assigned ad hoc
+// across files as the protocol grew; the registry pins each number to a
+// name in one place, a test asserts the table is dense and collision-free
+// (see registry_test.go), and README.md documents the same map for
+// operators reading packet traces. New frames MUST be added here.
+var frameRegistry = []struct {
+	Type MsgType
+	Name string
+}{
+	{MsgQuery, "Query"},
+	{MsgResult, "Result"},
+	{MsgVTRequest, "VTRequest"},
+	{MsgVT, "VT"},
+	{MsgInsert, "Insert"},
+	{MsgDelete, "Delete"},
+	{MsgAck, "Ack"},
+	{MsgErr, "Err"},
+	{MsgTOMQuery, "TOMQuery"},
+	{MsgTOMResult, "TOMResult"},
+	{MsgBatchQuery, "BatchQuery"},
+	{MsgBatchResult, "BatchResult"},
+	{MsgBatchVT, "BatchVT"},
+	{MsgBatchVTResult, "BatchVTResult"},
+	{MsgShardMapReq, "ShardMapReq"},
+	{MsgShardMap, "ShardMap"},
+	{MsgTOMShardedResult, "TOMShardedResult"},
+	{MsgBatchInsert, "BatchInsert"},
+	{MsgBatchDelete, "BatchDelete"},
+	{MsgAggQuery, "AggQuery"},
+	{MsgAggResult, "AggResult"},
+	{MsgAggTokenReq, "AggTokenReq"},
+	{MsgAggToken, "AggToken"},
+	{MsgTOMAggQuery, "TOMAggQuery"},
+	{MsgTOMAggResult, "TOMAggResult"},
+	{MsgTOMAggShardedResult, "TOMAggShardedResult"},
+	{MsgGenStampReq, "GenStampReq"},
+	{MsgGenStamp, "GenStamp"},
+	{MsgReplicaSnapReq, "ReplicaSnapReq"},
+	{MsgReplicaSnap, "ReplicaSnap"},
+	{MsgReplicaPull, "ReplicaPull"},
+	{MsgReplicaGroups, "ReplicaGroups"},
+	{MsgVerifiedQuery, "VerifiedQuery"},
+	{MsgVerifiedResult, "VerifiedResult"},
+	{MsgPlanUpdate, "PlanUpdate"},
+	{MsgFreeze, "Freeze"},
+	{MsgThaw, "Thaw"},
+	{MsgRetire, "Retire"},
+	{MsgReshardCutover, "ReshardCutover"},
+}
+
+// FrameName returns the registered name of a message type, for logs and
+// error strings; unknown types render as "Msg(<n>)".
+func FrameName(t MsgType) string {
+	for _, e := range frameRegistry {
+		if e.Type == t {
+			return e.Name
+		}
+	}
+	return "Msg(" + itoa(int(t)) + ")"
+}
+
+// itoa avoids pulling strconv into the hot frame path for a log-only
+// helper.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFrameRegistryDense pins the protocol's frame map: every message
+// type from 1 through the highest assigned number is registered exactly
+// once, with a unique name. This is the guard against the ad-hoc frame
+// numbering that produced collisions-in-waiting before the registry
+// existed — adding a frame without registering it, or reusing a number,
+// fails here.
+func TestFrameRegistryDense(t *testing.T) {
+	if len(frameRegistry) == 0 {
+		t.Fatal("empty frame registry")
+	}
+	byType := map[MsgType]string{}
+	byName := map[string]MsgType{}
+	var max MsgType
+	for _, e := range frameRegistry {
+		if prev, dup := byType[e.Type]; dup {
+			t.Errorf("frame number %d registered twice: %s and %s", e.Type, prev, e.Name)
+		}
+		if prev, dup := byName[e.Name]; dup {
+			t.Errorf("frame name %q registered twice: %d and %d", e.Name, prev, e.Type)
+		}
+		if e.Name == "" {
+			t.Errorf("frame %d registered with an empty name", e.Type)
+		}
+		byType[e.Type] = e.Name
+		byName[e.Name] = e.Type
+		if e.Type > max {
+			max = e.Type
+		}
+	}
+	// Dense: no gaps between 1 and the highest assigned frame.
+	for n := MsgType(1); n <= max; n++ {
+		if _, ok := byType[n]; !ok {
+			t.Errorf("frame number %d unassigned — the registry has a gap", n)
+		}
+	}
+	if want := MsgType(39); max != want {
+		t.Errorf("highest registered frame = %d, want %d (update this test when adding frames)", max, want)
+	}
+}
+
+// TestFrameRegistryMatchesConstants spot-checks that registry entries
+// point at the constants they name, so a renumbering in frame.go cannot
+// silently detach the table from the protocol.
+func TestFrameRegistryMatchesConstants(t *testing.T) {
+	checks := []struct {
+		typ  MsgType
+		name string
+	}{
+		{MsgQuery, "Query"},
+		{MsgVerifiedResult, "VerifiedResult"},
+		{MsgPlanUpdate, "PlanUpdate"},
+		{MsgFreeze, "Freeze"},
+		{MsgThaw, "Thaw"},
+		{MsgRetire, "Retire"},
+		{MsgReshardCutover, "ReshardCutover"},
+	}
+	for _, c := range checks {
+		if got := FrameName(c.typ); got != c.name {
+			t.Errorf("FrameName(%d) = %q, want %q", c.typ, got, c.name)
+		}
+	}
+	if got := FrameName(MsgType(250)); !strings.Contains(got, "250") {
+		t.Errorf("FrameName for an unknown type = %q, want it to carry the number", got)
+	}
+}

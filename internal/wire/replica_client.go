@@ -225,18 +225,24 @@ func (f *ReplicaFeed) tail(c *ReplicationClient) {
 }
 
 // ErrStaleRead reports a verified answer whose generation stamp fell
-// below the caller's required floor.
+// below the caller's required floor, or whose plan epoch regressed below
+// one the client has already observed.
 var ErrStaleRead = errors.New("wire: verified answer is staler than required")
 
 // VerifiedClient issues stamped verified queries: one frame returns
-// records, the TE token and the generation stamp as an atomic triple,
-// verified locally before being returned. It remembers the newest stamp
-// it has seen, so a sequence of reads (possibly served by different
-// replicas behind a router) can enforce monotonic freshness.
+// records, the TE token, the plan epoch and the generation stamp as an
+// atomic quadruple, verified locally before being returned. It remembers
+// the newest (epoch, gen) it has seen, ordered lexicographically —
+// sequence numbers restart in a new topology's shards, so a fresh read
+// after a reshard may legitimately carry a smaller gen under a larger
+// epoch, but an answer whose epoch is BELOW the observed floor is a
+// replay of the pre-reshard deployment and is rejected however large its
+// gen.
 type VerifiedClient struct {
 	*conn
-	vp      core.VerifyPool
-	lastGen uint64 // guarded by conn.mu
+	vp        core.VerifyPool
+	lastEpoch uint64 // guarded by conn.mu
+	lastGen   uint64 // guarded by conn.mu
 }
 
 // DialVerified connects to any server speaking MsgVerifiedQuery — a
@@ -249,19 +255,39 @@ func DialVerified(addr string) (*VerifiedClient, error) {
 	return &VerifiedClient{conn: c, vp: core.NewVerifyPool(0)}, nil
 }
 
-// Gen returns the newest generation stamp observed on this client.
+// Gen returns the newest generation stamp observed on this client
+// (within the newest observed epoch).
 func (c *VerifiedClient) Gen() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastGen
 }
 
-func (c *VerifiedClient) observeGen(gen uint64) {
+// Epoch returns the newest plan epoch observed on this client.
+func (c *VerifiedClient) Epoch() uint64 {
 	c.mu.Lock()
-	if gen > c.lastGen {
-		c.lastGen = gen
+	defer c.mu.Unlock()
+	return c.lastEpoch
+}
+
+// observe advances the lexicographic (epoch, gen) floor and reports
+// whether the answer passed it: an epoch regression is a stale-topology
+// replay; within one epoch the gen floor is only recorded here and
+// enforced by QueryAtLeast.
+func (c *VerifiedClient) observe(epoch, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case epoch > c.lastEpoch:
+		c.lastEpoch, c.lastGen = epoch, gen
+	case epoch == c.lastEpoch:
+		if gen > c.lastGen {
+			c.lastGen = gen
+		}
+	default:
+		return false
 	}
-	c.mu.Unlock()
+	return true
 }
 
 // Query runs one verified query: the records are checked against the
@@ -277,7 +303,7 @@ func (c *VerifiedClient) QueryCtx(ctx context.Context, q record.Range) ([]record
 	if err != nil {
 		return nil, 0, err
 	}
-	gen, vt, recsRaw, err := DecodeVerifiedResult(raw)
+	epoch, gen, vt, recsRaw, err := DecodeVerifiedResult(raw)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -296,28 +322,36 @@ func (c *VerifiedClient) QueryCtx(ctx context.Context, q record.Range) ([]record
 	if len(rest) != 0 {
 		return nil, gen, fmt.Errorf("%w: %d trailing bytes in verified result", ErrProtocol, len(rest))
 	}
-	c.observeGen(gen)
+	if !c.observe(epoch, gen) {
+		return nil, gen, fmt.Errorf("%w: answer from plan epoch %d after epoch %d was observed",
+			ErrStaleRead, epoch, c.Epoch())
+	}
 	return recs, gen, nil
 }
 
 // QueryAtLeast is Query plus a freshness floor: an answer stamped below
 // minGen fails with ErrStaleRead even though it verified — the defense
 // against a router (or any relay) replaying an old replica's answer
-// after the client has already seen a newer generation.
+// after the client has already seen a newer generation. The floor is
+// epoch-scoped: generation sequences restart when a reshard publishes a
+// new topology, so an answer under a STRICTLY NEWER epoch satisfies any
+// gen floor (its state includes everything the old epoch committed),
+// while an old-epoch answer is already rejected inside Query.
 func (c *VerifiedClient) QueryAtLeast(q record.Range, minGen uint64) ([]record.Record, uint64, error) {
+	epochBefore := c.Epoch()
 	recs, gen, err := c.Query(q)
 	if err != nil {
 		return nil, gen, err
 	}
-	if gen < minGen {
+	if c.Epoch() == epochBefore && gen < minGen {
 		return nil, gen, fmt.Errorf("%w: stamped %d, required >= %d", ErrStaleRead, gen, minGen)
 	}
 	return recs, gen, nil
 }
 
 // QueryRawVerifiedCtx fetches one verified result still in wire form
-// (gen + VT + encoded records) without verifying — the router's relay
-// path; end clients should use QueryCtx.
+// (epoch + gen + VT + encoded records) without verifying — the router's
+// relay path; end clients should use QueryCtx.
 func (c *VerifiedClient) QueryRawVerifiedCtx(ctx context.Context, q record.Range) ([]byte, error) {
 	resp, err := c.roundTripCtx(ctx, Frame{Type: MsgVerifiedQuery, Payload: EncodeRange(q)})
 	if err != nil {

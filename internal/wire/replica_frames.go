@@ -85,15 +85,16 @@ func DecodeReplicaSnap(b []byte) (ShardInfo, []record.Record, uint64, error) {
 	return si, recs, seq, nil
 }
 
-// DecodeVerifiedResult parses a MsgVerifiedResult payload into its
-// generation stamp, verification token and the still-encoded record
-// section (an EncodeRecords payload aliasing b), which verifying callers
-// hash in place before materializing.
-func DecodeVerifiedResult(b []byte) (seq uint64, vt digest.Digest, recsRaw []byte, err error) {
-	if len(b) < 8+digest.Size+4 {
-		return 0, digest.Zero, nil, fmt.Errorf("%w: truncated verified result (%d bytes)", ErrProtocol, len(b))
+// DecodeVerifiedResult parses a MsgVerifiedResult payload into its plan
+// epoch, generation stamp, verification token and the still-encoded
+// record section (an EncodeRecords payload aliasing b), which verifying
+// callers hash in place before materializing.
+func DecodeVerifiedResult(b []byte) (epoch, seq uint64, vt digest.Digest, recsRaw []byte, err error) {
+	if len(b) < 16+digest.Size+4 {
+		return 0, 0, digest.Zero, nil, fmt.Errorf("%w: truncated verified result (%d bytes)", ErrProtocol, len(b))
 	}
-	seq = binary.BigEndian.Uint64(b[0:8])
-	vt = digest.FromBytes(b[8 : 8+digest.Size])
-	return seq, vt, b[8+digest.Size:], nil
+	epoch = binary.BigEndian.Uint64(b[0:8])
+	seq = binary.BigEndian.Uint64(b[8:16])
+	vt = digest.FromBytes(b[16 : 16+digest.Size])
+	return epoch, seq, vt, b[16+digest.Size:], nil
 }

@@ -3,6 +3,9 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sae/internal/core"
 	"sae/internal/digest"
@@ -121,37 +124,77 @@ func genStampFrame(seq uint64, rb *RespBuf) Frame {
 	return Frame{Type: MsgGenStamp, Payload: rb.b}
 }
 
-// serveVerified encodes one atomically-served (gen, VT, records) triple:
-// an 8-byte stamp and a 20-byte token slot reserved up front, records
-// streamed behind them, both holes patched once the serve call reports
-// what boundary it ran at.
-func serveVerified(req Frame, rb *RespBuf,
+// serveVerified encodes one atomically-served (epoch, gen, VT, records)
+// quadruple: two 8-byte stamps and a 20-byte token slot reserved up
+// front, records streamed behind them, the holes patched once the serve
+// call reports what boundary it ran at. The epoch is the server's current
+// plan epoch, so every verified answer names the topology it was served
+// under.
+//
+// When the server is one shard of many it refuses ranges that escape its
+// own span: a router must clamp sub-queries to shard spans, so a range
+// that reaches past the span means a confused (or malicious) router is
+// trying to make one shard attest keys another shard owns — the
+// seam-suppression attack the span check closes.
+func serveVerified(req Frame, rb *RespBuf, si *ShardInfo,
 	serve func(q record.Range, emit func(*record.Record) error) (int, digest.Digest, uint64, error)) Frame {
 	q, err := DecodeRange(req.Payload)
 	if err != nil {
 		return errFrame(err)
 	}
+	var epoch uint64
+	if si != nil {
+		epoch = si.Plan.Epoch()
+		if si.Plan.Shards() > 1 {
+			span := si.Plan.Span(si.Index)
+			if q.Lo < span.Lo || q.Hi > span.Hi {
+				return errFrame(fmt.Errorf("%w: verified query [%d,%d] escapes shard %d's span [%d,%d]",
+					ErrProtocol, q.Lo, q.Hi, si.Index, span.Lo, span.Hi))
+			}
+		}
+	}
 	base := len(rb.b)
-	rb.b = append(rb.b, make([]byte, 8+digest.Size)...)
+	rb.b = append(rb.b, make([]byte, 16+digest.Size)...)
 	at := rb.beginRecords()
 	n, vt, seq, err := serve(q, rb.appendRecord)
 	if err != nil {
 		return errFrame(err)
 	}
 	rb.endRecords(at, n)
-	binary.BigEndian.PutUint64(rb.b[base:base+8], seq)
-	copy(rb.b[base+8:base+8+digest.Size], vt[:])
+	binary.BigEndian.PutUint64(rb.b[base:base+8], epoch)
+	binary.BigEndian.PutUint64(rb.b[base+8:base+16], seq)
+	copy(rb.b[base+16:base+16+digest.Size], vt[:])
 	return Frame{Type: MsgVerifiedResult, Payload: rb.b}
 }
+
+// freezeWaitMax bounds how long a wire-submitted write blocks behind a
+// freeze before failing back to the caller; a freeze that outlives it is
+// a stuck reshard, and surfacing the error beats hanging the connection.
+const freezeWaitMax = 5 * time.Second
 
 // PrimaryServer exposes a whole durable shard — SP reads, TE tokens,
 // owner writes through the group-commit pipeline, verified (stamped)
 // queries, and the replication endpoints replicas bootstrap and tail
 // from — on ONE address.
+//
+// For resharding the primary additionally runs a small lifecycle machine:
+// warming (a freshly-bootstrapped reshard target refuses client traffic
+// until the coordinator activates it at cutover, so it never attests data
+// it has not caught up to), frozen (writes block while the coordinator
+// drains the final commit group; auto-thaws on TTL), and retired (the
+// span has been migrated away — writes and client reads are permanently
+// refused while replication pulls keep serving stragglers).
 type PrimaryServer struct {
 	*Server
 	ds  *core.DurableSystem
 	hub *replica.Hub
+
+	mu        sync.Mutex
+	frozen    bool
+	thawCh    chan struct{} // non-nil while frozen; closed on thaw
+	thawTimer *time.Timer
+	warming   atomic.Bool
+	retired   atomic.Bool
 }
 
 // ServePrimary starts a primary server on addr. hub must be attached to
@@ -169,6 +212,9 @@ func ServePrimary(addr string, ds *core.DurableSystem, hub *replica.Hub, logf fu
 }
 
 func (s *PrimaryServer) handle(req Frame, rb *RespBuf) Frame {
+	if blocked, resp := s.gateClientTraffic(req); blocked {
+		return resp
+	}
 	if resp, ok := serveSPRead(s.ds.SP, req, rb); ok {
 		return resp
 	}
@@ -179,7 +225,32 @@ func (s *PrimaryServer) handle(req Frame, rb *RespBuf) Frame {
 	case MsgGenStampReq:
 		return genStampFrame(s.ds.Seq(), rb)
 	case MsgVerifiedQuery:
-		return serveVerified(req, rb, s.ds.ServeVerified)
+		return serveVerified(req, rb, s.shardInfo.Load(), s.ds.ServeVerified)
+	case MsgPlanUpdate:
+		si, err := DecodeShardInfo(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.AdoptPlan(si); err != nil {
+			return errFrame(err)
+		}
+		return Frame{Type: MsgAck}
+	case MsgFreeze:
+		ttl, err := DecodeFreeze(req.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		s.freeze(ttl)
+		// Ack only after every in-flight commit group has drained: once the
+		// coordinator sees the ack, the WAL stream is complete and final.
+		s.ds.Committer().Quiesce()
+		return Frame{Type: MsgAck}
+	case MsgThaw:
+		s.thaw()
+		return Frame{Type: MsgAck}
+	case MsgRetire:
+		s.Retire()
+		return Frame{Type: MsgAck}
 	case MsgInsert:
 		r, err := record.Unmarshal(req.Payload)
 		if err != nil {
@@ -243,12 +314,121 @@ func (s *PrimaryServer) handle(req Frame, rb *RespBuf) Frame {
 	}
 }
 
+// gateClientTraffic enforces the reshard lifecycle on inbound frames.
+// Control frames, the generation stamp, the shard map and the replication
+// endpoints always pass (the coordinator and draining stragglers need
+// them in every state); client reads are refused while warming or
+// retired; writes are additionally refused once retired.
+func (s *PrimaryServer) gateClientTraffic(req Frame) (bool, Frame) {
+	switch req.Type {
+	case MsgPlanUpdate, MsgFreeze, MsgThaw, MsgRetire,
+		MsgGenStampReq, MsgShardMapReq, MsgReplicaSnapReq, MsgReplicaPull:
+		return false, Frame{}
+	}
+	if s.retired.Load() {
+		return true, errFrame(fmt.Errorf("%w: shard retired after reshard; refresh the plan and re-route", ErrProtocol))
+	}
+	if s.warming.Load() {
+		return true, errFrame(fmt.Errorf("%w: reshard target still warming; not yet serving clients", ErrProtocol))
+	}
+	return false, Frame{}
+}
+
+// SetWarming marks (or clears) the warming state: a reshard target is
+// created warming and flipped live by the coordinator at cutover.
+func (s *PrimaryServer) SetWarming(on bool) { s.warming.Store(on) }
+
+// Retire permanently fences the shard off from clients — its span now
+// lives elsewhere. Replication pulls keep working so a straggling target
+// can still drain the final groups. A frozen server is thawed first so
+// blocked writers fail out instead of hanging until the TTL.
+func (s *PrimaryServer) Retire() {
+	s.retired.Store(true)
+	s.thaw()
+}
+
+// AdoptPlan installs a new shard attestation. Only a strictly higher
+// epoch is accepted: a replayed MsgPlanUpdate carrying an older topology
+// cannot roll the server back.
+func (s *PrimaryServer) AdoptPlan(si ShardInfo) error {
+	cur := s.shardInfo.Load()
+	var curEpoch uint64
+	if cur != nil {
+		curEpoch = cur.Plan.Epoch()
+	}
+	if si.Plan.Epoch() <= curEpoch {
+		return fmt.Errorf("%w: plan update at epoch %d rejected; already at epoch %d",
+			ErrProtocol, si.Plan.Epoch(), curEpoch)
+	}
+	s.SetShardInfo(si)
+	return nil
+}
+
+// freeze blocks new write commits until thawed or until ttl expires —
+// the auto-thaw is the liveness backstop against a coordinator that dies
+// holding the freeze.
+func (s *PrimaryServer) freeze(ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.frozen {
+		s.frozen = true
+		s.thawCh = make(chan struct{})
+	}
+	if s.thawTimer != nil {
+		s.thawTimer.Stop()
+	}
+	if ttl > 0 {
+		s.thawTimer = time.AfterFunc(ttl, s.thaw)
+	}
+}
+
+func (s *PrimaryServer) thaw() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		s.frozen = false
+		close(s.thawCh)
+		s.thawCh = nil
+	}
+	if s.thawTimer != nil {
+		s.thawTimer.Stop()
+		s.thawTimer = nil
+	}
+}
+
+// waitThaw blocks the calling writer while the shard is frozen. Writers
+// block rather than error so the freeze window is invisible to clients —
+// the write completes (against the successor topology's surviving
+// primary, or against this one after a thaw) instead of surfacing a
+// transient failure during cutover.
+func (s *PrimaryServer) waitThaw() error {
+	s.mu.Lock()
+	if !s.frozen {
+		s.mu.Unlock()
+		return nil
+	}
+	ch := s.thawCh
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(freezeWaitMax):
+		return fmt.Errorf("%w: write blocked %v behind a frozen shard", ErrProtocol, freezeWaitMax)
+	}
+}
+
 // commitOps routes wire-submitted writes through the primary's
 // group-commit pipeline — durable, generation-stamped, observed by the
 // replication hub — then folds them into the owner's bookkeeping.
 // (Stand-alone SP/TE servers apply writes directly; a primary must not,
 // or replicas would never hear about them.)
 func (s *PrimaryServer) commitOps(ops []wal.Op) Frame {
+	if err := s.waitThaw(); err != nil {
+		return errFrame(err)
+	}
+	if s.retired.Load() {
+		return errFrame(fmt.Errorf("%w: shard retired after reshard; write to the new topology", ErrProtocol))
+	}
 	if err := s.ds.Committer().SubmitOps(ops); err != nil {
 		return errFrame(err)
 	}
@@ -295,7 +475,7 @@ func (s *ReplicaServer) handle(req Frame, rb *RespBuf) Frame {
 	case MsgGenStampReq:
 		return genStampFrame(s.rep.Seq(), rb)
 	case MsgVerifiedQuery:
-		return serveVerified(req, rb, s.rep.ServeVerified)
+		return serveVerified(req, rb, s.shardInfo.Load(), s.rep.ServeVerified)
 	case MsgShardMapReq:
 		return s.shardMapFrame()
 	case MsgInsert, MsgDelete, MsgBatchInsert, MsgBatchDelete:

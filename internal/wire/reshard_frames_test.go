@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sae/internal/record"
+	"sae/internal/shard"
+)
+
+func cutoverPlan(t *testing.T, shards int, epoch uint64) shard.Plan {
+	t.Helper()
+	recs := make([]record.Record, 600)
+	for i := range recs {
+		recs[i] = record.Synthesize(record.ID(i+1), record.Key(i*1000))
+	}
+	return shard.PlanFor(recs, shards).WithEpoch(epoch)
+}
+
+func TestCutoverCodecRoundTrip(t *testing.T) {
+	in := Cutover{
+		Plan: cutoverPlan(t, 3, 7),
+		Shards: []CutoverShard{
+			{SPs: []string{"10.0.0.1:9000"}, TEs: []string{"10.0.0.1:9000"}},
+			{SPs: []string{"10.0.0.2:9000", "10.0.0.3:9000"}, TEs: []string{"10.0.0.2:9001"}},
+			{SPs: []string{"h:1"}, TEs: []string{"h:2", "h:3", "h:4"}},
+		},
+	}
+	b, err := EncodeCutover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCutover(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Plan.Equal(in.Plan) {
+		t.Fatalf("plan: got %v, want %v", out.Plan, in.Plan)
+	}
+	if len(out.Shards) != len(in.Shards) {
+		t.Fatalf("shards: got %d, want %d", len(out.Shards), len(in.Shards))
+	}
+	for i := range in.Shards {
+		if strings.Join(out.Shards[i].SPs, ",") != strings.Join(in.Shards[i].SPs, ",") ||
+			strings.Join(out.Shards[i].TEs, ",") != strings.Join(in.Shards[i].TEs, ",") {
+			t.Fatalf("shard %d endpoints: got %+v, want %+v", i, out.Shards[i], in.Shards[i])
+		}
+	}
+}
+
+func TestCutoverCodecRejects(t *testing.T) {
+	plan := cutoverPlan(t, 2, 1)
+	one := []CutoverShard{{SPs: []string{"a:1"}, TEs: []string{"a:1"}}}
+	two := append(one, CutoverShard{SPs: []string{"b:1"}, TEs: []string{"b:1"}})
+
+	if _, err := EncodeCutover(Cutover{Plan: plan, Shards: one}); err == nil {
+		t.Fatal("encoded a cutover with fewer shards than the plan")
+	}
+	if _, err := EncodeCutover(Cutover{Plan: plan, Shards: []CutoverShard{
+		{SPs: nil, TEs: []string{"a:1"}}, two[1]}}); err == nil {
+		t.Fatal("encoded a cutover shard with no SPs")
+	}
+
+	good, err := EncodeCutover(Cutover{Plan: plan, Shards: two})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCutover(append(good, 0)); err == nil {
+		t.Fatal("decoded a cutover with trailing bytes")
+	}
+	for cut := 1; cut < len(good); cut += 7 {
+		if _, err := DecodeCutover(good[:cut]); err == nil {
+			t.Fatalf("decoded a cutover truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestFreezeCodecRoundTrip(t *testing.T) {
+	for _, ttl := range []time.Duration{0, time.Millisecond, 250 * time.Millisecond, 5 * time.Second} {
+		got, err := DecodeFreeze(EncodeFreeze(ttl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ttl {
+			t.Fatalf("ttl %v round-tripped to %v", ttl, got)
+		}
+	}
+	if _, err := DecodeFreeze([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decoded a short freeze payload")
+	}
+}

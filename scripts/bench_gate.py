@@ -20,6 +20,13 @@ failures = []
 checks = 0
 
 
+def reset():
+    """Clear the tally (the unit tests run gates in isolation)."""
+    global checks
+    del failures[:]
+    checks = 0
+
+
 def check(ok, msg):
     global checks
     checks += 1
@@ -207,7 +214,37 @@ def gate_replica():
           f"{ci['failovers']} failovers during the replicated run (want 0)")
 
 
+def gate_reshard():
+    print("online reshard (BENCH_reshard.ci.json):")
+    ci = load("BENCH_reshard.ci.json")
+    check(ci["baselineQueriesPerSec"] > 0,
+          f"pre-split baseline {ci['baselineQueriesPerSec']:.0f} q/s > 0")
+    check(ci["migratedQueriesPerSec"] > 0,
+          f"post-split {ci['migratedQueriesPerSec']:.0f} q/s > 0")
+    # Both sides are routed verified queries within the same run. The
+    # split trades one shard for two, so throughput usually RISES; the
+    # gate demands the migrated data is never more than 10% slower to
+    # serve than before the split.
+    check(ci["migratedRelative"] >= 0.9,
+          f"post-split path at {100 * ci['migratedRelative']:.0f}% of pre-split >= 90%")
+    # Zero-downtime is the whole point: no verified reader may see an
+    # error at any instant of the split.
+    check(ci["readFailures"] == 0,
+          f"{ci['readFailures']} verified-read failures across the split (want 0)")
+    # The freeze->router-ack window must fit inside one commit-group
+    # interval of the paced write workload: the pause contains only the
+    # straggler drain (one parallel target commit) plus two control
+    # round trips, never bulk data movement.
+    check(ci["cutoverPauseMs"] <= ci["commitGroupIntervalMs"],
+          f"cutover pause {ci['cutoverPauseMs']:.2f}ms <= "
+          f"one commit-group interval ({ci['commitGroupIntervalMs']:.2f}ms)")
+    # And the split must have actually moved the shard.
+    check(ci["recordsMigrated"] > 0,
+          f"{ci['recordsMigrated']} records migrated > 0")
+
+
 def main():
+    reset()
     gate_shard()
     gate_fastpath()
     gate_router()
@@ -215,6 +252,7 @@ def main():
     gate_write()
     gate_agg()
     gate_replica()
+    gate_reshard()
     if failures:
         print(f"\nbench gate: {len(failures)}/{checks} checks FAILED")
         for f in failures:

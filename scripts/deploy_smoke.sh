@@ -15,7 +15,13 @@
 #   5. chaos: a replicated deployment (2 shards x primary + 2 replicas,
 #      hedged router in front) survives kill -9 / restart churn against
 #      its replicas — concurrent verified readers and a live writer see
-#      ZERO failures while at least one endpoint per shard stays up.
+#      ZERO failures while at least one endpoint per shard stays up;
+#   6. online reshard: a hot shard is split in two behind a live hedged
+#      router while verified readers stream through it and a writer
+#      hammers the splitting shard — verified reads NEVER fail across
+#      the cutover, the writer stops cleanly at the retirement fence,
+#      and a fresh client session verifies against the successor
+#      topology.
 #
 # Run from the repo root: ./scripts/deploy_smoke.sh
 set -u -o pipefail
@@ -67,14 +73,14 @@ TE1=$(start_server te1 -role te -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 
 echo "deploy_smoke: starting router over sp=[$SP0,$SP1] te=[$TE0,$TE1]..."
 ROUTER=$(start_server router -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1" -te "$TE0,$TE1") || die "router"
 
-echo "deploy_smoke: [1/5] plain client through the router (honest deployment)..."
+echo "deploy_smoke: [1/6] plain client through the router (honest deployment)..."
 OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1) \
   || { echo "$OUT" >&2; die "honest routed query session failed"; }
 echo "$OUT" | grep -q "verified" || { echo "$OUT" >&2; die "no verified queries in client output"; }
 VERIFIED=$(echo "$OUT" | grep -c "verified")
 echo "deploy_smoke:   $VERIFIED queries verified through $ROUTER"
 
-echo "deploy_smoke: [2/5] tampering shard SP must be detected..."
+echo "deploy_smoke: [2/6] tampering shard SP must be detected..."
 SP1T=$(start_server sp1t -role sp -addr 127.0.0.1:0 -n "$N" -seed "$SEED" -shards 2 -shard-index 1 -tamper drop) || die "sp1t"
 ROUTER2=$(start_server router2 -role router -addr 127.0.0.1:0 -sp "$SP0,$SP1T" -te "$TE0,$TE1") || die "router2"
 if OUT=$("$BIN" -role client -router "$ROUTER2" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -84,7 +90,7 @@ fi
 echo "$OUT" | grep -qi "verification" || { echo "$OUT" >&2; die "tamper failure is not a verification error"; }
 echo "deploy_smoke:   tampered shard rejected: $(echo "$OUT" | tail -1)"
 
-echo "deploy_smoke: [3/5] killing shard 1 mid-deployment must fail queries loudly..."
+echo "deploy_smoke: [3/6] killing shard 1 mid-deployment must fail queries loudly..."
 kill -9 "$SP1_PID" 2>/dev/null || true
 sleep 0.5
 if OUT=$("$BIN" -role client -router "$ROUTER" -queries "$QUERIES" -seed "$SEED" 2>&1); then
@@ -95,7 +101,7 @@ fi
 # session would have exited 0 and tripped the check above.
 echo "deploy_smoke:   dead shard failed loudly: $(echo "$OUT" | tail -1)"
 
-echo "deploy_smoke: [4/5] kill -9 mid-group: acked updates must survive recovery..."
+echo "deploy_smoke: [4/6] kill -9 mid-group: acked updates must survive recovery..."
 CRASH_DIR="$WORK/crashdb"
 CRASH_N=${CRASH_N:-2000}
 "$BIN" -role crashwriter -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" >>"$WORK/crashwriter.log" 2>&1 &
@@ -116,7 +122,7 @@ OUT=$("$BIN" -role crashverify -dir "$CRASH_DIR" -n "$CRASH_N" -seed "$SEED" 2>&
 echo "$OUT" | grep -q "full range verified" || { echo "$OUT" >&2; die "crashverify gave no verified verdict"; }
 echo "deploy_smoke:   $OUT"
 
-echo "deploy_smoke: [5/5] replica churn under a hedged router: zero client failures..."
+echo "deploy_smoke: [5/6] replica churn under a hedged router: zero client failures..."
 CHAOS_N=${CHAOS_N:-8000}
 P0=$(start_server prim0 -role primary -dir "$WORK/shard0" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 0) || die "prim0"
 P1=$(start_server prim1 -role primary -dir "$WORK/shard1" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 1) || die "prim1"
@@ -156,5 +162,47 @@ cat "$WORK/chaos.log"
 grep -q "chaos: PASS" "$WORK/chaos.log" || die "no zero-failure accounting line"
 grep -q " 0 failures" "$WORK/chaos.log" || die "chaos reported failures"
 echo "deploy_smoke:   replica churn survived: $(grep 'chaos: PASS' "$WORK/chaos.log")"
+
+echo "deploy_smoke: [6/6] online shard split under a live hedged-router workload..."
+P4=$(start_server prim4 -role primary -dir "$WORK/resh0" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 0) || die "prim4"
+P5=$(start_server prim5 -role primary -dir "$WORK/resh1" -addr 127.0.0.1:0 -n "$CHAOS_N" -seed "$SEED" -shards 2 -shard-index 1) || die "prim5"
+ROUTER4=$(start_server router4 -role router -addr 127.0.0.1:0 \
+  -sp "$P4,$P5" -te "$P4,$P5" -hedge-after 30ms) || die "router4"
+
+# Verified readers + a writer hammering both shards for the whole split.
+"$BIN" -role chaos -router "$ROUTER4" -sp "$P4,$P5" -seed "$SEED" \
+  -duration 8s >"$WORK/chaos6.log" 2>&1 &
+CHAOS6_PID=$!
+echo "$CHAOS6_PID" >"$WORK/chaos6.pid"
+sleep 1
+
+# Split shard 1 online in a separate process; it keeps hosting the two
+# successor shards after the cutover, so it must outlive the workload.
+"$BIN" -role reshard -sp "$P4,$P5" -router "$ROUTER4" \
+  -dir "$WORK/resh1a,$WORK/resh1b" -split-shard 1 >"$WORK/reshard.log" 2>&1 &
+RESHARD_PID=$!
+echo "$RESHARD_PID" >"$WORK/reshard.pid"
+for _ in $(seq 1 150); do
+  grep -q "reshard: cutover complete" "$WORK/reshard.log" && break
+  kill -0 "$RESHARD_PID" 2>/dev/null || break
+  sleep 0.2
+done
+grep -q "reshard: cutover complete" "$WORK/reshard.log" \
+  || { cat "$WORK/reshard.log" >&2; die "online split never cut over"; }
+echo "deploy_smoke:   $(grep 'reshard: cutover complete' "$WORK/reshard.log")"
+
+# The readers must ride out the entire split with zero failures; the
+# writer is allowed only the retirement fence on the migrated shard.
+wait "$CHAOS6_PID" && CHAOS6_RC=0 || CHAOS6_RC=$?
+cat "$WORK/chaos6.log"
+[ "$CHAOS6_RC" -eq 0 ] || die "workload across the split exited $CHAOS6_RC"
+grep -q "chaos: PASS" "$WORK/chaos6.log" || die "no zero-failure accounting line for the split workload"
+grep -q " 0 failures" "$WORK/chaos6.log" || die "verified readers failed across the cutover"
+
+# A fresh client session verifies against the successor topology.
+OUT=$("$BIN" -role client -router "$ROUTER4" -queries "$QUERIES" -seed "$SEED" 2>&1) \
+  || { echo "$OUT" >&2; die "post-split routed query session failed"; }
+echo "$OUT" | grep -q "verified" || { echo "$OUT" >&2; die "no verified queries after the split"; }
+echo "deploy_smoke:   post-split session verified through $ROUTER4"
 
 echo "deploy_smoke: PASS"
